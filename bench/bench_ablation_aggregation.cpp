@@ -1,0 +1,58 @@
+// Ablation A1 — per-destination spike aggregation.
+//
+// Section III: "To minimize communication overhead, Compass aggregates
+// spikes between pairs of processes into a single MPI message." This
+// ablation compares the paper's design against the naive one-message-per-
+// spike baseline on the same workload: message counts explode and the
+// modelled Network/Neuron-phase injection cost grows with them, while the
+// spike trace stays bit-identical (aggregation is pure plumbing).
+#include <iostream>
+
+#include "common.h"
+
+int main() {
+  using namespace compass;
+  using namespace compass::bench;
+
+  const std::uint64_t cores = scaled(512, 64);
+  const arch::Tick ticks = static_cast<arch::Tick>(scaled(100, 10));
+  const int ranks = 8;
+
+  print_header("ablation_aggregation", "Ablation A1 (design choice, sec. III)",
+               "one aggregated message per process pair vs one per spike");
+
+  const arch::Model model = build_realtime_workload(
+      cores, ranks, /*ranks_per_node=*/1, /*rate_hz=*/10.0,
+      /*node_local_fraction=*/0.5);
+  const runtime::Partition part =
+      runtime::Partition::uniform(cores, ranks, /*threads=*/4);
+
+  util::Table table({"mode", "messages", "msgs_per_tick", "remote_spikes",
+                     "total_s", "neuron_s", "network_s", "spikes"});
+
+  for (const bool aggregate : {true, false}) {
+    runtime::Config cfg;
+    cfg.aggregate_sends = aggregate;
+    const runtime::RunReport rep =
+        run_model(model, part, TransportKind::kMpi, ticks, cfg);
+    table.row()
+        .add(aggregate ? "aggregated (paper)" : "per-spike (naive)")
+        .add(rep.messages)
+        .add(static_cast<double>(rep.messages) / static_cast<double>(ticks), 1)
+        .add(rep.remote_spikes)
+        .add(rep.virtual_total_s(), 4)
+        .add(rep.virtual_time.neuron, 4)
+        .add(rep.virtual_time.network, 4)
+        .add(rep.fired_spikes);
+  }
+
+  print_results(table, "Spike aggregation ablation, " + std::to_string(cores) +
+                           " cores on " + std::to_string(ranks) + " ranks");
+
+  std::cout << "\nShape checks:\n"
+               "  - identical spike totals (functional equivalence);\n"
+               "  - per-spike messaging multiplies message count by the mean\n"
+               "    aggregated-message size and inflates per-message "
+               "overheads.\n";
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Ablation A3 — binary crossbar bit packing (google-benchmark).
+//
+// The paper credits the bit-synapse representation with 32x less synapse
+// storage than C2's per-synapse structs and makes crossbar-row propagation
+// the Synapse-phase hot loop. This microbenchmark compares the shipped
+// Bits256-row crossbar against a byte-matrix reference (one byte per
+// synapse, C2-style lower bound) for the row-propagation kernel, and
+// reports bytes-per-core as counters.
+#include <benchmark/benchmark.h>
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "arch/crossbar.h"
+#include "util/bitops.h"
+#include "util/prng.h"
+
+namespace {
+
+using compass::arch::Crossbar;
+using compass::util::Bits256;
+using compass::util::CorePrng;
+
+/// C2-style reference: one byte per synapse.
+struct ByteCrossbar {
+  std::array<std::array<std::uint8_t, 256>, 256> cells{};
+  void set(unsigned a, unsigned n, bool v) { cells[a][n] = v ? 1 : 0; }
+};
+
+void fill_random(Crossbar& bits, ByteCrossbar& bytes, double density,
+                 std::uint64_t seed) {
+  CorePrng prng(seed);
+  const auto p8 = static_cast<std::uint8_t>(density * 256.0);
+  for (unsigned a = 0; a < 256; ++a) {
+    for (unsigned n = 0; n < 256; ++n) {
+      const bool v = prng.bernoulli_8(p8);
+      bits.set(a, n, v);
+      bytes.set(a, n, v);
+    }
+  }
+}
+
+void BM_CrossbarPropagate_Bits(benchmark::State& state) {
+  const double density = static_cast<double>(state.range(0)) / 100.0;
+  Crossbar bits;
+  ByteCrossbar bytes;
+  fill_random(bits, bytes, density, 42);
+  std::array<std::int32_t, 256> accum{};
+  const std::int16_t weight = 3;
+
+  for (auto _ : state) {
+    for (unsigned axon = 0; axon < 256; axon += 8) {  // 32 active axons
+      compass::util::for_each_set_bit(bits.row(axon), [&](unsigned j) {
+        accum[j] += weight;
+      });
+    }
+    benchmark::DoNotOptimize(accum);
+  }
+  state.counters["bytes_per_core"] = static_cast<double>(sizeof(Crossbar));
+}
+BENCHMARK(BM_CrossbarPropagate_Bits)->Arg(6)->Arg(25)->Arg(50)->Arg(100);
+
+void BM_CrossbarPropagate_Bytes(benchmark::State& state) {
+  const double density = static_cast<double>(state.range(0)) / 100.0;
+  Crossbar bits;
+  ByteCrossbar bytes;
+  fill_random(bits, bytes, density, 42);
+  std::array<std::int32_t, 256> accum{};
+  const std::int16_t weight = 3;
+
+  for (auto _ : state) {
+    for (unsigned axon = 0; axon < 256; axon += 8) {
+      const auto& row = bytes.cells[axon];
+      for (unsigned j = 0; j < 256; ++j) {
+        if (row[j]) accum[j] += weight;
+      }
+    }
+    benchmark::DoNotOptimize(accum);
+  }
+  state.counters["bytes_per_core"] = static_cast<double>(sizeof(ByteCrossbar));
+}
+BENCHMARK(BM_CrossbarPropagate_Bytes)->Arg(6)->Arg(25)->Arg(50)->Arg(100);
+
+void BM_CrossbarSynapseCount(benchmark::State& state) {
+  Crossbar bits;
+  ByteCrossbar bytes;
+  fill_random(bits, bytes, 0.25, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bits.synapse_count());
+  }
+}
+BENCHMARK(BM_CrossbarSynapseCount);
+
+}  // namespace

@@ -1,0 +1,62 @@
+// Figure 6 — OpenMP thread scaling within an MPI process.
+//
+// Paper setup (section VI-D): fixed 64M-core CoCoMac model on 4 racks, one
+// MPI rank per node, threads swept 1 -> 32. Speed-up over the 1-thread
+// baseline is good but not perfect: "We do not quite achieve perfect
+// scaling in the number of OpenMP threads due to a critical section in the
+// Network phase that creates a serial bottleneck at all thread counts."
+//
+// Here: fixed scaled model on a fixed rank count, thread count swept; the
+// serialised per-message probe/recv cost (and the master-only collective)
+// is what caps the speed-up, exactly as in the paper.
+#include <iostream>
+
+#include "common.h"
+
+int main() {
+  using namespace compass;
+  using namespace compass::bench;
+
+  const std::uint64_t cores = scaled(1024, 77);
+  const arch::Tick ticks = static_cast<arch::Tick>(scaled(100, 10));
+  const int ranks = 4;
+
+  print_header("fig6_threads", "Figure 6, section VI-D",
+               "near-linear thread speed-up, capped by the Network-phase "
+               "critical section");
+
+  compiler::PccResult pcc = compile_macaque(cores, ranks, /*threads=*/1);
+
+  util::Table table({"threads", "total_s", "synapse_s", "neuron_s",
+                     "network_s", "speedup_x", "ideal_x"});
+
+  double baseline = 0.0;
+  for (int threads : {1, 2, 4, 8, 16, 32}) {
+    runtime::Partition part = pcc.partition;
+    part.rethread(threads);
+    const runtime::RunReport rep =
+        run_model(pcc.model, part, TransportKind::kMpi, ticks);
+    const double total = rep.virtual_total_s();
+    if (threads == 1) baseline = total;
+    table.row()
+        .add(threads)
+        .add(total, 4)
+        .add(rep.virtual_time.synapse, 4)
+        .add(rep.virtual_time.neuron, 4)
+        .add(rep.virtual_time.network, 4)
+        .add(baseline / total, 2)
+        .add(threads);
+    std::cout << "  threads=" << threads << " done (host "
+              << util::format_double(rep.host_wall_s, 2) << "s)\n";
+  }
+
+  print_results(table, "Thread scaling, fixed " + std::to_string(cores) +
+                           "-core model on " + std::to_string(ranks) +
+                           " ranks (fig 6)");
+
+  std::cout << "\nShape checks vs paper:\n"
+               "  - synapse/neuron phases scale near-ideally with threads;\n"
+               "  - network_s scales worst (serial probe/recv critical\n"
+               "    section), capping total speed-up below ideal.\n";
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Load imbalance across ranks — section VI-B attributes part of the
+// weak-scaling runtime growth to "computation and communication imbalances
+// in the functional regions of the CoCoMac model". This bench quantifies
+// those imbalances directly: per-rank spike counts (compute proxy) and
+// per-rank outgoing remote spikes (communication proxy) as the model scales,
+// reporting the max/mean ratio that inflates the per-tick makespan.
+#include <iostream>
+#include <vector>
+
+#include "common.h"
+
+int main() {
+  using namespace compass;
+  using namespace compass::bench;
+
+  const arch::Tick ticks = static_cast<arch::Tick>(scaled(100, 10));
+
+  print_header("imbalance", "Section VI-B imbalance attribution",
+               "functional-region imbalance inflates the per-tick makespan");
+
+  util::Table table({"nodes", "cores", "spike_max_over_mean",
+                     "remote_max_over_mean", "busiest_rank_regions"});
+
+  for (int nodes : {2, 4, 8, 16}) {
+    const std::uint64_t cores = scaled(256, 77) * static_cast<std::uint64_t>(nodes);
+    compiler::PccResult pcc = compile_macaque(cores, nodes, /*threads=*/4);
+
+    arch::Model model = pcc.model;
+    auto transport = make_transport(TransportKind::kMpi, nodes);
+    runtime::Compass sim(model, pcc.partition, *transport);
+    std::vector<std::uint64_t> fired(static_cast<std::size_t>(nodes), 0);
+    std::vector<std::uint64_t> remote(static_cast<std::size_t>(nodes), 0);
+    sim.set_spike_hook([&](arch::Tick, arch::CoreId c, unsigned j) {
+      const int src = pcc.partition.rank_of(c);
+      ++fired[static_cast<std::size_t>(src)];
+      const arch::AxonTarget t = model.core(c).target(j);
+      if (t.connected() && pcc.partition.rank_of(t.core) != src) {
+        ++remote[static_cast<std::size_t>(src)];
+      }
+    });
+    sim.run(ticks);
+
+    auto max_over_mean = [&](const std::vector<std::uint64_t>& v) {
+      std::uint64_t max = 0, sum = 0;
+      for (std::uint64_t x : v) {
+        max = std::max(max, x);
+        sum += x;
+      }
+      return sum > 0 ? static_cast<double>(max) * static_cast<double>(nodes) /
+                           static_cast<double>(sum)
+                     : 0.0;
+    };
+
+    // How many regions live (partly) on the spike-busiest rank?
+    std::size_t busiest = 0;
+    for (std::size_t r = 1; r < fired.size(); ++r) {
+      if (fired[r] > fired[busiest]) busiest = r;
+    }
+    int regions_on_busiest = 0;
+    for (const compiler::RegionInfo& info : pcc.regions) {
+      if (info.first_rank <= static_cast<int>(busiest) &&
+          static_cast<int>(busiest) <= info.last_rank) {
+        ++regions_on_busiest;
+      }
+    }
+
+    table.row()
+        .add(nodes)
+        .add(cores)
+        .add(max_over_mean(fired), 3)
+        .add(max_over_mean(remote), 3)
+        .add(regions_on_busiest);
+    std::cout << "  nodes=" << nodes << " done\n";
+  }
+
+  print_results(table, "Per-rank load imbalance on the CoCoMac model");
+
+  std::cout << "\nShape checks vs paper:\n"
+               "  - imbalance grows with node count: as ranks host fewer\n"
+               "    regions each, heterogeneous region sizes and rates stop\n"
+               "    averaging out — part of why weak scaling is near- rather\n"
+               "    than exactly-flat (section VI-B attributes runtime growth\n"
+               "    partly to 'computation and communication imbalances in\n"
+               "    the functional regions of the CoCoMac model').\n";
+  return 0;
+}

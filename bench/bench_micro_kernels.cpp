@@ -1,0 +1,140 @@
+// Microbenchmarks for the simulator hot loops: synapse-phase propagation,
+// the neuron-phase integrate-leak-fire sweep, delay-buffer operations, and
+// transport exchange — the kernels whose per-core cost sets the paper's
+// "388x slower than real time" figure.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "arch/core.h"
+#include "comm/mpi_transport.h"
+#include "comm/pgas_transport.h"
+#include "util/prng.h"
+
+namespace {
+
+using namespace compass;
+
+arch::NeurosynapticCore make_busy_core(double density, bool stochastic) {
+  arch::NeurosynapticCore core;
+  core.reseed(9);
+  util::CorePrng prng(4);
+  const auto p8 = static_cast<std::uint8_t>(density * 256.0);
+  for (unsigned a = 0; a < 256; ++a) {
+    core.set_axon_type(a, a % 4);
+    for (unsigned n = 0; n < 256; ++n) {
+      if (prng.bernoulli_8(p8)) core.set_synapse(a, n);
+    }
+  }
+  arch::NeuronParams p;
+  p.weights = {4, -16, 4, -16};
+  p.leak = -131;
+  p.threshold = 64;
+  p.floor = -256;
+  p.flags = static_cast<std::uint8_t>(
+      arch::kStochasticLeak |
+      (stochastic ? arch::kStochasticSynapse | arch::kStochasticThreshold : 0));
+  p.threshold_mask_bits = 4;
+  for (unsigned j = 0; j < 256; ++j) {
+    core.configure_neuron(j, p, arch::AxonTarget{0, static_cast<std::uint8_t>(j), 1});
+  }
+  return core;
+}
+
+void BM_SynapsePhase(benchmark::State& state) {
+  arch::NeurosynapticCore core = make_busy_core(0.25, false);
+  const auto active_axons = static_cast<unsigned>(state.range(0));
+  arch::Tick t = 0;
+  for (auto _ : state) {
+    for (unsigned a = 0; a < active_axons; ++a) {
+      core.deliver(a * (256 / active_axons), static_cast<unsigned>(t & 15));
+    }
+    benchmark::DoNotOptimize(core.synapse_phase(t));
+    ++t;
+  }
+  state.SetItemsProcessed(state.iterations() * active_axons);
+}
+BENCHMARK(BM_SynapsePhase)->Arg(1)->Arg(2)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_NeuronPhase(benchmark::State& state) {
+  arch::NeurosynapticCore core = make_busy_core(0.25, state.range(0) != 0);
+  arch::Tick t = 0;
+  std::uint64_t spikes = 0;
+  for (auto _ : state) {
+    spikes += static_cast<std::uint64_t>(
+        core.neuron_phase(t, [](unsigned, const arch::AxonTarget&) {}));
+    ++t;
+  }
+  benchmark::DoNotOptimize(spikes);
+  state.SetItemsProcessed(state.iterations() * 256);
+  state.SetLabel(state.range(0) ? "stochastic" : "deterministic");
+}
+BENCHMARK(BM_NeuronPhase)->Arg(0)->Arg(1);
+
+void BM_FullCoreTick(benchmark::State& state) {
+  // One core at ~10 Hz equivalent input (2-3 active axons per tick): the
+  // per-core-tick cost that the weak-scaling budget is built from.
+  arch::NeurosynapticCore core = make_busy_core(0.25, false);
+  arch::Tick t = 0;
+  for (auto _ : state) {
+    core.deliver(static_cast<unsigned>((t * 37) & 255),
+                 static_cast<unsigned>(t & 15));
+    core.deliver(static_cast<unsigned>((t * 101) & 255),
+                 static_cast<unsigned>(t & 15));
+    core.synapse_phase(t);
+    core.neuron_phase(t, [&](unsigned, const arch::AxonTarget& tgt) {
+      benchmark::DoNotOptimize(tgt);
+    });
+    ++t;
+  }
+}
+BENCHMARK(BM_FullCoreTick);
+
+void BM_AxonBufferScheduleDrain(benchmark::State& state) {
+  arch::AxonBuffer buf;
+  arch::Tick t = 0;
+  for (auto _ : state) {
+    for (unsigned i = 0; i < 64; ++i) {
+      buf.schedule(i * 4, static_cast<unsigned>((t + 1 + (i % 15)) & 15));
+    }
+    benchmark::DoNotOptimize(buf.drain(t));
+    ++t;
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_AxonBufferScheduleDrain);
+
+template <typename TransportT>
+void BM_TransportExchange(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  comm::CommCostModel cost;
+  TransportT transport(ranks, cost);
+  std::vector<arch::WireSpike> payload(64);
+  for (unsigned i = 0; i < 64; ++i) {
+    payload[i] = arch::WireSpike{i, static_cast<std::uint16_t>(i), 0};
+  }
+  for (auto _ : state) {
+    transport.begin_tick();
+    for (int s = 0; s < ranks; ++s) {
+      for (int d = 0; d < ranks; ++d) {
+        if (s != d) transport.send(s, d, payload);
+      }
+    }
+    transport.exchange();
+    benchmark::DoNotOptimize(transport.received(0));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(ranks) * (ranks - 1) * 64);
+}
+BENCHMARK(BM_TransportExchange<comm::MpiTransport>)->Arg(4)->Arg(16)->Arg(64);
+BENCHMARK(BM_TransportExchange<comm::PgasTransport>)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_CorePrngDraw(benchmark::State& state) {
+  util::CorePrng prng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(prng.next_u64());
+  }
+}
+BENCHMARK(BM_CorePrngDraw);
+
+}  // namespace

@@ -1,0 +1,89 @@
+// Section IV claim — in-situ PCC compilation vs explicit model files.
+//
+// Paper: "For large scale simulation of millions of TrueNorth cores, the
+// network model specification for Compass can be on the order of several
+// terabytes. Offline generation and copying such large files is
+// impractical. Parallel model generation using the compiler requires only
+// few minutes as compared to several hours to read or write it to disk"
+// (and the intro credits the in-situ compiler with reducing set-up times by
+// three orders of magnitude). The 256M-core model compiled in 107 s.
+//
+// This bench compiles a model with PCC, then writes/reads the explicit
+// binary model file the compiler replaces, and reports sizes and times: the
+// CoreObject description is a few KB while the explicit model is GBs-per-
+// million-cores, and file I/O dominates compile time as models grow.
+#include <cstdio>
+#include <iostream>
+
+#include "common.h"
+#include "compiler/coreobject.h"
+#include "util/stopwatch.h"
+
+int main() {
+  using namespace compass;
+  using namespace compass::bench;
+
+  print_header("pcc_compile", "Section IV set-up time claim",
+               "in-situ compilation beats explicit model file I/O; compact "
+               "CoreObject vs terabyte-scale explicit models");
+
+  util::Table table({"cores", "coreobject_B", "model_file_B", "ratio",
+                     "compile_s", "write_s", "read_s", "io_over_compile"});
+
+  for (std::uint64_t base : {256ULL, 1024ULL, 4096ULL}) {
+    const std::uint64_t cores = scaled(base, 77);
+    cocomac::MacaqueSpecOptions mopt;
+    mopt.total_cores = cores;
+    const compiler::Spec spec = cocomac::build_macaque_spec(mopt);
+    const std::string coreobject_text = compiler::to_coreobject_string(spec);
+
+    util::Stopwatch sw;
+    compiler::PccOptions popt;
+    popt.ranks = 8;
+    compiler::PccResult pcc = compiler::compile(spec, popt);
+    const double compile_s = sw.elapsed_s();
+
+    const std::string path = "/tmp/compass_pcc_bench_model.bin";
+    sw.restart();
+    pcc.model.save_file(path);
+    const double write_s = sw.elapsed_s();
+
+    sw.restart();
+    arch::Model loaded = arch::Model::load_file(path);
+    const double read_s = sw.elapsed_s();
+
+    std::uint64_t file_bytes = 0;
+    if (FILE* f = std::fopen(path.c_str(), "rb")) {
+      std::fseek(f, 0, SEEK_END);
+      file_bytes = static_cast<std::uint64_t>(std::ftell(f));
+      std::fclose(f);
+    }
+    std::remove(path.c_str());
+
+    table.row()
+        .add(cores)
+        .add(coreobject_text.size())
+        .add(file_bytes)
+        .add(static_cast<double>(file_bytes) /
+                 static_cast<double>(coreobject_text.size()), 0)
+        .add(compile_s, 3)
+        .add(write_s, 3)
+        .add(read_s, 3)
+        .add((write_s + read_s) / compile_s, 2);
+    std::cout << "  cores=" << cores << " done (model "
+              << util::human_bytes(static_cast<double>(file_bytes)) << ", "
+              << (loaded == pcc.model ? "round-trip verified" : "MISMATCH")
+              << ")\n";
+  }
+
+  print_results(table, "PCC in-situ compile vs explicit model file");
+
+  std::cout << "\nShape checks vs paper:\n"
+               "  - the CoreObject description stays KB-sized while the\n"
+               "    explicit model grows by ~20 KiB per core (terabytes at\n"
+               "    the paper's 256M cores);\n"
+               "  - write+read time grows with model size and overtakes\n"
+               "    in-situ compilation, which is why Compass compiles\n"
+               "    models inside the simulation job.\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Section VI-D observation — trading MPI ranks against OpenMP threads.
+//
+// Paper: "simulation runs of Compass with one MPI process per compute node
+// and 32 OpenMP threads per process achieved nearly similar performance to
+// runs with 16 MPI processes per compute node and 2 OpenMP threads per
+// process. Using fewer MPI processes and more OpenMP [threads] per
+// [process] reduces the size of the MPI communicator for the MPI
+// Reduce-Scatter operation ... offset by false sharing penalties in the CPU
+// caches due to increased size of the shared memory region."
+//
+// Here: a fixed 4-node machine and model; ranks-per-node swept with the
+// per-node CPU budget (ranks x threads = 32) held constant, so every
+// configuration has inter-node traffic. The communicator-size side of the
+// trade-off (Reduce-Scatter + per-message costs grow with rank count) is
+// reproduced; the opposing false-sharing penalty is a hardware cache
+// effect the virtual machine does not model, so the fewer-ranks
+// configurations come out slightly ahead here rather than exactly equal.
+#include <iostream>
+
+#include "common.h"
+
+int main() {
+  using namespace compass;
+  using namespace compass::bench;
+
+  const std::uint64_t cores = scaled(1024, 77);
+  const arch::Tick ticks = static_cast<arch::Tick>(scaled(100, 10));
+  const int nodes = 4;
+  const int cpus_per_node = 32;
+
+  print_header("rank_thread_tradeoff", "Section VI-D rank/thread trade-off",
+               "1 rank x 32 threads per node ~= 16 ranks x 2 threads per "
+               "node at fixed CPUs");
+
+  util::Table table({"ranks_per_node", "threads", "ranks", "total_s",
+                     "network_s", "sync_model_s", "msgs_per_tick"});
+
+  for (int rpn : {1, 2, 4, 8, 16}) {
+    const int threads = cpus_per_node / rpn;
+    const int ranks = nodes * rpn;
+    compiler::PccResult pcc = compile_macaque(cores, ranks, threads);
+    const runtime::RunReport rep =
+        run_model(pcc.model, pcc.partition, TransportKind::kMpi, ticks);
+    comm::CommCostModel cost;
+    table.row()
+        .add(rpn)
+        .add(threads)
+        .add(ranks)
+        .add(rep.virtual_total_s(), 4)
+        .add(rep.virtual_time.network, 4)
+        .add(cost.reduce_scatter_cost(ranks) * static_cast<double>(ticks), 5)
+        .add(static_cast<double>(rep.messages) / static_cast<double>(ticks), 1);
+    std::cout << "  " << rpn << " rank(s)/node x " << threads
+              << " threads done\n";
+  }
+
+  print_results(table, "Rank/thread trade-off on " + std::to_string(nodes) +
+                           " nodes x " + std::to_string(cpus_per_node) +
+                           " CPUs, " + std::to_string(cores) + " cores");
+
+  std::cout << "\nShape checks vs paper:\n"
+               "  - total_s varies only mildly across splits (sub-2x over a\n"
+               "    16x change in communicator size);\n"
+               "  - sync (Reduce-Scatter) and message costs grow with rank\n"
+               "    count while per-rank compute spans shrink — the\n"
+               "    communicator side of the paper's trade-off. The paper's\n"
+               "    offsetting false-sharing penalty is not modelled.\n";
+  return 0;
+}

@@ -1,0 +1,126 @@
+#include "common.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "primitives/primitives.h"
+#include "util/prng.h"
+
+namespace compass::bench {
+
+double bench_scale() {
+  static const double scale = [] {
+    const char* env = std::getenv("COMPASS_BENCH_SCALE");
+    if (env == nullptr) return 1.0;
+    const double v = std::atof(env);
+    return v > 0.0 ? v : 1.0;
+  }();
+  return scale;
+}
+
+std::uint64_t scaled(std::uint64_t base, std::uint64_t minimum) {
+  const double v = static_cast<double>(base) * bench_scale();
+  return std::max(minimum, static_cast<std::uint64_t>(std::llround(v)));
+}
+
+void print_header(const std::string& bench_name, const std::string& figure,
+                  const std::string& paper_claim) {
+  std::cout << "==============================================================\n"
+            << "Compass bench: " << bench_name << "\n"
+            << "Reproduces:    " << figure << "\n"
+            << "Paper claim:   " << paper_claim << "\n"
+            << "Bench scale:   " << bench_scale()
+            << " (set COMPASS_BENCH_SCALE to change)\n"
+            << "==============================================================\n";
+}
+
+void print_results(const util::Table& table, const std::string& title) {
+  std::cout << '\n';
+  table.print(std::cout, title);
+  std::cout << "\n--- BEGIN CSV ---\n";
+  table.print_csv(std::cout);
+  std::cout << "--- END CSV ---\n";
+}
+
+compiler::PccResult compile_macaque(std::uint64_t total_cores, int ranks,
+                                    int threads_per_rank, double rate_hz) {
+  cocomac::MacaqueSpecOptions mopt;
+  mopt.total_cores = total_cores;
+  mopt.rate_hz = rate_hz;
+  const compiler::Spec spec = cocomac::build_macaque_spec(mopt);
+  compiler::PccOptions popt;
+  popt.ranks = ranks;
+  popt.threads_per_rank = threads_per_rank;
+  return compiler::compile(spec, popt);
+}
+
+std::unique_ptr<comm::Transport> make_transport(TransportKind kind, int ranks) {
+  comm::CommCostModel cost;
+  if (kind == TransportKind::kMpi) {
+    return std::make_unique<comm::MpiTransport>(ranks, cost);
+  }
+  return std::make_unique<comm::PgasTransport>(ranks, cost);
+}
+
+runtime::RunReport run_model(const arch::Model& model,
+                             const runtime::Partition& partition,
+                             TransportKind kind, arch::Tick ticks,
+                             runtime::Config config) {
+  arch::Model copy = model;
+  auto transport = make_transport(kind, partition.ranks());
+  runtime::Compass sim(copy, partition, *transport, config);
+  return sim.run(ticks);
+}
+
+arch::Model build_realtime_workload(std::uint64_t cores, int ranks,
+                                    int ranks_per_node, double rate_hz,
+                                    double node_local_fraction,
+                                    std::uint64_t seed) {
+  arch::Model model(cores, seed);
+  const runtime::Partition part =
+      runtime::Partition::uniform(cores, ranks, /*threads=*/1);
+  const int nodes = (ranks + ranks_per_node - 1) / ranks_per_node;
+  util::CorePrng wire(util::derive_seed(seed ^ 0x517EULL, 1));
+
+  // Group cores by node for the 75/25 targeting rule.
+  std::vector<std::vector<arch::CoreId>> node_cores(static_cast<std::size_t>(nodes));
+  for (arch::CoreId c = 0; c < cores; ++c) {
+    const int node = part.rank_of(c) / ranks_per_node;
+    node_cores[static_cast<std::size_t>(node)].push_back(c);
+  }
+
+  for (arch::CoreId c = 0; c < cores; ++c) {
+    auto& core = model.core(c);
+    primitives::configure_poisson_source(core, rate_hz);
+    const int node = part.rank_of(c) / ranks_per_node;
+    for (unsigned j = 0; j < arch::kNeuronsPerCore; ++j) {
+      const bool local = wire.uniform_double() < node_local_fraction;
+      arch::CoreId target_core;
+      if (local || nodes == 1) {
+        const auto& pool = node_cores[static_cast<std::size_t>(node)];
+        target_core = pool[wire.uniform_below(
+            static_cast<std::uint32_t>(pool.size()))];
+      } else {
+        int other = static_cast<int>(wire.uniform_below(
+            static_cast<std::uint32_t>(nodes - 1)));
+        if (other >= node) ++other;
+        const auto& pool = node_cores[static_cast<std::size_t>(other)];
+        target_core = pool[wire.uniform_below(
+            static_cast<std::uint32_t>(pool.size()))];
+      }
+      arch::NeuronParams p = core.params_of(j);
+      core.configure_neuron(
+          j, p,
+          arch::AxonTarget{target_core, static_cast<std::uint8_t>(j),
+                           static_cast<std::uint8_t>(1 + wire.uniform_below(15))});
+    }
+  }
+  model.reseed_cores();
+  return model;
+}
+
+}  // namespace compass::bench

@@ -1,0 +1,102 @@
+// Primitives zoo: the functional-primitive library in action.
+//
+// Section IV envisages "libraries of functional primitives that run on one
+// or more interconnected TrueNorth cores" composed into richer
+// applications. This example wires three primitives into a toy
+// sensory-selection pipeline and shows their signature behaviours:
+//   * a Poisson source bank (noisy sensors at different rates),
+//   * a winner-take-all core that picks the hottest sensor,
+//   * a synfire-chain "motor loop" clocked by an oscillator.
+#include <algorithm>
+#include <array>
+#include <iostream>
+#include <vector>
+
+#include "arch/model.h"
+#include "comm/pgas_transport.h"
+#include "primitives/primitives.h"
+#include "runtime/compass.h"
+
+int main() {
+  using namespace compass;
+
+  // Layout: core 0 = sensors, core 1 = WTA, cores 2..5 = synfire ring,
+  // core 6 = oscillator clock.
+  arch::Model model(7, /*seed=*/7);
+
+  // --- Sensors: 4 groups of 8 neurons at increasing rates ------------------
+  primitives::configure_poisson_source(model.core(0), 0.0);
+  const std::array<double, 4> sensor_rates = {20.0, 40.0, 60.0, 120.0};
+  for (unsigned g = 0; g < 4; ++g) {
+    // Pick the threshold so the stochastic drive (at most 255/256 potential
+    // per tick) can realise the group's rate, then calibrate the drive.
+    const int threshold = std::clamp(
+        static_cast<int>((255.0 / 256.0) * 1000.0 / sensor_rates[g]), 1, 32);
+    const int drive = std::min(
+        static_cast<int>(256.0 * threshold * sensor_rates[g] / 1000.0 + 0.5),
+        255);
+    for (unsigned i = 0; i < 8; ++i) {
+      const unsigned j = g * 8 + i;
+      arch::NeuronParams p;
+      p.threshold = threshold;
+      p.leak = static_cast<std::int16_t>(-drive);
+      p.floor = 0;
+      p.flags = arch::kStochasticLeak;
+      // Sensor group g drives WTA input axon g.
+      model.core(0).configure_neuron(
+          j, p, arch::AxonTarget{1, static_cast<std::uint8_t>(g), 1});
+    }
+  }
+
+  // --- Winner-take-all: 4 groups of 16 --------------------------------------
+  primitives::WtaOptions wta;
+  wta.groups = 4;
+  wta.group_size = 16;
+  primitives::configure_winner_take_all(model.core(1), 1, wta);
+
+  // --- Synfire ring clocked by an oscillator --------------------------------
+  const std::vector<arch::CoreId> ring = {2, 3, 4, 5};
+  primitives::build_synfire_chain(model, ring, /*delay=*/3, /*ring=*/true);
+  primitives::configure_oscillator(model.core(6), 6, /*period=*/12, /*lanes=*/2);
+  primitives::inject_packet(model.core(2), 0, 1, /*width=*/16);
+
+  model.reseed_cores();
+
+  // --- Simulate over PGAS with 4 virtual ranks -------------------------------
+  const runtime::Partition part = runtime::Partition::uniform(7, 4, 2);
+  comm::PgasTransport transport(4, comm::CommCostModel{});
+  runtime::Compass sim(model, part, transport);
+
+  std::array<std::uint64_t, 4> wta_wins{};
+  std::array<std::uint64_t, 4> ring_hops{};
+  std::uint64_t clock_beats = 0;
+  sim.set_spike_hook([&](arch::Tick, arch::CoreId core, unsigned j) {
+    if (core == 1 && j < 64) ++wta_wins[j / 16];
+    if (core >= 2 && core <= 5) ++ring_hops[core - 2];
+    if (core == 6) ++clock_beats;
+  });
+
+  const runtime::RunReport report = sim.run(300);
+
+  std::cout << "Primitives zoo, 300 simulated ms over " << part.ranks()
+            << " PGAS ranks\n\n";
+  std::cout << "Winner-take-all group wins (sensor rates 20/40/60/120 Hz):\n";
+  for (unsigned g = 0; g < 4; ++g) {
+    std::cout << "  group " << g << " (" << sensor_rates[g]
+              << " Hz sensor): " << wta_wins[g] << " spikes\n";
+  }
+  std::cout << "  -> the hottest sensor should dominate.\n\n";
+
+  std::cout << "Synfire ring hops per core (packet width 16, 3 ms/hop):\n  ";
+  for (unsigned i = 0; i < 4; ++i) std::cout << ring_hops[i] << " ";
+  std::cout << "\n  -> equal counts: the packet circulates losslessly.\n\n";
+
+  std::cout << "Oscillator beats (2 lanes, period 12): " << clock_beats
+            << " (expect 2 * ceil(300/12) = " << 2 * ((300 + 11) / 12)
+            << ")\n\n";
+
+  std::cout << "Totals: " << report.fired_spikes << " spikes, "
+            << report.messages << " puts, virtual "
+            << report.virtual_total_s() << " s\n";
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Quickstart: build a tiny TrueNorth network by hand, simulate it with
+// Compass, and print a spike raster.
+//
+// The network: core 0 is an oscillator bank (4 lanes ticking every 5 ms),
+// core 1 relays whatever it receives to core 2, and core 2 is a silent
+// integrator we probe at the end. It exercises the whole public API surface:
+// model construction, neuron configuration, partitioning, transports, the
+// simulation loop, and spike hooks.
+#include <iostream>
+#include <string>
+
+#include "arch/model.h"
+#include "comm/mpi_transport.h"
+#include "primitives/primitives.h"
+#include "runtime/compass.h"
+
+int main() {
+  using namespace compass;
+
+  // --- 1. Build a model of three cores -------------------------------------
+  arch::Model model(/*num_cores=*/3, /*seed=*/2012);
+
+  // Core 0: four clock lanes. Each lane accumulates a deterministic drive
+  // of +13/tick against a threshold of 64, so it fires every 5 ticks and
+  // sends the spike to core 1's matching axon with delay 2.
+  for (unsigned j = 0; j < 4; ++j) {
+    arch::NeuronParams p;
+    p.threshold = 64;
+    p.leak = -13;  // negative leak == constant drive
+    p.floor = 0;
+    model.core(0).configure_neuron(
+        j, p,
+        arch::AxonTarget{/*core=*/1, /*axon=*/static_cast<std::uint8_t>(j),
+                         /*delay=*/2});
+  }
+
+  // Core 1: a relay into core 2 with delay 1.
+  primitives::configure_relay(model.core(1), /*dst_core=*/2, /*delay=*/1);
+
+  // Core 2: integrator neurons — count spikes in the membrane potential.
+  for (unsigned j = 0; j < arch::kNeuronsPerCore; ++j) {
+    arch::NeuronParams p;
+    p.weights = {1, 0, 0, 0};
+    p.threshold = 1000000;  // never fires; potential is the counter
+    p.floor = 0;
+    model.core(2).set_synapse(j, j, true);
+    model.core(2).configure_neuron(j, p, arch::AxonTarget{});
+  }
+
+  const std::string err = model.validate();
+  if (!err.empty()) {
+    std::cerr << "model invalid: " << err << "\n";
+    return 1;
+  }
+
+  // --- 2. Partition across 3 virtual ranks, 2 threads each -----------------
+  const runtime::Partition partition =
+      runtime::Partition::uniform(model.num_cores(), /*ranks=*/3,
+                                  /*threads_per_rank=*/2);
+  comm::MpiTransport transport(partition.ranks(), comm::CommCostModel{});
+
+  // --- 3. Simulate 40 ticks with a raster hook ------------------------------
+  runtime::Compass sim(model, partition, transport);
+  std::cout << "tick : spikes (core.neuron)\n";
+  sim.set_spike_hook([](arch::Tick t, arch::CoreId c, unsigned j) {
+    std::cout << "  " << t << " : " << c << "." << j << "\n";
+  });
+  const runtime::RunReport report = sim.run(40);
+
+  // --- 4. Report -------------------------------------------------------------
+  std::cout << "\nSimulated " << report.ticks << " ticks\n"
+            << "  fired spikes:   " << report.fired_spikes << "\n"
+            << "  local spikes:   " << report.local_spikes << "\n"
+            << "  remote spikes:  " << report.remote_spikes << "\n"
+            << "  MPI messages:   " << report.messages << "\n"
+            << "  virtual time:   " << report.virtual_total_s() << " s\n"
+            << "  slowdown:       " << report.slowdown() << "x real time\n";
+  std::cout << "\nCore 2 integrator counters (lanes 0..3): ";
+  for (unsigned j = 0; j < 4; ++j) {
+    std::cout << model.core(2).potential(j) << " ";
+  }
+  std::cout << "\n(each counts the clock spikes relayed through core 1)\n";
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Real-time explorer: how many TrueNorth cores can each transport simulate
+// in real time? (Section VII-A: "Real-time simulation — 1 millisecond of
+// wall-clock time per 1 millisecond of simulated time — is important for
+// designing applications on the TrueNorth architecture.")
+//
+// For each transport this example runs a doubling-then-bisection search for
+// the largest synthetic 75/25 system (section VII-B workload) whose virtual
+// time per tick stays at or under 1 ms on the configured machine.
+//
+// Usage: realtime_explorer [nodes] [ranks_per_node] [ticks]
+#include <cstdlib>
+#include <iostream>
+
+#include "comm/mpi_transport.h"
+#include "comm/pgas_transport.h"
+#include "runtime/compass.h"
+#include "util/table.h"
+
+// The bench harness already knows how to build the section VII-B workload.
+#include "../bench/common.h"
+
+int main(int argc, char** argv) {
+  using namespace compass;
+  using namespace compass::bench;
+
+  const int nodes = argc > 1 ? std::atoi(argv[1]) : 16;
+  const int ranks_per_node = argc > 2 ? std::atoi(argv[2]) : 4;
+  const arch::Tick ticks = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 30;
+  const int ranks = nodes * ranks_per_node;
+
+  std::cout << "Searching for the real-time capacity of " << nodes
+            << " virtual BG/P nodes (" << ranks << " ranks), 10 Hz, 75/25 "
+            << "node-local workload...\n\n";
+
+  auto run_at = [&](TransportKind kind, std::uint64_t cores) {
+    const arch::Model model = build_realtime_workload(
+        cores, ranks, ranks_per_node, /*rate_hz=*/10.0);
+    // Four threads per rank: compute parallelises, the receive critical
+    // section does not — the regime where the transport choice matters
+    // (the paper's 81K cores over 16384 CPUs is ~5 cores per CPU,
+    // communication-dominated).
+    const runtime::Partition part =
+        runtime::Partition::uniform(cores, ranks, /*threads=*/4);
+    runtime::Config cfg;
+    cfg.compute_time_scale = 40.0;  // BG/P PPC450 calibration (EXPERIMENTS.md)
+    return run_model(model, part, kind, ticks, cfg);
+  };
+  auto ticks_per_second = [&](TransportKind kind, std::uint64_t cores) {
+    const runtime::RunReport rep = run_at(kind, cores);
+    return static_cast<double>(rep.ticks) / rep.virtual_total_s();
+  };
+
+  util::Table table({"transport", "max_realtime_cores", "ticks_per_s_there"});
+  std::uint64_t mpi_capacity = 0, pgas_capacity = 0;
+
+  for (TransportKind kind : {TransportKind::kMpi, TransportKind::kPgas}) {
+    // Doubling phase.
+    std::uint64_t lo = static_cast<std::uint64_t>(ranks);
+    std::uint64_t hi = lo;
+    while (ticks_per_second(kind, hi) >= 1000.0) {
+      lo = hi;
+      hi *= 2;
+      if (hi > (1u << 14)) break;  // keep the example quick
+    }
+    // Bisection phase.
+    while (hi - lo > std::max<std::uint64_t>(8, lo / 16)) {
+      const std::uint64_t mid = (lo + hi) / 2;
+      if (ticks_per_second(kind, mid) >= 1000.0) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    const double rate = ticks_per_second(kind, lo);
+    table.row()
+        .add(kind == TransportKind::kMpi ? "MPI" : "PGAS")
+        .add(lo)
+        .add(rate, 0);
+    (kind == TransportKind::kMpi ? mpi_capacity : pgas_capacity) = lo;
+    std::cout << "  " << (kind == TransportKind::kMpi ? "MPI" : "PGAS")
+              << ": " << lo << " cores in real time\n";
+  }
+
+  std::cout << '\n';
+  table.print(std::cout, "Real-time capacity per transport");
+  if (mpi_capacity > 0) {
+    std::cout << "\nPGAS simulates "
+              << util::format_double(static_cast<double>(pgas_capacity) /
+                                         static_cast<double>(mpi_capacity), 2)
+              << "x the cores MPI manages in real time.\n";
+
+    // Head-to-head at the PGAS capacity point — the paper's figure 7
+    // framing: the system PGAS runs in real time takes MPI ~2.1x as long.
+    const runtime::RunReport mpi_rep = run_at(TransportKind::kMpi, pgas_capacity);
+    const runtime::RunReport pgas_rep =
+        run_at(TransportKind::kPgas, pgas_capacity);
+    std::cout << "At " << pgas_capacity << " cores, MPI needs "
+              << util::format_double(
+                     mpi_rep.virtual_total_s() / pgas_rep.virtual_total_s(), 2)
+              << "x PGAS's time (network phase: "
+              << util::format_double(mpi_rep.virtual_time.network * 1e3, 2)
+              << " ms vs "
+              << util::format_double(pgas_rep.virtual_time.network * 1e3, 2)
+              << " ms). The paper reports 2.1x at 4 racks; the gap widens\n"
+                 "with rank count — see bench_fig7_pgas_mpi for the sweep.\n";
+  }
+  return 0;
+}

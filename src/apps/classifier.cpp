@@ -1,0 +1,118 @@
+#include "apps/classifier.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "util/prng.h"
+
+namespace compass::apps {
+
+PatternClassifier::PatternClassifier(arch::NeurosynapticCore& core,
+                                     std::span<const Image> templates,
+                                     const ClassifierOptions& options)
+    : core_(core),
+      templates_(templates.begin(), templates.end()),
+      options_(options) {
+  const std::size_t neurons = templates_.size() * options_.neurons_per_class;
+  if (templates_.empty() || options_.neurons_per_class == 0 ||
+      neurons > arch::kNeuronsPerCore) {
+    throw std::invalid_argument(
+        "PatternClassifier: classes x neurons_per_class must be in [1,256]");
+  }
+  if (options_.match_weight <= 0 || options_.mismatch_weight > 0) {
+    throw std::invalid_argument(
+        "PatternClassifier: match weight must be positive, mismatch <= 0");
+  }
+
+  // Axon types: pixels excitatory (0), complements inhibitory-ish (1).
+  for (unsigned i = 0; i < kImagePixels; ++i) {
+    core_.set_axon_type(i, 0);
+    core_.set_axon_type(kImagePixels + i, 1);
+  }
+
+  for (std::size_t cls = 0; cls < templates_.size(); ++cls) {
+    const Image& tmpl = templates_[cls];
+    int template_pixels = 0;
+    for (bool on : tmpl) {
+      if (on) ++template_pixels;
+    }
+    arch::NeuronParams params;
+    params.weights = {options_.match_weight, options_.mismatch_weight, 0, 0};
+    params.threshold = std::max<std::int32_t>(
+        1, static_cast<std::int32_t>(std::lround(
+               options_.threshold_fraction *
+               static_cast<double>(template_pixels * options_.match_weight))));
+    params.reset_value = 0;
+    params.floor = 0;  // scores reset between presentations
+    params.reset_mode = arch::ResetMode::kAbsolute;
+
+    for (unsigned copy = 0; copy < options_.neurons_per_class; ++copy) {
+      const unsigned j =
+          static_cast<unsigned>(cls) * options_.neurons_per_class + copy;
+      core_.configure_neuron(j, params, arch::AxonTarget{});
+      for (unsigned i = 0; i < kImagePixels; ++i) {
+        core_.set_synapse(i, j, tmpl[i]);                   // match term
+        core_.set_synapse(kImagePixels + i, j, !tmpl[i]);   // mismatch term
+      }
+    }
+  }
+}
+
+void PatternClassifier::present(const Image& image, arch::Tick at_tick) const {
+  const unsigned slot = static_cast<unsigned>(at_tick & (arch::kDelaySlots - 1));
+  for (unsigned i = 0; i < kImagePixels; ++i) {
+    if (image[i]) {
+      core_.deliver(i, slot);
+      core_.deliver(kImagePixels + i, slot);
+    }
+  }
+}
+
+int PatternClassifier::class_of_neuron(unsigned j) const {
+  const unsigned cls = j / options_.neurons_per_class;
+  return cls < templates_.size() ? static_cast<int>(cls) : -1;
+}
+
+int PatternClassifier::classify(const Image& image, arch::Tick tick) const {
+  present(image, tick);
+  core_.synapse_phase(tick);
+  std::vector<int> votes(templates_.size(), 0);
+  core_.neuron_phase(tick, [&](unsigned j, const arch::AxonTarget&) {
+    const int cls = class_of_neuron(j);
+    if (cls >= 0) ++votes[static_cast<std::size_t>(cls)];
+  });
+  // Clear residual potentials so back-to-back presentations are independent.
+  for (unsigned j = 0;
+       j < templates_.size() * options_.neurons_per_class; ++j) {
+    core_.set_potential(j, 0);
+  }
+  const auto best = std::max_element(votes.begin(), votes.end());
+  if (best == votes.end() || *best == 0) return -1;
+  return static_cast<int>(best - votes.begin());
+}
+
+Image corrupt(const Image& image, unsigned flips, std::uint64_t seed) {
+  Image out = image;
+  util::CorePrng prng(seed);
+  for (unsigned f = 0; f < flips; ++f) {
+    const unsigned i = prng.uniform_below(kImagePixels);
+    out[i] = !out[i];
+  }
+  return out;
+}
+
+std::string render(const Image& image) {
+  std::string out;
+  for (unsigned row = 0; row < 8; ++row) {
+    out += "  ";
+    for (unsigned col = 0; col < 16; ++col) {
+      out += image[row * 16 + col] ? '#' : '.';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace compass::apps

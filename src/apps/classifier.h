@@ -1,0 +1,80 @@
+// Template-matching pattern classifier on one neurosynaptic core.
+//
+// Section I lists "character recognition" among the applications
+// demonstrated on Compass/TrueNorth. This module implements the classic
+// crossbar realisation: class templates are stored as crossbar columns, so
+// presenting an image as spikes on the pixel axons makes every class neuron
+// integrate its template overlap in a single synapse phase.
+//
+// Encoding (one core, 128-pixel binary images):
+//   axons   0..127 — image pixels (axon type 0, excitatory weight +2),
+//   axons 128..255 — complemented pixels (axon type 1, weight -1): pixel i
+//                    spikes axon 128+i as well; a template neuron connects
+//                    to the complement axons of pixels it does NOT contain,
+//                    so off-template pixels are penalised.
+// Neuron j of class k therefore accumulates 2|I ∩ T_k| - |I \ T_k|; with a
+// threshold at a fraction of the template weight, only close matches fire.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "arch/core.h"
+#include "arch/types.h"
+
+namespace compass::apps {
+
+inline constexpr unsigned kImagePixels = 128;
+
+/// A binary image/template over kImagePixels pixels.
+using Image = std::array<bool, kImagePixels>;
+
+struct ClassifierOptions {
+  unsigned neurons_per_class = 4;  // redundant copies improve noise immunity
+  std::int16_t match_weight = 2;
+  std::int16_t mismatch_weight = -1;
+  /// Fire when the score reaches this fraction of a perfect match.
+  double threshold_fraction = 0.8;
+};
+
+class PatternClassifier {
+ public:
+  /// Store `templates` (one per class) into `core`. Throws if the class
+  /// count does not fit (classes x neurons_per_class <= 256).
+  PatternClassifier(arch::NeurosynapticCore& core,
+                    std::span<const Image> templates,
+                    const ClassifierOptions& options = {});
+
+  /// Present `image` for classification at tick `at_tick` (schedules pixel
+  /// and complement spikes; the synapse phase of that tick scores it).
+  void present(const Image& image, arch::Tick at_tick) const;
+
+  /// Map a firing neuron index back to its class.
+  int class_of_neuron(unsigned j) const;
+
+  /// Convenience single-shot classification outside a Compass run: presents
+  /// the image, executes one synapse+neuron phase on the core, and returns
+  /// the class with the most firing neurons (-1 if nothing fired).
+  int classify(const Image& image, arch::Tick tick = 0) const;
+
+  unsigned num_classes() const {
+    return static_cast<unsigned>(templates_.size());
+  }
+  const ClassifierOptions& options() const { return options_; }
+
+ private:
+  arch::NeurosynapticCore& core_;
+  std::vector<Image> templates_;
+  ClassifierOptions options_;
+};
+
+/// Corrupt an image by flipping `flips` deterministic pseudo-random pixels
+/// (test/demo helper).
+Image corrupt(const Image& image, unsigned flips, std::uint64_t seed);
+
+/// Render a 16x8 image as two lines of '#'/' ' (demo helper).
+std::string render(const Image& image);
+
+}  // namespace compass::apps

@@ -1,0 +1,91 @@
+#include "apps/motion.h"
+
+#include <stdexcept>
+
+namespace compass::apps {
+
+namespace {
+
+// Coincidence tuning: one input alone decays away the same tick; two
+// coincident inputs cross threshold. v = 2w - leak >= threshold > w - leak,
+// and w - leak damps to zero before the next tick can stack.
+constexpr std::int16_t kInputWeight = 10;
+constexpr std::int16_t kLeak = 5;
+constexpr std::int32_t kThreshold = 14;
+
+/// Relay `pixels` lanes of `core` to (dst, axon_base + lane) with `delay`.
+void configure_retina(arch::NeurosynapticCore& core, arch::CoreId dst,
+                      unsigned axon_base, std::uint8_t delay) {
+  arch::NeuronParams params;
+  params.weights = {64, 0, 0, 0};
+  params.threshold = 64;
+  params.reset_value = 0;
+  params.floor = 0;
+  for (unsigned i = 0; i < kRetinaPixels; ++i) {
+    core.set_axon_type(i, 0);
+    core.set_synapse(i, i, true);
+    core.configure_neuron(
+        i, params,
+        arch::AxonTarget{dst, static_cast<std::uint8_t>(axon_base + i), delay});
+  }
+}
+
+}  // namespace
+
+MotionDetector::MotionDetector(arch::Model& model, arch::CoreId retina_fast,
+                               arch::CoreId retina_slow, arch::CoreId detector,
+                               const MotionDetectorOptions& options)
+    : model_(model),
+      fast_(retina_fast),
+      slow_(retina_slow),
+      detector_(detector),
+      options_(options) {
+  if (options_.speed < 1 || options_.speed > arch::kMaxDelay - 1) {
+    throw std::invalid_argument("MotionDetector: speed must be in [1,14]");
+  }
+  if (fast_ == slow_ || slow_ == detector_ || fast_ == detector_) {
+    throw std::invalid_argument("MotionDetector: cores must be distinct");
+  }
+
+  // Fast path: pixel i -> detector axon i, delay 1.
+  configure_retina(model_.core(fast_), detector_, 0, 1);
+  // Slow path: pixel i -> detector axon 64+i, delay 1 + speed.
+  configure_retina(model_.core(slow_), detector_, kRetinaPixels,
+                   static_cast<std::uint8_t>(1 + options_.speed));
+
+  // Detector cells.
+  arch::NeurosynapticCore& det = model_.core(detector_);
+  arch::NeuronParams params;
+  params.weights = {kInputWeight, 0, 0, 0};
+  params.leak = kLeak;
+  params.threshold = kThreshold;
+  params.reset_value = 0;
+  params.floor = 0;
+  for (unsigned a = 0; a < 2 * kRetinaPixels; ++a) det.set_axon_type(a, 0);
+
+  for (unsigned i = 0; i < kRetinaPixels; ++i) {
+    // Rightward cell i: slow(i) coincides with fast(i + speed-step = i + 1).
+    det.configure_neuron(right_cell(i), params, arch::AxonTarget{});
+    if (i + 1 < kRetinaPixels) {
+      det.set_synapse(kRetinaPixels + i, right_cell(i), true);  // slow(i)
+      det.set_synapse(i + 1, right_cell(i), true);              // fast(i+1)
+    }
+    // Leftward cell i: slow(i) coincides with fast(i - 1).
+    det.configure_neuron(left_cell(i), params, arch::AxonTarget{});
+    if (i >= 1) {
+      det.set_synapse(kRetinaPixels + i, left_cell(i), true);  // slow(i)
+      det.set_synapse(i - 1, left_cell(i), true);              // fast(i-1)
+    }
+  }
+}
+
+void MotionDetector::stimulate(unsigned pixel, arch::Tick at_tick) const {
+  if (pixel >= kRetinaPixels) {
+    throw std::out_of_range("MotionDetector::stimulate: pixel out of range");
+  }
+  const unsigned slot = static_cast<unsigned>(at_tick & (arch::kDelaySlots - 1));
+  model_.core(fast_).deliver(pixel, slot);
+  model_.core(slow_).deliver(pixel, slot);
+}
+
+}  // namespace compass::apps

@@ -1,0 +1,60 @@
+// Reichardt-style motion detection — spatio-temporal feature extraction.
+//
+// Section I lists "optic flow" and "spatio-temporal feature extraction"
+// among the Compass-demonstrated applications. This module builds the
+// canonical delay-and-coincide direction detector on three neurosynaptic
+// cores:
+//
+//   retina_fast — relay core, forwards pixel spikes with delay 1;
+//   retina_slow — relay core over the same input, delay 1 + speed;
+//   detector    — coincidence neurons: a rightward cell at pixel i listens
+//                 to fast(i + speed) and slow(i); both spikes arrive in the
+//                 same tick only when a stimulus moves rightward by one
+//                 pixel per `speed` ticks. Leftward cells mirror this.
+//
+// Injecting a moving bar into both retinae makes the matching-direction
+// population fire and leaves the opposite one silent.
+#pragma once
+
+#include <cstdint>
+
+#include "arch/model.h"
+#include "arch/types.h"
+
+namespace compass::apps {
+
+inline constexpr unsigned kRetinaPixels = 64;
+
+struct MotionDetectorOptions {
+  /// The detector is tuned to 1 pixel per `speed` ticks (1..14; the slow
+  /// path's extra delay).
+  unsigned speed = 2;
+};
+
+class MotionDetector {
+ public:
+  /// Wire three cores of `model` (they must be distinct and blank).
+  MotionDetector(arch::Model& model, arch::CoreId retina_fast,
+                 arch::CoreId retina_slow, arch::CoreId detector,
+                 const MotionDetectorOptions& options = {});
+
+  /// Inject a one-pixel bright spot at `pixel`, visible to the retinae at
+  /// tick `at_tick` (caller sweeps the pixel over time to create motion).
+  void stimulate(unsigned pixel, arch::Tick at_tick) const;
+
+  /// Detector-core neuron index of the rightward (leftward) cell at pixel i.
+  static unsigned right_cell(unsigned i) { return i; }
+  static unsigned left_cell(unsigned i) { return kRetinaPixels + i; }
+  /// True if detector-core neuron j is a rightward cell.
+  static bool is_rightward(unsigned j) { return j < kRetinaPixels; }
+
+  arch::CoreId detector_core() const { return detector_; }
+  unsigned speed() const { return options_.speed; }
+
+ private:
+  arch::Model& model_;
+  arch::CoreId fast_, slow_, detector_;
+  MotionDetectorOptions options_;
+};
+
+}  // namespace compass::apps

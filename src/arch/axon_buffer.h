@@ -1,0 +1,68 @@
+// Per-core axonal-delay buffer.
+//
+// "A buffer for incoming spikes precedes each axon to account for axonal
+// delays" (paper figure 1). A spike sent at tick t with delay d becomes
+// visible to the synapse phase of tick t+d. The buffer is a ring of 16
+// slots, each a 256-bit mask over axons; scheduling is a single bit-set and
+// draining a slot is a 32-byte copy + clear. Because delivery is a bitwise
+// OR, delivery *order* cannot affect simulation results — the property that
+// lets the MPI and PGAS transports (and any thread interleaving) produce
+// identical spike traces.
+#pragma once
+
+#include <array>
+
+#include "arch/types.h"
+#include "util/bitops.h"
+
+namespace compass::arch {
+
+class AxonBuffer {
+ public:
+  /// Record a spike for `axon` arriving in absolute ring slot `slot`
+  /// (already reduced mod kDelaySlots by the caller/wire format).
+  void schedule(unsigned axon, unsigned slot) noexcept {
+    slots_[slot & (kDelaySlots - 1)].set(axon);
+  }
+
+  /// Read and clear the slot for tick `t`: the set of axons with a spike
+  /// ready for delivery this tick.
+  util::Bits256 drain(Tick t) noexcept {
+    util::Bits256& s = slots_[t & (kDelaySlots - 1)];
+    util::Bits256 out = s;
+    s.reset();
+    return out;
+  }
+
+  const util::Bits256& peek(Tick t) const noexcept {
+    return slots_[t & (kDelaySlots - 1)];
+  }
+
+  bool empty() const noexcept {
+    for (const auto& s : slots_) {
+      if (s.any()) return false;
+    }
+    return true;
+  }
+
+  /// Total scheduled spikes across all slots (test/inventory helper).
+  int pending() const noexcept {
+    int n = 0;
+    for (const auto& s : slots_) n += s.popcount();
+    return n;
+  }
+
+  void clear() noexcept {
+    for (auto& s : slots_) s.reset();
+  }
+
+  const util::Bits256& slot(unsigned i) const noexcept { return slots_[i]; }
+  util::Bits256& slot(unsigned i) noexcept { return slots_[i]; }
+
+  friend bool operator==(const AxonBuffer&, const AxonBuffer&) = default;
+
+ private:
+  std::array<util::Bits256, kDelaySlots> slots_{};
+};
+
+}  // namespace compass::arch

@@ -1,0 +1,68 @@
+#include "arch/core.h"
+
+#include <cassert>
+
+#include "util/bitops.h"
+
+namespace compass::arch {
+
+NeurosynapticCore::NeurosynapticCore() {
+  threshold_.fill(1);
+  floor_.fill(-(1 << 20));
+}
+
+void NeurosynapticCore::configure_neuron(unsigned j, const NeuronParams& params,
+                                         AxonTarget target) {
+  // Range errors here are reported by Model::validate(), which callers run
+  // on complete models; only the index is a hard precondition.
+  assert(j < kNeuronsPerCore);
+  for (unsigned g = 0; g < kAxonTypes; ++g) weight_[g][j] = params.weights[g];
+  leak_[j] = params.leak;
+  threshold_[j] = params.threshold;
+  reset_[j] = params.reset_value;
+  floor_[j] = params.floor;
+  reset_mode_[j] = static_cast<std::uint8_t>(params.reset_mode);
+  flags_[j] = params.flags;
+  tmask_bits_[j] = params.threshold_mask_bits;
+  target_[j] = target;
+}
+
+NeuronParams NeurosynapticCore::params_of(unsigned j) const {
+  NeuronParams p;
+  for (unsigned g = 0; g < kAxonTypes; ++g) p.weights[g] = weight_[g][j];
+  p.leak = leak_[j];
+  p.threshold = threshold_[j];
+  p.reset_value = reset_[j];
+  p.floor = floor_[j];
+  p.reset_mode = static_cast<ResetMode>(reset_mode_[j]);
+  p.flags = flags_[j];
+  p.threshold_mask_bits = tmask_bits_[j];
+  return p;
+}
+
+NeurosynapticCore::SynapseActivity NeurosynapticCore::synapse_phase(Tick t) {
+  const util::Bits256 active = buffer_.drain(t);
+  SynapseActivity activity;
+  if (!active.any()) return activity;
+  // Axons are processed in ascending order, and within a row neurons in
+  // ascending order; stochastic-synapse PRNG draws therefore happen in a
+  // fixed order for a given spike pattern ("when a TrueNorth core receives a
+  // tick from the slow clock, it cycles through each of its axons").
+  util::for_each_set_bit(active, [&](unsigned axon) {
+    ++activity.active_axons;
+    const std::uint8_t type = axon_type_[axon];
+    const auto& weights = weight_[type];
+    util::for_each_set_bit(crossbar_.row(axon), [&](unsigned j) {
+      ++activity.synaptic_events;
+      const std::int16_t w = weights[j];
+      if (flags_[j] & kStochasticSynapse) {
+        accum_[j] += synaptic_contribution(w, /*stochastic=*/true, prng_);
+      } else {
+        accum_[j] += w;
+      }
+    });
+  });
+  return activity;
+}
+
+}  // namespace compass::arch

@@ -1,0 +1,137 @@
+// The neurosynaptic core: the fundamental data structure of Compass.
+//
+// Paper section III: threads "independently simulate the synaptic crossbar
+// and neuron behavior of one or more TrueNorth cores". A core bundles the
+// 256x256 binary crossbar, the 16-slot axonal-delay buffer, per-axon types,
+// per-neuron parameters (stored as structure-of-arrays for the hot loops),
+// membrane potentials, one deterministic PRNG, and each neuron's single
+// (core, axon, delay) spike target.
+//
+// The per-tick protocol mirrors Listing 1 of the paper:
+//   synapse_phase(t)  — drain the delay slot for t; for each spiking axon,
+//                       walk its crossbar row and accumulate weights into
+//                       the per-neuron synaptic input accumulators.
+//   neuron_phase(t)   — integrate-leak-fire every neuron; emit one spike per
+//                       firing neuron to a caller-supplied sink.
+//   deliver(...)      — (network phase) schedule an incoming spike into the
+//                       delay buffer.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+
+#include "arch/axon_buffer.h"
+#include "arch/crossbar.h"
+#include "arch/neuron.h"
+#include "arch/types.h"
+#include "util/prng.h"
+
+namespace compass::arch {
+
+class NeurosynapticCore {
+ public:
+  NeurosynapticCore();
+
+  // --- Configuration (PCC-facing API) ------------------------------------
+
+  /// Seed the core's PRNG; PCC derives this from the model seed and the
+  /// global core id so results are partition-independent.
+  void reseed(std::uint64_t seed) { prng_.reseed(seed); }
+
+  /// Configure neuron `j`. `params.valid()` must hold (checked by assert in
+  /// debug builds; Model::validate() re-checks on full models).
+  void configure_neuron(unsigned j, const NeuronParams& params,
+                        AxonTarget target);
+
+  void set_axon_type(unsigned axon, std::uint8_t type) {
+    axon_type_[axon] = type;
+  }
+  void set_synapse(unsigned axon, unsigned neuron, bool connected = true) {
+    crossbar_.set(axon, neuron, connected);
+  }
+
+  // --- Simulation ---------------------------------------------------------
+
+  /// Network-phase entry point: schedule a spike on `axon` for ring slot
+  /// `slot` (the sender computed (t + delay) mod 16).
+  void deliver(unsigned axon, unsigned slot) { buffer_.schedule(axon, slot); }
+
+  /// Result of one synapse phase: how many axons had a spike ready, and how
+  /// many crossbar bits were traversed (synaptic events — the quantity the
+  /// energy model charges per traversal).
+  struct SynapseActivity {
+    int active_axons = 0;
+    int synaptic_events = 0;
+  };
+
+  /// Synapse phase for tick `t`.
+  SynapseActivity synapse_phase(Tick t);
+
+  /// Neuron phase for tick `t`. Calls `emit(neuron_index, target)` once per
+  /// firing neuron (in ascending neuron order — part of the deterministic
+  /// contract), including neurons with no configured target (the caller
+  /// checks target.connected() before routing). Returns the number fired.
+  template <typename Sink>
+  int neuron_phase(Tick t, Sink&& emit) {
+    int fired = 0;
+    for (unsigned j = 0; j < kNeuronsPerCore; ++j) {
+      std::int32_t v = potential_[j];
+      const std::int32_t input = accum_[j];
+      accum_[j] = 0;
+      NeuronParams p = params_of(j);
+      if (neuron_step(p, v, input, prng_)) {
+        ++fired;
+        emit(j, target_[j]);
+      }
+      potential_[j] = v;
+    }
+    (void)t;
+    return fired;
+  }
+
+  // --- Introspection -------------------------------------------------------
+
+  std::int32_t potential(unsigned j) const { return potential_[j]; }
+  void set_potential(unsigned j, std::int32_t v) { potential_[j] = v; }
+  std::int32_t pending_input(unsigned j) const { return accum_[j]; }
+  const Crossbar& crossbar() const { return crossbar_; }
+  const AxonBuffer& buffer() const { return buffer_; }
+  AxonBuffer& buffer() { return buffer_; }
+  std::uint8_t axon_type(unsigned axon) const { return axon_type_[axon]; }
+  AxonTarget target(unsigned j) const { return target_[j]; }
+  NeuronParams params_of(unsigned j) const;
+  std::uint64_t synapse_count() const { return crossbar_.synapse_count(); }
+  util::CorePrng& prng() { return prng_; }
+  Crossbar& mutable_crossbar() { return crossbar_; }
+
+  /// Binary checkpoint of the complete core state (configuration, membrane
+  /// potentials, delay buffer, PRNG state). Same-architecture round trip.
+  void save(std::ostream& os) const;
+  void load(std::istream& is);
+
+  friend bool operator==(const NeurosynapticCore&,
+                         const NeurosynapticCore&) = default;
+
+ private:
+  Crossbar crossbar_;
+  AxonBuffer buffer_;
+  std::array<std::uint8_t, kAxonsPerCore> axon_type_{};
+
+  // Neuron state, structure-of-arrays.
+  std::array<std::array<std::int16_t, kNeuronsPerCore>, kAxonTypes> weight_{};
+  std::array<std::int16_t, kNeuronsPerCore> leak_{};
+  std::array<std::int32_t, kNeuronsPerCore> threshold_;
+  std::array<std::int32_t, kNeuronsPerCore> reset_{};
+  std::array<std::int32_t, kNeuronsPerCore> floor_;
+  std::array<std::uint8_t, kNeuronsPerCore> reset_mode_{};
+  std::array<std::uint8_t, kNeuronsPerCore> flags_{};
+  std::array<std::uint8_t, kNeuronsPerCore> tmask_bits_{};
+  std::array<AxonTarget, kNeuronsPerCore> target_{};
+  std::array<std::int32_t, kNeuronsPerCore> potential_{};
+  std::array<std::int32_t, kNeuronsPerCore> accum_{};
+
+  util::CorePrng prng_;
+};
+
+}  // namespace compass::arch

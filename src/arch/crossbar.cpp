@@ -1,0 +1,4 @@
+// Crossbar is header-only; this TU exists so the arch library always has at
+// least the neuron/core/model objects plus a home for future out-of-line
+// crossbar helpers (serialisation lives in model.cpp).
+#include "arch/crossbar.h"

@@ -1,0 +1,56 @@
+// 256x256 binary synaptic crossbar.
+//
+// A TrueNorth synapse is one bit at the intersection of a horizontal axon
+// line and a vertical dendrite line (figure 1 of the paper). Storing rows as
+// 256-bit masks is the paper's headline memory innovation versus the C2
+// simulator ("the synapse is simplified to a bit, resulting in 32x less
+// storage"); it also makes spike propagation a sparse iteration over set
+// bits of the active axon's row.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "arch/types.h"
+#include "util/bitops.h"
+
+namespace compass::arch {
+
+class Crossbar {
+ public:
+  /// Set/clear the synapse between axon row `axon` and neuron column
+  /// `neuron`.
+  void set(unsigned axon, unsigned neuron, bool connected = true) noexcept {
+    if (connected) {
+      rows_[axon].set(neuron);
+    } else {
+      rows_[axon].clear(neuron);
+    }
+  }
+
+  bool test(unsigned axon, unsigned neuron) const noexcept {
+    return rows_[axon].test(neuron);
+  }
+
+  const util::Bits256& row(unsigned axon) const noexcept { return rows_[axon]; }
+  util::Bits256& mutable_row(unsigned axon) noexcept { return rows_[axon]; }
+
+  void clear() noexcept {
+    for (auto& r : rows_) r.reset();
+  }
+
+  /// Number of set synapses (used for model inventory reporting: the paper
+  /// counts 16T synapses at full scale).
+  std::uint64_t synapse_count() const noexcept {
+    std::uint64_t n = 0;
+    for (const auto& r : rows_) n += static_cast<std::uint64_t>(r.popcount());
+    return n;
+  }
+
+  friend bool operator==(const Crossbar&, const Crossbar&) = default;
+
+ private:
+  std::array<util::Bits256, kAxonsPerCore> rows_{};
+};
+
+}  // namespace compass::arch

@@ -1,0 +1,209 @@
+#include "arch/model.h"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/prng.h"
+
+namespace compass::arch {
+
+namespace {
+
+// Little-endian same-architecture binary I/O. The format is a pragmatic
+// checkpoint format, not an interchange format; Model::load throws on any
+// header mismatch.
+constexpr std::uint32_t kMagic = 0x434D5053;  // "CMPS"
+constexpr std::uint32_t kVersion = 2;
+
+template <typename T>
+void write_pod(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+void read_pod(std::istream& is, T& v) {
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+}
+
+template <typename T, std::size_t N>
+void write_array(std::ostream& os, const std::array<T, N>& a) {
+  os.write(reinterpret_cast<const char*>(a.data()), sizeof(T) * N);
+}
+
+template <typename T, std::size_t N>
+void read_array(std::istream& is, std::array<T, N>& a) {
+  is.read(reinterpret_cast<char*>(a.data()), sizeof(T) * N);
+}
+
+}  // namespace
+
+void NeurosynapticCore::save(std::ostream& os) const {
+  for (unsigned axon = 0; axon < kAxonsPerCore; ++axon) {
+    write_array(os, crossbar_.row(axon).w);
+  }
+  for (unsigned s = 0; s < kDelaySlots; ++s) write_array(os, buffer_.slot(s).w);
+  write_array(os, axon_type_);
+  for (unsigned g = 0; g < kAxonTypes; ++g) write_array(os, weight_[g]);
+  write_array(os, leak_);
+  write_array(os, threshold_);
+  write_array(os, reset_);
+  write_array(os, floor_);
+  write_array(os, reset_mode_);
+  write_array(os, flags_);
+  write_array(os, tmask_bits_);
+  for (const AxonTarget& t : target_) {
+    write_pod(os, t.core);
+    write_pod(os, t.axon);
+    write_pod(os, t.delay);
+  }
+  write_array(os, potential_);
+  write_array(os, accum_);
+  write_pod(os, prng_.state());
+}
+
+void NeurosynapticCore::load(std::istream& is) {
+  for (unsigned axon = 0; axon < kAxonsPerCore; ++axon) {
+    read_array(is, crossbar_.mutable_row(axon).w);
+  }
+  for (unsigned s = 0; s < kDelaySlots; ++s) read_array(is, buffer_.slot(s).w);
+  read_array(is, axon_type_);
+  for (unsigned g = 0; g < kAxonTypes; ++g) read_array(is, weight_[g]);
+  read_array(is, leak_);
+  read_array(is, threshold_);
+  read_array(is, reset_);
+  read_array(is, floor_);
+  read_array(is, reset_mode_);
+  read_array(is, flags_);
+  read_array(is, tmask_bits_);
+  for (AxonTarget& t : target_) {
+    read_pod(is, t.core);
+    read_pod(is, t.axon);
+    read_pod(is, t.delay);
+  }
+  read_array(is, potential_);
+  read_array(is, accum_);
+  std::uint64_t prng_state = 0;
+  read_pod(is, prng_state);
+  prng_.set_state(prng_state);
+}
+
+Model::Model(std::size_t num_cores, std::uint64_t seed)
+    : cores_(num_cores), region_(num_cores, 0), seed_(seed) {
+  reseed_cores();
+}
+
+void Model::reseed_cores() {
+  for (std::size_t i = 0; i < cores_.size(); ++i) {
+    cores_[i].reseed(util::derive_seed(seed_, i));
+  }
+}
+
+std::uint16_t Model::num_regions() const {
+  std::uint16_t max_region = 0;
+  for (std::uint16_t r : region_) max_region = std::max(max_region, r);
+  return region_.empty() ? std::uint16_t{0}
+                         : static_cast<std::uint16_t>(max_region + 1);
+}
+
+ModelInventory Model::inventory() const {
+  ModelInventory inv;
+  inv.cores = cores_.size();
+  inv.neurons = inv.cores * kNeuronsPerCore;
+  for (const auto& core : cores_) {
+    inv.synapses += core.synapse_count();
+    for (unsigned j = 0; j < kNeuronsPerCore; ++j) {
+      if (core.target(j).connected()) ++inv.connected_neurons;
+    }
+  }
+  return inv;
+}
+
+std::string Model::validate() const {
+  for (std::size_t c = 0; c < cores_.size(); ++c) {
+    const auto& core = cores_[c];
+    for (unsigned j = 0; j < kNeuronsPerCore; ++j) {
+      const AxonTarget t = core.target(j);
+      if (t.connected()) {
+        if (t.core >= cores_.size()) {
+          std::ostringstream err;
+          err << "core " << c << " neuron " << j << ": target core " << t.core
+              << " out of range (model has " << cores_.size() << " cores)";
+          return err.str();
+        }
+        if (t.axon >= kAxonsPerCore) {
+          std::ostringstream err;
+          err << "core " << c << " neuron " << j << ": target axon "
+              << int(t.axon) << " out of range";
+          return err.str();
+        }
+        if (t.delay < kMinDelay || t.delay > kMaxDelay) {
+          std::ostringstream err;
+          err << "core " << c << " neuron " << j << ": delay " << int(t.delay)
+              << " outside [1,15]";
+          return err.str();
+        }
+      }
+      if (!core.params_of(j).valid()) {
+        std::ostringstream err;
+        err << "core " << c << " neuron " << j << ": invalid parameters";
+        return err.str();
+      }
+    }
+  }
+  return {};
+}
+
+void Model::save(std::ostream& os) const {
+  write_pod(os, kMagic);
+  write_pod(os, kVersion);
+  write_pod(os, static_cast<std::uint64_t>(cores_.size()));
+  write_pod(os, seed_);
+  os.write(reinterpret_cast<const char*>(region_.data()),
+           static_cast<std::streamsize>(region_.size() * sizeof(std::uint16_t)));
+  for (const auto& core : cores_) core.save(os);
+}
+
+Model Model::load(std::istream& is) {
+  std::uint32_t magic = 0, version = 0;
+  std::uint64_t count = 0, seed = 0;
+  read_pod(is, magic);
+  read_pod(is, version);
+  if (!is || magic != kMagic || version != kVersion) {
+    throw std::runtime_error("Model::load: bad header");
+  }
+  read_pod(is, count);
+  read_pod(is, seed);
+  Model m;
+  m.seed_ = seed;
+  m.cores_.resize(count);
+  m.region_.resize(count);
+  is.read(reinterpret_cast<char*>(m.region_.data()),
+          static_cast<std::streamsize>(count * sizeof(std::uint16_t)));
+  for (auto& core : m.cores_) core.load(is);
+  if (!is) throw std::runtime_error("Model::load: truncated stream");
+  return m;
+}
+
+bool Model::save_file(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) return false;
+  save(os);
+  return static_cast<bool>(os);
+}
+
+Model Model::load_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("Model::load_file: cannot open " + path);
+  return load(is);
+}
+
+bool operator==(const Model& a, const Model& b) {
+  return a.seed_ == b.seed_ && a.region_ == b.region_ && a.cores_ == b.cores_;
+}
+
+}  // namespace compass::arch

@@ -1,0 +1,80 @@
+// A Model is a fully configured network of neurosynaptic cores — the object
+// Compass simulates. It owns the cores, per-core region labels (used by the
+// CoCoMac workload and by region-aware partitioning), and the global seed
+// from which every core PRNG is derived.
+//
+// Models also serialise to an explicit binary file. The paper's Parallel
+// Compass Compiler exists precisely because such files are impractical at
+// scale ("the network model specification for Compass can be on the order
+// of several terabytes... Parallel model generation using the compiler
+// requires only few minutes as compared to several hours to read or write it
+// to disk"); bench_pcc_compile reproduces that comparison with this format.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "arch/core.h"
+#include "arch/types.h"
+
+namespace compass::arch {
+
+/// Inventory line for reporting (cores / neurons / synapses, as in the
+/// paper's abstract: 256M cores, 65B neurons, 16T synapses).
+struct ModelInventory {
+  std::uint64_t cores = 0;
+  std::uint64_t neurons = 0;
+  std::uint64_t synapses = 0;
+  std::uint64_t connected_neurons = 0;  // neurons with a spike target
+};
+
+class Model {
+ public:
+  Model() = default;
+
+  /// Create `num_cores` blank cores; each core's PRNG is seeded from
+  /// (seed, core id) so that simulation results are independent of how the
+  /// model is later partitioned.
+  Model(std::size_t num_cores, std::uint64_t seed);
+
+  std::size_t num_cores() const noexcept { return cores_.size(); }
+  std::uint64_t seed() const noexcept { return seed_; }
+
+  NeurosynapticCore& core(CoreId id) { return cores_[id]; }
+  const NeurosynapticCore& core(CoreId id) const { return cores_[id]; }
+
+  /// Region label (CoCoMac brain region / PCC functional region) per core.
+  void set_region(CoreId id, std::uint16_t region) { region_[id] = region; }
+  std::uint16_t region(CoreId id) const { return region_[id]; }
+  std::uint16_t num_regions() const;
+
+  ModelInventory inventory() const;
+
+  /// Re-derive every core's PRNG seed from the model seed. PCC calls this
+  /// after wiring so that model *construction* randomness (which consumes
+  /// core PRNGs) never leaks into *simulation* randomness.
+  void reseed_cores();
+
+  /// Structural validation: every connected neuron targets an existing
+  /// core/axon with a legal delay; every neuron's parameters are in range.
+  /// Returns an empty string on success, else a description of the first
+  /// violation.
+  std::string validate() const;
+
+  // --- Explicit model file (binary) ---------------------------------------
+  void save(std::ostream& os) const;
+  static Model load(std::istream& is);
+  bool save_file(const std::string& path) const;
+  static Model load_file(const std::string& path);
+
+  friend bool operator==(const Model& a, const Model& b);
+
+ private:
+  std::vector<NeurosynapticCore> cores_;
+  std::vector<std::uint16_t> region_;
+  std::uint64_t seed_ = 0;
+};
+
+}  // namespace compass::arch

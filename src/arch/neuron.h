@@ -1,0 +1,76 @@
+// TrueNorth digital integrate-leak-and-fire neuron model.
+//
+// Paper section II: "Neurons are digital integrate-leak-and-fire circuits,
+// characterized by configurable parameters sufficient to produce a rich
+// repertoire of dynamic and functional behavior." Each neuron carries four
+// signed synaptic weights indexed by the source axon's type, a signed leak,
+// a positive threshold with optional stochastic jitter, and a configurable
+// reset behaviour. All stochastic elements draw from the core's
+// deterministic PRNG in a fixed order, making the simulation bit-exact and
+// independent of partitioning — the property behind the paper's claim of
+// one-to-one equivalence between Compass and TrueNorth hardware.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "arch/types.h"
+#include "util/prng.h"
+
+namespace compass::arch {
+
+/// What happens to the membrane potential when the neuron fires.
+enum class ResetMode : std::uint8_t {
+  kAbsolute = 0,  // V <- reset_value
+  kLinear = 1,    // V <- V - threshold (preserves super-threshold residue)
+  kNone = 2,      // V unchanged (free-running burster)
+};
+
+/// Bit flags enabling the stochastic variants of each dynamics term.
+enum NeuronFlags : std::uint8_t {
+  kStochasticSynapse = 1u << 0,   // weight applied as sign(s) w.p. |s|/256
+  kStochasticLeak = 1u << 1,      // leak applied as sign(l) w.p. |l|/256
+  kStochasticThreshold = 1u << 2, // threshold += uniform[0, 2^mask_bits - 1]
+};
+
+/// Full per-neuron parameterisation. 'Weights' are indexed by axon type
+/// (G in the paper's notation); values are 9-bit signed in hardware, stored
+/// as int16 here and validated on configuration.
+struct NeuronParams {
+  std::array<std::int16_t, kAxonTypes> weights{0, 0, 0, 0};
+  std::int16_t leak = 0;            // subtracted every tick (signed)
+  std::int32_t threshold = 1;       // alpha > 0
+  std::int32_t reset_value = 0;     // R, used by ResetMode::kAbsolute
+  std::int32_t floor = -(1 << 20);  // negative saturation bound
+  ResetMode reset_mode = ResetMode::kAbsolute;
+  std::uint8_t flags = 0;
+  std::uint8_t threshold_mask_bits = 0;  // k: jitter in [0, 2^k - 1]
+
+  /// True when all fields are inside the hardware's representable ranges.
+  bool valid() const noexcept;
+};
+
+/// Scalar reference implementation of one neuron tick, used by the core's
+/// vectorised loop and, independently, by the unit tests as ground truth.
+///
+/// `synaptic_input` is the integrated crossbar contribution for this tick
+/// (already stochastic-resolved if kStochasticSynapse is set). Returns true
+/// if the neuron fired; `potential` is updated in place.
+bool neuron_step(const NeuronParams& p, std::int32_t& potential,
+                 std::int32_t synaptic_input, util::CorePrng& prng);
+
+/// Resolve one synaptic event's contribution for a neuron: deterministic
+/// weight, or a +/-1 Bernoulli draw for stochastic synapses. Exposed so the
+/// crossbar propagation loop and the reference tests share one definition.
+inline std::int32_t synaptic_contribution(std::int16_t weight, bool stochastic,
+                                          util::CorePrng& prng) {
+  if (!stochastic) return weight;
+  if (weight == 0) return 0;
+  const std::uint8_t p8 =
+      static_cast<std::uint8_t>(weight > 0 ? (weight > 255 ? 255 : weight)
+                                           : (weight < -255 ? 255 : -weight));
+  if (!prng.bernoulli_8(p8)) return 0;
+  return weight > 0 ? 1 : -1;
+}
+
+}  // namespace compass::arch

@@ -1,0 +1,41 @@
+// Spike wire format.
+//
+// Only spikes ever leave or enter a TrueNorth core (paper section II), so
+// this 8-byte record is the sole inter-core, inter-process datum in the
+// whole simulator. The sender resolves the axonal delay into an absolute
+// ring-buffer slot, so receivers schedule with a single bit-set and need no
+// knowledge of the send tick.
+//
+// For communication-volume accounting the benches charge a configurable
+// per-spike wire size (default 20 bytes, matching section VI-B: "at 20
+// bytes per spike"); the in-memory record stays 8 bytes.
+#pragma once
+
+#include <cstdint>
+
+#include "arch/types.h"
+
+namespace compass::arch {
+
+struct WireSpike {
+  CoreId core = 0;          // destination core (global id)
+  std::uint16_t axon = 0;   // destination axon [0, 256)
+  std::uint16_t slot = 0;   // destination delay-ring slot [0, 16)
+
+  friend bool operator==(const WireSpike&, const WireSpike&) = default;
+};
+static_assert(sizeof(WireSpike) == 8, "wire record must stay compact");
+
+/// Paper's accounting size for one spike on the Blue Gene torus.
+inline constexpr unsigned kPaperSpikeWireBytes = 20;
+
+/// Compose a wire spike from a firing neuron's target at tick `t`.
+inline WireSpike make_wire_spike(const AxonTarget& target, Tick t) {
+  return WireSpike{
+      target.core,
+      static_cast<std::uint16_t>(target.axon),
+      static_cast<std::uint16_t>((t + target.delay) & (kDelaySlots - 1)),
+  };
+}
+
+}  // namespace compass::arch

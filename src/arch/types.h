@@ -1,0 +1,42 @@
+// Architectural constants and identifier types for the simulated TrueNorth
+// system. The paper simulates the specific core instance with 256 axons,
+// 256 dendrites/neurons, and a 256x256 binary synaptic crossbar (section II);
+// those dimensions are compile-time constants here, which lets the crossbar
+// and axon buffers use dense 256-bit rows.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace compass::arch {
+
+using CoreId = std::uint32_t;
+using Tick = std::uint64_t;
+
+inline constexpr unsigned kAxonsPerCore = 256;
+inline constexpr unsigned kNeuronsPerCore = 256;
+inline constexpr unsigned kAxonTypes = 4;
+
+/// Axonal delays are 1..15 ticks; the axon buffer is a 16-slot ring indexed
+/// by (tick + delay) mod 16, so a delay of 0 would collide with the slot
+/// being drained in the same tick and is disallowed.
+inline constexpr unsigned kMinDelay = 1;
+inline constexpr unsigned kMaxDelay = 15;
+inline constexpr unsigned kDelaySlots = 16;
+
+inline constexpr CoreId kInvalidCore = std::numeric_limits<CoreId>::max();
+
+/// Destination of one neuron's spikes: a single (core, axon) pair plus the
+/// axonal delay. Fan-out happens through the target core's crossbar row, so
+/// one target per neuron suffices — exactly the TrueNorth point-to-point
+/// spike routing model.
+struct AxonTarget {
+  CoreId core = kInvalidCore;
+  std::uint8_t axon = 0;
+  std::uint8_t delay = kMinDelay;
+
+  bool connected() const noexcept { return core != kInvalidCore; }
+  friend bool operator==(const AxonTarget&, const AxonTarget&) = default;
+};
+
+}  // namespace compass::arch

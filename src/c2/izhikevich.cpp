@@ -1,0 +1,28 @@
+#include "c2/izhikevich.h"
+
+namespace compass::c2 {
+
+bool izhikevich_step(const IzhikevichParams& params, IzhikevichState& state,
+                     float current) {
+  bool fired = false;
+  for (int substep = 0; substep < 2; ++substep) {
+    // Spike test precedes integration within each substep so the reset is
+    // applied exactly once per threshold crossing.
+    if (state.v >= 30.0f) {
+      fired = true;
+      state.v = params.c;
+      state.u += params.d;
+    }
+    const float v = state.v;
+    state.v += 0.5f * (0.04f * v * v + 5.0f * v + 140.0f - state.u + current);
+    state.u += 0.5f * (params.a * (params.b * v - state.u));
+  }
+  if (state.v >= 30.0f) {
+    // Clamp the overshoot so the reported trajectory peaks at +30 mV, as in
+    // Izhikevich's reference implementation.
+    state.v = 30.0f;
+  }
+  return fired;
+}
+
+}  // namespace compass::c2

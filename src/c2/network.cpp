@@ -1,0 +1,123 @@
+#include "c2/network.h"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/bitops.h"
+
+namespace compass::c2 {
+
+NeuronId Network::add_neuron(const IzhikevichParams& params) {
+  assert(!finalized_);
+  params_.push_back(params);
+  IzhikevichState state;
+  state.u = params.b * state.v;
+  states_.push_back(state);
+  return static_cast<NeuronId>(params_.size() - 1);
+}
+
+void Network::add_synapse(NeuronId src, const Synapse& synapse) {
+  assert(!finalized_);
+  if (synapse.target >= params_.size()) {
+    throw std::out_of_range("c2::Network::add_synapse: bad target");
+  }
+  // CSR construction requires non-decreasing source ids.
+  while (offsets_.size() <= src) {
+    offsets_.push_back(synapses_.size());
+  }
+  if (offsets_.size() != src + 1) {
+    throw std::logic_error("c2::Network::add_synapse: sources must ascend");
+  }
+  synapses_.push_back(synapse);
+}
+
+void Network::finalize() {
+  while (offsets_.size() <= params_.size()) {
+    offsets_.push_back(synapses_.size());
+  }
+  ring_.assign(params_.size() * kSlots, 0);
+  finalized_ = true;
+}
+
+std::uint64_t Network::total_bytes() const {
+  return synapse_bytes() + params_.size() * sizeof(IzhikevichParams) +
+         states_.size() * sizeof(IzhikevichState) +
+         ring_.size() * sizeof(std::int32_t) +
+         incoming_.size() * sizeof(std::uint64_t) +
+         incoming_offsets_.size() * sizeof(std::uint64_t) +
+         last_arrival_.size() * sizeof(std::uint32_t);
+}
+
+void Network::enable_plasticity() {
+  if (!finalized_) {
+    throw std::logic_error("c2::Network::enable_plasticity: finalize first");
+  }
+  const std::size_t n = params_.size();
+  incoming_offsets_.assign(n + 1, 0);
+  for (const Synapse& s : synapses_) {
+    ++incoming_offsets_[s.target + 1];
+  }
+  for (std::size_t i = 1; i <= n; ++i) {
+    incoming_offsets_[i] += incoming_offsets_[i - 1];
+  }
+  incoming_.resize(synapses_.size());
+  std::vector<std::uint64_t> cursor(incoming_offsets_.begin(),
+                                    incoming_offsets_.end() - 1);
+  for (std::uint64_t idx = 0; idx < synapses_.size(); ++idx) {
+    incoming_[cursor[synapses_[idx].target]++] = idx;
+  }
+  last_arrival_.assign(synapses_.size(), 0);
+}
+
+namespace {
+
+bool interleaved_inhibitory(unsigned j, double excitatory_fraction) {
+  const double inh = 1.0 - excitatory_fraction;
+  return std::floor(static_cast<double>(j + 1) * inh) >
+         std::floor(static_cast<double>(j) * inh);
+}
+
+}  // namespace
+
+Network from_compass(const arch::Model& model, const ConversionOptions& options) {
+  using arch::kNeuronsPerCore;
+  Network net;
+
+  // Pass 1: neurons. Global id of (core c, neuron j) is c * 256 + j; the
+  // intra-core index decides the cell class, matching the PCC interleave.
+  for (arch::CoreId c = 0; c < model.num_cores(); ++c) {
+    for (unsigned j = 0; j < kNeuronsPerCore; ++j) {
+      net.add_neuron(interleaved_inhibitory(j, options.excitatory_fraction)
+                         ? IzhikevichParams::fast_spiking()
+                         : IzhikevichParams::regular_spiking());
+    }
+  }
+
+  // Pass 2: synapses, in ascending source order. Source (c, j) projects to
+  // axon (tc, ta); that axon's crossbar row fans out to the actual targets,
+  // each with the weight the target neuron assigns to the axon's type.
+  for (arch::CoreId c = 0; c < model.num_cores(); ++c) {
+    const arch::NeurosynapticCore& core = model.core(c);
+    for (unsigned j = 0; j < kNeuronsPerCore; ++j) {
+      const NeuronId src = static_cast<NeuronId>(c) * kNeuronsPerCore + j;
+      const arch::AxonTarget t = core.target(j);
+      if (!t.connected()) continue;
+      const arch::NeurosynapticCore& tcore = model.core(t.core);
+      const std::uint8_t type = tcore.axon_type(t.axon);
+      util::for_each_set_bit(
+          tcore.crossbar().row(t.axon), [&](unsigned k) {
+            Synapse s;
+            s.target = static_cast<NeuronId>(t.core) * kNeuronsPerCore + k;
+            s.weight = tcore.params_of(k).weights[type];
+            s.delay = t.delay;
+            net.add_synapse(src, s);
+          });
+    }
+  }
+
+  net.finalize();
+  return net;
+}
+
+}  // namespace compass::c2

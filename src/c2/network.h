@@ -1,0 +1,136 @@
+// C2-style network representation: the synapse is the fundamental data
+// structure.
+//
+// Paper section I, contrasting Compass with its predecessor: "First, the
+// fundamental data structure is a neurosynaptic core instead of a synapse;
+// the synapse is simplified to a bit, resulting in 32x less storage required
+// for the synapse data structure as compared to C2." This module implements
+// the C2 side of that comparison: every synapse is an explicit record
+// (target, weight, delay, plasticity flags) held in per-source-neuron CSR
+// lists, and neurons are Izhikevich point neurons with per-neuron delayed
+// current accumulators.
+//
+// A converter unrolls a Compass Model into this representation so the two
+// simulators can run the *same* network for the baseline benches.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "arch/model.h"
+#include "c2/izhikevich.h"
+
+namespace compass::c2 {
+
+using NeuronId = std::uint32_t;
+
+/// Explicit per-synapse record, 8 bytes. (One Compass synapse is one bit,
+/// so the storage ratio is 64 bits : 1 bit; the paper quotes 32x for C2's
+/// 4-byte synapse — both orders of magnitude away from the bit crossbar.)
+struct Synapse {
+  NeuronId target = 0;          // global target neuron
+  std::int16_t weight = 0;      // current injected on arrival (fixed point)
+  std::uint8_t delay = 1;       // 1..15 ticks
+  std::uint8_t flags = 0;       // plasticity markers (unused here)
+};
+static_assert(sizeof(Synapse) == 8);
+
+class Network {
+ public:
+  /// Append a neuron; returns its id.
+  NeuronId add_neuron(const IzhikevichParams& params);
+
+  /// Append synapses for source neuron `src` (must be called in ascending
+  /// src order; finalize() seals the CSR).
+  void add_synapse(NeuronId src, const Synapse& synapse);
+  void finalize();
+
+  std::size_t num_neurons() const { return params_.size(); }
+  std::uint64_t num_synapses() const { return synapses_.size(); }
+  bool finalized() const { return finalized_; }
+
+  std::span<const Synapse> outgoing(NeuronId src) const {
+    return {synapses_.data() + offsets_[src],
+            offsets_[src + 1] - offsets_[src]};
+  }
+  const IzhikevichParams& params(NeuronId n) const { return params_[n]; }
+  IzhikevichState& state(NeuronId n) { return states_[n]; }
+  const IzhikevichState& state(NeuronId n) const { return states_[n]; }
+
+  /// Delayed-current ring: add `current` for delivery at ring slot `slot`.
+  void deposit(NeuronId n, unsigned slot, std::int32_t current) {
+    ring_[n * kSlots + (slot & (kSlots - 1))] += current;
+  }
+  /// Drain neuron n's current for tick t (read + clear).
+  std::int32_t drain(NeuronId n, std::uint64_t t) {
+    std::int32_t& cell = ring_[n * kSlots + (t & (kSlots - 1))];
+    const std::int32_t v = cell;
+    cell = 0;
+    return v;
+  }
+
+  /// Build the incoming-synapse index and per-synapse arrival timestamps
+  /// needed by STDP (heavier state — exactly the per-synapse overhead the
+  /// bit crossbar avoids). Call after finalize().
+  void enable_plasticity();
+  bool plasticity_enabled() const { return !incoming_offsets_.empty(); }
+
+  /// Synapse indices terminating at neuron `n` (requires plasticity).
+  std::span<const std::uint64_t> incoming(NeuronId n) const {
+    return {incoming_.data() + incoming_offsets_[n],
+            incoming_offsets_[n + 1] - incoming_offsets_[n]};
+  }
+  /// Mutable access for the simulator's STDP updates.
+  Synapse& synapse(std::uint64_t index) { return synapses_[index]; }
+  const Synapse& synapse(std::uint64_t index) const { return synapses_[index]; }
+  std::uint32_t last_arrival(std::uint64_t index) const {
+    return last_arrival_[index];
+  }
+  void set_last_arrival(std::uint64_t index, std::uint32_t tick) {
+    last_arrival_[index] = tick;
+  }
+  /// Global synapse index range of neuron `src`'s outgoing list.
+  std::uint64_t outgoing_begin(NeuronId src) const { return offsets_[src]; }
+
+  /// Bytes devoted to synapse storage (the 32x comparison's numerator).
+  std::uint64_t synapse_bytes() const {
+    return num_synapses() * sizeof(Synapse) +
+           offsets_.size() * sizeof(std::uint64_t);
+  }
+  /// Total state bytes (synapses + neuron dynamics + current rings).
+  std::uint64_t total_bytes() const;
+
+  static constexpr unsigned kSlots = 16;
+
+ private:
+  std::vector<IzhikevichParams> params_;
+  std::vector<IzhikevichState> states_;
+  std::vector<Synapse> synapses_;
+  std::vector<std::uint64_t> offsets_;  // CSR, size num_neurons + 1
+  std::vector<std::int32_t> ring_;      // num_neurons x kSlots
+  // Plasticity state (built on demand).
+  std::vector<std::uint64_t> incoming_;          // synapse ids by target
+  std::vector<std::uint64_t> incoming_offsets_;  // CSR over targets
+  std::vector<std::uint32_t> last_arrival_;      // per synapse, tick + 1 (0 = never)
+  bool finalized_ = false;
+};
+
+struct ConversionOptions {
+  /// Current injected per unit of Compass synaptic weight. Chosen so a
+  /// handful of coincident excitatory spikes drive an Izhikevich cell to
+  /// threshold, approximating the source network's operating point.
+  float current_per_weight = 3.0f;
+  /// Inhibitory neurons (by the PCC interleave) become fast-spiking cells.
+  double excitatory_fraction = 0.8;
+};
+
+/// Unroll a Compass model: neuron (c, j) becomes global neuron c*256+j; each
+/// set crossbar bit (axon i, neuron j) of core c becomes one explicit
+/// synapse from the neuron that targets (c, i) to neuron (c, j), with the
+/// source neuron's weight-by-axon-type resolved into the synapse record —
+/// exactly the flattening the bit crossbar avoids.
+Network from_compass(const arch::Model& model,
+                     const ConversionOptions& options = {});
+
+}  // namespace compass::c2

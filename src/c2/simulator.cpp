@@ -1,0 +1,200 @@
+#include "c2/simulator.h"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+#include "util/prng.h"
+#include "util/stopwatch.h"
+
+namespace compass::c2 {
+
+namespace {
+
+/// Partition-independent noise draw: one SplitMix64 mix of (seed, neuron,
+/// tick). Costs a few ns per neuron-tick and never depends on rank layout.
+inline bool noise_hit(std::uint64_t seed, NeuronId n, std::uint64_t t,
+                      std::uint8_t p8) {
+  util::SplitMix64 mix(seed ^ (static_cast<std::uint64_t>(n) << 32) ^ t);
+  return static_cast<std::uint8_t>(mix.next() >> 56) < p8;
+}
+
+}  // namespace
+
+Simulator::Simulator(Network& network, const runtime::Partition& partition,
+                     comm::Transport& transport, SimulatorConfig config)
+    : net_(network),
+      partition_(partition),
+      transport_(transport),
+      config_(config),
+      ledger_(partition.ranks()),
+      outbox_(static_cast<std::size_t>(partition.ranks())) {
+  if (!net_.finalized()) {
+    throw std::invalid_argument("c2::Simulator: network not finalized");
+  }
+  if (partition_.num_cores() != net_.num_neurons()) {
+    throw std::invalid_argument(
+        "c2::Simulator: partition must cover every neuron");
+  }
+  if (partition_.threads_per_rank() != 1) {
+    throw std::invalid_argument(
+        "c2::Simulator: C2 is flat MPI - one thread per rank");
+  }
+  if (transport_.ranks() != partition_.ranks()) {
+    throw std::invalid_argument("c2::Simulator: transport rank mismatch");
+  }
+  if (config_.stdp_enabled) {
+    if (!net_.plasticity_enabled()) {
+      throw std::invalid_argument(
+          "c2::Simulator: STDP needs Network::enable_plasticity()");
+    }
+    last_fire_.assign(net_.num_neurons(), 0);
+  }
+}
+
+std::uint64_t Simulator::step() {
+  transport_.begin_tick();
+  auto& scratch = ledger_.tick_scratch();
+  std::uint64_t fired_this_tick = 0;
+  util::CpuStopwatch sw;
+
+  for (int rank = 0; rank < partition_.ranks(); ++rank) {
+    perf::RankTickTimes& rt = scratch[static_cast<std::size_t>(rank)];
+    if (config_.measure) sw.restart();
+
+    for (arch::CoreId nid : partition_.cores_of(rank)) {
+      const NeuronId n = nid;
+      float current = static_cast<float>(net_.drain(n, tick_)) *
+                      config_.current_per_weight;
+      if (noise_hit(config_.noise_seed, n, tick_, config_.noise_p8)) {
+        current += config_.noise_current;
+      }
+      if (!izhikevich_step(net_.params(n), net_.state(n), current)) continue;
+
+      ++fired_this_tick;
+      if (hook_) hook_(tick_, n);
+      if (config_.stdp_enabled) apply_stdp_for_fire(n);
+      const std::uint64_t out_base = net_.outgoing_begin(n);
+      const auto outgoing = net_.outgoing(n);
+      for (std::size_t k = 0; k < outgoing.size(); ++k) {
+        const Synapse& s = outgoing[k];
+        const std::uint64_t arrival = tick_ + s.delay;
+        const unsigned slot =
+            static_cast<unsigned>(arrival & (Network::kSlots - 1));
+        const int dst = partition_.rank_of(s.target);
+        if (dst == rank) {
+          net_.deposit(s.target, slot, s.weight);
+        } else {
+          outbox_[static_cast<std::size_t>(dst)].push_back(arch::WireSpike{
+              s.target, std::bit_cast<std::uint16_t>(s.weight),
+              static_cast<std::uint16_t>(slot)});
+        }
+        if (config_.stdp_enabled) {
+          const std::uint64_t idx = out_base + k;
+          // Scheduled arrival, stored as tick + 1 (0 = never).
+          net_.set_last_arrival(idx, static_cast<std::uint32_t>(arrival + 1));
+          // Anti-causal pairing: the post neuron fired recently, before this
+          // new arrival -> depress. last_fire_ excludes the current tick
+          // (flushed at tick end), so rank order cannot matter.
+          const std::uint32_t lf = last_fire_[s.target];
+          if (lf > 0 && arrival + 1 >= lf &&
+              arrival + 1 - lf <= config_.stdp_window) {
+            dep_events_.push_back(idx);
+          }
+        }
+      }
+    }
+    if (config_.measure) {
+      rt.neuron = sw.elapsed_s() * config_.compute_time_scale;
+    }
+
+    for (int dst = 0; dst < partition_.ranks(); ++dst) {
+      auto& buf = outbox_[static_cast<std::size_t>(dst)];
+      if (!buf.empty()) {
+        transport_.send(rank, dst, buf);
+        buf.clear();
+      }
+    }
+    rt.send = transport_.send_time(rank);
+  }
+
+  transport_.exchange();
+
+  for (int rank = 0; rank < partition_.ranks(); ++rank) {
+    perf::RankTickTimes& rt = scratch[static_cast<std::size_t>(rank)];
+    rt.sync = transport_.sync_time(rank);
+    if (config_.measure) sw.restart();
+    for (const comm::InMessage& msg : transport_.received(rank)) {
+      for (const arch::WireSpike& w : msg.spikes) {
+        net_.deposit(w.core, w.slot, std::bit_cast<std::int16_t>(w.axon));
+      }
+    }
+    double deliver_s = 0.0;
+    if (config_.measure) {
+      deliver_s = sw.elapsed_s() * config_.compute_time_scale;
+    }
+    rt.recv = transport_.recv_time(rank) + deliver_s;  // single thread
+  }
+
+  if (config_.stdp_enabled) flush_stdp();
+
+  const comm::TickCommStats& ts = transport_.tick_stats();
+  report_.messages += ts.messages;
+  report_.remote_spikes += ts.remote_spikes;
+  report_.wire_bytes += ts.wire_bytes;
+  report_.fired_spikes += fired_this_tick;
+
+  ledger_.commit_tick();
+  ++tick_;
+  ++report_.ticks;
+  return fired_this_tick;
+}
+
+void Simulator::apply_stdp_for_fire(NeuronId n) {
+  fired_this_tick_.push_back(n);
+  // Causal pairings: presynaptic arrivals within the window before this
+  // fire potentiate their synapses. Arrivals scheduled for future ticks
+  // (ta > tick_) are excluded, so same-tick ordering cannot matter.
+  for (const std::uint64_t idx : net_.incoming(n)) {
+    const std::uint32_t ta = net_.last_arrival(idx);
+    if (ta > 0 && ta <= tick_ + 1 && tick_ + 1 - ta <= config_.stdp_window) {
+      pot_events_.push_back(idx);
+    }
+  }
+}
+
+void Simulator::flush_stdp() {
+  // Deferred application in a fixed order (all potentiations, then all
+  // depressions; each stream is generated in ascending neuron order), so
+  // the final weights are independent of the contiguous partitioning.
+  for (const std::uint64_t idx : pot_events_) {
+    Synapse& s = net_.synapse(idx);
+    s.weight = static_cast<std::int16_t>(
+        std::min<int>(s.weight + config_.stdp_potentiation,
+                      config_.stdp_weight_max));
+    ++report_.potentiations;
+  }
+  for (const std::uint64_t idx : dep_events_) {
+    Synapse& s = net_.synapse(idx);
+    s.weight = static_cast<std::int16_t>(
+        std::max<int>(s.weight - config_.stdp_depression,
+                      config_.stdp_weight_min));
+    ++report_.depressions;
+  }
+  pot_events_.clear();
+  dep_events_.clear();
+  for (const NeuronId n : fired_this_tick_) {
+    last_fire_[n] = static_cast<std::uint32_t>(tick_ + 1);
+  }
+  fired_this_tick_.clear();
+}
+
+SimulatorReport Simulator::run(std::uint64_t ticks) {
+  util::Stopwatch wall;
+  for (std::uint64_t i = 0; i < ticks; ++i) step();
+  report_.host_wall_s += wall.elapsed_s();
+  report_.virtual_time = ledger_.totals();
+  return report_;
+}
+
+}  // namespace compass::c2

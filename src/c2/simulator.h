@@ -1,0 +1,109 @@
+// C2-style flat-MPI simulator over the same communication substrate.
+//
+// Paper section I: "Compass uses a fully multi-threaded programming model
+// whereas C2 used a flat MPI programming model, rendering it incapable of
+// exploiting the full potential of Blue Gene/Q." This baseline therefore
+// always runs one thread per rank — to use every CPU it must inflate the
+// MPI communicator, paying the larger Reduce-Scatter and per-message costs
+// Compass's hybrid model avoids (benchmarked in bench_c2_compare).
+//
+// Remote spikes carry (target neuron, weight, slot) packed into the common
+// 8-byte wire record: the target id rides in `core`, the signed weight is
+// bit-cast into `axon`. Messages are aggregated per destination rank, as
+// the original C2 did.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "c2/network.h"
+#include "comm/transport.h"
+#include "perf/ledger.h"
+#include "runtime/partition.h"
+
+namespace compass::c2 {
+
+struct SimulatorConfig {
+  /// Injected noise: with probability `noise_p8`/256 per neuron per tick,
+  /// add `noise_current` (the "thalamic" drive of Izhikevich's reference
+  /// network). Determinism is partition-independent: the draw hashes
+  /// (seed, neuron, tick).
+  std::uint8_t noise_p8 = 128;
+  float noise_current = 12.0f;
+  std::uint64_t noise_seed = 99;
+  /// Scale from integer synaptic weight to injected current.
+  float current_per_weight = 3.0f;
+
+  /// Spike-timing-dependent plasticity (the defining feature of the C2
+  /// line: synapses are heavyweight, stateful records). Nearest-pair rule:
+  /// a presynaptic arrival within `stdp_window` ticks *before* a
+  /// postsynaptic fire potentiates the synapse; a postsynaptic fire within
+  /// the window before an arrival depresses it. Weight updates are deferred
+  /// to tick end and applied in a fixed order, keeping results independent
+  /// of the (contiguous) partitioning. Requires
+  /// Network::enable_plasticity().
+  bool stdp_enabled = false;
+  std::uint32_t stdp_window = 20;          // ticks
+  std::int16_t stdp_potentiation = 1;      // weight += per causal pairing
+  std::int16_t stdp_depression = 1;        // weight -= per anti-causal pairing
+  std::int16_t stdp_weight_min = -64;
+  std::int16_t stdp_weight_max = 64;
+
+  bool measure = true;
+  double compute_time_scale = 1.0;
+};
+
+struct SimulatorReport {
+  std::uint64_t ticks = 0;
+  std::uint64_t fired_spikes = 0;
+  std::uint64_t potentiations = 0;   // STDP weight increments applied
+  std::uint64_t depressions = 0;     // STDP weight decrements applied
+  std::uint64_t remote_spikes = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t wire_bytes = 0;
+  double host_wall_s = 0.0;
+  perf::PhaseBreakdown virtual_time;
+  double mean_rate_hz(std::uint64_t neurons) const {
+    if (ticks == 0 || neurons == 0) return 0.0;
+    return static_cast<double>(fired_spikes) * 1000.0 /
+           (static_cast<double>(neurons) * static_cast<double>(ticks));
+  }
+};
+
+class Simulator {
+ public:
+  /// `partition` distributes *neurons* (not cores) across ranks and must
+  /// have threads_per_rank == 1 — the flat-MPI constraint.
+  Simulator(Network& network, const runtime::Partition& partition,
+            comm::Transport& transport, SimulatorConfig config = {});
+
+  using SpikeHook = std::function<void(std::uint64_t tick, NeuronId)>;
+  void set_spike_hook(SpikeHook hook) { hook_ = std::move(hook); }
+
+  std::uint64_t step();
+  SimulatorReport run(std::uint64_t ticks);
+
+ private:
+  Network& net_;
+  runtime::Partition partition_;
+  comm::Transport& transport_;
+  SimulatorConfig config_;
+  void apply_stdp_for_fire(NeuronId n);
+  void flush_stdp();
+
+  std::uint64_t tick_ = 0;
+  SimulatorReport report_;
+  perf::RunLedger ledger_;
+  SpikeHook hook_;
+  std::vector<std::vector<arch::WireSpike>> outbox_;  // per dest, reused
+  // STDP state: last fire tick + 1 per neuron (0 = never), double-buffered
+  // within the tick so same-tick fires never order-depend; deferred weight
+  // deltas applied at tick end.
+  std::vector<std::uint32_t> last_fire_;
+  std::vector<NeuronId> fired_this_tick_;
+  std::vector<std::uint64_t> pot_events_;  // synapse ids to potentiate
+  std::vector<std::uint64_t> dep_events_;  // synapse ids to depress
+};
+
+}  // namespace compass::c2

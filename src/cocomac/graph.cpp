@@ -1,0 +1,320 @@
+#include "cocomac/graph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+#include "util/prng.h"
+
+namespace compass::cocomac {
+
+using compiler::RegionClass;
+
+namespace {
+
+// Parent-level region names: 62 cortical, 25 thalamic, 15 basal-ganglia /
+// medial-temporal structures = 102 regions, matching the paper's reduced
+// network size. Names follow common macaque parcellation nomenclature.
+const char* const kCorticalNames[] = {
+    "V1",   "V2",   "V3",   "V3A",  "V4",   "V4t",  "MT",   "MST",  "FST",
+    "PO",   "PIP",  "LIP",  "VIP",  "MIP",  "AIP",  "7a",   "7b",   "5",
+    "2",    "1",    "3a",   "3b",   "SII",  "Ri",   "Ig",   "Id",   "TS1",
+    "TS2",  "TS3",  "PaAL", "PaAC", "A1",   "CM",   "ML",   "STPp", "STPa",
+    "TAa",  "TPO",  "PGa",  "IPa",  "TEa",  "TEm",  "TEO",  "TF",   "TH",
+    "PRC",  "ER",   "A36",  "A35",  "F1",   "F2",   "F3",   "F4",   "F5",
+    "F6",   "F7",   "FEF",  "A8B",  "A9",   "A46",  "A45",  "A12"};
+const char* const kThalamicNames[] = {
+    "LGN", "MGN", "PUL", "PULo", "PULm", "LP",  "LD",  "VPL", "VPM",
+    "VPI", "VL",  "VA",  "AM",   "AV",   "AD",  "MD",  "CMn", "Pf",
+    "CL",  "PCN", "RE",  "RT",   "SG",   "PT",  "PV"};
+const char* const kBasalNames[] = {
+    "CD",  "PUT", "GPe", "GPi", "SNr", "SNc", "STN", "NAC",
+    "VTA", "CLA", "AMY", "BLA", "CEA", "HIPP", "SUB"};
+
+constexpr std::size_t kNumCortical = std::size(kCorticalNames);
+constexpr std::size_t kNumThalamic = std::size(kThalamicNames);
+constexpr std::size_t kNumBasal = std::size(kBasalNames);
+constexpr std::size_t kNumParents = kNumCortical + kNumThalamic + kNumBasal;
+static_assert(kNumParents == 102, "paper's reduced network has 102 regions");
+
+// Reporting quotas per class: 52 + 17 + 8 == 77 reporting regions.
+constexpr std::size_t kReportCortical = 52;
+constexpr std::size_t kReportThalamic = 17;
+constexpr std::size_t kReportBasal = 8;
+static_assert(kReportCortical + kReportThalamic + kReportBasal == 77);
+
+constexpr std::size_t kNumChildren = 281;  // 383 - 102
+constexpr std::size_t kNumEdges = 6602;
+
+// Regions the examples and figure 3 reference must always report (LGN is
+// the paper's worked example: "the first stage in the thalamocortical
+// visual processing stream").
+const char* const kAlwaysReporting[] = {"V1", "V2",  "V4", "MT",  "TEO", "FEF",
+                                        "7a", "LGN", "PUL", "MD", "CD",  "PUT"};
+
+double lognormal(util::CorePrng& prng, double mu, double sigma) {
+  // Box–Muller; both uniforms drawn unconditionally for determinism.
+  const double u1 = std::max(prng.uniform_double(), 1e-12);
+  const double u2 = prng.uniform_double();
+  const double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  return std::exp(mu + sigma * z);
+}
+
+/// Class-pair connection propensity: cortico-cortical pathways dominate,
+/// thalamocortical loops are strong, intra-subcortical links sparser —
+/// the mix of "well-known cortico-cortical, cortico-subcortical, and
+/// intra-subcortical white matter pathways" (section V-B).
+double class_factor(RegionClass a, RegionClass b) {
+  auto idx = [](RegionClass c) {
+    switch (c) {
+      case RegionClass::kCortical: return 0;
+      case RegionClass::kThalamic: return 1;
+      default: return 2;
+    }
+  };
+  static const double f[3][3] = {
+      {1.00, 0.45, 0.30},   // cortex -> cortex / thalamus / basal
+      {0.60, 0.10, 0.15},   // thalamus ->
+      {0.25, 0.30, 0.20},   // basal ->
+  };
+  return f[idx(a)][idx(b)];
+}
+
+}  // namespace
+
+std::size_t RawGraph::num_parents() const {
+  std::size_t n = 0;
+  for (const RawRegion& r : regions) {
+    if (r.parent < 0) ++n;
+  }
+  return n;
+}
+
+std::size_t RawGraph::num_reporting() const {
+  std::size_t n = 0;
+  for (const RawRegion& r : regions) {
+    if (r.reports) ++n;
+  }
+  return n;
+}
+
+RawGraph build_synthetic_cocomac(std::uint64_t seed) {
+  util::CorePrng prng(util::derive_seed(seed, 0x1));
+  RawGraph g;
+  g.regions.reserve(kNumParents + kNumChildren);
+
+  // Parent level.
+  for (std::size_t i = 0; i < kNumCortical; ++i) {
+    g.regions.push_back({kCorticalNames[i], RegionClass::kCortical, -1, false});
+  }
+  for (std::size_t i = 0; i < kNumThalamic; ++i) {
+    g.regions.push_back({kThalamicNames[i], RegionClass::kThalamic, -1, false});
+  }
+  for (std::size_t i = 0; i < kNumBasal; ++i) {
+    g.regions.push_back({kBasalNames[i], RegionClass::kBasal, -1, false});
+  }
+
+  // Choose which parents report connections: the always-reporting set plus a
+  // seeded draw per class up to the quota.
+  {
+    auto mark_class = [&](RegionClass cls, std::size_t quota) {
+      std::vector<std::size_t> members;
+      for (std::size_t i = 0; i < g.regions.size(); ++i) {
+        if (g.regions[i].cls == cls) members.push_back(i);
+      }
+      // Always-reporting first.
+      std::size_t marked = 0;
+      for (const char* name : kAlwaysReporting) {
+        for (std::size_t i : members) {
+          if (g.regions[i].name == name && !g.regions[i].reports) {
+            g.regions[i].reports = true;
+            ++marked;
+          }
+        }
+      }
+      // Fisher–Yates over the rest.
+      std::vector<std::size_t> rest;
+      for (std::size_t i : members) {
+        if (!g.regions[i].reports) rest.push_back(i);
+      }
+      for (std::size_t i = rest.size(); i > 1; --i) {
+        std::swap(rest[i - 1], rest[prng.uniform_below(static_cast<std::uint32_t>(i))]);
+      }
+      for (std::size_t i = 0; i < rest.size() && marked < quota; ++i, ++marked) {
+        g.regions[rest[i]].reports = true;
+      }
+    };
+    mark_class(RegionClass::kCortical, kReportCortical);
+    mark_class(RegionClass::kThalamic, kReportThalamic);
+    mark_class(RegionClass::kBasal, kReportBasal);
+  }
+
+  // Children: subdivisions reported by individual tracing studies. Children
+  // of reporting parents may themselves report (the merge case the paper
+  // describes); children of silent parents never do, keeping the reporting
+  // parent count at exactly 77 after reduction.
+  {
+    std::size_t created = 0;
+    std::size_t parent = 0;
+    while (created < kNumChildren) {
+      const std::size_t p = parent % kNumParents;
+      ++parent;
+      const std::uint32_t n = prng.uniform_below(5);  // 0..4 children this pass
+      for (std::uint32_t i = 0; i < n && created < kNumChildren; ++i) {
+        RawRegion child;
+        child.parent = static_cast<int>(p);
+        child.cls = g.regions[p].cls;
+        child.name = g.regions[p].name + "_s" +
+                     std::to_string(g.regions.size() - kNumParents);
+        child.reports = g.regions[p].reports && prng.bernoulli_8(128);
+        g.regions.push_back(std::move(child));
+        ++created;
+      }
+    }
+  }
+  assert(g.regions.size() == kNumParents + kNumChildren);
+
+  // Hub attractiveness per parent (lognormal: a few heavily connected hubs,
+  // a long tail — the shape of real cortical connectivity).
+  std::vector<double> attract(kNumParents);
+  for (std::size_t i = 0; i < kNumParents; ++i) {
+    attract[i] = lognormal(prng, 0.0, 0.9);
+  }
+
+  // Candidate endpoint nodes: reporting parents and reporting children.
+  std::vector<int> reporting_nodes;
+  for (std::size_t i = 0; i < g.regions.size(); ++i) {
+    if (g.regions[i].reports) reporting_nodes.push_back(static_cast<int>(i));
+  }
+
+  auto parent_of = [&](int node) {
+    return g.regions[static_cast<std::size_t>(node)].parent < 0
+               ? node
+               : g.regions[static_cast<std::size_t>(node)].parent;
+  };
+
+  // Cumulative sampling weights over reporting nodes.
+  std::vector<double> cum(reporting_nodes.size());
+  {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < reporting_nodes.size(); ++i) {
+      acc += attract[static_cast<std::size_t>(parent_of(reporting_nodes[i]))];
+      cum[i] = acc;
+    }
+  }
+  auto sample_node = [&]() {
+    const double x = prng.uniform_double() * cum.back();
+    const auto it = std::lower_bound(cum.begin(), cum.end(), x);
+    return reporting_nodes[static_cast<std::size_t>(it - cum.begin())];
+  };
+
+  std::set<std::pair<int, int>> edges;
+
+  // Canonical, well-documented pathways are seeded explicitly (at parent
+  // level) so the worked examples — LGN as "the first stage in the
+  // thalamocortical visual processing stream" — always exist.
+  {
+    const std::pair<const char*, const char*> canonical[] = {
+        {"LGN", "V1"}, {"V1", "V2"},  {"V2", "V4"},  {"V4", "TEO"},
+        {"V1", "MT"},  {"MT", "MST"}, {"LIP", "FEF"}, {"V1", "LGN"},
+        {"PUL", "V2"}, {"CD", "GPi"},
+    };
+    auto find_parent = [&](const char* name) {
+      for (std::size_t i = 0; i < kNumParents; ++i) {
+        if (g.regions[i].name == name) return static_cast<int>(i);
+      }
+      return -1;
+    };
+    for (const auto& [src, dst] : canonical) {
+      const int u = find_parent(src), v = find_parent(dst);
+      if (u >= 0 && v >= 0 && g.regions[static_cast<std::size_t>(u)].reports &&
+          g.regions[static_cast<std::size_t>(v)].reports) {
+        edges.insert({u, v});
+      }
+    }
+  }
+
+  while (edges.size() < kNumEdges) {
+    const int u = sample_node();
+    const int v = sample_node();
+    const int pu = parent_of(u), pv = parent_of(v);
+    if (pu == pv) continue;  // reduction would collapse these to a self loop
+    const double accept =
+        class_factor(g.regions[static_cast<std::size_t>(pu)].cls,
+                     g.regions[static_cast<std::size_t>(pv)].cls);
+    if (prng.uniform_double() > accept) continue;
+    edges.insert({u, v});
+  }
+  g.edges.assign(edges.begin(), edges.end());
+  return g;
+}
+
+ReducedGraph reduce(const RawGraph& raw) {
+  // Parent indices in order of appearance.
+  std::vector<int> parents;
+  for (std::size_t i = 0; i < raw.regions.size(); ++i) {
+    if (raw.regions[i].parent < 0) parents.push_back(static_cast<int>(i));
+  }
+  std::vector<int> parent_slot(raw.regions.size(), -1);
+  for (std::size_t s = 0; s < parents.size(); ++s) {
+    parent_slot[static_cast<std::size_t>(parents[s])] = static_cast<int>(s);
+  }
+
+  ReducedGraph out;
+  out.names.reserve(parents.size());
+  out.classes.reserve(parents.size());
+  out.reports.assign(parents.size(), false);
+  for (std::size_t s = 0; s < parents.size(); ++s) {
+    const RawRegion& p = raw.regions[static_cast<std::size_t>(parents[s])];
+    out.names.push_back(p.name);
+    out.classes.push_back(p.cls);
+    out.reports[s] = p.reports;
+  }
+
+  // A parent reports if it or any merged child reports.
+  auto slot_of = [&](int node) {
+    const RawRegion& r = raw.regions[static_cast<std::size_t>(node)];
+    const int p = r.parent < 0 ? node : r.parent;
+    return parent_slot[static_cast<std::size_t>(p)];
+  };
+  for (std::size_t i = 0; i < raw.regions.size(); ++i) {
+    if (raw.regions[i].reports) {
+      out.reports[static_cast<std::size_t>(slot_of(static_cast<int>(i)))] = true;
+    }
+  }
+
+  // OR the edges into the parent-level adjacency, dropping self loops.
+  out.adjacency = util::Matrix<std::uint8_t>(parents.size(), parents.size(), 0);
+  for (const auto& [u, v] : raw.edges) {
+    const int su = slot_of(u), sv = slot_of(v);
+    if (su != sv) {
+      out.adjacency(static_cast<std::size_t>(su), static_cast<std::size_t>(sv)) = 1;
+    }
+  }
+  return out;
+}
+
+std::size_t ReducedGraph::num_reporting() const {
+  std::size_t n = 0;
+  for (bool b : reports) {
+    if (b) ++n;
+  }
+  return n;
+}
+
+std::size_t ReducedGraph::num_edges() const {
+  std::size_t n = 0;
+  for (std::uint8_t v : adjacency.data()) n += v;
+  return n;
+}
+
+int ReducedGraph::index_of(const std::string& name) const {
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace compass::cocomac

@@ -1,0 +1,67 @@
+// CoCoMac-style macaque connectivity graph: raw hierarchical database and
+// the paper's reduction to a simulable region network.
+//
+// Section V-B: the derived network "consists of 383 hierarchically organized
+// regions spanning cortex, thalamus, and basal ganglia, and has 6,602
+// directed edges". Because different labs report connections at different
+// parcellation granularities, the paper merges "a child subregion into a
+// parent region where both child and parent regions report connections ...
+// by ORing the connections of the child region with that of the parent
+// region. The smaller lower resolution network consists of 102 regions, 77
+// of which report connections."
+//
+// SUBSTITUTION (DESIGN.md section 2): the real CoCoMac database is not
+// redistributable; build_synthetic_cocomac() generates, from a fixed seed, a
+// hierarchical graph with the same published aggregate statistics (383
+// regions, 6,602 directed edges, three anatomical classes, 102 parents of
+// which 77 report), using real macaque region names for the parent level.
+// reduce() then implements the paper's actual merge procedure.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "compiler/coreobject.h"
+#include "util/matrix.h"
+
+namespace compass::cocomac {
+
+struct RawRegion {
+  std::string name;
+  compiler::RegionClass cls = compiler::RegionClass::kGeneric;
+  int parent = -1;       // index of parent region, or -1 for parent level
+  bool reports = false;  // does any tracing study report connections here?
+};
+
+struct RawGraph {
+  std::vector<RawRegion> regions;
+  std::vector<std::pair<int, int>> edges;  // directed, distinct
+
+  std::size_t num_parents() const;
+  std::size_t num_reporting() const;
+};
+
+struct ReducedGraph {
+  std::vector<std::string> names;              // parent-level regions
+  std::vector<compiler::RegionClass> classes;
+  std::vector<bool> reports;
+  util::Matrix<std::uint8_t> adjacency;        // directed, no self loops
+
+  std::size_t num_regions() const { return names.size(); }
+  std::size_t num_reporting() const;
+  std::size_t num_edges() const;
+  int index_of(const std::string& name) const;
+};
+
+inline constexpr std::uint64_t kDefaultCocomacSeed = 0xC0C0'AC12ULL;
+
+/// Deterministically generate the synthetic raw database.
+RawGraph build_synthetic_cocomac(std::uint64_t seed = kDefaultCocomacSeed);
+
+/// The paper's reduction: merge every child subregion into its parent,
+/// ORing edges; a parent reports if it or any merged child reports. Edges
+/// whose merged endpoints coincide (would-be self loops) are dropped.
+ReducedGraph reduce(const RawGraph& raw);
+
+}  // namespace compass::cocomac

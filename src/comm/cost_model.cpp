@@ -1,0 +1,27 @@
+#include "comm/cost_model.h"
+
+#include <bit>
+#include <cstdint>
+
+namespace compass::comm {
+
+namespace {
+double log2_ceil(int ranks) {
+  if (ranks <= 1) return 0.0;
+  return static_cast<double>(
+      std::bit_width(static_cast<std::uint32_t>(ranks - 1)));
+}
+}  // namespace
+
+double CommCostModel::reduce_scatter_cost(int ranks) const {
+  if (ranks <= 1) return 0.0;
+  return p_.reduce_scatter_alpha_s * log2_ceil(ranks) +
+         p_.reduce_scatter_beta_s * static_cast<double>(ranks);
+}
+
+double CommCostModel::barrier_cost(int ranks) const {
+  if (ranks <= 1) return 0.0;
+  return p_.barrier_alpha_s * log2_ceil(ranks);
+}
+
+}  // namespace compass::comm

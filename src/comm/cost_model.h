@@ -1,0 +1,85 @@
+// LogGP-style communication cost model.
+//
+// The scaling experiments (DESIGN.md section 2, substitution 2) compose
+// measured per-rank compute with *modelled* communication costs, because the
+// physical interconnect of a Blue Gene is not available here. The constants
+// default to values consistent with the paper and its citations:
+//   - 2 GB/s bidirectional 5-D torus links (section VI-A),
+//   - microsecond-scale two-sided MPI overheads on DCMF and the documented
+//     latency advantage of one-sided GASNet puts (Nishtala et al., cited as
+//     [38]),
+//   - logarithmic-depth collectives with a linear per-rank term for
+//     Reduce-Scatter (the paper attributes weak-scaling runtime growth to
+//     "the MPI Reduce-Scatter operation, which increases with increasing MPI
+//     communicator size").
+// Every constant is a plain struct field so benches can recalibrate and
+// ablate; EXPERIMENTS.md records the values used per run.
+#pragma once
+
+#include <cstddef>
+
+namespace compass::comm {
+
+struct CommCostParams {
+  // Point-to-point, two-sided (MPI eager path on DCMF).
+  double mpi_msg_overhead_s = 2.0e-6;   // per-message send overhead + latency
+  double mpi_bytes_per_s = 1.4e9;       // effective two-sided stream rate
+  double mpi_probe_recv_s = 0.8e-6;     // per-message Iprobe+Get_count+Recv
+                                        // inside the receiver critical section
+
+  // Point-to-point, one-sided (UPC/GASNet put).
+  double pgas_put_overhead_s = 0.6e-6;  // per-put initiation
+  double pgas_bytes_per_s = 1.8e9;      // one-sided stream rate (closer to
+                                        // the 2 GB/s link than two-sided)
+
+  // Per-hop latency on the 5-D torus (cut-through routing; charged when a
+  // transport has a topology attached via Transport::set_hop_model).
+  double hop_latency_s = 40e-9;
+
+  // Collectives.
+  double reduce_scatter_alpha_s = 1.5e-6;  // per log2(P) combining stage
+  double reduce_scatter_beta_s = 30.0e-9;  // per-rank linear term
+  double barrier_alpha_s = 0.6e-6;         // per log2(P) stage (fast DCMF
+                                           // hardware barrier)
+};
+
+class CommCostModel {
+ public:
+  CommCostModel() = default;
+  explicit CommCostModel(const CommCostParams& params) : p_(params) {}
+
+  const CommCostParams& params() const { return p_; }
+  CommCostParams& params() { return p_; }
+
+  /// Sender-side cost of one aggregated two-sided message of `bytes`.
+  double mpi_send_cost(std::size_t bytes) const {
+    return p_.mpi_msg_overhead_s +
+           static_cast<double>(bytes) / p_.mpi_bytes_per_s;
+  }
+
+  /// Receiver-side cost of matching + receiving one message of `bytes`.
+  /// The probe/recv part is serialised by the MPI thread-safety critical
+  /// section (paper section III), so callers sum it across messages.
+  double mpi_recv_cost(std::size_t bytes) const {
+    return p_.mpi_probe_recv_s +
+           static_cast<double>(bytes) / p_.mpi_bytes_per_s;
+  }
+
+  /// Cost of one one-sided put of `bytes` into a remote landing buffer.
+  double pgas_put_cost(std::size_t bytes) const {
+    return p_.pgas_put_overhead_s +
+           static_cast<double>(bytes) / p_.pgas_bytes_per_s;
+  }
+
+  /// MPI_Reduce_scatter over `ranks` ranks (used to learn per-rank incoming
+  /// message counts each tick).
+  double reduce_scatter_cost(int ranks) const;
+
+  /// Global barrier over `ranks` ranks (PGAS tick synchronisation).
+  double barrier_cost(int ranks) const;
+
+ private:
+  CommCostParams p_{};
+};
+
+}  // namespace compass::comm

@@ -1,0 +1,24 @@
+#include "comm/machine.h"
+
+namespace compass::comm {
+
+MachineDesc MachineDesc::blue_gene_q(int nodes, int threads) {
+  MachineDesc m;
+  m.name = "BlueGene/Q";
+  m.num_ranks = nodes;
+  m.threads_per_rank = threads;
+  m.ranks_per_node = 1;
+  return m;
+}
+
+MachineDesc MachineDesc::blue_gene_p(int nodes, int ranks_per_node,
+                                     int threads) {
+  MachineDesc m;
+  m.name = "BlueGene/P";
+  m.num_ranks = nodes * ranks_per_node;
+  m.threads_per_rank = threads;
+  m.ranks_per_node = ranks_per_node;
+  return m;
+}
+
+}  // namespace compass::comm

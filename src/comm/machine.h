@@ -1,0 +1,39 @@
+// Descriptors for the (virtual) parallel machines Compass runs on.
+//
+// The paper evaluates on IBM Blue Gene/Q (weak/strong/thread scaling,
+// sections VI-A..D: 1 rack = 1024 nodes = 16384 CPUs, 16 GB/node, 5-D torus
+// with 2 GB/s links, 1 MPI rank x 32 OpenMP threads per node) and Blue
+// Gene/P (PGAS comparison, section VII: 1 rack = 1024 nodes x 4 CPUs,
+// 4 GB/node). This repository substitutes an in-process virtual machine —
+// ranks are simulated processes executed on one host — so a MachineDesc
+// carries the *topology and cost constants* of the target machine while the
+// spike data moves through in-process transports.
+#pragma once
+
+#include <string>
+
+namespace compass::comm {
+
+struct MachineDesc {
+  std::string name = "virtual";
+  int num_ranks = 1;         // MPI processes / UPC instances
+  int threads_per_rank = 1;  // OpenMP threads per rank
+  int ranks_per_node = 1;    // for node-locality accounting (fig. 7 workload)
+
+  int num_nodes() const {
+    return (num_ranks + ranks_per_node - 1) / ranks_per_node;
+  }
+  int cpus() const { return num_ranks * threads_per_rank; }
+  int node_of_rank(int rank) const { return rank / ranks_per_node; }
+
+  /// Blue Gene/Q preset, scaled: `nodes` compute nodes at `threads` OpenMP
+  /// threads and one MPI rank per node (the paper's preferred configuration).
+  static MachineDesc blue_gene_q(int nodes, int threads = 32);
+
+  /// Blue Gene/P preset, scaled: `nodes` nodes, `ranks_per_node` MPI ranks
+  /// (or UPC instances) per node, `threads` per rank.
+  static MachineDesc blue_gene_p(int nodes, int ranks_per_node = 4,
+                                 int threads = 1);
+};
+
+}  // namespace compass::comm

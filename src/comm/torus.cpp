@@ -1,0 +1,82 @@
+#include "comm/torus.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <vector>
+
+namespace compass::comm {
+
+TorusTopology::TorusTopology(std::array<int, 5> dims) : dims_(dims), nodes_(1) {
+  for (int d : dims_) {
+    if (d < 1) throw std::invalid_argument("TorusTopology: dims must be >= 1");
+    nodes_ *= d;
+  }
+}
+
+TorusTopology TorusTopology::blue_gene_q(int nodes) {
+  if (nodes < 1) throw std::invalid_argument("TorusTopology: nodes must be >= 1");
+  // Prime-factorise, then greedily assign the largest factors to the
+  // currently smallest dimensions — a balanced block shape.
+  std::vector<int> factors;
+  int n = nodes;
+  for (int p = 2; p * p <= n; ++p) {
+    while (n % p == 0) {
+      factors.push_back(p);
+      n /= p;
+    }
+  }
+  if (n > 1) factors.push_back(n);
+  std::sort(factors.rbegin(), factors.rend());
+
+  std::array<int, 5> dims = {1, 1, 1, 1, 1};
+  for (int f : factors) {
+    auto smallest = std::min_element(dims.begin(), dims.end());
+    *smallest *= f;
+  }
+  std::sort(dims.rbegin(), dims.rend());
+  return TorusTopology(dims);
+}
+
+std::array<int, 5> TorusTopology::coordinates(int node) const {
+  assert(node >= 0 && node < nodes_);
+  std::array<int, 5> coord{};
+  for (int d = 4; d >= 0; --d) {
+    coord[static_cast<std::size_t>(d)] = node % dims_[static_cast<std::size_t>(d)];
+    node /= dims_[static_cast<std::size_t>(d)];
+  }
+  return coord;
+}
+
+int TorusTopology::hops(int a, int b) const {
+  const std::array<int, 5> ca = coordinates(a);
+  const std::array<int, 5> cb = coordinates(b);
+  int total = 0;
+  for (std::size_t d = 0; d < 5; ++d) {
+    const int n = dims_[d];
+    const int forward = std::abs(ca[d] - cb[d]);
+    total += std::min(forward, n - forward);
+  }
+  return total;
+}
+
+int TorusTopology::diameter() const {
+  int total = 0;
+  for (int d : dims_) total += d / 2;
+  return total;
+}
+
+double TorusTopology::average_hops() const {
+  if (nodes_ <= 1) return 0.0;
+  // Per dimension of size n, the mean wraparound distance over all ordered
+  // coordinate pairs (including equal ones) is floor(n^2 / 4) / n.
+  double mean_all = 0.0;
+  for (int n : dims_) {
+    mean_all += static_cast<double>((n * n) / 4) / static_cast<double>(n);
+  }
+  // Condition on distinct nodes: hops(a, a) == 0 pairs are excluded.
+  return mean_all * static_cast<double>(nodes_) /
+         static_cast<double>(nodes_ - 1);
+}
+
+}  // namespace compass::comm

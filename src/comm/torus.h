@@ -1,0 +1,49 @@
+// 5-D torus interconnect topology.
+//
+// Blue Gene/Q nodes are "connected to other nodes in a five-dimensional
+// torus through 10 bidirectional 2 GB/second links" (paper section VI-A,
+// citing Chen et al. SC'11). Section I also lists "benchmarking inter-core
+// communication topologies" as a purpose Compass serves. This module models
+// the torus: node coordinates, shortest-path hop counts with per-dimension
+// wraparound, and aggregate statistics — so transports can charge
+// hop-dependent latency and placement policies can be compared
+// (bench_topology).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace compass::comm {
+
+class TorusTopology {
+ public:
+  /// Construct with explicit dimensions (each >= 1).
+  explicit TorusTopology(std::array<int, 5> dims);
+
+  /// Factorise `nodes` into a compact 5-D shape (dimensions as balanced as
+  /// possible, sorted descending), like a BG/Q block allocation.
+  static TorusTopology blue_gene_q(int nodes);
+
+  int nodes() const { return nodes_; }
+  const std::array<int, 5>& dims() const { return dims_; }
+
+  /// Coordinates of `node` in row-major order over the dims.
+  std::array<int, 5> coordinates(int node) const;
+
+  /// Shortest-path hop count between two nodes (per-dimension minimum of
+  /// forward and wraparound distance, summed).
+  int hops(int a, int b) const;
+
+  /// Maximum hops between any two nodes: sum of floor(dim/2).
+  int diameter() const;
+
+  /// Mean hops over all ordered pairs of distinct nodes (exact, closed
+  /// form per dimension).
+  double average_hops() const;
+
+ private:
+  std::array<int, 5> dims_;
+  int nodes_;
+};
+
+}  // namespace compass::comm

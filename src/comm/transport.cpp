@@ -1,0 +1,25 @@
+#include "comm/transport.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace compass::comm {
+
+Transport::Transport(int ranks, CommCostModel model, unsigned spike_wire_bytes)
+    : ranks_(ranks),
+      cost_(model),
+      spike_wire_bytes_(spike_wire_bytes),
+      send_s_(static_cast<std::size_t>(ranks), 0.0),
+      sync_s_(static_cast<std::size_t>(ranks), 0.0),
+      recv_s_(static_cast<std::size_t>(ranks), 0.0) {
+  assert(ranks > 0);
+}
+
+void Transport::begin_tick() {
+  stats_.reset();
+  std::fill(send_s_.begin(), send_s_.end(), 0.0);
+  std::fill(sync_s_.begin(), sync_s_.end(), 0.0);
+  std::fill(recv_s_.begin(), recv_s_.end(), 0.0);
+}
+
+}  // namespace compass::comm

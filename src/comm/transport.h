@@ -1,0 +1,131 @@
+// Transport interface: the Network-phase communication substrate.
+//
+// Compass's main loop (paper Listing 1) is written against this interface.
+// Two implementations mirror the paper's two communication models:
+//   * MpiTransport  — two-sided messaging: per-destination aggregation into
+//     transit buffers with message envelopes, a Reduce-Scatter step so each
+//     rank learns its incoming message count, and a serialised probe/recv
+//     critical section on the receiver (section III).
+//   * PgasTransport — one-sided messaging: senders put spikes directly into
+//     pre-allocated, globally addressed landing buffers on the target rank,
+//     then a single global barrier ends the tick (section VII).
+//
+// Both move real spike data between real per-rank structures; the physical
+// wire is replaced by in-process copies plus a calibrated cost model whose
+// per-rank virtual times the runtime folds into the scaling figures.
+//
+// Threading contract: transports are driven by the virtual-machine loop on
+// one OS thread; calls are not synchronised. The *receiver-side* critical
+// section of real MPI is represented in the cost model (mpi_recv_cost), not
+// with actual locks.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "arch/spike.h"
+#include "comm/cost_model.h"
+#include "comm/torus.h"
+
+namespace compass::comm {
+
+/// Functional communication counters for one tick — these are the exact,
+/// deterministic quantities figure 4(b) plots (message count, spike count,
+/// and derived GB/tick).
+struct TickCommStats {
+  std::uint64_t messages = 0;       // point-to-point messages (or puts)
+  std::uint64_t remote_spikes = 0;  // spikes that crossed rank boundaries
+  std::uint64_t wire_bytes = 0;     // at the configured bytes-per-spike
+
+  void reset() { *this = TickCommStats{}; }
+};
+
+/// An incoming aggregated message as seen by a receiving rank.
+struct InMessage {
+  int src = -1;
+  std::span<const arch::WireSpike> spikes;
+};
+
+class Transport {
+ public:
+  Transport(int ranks, CommCostModel model, unsigned spike_wire_bytes);
+  virtual ~Transport() = default;
+  Transport(const Transport&) = delete;
+  Transport& operator=(const Transport&) = delete;
+
+  virtual const char* name() const = 0;
+
+  /// True for one-sided transports: the runtime then skips the master-thread
+  /// per-destination aggregation step, sending each thread's buffer directly
+  /// ("without incurring ... the overhead of buffering those spikes for
+  /// sending", section VII-A).
+  virtual bool one_sided() const = 0;
+
+  /// Start a tick: clears transit state and per-tick statistics/times.
+  virtual void begin_tick();
+
+  /// Rank `src` transmits an aggregated buffer of spikes to rank `dst`.
+  /// `src != dst`; local spikes never touch the transport.
+  virtual void send(int src, int dst, std::span<const arch::WireSpike> spikes) = 0;
+
+  /// Complete the tick's communication (Reduce-Scatter or barrier); after
+  /// this, received() is valid for every rank.
+  virtual void exchange() = 0;
+
+  /// Messages delivered to `rank` this tick. Spans remain valid until the
+  /// next begin_tick().
+  virtual std::span<const InMessage> received(int rank) const = 0;
+
+  // --- Accounting ----------------------------------------------------------
+  int ranks() const { return ranks_; }
+  const CommCostModel& cost_model() const { return cost_; }
+  const TickCommStats& tick_stats() const { return stats_; }
+  unsigned spike_wire_bytes() const { return spike_wire_bytes_; }
+
+  /// Attach a torus topology: point-to-point sends are then charged
+  /// hops(node(src), node(dst)) x hop_latency on top of the flat overheads
+  /// (section I use case (c): benchmarking communication topologies). The
+  /// topology must outlive the transport; `ranks_per_node` maps ranks onto
+  /// torus nodes. Pass nullptr to detach.
+  void set_hop_model(const TorusTopology* topology, int ranks_per_node = 1) {
+    topology_ = topology;
+    ranks_per_node_ = ranks_per_node > 0 ? ranks_per_node : 1;
+  }
+
+  /// Modelled seconds rank spent sending this tick (overheads + byte time).
+  double send_time(int rank) const { return send_s_[rank]; }
+  /// Modelled synchronisation cost (Reduce-Scatter / barrier) per rank.
+  double sync_time(int rank) const { return sync_s_[rank]; }
+  /// Modelled receive cost (probe/recv critical section + byte time).
+  double recv_time(int rank) const { return recv_s_[rank]; }
+
+ protected:
+  std::size_t wire_size(std::size_t spikes) const {
+    return spikes * spike_wire_bytes_;
+  }
+
+  /// Hop-dependent latency for one message src -> dst (0 without topology
+  /// or for node-local traffic).
+  double hop_latency(int src, int dst) const {
+    if (topology_ == nullptr) return 0.0;
+    const int a = src / ranks_per_node_;
+    const int b = dst / ranks_per_node_;
+    if (a == b) return 0.0;
+    return static_cast<double>(
+               topology_->hops(a % topology_->nodes(), b % topology_->nodes())) *
+           cost_.params().hop_latency_s;
+  }
+
+  int ranks_;
+  CommCostModel cost_;
+  unsigned spike_wire_bytes_;
+  TickCommStats stats_;
+  std::vector<double> send_s_, sync_s_, recv_s_;
+
+ private:
+  const TorusTopology* topology_ = nullptr;
+  int ranks_per_node_ = 1;
+};
+
+}  // namespace compass::comm

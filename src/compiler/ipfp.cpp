@@ -1,0 +1,217 @@
+#include "compiler/ipfp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace compass::compiler {
+
+namespace {
+
+double max_margin_error(const util::Matrix<double>& m,
+                        const std::vector<double>& row_targets,
+                        const std::vector<double>& col_targets) {
+  double err = 0.0;
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    if (row_targets[r] > 0.0) {
+      err = std::max(err, std::abs(m.row_sum(r) - row_targets[r]) / row_targets[r]);
+    }
+  }
+  for (std::size_t c = 0; c < m.cols(); ++c) {
+    if (col_targets[c] > 0.0) {
+      err = std::max(err, std::abs(m.col_sum(c) - col_targets[c]) / col_targets[c]);
+    }
+  }
+  return err;
+}
+
+}  // namespace
+
+IpfpResult ipfp_balance(util::Matrix<double>& m,
+                        const std::vector<double>& row_targets,
+                        const std::vector<double>& col_targets,
+                        const IpfpOptions& options) {
+  if (row_targets.size() != m.rows() || col_targets.size() != m.cols()) {
+    throw std::invalid_argument("ipfp_balance: target size mismatch");
+  }
+
+  // Zero-target rows/columns are cleared up front; they would otherwise trap
+  // mass that the remaining margins cannot absorb.
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    if (row_targets[r] <= 0.0) {
+      for (std::size_t c = 0; c < m.cols(); ++c) m(r, c) = 0.0;
+    }
+  }
+  for (std::size_t c = 0; c < m.cols(); ++c) {
+    if (col_targets[c] <= 0.0) {
+      for (std::size_t r = 0; r < m.rows(); ++r) m(r, c) = 0.0;
+    }
+  }
+
+  IpfpResult result;
+  for (int it = 0; it < options.max_iterations; ++it) {
+    // Row scaling pass.
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+      const double sum = m.row_sum(r);
+      if (sum > 0.0 && row_targets[r] > 0.0) {
+        const double scale = row_targets[r] / sum;
+        for (std::size_t c = 0; c < m.cols(); ++c) m(r, c) *= scale;
+      }
+    }
+    // Column scaling pass.
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      const double sum = m.col_sum(c);
+      if (sum > 0.0 && col_targets[c] > 0.0) {
+        const double scale = col_targets[c] / sum;
+        for (std::size_t r = 0; r < m.rows(); ++r) m(r, c) *= scale;
+      }
+    }
+    result.iterations = it + 1;
+    result.max_relative_error = max_margin_error(m, row_targets, col_targets);
+    if (result.max_relative_error <= options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+IpfpResult sinkhorn_knopp(util::Matrix<double>& m, const IpfpOptions& options) {
+  if (m.rows() != m.cols()) {
+    throw std::invalid_argument("sinkhorn_knopp: matrix must be square");
+  }
+  std::vector<double> ones(m.rows(), 1.0);
+  return ipfp_balance(m, ones, ones, options);
+}
+
+std::vector<std::int64_t> apportion(const std::vector<double>& weights,
+                                    std::int64_t total, std::int64_t minimum) {
+  const std::size_t n = weights.size();
+  if (n == 0) return {};
+  if (total < minimum * static_cast<std::int64_t>(n)) {
+    throw std::invalid_argument("apportion: total below the guaranteed minimum");
+  }
+
+  double weight_sum = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) throw std::invalid_argument("apportion: negative weight");
+    weight_sum += w;
+  }
+
+  std::vector<std::int64_t> out(n, minimum);
+  std::int64_t remaining = total - minimum * static_cast<std::int64_t>(n);
+  if (remaining == 0 || weight_sum == 0.0) {
+    // Nothing (or nothing proportional) to distribute: spread round-robin.
+    for (std::size_t i = 0; remaining > 0; i = (i + 1) % n) {
+      ++out[i];
+      --remaining;
+    }
+    return out;
+  }
+
+  std::vector<double> remainders(n);
+  std::int64_t assigned = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double share =
+        static_cast<double>(remaining) * (weights[i] / weight_sum);
+    const std::int64_t floor_share = static_cast<std::int64_t>(std::floor(share));
+    out[i] += floor_share;
+    assigned += floor_share;
+    remainders[i] = share - static_cast<double>(floor_share);
+  }
+
+  // Hand out the leftover units to the largest remainders (ties broken by
+  // index, keeping the result deterministic).
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return remainders[a] > remainders[b];
+  });
+  for (std::size_t k = 0; assigned < remaining; ++k) {
+    ++out[order[k % n]];
+    ++assigned;
+  }
+  return out;
+}
+
+util::Matrix<std::int64_t> controlled_round(
+    const util::Matrix<double>& m, const std::vector<std::int64_t>& row_targets,
+    const std::vector<std::int64_t>& col_targets) {
+  const std::size_t rows = m.rows(), cols = m.cols();
+  if (row_targets.size() != rows || col_targets.size() != cols) {
+    throw std::invalid_argument("controlled_round: target size mismatch");
+  }
+  const std::int64_t row_total =
+      std::accumulate(row_targets.begin(), row_targets.end(), std::int64_t{0});
+  const std::int64_t col_total =
+      std::accumulate(col_targets.begin(), col_targets.end(), std::int64_t{0});
+  if (row_total != col_total) {
+    throw std::invalid_argument("controlled_round: margin totals differ");
+  }
+
+  // Step 1: per-row largest-remainder rounding to the exact row target.
+  util::Matrix<std::int64_t> k(rows, cols, 0);
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::vector<double> w(cols);
+    for (std::size_t c = 0; c < cols; ++c) w[c] = std::max(0.0, m(r, c));
+    const std::vector<std::int64_t> alloc = apportion(w, row_targets[r], 0);
+    for (std::size_t c = 0; c < cols; ++c) k(r, c) = alloc[c];
+  }
+
+  // Step 2: repair column sums with unit moves inside rows. Each move takes
+  // one unit from a surplus column and gives it to a deficit column in the
+  // same row, preferring cells whose rounded value most exceeds the real
+  // value (and, for the receiving cell, most falls short). Support is
+  // respected where possible: a unit is only added to a cell with m > 0
+  // unless no supported move exists.
+  std::vector<std::int64_t> col_delta(cols);
+  for (std::size_t c = 0; c < cols; ++c) col_delta[c] = k.col_sum(c) - col_targets[c];
+
+  auto find_move = [&](bool require_support) -> bool {
+    std::size_t surplus = cols;
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (col_delta[c] > 0) { surplus = c; break; }
+    }
+    if (surplus == cols) return false;
+
+    std::size_t best_row = rows, best_dst = cols;
+    double best_score = -1e300;
+    for (std::size_t r = 0; r < rows; ++r) {
+      if (k(r, surplus) <= 0) continue;
+      const double give_slack = static_cast<double>(k(r, surplus)) - m(r, surplus);
+      for (std::size_t c = 0; c < cols; ++c) {
+        if (col_delta[c] >= 0) continue;
+        if (require_support && m(r, c) <= 0.0) continue;
+        const double take_slack = m(r, c) - static_cast<double>(k(r, c));
+        const double score = give_slack + take_slack;
+        if (score > best_score) {
+          best_score = score;
+          best_row = r;
+          best_dst = c;
+        }
+      }
+    }
+    if (best_row == rows) return false;
+    --k(best_row, surplus);
+    ++k(best_row, best_dst);
+    --col_delta[surplus];
+    ++col_delta[best_dst];
+    return true;
+  };
+
+  while (true) {
+    bool any_surplus = false;
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (col_delta[c] != 0) { any_surplus = true; break; }
+    }
+    if (!any_surplus) break;
+    if (!find_move(/*require_support=*/true) &&
+        !find_move(/*require_support=*/false)) {
+      throw std::runtime_error("controlled_round: no repair move available");
+    }
+  }
+  return k;
+}
+
+}  // namespace compass::compiler

@@ -1,0 +1,72 @@
+// Iterative proportional fitting (Sinkhorn–Knopp) and exact integer
+// apportionment — the paper's "realizability mechanism".
+//
+// Section IV: "We require a realizability mechanism for connections to
+// guarantee that each target process has enough TrueNorth cores to satisfy
+// incoming connection requests. ... This is equivalent to normalizing the
+// connection matrix to have identical pre-specified column sum and row sums
+// — a generalization of doubly stochastic matrices. This procedure is known
+// as iterative proportional fitting procedure (IPFP) in statistics, and as
+// matrix balancing in linear algebra."
+//
+// In the Compass pipeline the row sum of region r is its neuron count (every
+// neuron sends one connection) and the column sum is its axon count (every
+// axon receives exactly one); both equal 256 x cores_r, so after balancing
+// and integer rounding every axon request can be satisfied exactly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/matrix.h"
+
+namespace compass::compiler {
+
+struct IpfpOptions {
+  int max_iterations = 1000;
+  /// Converged when every row/column sum is within `tolerance` (relative)
+  /// of its target.
+  double tolerance = 1e-10;
+};
+
+struct IpfpResult {
+  bool converged = false;
+  int iterations = 0;
+  double max_relative_error = 0.0;
+};
+
+/// Balance `m` in place so that row r sums to row_targets[r] and column c
+/// sums to col_targets[c]. Requires sum(row_targets) == sum(col_targets)
+/// (up to rounding) and a support pattern that can carry the targets; zero
+/// entries stay zero. Rows/columns with zero target are zeroed.
+IpfpResult ipfp_balance(util::Matrix<double>& m,
+                        const std::vector<double>& row_targets,
+                        const std::vector<double>& col_targets,
+                        const IpfpOptions& options = {});
+
+/// Classic Sinkhorn–Knopp: balance to a doubly stochastic matrix (all row
+/// and column sums 1). Provided as the special case the literature names.
+IpfpResult sinkhorn_knopp(util::Matrix<double>& m,
+                          const IpfpOptions& options = {});
+
+/// Round a balanced non-negative real matrix to integers with *exact* row
+/// and column sums (controlled rounding):
+///   1. per-row largest-remainder apportionment hits every row target;
+///   2. a repair pass moves single units between columns within rows
+///      (preferring cells with the largest rounding slack, and only cells
+///      with non-zero support in `m`) until every column target is hit.
+/// Requires integer-valued targets with equal totals. Returns the integer
+/// matrix; throws std::invalid_argument if the targets are inconsistent.
+util::Matrix<std::int64_t> controlled_round(
+    const util::Matrix<double>& m, const std::vector<std::int64_t>& row_targets,
+    const std::vector<std::int64_t>& col_targets);
+
+/// Largest-remainder apportionment of `total` units proportional to
+/// `weights` (all >= 0, at least one > 0). Entries with `minimum` > 0 are
+/// guaranteed at least that many units (used to give every brain region at
+/// least one core). Sum of result == total exactly.
+std::vector<std::int64_t> apportion(const std::vector<double>& weights,
+                                    std::int64_t total,
+                                    std::int64_t minimum = 0);
+
+}  // namespace compass::compiler

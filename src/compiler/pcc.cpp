@@ -1,0 +1,437 @@
+#include "compiler/pcc.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "arch/types.h"
+#include "util/prng.h"
+#include "util/stopwatch.h"
+
+namespace compass::compiler {
+
+namespace {
+
+using arch::CoreId;
+using arch::kAxonsPerCore;
+using arch::kNeuronsPerCore;
+
+// Distinct PRNG stream salts for the independent construction concerns, so
+// adding draws to one pass never perturbs another.
+constexpr std::uint64_t kWireSalt = 0x5749524500000000ULL;      // "WIRE"
+constexpr std::uint64_t kCrossbarSalt = 0x5842415200000000ULL;  // "XBAR"
+constexpr std::uint64_t kPotentialSalt = 0x504F540000000000ULL; // "POT"
+
+/// Slot allocator over a contiguous core range: hands out the next free
+/// neuron (or axon) slot at or after a preferred core, wrapping within the
+/// range. Totals are balanced by construction, so a free slot always exists.
+struct SlotRange {
+  CoreId lo, hi;  // [lo, hi)
+
+  CoreId take(std::vector<std::uint16_t>& used, CoreId preferred) const {
+    const CoreId span = hi - lo;
+    CoreId c = preferred;
+    for (CoreId step = 0; step < span; ++step) {
+      if (used[c] < kNeuronsPerCore) return c;
+      c = lo + ((c - lo + 1) % span);
+    }
+    throw std::logic_error("PCC slot allocation overflow (balancing bug)");
+  }
+};
+
+double median(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const std::size_t n = v.size();
+  return n % 2 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+}  // namespace
+
+bool is_inhibitory_neuron(unsigned j, double excitatory_fraction) {
+  // Even interleave: neuron j is inhibitory when the cumulative inhibitory
+  // quota crosses an integer at j.
+  const double inh = 1.0 - excitatory_fraction;
+  return std::floor(static_cast<double>(j + 1) * inh) >
+         std::floor(static_cast<double>(j) * inh);
+}
+
+PccResult compile(const Spec& spec, const PccOptions& options) {
+  util::Stopwatch compile_timer;
+
+  if (const std::string err = spec.validate(); !err.empty()) {
+    throw std::invalid_argument("PCC: invalid spec: " + err);
+  }
+  if (options.ranks <= 0 || options.threads_per_rank <= 0) {
+    throw std::invalid_argument("PCC: ranks/threads must be positive");
+  }
+  if (options.crossbar_density < 0.0 || options.crossbar_density > 1.0) {
+    throw std::invalid_argument("PCC: crossbar density outside [0,1]");
+  }
+
+  const std::size_t num_regions = spec.regions.size();
+  PccResult result;
+  result.regions.resize(num_regions);
+
+  // ---- 1. Volume imputation + core apportionment -------------------------
+  {
+    std::vector<double> class_volumes[4];
+    std::vector<double> all_volumes;
+    for (const RegionDecl& r : spec.regions) {
+      if (r.volume) {
+        class_volumes[static_cast<int>(r.cls)].push_back(*r.volume);
+        all_volumes.push_back(*r.volume);
+      }
+    }
+    const double global_median = all_volumes.empty() ? 1.0 : median(all_volumes);
+
+    std::vector<double> volumes(num_regions);
+    for (std::size_t i = 0; i < num_regions; ++i) {
+      const RegionDecl& decl = spec.regions[i];
+      RegionInfo& info = result.regions[i];
+      info.name = decl.name;
+      info.cls = decl.cls;
+      info.kind = decl.kind;
+      info.self_fraction = decl.self_fraction;
+      info.rate_hz = decl.rate_hz;
+      if (decl.volume) {
+        info.volume = *decl.volume;
+      } else {
+        const auto& cls = class_volumes[static_cast<int>(decl.cls)];
+        info.volume = cls.empty() ? global_median : median(cls);
+        info.volume_imputed = true;
+      }
+      volumes[i] = info.volume;
+    }
+
+    const std::vector<std::int64_t> cores = apportion(
+        volumes, static_cast<std::int64_t>(spec.total_cores), /*minimum=*/1);
+    CoreId next = 0;
+    for (std::size_t i = 0; i < num_regions; ++i) {
+      result.regions[i].cores = cores[i];
+      result.regions[i].first_core = next;
+      next += static_cast<CoreId>(cores[i]);
+    }
+    assert(next == spec.total_cores);
+  }
+
+  const std::size_t total_cores = spec.total_cores;
+
+  // ---- 2. Demand matrix ----------------------------------------------------
+  // Row r sums to region r's neuron count; diagonal carries the gray-matter
+  // share, off-diagonal white matter is edge weight x target volume
+  // ("white matter connections set to be proportional to the volume
+  // percentage of the outgoing region", section V-C).
+  util::Matrix<double> demand(num_regions, num_regions, 0.0);
+  {
+    util::Matrix<double> edge_w(num_regions, num_regions, 0.0);
+    for (const EdgeDecl& e : spec.edges) {
+      const int s = spec.region_index(e.src);
+      const int t = spec.region_index(e.dst);
+      if (s != t) {
+        edge_w(static_cast<std::size_t>(s), static_cast<std::size_t>(t)) +=
+            e.weight;
+      }
+    }
+    for (std::size_t s = 0; s < num_regions; ++s) {
+      const double neurons =
+          static_cast<double>(result.regions[s].cores) * kNeuronsPerCore;
+      double out_total = 0.0;
+      for (std::size_t t = 0; t < num_regions; ++t) {
+        if (t != s) out_total += edge_w(s, t) * result.regions[t].volume;
+      }
+      double self = result.regions[s].self_fraction;
+      if (out_total <= 0.0) self = 1.0;  // isolated region: all gray matter
+      demand(s, s) = self * neurons;
+      if (out_total > 0.0) {
+        const double white = (1.0 - self) * neurons;
+        for (std::size_t t = 0; t < num_regions; ++t) {
+          if (t != s) {
+            demand(s, t) =
+                white * edge_w(s, t) * result.regions[t].volume / out_total;
+          }
+        }
+      }
+    }
+  }
+
+  // ---- 3. Realizability: IPFP + controlled rounding -----------------------
+  std::vector<double> margins(num_regions);
+  std::vector<std::int64_t> margins_i(num_regions);
+  for (std::size_t r = 0; r < num_regions; ++r) {
+    margins_i[r] = result.regions[r].cores * kNeuronsPerCore;
+    margins[r] = static_cast<double>(margins_i[r]);
+  }
+  result.stats.ipfp = ipfp_balance(demand, margins, margins, options.ipfp);
+  result.connections = controlled_round(demand, margins_i, margins_i);
+
+  // ---- 4. Placement ---------------------------------------------------------
+  if (options.region_aligned_placement) {
+    std::vector<std::int64_t> region_sizes;
+    region_sizes.reserve(num_regions);
+    for (const RegionInfo& info : result.regions) {
+      region_sizes.push_back(info.cores);
+    }
+    result.partition = runtime::Partition::block_aligned(
+        region_sizes, options.ranks, options.threads_per_rank);
+  } else {
+    result.partition = runtime::Partition::uniform(total_cores, options.ranks,
+                                                   options.threads_per_rank);
+  }
+  for (RegionInfo& info : result.regions) {
+    info.first_rank = result.partition.rank_of(info.first_core);
+    info.last_rank = result.partition.rank_of(
+        info.first_core + static_cast<CoreId>(info.cores) - 1);
+  }
+
+  // ---- 5+6. Wiring -----------------------------------------------------------
+  result.model = arch::Model(total_cores, spec.seed);
+  arch::Model& model = result.model;
+  for (std::size_t r = 0; r < num_regions; ++r) {
+    const RegionInfo& info = result.regions[r];
+    for (std::int64_t c = 0; c < info.cores; ++c) {
+      model.set_region(info.first_core + static_cast<CoreId>(c),
+                       static_cast<std::uint16_t>(r));
+    }
+  }
+
+  std::vector<std::uint16_t> used_neurons(total_cores, 0);
+  std::vector<std::uint16_t> used_axons(total_cores, 0);
+  std::vector<arch::AxonTarget> targets(
+      total_cores * static_cast<std::size_t>(kNeuronsPerCore));
+
+  const auto& k = result.connections;
+  util::CorePrng wire_prng(util::derive_seed(spec.seed ^ kWireSalt, 0));
+  auto pick_delay = [&wire_prng](unsigned lo, unsigned hi) {
+    return static_cast<std::uint8_t>(lo + wire_prng.uniform_below(hi - lo + 1));
+  };
+
+  // Gray matter: within each (region x rank) chunk so that local
+  // connectivity never crosses a process boundary (section V-C), with
+  // sources and targets rotating over the chunk's cores.
+  for (std::size_t r = 0; r < num_regions; ++r) {
+    const RegionInfo& info = result.regions[r];
+    const std::int64_t self_total = k(r, r);
+    if (self_total == 0) continue;
+
+    // Chunks: maximal runs of the region's cores on one rank.
+    struct Chunk { CoreId lo, hi; };
+    std::vector<Chunk> chunks;
+    CoreId begin = info.first_core;
+    const CoreId end = info.first_core + static_cast<CoreId>(info.cores);
+    while (begin < end) {
+      CoreId cur = begin + 1;
+      while (cur < end &&
+             result.partition.rank_of(cur) == result.partition.rank_of(begin)) {
+        ++cur;
+      }
+      chunks.push_back(Chunk{begin, cur});
+      begin = cur;
+    }
+
+    std::vector<double> chunk_sizes;
+    chunk_sizes.reserve(chunks.size());
+    for (const Chunk& ch : chunks) {
+      chunk_sizes.push_back(static_cast<double>(ch.hi - ch.lo));
+    }
+    const std::vector<std::int64_t> per_chunk =
+        apportion(chunk_sizes, self_total, 0);
+
+    for (std::size_t ci = 0; ci < chunks.size(); ++ci) {
+      const Chunk& ch = chunks[ci];
+      const CoreId span = ch.hi - ch.lo;
+      const SlotRange range{ch.lo, ch.hi};
+      const bool is_cortical = info.cls == RegionClass::kCortical;
+      (void)is_cortical;
+      for (std::int64_t i = 0; i < per_chunk[ci]; ++i) {
+        const CoreId want_src =
+            ch.lo + static_cast<CoreId>(i % static_cast<std::int64_t>(span));
+        // Rotate targets one step past the source and advance an extra step
+        // each full lap, maximising spread across the chunk.
+        const CoreId want_dst =
+            ch.lo + static_cast<CoreId>(
+                        (i + 1 + i / static_cast<std::int64_t>(span)) %
+                        static_cast<std::int64_t>(span));
+        const CoreId sc = range.take(used_neurons, want_src);
+        const CoreId tc = range.take(used_axons, want_dst);
+        const unsigned sj = used_neurons[sc]++;
+        const unsigned ta = used_axons[tc]++;
+        const bool inh = is_inhibitory_neuron(sj, options.excitatory_fraction);
+        model.core(tc).set_axon_type(ta, inh ? 3 : 2);
+        targets[static_cast<std::size_t>(sc) * kNeuronsPerCore + sj] =
+            arch::AxonTarget{tc, static_cast<std::uint8_t>(ta),
+                             pick_delay(options.gray_delay_min,
+                                        options.gray_delay_max)};
+        ++result.stats.gray_connections;
+      }
+    }
+  }
+
+  // White matter: ordered region pairs. The axon ids the target region's
+  // PCC process hands back travel in one aggregated message per pair, with
+  // the request going the other way (section IV's MPI_Isend exchange).
+  {
+    std::vector<CoreId> src_cursor(num_regions), dst_cursor(num_regions);
+    for (std::size_t r = 0; r < num_regions; ++r) {
+      src_cursor[r] = result.regions[r].first_core;
+      dst_cursor[r] = result.regions[r].first_core;
+    }
+    for (std::size_t s = 0; s < num_regions; ++s) {
+      const RegionInfo& si = result.regions[s];
+      const SlotRange src_range{
+          si.first_core, si.first_core + static_cast<CoreId>(si.cores)};
+      for (std::size_t t = 0; t < num_regions; ++t) {
+        if (t == s) continue;
+        const std::int64_t count = k(s, t);
+        if (count == 0) continue;
+        result.stats.pcc_messages += 2;  // axon request + aggregated grant
+
+        const RegionInfo& ti = result.regions[t];
+        const SlotRange dst_range{
+            ti.first_core, ti.first_core + static_cast<CoreId>(ti.cores)};
+        for (std::int64_t i = 0; i < count; ++i) {
+          const CoreId sc = src_range.take(used_neurons, src_cursor[s]);
+          src_cursor[s] = src_range.lo + ((sc - src_range.lo + 1) %
+                                          (src_range.hi - src_range.lo));
+          const CoreId tc = dst_range.take(used_axons, dst_cursor[t]);
+          dst_cursor[t] = dst_range.lo + ((tc - dst_range.lo + 1) %
+                                          (dst_range.hi - dst_range.lo));
+          const unsigned sj = used_neurons[sc]++;
+          const unsigned ta = used_axons[tc]++;
+          const bool inh =
+              is_inhibitory_neuron(sj, options.excitatory_fraction);
+          model.core(tc).set_axon_type(ta, inh ? 1 : 0);
+          targets[static_cast<std::size_t>(sc) * kNeuronsPerCore + sj] =
+              arch::AxonTarget{tc, static_cast<std::uint8_t>(ta),
+                               pick_delay(options.white_delay_min,
+                                          options.white_delay_max)};
+          ++result.stats.white_connections;
+        }
+      }
+    }
+  }
+
+  // Every slot must now be used exactly once — the realizability guarantee.
+  for (std::size_t c = 0; c < total_cores; ++c) {
+    if (used_neurons[c] != kNeuronsPerCore || used_axons[c] != kAxonsPerCore) {
+      throw std::logic_error("PCC: unbalanced slot usage after wiring");
+    }
+  }
+
+  // ---- 7. Core configuration -------------------------------------------------
+  // Crossbar fill. Densities 1/2, 1/4, 1/8 use ANDed random words; other
+  // densities fall back to per-bit Bernoulli draws.
+  {
+    int and_words = -1;
+    for (int kpow = 0; kpow <= 3; ++kpow) {
+      if (std::abs(options.crossbar_density - std::ldexp(1.0, -kpow)) < 1e-12) {
+        and_words = kpow;
+        break;
+      }
+    }
+    const auto density_p8 = static_cast<std::uint8_t>(std::clamp(
+        static_cast<int>(std::lround(options.crossbar_density * 256.0)), 0, 255));
+    for (std::size_t c = 0; c < total_cores; ++c) {
+      util::CorePrng xbar_prng(util::derive_seed(spec.seed ^ kCrossbarSalt, c));
+      arch::NeurosynapticCore& core = model.core(static_cast<CoreId>(c));
+      for (unsigned axon = 0; axon < kAxonsPerCore; ++axon) {
+        util::Bits256& row = core.mutable_crossbar().mutable_row(axon);
+        if (and_words >= 0) {
+          for (unsigned w = 0; w < 4; ++w) {
+            std::uint64_t v = ~0ULL;
+            for (int a = 0; a < and_words; ++a) v &= xbar_prng.next_u64();
+            if (and_words == 0) v = ~0ULL;
+            row.w[w] = v;
+          }
+        } else {
+          for (unsigned j = 0; j < kNeuronsPerCore; ++j) {
+            if (xbar_prng.bernoulli_8(density_p8)) row.set(j);
+          }
+        }
+      }
+    }
+  }
+
+  // Neuron parameters + targets.
+  {
+    const double jitter_mean =
+        options.threshold_jitter_bits
+            ? 0.5 * ((1u << options.threshold_jitter_bits) - 1)
+            : 0.0;
+    for (std::size_t r = 0; r < num_regions; ++r) {
+      const RegionInfo& info = result.regions[r];
+      // Background drive calibrated so an isolated neuron fires at the
+      // region's target rate: p/256 potential per tick against an effective
+      // threshold of (threshold + mean jitter). Only balanced regions use
+      // the stochastic-threshold jitter.
+      const double effective_jitter =
+          info.kind == RegionKind::kBalanced ? jitter_mean : 0.0;
+      const double drive =
+          256.0 *
+          (static_cast<double>(options.threshold) + effective_jitter) *
+          info.rate_hz / 1000.0;
+      const auto drive_p8 = static_cast<std::int16_t>(
+          std::clamp(static_cast<int>(std::lround(drive)), 0, 255));
+
+      arch::NeuronParams params;
+      switch (info.kind) {
+        case RegionKind::kBalanced:
+          params.weights = {options.excitatory_weight,
+                            options.inhibitory_weight,
+                            options.excitatory_weight,
+                            options.inhibitory_weight};
+          params.leak = static_cast<std::int16_t>(-drive_p8);
+          params.flags = static_cast<std::uint8_t>(
+              (drive_p8 > 0 ? arch::kStochasticLeak : 0) |
+              (options.threshold_jitter_bits ? arch::kStochasticThreshold : 0));
+          params.threshold_mask_bits = options.threshold_jitter_bits;
+          break;
+        case RegionKind::kSource:
+          // Pure generator: incoming synapses are inert, firing is entirely
+          // the calibrated stochastic drive.
+          params.weights = {0, 0, 0, 0};
+          params.leak = static_cast<std::int16_t>(-drive_p8);
+          params.flags =
+              drive_p8 > 0 ? static_cast<std::uint8_t>(arch::kStochasticLeak)
+                           : std::uint8_t{0};
+          break;
+        case RegionKind::kRelay:
+          // Feed-forward stage: any excitatory input spike fires the neuron
+          // on this tick; inhibitory inputs and background drive are absent.
+          params.weights = {
+              static_cast<std::int16_t>(options.threshold), 0,
+              static_cast<std::int16_t>(options.threshold), 0};
+          params.leak = 0;
+          params.flags = 0;
+          break;
+      }
+      params.threshold = options.threshold;
+      params.reset_value = 0;
+      params.floor = -4 * options.threshold;
+      params.reset_mode = arch::ResetMode::kAbsolute;
+
+      const CoreId end = info.first_core + static_cast<CoreId>(info.cores);
+      for (CoreId c = info.first_core; c < end; ++c) {
+        util::CorePrng pot_prng(util::derive_seed(spec.seed ^ kPotentialSalt, c));
+        arch::NeurosynapticCore& core = model.core(c);
+        for (unsigned j = 0; j < kNeuronsPerCore; ++j) {
+          core.configure_neuron(
+              j, params, targets[static_cast<std::size_t>(c) * kNeuronsPerCore + j]);
+          if (options.randomize_potentials) {
+            core.set_potential(j, static_cast<std::int32_t>(pot_prng.uniform_below(
+                                      static_cast<std::uint32_t>(options.threshold))));
+          }
+        }
+      }
+    }
+  }
+
+  // Construction randomness must not leak into simulation randomness.
+  model.reseed_cores();
+
+  result.stats.compile_s = compile_timer.elapsed_s();
+  return result;
+}
+
+}  // namespace compass::compiler

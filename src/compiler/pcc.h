@@ -1,0 +1,123 @@
+// PCC — the Parallel Compass Compiler.
+//
+// Section IV: PCC "translates a compact definition of functional regions of
+// TrueNorth cores into the explicit neuron parameter, synaptic connection
+// parameter, and neuron-to-axon connectivity declarations required by
+// Compass", minimising inter-process traffic by keeping each functional
+// region on as few processes as necessary, and using IPFP matrix balancing
+// to guarantee every connection request is realisable.
+//
+// The pipeline implemented here:
+//   1. Volume normalisation — impute unknown region volumes with the class
+//      median, then apportion the requested core budget across regions
+//      (largest-remainder, >= 1 core per region).
+//   2. Demand matrix — gray-matter self fraction on the diagonal, white
+//      matter proportional to edge weight x target volume off the diagonal,
+//      scaled to each region's neuron count.
+//   3. Realizability — IPFP-balance the matrix so row r and column r both
+//      sum to 256 x cores_r (neuron supply == axon demand), then controlled
+//      rounding to exact integers. After this step every axon of every core
+//      is used exactly once and every neuron gets exactly one target.
+//   4. Placement — contiguous core blocks per region; balanced block
+//      partition across ranks (regions span as few ranks as possible).
+//   5. Gray-matter wiring — within each (region x rank) chunk, sources and
+//      targets round-robin across the chunk's cores ("distribute their
+//      connections as broadly as possible ... to provide the highest
+//      possible challenge to cache performance").
+//   6. White-matter wiring — per ordered region pair, axon grants are
+//      exchanged in aggregated per-pair messages (counted in WiringStats)
+//      and spread diffusely over the target region's cores.
+//   7. Core configuration — axon types encode the source neuron's
+//      excitatory/inhibitory identity and locality; crossbar rows are filled
+//      at the configured density; neurons get balanced weights plus a
+//      stochastic-leak background drive calibrated to the region's target
+//      firing rate.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/model.h"
+#include "compiler/coreobject.h"
+#include "compiler/ipfp.h"
+#include "runtime/partition.h"
+#include "util/matrix.h"
+
+namespace compass::compiler {
+
+struct PccOptions {
+  int ranks = 1;
+  int threads_per_rank = 1;
+
+  /// Probability that a crossbar bit is set (per axon row). Powers of two
+  /// down to 1/8 use a fast bitwise generator.
+  double crossbar_density = 0.25;
+
+  /// Fraction of neurons that are excitatory (interleaved within each core
+  /// so any allocation order sees the same mix).
+  double excitatory_fraction = 0.8;
+
+  /// Neuron dynamics template. Weights are indexed by axon type:
+  /// 0 = white-matter excitatory, 1 = white-matter inhibitory,
+  /// 2 = gray-matter excitatory,  3 = gray-matter inhibitory.
+  std::int32_t threshold = 64;
+  std::int16_t excitatory_weight = 2;
+  std::int16_t inhibitory_weight = -8;
+  std::uint8_t threshold_jitter_bits = 4;  // stochastic threshold mask
+
+  /// Axonal delay ranges (ticks), inclusive.
+  unsigned gray_delay_min = 1, gray_delay_max = 3;
+  unsigned white_delay_min = 3, white_delay_max = 15;
+
+  /// Start membrane potentials uniformly in [0, threshold) to desynchronise
+  /// the initial population burst.
+  bool randomize_potentials = true;
+
+  /// Align rank boundaries to region boundaries where possible (paper
+  /// section IV: regions on "as few Compass processes as necessary"). Off
+  /// falls back to a plain balanced block partition.
+  bool region_aligned_placement = true;
+
+  IpfpOptions ipfp;
+};
+
+struct RegionInfo {
+  std::string name;
+  RegionClass cls = RegionClass::kGeneric;
+  RegionKind kind = RegionKind::kBalanced;
+  double volume = 0.0;        // after imputation
+  bool volume_imputed = false;
+  std::int64_t cores = 0;
+  arch::CoreId first_core = 0;  // contiguous block [first_core, first_core+cores)
+  double self_fraction = 0.0;
+  double rate_hz = 0.0;
+  int first_rank = 0;  // ranks hosting this region: [first_rank, last_rank]
+  int last_rank = 0;
+};
+
+struct WiringStats {
+  std::uint64_t white_connections = 0;  // inter-region neuron->axon pairs
+  std::uint64_t gray_connections = 0;   // intra-region (and intra-rank) pairs
+  std::uint64_t pcc_messages = 0;       // aggregated request+grant messages
+  double compile_s = 0.0;               // wall-clock of compile()
+  IpfpResult ipfp;
+};
+
+struct PccResult {
+  arch::Model model;
+  runtime::Partition partition;
+  std::vector<RegionInfo> regions;
+  util::Matrix<std::int64_t> connections;  // balanced integer region matrix
+  WiringStats stats;
+};
+
+/// Compile a CoreObject spec into a ready-to-simulate model + partition.
+/// Throws std::invalid_argument / std::runtime_error on invalid specs.
+PccResult compile(const Spec& spec, const PccOptions& options = {});
+
+/// Helper shared with tests: true if neuron j is inhibitory under
+/// `excitatory_fraction` (evenly interleaved).
+bool is_inhibitory_neuron(unsigned j, double excitatory_fraction);
+
+}  // namespace compass::compiler

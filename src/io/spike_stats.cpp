@@ -1,0 +1,102 @@
+#include "io/spike_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <string>
+
+#include "util/stats.h"
+
+namespace compass::io {
+
+TrainStats analyze(const Raster& raster, std::uint64_t ticks,
+                   std::uint64_t neurons) {
+  TrainStats out;
+  out.total_spikes = raster.size();
+  if (ticks == 0 || neurons == 0) return out;
+
+  // Group spike times per flattened unit id.
+  std::map<std::uint64_t, std::vector<std::uint32_t>> trains;
+  for (const RasterEvent& e : raster.events()) {
+    const std::uint64_t unit =
+        static_cast<std::uint64_t>(e.core) * 256 + e.neuron;
+    trains[unit].push_back(e.tick);
+  }
+  out.active_neurons = trains.size();
+
+  const double seconds = static_cast<double>(ticks) * 1e-3;
+  out.mean_rate_hz = static_cast<double>(out.total_spikes) /
+                     (static_cast<double>(neurons) * seconds);
+  if (out.active_neurons > 0) {
+    out.active_mean_rate_hz =
+        static_cast<double>(out.total_spikes) /
+        (static_cast<double>(out.active_neurons) * seconds);
+  }
+
+  util::RunningStats isi;
+  for (auto& [unit, times] : trains) {
+    std::sort(times.begin(), times.end());
+    for (std::size_t i = 1; i < times.size(); ++i) {
+      isi.add(static_cast<double>(times[i] - times[i - 1]));
+    }
+  }
+  if (isi.count() > 0) {
+    out.isi_mean_ticks = isi.mean();
+    out.isi_cv = isi.mean() > 0.0 ? isi.stddev() / isi.mean() : 0.0;
+  }
+
+  // Fano factor of the per-tick population count: variance / mean. A
+  // homogeneous Poisson population gives ~1; synchronised firing inflates
+  // the variance far above the mean.
+  const std::vector<std::uint32_t> counts = per_tick_counts(raster, ticks);
+  util::RunningStats pop;
+  for (std::uint32_t c : counts) pop.add(static_cast<double>(c));
+  if (pop.mean() > 0.0) out.synchrony_index = pop.variance() / pop.mean();
+  return out;
+}
+
+std::vector<std::uint32_t> per_tick_counts(const Raster& raster,
+                                           std::uint64_t ticks) {
+  std::vector<std::uint32_t> counts(ticks, 0);
+  for (const RasterEvent& e : raster.events()) {
+    if (e.tick < ticks) ++counts[e.tick];
+  }
+  return counts;
+}
+
+std::string ascii_activity(const std::vector<std::uint32_t>& counts,
+                           unsigned width, unsigned rows) {
+  if (counts.empty() || width == 0 || rows == 0) return {};
+  // Bucket per-tick counts into `width` columns (mean per bucket).
+  std::vector<double> buckets(width, 0.0);
+  const double per_bucket =
+      static_cast<double>(counts.size()) / static_cast<double>(width);
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const auto b = std::min<std::size_t>(
+        width - 1, static_cast<std::size_t>(static_cast<double>(i) / per_bucket));
+    buckets[b] += counts[i];
+  }
+  double peak = 0.0;
+  for (double& b : buckets) {
+    b /= per_bucket;
+    peak = std::max(peak, b);
+  }
+  if (peak <= 0.0) peak = 1.0;
+
+  std::string out;
+  for (unsigned row = 0; row < rows; ++row) {
+    const double level =
+        peak * static_cast<double>(rows - row) / static_cast<double>(rows);
+    out += "  |";
+    for (unsigned col = 0; col < width; ++col) {
+      out += buckets[col] >= level - 1e-12 ? '#' : ' ';
+    }
+    out += '\n';
+  }
+  out += "  +" + std::string(width, '-') + "  (peak " +
+         std::to_string(static_cast<long>(std::lround(peak))) +
+         " spikes/tick)\n";
+  return out;
+}
+
+}  // namespace compass::io

@@ -1,0 +1,47 @@
+// Spike-train analysis over recorded rasters.
+//
+// Section I lists "studying TrueNorth dynamics" and "hypotheses testing,
+// verification, and iteration regarding neural codes and function" among
+// Compass's purposes; these are the standard first-order statistics such
+// studies start from:
+//   * per-neuron / population firing rates,
+//   * inter-spike-interval (ISI) statistics and the coefficient of
+//     variation (CV ~ 1 for Poisson-like firing, ~0 for clocks),
+//   * a population synchrony index (variance of the per-tick spike count
+//     relative to a Poisson population of the same rate; 1 = asynchronous,
+//     >> 1 = synchronised bursts).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "io/raster.h"
+
+namespace compass::io {
+
+struct TrainStats {
+  std::uint64_t total_spikes = 0;
+  std::uint64_t active_neurons = 0;   // neurons with >= 1 spike
+  double mean_rate_hz = 0.0;          // over all `neurons` (incl. silent)
+  double active_mean_rate_hz = 0.0;   // over active neurons only
+  double isi_mean_ticks = 0.0;        // mean inter-spike interval
+  double isi_cv = 0.0;                // std(ISI) / mean(ISI)
+  double synchrony_index = 0.0;       // Fano factor of per-tick counts
+};
+
+/// Analyse a raster covering `ticks` ticks of a population of `neurons`
+/// neurons (the raster's (core, neuron) pairs are flattened to identify
+/// units). Events need not be sorted.
+TrainStats analyze(const Raster& raster, std::uint64_t ticks,
+                   std::uint64_t neurons);
+
+/// Per-tick population spike counts (length `ticks`).
+std::vector<std::uint32_t> per_tick_counts(const Raster& raster,
+                                           std::uint64_t ticks);
+
+/// Coarse ASCII activity plot of per-tick counts (for CLI/report output):
+/// `rows` lines of '#' columns, auto-scaled, `width` buckets.
+std::string ascii_activity(const std::vector<std::uint32_t>& counts,
+                           unsigned width = 64, unsigned rows = 8);
+
+}  // namespace compass::io

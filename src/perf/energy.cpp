@@ -1,0 +1,23 @@
+#include "perf/energy.h"
+
+namespace compass::perf {
+
+EnergyEstimate estimate_energy(std::uint64_t cores, std::uint64_t ticks,
+                               std::uint64_t spikes,
+                               std::uint64_t synaptic_events,
+                               const EnergyParams& params) {
+  constexpr double kPicojoule = 1e-12;
+  EnergyEstimate e;
+  e.spike_j = static_cast<double>(spikes) * params.spike_pj * kPicojoule;
+  e.synapse_j =
+      static_cast<double>(synaptic_events) * params.synaptic_event_pj * kPicojoule;
+  e.static_j = static_cast<double>(cores) * static_cast<double>(ticks) *
+               params.core_tick_pj * kPicojoule;
+  e.total_j = e.spike_j + e.synapse_j + e.static_j;
+  const double seconds = static_cast<double>(ticks) * 1e-3;
+  if (seconds > 0.0) e.avg_watts = e.total_j / seconds;
+  if (cores > 0) e.watts_per_core = e.avg_watts / static_cast<double>(cores);
+  return e;
+}
+
+}  // namespace compass::perf

@@ -1,0 +1,47 @@
+// TrueNorth power estimation.
+//
+// Section I lists "(e) estimating power consumption" among the purposes
+// Compass is indispensable for, and the architecture papers the simulator
+// tracks give the hardware budget: the digital neurosynaptic core prototype
+// spends "45pJ per spike in 45nm" (Merolla et al., CICC 2011, cited as [3]).
+// This module turns a simulation's event counts into an energy/power
+// estimate for the simulated TrueNorth system:
+//
+//   E = spikes x E_spike                (spike generation + routing)
+//     + synaptic_events x E_synapse     (crossbar read + membrane update)
+//     + cores x ticks x E_core_tick     (clock distribution + leakage)
+//
+// Synaptic events are counted from the simulation when available, or
+// estimated as spikes x (density x 256) fan-in otherwise.
+#pragma once
+
+#include <cstdint>
+
+namespace compass::perf {
+
+struct EnergyParams {
+  double spike_pj = 45.0;        // per generated spike (CICC'11 prototype)
+  double synaptic_event_pj = 2.5;  // per active-axon synapse traversal
+  double core_tick_pj = 10.0;    // per core per 1 ms tick (leak + clock)
+
+  /// TrueNorth's projected deployment point: a few tens of mW per chip of
+  /// 4096 cores; these defaults land in that envelope at ~10 Hz rates.
+};
+
+struct EnergyEstimate {
+  double total_j = 0.0;
+  double spike_j = 0.0;
+  double synapse_j = 0.0;
+  double static_j = 0.0;
+  double avg_watts = 0.0;       // over the simulated (biological) duration
+  double watts_per_core = 0.0;
+};
+
+/// Estimate energy for a run of `ticks` ticks on `cores` cores that fired
+/// `spikes` spikes causing `synaptic_events` crossbar-bit traversals.
+EnergyEstimate estimate_energy(std::uint64_t cores, std::uint64_t ticks,
+                               std::uint64_t spikes,
+                               std::uint64_t synaptic_events,
+                               const EnergyParams& params = {});
+
+}  // namespace compass::perf

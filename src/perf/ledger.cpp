@@ -1,0 +1,43 @@
+#include "perf/ledger.h"
+
+#include <algorithm>
+
+namespace compass::perf {
+
+PhaseBreakdown compose_tick(const std::vector<RankTickTimes>& ranks,
+                            bool overlap_collective) {
+  PhaseBreakdown out;
+  double max_synapse = 0.0, max_neuron = 0.0, max_local = 0.0, max_sync = 0.0,
+         max_recv = 0.0;
+  for (const RankTickTimes& r : ranks) {
+    max_synapse = std::max(max_synapse, r.synapse);
+    max_neuron = std::max(max_neuron, r.neuron + r.send);
+    max_local = std::max(max_local, r.local_deliver);
+    max_sync = std::max(max_sync, r.sync);
+    max_recv = std::max(max_recv, r.recv);
+  }
+  out.synapse = max_synapse;
+  out.neuron = max_neuron;
+  // The collective overlaps with local delivery (Listing 1: non-master
+  // threads deliver local spikes while the master runs Reduce-Scatter).
+  if (overlap_collective) {
+    out.network = std::max(max_sync, max_local) + max_recv;
+  } else {
+    out.network = max_sync + max_local + max_recv;
+  }
+  return out;
+}
+
+void RunLedger::commit_tick() {
+  totals_ += compose_tick(scratch_, overlap_);
+  ++ticks_;
+  for (RankTickTimes& r : scratch_) r = RankTickTimes{};
+}
+
+double RunLedger::slowdown_vs_realtime() const {
+  if (ticks_ == 0) return 0.0;
+  const double simulated_s = static_cast<double>(ticks_) * 1e-3;
+  return totals_.total() / simulated_s;
+}
+
+}  // namespace compass::perf

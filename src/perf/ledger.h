@@ -1,0 +1,87 @@
+// Virtual-time accounting for the emulated parallel machine.
+//
+// The paper's scaling figures plot wall-clock time per simulation phase on a
+// real Blue Gene. Here, ranks execute one after another on a single host
+// CPU; their compute phases are *measured*, communication costs are
+// *modelled* (src/comm/cost_model.h), and this ledger composes the per-rank
+// values into the per-tick makespan a bulk-synchronous parallel machine
+// would achieve:
+//
+//   tick = max_r(synapse_r)                                 (Synapse phase)
+//        + max_r(neuron_r + send_r)                         (Neuron phase,
+//          incl. per-destination aggregation + message injection)
+//        + max(max_r(sync_r), max_r(local_deliver_r))       (Network phase:
+//          Reduce-Scatter / barrier OVERLAPPED with local delivery — the
+//          paper's key Network-phase optimisation)
+//        + max_r(recv_r)                                    (message receive
+//          critical section + remote spike delivery)
+//
+// All phase boundaries are global synchronisation points, matching the
+// semi-synchronous execution of Listing 1 (OpenMP barriers within a rank,
+// collective completion across ranks).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace compass::perf {
+
+/// One rank's contributions to one tick, in seconds.
+struct RankTickTimes {
+  double synapse = 0.0;        // measured crossbar propagation
+  double neuron = 0.0;         // measured integrate-leak-fire
+  double send = 0.0;           // measured aggregation + modelled injection
+  double local_deliver = 0.0;  // measured local spike delivery / threads
+  double sync = 0.0;           // modelled Reduce-Scatter or barrier
+  double recv = 0.0;           // modelled probe/recv + measured delivery
+};
+
+/// Composed per-tick (or per-run) phase breakdown for the whole machine.
+struct PhaseBreakdown {
+  double synapse = 0.0;
+  double neuron = 0.0;  // includes send/aggregation, as in Listing 1
+  double network = 0.0;
+  double total() const { return synapse + neuron + network; }
+
+  PhaseBreakdown& operator+=(const PhaseBreakdown& o) {
+    synapse += o.synapse;
+    neuron += o.neuron;
+    network += o.network;
+    return *this;
+  }
+};
+
+/// Compose one tick's rank times into the machine makespan. With
+/// `overlap_collective` false (ablation A2), the Reduce-Scatter no longer
+/// hides local delivery: network = sync + local + recv.
+PhaseBreakdown compose_tick(const std::vector<RankTickTimes>& ranks,
+                            bool overlap_collective = true);
+
+/// Accumulates composed breakdowns over a run and tracks how much real
+/// (host) wall-clock the emulation itself consumed.
+class RunLedger {
+ public:
+  explicit RunLedger(int ranks, bool overlap_collective = true)
+      : scratch_(static_cast<std::size_t>(ranks)),
+        overlap_(overlap_collective) {}
+
+  /// Per-tick scratch area the runtime fills in; commit_tick() composes and
+  /// resets it.
+  std::vector<RankTickTimes>& tick_scratch() { return scratch_; }
+  void commit_tick();
+
+  const PhaseBreakdown& totals() const { return totals_; }
+  std::uint64_t ticks() const { return ticks_; }
+
+  /// Virtual seconds per simulated tick (1 tick == 1 ms of biological time);
+  /// the paper's slowdown factor is virtual_total / (ticks * 1e-3).
+  double slowdown_vs_realtime() const;
+
+ private:
+  std::vector<RankTickTimes> scratch_;
+  PhaseBreakdown totals_{};
+  std::uint64_t ticks_ = 0;
+  bool overlap_ = true;
+};
+
+}  // namespace compass::perf

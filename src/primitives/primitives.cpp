@@ -1,0 +1,160 @@
+#include "primitives/primitives.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace compass::primitives {
+
+using arch::AxonTarget;
+using arch::kAxonsPerCore;
+using arch::kInvalidCore;
+using arch::kNeuronsPerCore;
+using arch::NeuronParams;
+using arch::ResetMode;
+
+void configure_poisson_source(arch::NeurosynapticCore& core, double rate_hz,
+                              std::int32_t threshold) {
+  if (rate_hz < 0.0 || rate_hz > 1000.0) {
+    throw std::invalid_argument("poisson_source: rate outside [0,1000] Hz");
+  }
+  // Drive p/256 potential per tick; mean inter-spike interval is
+  // threshold / (p/256) ticks, i.e. rate = p * 1000 / (256 * threshold) Hz.
+  // The drive saturates at 255/256 per tick, so for fast sources the
+  // threshold is lowered until the target rate is representable.
+  if (rate_hz > 0.0) {
+    const int max_threshold =
+        static_cast<int>(std::floor((255.0 / 256.0) * 1000.0 / rate_hz));
+    threshold = std::clamp(max_threshold, 1, threshold);
+  }
+  const int p8 = std::clamp(
+      static_cast<int>(std::lround(256.0 * threshold * rate_hz / 1000.0)), 0, 255);
+
+  NeuronParams params;
+  params.weights = {0, 0, 0, 0};
+  params.leak = static_cast<std::int16_t>(-p8);  // negative leak == drive
+  params.threshold = threshold;
+  params.reset_value = 0;
+  params.floor = 0;
+  params.reset_mode = ResetMode::kAbsolute;
+  params.flags =
+      p8 > 0 ? static_cast<std::uint8_t>(arch::kStochasticLeak) : std::uint8_t{0};
+  for (unsigned j = 0; j < kNeuronsPerCore; ++j) {
+    core.configure_neuron(j, params, AxonTarget{});  // targets wired by caller
+  }
+}
+
+void configure_relay(arch::NeurosynapticCore& core, arch::CoreId dst_core,
+                     std::uint8_t delay) {
+  constexpr std::int32_t kThreshold = 64;
+  NeuronParams params;
+  params.weights = {kThreshold, 0, 0, 0};
+  params.leak = 0;
+  params.threshold = kThreshold;
+  params.reset_value = 0;
+  params.floor = 0;
+  params.reset_mode = ResetMode::kAbsolute;
+
+  for (unsigned j = 0; j < kNeuronsPerCore; ++j) {
+    core.set_axon_type(j, 0);
+    core.set_synapse(j, j, true);  // identity crossbar
+    AxonTarget target{};
+    if (dst_core != kInvalidCore) {
+      target = AxonTarget{dst_core, static_cast<std::uint8_t>(j), delay};
+    }
+    core.configure_neuron(j, params, target);
+  }
+}
+
+void configure_oscillator(arch::NeurosynapticCore& core, arch::CoreId self_id,
+                          std::uint8_t period, unsigned lanes) {
+  if (period < arch::kMinDelay || period > arch::kMaxDelay) {
+    throw std::invalid_argument("oscillator: period must be in [1,15]");
+  }
+  if (lanes == 0 || lanes > kNeuronsPerCore) {
+    throw std::invalid_argument("oscillator: lanes must be in [1,256]");
+  }
+  constexpr std::int32_t kThreshold = 64;
+  NeuronParams params;
+  params.weights = {kThreshold, 0, 0, 0};
+  params.leak = 0;
+  params.threshold = kThreshold;
+  params.reset_value = 0;
+  params.floor = 0;
+  params.reset_mode = ResetMode::kAbsolute;
+
+  for (unsigned j = 0; j < lanes; ++j) {
+    core.set_axon_type(j, 0);
+    core.set_synapse(j, j, true);
+    core.configure_neuron(
+        j, params, AxonTarget{self_id, static_cast<std::uint8_t>(j), period});
+    core.set_potential(j, kThreshold);  // primed: fires at tick 0
+  }
+}
+
+void configure_winner_take_all(arch::NeurosynapticCore& core,
+                               arch::CoreId self_id, const WtaOptions& options) {
+  const unsigned groups = options.groups;
+  const unsigned size = options.group_size;
+  if (groups == 0 || size == 0 || groups * size > kNeuronsPerCore) {
+    throw std::invalid_argument("wta: groups * group_size must fit in 256");
+  }
+  if (2 * groups > kAxonsPerCore) {
+    throw std::invalid_argument("wta: needs 2 * groups axons");
+  }
+
+  NeuronParams params;
+  params.weights = {options.excite_weight, options.inhibit_weight, 0, 0};
+  params.leak = 4;  // decay toward rest so stale drive fades
+  params.threshold = options.threshold;
+  params.reset_value = 0;
+  params.floor = 0;
+  params.reset_mode = ResetMode::kAbsolute;
+
+  for (unsigned g = 0; g < groups; ++g) {
+    core.set_axon_type(g, 0);           // external drive (excitatory)
+    core.set_axon_type(groups + g, 1);  // group g's inhibitory feedback
+    for (unsigned j = 0; j < groups * size; ++j) {
+      const unsigned jg = j / size;
+      core.set_synapse(g, j, jg == g);               // drive own group
+      core.set_synapse(groups + g, j, jg != g);      // inhibit the others
+    }
+  }
+  for (unsigned j = 0; j < groups * size; ++j) {
+    const unsigned jg = j / size;
+    core.configure_neuron(
+        j, params,
+        AxonTarget{self_id, static_cast<std::uint8_t>(groups + jg),
+                   arch::kMinDelay});
+  }
+}
+
+void build_synfire_chain(arch::Model& model,
+                         std::span<const arch::CoreId> cores,
+                         std::uint8_t delay, bool ring) {
+  if (cores.size() < 2) {
+    throw std::invalid_argument("synfire chain needs at least two cores");
+  }
+  for (std::size_t i = 0; i < cores.size(); ++i) {
+    const bool last = i + 1 == cores.size();
+    arch::CoreId dst = kInvalidCore;
+    if (!last) {
+      dst = cores[i + 1];
+    } else if (ring) {
+      dst = cores[0];
+    }
+    configure_relay(model.core(cores[i]), dst, delay);
+  }
+}
+
+void inject_packet(arch::NeurosynapticCore& core, arch::Tick now,
+                   arch::Tick at_tick, unsigned width) {
+  assert(at_tick > now && at_tick - now <= arch::kMaxDelay);
+  (void)now;
+  for (unsigned axon = 0; axon < width; ++axon) {
+    core.deliver(axon, static_cast<unsigned>(at_tick & (arch::kDelaySlots - 1)));
+  }
+}
+
+}  // namespace compass::primitives

@@ -1,0 +1,71 @@
+// Functional primitives on neurosynaptic cores.
+//
+// Section IV: "To build applications for such large-scale TrueNorth
+// networks, we envisage first implementing libraries of functional
+// primitives that run on one or more interconnected TrueNorth cores. We can
+// then build richer applications by instantiating and connecting regions of
+// functional primitives." This module is that primitive library: each
+// function configures one core (or a span of cores in a model) into a small
+// reusable circuit. The primitives also serve as exact behavioural fixtures
+// for the integration tests (an oscillator's period, a relay's latency, and
+// a synfire chain's propagation speed are all provable properties).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "arch/core.h"
+#include "arch/model.h"
+#include "arch/types.h"
+
+namespace compass::primitives {
+
+/// Poisson-like spike source: all 256 neurons fire independently at
+/// approximately `rate_hz`, driven by stochastic leak against `threshold`.
+/// Neuron targets are left unconnected; callers wire them as needed.
+void configure_poisson_source(arch::NeurosynapticCore& core, double rate_hz,
+                              std::int32_t threshold = 64);
+
+/// Relay: axon i -> neuron i with a supra-threshold weight, so any spike on
+/// axon i fires neuron i in the same tick's neuron phase. Neuron i targets
+/// (dst_core, axon i) with `delay`. End-to-end latency from a spike landing
+/// on axon i to the relayed spike landing at dst is exactly `delay` ticks.
+void configure_relay(arch::NeurosynapticCore& core, arch::CoreId dst_core,
+                     std::uint8_t delay = arch::kMinDelay);
+
+/// Oscillator: the first `lanes` neurons self-loop through their own axons
+/// with delay `period` and start at threshold, so lane j emits a spike at
+/// ticks 0, period, 2*period, ... Requires 1 <= period <= 15.
+void configure_oscillator(arch::NeurosynapticCore& core, arch::CoreId self_id,
+                          std::uint8_t period, unsigned lanes = 1);
+
+/// Winner-take-all over `groups` groups of `group_size` neurons on one core.
+/// External input arrives on axons [0, groups) (axon g excites group g);
+/// each group's neurons loop back to axon `groups + g`, which inhibits every
+/// *other* group. The group with the strongest drive suppresses the rest.
+struct WtaOptions {
+  unsigned groups = 4;
+  unsigned group_size = 16;
+  std::int16_t excite_weight = 32;
+  std::int16_t inhibit_weight = -64;
+  std::int32_t threshold = 32;
+};
+void configure_winner_take_all(arch::NeurosynapticCore& core,
+                               arch::CoreId self_id, const WtaOptions& options);
+
+/// Synfire chain: cores[i] relays to cores[i+1] (and the last back to the
+/// first when `ring`), each hop taking `delay` ticks. A spike packet
+/// injected into cores[0] travels one hop per `delay` ticks indefinitely
+/// (ring) or until the end of the chain.
+void build_synfire_chain(arch::Model& model,
+                         std::span<const arch::CoreId> cores,
+                         std::uint8_t delay = arch::kMinDelay,
+                         bool ring = true);
+
+/// Inject a spike packet into `core`: schedule spikes on axons
+/// [0, width) for the synapse phase of tick `at_tick`, given the current
+/// tick is `now` (at_tick - now must be in [1, 15]).
+void inject_packet(arch::NeurosynapticCore& core, arch::Tick now,
+                   arch::Tick at_tick, unsigned width);
+
+}  // namespace compass::primitives

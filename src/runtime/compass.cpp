@@ -1,0 +1,262 @@
+#include "runtime/compass.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace compass::runtime {
+
+Compass::Compass(arch::Model& model, const Partition& partition,
+                 comm::Transport& transport, Config config)
+    : model_(model),
+      partition_(partition),
+      transport_(transport),
+      config_(config),
+      ledger_(partition.ranks(), config.overlap_collective) {
+  if (partition_.num_cores() != model_.num_cores()) {
+    throw std::invalid_argument(
+        "Compass: partition does not cover the model's cores");
+  }
+  if (transport_.ranks() != partition_.ranks()) {
+    throw std::invalid_argument(
+        "Compass: transport rank count does not match partition");
+  }
+
+  const std::size_t ranks = static_cast<std::size_t>(partition_.ranks());
+  const std::size_t threads = static_cast<std::size_t>(partition_.threads_per_rank());
+  local_.assign(ranks, std::vector<std::vector<arch::WireSpike>>(threads));
+  remote_.assign(ranks, {});
+  for (auto& per_thread : remote_) {
+    per_thread.assign(threads, std::vector<std::vector<arch::WireSpike>>(ranks));
+  }
+  agg_.assign(ranks, {});
+  counters_.assign(ranks, RankCounters{});
+}
+
+std::uint64_t Compass::step() {
+  transport_.begin_tick();
+  auto& scratch = ledger_.tick_scratch();
+  tick_fired_ = 0;
+  const int num_ranks = partition_.ranks();
+  for (RankCounters& c : counters_) c = RankCounters{};
+
+  // Compute (Synapse + Neuron), rank by rank. Ranks are independent here —
+  // no inter-rank state is touched until the transport sends — so with
+  // parallel_execution the emulated ranks run concurrently on real threads.
+  // A registered hook forces serial execution (unsynchronised callback).
+  const bool parallel = config_.parallel_execution && !hook_;
+  (void)parallel;
+#ifdef COMPASS_HAVE_OPENMP
+#pragma omp parallel for schedule(static) if (parallel)
+#endif
+  for (int rank = 0; rank < num_ranks; ++rank) {
+    compute_phases(rank, scratch[static_cast<std::size_t>(rank)]);
+  }
+  // Message injection is serial: the transport is driven from one thread.
+  for (int rank = 0; rank < num_ranks; ++rank) {
+    send_phase(rank, scratch[static_cast<std::size_t>(rank)]);
+  }
+
+  // Global synchronisation point: Reduce-Scatter (MPI) or barrier (PGAS).
+  transport_.exchange();
+
+  // Network phase: local + remote spike delivery per rank. Every rank only
+  // writes its own cores' delay buffers, so this also parallelises.
+#ifdef COMPASS_HAVE_OPENMP
+#pragma omp parallel for schedule(static) if (parallel)
+#endif
+  for (int rank = 0; rank < num_ranks; ++rank) {
+    network_phase(rank, scratch[static_cast<std::size_t>(rank)]);
+  }
+
+  for (const RankCounters& c : counters_) {
+    tick_fired_ += c.fired;
+    report_.routed_spikes += c.routed;
+    report_.synaptic_events += c.synaptic_events;
+    report_.local_spikes += c.local_delivered;
+  }
+
+  const comm::TickCommStats& ts = transport_.tick_stats();
+  report_.messages += ts.messages;
+  report_.remote_spikes += ts.remote_spikes;
+  report_.wire_bytes += ts.wire_bytes;
+  report_.fired_spikes += tick_fired_;
+  if (record_series_) {
+    series_.spikes.push_back(tick_fired_);
+    series_.messages.push_back(ts.messages);
+    series_.wire_bytes.push_back(ts.wire_bytes);
+  }
+
+  ledger_.commit_tick();
+  ++tick_;
+  ++report_.ticks;
+  return tick_fired_;
+}
+
+RunReport Compass::run(arch::Tick ticks) {
+  util::Stopwatch wall;
+  for (arch::Tick i = 0; i < ticks; ++i) step();
+  report_.host_wall_s += wall.elapsed_s();
+  report_.virtual_time = ledger_.totals();
+  return report_;
+}
+
+void Compass::compute_phases(int rank, perf::RankTickTimes& rt) {
+  // Phase compute is measured per rank with a thread-CPU clock and divided
+  // by the thread count: the contiguous thread partition is balanced to
+  // within one core, so per-thread makespan == per-rank time / threads up to
+  // that rounding. Measuring whole ranks (hundreds of cores) keeps timer
+  // overhead and noise negligible relative to the measured work.
+  const int threads = partition_.threads_per_rank();
+  const double inv_threads =
+      config_.compute_time_scale / static_cast<double>(threads);
+  util::CpuStopwatch sw;
+
+  RankCounters& counters = counters_[static_cast<std::size_t>(rank)];
+
+  // Synapse phase for every thread's cores.
+  if (config_.measure) sw.restart();
+  for (int t = 0; t < threads; ++t) {
+    for (arch::CoreId id : partition_.cores_of(rank, t)) {
+      counters.synaptic_events += static_cast<std::uint64_t>(
+          model_.core(id).synapse_phase(tick_).synaptic_events);
+    }
+  }
+  if (config_.measure) rt.synapse = sw.elapsed_s() * inv_threads;
+
+  // Neuron phase: integrate-leak-fire, routing spikes to the thread-local
+  // buffers exactly as Listing 1 does (localBuf[threadID] /
+  // remoteBuf[threadID][dest]).
+  if (config_.measure) sw.restart();
+  for (int t = 0; t < threads; ++t) {
+    auto& local_buf = local_[static_cast<std::size_t>(rank)][static_cast<std::size_t>(t)];
+    auto& remote_buf = remote_[static_cast<std::size_t>(rank)][static_cast<std::size_t>(t)];
+    std::uint64_t fired_in_thread = 0;
+    for (arch::CoreId id : partition_.cores_of(rank, t)) {
+      arch::NeurosynapticCore& core = model_.core(id);
+      const int fired = core.neuron_phase(
+          tick_, [&](unsigned j, const arch::AxonTarget& target) {
+            if (hook_) hook_(tick_, id, j);
+            if (!target.connected()) return;
+            ++counters.routed;
+            const arch::WireSpike wire = arch::make_wire_spike(target, tick_);
+            const int dst = partition_.rank_of(target.core);
+            if (dst == rank) {
+              local_buf.push_back(wire);
+            } else {
+              remote_buf[static_cast<std::size_t>(dst)].push_back(wire);
+            }
+          });
+      fired_in_thread += static_cast<std::uint64_t>(fired);
+    }
+    counters.fired += fired_in_thread;
+  }
+  if (config_.measure) rt.neuron = sw.elapsed_s() * inv_threads;
+}
+
+void Compass::send_phase(int rank, perf::RankTickTimes& rt) {
+  const std::size_t r = static_cast<std::size_t>(rank);
+  const int threads = partition_.threads_per_rank();
+  const int ranks = partition_.ranks();
+  util::CpuStopwatch sw;
+  double aggregate_s = 0.0;
+
+  if (transport_.one_sided()) {
+    // One-sided path: no master-thread aggregation; each thread's buffer is
+    // put directly into the destination's landing zone (section VII-A).
+    for (int t = 0; t < threads; ++t) {
+      auto& bufs = remote_[r][static_cast<std::size_t>(t)];
+      for (int dst = 0; dst < ranks; ++dst) {
+        auto& b = bufs[static_cast<std::size_t>(dst)];
+        if (!b.empty()) {
+          transport_.send(rank, dst, b);
+          b.clear();
+        }
+      }
+    }
+  } else if (config_.aggregate_sends) {
+    // Paper default: thread buffers are merged per destination so spikes are
+    // "consecutively laid out in memory for MPI message transfers", then one
+    // message per destination pair.
+    if (config_.measure) sw.restart();
+    for (int t = 0; t < threads; ++t) {
+      auto& bufs = remote_[r][static_cast<std::size_t>(t)];
+      for (int dst = 0; dst < ranks; ++dst) {
+        auto& b = bufs[static_cast<std::size_t>(dst)];
+        if (!b.empty()) {
+          auto& a = agg_[static_cast<std::size_t>(dst)];
+          a.insert(a.end(), b.begin(), b.end());
+          b.clear();
+        }
+      }
+    }
+    if (config_.measure) aggregate_s = sw.elapsed_s() * config_.compute_time_scale;
+    for (int dst = 0; dst < ranks; ++dst) {
+      auto& a = agg_[static_cast<std::size_t>(dst)];
+      if (!a.empty()) {
+        transport_.send(rank, dst, a);
+        a.clear();
+      }
+    }
+  } else {
+    // Ablation A1: one message per spike — the naive baseline the paper's
+    // aggregation design exists to avoid.
+    for (int t = 0; t < threads; ++t) {
+      auto& bufs = remote_[r][static_cast<std::size_t>(t)];
+      for (int dst = 0; dst < ranks; ++dst) {
+        auto& b = bufs[static_cast<std::size_t>(dst)];
+        for (const arch::WireSpike& w : b) {
+          transport_.send(rank, dst, std::span<const arch::WireSpike>(&w, 1));
+        }
+        b.clear();
+      }
+    }
+  }
+
+  rt.send = aggregate_s + transport_.send_time(rank);
+}
+
+void Compass::network_phase(int rank, perf::RankTickTimes& rt) {
+  const std::size_t r = static_cast<std::size_t>(rank);
+  const int threads = partition_.threads_per_rank();
+  util::CpuStopwatch sw;
+
+  rt.sync = transport_.sync_time(rank);
+
+  // Local delivery: partitioned across the non-master threads, which run
+  // concurrently with the master's collective (the overlap the ledger
+  // models). Delivery is a bit-set per spike, so order is irrelevant.
+  if (config_.measure) sw.restart();
+  std::uint64_t local_count = 0;
+  for (int t = 0; t < threads; ++t) {
+    auto& buf = local_[r][static_cast<std::size_t>(t)];
+    for (const arch::WireSpike& w : buf) {
+      model_.core(w.core).deliver(w.axon, w.slot);
+    }
+    local_count += buf.size();
+    buf.clear();
+  }
+  counters_[r].local_delivered += local_count;
+  if (config_.measure) {
+    const int width = std::max(1, threads - 1);
+    rt.local_deliver =
+        sw.elapsed_s() * config_.compute_time_scale / static_cast<double>(width);
+  }
+
+  // Remote delivery: all threads take turns receiving messages (serialised
+  // probe/recv, charged by the cost model) and deliver their contents in
+  // parallel (divided by the thread count).
+  if (config_.measure) sw.restart();
+  for (const comm::InMessage& msg : transport_.received(rank)) {
+    for (const arch::WireSpike& w : msg.spikes) {
+      model_.core(w.core).deliver(w.axon, w.slot);
+    }
+  }
+  double remote_deliver_s = 0.0;
+  if (config_.measure) {
+    remote_deliver_s = sw.elapsed_s() * config_.compute_time_scale;
+  }
+  rt.recv = transport_.recv_time(rank) +
+            remote_deliver_s / static_cast<double>(threads);
+}
+
+}  // namespace compass::runtime

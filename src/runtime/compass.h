@@ -1,0 +1,162 @@
+// The Compass simulator: the paper's main simulation loop (Listing 1).
+//
+// Each simulated tick executes three phases for every rank:
+//   Synapse — drain each core's delay-buffer slot for this tick and
+//             propagate spikes along crossbar rows into neuron accumulators;
+//   Neuron  — integrate-leak-fire every neuron; spikes destined for cores on
+//             the same rank go to the local buffer, others are aggregated
+//             per destination rank and handed to the transport (one MPI
+//             message per destination pair, or direct one-sided puts);
+//   Network — complete the collective (Reduce-Scatter / barrier), deliver
+//             local spikes in parallel with it, then receive and deliver
+//             remote spikes.
+//
+// Ranks are *virtual*: they execute sequentially on the host while their
+// compute is measured per (rank, thread) partition and composed with
+// modelled communication costs into the parallel makespan (src/perf/).
+// The functional results — membrane trajectories, spike trains, message and
+// byte counts — are exactly those of the distributed execution, because
+// spike delivery is order-independent and all randomness is per-core.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "arch/model.h"
+#include "arch/spike.h"
+#include "comm/transport.h"
+#include "perf/ledger.h"
+#include "runtime/partition.h"
+#include "util/stopwatch.h"
+
+namespace compass::runtime {
+
+struct Config {
+  /// Aggregate spikes per destination rank into one message (paper default).
+  /// Off = one message per spike (ablation A1's naive baseline).
+  bool aggregate_sends = true;
+  /// Overlap the Reduce-Scatter with local spike delivery (paper default;
+  /// ablation A2 turns it off in the makespan composition).
+  bool overlap_collective = true;
+  /// Measure per-thread compute for the virtual-time ledger. Off skips all
+  /// timer calls (fastest functional-only mode for tests).
+  bool measure = true;
+  /// Execute virtual ranks concurrently with OpenMP when the build has it
+  /// (the paper's hybrid threading, realised across the emulated ranks).
+  /// Functional results are unchanged — per-rank state is disjoint and
+  /// delivery is order-independent — but a registered spike hook forces
+  /// serial execution (user callbacks are not synchronised).
+  bool parallel_execution = false;
+  /// Calibration factor applied to *measured* compute times before they
+  /// enter the virtual-time ledger: how much slower the simulated machine's
+  /// CPU runs the Compass inner loops than this host. 1.0 reports host
+  /// speed; ~40 approximates an 850 MHz BG/P PPC450 against a modern x86
+  /// core (see EXPERIMENTS.md calibration notes). Modelled communication
+  /// costs are machine constants and are not scaled.
+  double compute_time_scale = 1.0;
+};
+
+/// Aggregate results of a run.
+struct RunReport {
+  std::uint64_t ticks = 0;
+  std::uint64_t fired_spikes = 0;    // neurons that crossed threshold
+  std::uint64_t routed_spikes = 0;   // spikes with a configured target
+  std::uint64_t local_spikes = 0;    // delivered within a rank
+  std::uint64_t remote_spikes = 0;   // crossed rank boundaries
+  std::uint64_t synaptic_events = 0; // crossbar bits traversed (energy model)
+  std::uint64_t messages = 0;        // point-to-point messages / puts
+  std::uint64_t wire_bytes = 0;      // at the transport's bytes-per-spike
+  double host_wall_s = 0.0;          // real time the emulation took
+  perf::PhaseBreakdown virtual_time; // composed parallel makespan
+  double virtual_total_s() const { return virtual_time.total(); }
+  /// Virtual slowdown versus biological real time (1 tick == 1 ms).
+  double slowdown() const {
+    return ticks ? virtual_time.total() / (static_cast<double>(ticks) * 1e-3)
+                 : 0.0;
+  }
+  /// Mean firing rate in Hz across all neurons.
+  double mean_rate_hz(std::uint64_t neurons) const {
+    if (ticks == 0 || neurons == 0) return 0.0;
+    return static_cast<double>(fired_spikes) * 1000.0 /
+           (static_cast<double>(neurons) * static_cast<double>(ticks));
+  }
+};
+
+/// Per-tick series, recorded when enabled (figure 4(b) plots these).
+struct TickSeries {
+  std::vector<std::uint64_t> spikes;
+  std::vector<std::uint64_t> messages;
+  std::vector<std::uint64_t> wire_bytes;
+};
+
+class Compass {
+ public:
+  /// The model's cores are mutated in place during simulation. `partition`
+  /// must cover exactly model.num_cores() cores; `transport.ranks()` must
+  /// equal partition.ranks().
+  Compass(arch::Model& model, const Partition& partition,
+          comm::Transport& transport, Config config = {});
+
+  /// Observe every fired spike: hook(tick, source core, neuron index).
+  /// Intended for rasters and tests; adds a call per spike when set.
+  using SpikeHook = std::function<void(arch::Tick, arch::CoreId, unsigned)>;
+  void set_spike_hook(SpikeHook hook) { hook_ = std::move(hook); }
+
+  /// Record per-tick spike/message series during run().
+  void enable_tick_series(bool on) { record_series_ = on; }
+  const TickSeries& tick_series() const { return series_; }
+
+  /// Resume from an absolute tick (checkpoint/restart): axon-buffer ring
+  /// slots are addressed by tick mod 16, so a restored model must continue
+  /// at the tick its checkpoint was taken. Call before the first step().
+  void set_start_tick(arch::Tick tick) { tick_ = tick; }
+
+  /// Simulate one tick. Returns spikes fired this tick.
+  std::uint64_t step();
+
+  /// Simulate `ticks` ticks and return the aggregate report.
+  RunReport run(arch::Tick ticks);
+
+  arch::Tick now() const { return tick_; }
+  const RunReport& report() const { return report_; }
+  const Partition& partition() const { return partition_; }
+
+ private:
+  void compute_phases(int rank, perf::RankTickTimes& rt);
+  void send_phase(int rank, perf::RankTickTimes& rt);
+  void network_phase(int rank, perf::RankTickTimes& rt);
+
+  arch::Model& model_;
+  Partition partition_;
+  comm::Transport& transport_;
+  Config config_;
+
+  arch::Tick tick_ = 0;
+  RunReport report_;
+  perf::RunLedger ledger_;
+  SpikeHook hook_;
+  bool record_series_ = false;
+  TickSeries series_;
+
+  // Reused per-tick buffers.
+  // local_[rank][thread]: spikes for cores on the same rank.
+  std::vector<std::vector<std::vector<arch::WireSpike>>> local_;
+  // remote_[rank][thread][dst]: spikes bound for rank `dst`.
+  std::vector<std::vector<std::vector<std::vector<arch::WireSpike>>>> remote_;
+  // agg_[dst]: master-thread aggregation buffer (two-sided path).
+  std::vector<std::vector<arch::WireSpike>> agg_;
+
+  // Per-rank counters, reduced after the (possibly parallel) phase loops.
+  struct RankCounters {
+    std::uint64_t fired = 0;
+    std::uint64_t routed = 0;
+    std::uint64_t synaptic_events = 0;
+    std::uint64_t local_delivered = 0;
+  };
+  std::vector<RankCounters> counters_;
+
+  std::uint64_t tick_fired_ = 0;  // spikes fired in the current step()
+};
+
+}  // namespace compass::runtime

@@ -1,0 +1,149 @@
+#include "runtime/partition.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace compass::runtime {
+
+Partition Partition::uniform(std::size_t num_cores, int ranks,
+                             int threads_per_rank) {
+  assert(ranks > 0 && threads_per_rank > 0);
+  std::vector<int> rank_of(num_cores);
+  // Contiguous blocks, remainder spread over the first ranks — keeps the
+  // rank loads within one core of each other.
+  const std::size_t base = num_cores / static_cast<std::size_t>(ranks);
+  const std::size_t extra = num_cores % static_cast<std::size_t>(ranks);
+  std::size_t next = 0;
+  for (int r = 0; r < ranks; ++r) {
+    const std::size_t len = base + (static_cast<std::size_t>(r) < extra ? 1 : 0);
+    for (std::size_t i = 0; i < len; ++i) rank_of[next++] = r;
+  }
+  assert(next == num_cores);
+  return from_rank_assignment(std::move(rank_of), ranks, threads_per_rank);
+}
+
+Partition Partition::block_aligned(std::span<const std::int64_t> block_sizes,
+                                   int ranks, int threads_per_rank) {
+  assert(ranks > 0 && threads_per_rank > 0);
+  std::int64_t total = 0;
+  for (std::int64_t s : block_sizes) {
+    assert(s >= 0);
+    total += s;
+  }
+  std::vector<int> rank_of(static_cast<std::size_t>(total));
+  const double per_rank =
+      static_cast<double>(total) / static_cast<double>(ranks);
+
+  std::int64_t prefix = 0;
+  int prev_rank = 0;
+  std::size_t core = 0;
+  for (std::int64_t size : block_sizes) {
+    if (size == 0) continue;
+    if (static_cast<double>(size) > per_rank && ranks > 1) {
+      // Oversized block: split by core index (it must span ranks anyway).
+      for (std::int64_t i = 0; i < size; ++i) {
+        int r = static_cast<int>(static_cast<double>(prefix + i) / per_rank);
+        r = std::clamp(r, prev_rank, ranks - 1);
+        rank_of[core++] = r;
+        prev_rank = r;
+      }
+    } else {
+      // Midpoint rule: the whole block goes to the rank owning its centre.
+      const double mid = static_cast<double>(prefix) +
+                         static_cast<double>(size) / 2.0;
+      int r = static_cast<int>(mid / per_rank);
+      r = std::clamp(r, prev_rank, ranks - 1);
+      for (std::int64_t i = 0; i < size; ++i) rank_of[core++] = r;
+      prev_rank = r;
+    }
+    prefix += size;
+  }
+  assert(core == rank_of.size());
+  return from_rank_assignment(std::move(rank_of), ranks, threads_per_rank);
+}
+
+Partition Partition::from_rank_assignment(std::vector<int> rank_of_core,
+                                          int ranks, int threads_per_rank) {
+  assert(ranks > 0 && threads_per_rank > 0);
+  Partition p;
+  p.ranks_ = ranks;
+  p.threads_per_rank_ = threads_per_rank;
+  p.rank_of_ = std::move(rank_of_core);
+  p.build_index();
+  return p;
+}
+
+void Partition::build_index() {
+  const std::size_t n = rank_of_.size();
+  thread_of_.assign(n, 0);
+  cores_sorted_.resize(n);
+  rank_offset_.assign(static_cast<std::size_t>(ranks_) + 1, 0);
+
+  // Counting sort of cores by rank (stable: ascending core id within rank).
+  for (int r : rank_of_) {
+    assert(r >= 0 && r < ranks_);
+    ++rank_offset_[static_cast<std::size_t>(r) + 1];
+  }
+  std::partial_sum(rank_offset_.begin(), rank_offset_.end(),
+                   rank_offset_.begin());
+  {
+    std::vector<std::size_t> cursor(rank_offset_.begin(),
+                                    rank_offset_.end() - 1);
+    for (std::size_t core = 0; core < n; ++core) {
+      cores_sorted_[cursor[static_cast<std::size_t>(rank_of_[core])]++] =
+          static_cast<arch::CoreId>(core);
+    }
+  }
+
+  // Contiguous thread blocks within each rank.
+  thread_offset_.assign(
+      static_cast<std::size_t>(ranks_) * static_cast<std::size_t>(threads_per_rank_) + 1, 0);
+  for (int r = 0; r < ranks_; ++r) {
+    const std::size_t lo = rank_offset_[static_cast<std::size_t>(r)];
+    const std::size_t hi = rank_offset_[static_cast<std::size_t>(r) + 1];
+    const std::size_t count = hi - lo;
+    const std::size_t base = count / static_cast<std::size_t>(threads_per_rank_);
+    const std::size_t extra = count % static_cast<std::size_t>(threads_per_rank_);
+    std::size_t pos = lo;
+    for (int t = 0; t < threads_per_rank_; ++t) {
+      const std::size_t len =
+          base + (static_cast<std::size_t>(t) < extra ? 1 : 0);
+      const std::size_t idx =
+          static_cast<std::size_t>(r) * static_cast<std::size_t>(threads_per_rank_) +
+          static_cast<std::size_t>(t);
+      thread_offset_[idx] = pos;
+      for (std::size_t i = 0; i < len; ++i) {
+        thread_of_[cores_sorted_[pos + i]] = t;
+      }
+      pos += len;
+    }
+    assert(pos == hi);
+  }
+  thread_offset_.back() = n;
+}
+
+std::span<const arch::CoreId> Partition::cores_of(int rank) const {
+  const std::size_t lo = rank_offset_[static_cast<std::size_t>(rank)];
+  const std::size_t hi = rank_offset_[static_cast<std::size_t>(rank) + 1];
+  return {cores_sorted_.data() + lo, hi - lo};
+}
+
+std::span<const arch::CoreId> Partition::cores_of(int rank, int thread) const {
+  const std::size_t idx =
+      static_cast<std::size_t>(rank) * static_cast<std::size_t>(threads_per_rank_) +
+      static_cast<std::size_t>(thread);
+  const std::size_t lo = thread_offset_[idx];
+  const std::size_t hi = (thread == threads_per_rank_ - 1)
+                             ? rank_offset_[static_cast<std::size_t>(rank) + 1]
+                             : thread_offset_[idx + 1];
+  return {cores_sorted_.data() + lo, hi - lo};
+}
+
+void Partition::rethread(int threads_per_rank) {
+  assert(threads_per_rank > 0);
+  threads_per_rank_ = threads_per_rank;
+  build_index();
+}
+
+}  // namespace compass::runtime

@@ -1,0 +1,72 @@
+// Core-to-process and core-to-thread placement.
+//
+// "Compass partitions the TrueNorth cores in a model across several
+// processes, and distributes TrueNorth cores residing in the same shared
+// memory space within a process among multiple threads" (section III). The
+// PCC additionally keeps each functional region on as few processes as
+// possible so most intra-region spiking stays in shared memory (section IV);
+// it builds a Partition with from_rank_assignment().
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "arch/types.h"
+
+namespace compass::runtime {
+
+class Partition {
+ public:
+  Partition() = default;
+
+  /// Block partition: cores split into `ranks` contiguous blocks, each block
+  /// split contiguously across `threads_per_rank` threads.
+  static Partition uniform(std::size_t num_cores, int ranks,
+                           int threads_per_rank);
+
+  /// Explicit placement (used by PCC): `rank_of_core[i]` gives core i's
+  /// rank; cores of a rank are split contiguously across threads.
+  static Partition from_rank_assignment(std::vector<int> rank_of_core,
+                                        int ranks, int threads_per_rank);
+
+  /// Block-aligned placement: cores come in contiguous blocks (PCC regions)
+  /// of the given sizes; rank boundaries prefer block boundaries so that a
+  /// block lands on as few ranks as possible ("assigning TrueNorth cores in
+  /// the same functional region to as few Compass processes as necessary",
+  /// paper section IV). Blocks whose midpoint falls in rank r go wholly to
+  /// rank r; blocks larger than one rank's share are split by index. Loads
+  /// stay within roughly one block of balanced.
+  static Partition block_aligned(std::span<const std::int64_t> block_sizes,
+                                 int ranks, int threads_per_rank);
+
+  int ranks() const noexcept { return ranks_; }
+  int threads_per_rank() const noexcept { return threads_per_rank_; }
+  std::size_t num_cores() const noexcept { return rank_of_.size(); }
+
+  int rank_of(arch::CoreId core) const { return rank_of_[core]; }
+  int thread_of(arch::CoreId core) const { return thread_of_[core]; }
+
+  /// All cores owned by `rank` (ascending core id).
+  std::span<const arch::CoreId> cores_of(int rank) const;
+  /// Cores owned by (`rank`, `thread`).
+  std::span<const arch::CoreId> cores_of(int rank, int thread) const;
+
+  /// Re-split every rank's cores across a new thread count (used by the
+  /// thread-scaling bench; rank placement is unchanged).
+  void rethread(int threads_per_rank);
+
+ private:
+  void build_index();
+
+  int ranks_ = 0;
+  int threads_per_rank_ = 1;
+  std::vector<int> rank_of_;
+  std::vector<int> thread_of_;
+  // cores grouped by rank then thread, plus offsets.
+  std::vector<arch::CoreId> cores_sorted_;
+  std::vector<std::size_t> rank_offset_;            // size ranks_+1
+  std::vector<std::size_t> thread_offset_;          // size ranks_*threads+1
+};
+
+}  // namespace compass::runtime

@@ -1,0 +1,69 @@
+// Bit-manipulation helpers for the 256-wide bit rows used throughout the
+// simulator (crossbar rows, axon-buffer slots). A TrueNorth synapse is a
+// single bit, so dense bit rows are the fundamental storage unit (the paper
+// credits this with 32x less synapse storage than the earlier C2 simulator).
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <span>
+
+namespace compass::util {
+
+/// A 256-bit row stored as four 64-bit words, word 0 = bits [0,64).
+struct Bits256 {
+  std::array<std::uint64_t, 4> w{0, 0, 0, 0};
+
+  void set(unsigned bit) noexcept { w[bit >> 6] |= 1ULL << (bit & 63); }
+  void clear(unsigned bit) noexcept { w[bit >> 6] &= ~(1ULL << (bit & 63)); }
+  bool test(unsigned bit) const noexcept {
+    return (w[bit >> 6] >> (bit & 63)) & 1ULL;
+  }
+  void reset() noexcept { w = {0, 0, 0, 0}; }
+
+  bool any() const noexcept { return (w[0] | w[1] | w[2] | w[3]) != 0; }
+
+  int popcount() const noexcept {
+    return std::popcount(w[0]) + std::popcount(w[1]) + std::popcount(w[2]) +
+           std::popcount(w[3]);
+  }
+
+  Bits256& operator|=(const Bits256& o) noexcept {
+    w[0] |= o.w[0]; w[1] |= o.w[1]; w[2] |= o.w[2]; w[3] |= o.w[3];
+    return *this;
+  }
+  Bits256& operator&=(const Bits256& o) noexcept {
+    w[0] &= o.w[0]; w[1] &= o.w[1]; w[2] &= o.w[2]; w[3] &= o.w[3];
+    return *this;
+  }
+  friend bool operator==(const Bits256&, const Bits256&) = default;
+};
+
+/// Invoke fn(bit_index) for every set bit, in ascending order.
+template <typename Fn>
+inline void for_each_set_bit(const Bits256& bits, Fn&& fn) {
+  for (unsigned word = 0; word < 4; ++word) {
+    std::uint64_t v = bits.w[word];
+    while (v != 0) {
+      const unsigned bit = static_cast<unsigned>(std::countr_zero(v));
+      fn(word * 64 + bit);
+      v &= v - 1;  // clear lowest set bit
+    }
+  }
+}
+
+/// Invoke fn(bit_index) for every set bit of (a AND b), ascending.
+template <typename Fn>
+inline void for_each_set_bit_and(const Bits256& a, const Bits256& b, Fn&& fn) {
+  for (unsigned word = 0; word < 4; ++word) {
+    std::uint64_t v = a.w[word] & b.w[word];
+    while (v != 0) {
+      const unsigned bit = static_cast<unsigned>(std::countr_zero(v));
+      fn(word * 64 + bit);
+      v &= v - 1;
+    }
+  }
+}
+
+}  // namespace compass::util

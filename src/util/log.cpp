@@ -1,0 +1,51 @@
+#include "util/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace compass::util {
+
+namespace {
+
+LogLevel initial_threshold() {
+  const char* env = std::getenv("COMPASS_LOG");
+  if (env == nullptr) return LogLevel::kInfo;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(env, "warn") == 0) return LogLevel::kWarn;
+  if (std::strcmp(env, "error") == 0) return LogLevel::kError;
+  if (std::strcmp(env, "off") == 0) return LogLevel::kOff;
+  return LogLevel::kInfo;
+}
+
+std::atomic<LogLevel>& threshold_storage() {
+  static std::atomic<LogLevel> level{initial_threshold()};
+  return level;
+}
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    default: return "?????";
+  }
+}
+
+}  // namespace
+
+LogLevel log_threshold() { return threshold_storage().load(std::memory_order_relaxed); }
+
+void set_log_threshold(LogLevel level) {
+  threshold_storage().store(level, std::memory_order_relaxed);
+}
+
+void log_message(LogLevel level, const std::string& msg) {
+  if (level < log_threshold()) return;
+  std::fprintf(stderr, "[compass %s] %s\n", level_tag(level), msg.c_str());
+}
+
+}  // namespace compass::util

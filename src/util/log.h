@@ -1,0 +1,43 @@
+// Minimal leveled logger. Benches and examples log progress at Info; the
+// library itself only logs at Warn and above so that simulation hot loops
+// stay silent.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace compass::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are discarded. Defaults to kInfo and
+/// honours the COMPASS_LOG environment variable (debug|info|warn|error|off)
+/// on first use.
+LogLevel log_threshold();
+void set_log_threshold(LogLevel level);
+
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, stream_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+inline detail::LogLine log_debug() { return detail::LogLine(LogLevel::kDebug); }
+inline detail::LogLine log_info() { return detail::LogLine(LogLevel::kInfo); }
+inline detail::LogLine log_warn() { return detail::LogLine(LogLevel::kWarn); }
+inline detail::LogLine log_error() { return detail::LogLine(LogLevel::kError); }
+
+}  // namespace compass::util

@@ -1,0 +1,54 @@
+// Minimal dense row-major matrix used by the compiler's connection-matrix
+// pipeline (region-level matrices are at most a few hundred square).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace compass::util {
+
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, T init = T{})
+      : rows_(rows), cols_(cols), data_(rows * cols, init) {}
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+
+  T& operator()(std::size_t r, std::size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  const T& operator()(std::size_t r, std::size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  T row_sum(std::size_t r) const {
+    T s{};
+    for (std::size_t c = 0; c < cols_; ++c) s += (*this)(r, c);
+    return s;
+  }
+  T col_sum(std::size_t c) const {
+    T s{};
+    for (std::size_t r = 0; r < rows_; ++r) s += (*this)(r, c);
+    return s;
+  }
+  T total() const {
+    T s{};
+    for (const T& v : data_) s += v;
+    return s;
+  }
+
+  const std::vector<T>& data() const noexcept { return data_; }
+  std::vector<T>& data() noexcept { return data_; }
+
+ private:
+  std::size_t rows_ = 0, cols_ = 0;
+  std::vector<T> data_;
+};
+
+}  // namespace compass::util

@@ -1,0 +1,13 @@
+#include "util/prng.h"
+
+namespace compass::util {
+
+std::uint64_t derive_seed(std::uint64_t global_seed, std::uint64_t stream) noexcept {
+  // Mix the stream id into the seed through two SplitMix64 steps so that
+  // consecutive stream ids (core 0, core 1, ...) land far apart.
+  SplitMix64 mix(global_seed ^ (stream * 0xD6E8FEB86659FD93ULL));
+  mix.next();
+  return mix.next();
+}
+
+}  // namespace compass::util

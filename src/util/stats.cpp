@@ -1,0 +1,40 @@
+#include "util/stats.h"
+
+#include <cassert>
+
+namespace compass::util {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
+  assert(hi > lo && bins > 0);
+}
+
+void Histogram::add(double x) noexcept {
+  double idx = (x - lo_) / width_;
+  std::size_t bin;
+  if (idx < 0.0) {
+    bin = 0;
+  } else if (idx >= static_cast<double>(counts_.size())) {
+    bin = counts_.size() - 1;
+  } else {
+    bin = static_cast<std::size_t>(idx);
+  }
+  ++counts_[bin];
+  ++total_;
+}
+
+double Histogram::quantile(double q) const noexcept {
+  if (total_ == 0) return lo_;
+  const double target = q * static_cast<double>(total_);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cum += static_cast<double>(counts_[i]);
+    if (cum >= target) {
+      // Midpoint of the bin is a good enough point estimate for reporting.
+      return bin_lo(i) + 0.5 * width_;
+    }
+  }
+  return bin_lo(counts_.size() - 1) + 0.5 * width_;
+}
+
+}  // namespace compass::util

@@ -1,0 +1,101 @@
+#include "util/table.h"
+
+#include <cassert>
+#include <cstdio>
+#include <ostream>
+
+namespace compass::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+Table& Table::row() {
+  cells_.emplace_back();
+  cells_.back().reserve(headers_.size());
+  return *this;
+}
+
+Table& Table::add(const std::string& cell) {
+  assert(!cells_.empty() && cells_.back().size() < headers_.size());
+  cells_.back().push_back(cell);
+  return *this;
+}
+
+Table& Table::add(const char* cell) { return add(std::string(cell)); }
+
+Table& Table::add(std::int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  return add(std::string(buf));
+}
+
+Table& Table::add(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  return add(std::string(buf));
+}
+
+Table& Table::add(double v, int digits) { return add(format_double(v, digits)); }
+
+void Table::print(std::ostream& os, const std::string& title) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : cells_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  if (!title.empty()) os << title << '\n';
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      os << "  " << cell;
+      for (std::size_t pad = cell.size(); pad < widths[c]; ++pad) os << ' ';
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  std::size_t rule = 2;
+  for (std::size_t w : widths) rule += w + 2;
+  os << "  " << std::string(rule - 2, '-') << '\n';
+  for (const auto& row : cells_) print_row(row);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      os << row[c];
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : cells_) emit(row);
+}
+
+std::string format_double(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, v);
+  return buf;
+}
+
+std::string human_count(double v) {
+  char buf[64];
+  if (v >= 1e12) std::snprintf(buf, sizeof buf, "%.2fT", v / 1e12);
+  else if (v >= 1e9) std::snprintf(buf, sizeof buf, "%.2fB", v / 1e9);
+  else if (v >= 1e6) std::snprintf(buf, sizeof buf, "%.2fM", v / 1e6);
+  else if (v >= 1e3) std::snprintf(buf, sizeof buf, "%.2fK", v / 1e3);
+  else std::snprintf(buf, sizeof buf, "%.0f", v);
+  return buf;
+}
+
+std::string human_bytes(double v) {
+  char buf[64];
+  if (v >= 1024.0 * 1024 * 1024) std::snprintf(buf, sizeof buf, "%.2f GiB", v / (1024.0 * 1024 * 1024));
+  else if (v >= 1024.0 * 1024) std::snprintf(buf, sizeof buf, "%.2f MiB", v / (1024.0 * 1024));
+  else if (v >= 1024.0) std::snprintf(buf, sizeof buf, "%.2f KiB", v / 1024.0);
+  else std::snprintf(buf, sizeof buf, "%.0f B", v);
+  return buf;
+}
+
+}  // namespace compass::util

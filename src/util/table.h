@@ -1,0 +1,48 @@
+// Column-aligned table printing for the benchmark harness. Every figure
+// bench emits both a human-readable table (stdout) and machine-readable CSV
+// so the paper's plots can be regenerated from the run output.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace compass::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Begin a new row; subsequent add() calls fill it left to right.
+  Table& row();
+  Table& add(const std::string& cell);
+  Table& add(const char* cell);
+  Table& add(std::int64_t v);
+  Table& add(std::uint64_t v);
+  Table& add(int v) { return add(static_cast<std::int64_t>(v)); }
+  /// Doubles are formatted with `digits` significant decimals.
+  Table& add(double v, int digits = 3);
+
+  /// Pretty-print with aligned columns; `title` prints above the table.
+  void print(std::ostream& os, const std::string& title = "") const;
+  /// Comma-separated output (headers + rows).
+  void print_csv(std::ostream& os) const;
+
+  std::size_t rows() const noexcept { return cells_.size(); }
+  std::size_t cols() const noexcept { return headers_.size(); }
+  const std::string& at(std::size_t r, std::size_t c) const {
+    return cells_.at(r).at(c);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> cells_;
+};
+
+/// Format helpers shared by benches and examples.
+std::string human_count(double v);   // 1234567 -> "1.23M"
+std::string human_bytes(double v);   // 1536 -> "1.50 KiB"
+std::string format_double(double v, int digits);
+
+}  // namespace compass::util

@@ -1,0 +1,108 @@
+// Unit tests for the 16-slot axonal-delay ring buffer.
+#include "arch/axon_buffer.h"
+
+#include <gtest/gtest.h>
+
+namespace compass::arch {
+namespace {
+
+TEST(AxonBuffer, StartsEmpty) {
+  AxonBuffer b;
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.pending(), 0);
+}
+
+TEST(AxonBuffer, ScheduleThenDrainAtThatTick) {
+  AxonBuffer b;
+  b.schedule(42, 5);
+  EXPECT_FALSE(b.empty());
+  const util::Bits256 got = b.drain(5);
+  EXPECT_TRUE(got.test(42));
+  EXPECT_EQ(got.popcount(), 1);
+  EXPECT_TRUE(b.empty());  // drain clears
+}
+
+TEST(AxonBuffer, DrainOtherSlotIsEmpty) {
+  AxonBuffer b;
+  b.schedule(1, 3);
+  EXPECT_FALSE(b.drain(4).any());
+  EXPECT_TRUE(b.drain(3).test(1));
+}
+
+TEST(AxonBuffer, SlotIndexWrapsMod16) {
+  AxonBuffer b;
+  b.schedule(7, 2);
+  // Tick 18 maps to slot 2 (18 mod 16).
+  EXPECT_TRUE(b.drain(18).test(7));
+}
+
+TEST(AxonBuffer, MultipleAxonsSameSlot) {
+  AxonBuffer b;
+  b.schedule(0, 9);
+  b.schedule(128, 9);
+  b.schedule(255, 9);
+  const util::Bits256 got = b.drain(9);
+  EXPECT_EQ(got.popcount(), 3);
+  EXPECT_TRUE(got.test(0));
+  EXPECT_TRUE(got.test(128));
+  EXPECT_TRUE(got.test(255));
+}
+
+TEST(AxonBuffer, DuplicateDeliveryCollapsesToOneBit) {
+  // Delivery is an OR: two spikes to the same (axon, slot) are one event —
+  // this is what makes delivery order immaterial.
+  AxonBuffer b;
+  b.schedule(10, 4);
+  b.schedule(10, 4);
+  EXPECT_EQ(b.drain(4).popcount(), 1);
+}
+
+TEST(AxonBuffer, SlotsAreIndependentAcrossDelays) {
+  AxonBuffer b;
+  for (unsigned d = 0; d < kDelaySlots; ++d) b.schedule(d, d);
+  for (unsigned d = 0; d < kDelaySlots; ++d) {
+    const util::Bits256 got = b.drain(d);
+    EXPECT_EQ(got.popcount(), 1) << d;
+    EXPECT_TRUE(got.test(d));
+  }
+}
+
+TEST(AxonBuffer, PeekDoesNotClear) {
+  AxonBuffer b;
+  b.schedule(5, 1);
+  EXPECT_TRUE(b.peek(1).test(5));
+  EXPECT_TRUE(b.peek(1).test(5));
+  EXPECT_TRUE(b.drain(1).test(5));
+  EXPECT_FALSE(b.peek(1).test(5));
+}
+
+TEST(AxonBuffer, PendingCountsAllSlots) {
+  AxonBuffer b;
+  b.schedule(0, 0);
+  b.schedule(1, 5);
+  b.schedule(2, 15);
+  EXPECT_EQ(b.pending(), 3);
+}
+
+TEST(AxonBuffer, ClearEmptiesEverything) {
+  AxonBuffer b;
+  for (unsigned s = 0; s < kDelaySlots; ++s) b.schedule(s, s);
+  b.clear();
+  EXPECT_TRUE(b.empty());
+}
+
+TEST(AxonBuffer, MaxDelayDoesNotCollideWithCurrentTick) {
+  // A spike sent at tick t with delay 15 lands in slot (t+15) & 15, which is
+  // the slot drained at t-1 / t+15 — never the slot being drained at t.
+  for (Tick t = 0; t < 32; ++t) {
+    AxonBuffer b;
+    const unsigned slot = static_cast<unsigned>((t + kMaxDelay) & (kDelaySlots - 1));
+    EXPECT_NE(slot, static_cast<unsigned>(t & (kDelaySlots - 1)));
+    b.schedule(0, slot);
+    EXPECT_FALSE(b.drain(t).any());
+    EXPECT_TRUE(b.drain(t + kMaxDelay).test(0));
+  }
+}
+
+}  // namespace
+}  // namespace compass::arch

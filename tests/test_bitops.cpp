@@ -1,0 +1,124 @@
+// Unit tests for the 256-bit row primitives that back crossbars and axon
+// buffers.
+#include "util/bitops.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace compass::util {
+namespace {
+
+TEST(Bits256, StartsEmpty) {
+  Bits256 b;
+  EXPECT_FALSE(b.any());
+  EXPECT_EQ(b.popcount(), 0);
+  for (unsigned i = 0; i < 256; ++i) EXPECT_FALSE(b.test(i));
+}
+
+TEST(Bits256, SetTestClearEveryBit) {
+  Bits256 b;
+  for (unsigned i = 0; i < 256; ++i) {
+    b.set(i);
+    EXPECT_TRUE(b.test(i)) << i;
+    EXPECT_EQ(b.popcount(), static_cast<int>(i) + 1);
+  }
+  for (unsigned i = 0; i < 256; ++i) {
+    b.clear(i);
+    EXPECT_FALSE(b.test(i)) << i;
+  }
+  EXPECT_FALSE(b.any());
+}
+
+TEST(Bits256, SetIsIdempotent) {
+  Bits256 b;
+  b.set(100);
+  b.set(100);
+  EXPECT_EQ(b.popcount(), 1);
+}
+
+TEST(Bits256, WordBoundaries) {
+  Bits256 b;
+  for (unsigned i : {0u, 63u, 64u, 127u, 128u, 191u, 192u, 255u}) {
+    b.set(i);
+  }
+  EXPECT_EQ(b.popcount(), 8);
+  EXPECT_EQ(b.w[0], (1ULL << 0) | (1ULL << 63));
+  EXPECT_EQ(b.w[3], (1ULL << 0) | (1ULL << 63));
+}
+
+TEST(Bits256, ResetClearsAll) {
+  Bits256 b;
+  for (unsigned i = 0; i < 256; i += 3) b.set(i);
+  b.reset();
+  EXPECT_FALSE(b.any());
+}
+
+TEST(Bits256, OrAccumulates) {
+  Bits256 a, b;
+  a.set(1);
+  a.set(200);
+  b.set(2);
+  b.set(200);
+  a |= b;
+  EXPECT_TRUE(a.test(1));
+  EXPECT_TRUE(a.test(2));
+  EXPECT_TRUE(a.test(200));
+  EXPECT_EQ(a.popcount(), 3);
+}
+
+TEST(Bits256, AndMasks) {
+  Bits256 a, b;
+  a.set(5);
+  a.set(70);
+  b.set(70);
+  b.set(255);
+  a &= b;
+  EXPECT_EQ(a.popcount(), 1);
+  EXPECT_TRUE(a.test(70));
+}
+
+TEST(Bits256, EqualityIsStructural) {
+  Bits256 a, b;
+  a.set(17);
+  EXPECT_NE(a, b);
+  b.set(17);
+  EXPECT_EQ(a, b);
+}
+
+TEST(ForEachSetBit, VisitsAscending) {
+  Bits256 b;
+  const std::vector<unsigned> want = {0, 1, 63, 64, 100, 191, 192, 255};
+  for (unsigned i : want) b.set(i);
+  std::vector<unsigned> got;
+  for_each_set_bit(b, [&](unsigned i) { got.push_back(i); });
+  EXPECT_EQ(got, want);
+}
+
+TEST(ForEachSetBit, EmptyVisitsNothing) {
+  Bits256 b;
+  int calls = 0;
+  for_each_set_bit(b, [&](unsigned) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ForEachSetBit, FullVisitsAll256) {
+  Bits256 b;
+  for (unsigned i = 0; i < 256; ++i) b.set(i);
+  unsigned expect = 0;
+  for_each_set_bit(b, [&](unsigned i) { EXPECT_EQ(i, expect++); });
+  EXPECT_EQ(expect, 256u);
+}
+
+TEST(ForEachSetBitAnd, IntersectionOnly) {
+  Bits256 a, b;
+  for (unsigned i = 0; i < 256; i += 2) a.set(i);   // evens
+  for (unsigned i = 0; i < 256; i += 3) b.set(i);   // multiples of 3
+  std::vector<unsigned> got;
+  for_each_set_bit_and(a, b, [&](unsigned i) { got.push_back(i); });
+  for (unsigned i : got) EXPECT_EQ(i % 6, 0u);
+  EXPECT_EQ(got.size(), 43u);  // 0, 6, ..., 252
+}
+
+}  // namespace
+}  // namespace compass::util

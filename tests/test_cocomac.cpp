@@ -1,0 +1,226 @@
+// Tests for the synthetic CoCoMac database, the paper's reduction
+// procedure, and the macaque CoreObject spec builder.
+#include "cocomac/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cocomac/macaque.h"
+
+namespace compass::cocomac {
+namespace {
+
+using compiler::RegionClass;
+
+TEST(CocomacRaw, PublishedAggregateStatistics) {
+  const RawGraph g = build_synthetic_cocomac();
+  EXPECT_EQ(g.regions.size(), 383u);   // "383 hierarchically organized regions"
+  EXPECT_EQ(g.edges.size(), 6602u);    // "6,602 directed edges"
+  EXPECT_EQ(g.num_parents(), 102u);    // reduced network size
+}
+
+TEST(CocomacRaw, EdgesAreDistinctAndWellFormed) {
+  const RawGraph g = build_synthetic_cocomac();
+  std::set<std::pair<int, int>> seen;
+  for (const auto& e : g.edges) {
+    EXPECT_GE(e.first, 0);
+    EXPECT_LT(e.first, static_cast<int>(g.regions.size()));
+    EXPECT_GE(e.second, 0);
+    EXPECT_LT(e.second, static_cast<int>(g.regions.size()));
+    EXPECT_TRUE(seen.insert(e).second) << "duplicate edge";
+  }
+}
+
+TEST(CocomacRaw, ChildrenPointAtValidParents) {
+  const RawGraph g = build_synthetic_cocomac();
+  for (const RawRegion& r : g.regions) {
+    if (r.parent >= 0) {
+      ASSERT_LT(r.parent, static_cast<int>(g.regions.size()));
+      EXPECT_EQ(g.regions[static_cast<std::size_t>(r.parent)].parent, -1)
+          << "hierarchy must be two-level";
+      EXPECT_EQ(r.cls, g.regions[static_cast<std::size_t>(r.parent)].cls);
+    }
+  }
+}
+
+TEST(CocomacRaw, ReportingChildrenImplyReportingParents) {
+  const RawGraph g = build_synthetic_cocomac();
+  for (const RawRegion& r : g.regions) {
+    if (r.parent >= 0 && r.reports) {
+      EXPECT_TRUE(g.regions[static_cast<std::size_t>(r.parent)].reports);
+    }
+  }
+}
+
+TEST(CocomacRaw, DeterministicForFixedSeed) {
+  const RawGraph a = build_synthetic_cocomac(123);
+  const RawGraph b = build_synthetic_cocomac(123);
+  EXPECT_EQ(a.edges, b.edges);
+  ASSERT_EQ(a.regions.size(), b.regions.size());
+  for (std::size_t i = 0; i < a.regions.size(); ++i) {
+    EXPECT_EQ(a.regions[i].name, b.regions[i].name);
+    EXPECT_EQ(a.regions[i].reports, b.regions[i].reports);
+  }
+}
+
+TEST(CocomacRaw, DifferentSeedsDiffer) {
+  const RawGraph a = build_synthetic_cocomac(1);
+  const RawGraph b = build_synthetic_cocomac(2);
+  EXPECT_NE(a.edges, b.edges);
+}
+
+TEST(CocomacReduce, To102RegionsWith77Reporting) {
+  const ReducedGraph g = reduce(build_synthetic_cocomac());
+  EXPECT_EQ(g.num_regions(), 102u);
+  EXPECT_EQ(g.num_reporting(), 77u);  // "102 regions, 77 of which report"
+}
+
+TEST(CocomacReduce, NoSelfLoops) {
+  const ReducedGraph g = reduce(build_synthetic_cocomac());
+  for (std::size_t i = 0; i < g.num_regions(); ++i) {
+    EXPECT_EQ(g.adjacency(i, i), 0);
+  }
+}
+
+TEST(CocomacReduce, EdgesOnlyBetweenReportingRegions) {
+  const ReducedGraph g = reduce(build_synthetic_cocomac());
+  for (std::size_t s = 0; s < g.num_regions(); ++s) {
+    for (std::size_t t = 0; t < g.num_regions(); ++t) {
+      if (g.adjacency(s, t)) {
+        EXPECT_TRUE(g.reports[s]);
+        EXPECT_TRUE(g.reports[t]);
+      }
+    }
+  }
+}
+
+TEST(CocomacReduce, MergeOrsChildEdgesIntoParents) {
+  // Hand-built raw graph: child C1 of A connects to B; after reduction the
+  // edge must appear as A -> B.
+  RawGraph raw;
+  raw.regions.push_back({"A", RegionClass::kCortical, -1, true});
+  raw.regions.push_back({"B", RegionClass::kCortical, -1, true});
+  raw.regions.push_back({"A_c", RegionClass::kCortical, 0, true});
+  raw.edges.push_back({2, 1});  // A_c -> B
+  const ReducedGraph g = reduce(raw);
+  EXPECT_EQ(g.num_regions(), 2u);
+  EXPECT_EQ(g.adjacency(0, 1), 1);
+  EXPECT_EQ(g.adjacency(1, 0), 0);
+}
+
+TEST(CocomacReduce, ChildReportingPropagatesToParent) {
+  RawGraph raw;
+  raw.regions.push_back({"P", RegionClass::kThalamic, -1, false});
+  raw.regions.push_back({"P_c", RegionClass::kThalamic, 0, true});
+  const ReducedGraph g = reduce(raw);
+  EXPECT_TRUE(g.reports[0]);
+}
+
+TEST(CocomacReduce, IntraRegionEdgeBecomesDroppedSelfLoop) {
+  RawGraph raw;
+  raw.regions.push_back({"P", RegionClass::kCortical, -1, true});
+  raw.regions.push_back({"P_a", RegionClass::kCortical, 0, true});
+  raw.regions.push_back({"P_b", RegionClass::kCortical, 0, true});
+  raw.edges.push_back({1, 2});  // between siblings -> self loop -> dropped
+  const ReducedGraph g = reduce(raw);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(CocomacReduce, KeyRegionsPresentAndReporting) {
+  const ReducedGraph g = reduce(build_synthetic_cocomac());
+  for (const char* name : {"V1", "V2", "MT", "LGN", "FEF", "CD"}) {
+    const int idx = g.index_of(name);
+    ASSERT_GE(idx, 0) << name;
+    EXPECT_TRUE(g.reports[static_cast<std::size_t>(idx)]) << name;
+  }
+  EXPECT_EQ(g.index_of("NoSuchArea"), -1);
+}
+
+TEST(CocomacReduce, ReasonableDensityAmongReporting) {
+  const ReducedGraph g = reduce(build_synthetic_cocomac());
+  const double reporting = static_cast<double>(g.num_reporting());
+  const double density =
+      static_cast<double>(g.num_edges()) / (reporting * (reporting - 1.0));
+  // Macaque cortical graphs are dense at this resolution (~0.2-0.7 after
+  // collapsing 6602 study edges onto 77 regions).
+  EXPECT_GT(density, 0.15);
+  EXPECT_LT(density, 0.85);
+}
+
+TEST(MacaqueSpec, SeventySevenRegionsWithPaperSelfFractions) {
+  const compiler::Spec spec = build_macaque_spec();
+  EXPECT_EQ(spec.regions.size(), 77u);
+  EXPECT_EQ(spec.validate(), "");
+  for (const compiler::RegionDecl& r : spec.regions) {
+    if (r.cls == RegionClass::kCortical) {
+      EXPECT_DOUBLE_EQ(r.self_fraction, 0.4);  // 60/40 split
+    } else {
+      EXPECT_DOUBLE_EQ(r.self_fraction, 0.2);  // 80/20 split
+    }
+  }
+}
+
+TEST(MacaqueSpec, ExactlyThirteenUnknownVolumes) {
+  const compiler::Spec spec = build_macaque_spec();
+  unsigned unknown_cortical = 0, unknown_thalamic = 0, unknown_other = 0;
+  for (const compiler::RegionDecl& r : spec.regions) {
+    if (!r.volume) {
+      if (r.cls == RegionClass::kCortical) {
+        ++unknown_cortical;
+      } else if (r.cls == RegionClass::kThalamic) {
+        ++unknown_thalamic;
+      } else {
+        ++unknown_other;
+      }
+    }
+  }
+  EXPECT_EQ(unknown_cortical, 5u);   // section V-A
+  EXPECT_EQ(unknown_thalamic, 8u);
+  EXPECT_EQ(unknown_other, 0u);
+}
+
+TEST(MacaqueSpec, EdgesMatchReducedGraph) {
+  const ReducedGraph g = reduce(build_synthetic_cocomac());
+  const compiler::Spec spec = build_macaque_spec();
+  std::size_t expected = 0;
+  for (std::size_t s = 0; s < g.num_regions(); ++s) {
+    for (std::size_t t = 0; t < g.num_regions(); ++t) {
+      if (g.adjacency(s, t) && g.reports[s] && g.reports[t]) ++expected;
+    }
+  }
+  EXPECT_EQ(spec.edges.size(), expected);
+}
+
+TEST(MacaqueSpec, HonoursOptions) {
+  MacaqueSpecOptions opt;
+  opt.total_cores = 512;
+  opt.seed = 9;
+  opt.rate_hz = 12.5;
+  const compiler::Spec spec = build_macaque_spec(opt);
+  EXPECT_EQ(spec.total_cores, 512u);
+  EXPECT_EQ(spec.seed, 9u);
+  for (const auto& r : spec.regions) EXPECT_DOUBLE_EQ(r.rate_hz, 12.5);
+}
+
+TEST(MacaqueSpec, VolumesVaryAcrossRegions) {
+  const compiler::Spec spec = build_macaque_spec();
+  std::set<double> volumes;
+  for (const auto& r : spec.regions) {
+    if (r.volume) volumes.insert(*r.volume);
+  }
+  EXPECT_GT(volumes.size(), 50u);  // lognormal draws, effectively all distinct
+}
+
+TEST(MacaqueSpec, LgnProjectsToV1) {
+  // Figure 3's worked example region must participate in the visual stream.
+  const compiler::Spec spec = build_macaque_spec();
+  bool found = false;
+  for (const auto& e : spec.edges) {
+    if (e.src == "LGN" && e.dst == "V1") found = true;
+  }
+  EXPECT_TRUE(found) << "synthetic graph must include the LGN->V1 pathway";
+}
+
+}  // namespace
+}  // namespace compass::cocomac

@@ -1,0 +1,280 @@
+// Integration tests for the Compass runtime: the three-phase loop, spike
+// conservation across rank boundaries, and the determinism contract — the
+// same model produces bit-identical spike traces regardless of rank count,
+// thread count, or transport (the repo's analogue of the paper's
+// "one-to-one equivalence" between Compass and TrueNorth).
+#include "runtime/compass.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "arch/model.h"
+#include "comm/mpi_transport.h"
+#include "comm/pgas_transport.h"
+#include "primitives/primitives.h"
+
+namespace compass::runtime {
+namespace {
+
+using arch::CoreId;
+using arch::Model;
+using arch::Tick;
+
+using TraceEvent = std::tuple<Tick, CoreId, unsigned>;
+
+std::unique_ptr<comm::Transport> make_transport(const std::string& kind,
+                                                int ranks) {
+  comm::CommCostModel cost;
+  if (kind == "mpi") return std::make_unique<comm::MpiTransport>(ranks, cost);
+  return std::make_unique<comm::PgasTransport>(ranks, cost);
+}
+
+/// Build a ring model: N relay cores, core i feeding core i+1, plus a spike
+/// packet injected into core 0. Deterministic, communication-heavy when
+/// split across ranks.
+Model ring_model(std::size_t cores, std::uint8_t delay = 1) {
+  Model m(cores, /*seed=*/7);
+  std::vector<CoreId> ids(cores);
+  for (std::size_t i = 0; i < cores; ++i) ids[i] = static_cast<CoreId>(i);
+  primitives::build_synfire_chain(m, ids, delay, /*ring=*/true);
+  primitives::inject_packet(m.core(0), /*now=*/0, /*at_tick=*/1, /*width=*/64);
+  return m;
+}
+
+/// Run a model copy and collect the full spike trace.
+std::vector<TraceEvent> run_trace(const Model& model, int ranks, int threads,
+                                  const std::string& transport_kind,
+                                  Tick ticks, Config cfg = {}) {
+  Model copy = model;
+  const Partition part = Partition::uniform(copy.num_cores(), ranks, threads);
+  auto transport = make_transport(transport_kind, ranks);
+  Compass sim(copy, part, *transport, cfg);
+  std::vector<TraceEvent> trace;
+  sim.set_spike_hook([&](Tick t, CoreId c, unsigned j) {
+    trace.emplace_back(t, c, j);
+  });
+  sim.run(ticks);
+  return trace;
+}
+
+TEST(Compass, ConstructorValidatesPartitionSize) {
+  Model m(4, 1);
+  const Partition bad = Partition::uniform(3, 1, 1);
+  auto transport = make_transport("mpi", 1);
+  EXPECT_THROW(Compass(m, bad, *transport), std::invalid_argument);
+}
+
+TEST(Compass, ConstructorValidatesTransportRanks) {
+  Model m(4, 1);
+  const Partition part = Partition::uniform(4, 2, 1);
+  auto transport = make_transport("mpi", 3);
+  EXPECT_THROW(Compass(m, part, *transport), std::invalid_argument);
+}
+
+TEST(Compass, SilentModelProducesNoSpikes) {
+  Model m(4, 1);  // blank cores: thresholds 1, no input, no drive
+  const Partition part = Partition::uniform(4, 2, 1);
+  auto transport = make_transport("mpi", 2);
+  Compass sim(m, part, *transport);
+  const RunReport r = sim.run(10);
+  EXPECT_EQ(r.fired_spikes, 0u);
+  EXPECT_EQ(r.messages, 0u);
+  EXPECT_EQ(r.ticks, 10u);
+}
+
+TEST(Compass, RingPacketCirculatesForever) {
+  // 64-wide packet moves one core per tick; every tick from t=1 on fires
+  // exactly 64 neurons.
+  Model m = ring_model(8);
+  const Partition part = Partition::uniform(8, 2, 1);
+  auto transport = make_transport("mpi", 2);
+  Compass sim(m, part, *transport);
+  EXPECT_EQ(sim.step(), 0u);  // tick 0: packet not yet visible
+  for (Tick t = 1; t <= 40; ++t) {
+    EXPECT_EQ(sim.step(), 64u) << "tick " << t;
+  }
+}
+
+TEST(Compass, SpikeConservationLocalPlusRemote) {
+  Model m = ring_model(8);
+  const Partition part = Partition::uniform(8, 4, 1);
+  auto transport = make_transport("mpi", 4);
+  Compass sim(m, part, *transport);
+  const RunReport r = sim.run(50);
+  EXPECT_EQ(r.routed_spikes, r.local_spikes + r.remote_spikes);
+  EXPECT_GT(r.remote_spikes, 0u);  // ring crosses rank boundaries
+  EXPECT_GT(r.local_spikes, 0u);
+}
+
+TEST(Compass, SingleRankHasNoMessages) {
+  Model m = ring_model(8);
+  const Partition part = Partition::uniform(8, 1, 4);
+  auto transport = make_transport("mpi", 1);
+  Compass sim(m, part, *transport);
+  const RunReport r = sim.run(20);
+  EXPECT_EQ(r.messages, 0u);
+  EXPECT_EQ(r.remote_spikes, 0u);
+  EXPECT_EQ(r.local_spikes, r.routed_spikes);
+}
+
+TEST(Compass, MessagesAreAggregatedPerDestinationPair) {
+  // 2 ranks, ring crossing the boundary twice per tick (once each way):
+  // at most ranks*(ranks-1) messages per tick with aggregation on.
+  Model m = ring_model(8);
+  const Partition part = Partition::uniform(8, 2, 1);
+  auto transport = make_transport("mpi", 2);
+  Compass sim(m, part, *transport);
+  sim.run(20);
+  // 19 ticks with traffic (tick 0 silent), <= 2 messages per tick.
+  EXPECT_LE(sim.report().messages, 2u * 19u);
+  EXPECT_GT(sim.report().messages, 0u);
+}
+
+TEST(Compass, NonAggregatedSendsOneMessagePerSpike) {
+  Model m = ring_model(4);
+  Config cfg;
+  cfg.aggregate_sends = false;
+  const Partition part = Partition::uniform(4, 4, 1);
+  auto transport = make_transport("mpi", 4);
+  Compass sim(m, part, *transport, cfg);
+  const RunReport r = sim.run(10);
+  EXPECT_EQ(r.messages, r.remote_spikes);  // ablation A1 baseline
+}
+
+TEST(Compass, TickSeriesMatchesAggregates) {
+  Model m = ring_model(8);
+  const Partition part = Partition::uniform(8, 2, 1);
+  auto transport = make_transport("mpi", 2);
+  Compass sim(m, part, *transport);
+  sim.enable_tick_series(true);
+  const RunReport r = sim.run(15);
+  const TickSeries& s = sim.tick_series();
+  ASSERT_EQ(s.spikes.size(), 15u);
+  std::uint64_t spikes = 0, messages = 0, bytes = 0;
+  for (std::size_t i = 0; i < 15; ++i) {
+    spikes += s.spikes[i];
+    messages += s.messages[i];
+    bytes += s.wire_bytes[i];
+  }
+  EXPECT_EQ(spikes, r.fired_spikes);
+  EXPECT_EQ(messages, r.messages);
+  EXPECT_EQ(bytes, r.wire_bytes);
+}
+
+TEST(Compass, VirtualTimeIsPositiveAndDecomposed) {
+  Model m = ring_model(8);
+  const Partition part = Partition::uniform(8, 2, 2);
+  auto transport = make_transport("mpi", 2);
+  Compass sim(m, part, *transport);
+  const RunReport r = sim.run(20);
+  EXPECT_GT(r.virtual_time.synapse, 0.0);
+  EXPECT_GT(r.virtual_time.neuron, 0.0);
+  EXPECT_GT(r.virtual_time.network, 0.0);
+  EXPECT_NEAR(r.virtual_total_s(),
+              r.virtual_time.synapse + r.virtual_time.neuron +
+                  r.virtual_time.network,
+              1e-12);
+  EXPECT_GT(r.slowdown(), 0.0);
+}
+
+TEST(Compass, MeasureOffStillSimulatesCorrectly) {
+  Model m = ring_model(8);
+  Config cfg;
+  cfg.measure = false;
+  const Partition part = Partition::uniform(8, 2, 1);
+  auto transport = make_transport("mpi", 2);
+  Compass sim(m, part, *transport, cfg);
+  sim.step();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(sim.step(), 64u);
+}
+
+TEST(Compass, MeanRateHzComputation) {
+  RunReport r;
+  r.ticks = 1000;  // 1 second of simulated time
+  r.fired_spikes = 256 * 8;
+  EXPECT_DOUBLE_EQ(r.mean_rate_hz(256), 8.0);
+  EXPECT_DOUBLE_EQ(r.mean_rate_hz(0), 0.0);
+}
+
+// --- Determinism: the one-to-one equivalence property ----------------------
+
+/// Stochastic, recurrent model: 16 Poisson source cores wired into a ring of
+/// relays — exercises PRNG order, local and remote routing.
+Model stochastic_model(std::size_t cores = 16) {
+  Model m(cores, /*seed=*/11);
+  for (std::size_t i = 0; i < cores; ++i) {
+    auto& core = m.core(static_cast<CoreId>(i));
+    primitives::configure_poisson_source(core, /*rate_hz=*/50.0);
+    // Wire every neuron to the next core's matching axon, and give incoming
+    // spikes a real synaptic effect so cross-core traffic shapes dynamics.
+    for (unsigned j = 0; j < arch::kNeuronsPerCore; ++j) {
+      arch::NeuronParams p = core.params_of(j);
+      p.weights = {20, 0, 0, 0};
+      core.configure_neuron(
+          j, p,
+          arch::AxonTarget{static_cast<CoreId>((i + 1) % cores),
+                           static_cast<std::uint8_t>(j),
+                           static_cast<std::uint8_t>(1 + (j % 15))});
+      core.set_synapse(j, j);
+    }
+  }
+  m.reseed_cores();
+  return m;
+}
+
+class DeterminismSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, std::string>> {};
+
+TEST_P(DeterminismSweep, TraceMatchesReferenceConfiguration) {
+  const auto [ranks, threads, kind] = GetParam();
+  const Model m = stochastic_model();
+  const std::vector<TraceEvent> reference =
+      run_trace(m, /*ranks=*/1, /*threads=*/1, "mpi", /*ticks=*/30);
+  EXPECT_FALSE(reference.empty());
+  const std::vector<TraceEvent> got = run_trace(m, ranks, threads, kind, 30);
+  EXPECT_EQ(got, reference)
+      << "ranks=" << ranks << " threads=" << threads << " kind=" << kind;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RanksThreadsTransports, DeterminismSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 8),
+                       ::testing::Values(1, 4),
+                       ::testing::Values(std::string("mpi"),
+                                         std::string("pgas"))));
+
+TEST(Compass, AggregationDoesNotChangeTrace) {
+  const Model m = stochastic_model();
+  Config agg, noagg;
+  noagg.aggregate_sends = false;
+  const auto a = run_trace(m, 4, 2, "mpi", 20, agg);
+  const auto b = run_trace(m, 4, 2, "mpi", 20, noagg);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Compass, RepeatedRunsAreIdentical) {
+  const Model m = stochastic_model();
+  const auto a = run_trace(m, 2, 2, "mpi", 25);
+  const auto b = run_trace(m, 2, 2, "mpi", 25);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Compass, DifferentSeedsProduceDifferentTraces) {
+  Model a = stochastic_model();
+  Model b(16, /*seed=*/999);
+  for (std::size_t i = 0; i < 16; ++i) {
+    primitives::configure_poisson_source(b.core(static_cast<CoreId>(i)), 50.0);
+  }
+  b.reseed_cores();
+  const auto ta = run_trace(a, 1, 1, "mpi", 20);
+  const auto tb = run_trace(b, 1, 1, "mpi", 20);
+  EXPECT_NE(ta, tb);
+}
+
+}  // namespace
+}  // namespace compass::runtime

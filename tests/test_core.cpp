@@ -1,0 +1,303 @@
+// Unit tests for the neurosynaptic core: crossbar propagation, the
+// synapse/neuron phase protocol, determinism, and checkpointing.
+#include "arch/core.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "arch/model.h"
+
+namespace compass::arch {
+namespace {
+
+NeuronParams relay_params(std::int32_t threshold = 100) {
+  NeuronParams p;
+  p.weights = {static_cast<std::int16_t>(threshold), 0, 0, 0};
+  p.threshold = threshold;
+  p.reset_value = 0;
+  p.floor = 0;
+  return p;
+}
+
+struct Emitted {
+  unsigned neuron;
+  AxonTarget target;
+};
+
+std::vector<Emitted> run_neuron_phase(NeurosynapticCore& core, Tick t) {
+  std::vector<Emitted> out;
+  core.neuron_phase(t, [&](unsigned j, const AxonTarget& tgt) {
+    out.push_back({j, tgt});
+  });
+  return out;
+}
+
+TEST(Core, SynapsePhaseEmptyBufferIsNoOp) {
+  NeurosynapticCore core;
+  EXPECT_EQ(core.synapse_phase(0).active_axons, 0);
+  for (unsigned j = 0; j < kNeuronsPerCore; ++j) {
+    EXPECT_EQ(core.pending_input(j), 0);
+  }
+}
+
+TEST(Core, SpikePropagatesAlongRow) {
+  NeurosynapticCore core;
+  core.set_axon_type(3, 0);
+  core.set_synapse(3, 10);
+  core.set_synapse(3, 20);
+  NeuronParams p = relay_params();
+  core.configure_neuron(10, p, {});
+  core.configure_neuron(20, p, {});
+
+  core.deliver(3, 0);
+  const auto activity = core.synapse_phase(0);
+  EXPECT_EQ(activity.active_axons, 1);
+  EXPECT_EQ(activity.synaptic_events, 2);
+  EXPECT_EQ(core.pending_input(10), 100);
+  EXPECT_EQ(core.pending_input(20), 100);
+  EXPECT_EQ(core.pending_input(11), 0);
+}
+
+TEST(Core, AxonTypeSelectsWeight) {
+  NeurosynapticCore core;
+  NeuronParams p;
+  p.weights = {1, 2, 3, 4};
+  p.threshold = 1000;
+  core.configure_neuron(0, p, {});
+  for (unsigned g = 0; g < kAxonTypes; ++g) {
+    core.set_axon_type(g, static_cast<std::uint8_t>(g));
+    core.set_synapse(g, 0);
+    core.deliver(g, g);  // slot g, one at a time
+  }
+  std::int32_t expect = 0;
+  for (unsigned g = 0; g < kAxonTypes; ++g) {
+    core.synapse_phase(g);
+    expect += static_cast<std::int32_t>(g + 1);
+    EXPECT_EQ(core.pending_input(0), expect);
+    run_neuron_phase(core, g);  // consumes accumulator into potential
+    expect = 0;
+    core.set_potential(0, 0);
+  }
+}
+
+TEST(Core, MultipleActiveAxonsAccumulate) {
+  NeurosynapticCore core;
+  NeuronParams p;
+  p.weights = {5, 0, 0, 0};
+  p.threshold = 1000;
+  core.configure_neuron(7, p, {});
+  for (unsigned a = 0; a < 10; ++a) {
+    core.set_synapse(a, 7);
+    core.deliver(a, 2);
+  }
+  EXPECT_EQ(core.synapse_phase(2).active_axons, 10);
+  EXPECT_EQ(core.pending_input(7), 50);
+}
+
+TEST(Core, NeuronPhaseFiresAndEmitsTarget) {
+  NeurosynapticCore core;
+  const AxonTarget target{42, 17, 3};
+  core.configure_neuron(5, relay_params(), target);
+  core.set_axon_type(0, 0);
+  core.set_synapse(0, 5);
+  core.deliver(0, 0);
+  core.synapse_phase(0);
+  const auto emitted = run_neuron_phase(core, 0);
+  ASSERT_EQ(emitted.size(), 1u);
+  EXPECT_EQ(emitted[0].neuron, 5u);
+  EXPECT_EQ(emitted[0].target, target);
+}
+
+TEST(Core, EmitOrderIsAscendingNeuronIndex) {
+  NeurosynapticCore core;
+  for (unsigned j : {200u, 3u, 77u}) {
+    core.configure_neuron(j, relay_params(), AxonTarget{1, 0, 1});
+    core.set_potential(j, 100);
+  }
+  const auto emitted = run_neuron_phase(core, 0);
+  ASSERT_EQ(emitted.size(), 3u);
+  EXPECT_EQ(emitted[0].neuron, 3u);
+  EXPECT_EQ(emitted[1].neuron, 77u);
+  EXPECT_EQ(emitted[2].neuron, 200u);
+}
+
+TEST(Core, UnconnectedFiringNeuronIsEmittedWithInvalidTarget) {
+  NeurosynapticCore core;
+  core.configure_neuron(0, relay_params(), {});
+  core.set_potential(0, 100);
+  const auto emitted = run_neuron_phase(core, 0);
+  ASSERT_EQ(emitted.size(), 1u);
+  EXPECT_FALSE(emitted[0].target.connected());
+}
+
+TEST(Core, AccumulatorClearedAfterNeuronPhase) {
+  NeurosynapticCore core;
+  NeuronParams p;
+  p.weights = {10, 0, 0, 0};
+  p.threshold = 1000;
+  core.configure_neuron(0, p, {});
+  core.set_synapse(0, 0);
+  core.deliver(0, 0);
+  core.synapse_phase(0);
+  EXPECT_EQ(core.pending_input(0), 10);
+  run_neuron_phase(core, 0);
+  EXPECT_EQ(core.pending_input(0), 0);
+  EXPECT_EQ(core.potential(0), 10);  // moved into the membrane
+}
+
+TEST(Core, FullTickPipelineRelaysWithDelay) {
+  // Spike on axon 9 at tick 4 -> neuron 9 fires at tick 4 -> (delay 2) its
+  // own axon 9 sees the spike again at tick 6 (self-loop core).
+  NeurosynapticCore core;
+  core.set_axon_type(9, 0);
+  core.set_synapse(9, 9);
+  core.configure_neuron(9, relay_params(), AxonTarget{0, 9, 2});
+
+  core.deliver(9, 4 & 15);
+  int fired_at_4 = 0, fired_at_5 = 0, fired_at_6 = 0;
+  for (Tick t = 4; t <= 6; ++t) {
+    core.synapse_phase(t);
+    const auto emitted = run_neuron_phase(core, t);
+    for (const Emitted& e : emitted) {
+      // Runtime would route; emulate local delivery to self.
+      core.deliver(e.target.axon,
+                   static_cast<unsigned>((t + e.target.delay) & 15));
+      if (t == 4) ++fired_at_4;
+      if (t == 5) ++fired_at_5;
+      if (t == 6) ++fired_at_6;
+    }
+  }
+  EXPECT_EQ(fired_at_4, 1);
+  EXPECT_EQ(fired_at_5, 0);
+  EXPECT_EQ(fired_at_6, 1);
+}
+
+TEST(Core, DeliveryOrderDoesNotChangeResult) {
+  // Two identical cores, spikes delivered in different orders, stochastic
+  // neurons: traces must match exactly (the property that makes transports
+  // and thread interleavings equivalent).
+  auto build = [] {
+    NeurosynapticCore core;
+    core.reseed(77);
+    NeuronParams p;
+    p.weights = {120, 0, 0, 0};
+    p.threshold = 100;
+    p.flags = kStochasticSynapse | kStochasticLeak;
+    p.leak = -10;
+    p.floor = 0;
+    for (unsigned j = 0; j < kNeuronsPerCore; ++j) {
+      core.configure_neuron(j, p, {});
+      core.set_synapse(j, j);
+    }
+    return core;
+  };
+  NeurosynapticCore a = build();
+  NeurosynapticCore b = build();
+
+  for (unsigned axon : {5u, 250u, 17u}) a.deliver(axon, 0);
+  for (unsigned axon : {17u, 5u, 250u}) b.deliver(axon, 0);
+
+  for (Tick t = 0; t < 4; ++t) {
+    a.synapse_phase(t);
+    b.synapse_phase(t);
+    const auto ea = run_neuron_phase(a, t);
+    const auto eb = run_neuron_phase(b, t);
+    ASSERT_EQ(ea.size(), eb.size()) << "tick " << t;
+  }
+  for (unsigned j = 0; j < kNeuronsPerCore; ++j) {
+    EXPECT_EQ(a.potential(j), b.potential(j));
+  }
+}
+
+TEST(Core, StochasticSynapseDrawsInFixedAxonNeuronOrder) {
+  // Same spikes => same PRNG consumption regardless of how deliver() calls
+  // were ordered; verify via final PRNG state.
+  auto build = [] {
+    NeurosynapticCore core;
+    core.reseed(123);
+    NeuronParams p;
+    p.weights = {100, 0, 0, 0};
+    p.threshold = 10000;
+    p.flags = kStochasticSynapse;
+    for (unsigned j = 0; j < 8; ++j) {
+      core.configure_neuron(j, p, {});
+      for (unsigned a = 0; a < 8; ++a) core.set_synapse(a, j);
+    }
+    return core;
+  };
+  NeurosynapticCore a = build(), b = build();
+  for (unsigned axon = 0; axon < 8; ++axon) a.deliver(axon, 0);
+  for (unsigned axon = 8; axon-- > 0;) b.deliver(axon, 0);
+  a.synapse_phase(0);
+  b.synapse_phase(0);
+  EXPECT_EQ(a.prng().state(), b.prng().state());
+  for (unsigned j = 0; j < 8; ++j) {
+    EXPECT_EQ(a.pending_input(j), b.pending_input(j));
+  }
+}
+
+TEST(Core, SaveLoadRoundTripsExactly) {
+  NeurosynapticCore core;
+  core.reseed(999);
+  NeuronParams p;
+  p.weights = {3, -4, 5, -6};
+  p.leak = 2;
+  p.threshold = 50;
+  p.reset_value = -7;
+  p.floor = -100;
+  p.reset_mode = ResetMode::kLinear;
+  p.flags = kStochasticThreshold;
+  p.threshold_mask_bits = 3;
+  for (unsigned j = 0; j < kNeuronsPerCore; ++j) {
+    core.configure_neuron(j, p, AxonTarget{j, static_cast<std::uint8_t>(j), 5});
+    core.set_potential(j, static_cast<std::int32_t>(j) - 50);
+  }
+  for (unsigned a = 0; a < kAxonsPerCore; a += 3) {
+    core.set_axon_type(a, 2);
+    core.set_synapse(a, (a * 7) % 256);
+    core.deliver(a, a % 16);
+  }
+  core.prng().next_u64();  // advance PRNG so its state is non-trivial
+
+  std::stringstream ss;
+  core.save(ss);
+  NeurosynapticCore loaded;
+  loaded.load(ss);
+  EXPECT_TRUE(core == loaded);
+
+  // Loaded copy must continue the simulation identically.
+  core.synapse_phase(0);
+  loaded.synapse_phase(0);
+  const auto ea = run_neuron_phase(core, 0);
+  const auto eb = run_neuron_phase(loaded, 0);
+  EXPECT_EQ(ea.size(), eb.size());
+  EXPECT_EQ(core.prng().state(), loaded.prng().state());
+}
+
+TEST(Core, ParamsOfRoundTripsConfiguration) {
+  NeurosynapticCore core;
+  NeuronParams p;
+  p.weights = {9, -9, 1, -1};
+  p.leak = -3;
+  p.threshold = 77;
+  p.reset_value = 4;
+  p.floor = -44;
+  p.reset_mode = ResetMode::kNone;
+  p.flags = kStochasticLeak | kStochasticThreshold;
+  p.threshold_mask_bits = 5;
+  core.configure_neuron(13, p, {});
+  const NeuronParams q = core.params_of(13);
+  EXPECT_EQ(q.weights, p.weights);
+  EXPECT_EQ(q.leak, p.leak);
+  EXPECT_EQ(q.threshold, p.threshold);
+  EXPECT_EQ(q.reset_value, p.reset_value);
+  EXPECT_EQ(q.floor, p.floor);
+  EXPECT_EQ(q.reset_mode, p.reset_mode);
+  EXPECT_EQ(q.flags, p.flags);
+  EXPECT_EQ(q.threshold_mask_bits, p.threshold_mask_bits);
+}
+
+}  // namespace
+}  // namespace compass::arch

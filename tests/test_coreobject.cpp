@@ -1,0 +1,147 @@
+// Unit tests for the CoreObject description format.
+#include "compiler/coreobject.h"
+
+#include <gtest/gtest.h>
+
+namespace compass::compiler {
+namespace {
+
+const char* kSample = R"(# test network
+network demo
+seed 123
+cores 64
+region V1 class cortical volume 100.5 self 0.4 rate 8
+region LGN class thalamic volume unknown self 0.2 rate 10
+region CD class basal volume 12 self 0.2 rate 5
+edge LGN V1 2.5
+edge V1 CD
+)";
+
+TEST(CoreObject, ParsesSample) {
+  const Spec spec = parse_coreobject_string(kSample);
+  EXPECT_EQ(spec.name, "demo");
+  EXPECT_EQ(spec.seed, 123u);
+  EXPECT_EQ(spec.total_cores, 64u);
+  ASSERT_EQ(spec.regions.size(), 3u);
+  EXPECT_EQ(spec.regions[0].name, "V1");
+  EXPECT_EQ(spec.regions[0].cls, RegionClass::kCortical);
+  ASSERT_TRUE(spec.regions[0].volume.has_value());
+  EXPECT_DOUBLE_EQ(*spec.regions[0].volume, 100.5);
+  EXPECT_DOUBLE_EQ(spec.regions[0].self_fraction, 0.4);
+  EXPECT_DOUBLE_EQ(spec.regions[0].rate_hz, 8.0);
+  EXPECT_FALSE(spec.regions[1].volume.has_value());  // "unknown"
+  ASSERT_EQ(spec.edges.size(), 2u);
+  EXPECT_EQ(spec.edges[0].src, "LGN");
+  EXPECT_DOUBLE_EQ(spec.edges[0].weight, 2.5);
+  EXPECT_DOUBLE_EQ(spec.edges[1].weight, 1.0);  // default weight
+  EXPECT_EQ(spec.validate(), "");
+}
+
+TEST(CoreObject, RoundTripsThroughWriter) {
+  const Spec a = parse_coreobject_string(kSample);
+  const Spec b = parse_coreobject_string(to_coreobject_string(a));
+  EXPECT_EQ(b.name, a.name);
+  EXPECT_EQ(b.seed, a.seed);
+  EXPECT_EQ(b.total_cores, a.total_cores);
+  ASSERT_EQ(b.regions.size(), a.regions.size());
+  for (std::size_t i = 0; i < a.regions.size(); ++i) {
+    EXPECT_EQ(b.regions[i].name, a.regions[i].name);
+    EXPECT_EQ(b.regions[i].cls, a.regions[i].cls);
+    EXPECT_EQ(b.regions[i].volume.has_value(), a.regions[i].volume.has_value());
+    EXPECT_DOUBLE_EQ(b.regions[i].self_fraction, a.regions[i].self_fraction);
+  }
+  ASSERT_EQ(b.edges.size(), a.edges.size());
+  EXPECT_DOUBLE_EQ(b.edges[0].weight, a.edges[0].weight);
+}
+
+TEST(CoreObject, CommentsAndBlankLinesIgnored) {
+  const Spec spec = parse_coreobject_string(
+      "\n# full comment line\nnetwork x # trailing comment\n\nseed 1\ncores 1\n"
+      "region A class generic volume 1 self 0.5 rate 1\n");
+  EXPECT_EQ(spec.name, "x");
+  EXPECT_EQ(spec.regions.size(), 1u);
+}
+
+TEST(CoreObject, UnknownKeywordFailsWithLineNumber) {
+  try {
+    parse_coreobject_string("network x\nbogus 1\n");
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(CoreObject, BadClassFails) {
+  EXPECT_THROW(
+      parse_coreobject_string("region A class nonsense volume 1 self 0 rate 1\n"),
+      std::runtime_error);
+}
+
+TEST(CoreObject, BadVolumeFails) {
+  EXPECT_THROW(
+      parse_coreobject_string("region A class generic volume abc self 0 rate 1\n"),
+      std::runtime_error);
+}
+
+TEST(CoreObject, MissingEdgeEndpointFails) {
+  EXPECT_THROW(parse_coreobject_string("edge A\n"), std::runtime_error);
+}
+
+TEST(CoreObjectValidate, EmptySpecRejected) {
+  Spec spec;
+  EXPECT_NE(Spec{spec}.validate(), "");
+}
+
+TEST(CoreObjectValidate, DuplicateRegionRejected) {
+  Spec spec = parse_coreobject_string(kSample);
+  spec.regions.push_back(spec.regions[0]);
+  EXPECT_NE(spec.validate().find("duplicate"), std::string::npos);
+}
+
+TEST(CoreObjectValidate, EdgeToUnknownRegionRejected) {
+  Spec spec = parse_coreobject_string(kSample);
+  spec.edges.push_back({"V1", "Nowhere", 1.0});
+  EXPECT_NE(spec.validate().find("unknown region"), std::string::npos);
+}
+
+TEST(CoreObjectValidate, SelfFractionOutOfRangeRejected) {
+  Spec spec = parse_coreobject_string(kSample);
+  spec.regions[0].self_fraction = 1.5;
+  EXPECT_NE(spec.validate().find("self fraction"), std::string::npos);
+}
+
+TEST(CoreObjectValidate, TooFewCoresRejected) {
+  Spec spec = parse_coreobject_string(kSample);
+  spec.total_cores = 2;  // 3 regions
+  EXPECT_NE(spec.validate().find("below region count"), std::string::npos);
+}
+
+TEST(CoreObjectValidate, NonPositiveEdgeWeightRejected) {
+  Spec spec = parse_coreobject_string(kSample);
+  spec.edges[0].weight = 0.0;
+  EXPECT_NE(spec.validate().find("weight"), std::string::npos);
+}
+
+TEST(CoreObject, RegionIndexLookup) {
+  const Spec spec = parse_coreobject_string(kSample);
+  EXPECT_EQ(spec.region_index("V1"), 0);
+  EXPECT_EQ(spec.region_index("CD"), 2);
+  EXPECT_EQ(spec.region_index("nope"), -1);
+}
+
+TEST(CoreObject, ClassNamesRoundTrip) {
+  for (RegionClass c : {RegionClass::kCortical, RegionClass::kThalamic,
+                        RegionClass::kBasal, RegionClass::kGeneric}) {
+    const auto parsed = region_class_from_string(to_string(c));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, c);
+  }
+  EXPECT_FALSE(region_class_from_string("junk").has_value());
+}
+
+TEST(CoreObject, LoadMissingFileThrows) {
+  EXPECT_THROW(load_coreobject_file("/nonexistent/net.co"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace compass::compiler

@@ -1,0 +1,81 @@
+// Unit tests for the 256x256 binary synaptic crossbar.
+#include "arch/crossbar.h"
+
+#include <gtest/gtest.h>
+
+namespace compass::arch {
+namespace {
+
+TEST(Crossbar, StartsEmpty) {
+  Crossbar x;
+  EXPECT_EQ(x.synapse_count(), 0u);
+  EXPECT_FALSE(x.test(0, 0));
+  EXPECT_FALSE(x.test(255, 255));
+}
+
+TEST(Crossbar, SetAndTest) {
+  Crossbar x;
+  x.set(3, 7);
+  EXPECT_TRUE(x.test(3, 7));
+  EXPECT_FALSE(x.test(7, 3));  // directed: axon row vs neuron column
+  EXPECT_EQ(x.synapse_count(), 1u);
+}
+
+TEST(Crossbar, ClearSynapse) {
+  Crossbar x;
+  x.set(10, 20);
+  x.set(10, 20, false);
+  EXPECT_FALSE(x.test(10, 20));
+  EXPECT_EQ(x.synapse_count(), 0u);
+}
+
+TEST(Crossbar, RowIsIndependent) {
+  Crossbar x;
+  x.set(5, 100);
+  EXPECT_TRUE(x.row(5).test(100));
+  EXPECT_FALSE(x.row(6).test(100));
+  EXPECT_FALSE(x.row(4).test(100));
+}
+
+TEST(Crossbar, DiagonalIdentity) {
+  Crossbar x;
+  for (unsigned i = 0; i < 256; ++i) x.set(i, i);
+  EXPECT_EQ(x.synapse_count(), 256u);
+  for (unsigned i = 0; i < 256; ++i) {
+    EXPECT_TRUE(x.test(i, i));
+    EXPECT_FALSE(x.test(i, (i + 1) % 256));
+  }
+}
+
+TEST(Crossbar, FullCrossbarCount) {
+  Crossbar x;
+  for (unsigned a = 0; a < 256; ++a) {
+    for (unsigned n = 0; n < 256; ++n) x.set(a, n);
+  }
+  EXPECT_EQ(x.synapse_count(), 65536u);  // the paper's synapse/core ratio
+}
+
+TEST(Crossbar, ClearAll) {
+  Crossbar x;
+  x.set(0, 0);
+  x.set(255, 255);
+  x.clear();
+  EXPECT_EQ(x.synapse_count(), 0u);
+}
+
+TEST(Crossbar, EqualityIsStructural) {
+  Crossbar a, b;
+  a.set(1, 2);
+  EXPECT_FALSE(a == b);
+  b.set(1, 2);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(Crossbar, StorageIsOneBitPerSynapse) {
+  // The paper's 32x memory claim versus C2 rests on 1-bit synapses:
+  // 256 rows x 4 words x 8 bytes == 8 KiB for 65536 synapses.
+  EXPECT_EQ(sizeof(Crossbar), 256u * 4u * 8u);
+}
+
+}  // namespace
+}  // namespace compass::arch

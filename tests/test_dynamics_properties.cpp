@@ -1,0 +1,155 @@
+// Closed-form property sweeps over the TrueNorth neuron dynamics: where the
+// model has an exact analytical consequence, the simulator must hit it
+// exactly (deterministic paths) or within binomial tolerance (stochastic
+// paths). Parameterised gtest keeps each property swept over a grid.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "arch/neuron.h"
+
+namespace compass::arch {
+namespace {
+
+// --- Deterministic drive: period is exactly ceil(threshold / drive) --------
+
+class PeriodicitySweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(PeriodicitySweep, FiringPeriodIsCeilThresholdOverDrive) {
+  const auto [threshold, drive] = GetParam();
+  util::CorePrng prng(1);
+  NeuronParams p;
+  p.threshold = threshold;
+  p.leak = static_cast<std::int16_t>(-drive);  // negative leak == drive
+  p.floor = 0;
+  std::int32_t v = 0;
+
+  const int period = (threshold + drive - 1) / drive;
+  int last_fire = -1;
+  int fires = 0;
+  for (int t = 0; t < 2000; ++t) {
+    if (neuron_step(p, v, 0, prng)) {
+      if (last_fire >= 0) {
+        ASSERT_EQ(t - last_fire, period)
+            << "threshold=" << threshold << " drive=" << drive;
+      }
+      last_fire = t;
+      ++fires;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(fires), 2000.0 / period, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, PeriodicitySweep,
+                         ::testing::Combine(::testing::Values(1, 7, 64, 255, 1000),
+                                            ::testing::Values(1, 3, 16, 200)));
+
+// --- Stochastic drive: mean rate = 1000 * (p8/256) / threshold Hz ----------
+
+class StochasticRateSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(StochasticRateSweep, MeanRateMatchesClosedForm) {
+  const auto [threshold, p8] = GetParam();
+  util::CorePrng prng(99);
+  NeuronParams p;
+  p.threshold = threshold;
+  p.leak = static_cast<std::int16_t>(-p8);
+  p.flags = kStochasticLeak;
+  p.floor = 0;
+  std::int32_t v = 0;
+
+  const int ticks = 100000;
+  int fires = 0;
+  for (int t = 0; t < ticks; ++t) {
+    if (neuron_step(p, v, 0, prng)) ++fires;
+  }
+  const double expected = ticks * (p8 / 256.0) / threshold;
+  // Renewal process: between fires the neuron needs `threshold` successes;
+  // fire-count variance ~ expected / threshold (gamma interarrivals).
+  const double sigma = std::sqrt(expected / threshold + 1.0);
+  EXPECT_NEAR(fires, expected, 6.0 * sigma + 2.0)
+      << "threshold=" << threshold << " p8=" << p8;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, StochasticRateSweep,
+                         ::testing::Combine(::testing::Values(4, 16, 64),
+                                            ::testing::Values(32, 128, 250)));
+
+// --- Linear reset conserves super-threshold residue --------------------------
+
+TEST(LinearReset, LongRunAverageEqualsInputRate) {
+  // With subtract-threshold reset and no clamping, potential is conserved:
+  // fires * threshold + V_final == total input.
+  util::CorePrng prng(1);
+  NeuronParams p;
+  p.threshold = 37;
+  p.reset_mode = ResetMode::kLinear;
+  p.floor = -(1 << 20);
+  std::int32_t v = 0;
+  long long fires = 0, input_total = 0;
+  util::CorePrng input_rng(5);
+  for (int t = 0; t < 50000; ++t) {
+    const std::int32_t input = static_cast<std::int32_t>(input_rng.uniform_below(13));
+    input_total += input;
+    if (neuron_step(p, v, input, prng)) ++fires;
+  }
+  EXPECT_EQ(fires * 37 + v, input_total);
+}
+
+// --- Stochastic synapse expectation across the weight grid -------------------
+
+class StochasticSynapseSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(StochasticSynapseSweep, MeanContributionIsWeightOver256) {
+  const int w = GetParam();
+  util::CorePrng prng(1234);
+  long long sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    sum += synaptic_contribution(static_cast<std::int16_t>(w), true, prng);
+  }
+  const double pw = std::min(std::abs(w), 255) / 256.0;
+  const double sigma = std::sqrt(n * pw * (1 - pw)) + 1.0;
+  EXPECT_NEAR(static_cast<double>(sum),
+              (w > 0 ? 1.0 : -1.0) * n * pw, 6.0 * sigma)
+      << "w=" << w;
+}
+
+INSTANTIATE_TEST_SUITE_P(Weights, StochasticSynapseSweep,
+                         ::testing::Values(-255, -128, -17, 1, 17, 128, 255));
+
+// --- Threshold jitter: exact firing probability at a given potential ---------
+
+class JitterSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(JitterSweep, FiringProbabilityMatchesMaskDistribution) {
+  // At membrane v = alpha + x the neuron fires iff jitter <= x, which has
+  // probability (x + 1) / 2^k for jitter uniform on [0, 2^k - 1].
+  const int bits = GetParam();
+  util::CorePrng prng(7);
+  NeuronParams p;
+  p.threshold = 100;
+  p.threshold_mask_bits = static_cast<std::uint8_t>(bits);
+  p.flags = kStochasticThreshold;
+  p.floor = 0;
+  const int mask = (1 << bits) - 1;
+  for (const int x : {0, mask / 2, mask}) {
+    int fires = 0;
+    const int n = 40000;
+    for (int i = 0; i < n; ++i) {
+      std::int32_t v = 0;
+      if (neuron_step(p, v, p.threshold + x, prng)) ++fires;
+    }
+    const double prob = static_cast<double>(x + 1) / (mask + 1);
+    const double sigma = std::sqrt(n * prob * (1 - prob)) + 1.0;
+    EXPECT_NEAR(fires, n * prob, 6.0 * sigma) << "bits=" << bits << " x=" << x;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(MaskBits, JitterSweep, ::testing::Values(1, 4, 8, 12));
+
+}  // namespace
+}  // namespace compass::arch

@@ -1,0 +1,64 @@
+// Tests for the TrueNorth power-estimation model (perf/energy.h).
+#include "perf/energy.h"
+
+#include <gtest/gtest.h>
+
+namespace compass::perf {
+namespace {
+
+TEST(Energy, ZeroActivityHasOnlyStaticPower) {
+  const EnergyEstimate e = estimate_energy(/*cores=*/100, /*ticks=*/1000,
+                                           /*spikes=*/0, /*synaptic_events=*/0);
+  EXPECT_DOUBLE_EQ(e.spike_j, 0.0);
+  EXPECT_DOUBLE_EQ(e.synapse_j, 0.0);
+  EXPECT_GT(e.static_j, 0.0);
+  EXPECT_DOUBLE_EQ(e.total_j, e.static_j);
+}
+
+TEST(Energy, ComponentsSumToTotal) {
+  const EnergyEstimate e = estimate_energy(10, 100, 5000, 200000);
+  EXPECT_NEAR(e.total_j, e.spike_j + e.synapse_j + e.static_j, 1e-18);
+}
+
+TEST(Energy, SpikeEnergyMatchesCiccNumber) {
+  EnergyParams p;
+  p.spike_pj = 45.0;  // Merolla et al., CICC 2011
+  p.synaptic_event_pj = 0.0;
+  p.core_tick_pj = 0.0;
+  const EnergyEstimate e = estimate_energy(1, 1000, 1000000, 0, p);
+  EXPECT_NEAR(e.total_j, 1e6 * 45e-12, 1e-12);
+}
+
+TEST(Energy, AveragePowerOverBiologicalTime) {
+  // 1000 ticks == 1 biological second, so watts == joules.
+  const EnergyEstimate e = estimate_energy(10, 1000, 1000, 10000);
+  EXPECT_NEAR(e.avg_watts, e.total_j, 1e-15);
+  EXPECT_NEAR(e.watts_per_core, e.avg_watts / 10.0, 1e-18);
+}
+
+TEST(Energy, ZeroTicksYieldsZeroPower) {
+  const EnergyEstimate e = estimate_energy(10, 0, 0, 0);
+  EXPECT_DOUBLE_EQ(e.avg_watts, 0.0);
+}
+
+TEST(Energy, ScalesLinearlyInEverything) {
+  const EnergyEstimate a = estimate_energy(10, 100, 1000, 10000);
+  const EnergyEstimate b = estimate_energy(20, 200, 2000, 20000);
+  EXPECT_NEAR(b.spike_j, 2 * a.spike_j, 1e-15);
+  EXPECT_NEAR(b.synapse_j, 2 * a.synapse_j, 1e-15);
+  EXPECT_NEAR(b.static_j, 4 * a.static_j, 1e-15);  // cores x ticks
+}
+
+TEST(Energy, ChipEnvelopeAtTypicalRates) {
+  // A 4096-core TrueNorth chip at ~10 Hz mean rate and ~64 synaptic events
+  // per spike should land in the tens-of-mW envelope the project targeted.
+  const std::uint64_t cores = 4096, ticks = 1000;
+  const std::uint64_t spikes =
+      cores * 256 * 10 / 1000 * ticks;  // 10 Hz x 1M neurons x 1 s
+  const EnergyEstimate e = estimate_energy(cores, ticks, spikes, spikes * 64);
+  EXPECT_GT(e.avg_watts, 0.001);
+  EXPECT_LT(e.avg_watts, 0.5);
+}
+
+}  // namespace
+}  // namespace compass::perf

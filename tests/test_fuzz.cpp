@@ -1,0 +1,163 @@
+// Property-based sweep over randomly generated (but always valid) models:
+// for every seed, the simulator must preserve the repository's core
+// invariants — bit-exact determinism across machine shapes and transports,
+// spike conservation, and series consistency. This is the broadest net for
+// subtle semantic regressions in the core/runtime/transport stack.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "arch/model.h"
+#include "comm/mpi_transport.h"
+#include "comm/pgas_transport.h"
+#include "runtime/compass.h"
+#include "util/prng.h"
+
+namespace compass {
+namespace {
+
+using arch::CoreId;
+using arch::Tick;
+using TraceEvent = std::tuple<Tick, CoreId, unsigned>;
+
+/// Generate a random, fully valid model: random crossbar density, random
+/// neuron parameters across the whole legal envelope (all reset modes, all
+/// stochastic flag combinations), random targets/delays, random potentials.
+arch::Model random_model(std::uint64_t seed, std::size_t cores = 12) {
+  util::CorePrng prng(util::derive_seed(seed, 0xF022));
+  arch::Model model(cores, seed);
+
+  for (CoreId c = 0; c < cores; ++c) {
+    arch::NeurosynapticCore& core = model.core(c);
+    const std::uint8_t density_p8 =
+        static_cast<std::uint8_t>(16 + prng.uniform_below(64));  // 6..31%
+    for (unsigned a = 0; a < arch::kAxonsPerCore; ++a) {
+      core.set_axon_type(a, static_cast<std::uint8_t>(prng.uniform_below(4)));
+      for (unsigned j = 0; j < arch::kNeuronsPerCore; ++j) {
+        if (prng.bernoulli_8(density_p8)) core.set_synapse(a, j);
+      }
+    }
+    for (unsigned j = 0; j < arch::kNeuronsPerCore; ++j) {
+      arch::NeuronParams p;
+      for (auto& w : p.weights) {
+        w = static_cast<std::int16_t>(
+            static_cast<int>(prng.uniform_below(41)) - 20);
+      }
+      p.leak = static_cast<std::int16_t>(
+          static_cast<int>(prng.uniform_below(41)) - 30);  // biased to drive
+      p.threshold = 1 + static_cast<std::int32_t>(prng.uniform_below(128));
+      p.reset_value = -static_cast<std::int32_t>(prng.uniform_below(32));
+      p.floor = -64 - static_cast<std::int32_t>(prng.uniform_below(256));
+      p.reset_mode = static_cast<arch::ResetMode>(prng.uniform_below(3));
+      p.flags = static_cast<std::uint8_t>(prng.uniform_below(8));
+      p.threshold_mask_bits = static_cast<std::uint8_t>(prng.uniform_below(7));
+      const arch::AxonTarget target{
+          static_cast<CoreId>(prng.uniform_below(static_cast<std::uint32_t>(cores))),
+          static_cast<std::uint8_t>(prng.uniform_below(256)),
+          static_cast<std::uint8_t>(1 + prng.uniform_below(15))};
+      core.configure_neuron(j, p, target);
+      core.set_potential(j, static_cast<std::int32_t>(prng.uniform_below(
+                                static_cast<std::uint32_t>(p.threshold))));
+    }
+  }
+  model.reseed_cores();
+  EXPECT_EQ(model.validate(), "");
+  return model;
+}
+
+struct RunResult {
+  std::vector<TraceEvent> trace;
+  runtime::RunReport report;
+};
+
+RunResult run(const arch::Model& model, int ranks, int threads,
+              bool pgas, Tick ticks) {
+  arch::Model copy = model;
+  const runtime::Partition part =
+      runtime::Partition::uniform(copy.num_cores(), ranks, threads);
+  std::unique_ptr<comm::Transport> transport;
+  if (pgas) {
+    transport = std::make_unique<comm::PgasTransport>(ranks, comm::CommCostModel{});
+  } else {
+    transport = std::make_unique<comm::MpiTransport>(ranks, comm::CommCostModel{});
+  }
+  runtime::Compass sim(copy, part, *transport);
+  RunResult out;
+  sim.set_spike_hook([&](Tick t, CoreId c, unsigned j) {
+    out.trace.emplace_back(t, c, j);
+  });
+  out.report = sim.run(ticks);
+  return out;
+}
+
+class FuzzSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzSweep, DeterminismAcrossShapesAndTransports) {
+  const arch::Model model = random_model(GetParam());
+  const RunResult reference = run(model, 1, 1, /*pgas=*/false, 25);
+  ASSERT_FALSE(reference.trace.empty())
+      << "fuzz model should be active (drive-biased leak)";
+
+  for (const auto& [ranks, threads, pgas] :
+       {std::tuple{2, 1, false}, std::tuple{5, 3, false},
+        std::tuple{2, 1, true}, std::tuple{12, 2, true}}) {
+    const RunResult got = run(model, ranks, threads, pgas, 25);
+    ASSERT_EQ(got.trace, reference.trace)
+        << "seed=" << GetParam() << " ranks=" << ranks
+        << " threads=" << threads << " pgas=" << pgas;
+    EXPECT_EQ(got.report.fired_spikes, reference.report.fired_spikes);
+    EXPECT_EQ(got.report.routed_spikes, reference.report.routed_spikes);
+  }
+}
+
+TEST_P(FuzzSweep, SpikeConservation) {
+  const arch::Model model = random_model(GetParam());
+  const RunResult r = run(model, 4, 2, /*pgas=*/false, 25);
+  EXPECT_EQ(r.report.routed_spikes,
+            r.report.local_spikes + r.report.remote_spikes);
+  // Every fired neuron in a fuzz model has a target.
+  EXPECT_EQ(r.report.routed_spikes, r.report.fired_spikes);
+}
+
+TEST_P(FuzzSweep, RepeatRunsIdentical) {
+  const arch::Model model = random_model(GetParam());
+  const RunResult a = run(model, 3, 2, /*pgas=*/true, 20);
+  const RunResult b = run(model, 3, 2, /*pgas=*/true, 20);
+  EXPECT_EQ(a.trace, b.trace);
+}
+
+TEST_P(FuzzSweep, CheckpointMidRunResumesExactly) {
+  const arch::Model model = random_model(GetParam());
+  const RunResult full = run(model, 2, 1, false, 30);
+
+  arch::Model first = model;
+  const runtime::Partition part = runtime::Partition::uniform(first.num_cores(), 2, 1);
+  comm::MpiTransport t1(2, comm::CommCostModel{});
+  runtime::Compass sim1(first, part, t1);
+  std::vector<TraceEvent> trace;
+  sim1.set_spike_hook([&](Tick t, CoreId c, unsigned j) {
+    trace.emplace_back(t, c, j);
+  });
+  sim1.run(13);  // odd split on purpose
+
+  std::stringstream snapshot;
+  first.save(snapshot);
+  arch::Model resumed = arch::Model::load(snapshot);
+  comm::MpiTransport t2(2, comm::CommCostModel{});
+  runtime::Compass sim2(resumed, part, t2);
+  sim2.set_start_tick(13);
+  sim2.set_spike_hook([&](Tick t, CoreId c, unsigned j) {
+    trace.emplace_back(t, c, j);
+  });
+  sim2.run(17);
+
+  EXPECT_EQ(trace, full.trace);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSweep,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));
+
+}  // namespace
+}  // namespace compass

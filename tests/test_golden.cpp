@@ -1,0 +1,75 @@
+// Golden regression test: a fixed macaque model (seed 2012, 77 cores, 3
+// ranks x 2 threads) must reproduce these exact event counts forever. Any
+// change to PRNG sequences, wiring order, neuron dynamics, routing, or the
+// CoCoMac generator shows up here first.
+//
+// If a change is *intentional* (e.g. a deliberate model revision), regenerate
+// the constants with the recipe in this file's comments and update them in
+// the same commit as the change — never loosen the comparisons.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cocomac/macaque.h"
+#include "comm/mpi_transport.h"
+#include "compiler/pcc.h"
+#include "runtime/compass.h"
+
+namespace compass {
+namespace {
+
+// Regeneration recipe: build the same spec/options below, run 30 ticks with
+// tick-series recording, and print inventory/report fields.
+constexpr std::uint64_t kGoldenSynapses = 1263795;
+constexpr std::uint64_t kGoldenWhite = 9498;
+constexpr std::uint64_t kGoldenGray = 10214;
+constexpr std::uint64_t kGoldenFired = 5907;
+constexpr std::uint64_t kGoldenLocal = 3941;
+constexpr std::uint64_t kGoldenRemote = 1966;
+constexpr std::uint64_t kGoldenMessages = 175;
+constexpr std::uint64_t kGoldenSynapticEvents = 301669;
+constexpr std::uint64_t kGoldenSeries[30] = {
+    11,  26,  58,  87,  109, 169, 168, 205, 201, 220,
+    196, 266, 240, 262, 247, 242, 227, 226, 228, 246,
+    251, 262, 237, 220, 217, 236, 212, 199, 232, 207};
+
+compiler::PccResult golden_compile() {
+  cocomac::MacaqueSpecOptions mopt;
+  mopt.total_cores = 77;
+  mopt.seed = 2012;
+  compiler::PccOptions popt;
+  popt.ranks = 3;
+  popt.threads_per_rank = 2;
+  return compiler::compile(cocomac::build_macaque_spec(mopt), popt);
+}
+
+TEST(Golden, ModelConstructionIsFrozen) {
+  const compiler::PccResult pcc = golden_compile();
+  EXPECT_EQ(pcc.model.inventory().synapses, kGoldenSynapses);
+  EXPECT_EQ(pcc.stats.white_connections, kGoldenWhite);
+  EXPECT_EQ(pcc.stats.gray_connections, kGoldenGray);
+}
+
+TEST(Golden, SimulationTraceIsFrozen) {
+  compiler::PccResult pcc = golden_compile();
+  comm::MpiTransport transport(3, comm::CommCostModel{});
+  runtime::Compass sim(pcc.model, pcc.partition, transport);
+  sim.enable_tick_series(true);
+  const runtime::RunReport rep = sim.run(30);
+
+  EXPECT_EQ(rep.fired_spikes, kGoldenFired);
+  EXPECT_EQ(rep.routed_spikes, kGoldenFired);
+  EXPECT_EQ(rep.local_spikes, kGoldenLocal);
+  EXPECT_EQ(rep.remote_spikes, kGoldenRemote);
+  EXPECT_EQ(rep.messages, kGoldenMessages);
+  EXPECT_EQ(rep.synaptic_events, kGoldenSynapticEvents);
+
+  const runtime::TickSeries& s = sim.tick_series();
+  ASSERT_EQ(s.spikes.size(), 30u);
+  for (std::size_t i = 0; i < 30; ++i) {
+    EXPECT_EQ(s.spikes[i], kGoldenSeries[i]) << "tick " << i;
+  }
+}
+
+}  // namespace
+}  // namespace compass

@@ -1,0 +1,158 @@
+// Tests for raster I/O and spike-train statistics.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "io/raster.h"
+#include "io/spike_stats.h"
+
+namespace compass::io {
+namespace {
+
+Raster sample_raster() {
+  Raster r;
+  r.record(0, 1, 5);
+  r.record(0, 2, 255);
+  r.record(3, 1, 5);
+  r.record(7, 0, 0);
+  return r;
+}
+
+TEST(Raster, RecordAndQuery) {
+  const Raster r = sample_raster();
+  EXPECT_EQ(r.size(), 4u);
+  EXPECT_FALSE(r.empty());
+  EXPECT_EQ(r.active_ticks(), 3u);
+  EXPECT_EQ(r.events()[1], (RasterEvent{0, 2, 255}));
+}
+
+TEST(Raster, TextRoundTrip) {
+  const Raster r = sample_raster();
+  std::stringstream ss;
+  r.write_text(ss);
+  EXPECT_EQ(Raster::read_text(ss), r);
+}
+
+TEST(Raster, BinaryRoundTrip) {
+  const Raster r = sample_raster();
+  std::stringstream ss;
+  r.write_binary(ss);
+  EXPECT_EQ(Raster::read_binary(ss), r);
+}
+
+TEST(Raster, BinaryRejectsGarbage) {
+  std::stringstream ss;
+  ss << "not a raster";
+  EXPECT_THROW(Raster::read_binary(ss), std::runtime_error);
+}
+
+TEST(Raster, TextRejectsBadNeuron) {
+  std::stringstream ss;
+  ss << "1 2 999\n";  // neuron out of range
+  EXPECT_THROW(Raster::read_text(ss), std::runtime_error);
+}
+
+TEST(Raster, TextSkipsCommentsAndBlanks) {
+  std::stringstream ss;
+  ss << "# header\n\n1 2 3\n";
+  const Raster r = Raster::read_text(ss);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r.events()[0].tick, 1u);
+}
+
+TEST(Raster, FileAutodetectsFormat) {
+  const Raster r = sample_raster();
+  const std::string bin = ::testing::TempDir() + "/raster.bin";
+  const std::string txt = ::testing::TempDir() + "/raster.txt";
+  ASSERT_TRUE(r.save(bin, /*binary=*/true));
+  ASSERT_TRUE(r.save(txt, /*binary=*/false));
+  EXPECT_EQ(Raster::load(bin), r);
+  EXPECT_EQ(Raster::load(txt), r);
+  std::remove(bin.c_str());
+  std::remove(txt.c_str());
+}
+
+TEST(Raster, LoadMissingThrows) {
+  EXPECT_THROW(Raster::load("/nonexistent/raster"), std::runtime_error);
+}
+
+TEST(SpikeStats, EmptyRaster) {
+  const TrainStats s = analyze(Raster{}, 100, 256);
+  EXPECT_EQ(s.total_spikes, 0u);
+  EXPECT_EQ(s.active_neurons, 0u);
+  EXPECT_DOUBLE_EQ(s.mean_rate_hz, 0.0);
+}
+
+TEST(SpikeStats, RatesCountSilentNeurons) {
+  Raster r;
+  // One neuron fires 10 times over 1000 ticks (1 biological second).
+  for (int i = 0; i < 10; ++i) r.record(static_cast<arch::Tick>(i * 100), 0, 0);
+  const TrainStats s = analyze(r, 1000, 100);
+  EXPECT_EQ(s.active_neurons, 1u);
+  EXPECT_NEAR(s.mean_rate_hz, 0.1, 1e-9);         // 10 spikes / 100 neurons / 1 s
+  EXPECT_NEAR(s.active_mean_rate_hz, 10.0, 1e-9); // the one active neuron
+}
+
+TEST(SpikeStats, ClockHasZeroCv) {
+  Raster r;
+  for (int i = 0; i < 50; ++i) r.record(static_cast<arch::Tick>(i * 7), 3, 9);
+  const TrainStats s = analyze(r, 350, 256);
+  EXPECT_NEAR(s.isi_mean_ticks, 7.0, 1e-9);
+  EXPECT_NEAR(s.isi_cv, 0.0, 1e-9);
+}
+
+TEST(SpikeStats, IrregularTrainHasPositiveCv) {
+  Raster r;
+  int t = 0;
+  for (int gap : {1, 20, 2, 40, 1, 30, 3, 25}) {
+    t += gap;
+    r.record(static_cast<arch::Tick>(t), 0, 1);
+  }
+  const TrainStats s = analyze(r, 200, 256);
+  EXPECT_GT(s.isi_cv, 0.5);
+}
+
+TEST(SpikeStats, SynchronyDetectsPopulationBursts) {
+  // Asynchronous: 100 neurons each firing on a distinct tick.
+  Raster async_r;
+  for (unsigned n = 0; n < 100; ++n) async_r.record(n, 0, static_cast<std::uint16_t>(n % 256));
+  const TrainStats async_s = analyze(async_r, 100, 100);
+
+  // Synchronous: all 100 spikes land on one tick.
+  Raster sync_r;
+  for (unsigned n = 0; n < 100; ++n) sync_r.record(50, 0, static_cast<std::uint16_t>(n % 256));
+  const TrainStats sync_s = analyze(sync_r, 100, 100);
+
+  EXPECT_LT(async_s.synchrony_index, 0.5);   // sub-Poisson (regular)
+  EXPECT_GT(sync_s.synchrony_index, 50.0);   // massive burst
+}
+
+TEST(SpikeStats, PerTickCountsIgnoreOutOfRange) {
+  Raster r;
+  r.record(5, 0, 0);
+  r.record(500, 0, 0);  // beyond analysed window
+  const auto counts = per_tick_counts(r, 10);
+  EXPECT_EQ(counts.size(), 10u);
+  EXPECT_EQ(counts[5], 1u);
+}
+
+TEST(AsciiActivity, RendersScaledPlot) {
+  std::vector<std::uint32_t> counts(128, 0);
+  for (std::size_t i = 64; i < 128; ++i) counts[i] = 10;
+  const std::string plot = ascii_activity(counts, 32, 4);
+  EXPECT_NE(plot.find('#'), std::string::npos);
+  EXPECT_NE(plot.find("peak 10"), std::string::npos);
+  // Left half quiet, right half full: '#' only appears in later columns of
+  // the top row.
+  const std::string top = plot.substr(0, plot.find('\n'));
+  EXPECT_EQ(top.find('#'), 3 + 16u);
+}
+
+TEST(AsciiActivity, EmptyInputsGiveEmptyPlot) {
+  EXPECT_TRUE(ascii_activity({}, 10, 4).empty());
+  EXPECT_TRUE(ascii_activity({1, 2}, 0, 4).empty());
+}
+
+}  // namespace
+}  // namespace compass::io

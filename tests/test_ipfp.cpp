@@ -1,0 +1,212 @@
+// Unit tests for the realizability machinery: IPFP / Sinkhorn–Knopp
+// balancing, largest-remainder apportionment, and controlled integer
+// rounding with exact margins.
+#include "compiler/ipfp.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "util/prng.h"
+
+namespace compass::compiler {
+namespace {
+
+util::Matrix<double> random_positive(std::size_t n, std::uint64_t seed) {
+  util::CorePrng prng(seed);
+  util::Matrix<double> m(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      m(r, c) = 0.1 + prng.uniform_double();
+    }
+  }
+  return m;
+}
+
+TEST(SinkhornKnopp, DoublyStochasticOnPositiveMatrix) {
+  util::Matrix<double> m = random_positive(10, 1);
+  const IpfpResult res = sinkhorn_knopp(m);
+  EXPECT_TRUE(res.converged);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_NEAR(m.row_sum(i), 1.0, 1e-8);
+    EXPECT_NEAR(m.col_sum(i), 1.0, 1e-8);
+  }
+}
+
+TEST(SinkhornKnopp, RequiresSquareMatrix) {
+  util::Matrix<double> m(2, 3, 1.0);
+  EXPECT_THROW(sinkhorn_knopp(m), std::invalid_argument);
+}
+
+TEST(IpfpBalance, HitsArbitraryMargins) {
+  util::Matrix<double> m = random_positive(6, 2);
+  const std::vector<double> rows = {10, 20, 30, 40, 50, 60};
+  const std::vector<double> cols = {60, 50, 40, 30, 20, 10};
+  const IpfpResult res = ipfp_balance(m, rows, cols);
+  EXPECT_TRUE(res.converged);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_NEAR(m.row_sum(i), rows[i], 1e-6);
+    EXPECT_NEAR(m.col_sum(i), cols[i], 1e-6);
+  }
+}
+
+TEST(IpfpBalance, PreservesZeroSupport) {
+  util::Matrix<double> m(3, 3, 1.0);
+  m(0, 2) = 0.0;
+  const std::vector<double> margins = {3, 3, 3};
+  ipfp_balance(m, margins, margins);
+  EXPECT_DOUBLE_EQ(m(0, 2), 0.0);
+}
+
+TEST(IpfpBalance, ZeroTargetRowIsCleared) {
+  util::Matrix<double> m(3, 3, 1.0);
+  const std::vector<double> rows = {0, 4, 5};
+  const std::vector<double> cols = {3, 3, 3};
+  ipfp_balance(m, rows, cols);
+  for (std::size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(m(0, c), 0.0);
+}
+
+TEST(IpfpBalance, SizeMismatchThrows) {
+  util::Matrix<double> m(3, 3, 1.0);
+  EXPECT_THROW(ipfp_balance(m, {1, 2}, {1, 2, 3}), std::invalid_argument);
+}
+
+TEST(IpfpBalance, ReportsIterationsAndError) {
+  util::Matrix<double> m = random_positive(4, 3);
+  IpfpOptions opt;
+  opt.max_iterations = 2;
+  opt.tolerance = 0.0;  // unreachable: must stop at the iteration cap
+  const IpfpResult res = ipfp_balance(m, {1, 1, 1, 1}, {1, 1, 1, 1}, opt);
+  EXPECT_FALSE(res.converged);
+  EXPECT_EQ(res.iterations, 2);
+  EXPECT_GT(res.max_relative_error, 0.0);
+}
+
+TEST(Apportion, ExactTotalAndProportionality) {
+  const auto out = apportion({1.0, 2.0, 3.0, 4.0}, 100);
+  EXPECT_EQ(std::accumulate(out.begin(), out.end(), std::int64_t{0}), 100);
+  EXPECT_EQ(out[0], 10);
+  EXPECT_EQ(out[1], 20);
+  EXPECT_EQ(out[2], 30);
+  EXPECT_EQ(out[3], 40);
+}
+
+TEST(Apportion, LargestRemainderRounding) {
+  // 1/3 split of 10: shares 3.33 each -> 4,3,3 in deterministic order.
+  const auto out = apportion({1.0, 1.0, 1.0}, 10);
+  EXPECT_EQ(std::accumulate(out.begin(), out.end(), std::int64_t{0}), 10);
+  for (std::int64_t v : out) EXPECT_GE(v, 3);
+}
+
+TEST(Apportion, MinimumGuarantee) {
+  // Tiny weight still gets its floor of 1 (every brain region gets a core).
+  const auto out = apportion({1e-9, 1.0, 1.0}, 10, /*minimum=*/1);
+  EXPECT_GE(out[0], 1);
+  EXPECT_EQ(std::accumulate(out.begin(), out.end(), std::int64_t{0}), 10);
+}
+
+TEST(Apportion, AllZeroWeightsSpreadEvenly) {
+  const auto out = apportion({0.0, 0.0, 0.0, 0.0}, 7, 0);
+  EXPECT_EQ(std::accumulate(out.begin(), out.end(), std::int64_t{0}), 7);
+  for (std::int64_t v : out) EXPECT_LE(v, 2);
+}
+
+TEST(Apportion, TotalBelowMinimumThrows) {
+  EXPECT_THROW(apportion({1.0, 1.0}, 1, 1), std::invalid_argument);
+}
+
+TEST(Apportion, NegativeWeightThrows) {
+  EXPECT_THROW(apportion({1.0, -1.0}, 10), std::invalid_argument);
+}
+
+TEST(Apportion, Deterministic) {
+  const auto a = apportion({0.3, 0.3, 0.4}, 11);
+  const auto b = apportion({0.3, 0.3, 0.4}, 11);
+  EXPECT_EQ(a, b);
+}
+
+TEST(ControlledRound, ExactMarginsOnBalancedMatrix) {
+  util::Matrix<double> m = random_positive(8, 5);
+  std::vector<double> margins_d(8, 100.0);
+  ipfp_balance(m, margins_d, margins_d);
+  const std::vector<std::int64_t> margins(8, 100);
+  const auto k = controlled_round(m, margins, margins);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(k.row_sum(i), 100);
+    EXPECT_EQ(k.col_sum(i), 100);
+  }
+}
+
+TEST(ControlledRound, UnequalMargins) {
+  util::Matrix<double> m = random_positive(4, 7);
+  const std::vector<std::int64_t> rows = {10, 20, 30, 40};
+  const std::vector<std::int64_t> cols = {40, 30, 20, 10};
+  std::vector<double> rd(rows.begin(), rows.end()), cd(cols.begin(), cols.end());
+  ipfp_balance(m, rd, cd);
+  const auto k = controlled_round(m, rows, cols);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(k.row_sum(i), rows[i]);
+    EXPECT_EQ(k.col_sum(i), cols[i]);
+  }
+}
+
+TEST(ControlledRound, ValuesStayNearReals) {
+  util::Matrix<double> m = random_positive(6, 9);
+  std::vector<double> md(6, 60.0);
+  ipfp_balance(m, md, md);
+  const std::vector<std::int64_t> margins(6, 60);
+  const auto k = controlled_round(m, margins, margins);
+  for (std::size_t r = 0; r < 6; ++r) {
+    for (std::size_t c = 0; c < 6; ++c) {
+      EXPECT_NEAR(static_cast<double>(k(r, c)), m(r, c), 3.0);
+    }
+  }
+}
+
+TEST(ControlledRound, MismatchedTotalsThrow) {
+  util::Matrix<double> m(2, 2, 1.0);
+  EXPECT_THROW(controlled_round(m, {1, 1}, {1, 2}), std::invalid_argument);
+}
+
+TEST(ControlledRound, IntegerInputPassesThrough) {
+  util::Matrix<double> m(2, 2, 0.0);
+  m(0, 0) = 3;
+  m(0, 1) = 1;
+  m(1, 0) = 1;
+  m(1, 1) = 3;
+  const auto k = controlled_round(m, {4, 4}, {4, 4});
+  EXPECT_EQ(k(0, 0), 3);
+  EXPECT_EQ(k(0, 1), 1);
+  EXPECT_EQ(k(1, 0), 1);
+  EXPECT_EQ(k(1, 1), 3);
+}
+
+// Property sweep: IPFP + controlled rounding always yields exact integer
+// margins for random matrices of varying size.
+class RoundingSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RoundingSweep, ExactMarginsAlways) {
+  const int n = GetParam();
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    util::Matrix<double> m = random_positive(static_cast<std::size_t>(n), seed);
+    util::CorePrng prng(seed + 100);
+    std::vector<std::int64_t> margins(static_cast<std::size_t>(n));
+    std::int64_t total_rows = 0;
+    for (auto& v : margins) {
+      v = 1 + prng.uniform_below(50);
+      total_rows += v;
+    }
+    std::vector<double> md(margins.begin(), margins.end());
+    ipfp_balance(m, md, md);
+    const auto k = controlled_round(m, margins, margins);
+    for (std::size_t i = 0; i < static_cast<std::size_t>(n); ++i) {
+      ASSERT_EQ(k.row_sum(i), margins[i]) << "n=" << n << " seed=" << seed;
+      ASSERT_EQ(k.col_sum(i), margins[i]) << "n=" << n << " seed=" << seed;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RoundingSweep, ::testing::Values(2, 3, 5, 13, 40));
+
+}  // namespace
+}  // namespace compass::compiler

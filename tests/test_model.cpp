@@ -1,0 +1,151 @@
+// Unit tests for Model: inventory, validation, region labels, and the
+// explicit binary model file (the artifact PCC's in-situ compilation
+// replaces at scale).
+#include "arch/model.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+namespace compass::arch {
+namespace {
+
+Model tiny_model(std::size_t cores = 4, std::uint64_t seed = 1) {
+  Model m(cores, seed);
+  for (CoreId c = 0; c < cores; ++c) {
+    NeuronParams p;
+    p.weights = {10, 0, 0, 0};
+    p.threshold = 10;
+    for (unsigned j = 0; j < kNeuronsPerCore; ++j) {
+      m.core(c).configure_neuron(
+          j, p,
+          AxonTarget{static_cast<CoreId>((c + 1) % cores),
+                     static_cast<std::uint8_t>(j), 1});
+      m.core(c).set_synapse(j, j);
+    }
+  }
+  return m;
+}
+
+TEST(Model, InventoryCountsCoresNeuronsSynapses) {
+  Model m = tiny_model(4);
+  const ModelInventory inv = m.inventory();
+  EXPECT_EQ(inv.cores, 4u);
+  EXPECT_EQ(inv.neurons, 4u * 256u);
+  EXPECT_EQ(inv.synapses, 4u * 256u);  // identity crossbars
+  EXPECT_EQ(inv.connected_neurons, 4u * 256u);
+}
+
+TEST(Model, EmptyModel) {
+  Model m;
+  EXPECT_EQ(m.num_cores(), 0u);
+  EXPECT_EQ(m.inventory().cores, 0u);
+  EXPECT_EQ(m.num_regions(), 0u);
+  EXPECT_TRUE(m.validate().empty());
+}
+
+TEST(Model, ValidateAcceptsGoodModel) {
+  EXPECT_EQ(tiny_model().validate(), "");
+}
+
+TEST(Model, ValidateCatchesTargetCoreOutOfRange) {
+  Model m = tiny_model(2);
+  m.core(0).configure_neuron(0, m.core(0).params_of(0), AxonTarget{99, 0, 1});
+  const std::string err = m.validate();
+  EXPECT_NE(err.find("out of range"), std::string::npos) << err;
+}
+
+TEST(Model, ValidateCatchesBadDelay) {
+  Model m = tiny_model(2);
+  m.core(1).configure_neuron(3, m.core(1).params_of(3), AxonTarget{0, 0, 0});
+  const std::string err = m.validate();
+  EXPECT_NE(err.find("delay"), std::string::npos) << err;
+}
+
+TEST(Model, ValidateAcceptsUnconnectedNeurons) {
+  Model m(1, 0);
+  EXPECT_EQ(m.validate(), "");
+}
+
+TEST(Model, RegionLabelsRoundTrip) {
+  Model m(6, 0);
+  m.set_region(0, 2);
+  m.set_region(5, 7);
+  EXPECT_EQ(m.region(0), 2);
+  EXPECT_EQ(m.region(5), 7);
+  EXPECT_EQ(m.region(3), 0);
+  EXPECT_EQ(m.num_regions(), 8u);  // max label + 1
+}
+
+TEST(Model, SeedDerivesDistinctCorePrngs) {
+  Model m(3, 42);
+  const auto a = m.core(0).prng().next_u64();
+  const auto b = m.core(1).prng().next_u64();
+  const auto c = m.core(2).prng().next_u64();
+  EXPECT_NE(a, b);
+  EXPECT_NE(b, c);
+}
+
+TEST(Model, ReseedCoresRestoresInitialStreams) {
+  Model m(2, 7);
+  const auto first = m.core(0).prng().next_u64();
+  m.core(0).prng().next_u64();
+  m.reseed_cores();
+  EXPECT_EQ(m.core(0).prng().next_u64(), first);
+}
+
+TEST(Model, SameSeedSameStreams) {
+  Model a(2, 9), b(2, 9);
+  EXPECT_EQ(a.core(1).prng().next_u64(), b.core(1).prng().next_u64());
+}
+
+TEST(Model, StreamSaveLoadRoundTrip) {
+  Model m = tiny_model(3, 55);
+  m.set_region(1, 4);
+  std::stringstream ss;
+  m.save(ss);
+  const Model loaded = Model::load(ss);
+  EXPECT_TRUE(m == loaded);
+  EXPECT_EQ(loaded.seed(), 55u);
+  EXPECT_EQ(loaded.region(1), 4);
+}
+
+TEST(Model, LoadRejectsGarbage) {
+  std::stringstream ss;
+  ss << "this is not a model file";
+  EXPECT_THROW(Model::load(ss), std::runtime_error);
+}
+
+TEST(Model, LoadRejectsTruncated) {
+  Model m = tiny_model(2);
+  std::stringstream ss;
+  m.save(ss);
+  std::string bytes = ss.str();
+  bytes.resize(bytes.size() / 2);
+  std::stringstream half(bytes);
+  EXPECT_THROW(Model::load(half), std::runtime_error);
+}
+
+TEST(Model, FileSaveLoadRoundTrip) {
+  Model m = tiny_model(2, 3);
+  const std::string path = ::testing::TempDir() + "/compass_model_test.bin";
+  ASSERT_TRUE(m.save_file(path));
+  const Model loaded = Model::load_file(path);
+  EXPECT_TRUE(m == loaded);
+  std::remove(path.c_str());
+}
+
+TEST(Model, LoadFileMissingThrows) {
+  EXPECT_THROW(Model::load_file("/nonexistent/compass.bin"), std::runtime_error);
+}
+
+TEST(Model, EqualityDetectsCrossbarDifference) {
+  Model a = tiny_model(2), b = tiny_model(2);
+  EXPECT_TRUE(a == b);
+  b.core(0).set_synapse(0, 5, true);
+  EXPECT_FALSE(a == b);
+}
+
+}  // namespace
+}  // namespace compass::arch

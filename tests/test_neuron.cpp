@@ -1,0 +1,258 @@
+// Unit tests for the TrueNorth digital integrate-leak-and-fire neuron
+// (arch/neuron.h) — the scalar reference model every core dynamics path
+// must match.
+#include "arch/neuron.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace compass::arch {
+namespace {
+
+NeuronParams basic_params() {
+  NeuronParams p;
+  p.weights = {10, -5, 0, 0};
+  p.leak = 0;
+  p.threshold = 100;
+  p.reset_value = 0;
+  p.floor = -1000;
+  p.reset_mode = ResetMode::kAbsolute;
+  return p;
+}
+
+TEST(NeuronParams, DefaultIsValid) {
+  EXPECT_TRUE(NeuronParams{}.valid());
+}
+
+TEST(NeuronParams, RejectsOutOfRangeWeights) {
+  NeuronParams p = basic_params();
+  p.weights[0] = 300;
+  EXPECT_FALSE(p.valid());
+  p.weights[0] = -300;
+  EXPECT_FALSE(p.valid());
+  p.weights[0] = 255;
+  EXPECT_TRUE(p.valid());
+  p.weights[0] = -256;
+  EXPECT_TRUE(p.valid());
+}
+
+TEST(NeuronParams, RejectsNonPositiveThreshold) {
+  NeuronParams p = basic_params();
+  p.threshold = 0;
+  EXPECT_FALSE(p.valid());
+  p.threshold = -5;
+  EXPECT_FALSE(p.valid());
+}
+
+TEST(NeuronParams, RejectsPositiveFloor) {
+  NeuronParams p = basic_params();
+  p.floor = 1;
+  EXPECT_FALSE(p.valid());
+  p.floor = 0;
+  EXPECT_TRUE(p.valid());
+}
+
+TEST(NeuronParams, RejectsHugeJitterMask) {
+  NeuronParams p = basic_params();
+  p.threshold_mask_bits = 17;
+  EXPECT_FALSE(p.valid());
+  p.threshold_mask_bits = 16;
+  EXPECT_TRUE(p.valid());
+}
+
+TEST(NeuronStep, IntegratesWithoutFiring) {
+  util::CorePrng prng(1);
+  NeuronParams p = basic_params();
+  std::int32_t v = 0;
+  EXPECT_FALSE(neuron_step(p, v, 40, prng));
+  EXPECT_EQ(v, 40);
+  EXPECT_FALSE(neuron_step(p, v, 40, prng));
+  EXPECT_EQ(v, 80);
+}
+
+TEST(NeuronStep, FiresAtThreshold) {
+  util::CorePrng prng(1);
+  NeuronParams p = basic_params();
+  std::int32_t v = 0;
+  EXPECT_TRUE(neuron_step(p, v, 100, prng));  // v == threshold fires
+  EXPECT_EQ(v, 0);                            // absolute reset
+}
+
+TEST(NeuronStep, DeterministicLeakSubtracts) {
+  util::CorePrng prng(1);
+  NeuronParams p = basic_params();
+  p.leak = 3;
+  std::int32_t v = 50;
+  neuron_step(p, v, 0, prng);
+  EXPECT_EQ(v, 47);
+}
+
+TEST(NeuronStep, NegativeLeakIsDrive) {
+  util::CorePrng prng(1);
+  NeuronParams p = basic_params();
+  p.leak = -7;
+  std::int32_t v = 0;
+  neuron_step(p, v, 0, prng);
+  EXPECT_EQ(v, 7);
+}
+
+TEST(NeuronStep, FloorClampsNegativeExcursion) {
+  util::CorePrng prng(1);
+  NeuronParams p = basic_params();
+  p.floor = -20;
+  std::int32_t v = 0;
+  neuron_step(p, v, -500, prng);
+  EXPECT_EQ(v, -20);
+}
+
+TEST(NeuronStep, LinearResetKeepsResidue) {
+  util::CorePrng prng(1);
+  NeuronParams p = basic_params();
+  p.reset_mode = ResetMode::kLinear;
+  std::int32_t v = 0;
+  EXPECT_TRUE(neuron_step(p, v, 130, prng));
+  EXPECT_EQ(v, 30);  // 130 - threshold(100)
+}
+
+TEST(NeuronStep, NoneResetLeavesPotential) {
+  util::CorePrng prng(1);
+  NeuronParams p = basic_params();
+  p.reset_mode = ResetMode::kNone;
+  std::int32_t v = 0;
+  EXPECT_TRUE(neuron_step(p, v, 150, prng));
+  EXPECT_EQ(v, 150);
+  // Still above threshold: fires every subsequent tick.
+  EXPECT_TRUE(neuron_step(p, v, 0, prng));
+}
+
+TEST(NeuronStep, AbsoluteResetToConfiguredValue) {
+  util::CorePrng prng(1);
+  NeuronParams p = basic_params();
+  p.reset_value = -25;
+  std::int32_t v = 0;
+  EXPECT_TRUE(neuron_step(p, v, 100, prng));
+  EXPECT_EQ(v, -25);
+}
+
+TEST(NeuronStep, PeriodicFiringUnderConstantDrive) {
+  // Constant input I against threshold T fires every ceil(T / I) ticks.
+  util::CorePrng prng(1);
+  NeuronParams p = basic_params();
+  std::int32_t v = 0;
+  int fires = 0;
+  for (int t = 0; t < 1000; ++t) {
+    if (neuron_step(p, v, 7, prng)) ++fires;
+  }
+  // T=100, I=7 -> fires every 15 ticks (ceil(100/7)) -> ~66 in 1000.
+  EXPECT_NEAR(fires, 66, 2);
+}
+
+TEST(NeuronStep, StochasticLeakMatchesMeanRate) {
+  util::CorePrng prng(17);
+  NeuronParams p = basic_params();
+  p.leak = -128;  // +1 drive with probability 128/256 = 0.5
+  p.flags = kStochasticLeak;
+  std::int32_t v = 0;
+  int fires = 0;
+  const int ticks = 200000;
+  for (int t = 0; t < ticks; ++t) {
+    if (neuron_step(p, v, 0, prng)) ++fires;
+  }
+  // Mean drive 0.5/tick against threshold 100 -> rate 1/200 per tick.
+  EXPECT_NEAR(fires, ticks / 200, 60);
+}
+
+TEST(NeuronStep, StochasticLeakConsumesPrngEvenWhenSubthreshold) {
+  // The draw order must not depend on membrane state: two neurons with
+  // different potentials consume the same number of draws per tick.
+  NeuronParams p = basic_params();
+  p.leak = -100;
+  p.flags = kStochasticLeak;
+  util::CorePrng a(5), b(5);
+  std::int32_t va = 0, vb = 90;
+  neuron_step(p, va, 0, a);
+  neuron_step(p, vb, 0, b);
+  EXPECT_EQ(a.state(), b.state());
+}
+
+TEST(NeuronStep, StochasticThresholdJittersUp) {
+  // With jitter in [0, 15], potential = threshold - 1 sometimes must NOT
+  // fire; potential = threshold + 15 always fires.
+  util::CorePrng prng(23);
+  NeuronParams p = basic_params();
+  p.flags = kStochasticThreshold;
+  p.threshold_mask_bits = 4;
+  int fired_low = 0, fired_high = 0;
+  for (int i = 0; i < 2000; ++i) {
+    std::int32_t v = 0;
+    if (neuron_step(p, v, p.threshold, prng)) ++fired_low;  // v == T
+    v = 0;
+    if (neuron_step(p, v, p.threshold + 15, prng)) ++fired_high;
+  }
+  EXPECT_EQ(fired_high, 2000);
+  EXPECT_GT(fired_low, 0);
+  EXPECT_LT(fired_low, 2000);
+  EXPECT_NEAR(fired_low, 125, 60);  // P(jitter == 0) = 1/16
+}
+
+TEST(SynapticContribution, DeterministicPassThrough) {
+  util::CorePrng prng(1);
+  EXPECT_EQ(synaptic_contribution(42, false, prng), 42);
+  EXPECT_EQ(synaptic_contribution(-17, false, prng), -17);
+  EXPECT_EQ(synaptic_contribution(0, false, prng), 0);
+}
+
+TEST(SynapticContribution, StochasticMeanMatchesWeightOver256) {
+  util::CorePrng prng(9);
+  for (int w : {16, 64, 200, -64, -200}) {
+    long sum = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+      sum += synaptic_contribution(static_cast<std::int16_t>(w), true, prng);
+    }
+    const double mean = static_cast<double>(sum) / n;
+    EXPECT_NEAR(mean, w / 256.0, 0.01) << "w=" << w;
+  }
+}
+
+TEST(SynapticContribution, StochasticZeroWeightDrawsNothing) {
+  util::CorePrng prng(3);
+  const std::uint64_t before = prng.state();
+  EXPECT_EQ(synaptic_contribution(0, true, prng), 0);
+  EXPECT_EQ(prng.state(), before);  // zero weight must not consume a draw
+}
+
+// Parameterised sweep: firing never occurs below the (deterministic)
+// threshold and always occurs at/above it, across reset modes.
+class ResetModeSweep : public ::testing::TestWithParam<ResetMode> {};
+
+TEST_P(ResetModeSweep, ThresholdBoundaryExact) {
+  util::CorePrng prng(1);
+  NeuronParams p = basic_params();
+  p.reset_mode = GetParam();
+  std::int32_t v = 0;
+  EXPECT_FALSE(neuron_step(p, v, p.threshold - 1, prng));
+  v = 0;
+  EXPECT_TRUE(neuron_step(p, v, p.threshold, prng));
+}
+
+TEST_P(ResetModeSweep, RepeatedFiringIsStable) {
+  util::CorePrng prng(1);
+  NeuronParams p = basic_params();
+  p.reset_mode = GetParam();
+  std::int32_t v = 0;
+  for (int i = 0; i < 100; ++i) {
+    neuron_step(p, v, 60, prng);
+    ASSERT_GE(v, p.floor);
+    ASSERT_LE(v, (1 << 20));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllResetModes, ResetModeSweep,
+                         ::testing::Values(ResetMode::kAbsolute,
+                                           ResetMode::kLinear,
+                                           ResetMode::kNone));
+
+}  // namespace
+}  // namespace compass::arch

@@ -1,0 +1,82 @@
+// Tests for the OpenMP parallel-execution mode: functional results must be
+// identical to serial execution (per-rank state is disjoint and spike
+// delivery is order-independent), and hooks must force serial execution.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cocomac/macaque.h"
+#include "comm/mpi_transport.h"
+#include "compiler/pcc.h"
+#include "runtime/compass.h"
+
+namespace compass::runtime {
+namespace {
+
+compiler::PccResult build(std::uint64_t cores = 96, int ranks = 4) {
+  cocomac::MacaqueSpecOptions mopt;
+  mopt.total_cores = cores;
+  compiler::PccOptions popt;
+  popt.ranks = ranks;
+  popt.threads_per_rank = 2;
+  return compiler::compile(cocomac::build_macaque_spec(mopt), popt);
+}
+
+RunReport run_mode(const compiler::PccResult& pcc, bool parallel,
+                   arch::Model* final_model = nullptr) {
+  arch::Model model = pcc.model;
+  comm::MpiTransport transport(pcc.partition.ranks(), comm::CommCostModel{});
+  Config cfg;
+  cfg.parallel_execution = parallel;
+  Compass sim(model, pcc.partition, transport, cfg);
+  const RunReport rep = sim.run(60);
+  if (final_model != nullptr) *final_model = model;
+  return rep;
+}
+
+TEST(ParallelExecution, FunctionalResultsMatchSerial) {
+  const compiler::PccResult pcc = build();
+  arch::Model serial_model, parallel_model;
+  const RunReport serial = run_mode(pcc, false, &serial_model);
+  const RunReport parallel = run_mode(pcc, true, &parallel_model);
+
+  EXPECT_EQ(serial.fired_spikes, parallel.fired_spikes);
+  EXPECT_EQ(serial.routed_spikes, parallel.routed_spikes);
+  EXPECT_EQ(serial.local_spikes, parallel.local_spikes);
+  EXPECT_EQ(serial.remote_spikes, parallel.remote_spikes);
+  EXPECT_EQ(serial.synaptic_events, parallel.synaptic_events);
+  EXPECT_EQ(serial.messages, parallel.messages);
+  // The entire final machine state — membranes, delay buffers, PRNGs —
+  // must be bit-identical.
+  EXPECT_TRUE(serial_model == parallel_model);
+}
+
+TEST(ParallelExecution, HookForcesSerialAndStaysCorrect) {
+  const compiler::PccResult pcc = build(80, 3);
+  arch::Model model = pcc.model;
+  comm::MpiTransport transport(3, comm::CommCostModel{});
+  Config cfg;
+  cfg.parallel_execution = true;  // hook below overrides this
+  Compass sim(model, pcc.partition, transport, cfg);
+  std::uint64_t hooked = 0;
+  sim.set_spike_hook([&](arch::Tick, arch::CoreId, unsigned) { ++hooked; });
+  const RunReport rep = sim.run(40);
+  EXPECT_EQ(hooked, rep.fired_spikes);
+}
+
+TEST(ParallelExecution, CountersSurviveManySmallTicks) {
+  const compiler::PccResult pcc = build(77, 2);
+  arch::Model model = pcc.model;
+  comm::MpiTransport transport(2, comm::CommCostModel{});
+  Config cfg;
+  cfg.parallel_execution = true;
+  Compass sim(model, pcc.partition, transport, cfg);
+  std::uint64_t stepped = 0;
+  for (int i = 0; i < 50; ++i) stepped += sim.step();
+  EXPECT_EQ(stepped, sim.report().fired_spikes);
+  EXPECT_EQ(sim.report().routed_spikes,
+            sim.report().local_spikes + sim.report().remote_spikes);
+}
+
+}  // namespace
+}  // namespace compass::runtime

@@ -1,0 +1,237 @@
+// Unit tests for core-to-rank/thread placement.
+#include "runtime/partition.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+namespace compass::runtime {
+namespace {
+
+TEST(Partition, UniformCoversAllCoresExactlyOnce) {
+  const Partition p = Partition::uniform(100, 7, 3);
+  std::vector<int> seen(100, 0);
+  for (int r = 0; r < p.ranks(); ++r) {
+    for (arch::CoreId c : p.cores_of(r)) ++seen[c];
+  }
+  for (int s : seen) EXPECT_EQ(s, 1);
+}
+
+TEST(Partition, UniformBalancesWithinOneCore) {
+  const Partition p = Partition::uniform(100, 7, 1);
+  std::size_t lo = 100, hi = 0;
+  for (int r = 0; r < 7; ++r) {
+    lo = std::min(lo, p.cores_of(r).size());
+    hi = std::max(hi, p.cores_of(r).size());
+  }
+  EXPECT_LE(hi - lo, 1u);
+}
+
+TEST(Partition, RankOfMatchesCoresOf) {
+  const Partition p = Partition::uniform(64, 4, 2);
+  for (int r = 0; r < 4; ++r) {
+    for (arch::CoreId c : p.cores_of(r)) EXPECT_EQ(p.rank_of(c), r);
+  }
+}
+
+TEST(Partition, ThreadOfMatchesCoresOfThread) {
+  const Partition p = Partition::uniform(64, 4, 3);
+  for (int r = 0; r < 4; ++r) {
+    std::size_t total = 0;
+    for (int t = 0; t < 3; ++t) {
+      for (arch::CoreId c : p.cores_of(r, t)) {
+        EXPECT_EQ(p.rank_of(c), r);
+        EXPECT_EQ(p.thread_of(c), t);
+      }
+      total += p.cores_of(r, t).size();
+    }
+    EXPECT_EQ(total, p.cores_of(r).size());
+  }
+}
+
+TEST(Partition, ThreadBlocksAreBalanced) {
+  const Partition p = Partition::uniform(1000, 3, 7);
+  for (int r = 0; r < 3; ++r) {
+    std::size_t lo = 1000, hi = 0;
+    for (int t = 0; t < 7; ++t) {
+      lo = std::min(lo, p.cores_of(r, t).size());
+      hi = std::max(hi, p.cores_of(r, t).size());
+    }
+    EXPECT_LE(hi - lo, 1u);
+  }
+}
+
+TEST(Partition, SingleRankOwnsEverything) {
+  const Partition p = Partition::uniform(10, 1, 1);
+  EXPECT_EQ(p.cores_of(0).size(), 10u);
+  EXPECT_EQ(p.cores_of(0, 0).size(), 10u);
+}
+
+TEST(Partition, MoreRanksThanCoresLeavesEmptyRanks) {
+  const Partition p = Partition::uniform(3, 5, 1);
+  int nonempty = 0;
+  std::size_t total = 0;
+  for (int r = 0; r < 5; ++r) {
+    total += p.cores_of(r).size();
+    if (!p.cores_of(r).empty()) ++nonempty;
+  }
+  EXPECT_EQ(total, 3u);
+  EXPECT_EQ(nonempty, 3);
+}
+
+TEST(Partition, FromRankAssignmentRespectsMapping) {
+  const std::vector<int> assign = {2, 0, 1, 0, 2, 2};
+  const Partition p = Partition::from_rank_assignment(assign, 3, 1);
+  for (std::size_t c = 0; c < assign.size(); ++c) {
+    EXPECT_EQ(p.rank_of(static_cast<arch::CoreId>(c)), assign[c]);
+  }
+  EXPECT_EQ(p.cores_of(0).size(), 2u);
+  EXPECT_EQ(p.cores_of(1).size(), 1u);
+  EXPECT_EQ(p.cores_of(2).size(), 3u);
+}
+
+TEST(Partition, CoresWithinRankAreAscending) {
+  const std::vector<int> assign = {1, 0, 1, 0, 1};
+  const Partition p = Partition::from_rank_assignment(assign, 2, 1);
+  const auto r1 = p.cores_of(1);
+  ASSERT_EQ(r1.size(), 3u);
+  EXPECT_EQ(r1[0], 0u);
+  EXPECT_EQ(r1[1], 2u);
+  EXPECT_EQ(r1[2], 4u);
+}
+
+TEST(Partition, RethreadKeepsRanksChangesThreads) {
+  Partition p = Partition::uniform(60, 2, 2);
+  const std::vector<int> before = {p.rank_of(0), p.rank_of(30), p.rank_of(59)};
+  p.rethread(5);
+  EXPECT_EQ(p.threads_per_rank(), 5);
+  EXPECT_EQ(p.rank_of(0), before[0]);
+  EXPECT_EQ(p.rank_of(30), before[1]);
+  EXPECT_EQ(p.rank_of(59), before[2]);
+  for (int r = 0; r < 2; ++r) {
+    std::size_t total = 0;
+    for (int t = 0; t < 5; ++t) total += p.cores_of(r, t).size();
+    EXPECT_EQ(total, 30u);
+  }
+}
+
+// Property sweep: every (cores, ranks, threads) combination covers all cores
+// exactly once with balanced thread blocks.
+class PartitionSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(PartitionSweep, CoverageAndConsistency) {
+  const auto [cores, ranks, threads] = GetParam();
+  const Partition p =
+      Partition::uniform(static_cast<std::size_t>(cores), ranks, threads);
+  std::vector<int> seen(static_cast<std::size_t>(cores), 0);
+  for (int r = 0; r < ranks; ++r) {
+    for (int t = 0; t < threads; ++t) {
+      for (arch::CoreId c : p.cores_of(r, t)) {
+        ++seen[c];
+        EXPECT_EQ(p.rank_of(c), r);
+        EXPECT_EQ(p.thread_of(c), t);
+      }
+    }
+  }
+  EXPECT_EQ(std::accumulate(seen.begin(), seen.end(), 0), cores);
+  for (int s : seen) EXPECT_EQ(s, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PartitionSweep,
+    ::testing::Combine(::testing::Values(1, 2, 17, 256, 1000),
+                       ::testing::Values(1, 3, 16),
+                       ::testing::Values(1, 2, 32)));
+
+// --- Block-aligned placement (paper section IV) -----------------------------
+
+int split_blocks(const Partition& p, const std::vector<std::int64_t>& sizes) {
+  int split = 0;
+  arch::CoreId core = 0;
+  for (std::int64_t s : sizes) {
+    if (s > 0 &&
+        p.rank_of(core) != p.rank_of(core + static_cast<arch::CoreId>(s) - 1)) {
+      ++split;
+    }
+    core += static_cast<arch::CoreId>(s);
+  }
+  return split;
+}
+
+TEST(BlockAligned, CoversEveryCoreExactlyOnceMonotonically) {
+  const std::vector<std::int64_t> sizes = {5, 9, 2, 14, 1, 7, 30, 4};
+  std::int64_t total = 0;
+  for (std::int64_t s : sizes) total += s;
+  const Partition p = Partition::block_aligned(sizes, 4, 2);
+  std::size_t covered = 0;
+  int prev = 0;
+  for (arch::CoreId c = 0; c < static_cast<arch::CoreId>(total); ++c) {
+    EXPECT_GE(p.rank_of(c), prev);
+    prev = p.rank_of(c);
+    ++covered;
+  }
+  EXPECT_EQ(covered, static_cast<std::size_t>(total));
+  for (int r = 0; r < 4; ++r) {
+    for (arch::CoreId c : p.cores_of(r)) EXPECT_EQ(p.rank_of(c), r);
+  }
+}
+
+TEST(BlockAligned, SmallBlocksNeverSplit) {
+  // All blocks well under one rank's share: every block stays whole.
+  const std::vector<std::int64_t> sizes(20, 5);  // 100 cores, 4 ranks -> 25/rank
+  const Partition p = Partition::block_aligned(sizes, 4, 1);
+  EXPECT_EQ(split_blocks(p, sizes), 0);
+}
+
+TEST(BlockAligned, SplitsFewerBlocksThanUniform) {
+  const std::vector<std::int64_t> sizes = {13, 22, 7, 19, 31, 6, 11, 25, 9, 17};
+  std::int64_t total = 0;
+  for (std::int64_t s : sizes) total += s;
+  const Partition aligned = Partition::block_aligned(sizes, 5, 1);
+  const Partition uniform =
+      Partition::uniform(static_cast<std::size_t>(total), 5, 1);
+  EXPECT_LE(split_blocks(aligned, sizes), split_blocks(uniform, sizes));
+  EXPECT_EQ(split_blocks(aligned, sizes), 0);  // all blocks < 160/5
+}
+
+TEST(BlockAligned, LoadsStayRoughlyBalanced) {
+  const std::vector<std::int64_t> sizes = {13, 22, 7, 19, 31, 6, 11, 25, 9, 17};
+  std::int64_t total = 0;
+  for (std::int64_t s : sizes) total += s;
+  const Partition p = Partition::block_aligned(sizes, 5, 1);
+  const double mean = static_cast<double>(total) / 5.0;
+  for (int r = 0; r < 5; ++r) {
+    EXPECT_LE(static_cast<double>(p.cores_of(r).size()), 2.0 * mean) << r;
+  }
+}
+
+TEST(BlockAligned, OversizedBlockSplitsAcrossRanks) {
+  const std::vector<std::int64_t> sizes = {4, 100, 4};
+  const Partition p = Partition::block_aligned(sizes, 4, 1);
+  // The 100-core block must span several ranks; the small ones stay whole.
+  EXPECT_NE(p.rank_of(4), p.rank_of(103));
+  EXPECT_EQ(p.rank_of(0), p.rank_of(3));
+  EXPECT_EQ(p.rank_of(104), p.rank_of(107));
+  // Balanced within a factor of the mean.
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_GT(p.cores_of(r).size(), 10u) << r;
+  }
+}
+
+TEST(BlockAligned, SingleRankTakesEverything) {
+  const std::vector<std::int64_t> sizes = {3, 4, 5};
+  const Partition p = Partition::block_aligned(sizes, 1, 2);
+  EXPECT_EQ(p.cores_of(0).size(), 12u);
+}
+
+TEST(BlockAligned, ZeroSizedBlocksIgnored) {
+  const std::vector<std::int64_t> sizes = {0, 6, 0, 6, 0};
+  const Partition p = Partition::block_aligned(sizes, 2, 1);
+  EXPECT_EQ(p.num_cores(), 12u);
+  EXPECT_EQ(p.cores_of(0).size() + p.cores_of(1).size(), 12u);
+}
+
+}  // namespace
+}  // namespace compass::runtime

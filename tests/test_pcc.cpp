@@ -1,0 +1,326 @@
+// Tests for the Parallel Compass Compiler: realizability, placement,
+// wiring invariants, and determinism.
+#include "compiler/pcc.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+namespace compass::compiler {
+namespace {
+
+Spec small_spec(std::uint64_t cores = 24) {
+  Spec spec = parse_coreobject_string(R"(
+network test
+seed 99
+region A class cortical volume 100 self 0.4 rate 8
+region B class thalamic volume 50 self 0.2 rate 10
+region C class cortical volume unknown self 0.4 rate 8
+edge A B 1
+edge B A 2
+edge A C 1
+edge C A 1
+edge B C 0.5
+)");
+  spec.total_cores = cores;
+  return spec;
+}
+
+TEST(Pcc, RejectsInvalidSpec) {
+  Spec spec;  // empty
+  EXPECT_THROW(compile(spec), std::invalid_argument);
+}
+
+TEST(Pcc, RejectsBadOptions) {
+  PccOptions opt;
+  opt.ranks = 0;
+  EXPECT_THROW(compile(small_spec(), opt), std::invalid_argument);
+  opt.ranks = 1;
+  opt.crossbar_density = 2.0;
+  EXPECT_THROW(compile(small_spec(), opt), std::invalid_argument);
+}
+
+TEST(Pcc, CoreAllocationMatchesTotalsAndMinimum) {
+  const PccResult r = compile(small_spec(24));
+  std::int64_t total = 0;
+  for (const RegionInfo& info : r.regions) {
+    EXPECT_GE(info.cores, 1);
+    total += info.cores;
+  }
+  EXPECT_EQ(total, 24);
+  EXPECT_EQ(r.model.num_cores(), 24u);
+  // A (vol 100) gets more cores than B (vol 50).
+  EXPECT_GT(r.regions[0].cores, r.regions[1].cores);
+}
+
+TEST(Pcc, UnknownVolumeImputedWithClassMedian) {
+  const PccResult r = compile(small_spec());
+  EXPECT_FALSE(r.regions[0].volume_imputed);
+  EXPECT_TRUE(r.regions[2].volume_imputed);
+  // Only one known cortical volume -> median is exactly it.
+  EXPECT_DOUBLE_EQ(r.regions[2].volume, 100.0);
+}
+
+TEST(Pcc, ConnectionMatrixHasExactMargins) {
+  const PccResult r = compile(small_spec());
+  for (std::size_t i = 0; i < r.regions.size(); ++i) {
+    const std::int64_t neurons = r.regions[i].cores * 256;
+    EXPECT_EQ(r.connections.row_sum(i), neurons) << r.regions[i].name;
+    EXPECT_EQ(r.connections.col_sum(i), neurons) << r.regions[i].name;
+  }
+}
+
+TEST(Pcc, ModelValidates) {
+  const PccResult r = compile(small_spec());
+  EXPECT_EQ(r.model.validate(), "");
+}
+
+TEST(Pcc, EveryNeuronHasExactlyOneTargetAndEveryAxonOneSource) {
+  const PccResult r = compile(small_spec());
+  std::vector<int> axon_in(r.model.num_cores() * 256, 0);
+  for (arch::CoreId c = 0; c < r.model.num_cores(); ++c) {
+    for (unsigned j = 0; j < 256; ++j) {
+      const arch::AxonTarget t = r.model.core(c).target(j);
+      ASSERT_TRUE(t.connected()) << "core " << c << " neuron " << j;
+      ++axon_in[static_cast<std::size_t>(t.core) * 256 + t.axon];
+    }
+  }
+  for (int uses : axon_in) EXPECT_EQ(uses, 1);
+}
+
+TEST(Pcc, RegionBlocksAreContiguousAndLabelled) {
+  const PccResult r = compile(small_spec());
+  for (std::size_t i = 0; i < r.regions.size(); ++i) {
+    const RegionInfo& info = r.regions[i];
+    for (std::int64_t c = 0; c < info.cores; ++c) {
+      EXPECT_EQ(r.model.region(info.first_core + static_cast<arch::CoreId>(c)),
+                static_cast<std::uint16_t>(i));
+    }
+  }
+}
+
+TEST(Pcc, GrayMatterStaysWithinRank) {
+  PccOptions opt;
+  opt.ranks = 4;
+  const PccResult r = compile(small_spec(32), opt);
+  std::uint64_t gray = 0;
+  for (arch::CoreId c = 0; c < r.model.num_cores(); ++c) {
+    for (unsigned j = 0; j < 256; ++j) {
+      const arch::AxonTarget t = r.model.core(c).target(j);
+      // Gray-matter connection == same region.
+      if (r.model.region(c) == r.model.region(t.core)) {
+        EXPECT_EQ(r.partition.rank_of(c), r.partition.rank_of(t.core))
+            << "gray-matter connection crossed a rank boundary";
+        ++gray;
+      }
+    }
+  }
+  EXPECT_EQ(gray, r.stats.gray_connections);
+}
+
+TEST(Pcc, DelaysRespectConfiguredRanges) {
+  PccOptions opt;
+  opt.gray_delay_min = 1;
+  opt.gray_delay_max = 2;
+  opt.white_delay_min = 5;
+  opt.white_delay_max = 9;
+  const PccResult r = compile(small_spec(), opt);
+  for (arch::CoreId c = 0; c < r.model.num_cores(); ++c) {
+    for (unsigned j = 0; j < 256; ++j) {
+      const arch::AxonTarget t = r.model.core(c).target(j);
+      const bool gray = r.model.region(c) == r.model.region(t.core);
+      if (gray) {
+        EXPECT_GE(t.delay, 1);
+        EXPECT_LE(t.delay, 2);
+      } else {
+        EXPECT_GE(t.delay, 5);
+        EXPECT_LE(t.delay, 9);
+      }
+    }
+  }
+}
+
+TEST(Pcc, AxonTypesEncodeSourceIdentityAndLocality) {
+  const PccResult r = compile(small_spec());
+  for (arch::CoreId c = 0; c < r.model.num_cores(); ++c) {
+    for (unsigned j = 0; j < 256; ++j) {
+      const arch::AxonTarget t = r.model.core(c).target(j);
+      const bool gray = r.model.region(c) == r.model.region(t.core);
+      const bool inh = is_inhibitory_neuron(j, 0.8);
+      const std::uint8_t expect =
+          gray ? (inh ? 3 : 2) : (inh ? 1 : 0);
+      EXPECT_EQ(r.model.core(t.core).axon_type(t.axon), expect);
+    }
+  }
+}
+
+TEST(Pcc, CrossbarDensityNearConfigured) {
+  PccOptions opt;
+  opt.crossbar_density = 0.25;
+  const PccResult r = compile(small_spec(), opt);
+  const arch::ModelInventory inv = r.model.inventory();
+  const double density = static_cast<double>(inv.synapses) /
+                         (static_cast<double>(inv.cores) * 65536.0);
+  EXPECT_NEAR(density, 0.25, 0.01);
+}
+
+TEST(Pcc, ArbitraryDensityFallbackWorks) {
+  PccOptions opt;
+  opt.crossbar_density = 0.1;
+  const PccResult r = compile(small_spec(6), opt);
+  const arch::ModelInventory inv = r.model.inventory();
+  const double density = static_cast<double>(inv.synapses) /
+                         (static_cast<double>(inv.cores) * 65536.0);
+  EXPECT_NEAR(density, 0.1, 0.02);
+}
+
+TEST(Pcc, DeterministicAcrossCalls) {
+  const PccResult a = compile(small_spec());
+  const PccResult b = compile(small_spec());
+  EXPECT_TRUE(a.model == b.model);
+}
+
+TEST(Pcc, RankCountDoesNotChangeWhiteMatterWiring) {
+  // Gray matter is rank-chunked, so only it may differ; white matter totals
+  // must match exactly.
+  PccOptions one, four;
+  one.ranks = 1;
+  four.ranks = 4;
+  const PccResult a = compile(small_spec(32), one);
+  const PccResult b = compile(small_spec(32), four);
+  EXPECT_EQ(a.stats.white_connections, b.stats.white_connections);
+  EXPECT_EQ(a.stats.gray_connections, b.stats.gray_connections);
+}
+
+TEST(Pcc, WiringStatsAreConsistent) {
+  const PccResult r = compile(small_spec());
+  std::int64_t white = 0, gray = 0;
+  for (std::size_t s = 0; s < r.regions.size(); ++s) {
+    for (std::size_t t = 0; t < r.regions.size(); ++t) {
+      (s == t ? gray : white) += r.connections(s, t);
+    }
+  }
+  EXPECT_EQ(r.stats.white_connections, static_cast<std::uint64_t>(white));
+  EXPECT_EQ(r.stats.gray_connections, static_cast<std::uint64_t>(gray));
+  EXPECT_GT(r.stats.pcc_messages, 0u);
+  EXPECT_EQ(r.stats.pcc_messages % 2, 0u);  // request + grant per pair
+  EXPECT_GE(r.stats.compile_s, 0.0);
+}
+
+TEST(Pcc, PlacementKeepsRegionsOnFewRanks) {
+  PccOptions opt;
+  opt.ranks = 3;
+  const PccResult r = compile(small_spec(30), opt);
+  for (const RegionInfo& info : r.regions) {
+    // Contiguous block: spans ceil(cores / capacity) + 1 ranks at most.
+    EXPECT_LE(info.last_rank - info.first_rank,
+              static_cast<int>(info.cores / (30 / 3)) + 1);
+  }
+}
+
+TEST(Pcc, IsolatedRegionBecomesAllGrayMatter) {
+  Spec spec = parse_coreobject_string(R"(
+network iso
+seed 5
+cores 4
+region X class generic volume 1 self 0.3 rate 5
+)");
+  const PccResult r = compile(spec);
+  EXPECT_EQ(r.stats.white_connections, 0u);
+  EXPECT_EQ(r.stats.gray_connections, 4u * 256u);
+  EXPECT_EQ(r.model.validate(), "");
+}
+
+TEST(IsInhibitoryNeuron, FractionIsExact) {
+  int inh = 0;
+  for (unsigned j = 0; j < 256; ++j) {
+    if (is_inhibitory_neuron(j, 0.8)) ++inh;
+  }
+  EXPECT_NEAR(inh, 51, 1);  // 20% of 256
+  // Interleaved, not clustered: no run of 5 consecutive inhibitory neurons.
+  int run = 0;
+  for (unsigned j = 0; j < 256; ++j) {
+    run = is_inhibitory_neuron(j, 0.8) ? run + 1 : 0;
+    EXPECT_LT(run, 2);
+  }
+}
+
+TEST(IsInhibitoryNeuron, ExtremeFractions) {
+  for (unsigned j = 0; j < 256; ++j) {
+    EXPECT_FALSE(is_inhibitory_neuron(j, 1.0));
+    EXPECT_TRUE(is_inhibitory_neuron(j, 0.0));
+  }
+}
+
+// --- Region kinds (functional-primitive regions, section IV) ---------------
+
+Spec kinded_spec() {
+  Spec spec = parse_coreobject_string(R"(
+network kinds
+seed 31
+cores 12
+region SRC class generic volume 1 self 0.1 rate 40 kind source
+region MID class generic volume 1 self 0.1 rate 0 kind relay
+region SINK class generic volume 1 self 0.2 rate 0
+edge SRC MID 1
+edge MID SINK 1
+edge SINK SRC 0.2
+)");
+  return spec;
+}
+
+TEST(PccKinds, RoundTripThroughCoreObject) {
+  const Spec a = kinded_spec();
+  const Spec b = parse_coreobject_string(to_coreobject_string(a));
+  ASSERT_EQ(b.regions.size(), 3u);
+  EXPECT_EQ(b.regions[0].kind, RegionKind::kSource);
+  EXPECT_EQ(b.regions[1].kind, RegionKind::kRelay);
+  EXPECT_EQ(b.regions[2].kind, RegionKind::kBalanced);
+}
+
+TEST(PccKinds, SourceRegionIgnoresInput) {
+  const PccResult r = compile(kinded_spec());
+  EXPECT_EQ(r.regions[0].kind, RegionKind::kSource);
+  const arch::CoreId first = r.regions[0].first_core;
+  const arch::NeuronParams p = r.model.core(first).params_of(0);
+  for (std::int16_t w : p.weights) EXPECT_EQ(w, 0);
+  EXPECT_LT(p.leak, 0);  // drive present
+}
+
+TEST(PccKinds, RelayRegionHasSupraThresholdWeightsAndNoDrive) {
+  const PccResult r = compile(kinded_spec());
+  const arch::CoreId first = r.regions[1].first_core;
+  const arch::NeuronParams p = r.model.core(first).params_of(0);
+  EXPECT_EQ(p.weights[0], p.threshold);
+  EXPECT_EQ(p.weights[1], 0);  // inhibitory inputs inert in a relay
+  EXPECT_EQ(p.leak, 0);
+  EXPECT_EQ(p.flags, 0);
+}
+
+TEST(PccKinds, UnknownKindFailsToParse) {
+  EXPECT_THROW(
+      parse_coreobject_string(
+          "region X class generic volume 1 self 0 rate 1 kind bogus\n"),
+      std::runtime_error);
+}
+
+// Sweep: realizability holds for many (regions, cores, ranks) shapes.
+class PccShapeSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(PccShapeSweep, CompilesAndValidates) {
+  const auto [cores, ranks] = GetParam();
+  PccOptions opt;
+  opt.ranks = ranks;
+  const PccResult r = compile(small_spec(static_cast<std::uint64_t>(cores)), opt);
+  EXPECT_EQ(r.model.validate(), "");
+  EXPECT_EQ(r.model.num_cores(), static_cast<std::size_t>(cores));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, PccShapeSweep,
+                         ::testing::Combine(::testing::Values(3, 8, 24, 64),
+                                            ::testing::Values(1, 2, 5)));
+
+}  // namespace
+}  // namespace compass::compiler

@@ -1,0 +1,116 @@
+// Unit tests for the virtual-time ledger: makespan composition, the
+// Reduce-Scatter/local-delivery overlap, and slowdown accounting.
+#include "perf/ledger.h"
+
+#include <gtest/gtest.h>
+
+namespace compass::perf {
+namespace {
+
+TEST(ComposeTick, EmptyIsZero) {
+  const PhaseBreakdown b = compose_tick({});
+  EXPECT_DOUBLE_EQ(b.total(), 0.0);
+}
+
+TEST(ComposeTick, SingleRankPassesThrough) {
+  RankTickTimes r;
+  r.synapse = 1.0;
+  r.neuron = 2.0;
+  r.send = 0.5;
+  r.local_deliver = 0.25;
+  r.sync = 0.1;
+  r.recv = 0.3;
+  const PhaseBreakdown b = compose_tick({r});
+  EXPECT_DOUBLE_EQ(b.synapse, 1.0);
+  EXPECT_DOUBLE_EQ(b.neuron, 2.5);                   // neuron + send
+  EXPECT_DOUBLE_EQ(b.network, 0.25 + 0.3);           // max(sync, local) + recv
+  EXPECT_DOUBLE_EQ(b.total(), 1.0 + 2.5 + 0.55);
+}
+
+TEST(ComposeTick, TakesMaxAcrossRanks) {
+  RankTickTimes fast, slow;
+  fast.synapse = 1.0;
+  fast.neuron = 1.0;
+  slow.synapse = 3.0;
+  slow.neuron = 0.5;
+  const PhaseBreakdown b = compose_tick({fast, slow});
+  // Phase barriers: each phase waits for its slowest rank independently.
+  EXPECT_DOUBLE_EQ(b.synapse, 3.0);
+  EXPECT_DOUBLE_EQ(b.neuron, 1.0);
+}
+
+TEST(ComposeTick, OverlapHidesTheSmallerOfSyncAndLocal) {
+  RankTickTimes r;
+  r.sync = 2.0;
+  r.local_deliver = 1.5;
+  r.recv = 0.5;
+  const PhaseBreakdown with = compose_tick({r}, /*overlap_collective=*/true);
+  const PhaseBreakdown without = compose_tick({r}, /*overlap_collective=*/false);
+  EXPECT_DOUBLE_EQ(with.network, 2.0 + 0.5);
+  EXPECT_DOUBLE_EQ(without.network, 2.0 + 1.5 + 0.5);
+  EXPECT_LT(with.network, without.network);
+}
+
+TEST(ComposeTick, OverlapIsFreeWhenLocalDominates) {
+  RankTickTimes r;
+  r.sync = 0.5;
+  r.local_deliver = 4.0;
+  const PhaseBreakdown with = compose_tick({r}, true);
+  EXPECT_DOUBLE_EQ(with.network, 4.0);  // the collective fully hides
+}
+
+TEST(PhaseBreakdown, PlusEqualsAccumulates) {
+  PhaseBreakdown a{1, 2, 3}, b{10, 20, 30};
+  a += b;
+  EXPECT_DOUBLE_EQ(a.synapse, 11);
+  EXPECT_DOUBLE_EQ(a.neuron, 22);
+  EXPECT_DOUBLE_EQ(a.network, 33);
+}
+
+TEST(RunLedger, AccumulatesOverTicks) {
+  RunLedger ledger(2);
+  for (int tick = 0; tick < 10; ++tick) {
+    ledger.tick_scratch()[0].synapse = 0.5;
+    ledger.tick_scratch()[1].synapse = 1.0;
+    ledger.commit_tick();
+  }
+  EXPECT_EQ(ledger.ticks(), 10u);
+  EXPECT_DOUBLE_EQ(ledger.totals().synapse, 10.0);  // max(0.5, 1.0) * 10
+}
+
+TEST(RunLedger, ScratchResetsBetweenTicks) {
+  RunLedger ledger(1);
+  ledger.tick_scratch()[0].neuron = 7.0;
+  ledger.commit_tick();
+  EXPECT_DOUBLE_EQ(ledger.tick_scratch()[0].neuron, 0.0);
+  ledger.commit_tick();  // empty tick adds nothing
+  EXPECT_DOUBLE_EQ(ledger.totals().neuron, 7.0);
+}
+
+TEST(RunLedger, SlowdownVsRealtime) {
+  RunLedger ledger(1);
+  for (int tick = 0; tick < 4; ++tick) {
+    ledger.tick_scratch()[0].neuron = 2e-3;  // 2 ms of work per 1 ms tick
+    ledger.commit_tick();
+  }
+  EXPECT_DOUBLE_EQ(ledger.slowdown_vs_realtime(), 2.0);
+}
+
+TEST(RunLedger, SlowdownOfEmptyRunIsZero) {
+  RunLedger ledger(4);
+  EXPECT_DOUBLE_EQ(ledger.slowdown_vs_realtime(), 0.0);
+}
+
+TEST(RunLedger, HonoursOverlapFlag) {
+  RunLedger with(1, true), without(1, false);
+  for (RunLedger* l : {&with, &without}) {
+    l->tick_scratch()[0].sync = 1.0;
+    l->tick_scratch()[0].local_deliver = 1.0;
+    l->commit_tick();
+  }
+  EXPECT_DOUBLE_EQ(with.totals().network, 1.0);
+  EXPECT_DOUBLE_EQ(without.totals().network, 2.0);
+}
+
+}  // namespace
+}  // namespace compass::perf

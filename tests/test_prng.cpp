@@ -1,0 +1,157 @@
+// Unit tests for the deterministic PRNGs (util/prng.h). These generators
+// stand in for TrueNorth's hardware PRNGs, so bit-exact reproducibility is a
+// correctness property, not just a convenience.
+#include "util/prng.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace compass::util {
+namespace {
+
+TEST(SplitMix64, KnownSequenceIsStable) {
+  SplitMix64 a(12345);
+  SplitMix64 b(12345);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(DeriveSeed, DistinctStreamsGetDistinctSeeds) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t stream = 0; stream < 10000; ++stream) {
+    seeds.insert(derive_seed(42, stream));
+  }
+  EXPECT_EQ(seeds.size(), 10000u);
+}
+
+TEST(DeriveSeed, AdjacentStreamsDecorrelated) {
+  // Hamming distance between adjacent streams' seeds should hover near 32.
+  int total_bits = 0;
+  for (std::uint64_t s = 0; s < 100; ++s) {
+    total_bits += std::popcount(derive_seed(7, s) ^ derive_seed(7, s + 1));
+  }
+  EXPECT_GT(total_bits, 2400);  // mean 32 +- a wide margin
+  EXPECT_LT(total_bits, 4000);
+}
+
+TEST(CorePrng, Deterministic) {
+  CorePrng a(99), b(99);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(CorePrng, ZeroSeedIsLegal) {
+  CorePrng prng(0);
+  EXPECT_NE(prng.next_u64(), 0u);
+  // State must never become zero (xorshift degenerate fixed point).
+  for (int i = 0; i < 10000; ++i) {
+    prng.next_u64();
+    EXPECT_NE(prng.state(), 0u);
+  }
+}
+
+TEST(CorePrng, ReseedRestartsSequence) {
+  CorePrng prng(5);
+  const std::uint64_t first = prng.next_u64();
+  prng.next_u64();
+  prng.reseed(5);
+  EXPECT_EQ(prng.next_u64(), first);
+}
+
+TEST(CorePrng, SetStateRoundTrips) {
+  CorePrng prng(17);
+  prng.next_u64();
+  const std::uint64_t saved = prng.state();
+  const std::uint64_t expect = CorePrng(prng).next_u64();
+  CorePrng restored(1234);
+  restored.set_state(saved);
+  EXPECT_EQ(restored.next_u64(), expect);
+}
+
+TEST(CorePrng, Bernoulli8MatchesProbability) {
+  CorePrng prng(7);
+  for (int p8 : {0, 32, 128, 200, 255}) {
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+      if (prng.bernoulli_8(static_cast<std::uint8_t>(p8))) ++hits;
+    }
+    const double expected = n * p8 / 256.0;
+    EXPECT_NEAR(hits, expected, 4.5 * std::sqrt(n * (p8 / 256.0) * (1 - p8 / 256.0)) + 1)
+        << "p8=" << p8;
+  }
+}
+
+TEST(CorePrng, Bernoulli8ZeroNeverFires) {
+  CorePrng prng(3);
+  for (int i = 0; i < 10000; ++i) EXPECT_FALSE(prng.bernoulli_8(0));
+}
+
+TEST(CorePrng, UniformMaskedStaysInRange) {
+  CorePrng prng(11);
+  for (std::uint32_t bits = 0; bits <= 16; ++bits) {
+    const std::uint32_t mask = (1u << bits) - 1;
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LE(prng.uniform_masked(mask), mask);
+    }
+  }
+}
+
+TEST(CorePrng, UniformMaskedCoversRange) {
+  CorePrng prng(13);
+  std::set<std::uint32_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(prng.uniform_masked(15));
+  EXPECT_EQ(seen.size(), 16u);
+}
+
+TEST(CorePrng, UniformBelowBounds) {
+  CorePrng prng(21);
+  for (std::uint32_t n : {1u, 2u, 3u, 10u, 77u, 1000u}) {
+    for (int i = 0; i < 2000; ++i) {
+      EXPECT_LT(prng.uniform_below(n), n);
+    }
+  }
+}
+
+TEST(CorePrng, UniformBelowIsRoughlyUniform) {
+  CorePrng prng(31);
+  std::vector<int> counts(8, 0);
+  const int n = 80000;
+  for (int i = 0; i < n; ++i) ++counts[prng.uniform_below(8)];
+  for (int c : counts) EXPECT_NEAR(c, n / 8, 600);
+}
+
+TEST(CorePrng, UniformDoubleInUnitInterval) {
+  CorePrng prng(41);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = prng.uniform_double();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(CorePrng, ByteDistributionIsFlat) {
+  CorePrng prng(51);
+  std::vector<int> counts(256, 0);
+  const int n = 256 * 2000;
+  for (int i = 0; i < n; ++i) ++counts[prng.next_u8()];
+  for (int c : counts) EXPECT_NEAR(c, 2000, 350);
+}
+
+}  // namespace
+}  // namespace compass::util

@@ -1,0 +1,66 @@
+// Unit tests for the table/CSV reporter used by the benchmark harness.
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace compass::util {
+namespace {
+
+TEST(Table, CellsRoundTrip) {
+  Table t({"a", "b", "c"});
+  t.row().add("x").add(std::int64_t{-5}).add(3.14159, 2);
+  t.row().add("y").add(std::uint64_t{7}).add(1.0, 0);
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.cols(), 3u);
+  EXPECT_EQ(t.at(0, 0), "x");
+  EXPECT_EQ(t.at(0, 1), "-5");
+  EXPECT_EQ(t.at(0, 2), "3.14");
+  EXPECT_EQ(t.at(1, 2), "1");
+}
+
+TEST(Table, PrintAlignsColumns) {
+  Table t({"name", "v"});
+  t.row().add("short").add(1);
+  t.row().add("muchlongername").add(2);
+  std::ostringstream os;
+  t.print(os, "title");
+  const std::string out = os.str();
+  EXPECT_NE(out.find("title"), std::string::npos);
+  EXPECT_NE(out.find("muchlongername"), std::string::npos);
+  EXPECT_NE(out.find("name"), std::string::npos);
+}
+
+TEST(Table, CsvFormat) {
+  Table t({"h1", "h2"});
+  t.row().add("a").add(1);
+  t.row().add("b").add(2);
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "h1,h2\na,1\nb,2\n");
+}
+
+TEST(FormatHelpers, HumanCount) {
+  EXPECT_EQ(human_count(999), "999");
+  EXPECT_EQ(human_count(1500), "1.50K");
+  EXPECT_EQ(human_count(2.56e8), "256.00M");
+  EXPECT_EQ(human_count(65e9), "65.00B");
+  EXPECT_EQ(human_count(16e12), "16.00T");
+}
+
+TEST(FormatHelpers, HumanBytes) {
+  EXPECT_EQ(human_bytes(512), "512 B");
+  EXPECT_EQ(human_bytes(1536), "1.50 KiB");
+  EXPECT_EQ(human_bytes(3.0 * 1024 * 1024), "3.00 MiB");
+  EXPECT_EQ(human_bytes(2.5 * 1024 * 1024 * 1024), "2.50 GiB");
+}
+
+TEST(FormatHelpers, FormatDouble) {
+  EXPECT_EQ(format_double(1.23456, 3), "1.235");
+  EXPECT_EQ(format_double(-0.5, 1), "-0.5");
+  EXPECT_EQ(format_double(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace compass::util

@@ -1,0 +1,278 @@
+// Unit tests for the two communication substrates. A type-parameterised
+// suite checks the Transport contract for both implementations; further
+// suites check MPI- and PGAS-specific behaviour (envelopes + Reduce-Scatter
+// counts vs landing zones + barrier).
+#include "comm/transport.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "comm/mpi_transport.h"
+#include "comm/pgas_transport.h"
+
+namespace compass::comm {
+namespace {
+
+using arch::WireSpike;
+
+std::unique_ptr<Transport> make_transport(const std::string& kind, int ranks,
+                                          unsigned wire_bytes = 20) {
+  CommCostModel model;
+  if (kind == "mpi") {
+    return std::make_unique<MpiTransport>(ranks, model, wire_bytes);
+  }
+  return std::make_unique<PgasTransport>(ranks, model, wire_bytes);
+}
+
+/// Flatten everything `rank` received this tick into a sorted multiset.
+std::vector<WireSpike> all_received(const Transport& t, int rank) {
+  std::vector<WireSpike> out;
+  for (const InMessage& m : t.received(rank)) {
+    out.insert(out.end(), m.spikes.begin(), m.spikes.end());
+  }
+  std::sort(out.begin(), out.end(), [](const WireSpike& a, const WireSpike& b) {
+    return std::tie(a.core, a.axon, a.slot) < std::tie(b.core, b.axon, b.slot);
+  });
+  return out;
+}
+
+class TransportContract : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(TransportContract, DeliversToTheRightRank) {
+  auto t = make_transport(GetParam(), 3);
+  t->begin_tick();
+  const std::vector<WireSpike> to1 = {{10, 1, 2}, {11, 3, 4}};
+  const std::vector<WireSpike> to2 = {{20, 5, 6}};
+  t->send(0, 1, to1);
+  t->send(0, 2, to2);
+  t->exchange();
+  EXPECT_EQ(all_received(*t, 1), to1);
+  EXPECT_EQ(all_received(*t, 2), to2);
+  EXPECT_TRUE(all_received(*t, 0).empty());
+}
+
+TEST_P(TransportContract, MultipleSourcesMergeAtReceiver) {
+  auto t = make_transport(GetParam(), 4);
+  t->begin_tick();
+  t->send(0, 3, std::vector<WireSpike>{{1, 0, 0}});
+  t->send(1, 3, std::vector<WireSpike>{{2, 0, 0}});
+  t->send(2, 3, std::vector<WireSpike>{{3, 0, 0}});
+  t->exchange();
+  const auto got = all_received(*t, 3);
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0].core, 1u);
+  EXPECT_EQ(got[1].core, 2u);
+  EXPECT_EQ(got[2].core, 3u);
+  // Sources are identified per message.
+  std::vector<int> srcs;
+  for (const InMessage& m : t->received(3)) srcs.push_back(m.src);
+  std::sort(srcs.begin(), srcs.end());
+  EXPECT_EQ(srcs, (std::vector<int>{0, 1, 2}));
+}
+
+TEST_P(TransportContract, EmptySendIsDropped) {
+  auto t = make_transport(GetParam(), 2);
+  t->begin_tick();
+  t->send(0, 1, {});
+  t->exchange();
+  EXPECT_TRUE(t->received(1).empty());
+  EXPECT_EQ(t->tick_stats().messages, 0u);
+}
+
+TEST_P(TransportContract, StatsCountMessagesSpikesBytes) {
+  auto t = make_transport(GetParam(), 3, /*wire_bytes=*/20);
+  t->begin_tick();
+  t->send(0, 1, std::vector<WireSpike>{{1, 0, 0}, {2, 0, 0}});
+  t->send(2, 1, std::vector<WireSpike>{{3, 0, 0}});
+  t->exchange();
+  const TickCommStats& s = t->tick_stats();
+  EXPECT_EQ(s.messages, 2u);
+  EXPECT_EQ(s.remote_spikes, 3u);
+  EXPECT_EQ(s.wire_bytes, 3u * 20u);
+}
+
+TEST_P(TransportContract, WireBytesFollowConfiguredSpikeSize) {
+  auto t = make_transport(GetParam(), 2, /*wire_bytes=*/8);
+  t->begin_tick();
+  t->send(0, 1, std::vector<WireSpike>{{1, 0, 0}, {2, 0, 0}});
+  t->exchange();
+  EXPECT_EQ(t->tick_stats().wire_bytes, 16u);
+}
+
+TEST_P(TransportContract, TicksAreIndependent) {
+  auto t = make_transport(GetParam(), 2);
+  for (int tick = 0; tick < 5; ++tick) {
+    t->begin_tick();
+    t->send(0, 1, std::vector<WireSpike>{{static_cast<arch::CoreId>(tick), 0, 0}});
+    t->exchange();
+    const auto got = all_received(*t, 1);
+    ASSERT_EQ(got.size(), 1u) << "tick " << tick;
+    EXPECT_EQ(got[0].core, static_cast<arch::CoreId>(tick));
+  }
+}
+
+TEST_P(TransportContract, SenderPaysSendTimeReceiverSyncs) {
+  auto t = make_transport(GetParam(), 3);
+  t->begin_tick();
+  t->send(0, 1, std::vector<WireSpike>{{1, 0, 0}});
+  t->exchange();
+  EXPECT_GT(t->send_time(0), 0.0);
+  EXPECT_DOUBLE_EQ(t->send_time(1), 0.0);
+  EXPECT_DOUBLE_EQ(t->send_time(2), 0.0);
+  // Everyone participates in the tick synchronisation.
+  for (int r = 0; r < 3; ++r) EXPECT_GT(t->sync_time(r), 0.0);
+}
+
+TEST_P(TransportContract, BeginTickResetsTimesAndStats) {
+  auto t = make_transport(GetParam(), 2);
+  t->begin_tick();
+  t->send(0, 1, std::vector<WireSpike>{{1, 0, 0}});
+  t->exchange();
+  t->begin_tick();
+  EXPECT_EQ(t->tick_stats().messages, 0u);
+  EXPECT_DOUBLE_EQ(t->send_time(0), 0.0);
+  t->exchange();
+  EXPECT_TRUE(t->received(1).empty());
+}
+
+TEST_P(TransportContract, LargeFanOutAllRanksToAllRanks) {
+  const int ranks = 8;
+  auto t = make_transport(GetParam(), ranks);
+  t->begin_tick();
+  for (int s = 0; s < ranks; ++s) {
+    for (int d = 0; d < ranks; ++d) {
+      if (s == d) continue;
+      t->send(s, d,
+              std::vector<WireSpike>{
+                  {static_cast<arch::CoreId>(s * 100 + d), 0, 0}});
+    }
+  }
+  t->exchange();
+  EXPECT_EQ(t->tick_stats().messages,
+            static_cast<std::uint64_t>(ranks * (ranks - 1)));
+  for (int d = 0; d < ranks; ++d) {
+    EXPECT_EQ(all_received(*t, d).size(), static_cast<std::size_t>(ranks - 1));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothTransports, TransportContract,
+                         ::testing::Values("mpi", "pgas"),
+                         [](const auto& param_info) { return param_info.param; });
+
+// --- MPI-specific ----------------------------------------------------------
+
+TEST(MpiTransport, RecvCountsMatchReduceScatterSemantics) {
+  CommCostModel model;
+  MpiTransport t(4, model);
+  t.begin_tick();
+  t.send(0, 2, std::vector<WireSpike>{{1, 0, 0}});
+  t.send(1, 2, std::vector<WireSpike>{{2, 0, 0}});
+  t.send(3, 0, std::vector<WireSpike>{{3, 0, 0}});
+  t.exchange();
+  EXPECT_EQ(t.recv_counts()[0], 1u);
+  EXPECT_EQ(t.recv_counts()[1], 0u);
+  EXPECT_EQ(t.recv_counts()[2], 2u);
+  EXPECT_EQ(t.recv_counts()[3], 0u);
+}
+
+TEST(MpiTransport, ReceiverPaysPerMessageCriticalSection) {
+  CommCostModel model;
+  MpiTransport t(3, model);
+  t.begin_tick();
+  t.send(0, 2, std::vector<WireSpike>{{1, 0, 0}});
+  t.send(1, 2, std::vector<WireSpike>{{2, 0, 0}});
+  t.exchange();
+  // Two messages: recv time at least twice the per-message probe cost.
+  EXPECT_GE(t.recv_time(2), 2 * model.params().mpi_probe_recv_s);
+  EXPECT_DOUBLE_EQ(t.recv_time(0), 0.0);
+}
+
+TEST(MpiTransport, SyncUsesReduceScatterCost) {
+  CommCostModel model;
+  MpiTransport t(16, model);
+  t.begin_tick();
+  t.exchange();
+  EXPECT_DOUBLE_EQ(t.sync_time(0), model.reduce_scatter_cost(16));
+}
+
+TEST(MpiTransport, IsTwoSided) {
+  CommCostModel model;
+  MpiTransport t(2, model);
+  EXPECT_FALSE(t.one_sided());
+  EXPECT_STREQ(t.name(), "MPI");
+}
+
+// --- PGAS-specific ----------------------------------------------------------
+
+TEST(PgasTransport, SyncUsesBarrierCost) {
+  CommCostModel model;
+  PgasTransport t(16, model);
+  t.begin_tick();
+  t.exchange();
+  EXPECT_DOUBLE_EQ(t.sync_time(0), model.barrier_cost(16));
+  EXPECT_LT(t.sync_time(0), model.reduce_scatter_cost(16));
+}
+
+TEST(PgasTransport, NoReceiverSideCharge) {
+  CommCostModel model;
+  PgasTransport t(2, model);
+  t.begin_tick();
+  t.send(0, 1, std::vector<WireSpike>{{1, 0, 0}});
+  t.exchange();
+  // One-sided: data is in place at barrier exit; no matching cost.
+  EXPECT_DOUBLE_EQ(t.recv_time(1), 0.0);
+}
+
+TEST(PgasTransport, MultiplePutsFromSameSourceCoalesceInSegment) {
+  CommCostModel model;
+  PgasTransport t(2, model);
+  t.begin_tick();
+  t.send(0, 1, std::vector<WireSpike>{{1, 0, 0}});
+  t.send(0, 1, std::vector<WireSpike>{{2, 0, 0}});
+  t.exchange();
+  // Two puts, one landing segment -> a single received message view.
+  EXPECT_EQ(t.tick_stats().messages, 2u);
+  ASSERT_EQ(t.received(1).size(), 1u);
+  EXPECT_EQ(t.received(1)[0].spikes.size(), 2u);
+}
+
+TEST(PgasTransport, IsOneSided) {
+  CommCostModel model;
+  PgasTransport t(2, model);
+  EXPECT_TRUE(t.one_sided());
+  EXPECT_STREQ(t.name(), "PGAS");
+}
+
+TEST(PgasTransport, CheaperNetworkPhaseThanMpiForSameTraffic) {
+  // The structural claim behind figure 7, at the cost-model level: for the
+  // same spike traffic, PGAS per-rank comm time (send+sync+recv) is lower.
+  CommCostModel model;
+  const int ranks = 8;
+  MpiTransport mpi(ranks, model);
+  PgasTransport pgas(ranks, model);
+  for (Transport* t : {static_cast<Transport*>(&mpi), static_cast<Transport*>(&pgas)}) {
+    t->begin_tick();
+    for (int s = 0; s < ranks; ++s) {
+      for (int d = 0; d < ranks; ++d) {
+        if (s != d) {
+          t->send(s, d, std::vector<WireSpike>{{7, 0, 0}, {8, 0, 0}});
+        }
+      }
+    }
+    t->exchange();
+  }
+  for (int r = 0; r < ranks; ++r) {
+    const double mpi_total = mpi.send_time(r) + mpi.sync_time(r) + mpi.recv_time(r);
+    const double pgas_total =
+        pgas.send_time(r) + pgas.sync_time(r) + pgas.recv_time(r);
+    EXPECT_LT(pgas_total, mpi_total) << "rank " << r;
+  }
+}
+
+}  // namespace
+}  // namespace compass::comm

@@ -1,0 +1,355 @@
+// compass — command-line front end for the Compass simulator.
+//
+//   compass spec --macaque --cores N [--seed S] [-o net.co]
+//       Generate a CoCoMac macaque CoreObject description.
+//   compass info net.co
+//       Parse, validate, and summarise a CoreObject file.
+//   compass run (net.co | --macaque --cores N) [options]
+//       Compile with PCC and simulate.
+//       --ranks R --threads T --ticks N --transport mpi|pgas
+//       --raster out.rst     record spikes (binary; .txt suffix for text)
+//       --save-model m.bin   write the explicit binary model
+//       --series             print per-tick spike/message series
+//       --energy             print the TrueNorth power estimate
+//       --stats              print spike-train statistics + activity plot
+//   compass analyze <raster> --ticks N [--neurons M]
+//       Spike-train statistics over a recorded raster.
+//
+// Exit codes: 0 success, 1 usage error, 2 runtime failure.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cocomac/macaque.h"
+#include "comm/mpi_transport.h"
+#include "comm/pgas_transport.h"
+#include "compiler/coreobject.h"
+#include "compiler/pcc.h"
+#include "io/raster.h"
+#include "io/spike_stats.h"
+#include "perf/energy.h"
+#include "runtime/compass.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace compass;
+
+struct Args {
+  std::string command;
+  std::string spec_file;
+  bool macaque = false;
+  std::uint64_t cores = 512;
+  std::uint64_t seed = 42;
+  int ranks = 1;
+  int threads = 1;
+  arch::Tick ticks = 100;
+  std::string transport = "mpi";
+  std::string raster_file;
+  std::string model_file;
+  std::string output_file;
+  bool series = false;
+  bool energy = false;
+  bool stats = false;
+  std::uint64_t neurons = 0;  // analyze: population size (0 = infer)
+};
+
+void usage(std::ostream& os) {
+  os << "usage:\n"
+        "  compass spec --macaque --cores N [--seed S] [-o net.co]\n"
+        "  compass info <net.co>\n"
+        "  compass run (<net.co> | --macaque --cores N) [--ranks R]\n"
+        "              [--threads T] [--ticks N] [--transport mpi|pgas]\n"
+        "              [--seed S] [--raster out.rst] [--save-model m.bin]\n"
+        "              [--series] [--energy] [--stats]\n"
+        "  compass analyze <raster> --ticks N [--neurons M]\n";
+}
+
+std::optional<Args> parse_args(int argc, char** argv) {
+  if (argc < 2) return std::nullopt;
+  Args args;
+  args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "compass: " << what << " requires a value\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (a == "--macaque") {
+      args.macaque = true;
+    } else if (a == "--series") {
+      args.series = true;
+    } else if (a == "--energy") {
+      args.energy = true;
+    } else if (a == "--stats") {
+      args.stats = true;
+    } else if (a == "--neurons") {
+      const char* v = next("--neurons");
+      if (!v) return std::nullopt;
+      args.neurons = std::strtoull(v, nullptr, 10);
+    } else if (a == "--cores") {
+      const char* v = next("--cores");
+      if (!v) return std::nullopt;
+      args.cores = std::strtoull(v, nullptr, 10);
+    } else if (a == "--seed") {
+      const char* v = next("--seed");
+      if (!v) return std::nullopt;
+      args.seed = std::strtoull(v, nullptr, 10);
+    } else if (a == "--ranks") {
+      const char* v = next("--ranks");
+      if (!v) return std::nullopt;
+      args.ranks = std::atoi(v);
+    } else if (a == "--threads") {
+      const char* v = next("--threads");
+      if (!v) return std::nullopt;
+      args.threads = std::atoi(v);
+    } else if (a == "--ticks") {
+      const char* v = next("--ticks");
+      if (!v) return std::nullopt;
+      args.ticks = std::strtoull(v, nullptr, 10);
+    } else if (a == "--transport") {
+      const char* v = next("--transport");
+      if (!v) return std::nullopt;
+      args.transport = v;
+    } else if (a == "--raster") {
+      const char* v = next("--raster");
+      if (!v) return std::nullopt;
+      args.raster_file = v;
+    } else if (a == "--save-model") {
+      const char* v = next("--save-model");
+      if (!v) return std::nullopt;
+      args.model_file = v;
+    } else if (a == "-o") {
+      const char* v = next("-o");
+      if (!v) return std::nullopt;
+      args.output_file = v;
+    } else if (!a.empty() && a[0] != '-') {
+      args.spec_file = a;
+    } else {
+      std::cerr << "compass: unknown option " << a << "\n";
+      return std::nullopt;
+    }
+  }
+  return args;
+}
+
+compiler::Spec load_spec(const Args& args) {
+  if (args.macaque) {
+    cocomac::MacaqueSpecOptions opt;
+    opt.total_cores = args.cores;
+    opt.seed = args.seed;
+    return cocomac::build_macaque_spec(opt);
+  }
+  if (args.spec_file.empty()) {
+    throw std::runtime_error("no CoreObject file given (or use --macaque)");
+  }
+  return compiler::load_coreobject_file(args.spec_file);
+}
+
+int cmd_spec(const Args& args) {
+  if (!args.macaque) {
+    std::cerr << "compass spec: only --macaque generation is built in\n";
+    return 1;
+  }
+  const compiler::Spec spec = load_spec(args);
+  if (args.output_file.empty()) {
+    compiler::write_coreobject(std::cout, spec);
+  } else {
+    std::ofstream os(args.output_file);
+    if (!os) {
+      std::cerr << "compass: cannot write " << args.output_file << "\n";
+      return 2;
+    }
+    compiler::write_coreobject(os, spec);
+    std::cout << "wrote " << args.output_file << " (" << spec.regions.size()
+              << " regions, " << spec.edges.size() << " edges)\n";
+  }
+  return 0;
+}
+
+int cmd_info(const Args& args) {
+  const compiler::Spec spec = load_spec(args);
+  const std::string err = spec.validate();
+  std::cout << "network:  " << spec.name << "\n"
+            << "seed:     " << spec.seed << "\n"
+            << "cores:    " << spec.total_cores << "\n"
+            << "regions:  " << spec.regions.size() << "\n"
+            << "edges:    " << spec.edges.size() << "\n"
+            << "valid:    " << (err.empty() ? "yes" : ("NO - " + err)) << "\n";
+  return err.empty() ? 0 : 2;
+}
+
+int cmd_run(const Args& args) {
+  compiler::Spec spec = load_spec(args);
+  if (args.seed != 42) spec.seed = args.seed;
+
+  compiler::PccOptions popt;
+  popt.ranks = args.ranks;
+  popt.threads_per_rank = args.threads;
+  std::cout << "compiling " << spec.total_cores << " cores for " << args.ranks
+            << " rank(s) x " << args.threads << " thread(s)...\n";
+  compiler::PccResult pcc = compiler::compile(spec, popt);
+  const arch::ModelInventory inv = pcc.model.inventory();
+  std::cout << "  " << inv.cores << " cores / " << inv.neurons << " neurons / "
+            << inv.synapses << " synapses in "
+            << util::format_double(pcc.stats.compile_s, 3) << " s\n";
+
+  if (!args.model_file.empty()) {
+    if (!pcc.model.save_file(args.model_file)) {
+      std::cerr << "compass: cannot write " << args.model_file << "\n";
+      return 2;
+    }
+    std::cout << "  model written to " << args.model_file << "\n";
+  }
+
+  std::unique_ptr<comm::Transport> transport;
+  if (args.transport == "mpi") {
+    transport = std::make_unique<comm::MpiTransport>(args.ranks,
+                                                     comm::CommCostModel{});
+  } else if (args.transport == "pgas") {
+    transport = std::make_unique<comm::PgasTransport>(args.ranks,
+                                                      comm::CommCostModel{});
+  } else {
+    std::cerr << "compass: unknown transport '" << args.transport << "'\n";
+    return 1;
+  }
+
+  runtime::Compass sim(pcc.model, pcc.partition, *transport);
+  io::Raster raster;
+  if (!args.raster_file.empty() || args.stats) {
+    sim.set_spike_hook([&raster](arch::Tick t, arch::CoreId c, unsigned j) {
+      raster.record(t, c, j);
+    });
+  }
+  sim.enable_tick_series(args.series);
+
+  const runtime::RunReport rep = sim.run(args.ticks);
+
+  util::Table table({"metric", "value"});
+  table.row().add("ticks").add(rep.ticks);
+  table.row().add("spikes").add(rep.fired_spikes);
+  table.row().add("mean rate (Hz)").add(rep.mean_rate_hz(inv.neurons), 2);
+  table.row().add("local spikes").add(rep.local_spikes);
+  table.row().add("remote spikes").add(rep.remote_spikes);
+  table.row().add("messages").add(rep.messages);
+  table.row().add("wire bytes").add(rep.wire_bytes);
+  table.row().add("virtual time (s)").add(rep.virtual_total_s(), 4);
+  table.row().add("slowdown vs real time").add(rep.slowdown(), 2);
+  table.row().add("host wall (s)").add(rep.host_wall_s, 2);
+  table.print(std::cout, "\nrun summary (" + args.transport + ")");
+
+  if (args.series) {
+    const runtime::TickSeries& s = sim.tick_series();
+    std::cout << "\ntick,spikes,messages,bytes\n";
+    for (std::size_t i = 0; i < s.spikes.size(); ++i) {
+      std::cout << i << ',' << s.spikes[i] << ',' << s.messages[i] << ','
+                << s.wire_bytes[i] << '\n';
+    }
+  }
+
+  if (args.energy) {
+    const perf::EnergyEstimate e = perf::estimate_energy(
+        inv.cores, rep.ticks, rep.fired_spikes, rep.synaptic_events);
+    util::Table et({"energy metric", "value"});
+    et.row().add("total (mJ)").add(e.total_j * 1e3, 4);
+    et.row().add("avg power (mW)").add(e.avg_watts * 1e3, 4);
+    et.row().add("per core (uW)").add(e.watts_per_core * 1e6, 4);
+    et.print(std::cout, "\nTrueNorth power estimate (45 pJ/spike)");
+  }
+
+  if (args.stats) {
+    const io::TrainStats st = io::analyze(raster, rep.ticks, inv.neurons);
+    util::Table stt({"train statistic", "value"});
+    stt.row().add("active neurons").add(st.active_neurons);
+    stt.row().add("mean rate all (Hz)").add(st.mean_rate_hz, 3);
+    stt.row().add("mean rate active (Hz)").add(st.active_mean_rate_hz, 3);
+    stt.row().add("ISI mean (ticks)").add(st.isi_mean_ticks, 2);
+    stt.row().add("ISI CV").add(st.isi_cv, 3);
+    stt.row().add("synchrony (Fano)").add(st.synchrony_index, 3);
+    stt.print(std::cout, "\nspike-train statistics");
+    std::cout << "\npopulation activity (spikes/tick over time):\n"
+              << io::ascii_activity(io::per_tick_counts(raster, rep.ticks));
+  }
+
+  if (!args.raster_file.empty()) {
+    const bool text = args.raster_file.size() > 4 &&
+                      args.raster_file.substr(args.raster_file.size() - 4) ==
+                          ".txt";
+    if (!raster.save(args.raster_file, /*binary=*/!text)) {
+      std::cerr << "compass: cannot write " << args.raster_file << "\n";
+      return 2;
+    }
+    std::cout << "\nraster (" << raster.size() << " events, "
+              << (text ? "text" : "binary") << ") written to "
+              << args.raster_file << "\n";
+  }
+  return 0;
+}
+
+int cmd_analyze(const Args& args) {
+  if (args.spec_file.empty()) {
+    std::cerr << "compass analyze: raster file required\n";
+    return 1;
+  }
+  const io::Raster raster = io::Raster::load(args.spec_file);
+  std::uint64_t ticks = args.ticks;
+  std::uint64_t neurons = args.neurons;
+  std::uint32_t max_tick = 0;
+  std::uint64_t max_unit = 0;
+  for (const io::RasterEvent& e : raster.events()) {
+    max_tick = std::max(max_tick, e.tick);
+    max_unit = std::max(max_unit,
+                        static_cast<std::uint64_t>(e.core) * 256 + e.neuron);
+  }
+  if (ticks <= max_tick) ticks = max_tick + 1;
+  if (neurons == 0) neurons = max_unit + 1;
+
+  const io::TrainStats st = io::analyze(raster, ticks, neurons);
+  util::Table t({"train statistic", "value"});
+  t.row().add("events").add(st.total_spikes);
+  t.row().add("ticks analysed").add(ticks);
+  t.row().add("population").add(neurons);
+  t.row().add("active neurons").add(st.active_neurons);
+  t.row().add("mean rate all (Hz)").add(st.mean_rate_hz, 3);
+  t.row().add("mean rate active (Hz)").add(st.active_mean_rate_hz, 3);
+  t.row().add("ISI mean (ticks)").add(st.isi_mean_ticks, 2);
+  t.row().add("ISI CV").add(st.isi_cv, 3);
+  t.row().add("synchrony (Fano)").add(st.synchrony_index, 3);
+  t.print(std::cout, "spike-train statistics for " + args.spec_file);
+  std::cout << "\npopulation activity (spikes/tick over time):\n"
+            << io::ascii_activity(io::per_tick_counts(raster, ticks));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::optional<Args> args = parse_args(argc, argv);
+  if (!args) {
+    usage(std::cerr);
+    return 1;
+  }
+  try {
+    if (args->command == "spec") return cmd_spec(*args);
+    if (args->command == "info") return cmd_info(*args);
+    if (args->command == "run") return cmd_run(*args);
+    if (args->command == "analyze") return cmd_analyze(*args);
+    if (args->command == "help" || args->command == "--help") {
+      usage(std::cout);
+      return 0;
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "compass: " << e.what() << "\n";
+    return 2;
+  }
+  std::cerr << "compass: unknown command '" << args->command << "'\n";
+  usage(std::cerr);
+  return 1;
+}
