@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c2_compare.dir/bench_c2_compare.cpp.o"
+  "CMakeFiles/bench_c2_compare.dir/bench_c2_compare.cpp.o.d"
+  "bench_c2_compare"
+  "bench_c2_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c2_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

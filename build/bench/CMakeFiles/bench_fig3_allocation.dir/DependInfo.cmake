@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig3_allocation.cpp" "bench/CMakeFiles/bench_fig3_allocation.dir/bench_fig3_allocation.cpp.o" "gcc" "bench/CMakeFiles/bench_fig3_allocation.dir/bench_fig3_allocation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cocomac/CMakeFiles/compass_cocomac.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/compass_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/c2/CMakeFiles/compass_c2.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/compass_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/compass_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/compass_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/compass_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/primitives/CMakeFiles/compass_primitives.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/compass_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/compass_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/compass_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

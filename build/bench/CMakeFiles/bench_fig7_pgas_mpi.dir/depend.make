@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig7_pgas_mpi.
+# This may be replaced when dependencies are built.

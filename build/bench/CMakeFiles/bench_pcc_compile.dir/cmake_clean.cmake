@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pcc_compile.dir/bench_pcc_compile.cpp.o"
+  "CMakeFiles/bench_pcc_compile.dir/bench_pcc_compile.cpp.o.d"
+  "bench_pcc_compile"
+  "bench_pcc_compile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pcc_compile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rank_thread_tradeoff.dir/bench_rank_thread_tradeoff.cpp.o"
+  "CMakeFiles/bench_rank_thread_tradeoff.dir/bench_rank_thread_tradeoff.cpp.o.d"
+  "bench_rank_thread_tradeoff"
+  "bench_rank_thread_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rank_thread_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/macaque_demo.dir/macaque_demo.cpp.o"
+  "CMakeFiles/macaque_demo.dir/macaque_demo.cpp.o.d"
+  "macaque_demo"
+  "macaque_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/macaque_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

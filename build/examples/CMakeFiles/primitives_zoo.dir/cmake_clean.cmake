@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/primitives_zoo.dir/primitives_zoo.cpp.o"
+  "CMakeFiles/primitives_zoo.dir/primitives_zoo.cpp.o.d"
+  "primitives_zoo"
+  "primitives_zoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/primitives_zoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/realtime_explorer.dir/realtime_explorer.cpp.o"
+  "CMakeFiles/realtime_explorer.dir/realtime_explorer.cpp.o.d"
+  "realtime_explorer"
+  "realtime_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/realtime_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vision_apps.dir/vision_apps.cpp.o"
+  "CMakeFiles/vision_apps.dir/vision_apps.cpp.o.d"
+  "vision_apps"
+  "vision_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vision_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compass_apps.dir/classifier.cpp.o"
+  "CMakeFiles/compass_apps.dir/classifier.cpp.o.d"
+  "CMakeFiles/compass_apps.dir/motion.cpp.o"
+  "CMakeFiles/compass_apps.dir/motion.cpp.o.d"
+  "libcompass_apps.a"
+  "libcompass_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compass_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

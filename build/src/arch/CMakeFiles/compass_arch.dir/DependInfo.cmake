@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/core.cpp" "src/arch/CMakeFiles/compass_arch.dir/core.cpp.o" "gcc" "src/arch/CMakeFiles/compass_arch.dir/core.cpp.o.d"
+  "/root/repo/src/arch/crossbar.cpp" "src/arch/CMakeFiles/compass_arch.dir/crossbar.cpp.o" "gcc" "src/arch/CMakeFiles/compass_arch.dir/crossbar.cpp.o.d"
+  "/root/repo/src/arch/model.cpp" "src/arch/CMakeFiles/compass_arch.dir/model.cpp.o" "gcc" "src/arch/CMakeFiles/compass_arch.dir/model.cpp.o.d"
+  "/root/repo/src/arch/neuron.cpp" "src/arch/CMakeFiles/compass_arch.dir/neuron.cpp.o" "gcc" "src/arch/CMakeFiles/compass_arch.dir/neuron.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/compass_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compass_arch.dir/core.cpp.o"
+  "CMakeFiles/compass_arch.dir/core.cpp.o.d"
+  "CMakeFiles/compass_arch.dir/crossbar.cpp.o"
+  "CMakeFiles/compass_arch.dir/crossbar.cpp.o.d"
+  "CMakeFiles/compass_arch.dir/model.cpp.o"
+  "CMakeFiles/compass_arch.dir/model.cpp.o.d"
+  "CMakeFiles/compass_arch.dir/neuron.cpp.o"
+  "CMakeFiles/compass_arch.dir/neuron.cpp.o.d"
+  "libcompass_arch.a"
+  "libcompass_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compass_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

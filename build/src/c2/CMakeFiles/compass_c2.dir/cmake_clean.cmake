@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compass_c2.dir/izhikevich.cpp.o"
+  "CMakeFiles/compass_c2.dir/izhikevich.cpp.o.d"
+  "CMakeFiles/compass_c2.dir/network.cpp.o"
+  "CMakeFiles/compass_c2.dir/network.cpp.o.d"
+  "CMakeFiles/compass_c2.dir/simulator.cpp.o"
+  "CMakeFiles/compass_c2.dir/simulator.cpp.o.d"
+  "libcompass_c2.a"
+  "libcompass_c2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compass_c2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

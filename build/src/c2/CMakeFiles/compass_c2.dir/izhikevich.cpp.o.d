@@ -1,0 +1,3 @@
+src/c2/CMakeFiles/compass_c2.dir/izhikevich.cpp.o: \
+ /root/repo/src/c2/izhikevich.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/c2/../c2/izhikevich.h

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compass_cocomac.dir/graph.cpp.o"
+  "CMakeFiles/compass_cocomac.dir/graph.cpp.o.d"
+  "CMakeFiles/compass_cocomac.dir/macaque.cpp.o"
+  "CMakeFiles/compass_cocomac.dir/macaque.cpp.o.d"
+  "libcompass_cocomac.a"
+  "libcompass_cocomac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compass_cocomac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

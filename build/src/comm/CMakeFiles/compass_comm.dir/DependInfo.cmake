@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/comm/cost_model.cpp" "src/comm/CMakeFiles/compass_comm.dir/cost_model.cpp.o" "gcc" "src/comm/CMakeFiles/compass_comm.dir/cost_model.cpp.o.d"
+  "/root/repo/src/comm/machine.cpp" "src/comm/CMakeFiles/compass_comm.dir/machine.cpp.o" "gcc" "src/comm/CMakeFiles/compass_comm.dir/machine.cpp.o.d"
+  "/root/repo/src/comm/mpi_transport.cpp" "src/comm/CMakeFiles/compass_comm.dir/mpi_transport.cpp.o" "gcc" "src/comm/CMakeFiles/compass_comm.dir/mpi_transport.cpp.o.d"
+  "/root/repo/src/comm/pgas_transport.cpp" "src/comm/CMakeFiles/compass_comm.dir/pgas_transport.cpp.o" "gcc" "src/comm/CMakeFiles/compass_comm.dir/pgas_transport.cpp.o.d"
+  "/root/repo/src/comm/torus.cpp" "src/comm/CMakeFiles/compass_comm.dir/torus.cpp.o" "gcc" "src/comm/CMakeFiles/compass_comm.dir/torus.cpp.o.d"
+  "/root/repo/src/comm/transport.cpp" "src/comm/CMakeFiles/compass_comm.dir/transport.cpp.o" "gcc" "src/comm/CMakeFiles/compass_comm.dir/transport.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/compass_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/compass_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compass_comm.dir/cost_model.cpp.o"
+  "CMakeFiles/compass_comm.dir/cost_model.cpp.o.d"
+  "CMakeFiles/compass_comm.dir/machine.cpp.o"
+  "CMakeFiles/compass_comm.dir/machine.cpp.o.d"
+  "CMakeFiles/compass_comm.dir/mpi_transport.cpp.o"
+  "CMakeFiles/compass_comm.dir/mpi_transport.cpp.o.d"
+  "CMakeFiles/compass_comm.dir/pgas_transport.cpp.o"
+  "CMakeFiles/compass_comm.dir/pgas_transport.cpp.o.d"
+  "CMakeFiles/compass_comm.dir/torus.cpp.o"
+  "CMakeFiles/compass_comm.dir/torus.cpp.o.d"
+  "CMakeFiles/compass_comm.dir/transport.cpp.o"
+  "CMakeFiles/compass_comm.dir/transport.cpp.o.d"
+  "libcompass_comm.a"
+  "libcompass_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compass_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compass_compiler.dir/coreobject.cpp.o"
+  "CMakeFiles/compass_compiler.dir/coreobject.cpp.o.d"
+  "CMakeFiles/compass_compiler.dir/ipfp.cpp.o"
+  "CMakeFiles/compass_compiler.dir/ipfp.cpp.o.d"
+  "CMakeFiles/compass_compiler.dir/pcc.cpp.o"
+  "CMakeFiles/compass_compiler.dir/pcc.cpp.o.d"
+  "libcompass_compiler.a"
+  "libcompass_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compass_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

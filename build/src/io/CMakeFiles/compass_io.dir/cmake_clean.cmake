@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compass_io.dir/raster.cpp.o"
+  "CMakeFiles/compass_io.dir/raster.cpp.o.d"
+  "CMakeFiles/compass_io.dir/spike_stats.cpp.o"
+  "CMakeFiles/compass_io.dir/spike_stats.cpp.o.d"
+  "libcompass_io.a"
+  "libcompass_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compass_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compass_perf.dir/energy.cpp.o"
+  "CMakeFiles/compass_perf.dir/energy.cpp.o.d"
+  "CMakeFiles/compass_perf.dir/ledger.cpp.o"
+  "CMakeFiles/compass_perf.dir/ledger.cpp.o.d"
+  "libcompass_perf.a"
+  "libcompass_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compass_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

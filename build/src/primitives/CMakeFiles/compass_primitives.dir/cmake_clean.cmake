@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compass_primitives.dir/primitives.cpp.o"
+  "CMakeFiles/compass_primitives.dir/primitives.cpp.o.d"
+  "libcompass_primitives.a"
+  "libcompass_primitives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compass_primitives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

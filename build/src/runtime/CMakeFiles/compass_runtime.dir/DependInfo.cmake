@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/compass.cpp" "src/runtime/CMakeFiles/compass_runtime.dir/compass.cpp.o" "gcc" "src/runtime/CMakeFiles/compass_runtime.dir/compass.cpp.o.d"
+  "/root/repo/src/runtime/partition.cpp" "src/runtime/CMakeFiles/compass_runtime.dir/partition.cpp.o" "gcc" "src/runtime/CMakeFiles/compass_runtime.dir/partition.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/compass_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/compass_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/compass_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/compass_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

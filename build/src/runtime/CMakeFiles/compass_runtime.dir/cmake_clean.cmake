@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compass_runtime.dir/compass.cpp.o"
+  "CMakeFiles/compass_runtime.dir/compass.cpp.o.d"
+  "CMakeFiles/compass_runtime.dir/partition.cpp.o"
+  "CMakeFiles/compass_runtime.dir/partition.cpp.o.d"
+  "libcompass_runtime.a"
+  "libcompass_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compass_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

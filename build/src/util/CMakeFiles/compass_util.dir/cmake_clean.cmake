@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compass_util.dir/log.cpp.o"
+  "CMakeFiles/compass_util.dir/log.cpp.o.d"
+  "CMakeFiles/compass_util.dir/prng.cpp.o"
+  "CMakeFiles/compass_util.dir/prng.cpp.o.d"
+  "CMakeFiles/compass_util.dir/stats.cpp.o"
+  "CMakeFiles/compass_util.dir/stats.cpp.o.d"
+  "CMakeFiles/compass_util.dir/table.cpp.o"
+  "CMakeFiles/compass_util.dir/table.cpp.o.d"
+  "libcompass_util.a"
+  "libcompass_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compass_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

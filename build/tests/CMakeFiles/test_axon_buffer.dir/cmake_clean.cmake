@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_axon_buffer.dir/test_axon_buffer.cpp.o"
+  "CMakeFiles/test_axon_buffer.dir/test_axon_buffer.cpp.o.d"
+  "test_axon_buffer"
+  "test_axon_buffer.pdb"
+  "test_axon_buffer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_axon_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

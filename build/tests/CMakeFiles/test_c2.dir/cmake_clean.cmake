@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_c2.dir/test_c2.cpp.o"
+  "CMakeFiles/test_c2.dir/test_c2.cpp.o.d"
+  "test_c2"
+  "test_c2.pdb"
+  "test_c2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_c2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

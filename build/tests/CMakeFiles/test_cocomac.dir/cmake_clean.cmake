@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cocomac.dir/test_cocomac.cpp.o"
+  "CMakeFiles/test_cocomac.dir/test_cocomac.cpp.o.d"
+  "test_cocomac"
+  "test_cocomac.pdb"
+  "test_cocomac[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cocomac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_compass.dir/test_compass.cpp.o"
+  "CMakeFiles/test_compass.dir/test_compass.cpp.o.d"
+  "test_compass"
+  "test_compass.pdb"
+  "test_compass[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_compass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coreobject.dir/test_coreobject.cpp.o"
+  "CMakeFiles/test_coreobject.dir/test_coreobject.cpp.o.d"
+  "test_coreobject"
+  "test_coreobject.pdb"
+  "test_coreobject[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coreobject.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dynamics_properties.dir/test_dynamics_properties.cpp.o"
+  "CMakeFiles/test_dynamics_properties.dir/test_dynamics_properties.cpp.o.d"
+  "test_dynamics_properties"
+  "test_dynamics_properties.pdb"
+  "test_dynamics_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dynamics_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

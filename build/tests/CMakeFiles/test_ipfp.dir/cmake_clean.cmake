@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ipfp.dir/test_ipfp.cpp.o"
+  "CMakeFiles/test_ipfp.dir/test_ipfp.cpp.o.d"
+  "test_ipfp"
+  "test_ipfp.pdb"
+  "test_ipfp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ipfp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pcc.dir/test_pcc.cpp.o"
+  "CMakeFiles/test_pcc.dir/test_pcc.cpp.o.d"
+  "test_pcc"
+  "test_pcc.pdb"
+  "test_pcc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compass_cli.dir/compass_cli.cpp.o"
+  "CMakeFiles/compass_cli.dir/compass_cli.cpp.o.d"
+  "compass"
+  "compass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compass_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

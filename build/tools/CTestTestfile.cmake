@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_help "/root/repo/build/tools/compass" "help")
+set_tests_properties(cli_help PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_spec_info "sh" "-c" "/root/repo/build/tools/compass spec --macaque --cores 96 -o /root/repo/build/tools/smoke.co && /root/repo/build/tools/compass info /root/repo/build/tools/smoke.co")
+set_tests_properties(cli_spec_info PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_run_roundtrip "sh" "-c" "/root/repo/build/tools/compass run --macaque --cores 77 --ranks 2 --ticks 20 --transport pgas --raster /root/repo/build/tools/smoke.rst --stats --energy && /root/repo/build/tools/compass analyze /root/repo/build/tools/smoke.rst")
+set_tests_properties(cli_run_roundtrip PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_bad_usage "/root/repo/build/tools/compass" "run" "--transport" "bogus")
+set_tests_properties(cli_bad_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
