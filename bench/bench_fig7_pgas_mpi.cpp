@@ -12,9 +12,10 @@
 
 #include "common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace compass;
   using namespace compass::bench;
+  init_obs(argc, argv);  // honour --trace-out / --chrome-out / --metrics-out
 
   const std::uint64_t cores_at_full = scaled(1024, 64);
   const arch::Tick ticks = static_cast<arch::Tick>(scaled(200, 20));

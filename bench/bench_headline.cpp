@@ -13,9 +13,10 @@
 
 #include "common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace compass;
   using namespace compass::bench;
+  init_obs(argc, argv);  // honour --trace-out / --chrome-out / --metrics-out
 
   const std::uint64_t cores = scaled(8192, 77);
   const arch::Tick ticks = static_cast<arch::Tick>(scaled(100, 10));

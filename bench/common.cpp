@@ -4,13 +4,86 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <iostream>
+#include <optional>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "primitives/primitives.h"
 #include "util/prng.h"
 
 namespace compass::bench {
+
+namespace {
+
+const char* env_or_empty(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? v : "";
+}
+
+/// Process-wide observability state: one registry and one set of writers
+/// shared by every run_model() call, flushed when the process exits.
+struct BenchObs {
+  ObsOptions options{env_or_empty("COMPASS_TRACE_OUT"),
+                     env_or_empty("COMPASS_CHROME_OUT"),
+                     env_or_empty("COMPASS_METRICS_OUT")};
+  obs::MetricsRegistry registry;
+  std::ofstream trace_os;
+  std::optional<obs::JsonlTraceWriter> jsonl;
+  obs::ChromeTraceWriter chrome;
+  bool chrome_active = false;
+
+  ~BenchObs() {
+    if (chrome_active) {
+      std::ofstream os(options.chrome_out);
+      if (os) chrome.write(os);
+    }
+    if (!options.metrics_out.empty()) {
+      std::ofstream os(options.metrics_out);
+      if (os) registry.write_json(os);
+    }
+  }
+};
+
+BenchObs& bench_obs() {
+  static BenchObs b;
+  return b;
+}
+
+void attach_observability(runtime::Compass& sim, comm::Transport& transport) {
+  BenchObs& b = bench_obs();
+  if (!b.options.metrics_out.empty()) {
+    sim.set_metrics(&b.registry);
+    transport.set_metrics(&b.registry);
+  }
+  if (!b.options.trace_out.empty()) {
+    if (!b.jsonl) {
+      b.trace_os.open(b.options.trace_out);
+      if (b.trace_os) b.jsonl.emplace(b.trace_os);
+    }
+    if (b.jsonl) sim.add_trace_sink(&*b.jsonl);
+  }
+  if (!b.options.chrome_out.empty()) {
+    b.chrome_active = true;
+    sim.add_trace_sink(&b.chrome);
+  }
+}
+
+}  // namespace
+
+void init_obs(int argc, char** argv) {
+  ObsOptions& o = bench_obs().options;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace-out") == 0) o.trace_out = argv[i + 1];
+    if (std::strcmp(argv[i], "--chrome-out") == 0) o.chrome_out = argv[i + 1];
+    if (std::strcmp(argv[i], "--metrics-out") == 0) o.metrics_out = argv[i + 1];
+  }
+}
+
+const ObsOptions& obs_options() { return bench_obs().options; }
 
 double bench_scale() {
   static const double scale = [] {
@@ -73,6 +146,7 @@ runtime::RunReport run_model(const arch::Model& model,
   arch::Model copy = model;
   auto transport = make_transport(kind, partition.ranks());
   runtime::Compass sim(copy, partition, *transport, config);
+  attach_observability(sim, *transport);
   return sim.run(ticks);
 }
 

@@ -24,6 +24,23 @@ namespace compass::bench {
 /// COMPASS_BENCH_SCALE (default 1.0): multiplies model sizes.
 double bench_scale();
 
+/// Observability outputs shared by every run_model() call in a bench
+/// process. Defaults come from the COMPASS_TRACE_OUT / COMPASS_CHROME_OUT /
+/// COMPASS_METRICS_OUT environment variables; benches that take argv can
+/// override them with --trace-out / --chrome-out / --metrics-out via
+/// init_obs(). JSONL traces append across runs in one process; the Chrome
+/// trace and the metrics snapshot are written once at process exit.
+struct ObsOptions {
+  std::string trace_out;    // per-(tick,rank,phase) JSONL
+  std::string chrome_out;   // Chrome-trace/Perfetto JSON
+  std::string metrics_out;  // metrics-registry snapshot JSON
+};
+
+/// Parse --trace-out/--chrome-out/--metrics-out from a bench's argv
+/// (unknown arguments are ignored). Call once, before the first run_model().
+void init_obs(int argc, char** argv);
+const ObsOptions& obs_options();
+
 /// Scaled count: max(minimum, round(base * bench_scale())).
 std::uint64_t scaled(std::uint64_t base, std::uint64_t minimum = 1);
 

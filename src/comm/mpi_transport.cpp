@@ -33,9 +33,7 @@ void MpiTransport::send(int src, int dst,
 
   const std::size_t bytes = wire_size(spikes.size());
   send_s_[src] += cost_.mpi_send_cost(bytes) + hop_latency(src, dst);
-  ++stats_.messages;
-  stats_.remote_spikes += spikes.size();
-  stats_.wire_bytes += bytes;
+  note_send(src, spikes.size(), bytes);
   ++recv_counts_[dst];
 }
 
@@ -61,6 +59,7 @@ void MpiTransport::exchange() {
           e.src, std::span<const arch::WireSpike>(transit_.data() + e.offset,
                                                   e.count)});
       recv_s_[r] += cost_.mpi_recv_cost(wire_size(e.count));
+      note_recv(r, e.count, wire_size(e.count));
     }
   }
 }

@@ -30,9 +30,7 @@ void PgasTransport::send(int src, int dst,
 
   const std::size_t bytes = wire_size(spikes.size());
   send_s_[src] += cost_.pgas_put_cost(bytes) + hop_latency(src, dst);
-  ++stats_.messages;  // one put == one NIC transaction for accounting
-  stats_.remote_spikes += spikes.size();
-  stats_.wire_bytes += bytes;
+  note_send(src, spikes.size(), bytes);  // one put == one NIC transaction
 }
 
 void PgasTransport::exchange() {
@@ -51,6 +49,7 @@ void PgasTransport::exchange() {
       const auto& seg = landing_[segment_index(dst, src)];
       if (!seg.empty()) {
         views.push_back(InMessage{src, std::span<const arch::WireSpike>(seg)});
+        note_recv(dst, seg.size(), wire_size(seg.size()));
       }
     }
   }

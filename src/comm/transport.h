@@ -27,6 +27,7 @@
 #include "arch/spike.h"
 #include "comm/cost_model.h"
 #include "comm/torus.h"
+#include "obs/metrics.h"
 
 namespace compass::comm {
 
@@ -39,6 +40,19 @@ struct TickCommStats {
   std::uint64_t wire_bytes = 0;     // at the configured bytes-per-spike
 
   void reset() { *this = TickCommStats{}; }
+};
+
+/// One rank's functional communication counters for one tick, split by
+/// direction — what the per-(tick, rank, phase) trace records report.
+struct RankCommStats {
+  std::uint64_t msgs_sent = 0;
+  std::uint64_t spikes_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t msgs_recv = 0;
+  std::uint64_t spikes_recv = 0;
+  std::uint64_t bytes_recv = 0;
+
+  void reset() { *this = RankCommStats{}; }
 };
 
 /// An incoming aggregated message as seen by a receiving rank.
@@ -81,7 +95,18 @@ class Transport {
   int ranks() const { return ranks_; }
   const CommCostModel& cost_model() const { return cost_; }
   const TickCommStats& tick_stats() const { return stats_; }
+  const RankCommStats& rank_stats(int rank) const {
+    return rank_stats_[static_cast<std::size_t>(rank)];
+  }
   unsigned spike_wire_bytes() const { return spike_wire_bytes_; }
+
+  /// Publish this transport's counters into `metrics` (messages, remote
+  /// spikes, wire bytes). Each tick's stats are flushed into the registry at
+  /// the next begin_tick(); call flush_metrics() after the final tick to
+  /// publish the tail. Pass nullptr to detach; detached costs one branch per
+  /// tick.
+  void set_metrics(obs::MetricsRegistry* metrics);
+  void flush_metrics();
 
   /// Attach a torus topology: point-to-point sends are then charged
   /// hops(node(src), node(dst)) x hop_latency on top of the flat overheads
@@ -105,6 +130,25 @@ class Transport {
     return spikes * spike_wire_bytes_;
   }
 
+  /// Shared sender-side accounting for one message/put of `spikes` spikes.
+  void note_send(int src, std::size_t spikes, std::size_t bytes) {
+    ++stats_.messages;
+    stats_.remote_spikes += spikes;
+    stats_.wire_bytes += bytes;
+    RankCommStats& rs = rank_stats_[static_cast<std::size_t>(src)];
+    ++rs.msgs_sent;
+    rs.spikes_sent += spikes;
+    rs.bytes_sent += bytes;
+  }
+
+  /// Shared receiver-side accounting for one delivered message.
+  void note_recv(int dst, std::size_t spikes, std::size_t bytes) {
+    RankCommStats& rs = rank_stats_[static_cast<std::size_t>(dst)];
+    ++rs.msgs_recv;
+    rs.spikes_recv += spikes;
+    rs.bytes_recv += bytes;
+  }
+
   /// Hop-dependent latency for one message src -> dst (0 without topology
   /// or for node-local traffic).
   double hop_latency(int src, int dst) const {
@@ -121,11 +165,16 @@ class Transport {
   CommCostModel cost_;
   unsigned spike_wire_bytes_;
   TickCommStats stats_;
+  std::vector<RankCommStats> rank_stats_;
   std::vector<double> send_s_, sync_s_, recv_s_;
 
  private:
   const TorusTopology* topology_ = nullptr;
   int ranks_per_node_ = 1;
+
+  obs::MetricsRegistry* metrics_ = nullptr;
+  bool metrics_flushed_ = true;  // nothing to flush before the first tick
+  obs::MetricsRegistry::Id m_messages_ = 0, m_spikes_ = 0, m_bytes_ = 0;
 };
 
 }  // namespace compass::comm

@@ -57,7 +57,8 @@ bool is_inhibitory_neuron(unsigned j, double excitatory_fraction) {
          std::floor(static_cast<double>(j) * inh);
 }
 
-PccResult compile(const Spec& spec, const PccOptions& options) {
+PccResult compile(const Spec& spec, const PccOptions& options,
+                  obs::MetricsRegistry* metrics) {
   util::Stopwatch compile_timer;
 
   if (const std::string err = spec.validate(); !err.empty()) {
@@ -431,6 +432,18 @@ PccResult compile(const Spec& spec, const PccOptions& options) {
   model.reseed_cores();
 
   result.stats.compile_s = compile_timer.elapsed_s();
+
+  if (metrics != nullptr) {
+    metrics->add(metrics->counter("pcc.white_connections", "connections"),
+                 result.stats.white_connections);
+    metrics->add(metrics->counter("pcc.gray_connections", "connections"),
+                 result.stats.gray_connections);
+    metrics->add(metrics->counter("pcc.messages", "messages"),
+                 result.stats.pcc_messages);
+    metrics->set(metrics->gauge("pcc.compile_s", "s"), result.stats.compile_s);
+    metrics->set(metrics->gauge("pcc.ipfp_iterations", "iterations"),
+                 static_cast<double>(result.stats.ipfp.iterations));
+  }
   return result;
 }
 

@@ -41,6 +41,7 @@
 #include "arch/model.h"
 #include "compiler/coreobject.h"
 #include "compiler/ipfp.h"
+#include "obs/metrics.h"
 #include "runtime/partition.h"
 #include "util/matrix.h"
 
@@ -114,7 +115,10 @@ struct PccResult {
 
 /// Compile a CoreObject spec into a ready-to-simulate model + partition.
 /// Throws std::invalid_argument / std::runtime_error on invalid specs.
-PccResult compile(const Spec& spec, const PccOptions& options = {});
+/// When `metrics` is non-null the compiler publishes its wiring statistics
+/// (pcc.* counters/gauges, see DESIGN.md "Observability") into the registry.
+PccResult compile(const Spec& spec, const PccOptions& options = {},
+                  obs::MetricsRegistry* metrics = nullptr);
 
 /// Helper shared with tests: true if neuron j is inhibitory under
 /// `excitatory_fraction` (evenly interleaved).

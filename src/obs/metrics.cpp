@@ -1,0 +1,141 @@
+#include "obs/metrics.h"
+
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <stdexcept>
+
+namespace compass::obs {
+
+const char* metric_kind_name(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+MetricsRegistry::Id MetricsRegistry::intern(std::string_view name,
+                                            std::string_view unit,
+                                            MetricKind kind) {
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].name == name) {
+      if (slots_[i].kind != kind) {
+        throw std::invalid_argument("MetricsRegistry: '" + std::string(name) +
+                                    "' re-registered as a different kind");
+      }
+      return static_cast<Id>(i);
+    }
+  }
+  MetricValue m;
+  m.name = std::string(name);
+  m.unit = std::string(unit);
+  m.kind = kind;
+  slots_.push_back(std::move(m));
+  return static_cast<Id>(slots_.size() - 1);
+}
+
+MetricsRegistry::Id MetricsRegistry::counter(std::string_view name,
+                                             std::string_view unit) {
+  return intern(name, unit, MetricKind::kCounter);
+}
+
+MetricsRegistry::Id MetricsRegistry::gauge(std::string_view name,
+                                           std::string_view unit) {
+  return intern(name, unit, MetricKind::kGauge);
+}
+
+MetricsRegistry::Id MetricsRegistry::histogram(std::string_view name,
+                                               std::string_view unit) {
+  return intern(name, unit, MetricKind::kHistogram);
+}
+
+void MetricsRegistry::observe(Id id, std::uint64_t value) {
+  MetricValue& m = slots_[id];
+  const unsigned bucket = static_cast<unsigned>(std::bit_width(value));
+  if (m.buckets.size() <= bucket) m.buckets.resize(bucket + 1, 0);
+  ++m.buckets[bucket];
+  if (m.observations == 0 || value < m.min) m.min = value;
+  if (m.observations == 0 || value > m.max) m.max = value;
+  ++m.observations;
+  m.sum += value;
+}
+
+void write_json_string(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void write_json_double(std::ostream& os, double v) {
+  if (!std::isfinite(v)) v = 0.0;
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  os << buf;
+}
+
+namespace {
+
+void write_metric_json(std::ostream& os, const MetricValue& m) {
+  os << "{\"name\":";
+  write_json_string(os, m.name);
+  os << ",\"kind\":\"" << metric_kind_name(m.kind) << '"';
+  if (!m.unit.empty()) {
+    os << ",\"unit\":";
+    write_json_string(os, m.unit);
+  }
+  switch (m.kind) {
+    case MetricKind::kCounter:
+      os << ",\"count\":" << m.count;
+      break;
+    case MetricKind::kGauge:
+      os << ",\"value\":";
+      write_json_double(os, m.value);
+      break;
+    case MetricKind::kHistogram:
+      os << ",\"observations\":" << m.observations << ",\"sum\":" << m.sum
+         << ",\"min\":" << m.min << ",\"max\":" << m.max << ",\"buckets\":[";
+      for (std::size_t b = 0; b < m.buckets.size(); ++b) {
+        if (b) os << ',';
+        os << m.buckets[b];
+      }
+      os << ']';
+      break;
+  }
+  os << '}';
+}
+
+}  // namespace
+
+void write_snapshot_json(std::ostream& os, const MetricsSnapshot& snapshot) {
+  os << "{\"metrics\":[";
+  for (std::size_t i = 0; i < snapshot.size(); ++i) {
+    if (i) os << ',';
+    write_metric_json(os, snapshot[i]);
+  }
+  os << "]}\n";
+}
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+  write_snapshot_json(os, slots_);
+}
+
+}  // namespace compass::obs

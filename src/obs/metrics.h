@@ -1,0 +1,93 @@
+// Metrics registry: named counters, gauges, and per-tick histograms that the
+// runtime, transports, and compiler publish into.
+//
+// Design constraints (see DESIGN.md "Observability"):
+//   * Near-zero overhead when disabled. Publishers hold a nullable
+//     `MetricsRegistry*`; every instrumented site is one pointer test when
+//     observability is off. Enabled updates are a bounds-checked array write.
+//   * Registration is idempotent: registering an existing (name, kind) pair
+//     returns the same id, so a re-attached transport keeps accumulating
+//     into the same series instead of forking a duplicate.
+//   * Snapshots are plain values (`MetricsSnapshot`) so a `RunReport` can
+//     carry the end-of-run registry state across API boundaries without
+//     referencing the live registry.
+//
+// Histograms use power-of-two buckets: an observation v lands in bucket
+// bit_width(v) (0 for v == 0), i.e. bucket b>0 covers [2^(b-1), 2^b). That
+// is exact for the counter-like quantities traced here (spikes, messages,
+// bytes per tick) and needs no configuration.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace compass::obs {
+
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+const char* metric_kind_name(MetricKind kind);
+
+/// Point-in-time copy of one metric. Which fields are meaningful depends on
+/// `kind`: counters use `count`, gauges use `value`, histograms use
+/// `buckets`/`observations`/`sum`/`min`/`max`.
+struct MetricValue {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  std::string unit;  // free-form, e.g. "spikes", "bytes", "s"
+
+  std::uint64_t count = 0;  // counter total
+  double value = 0.0;       // gauge level
+
+  std::vector<std::uint64_t> buckets;  // buckets[b]: observations with
+                                       // bit_width(v) == b
+  std::uint64_t observations = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+};
+
+using MetricsSnapshot = std::vector<MetricValue>;
+
+class MetricsRegistry {
+ public:
+  using Id = std::uint32_t;
+
+  /// Register (or look up) a metric. Name collisions with a different kind
+  /// throw std::invalid_argument; same (name, kind) returns the existing id.
+  Id counter(std::string_view name, std::string_view unit = {});
+  Id gauge(std::string_view name, std::string_view unit = {});
+  Id histogram(std::string_view name, std::string_view unit = {});
+
+  /// Counter increment.
+  void add(Id id, std::uint64_t delta = 1) { slots_[id].count += delta; }
+  /// Gauge level set.
+  void set(Id id, double value) { slots_[id].value = value; }
+  /// Histogram observation (power-of-two bucketing).
+  void observe(Id id, std::uint64_t value);
+
+  std::size_t size() const { return slots_.size(); }
+  MetricsSnapshot snapshot() const { return slots_; }
+
+  /// One JSON object: {"metrics": [ {...}, ... ]}.
+  void write_json(std::ostream& os) const;
+
+ private:
+  Id intern(std::string_view name, std::string_view unit, MetricKind kind);
+
+  std::vector<MetricValue> slots_;
+};
+
+/// Serialize a snapshot as the same JSON document write_json() emits.
+void write_snapshot_json(std::ostream& os, const MetricsSnapshot& snapshot);
+
+/// JSON string literal (quotes + escapes), shared with the trace writers.
+void write_json_string(std::ostream& os, std::string_view s);
+
+/// Shortest-roundtrip JSON number for a double (never NaN/Inf: those are
+/// clamped to 0, which JSON cannot represent otherwise).
+void write_json_double(std::ostream& os, double v);
+
+}  // namespace compass::obs

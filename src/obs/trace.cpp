@@ -1,0 +1,126 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace compass::obs {
+
+const char* phase_name(Phase p) {
+  switch (p) {
+    case Phase::kSynapse: return "synapse";
+    case Phase::kNeuron: return "neuron";
+    case Phase::kNetwork: return "network";
+  }
+  return "?";
+}
+
+void JsonlTraceWriter::on_span(const SpanRecord& s) {
+  os_ << "{\"type\":\"span\",\"tick\":" << s.tick << ",\"rank\":" << s.rank
+      << ",\"phase\":\"" << phase_name(s.phase) << '"';
+  if (options_.include_measured) {
+    os_ << ",\"compute_s\":";
+    write_json_double(os_, s.compute_s);
+  }
+  os_ << ",\"comm_s\":";
+  write_json_double(os_, s.comm_s);
+  os_ << ",\"spikes\":" << s.spikes << ",\"messages\":" << s.messages
+      << ",\"bytes\":" << s.bytes << "}\n";
+}
+
+void JsonlTraceWriter::on_tick(const TickRecord& t) {
+  os_ << "{\"type\":\"tick\",\"tick\":" << t.tick << ",\"synapse_s\":";
+  write_json_double(os_, t.synapse_s);
+  os_ << ",\"neuron_s\":";
+  write_json_double(os_, t.neuron_s);
+  os_ << ",\"network_s\":";
+  write_json_double(os_, t.network_s);
+  os_ << ",\"fired\":" << t.fired << ",\"routed\":" << t.routed
+      << ",\"local\":" << t.local << ",\"remote\":" << t.remote
+      << ",\"messages\":" << t.messages << ",\"bytes\":" << t.bytes << "}\n";
+}
+
+namespace {
+
+constexpr double kMicro = 1e6;  // trace timestamps are virtual microseconds
+
+void write_event(std::ostream& os, bool& first, const char* name, int tid,
+                 double ts_us, double dur_us) {
+  if (!first) os << ",\n";
+  first = false;
+  os << "{\"name\":\"" << name << "\",\"ph\":\"X\",\"pid\":0,\"tid\":" << tid
+     << ",\"ts\":";
+  write_json_double(os, ts_us);
+  os << ",\"dur\":";
+  write_json_double(os, dur_us);
+  os << '}';
+}
+
+void write_thread_name(std::ostream& os, bool& first, int tid,
+                       const std::string& name) {
+  if (!first) os << ",\n";
+  first = false;
+  os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" << tid
+     << ",\"args\":{\"name\":";
+  write_json_string(os, name);
+  os << "}}";
+}
+
+}  // namespace
+
+void ChromeTraceWriter::write(std::ostream& os) const {
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+
+  int max_rank = -1;
+  for (const SpanRecord& s : spans_) max_rank = std::max(max_rank, s.rank);
+  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"args\":"
+        "{\"name\":\"compass virtual machine\"}}";
+  first = false;
+  write_thread_name(os, first, 0, "makespan (composed)");
+  for (int r = 0; r <= max_rank; ++r) {
+    write_thread_name(os, first, r + 1, "rank " + std::to_string(r));
+  }
+
+  // Virtual-time start of each captured tick, keyed by position: the runtime
+  // emits tick records in order, so tick ticks_[i].tick starts where tick
+  // i-1 ended.
+  std::vector<double> tick_start(ticks_.size() + 1, 0.0);
+  for (std::size_t i = 0; i < ticks_.size(); ++i) {
+    tick_start[i + 1] = tick_start[i] + ticks_[i].synapse_s +
+                        ticks_[i].neuron_s + ticks_[i].network_s;
+  }
+
+  const std::uint64_t tick0 = ticks_.empty() ? 0 : ticks_.front().tick;
+  for (std::size_t i = 0; i < ticks_.size(); ++i) {
+    const TickRecord& t = ticks_[i];
+    const double t0 = tick_start[i] * kMicro;
+    write_event(os, first, "synapse", 0, t0, t.synapse_s * kMicro);
+    write_event(os, first, "neuron", 0, t0 + t.synapse_s * kMicro,
+                t.neuron_s * kMicro);
+    write_event(os, first, "network", 0,
+                t0 + (t.synapse_s + t.neuron_s) * kMicro, t.network_s * kMicro);
+  }
+
+  // Per-rank phase spans, placed inside their tick's composed window so the
+  // straggler rank that set each makespan slice is visible at a glance.
+  for (const SpanRecord& s : spans_) {
+    const std::size_t i = static_cast<std::size_t>(s.tick - tick0);
+    if (i >= ticks_.size() || ticks_[i].tick != s.tick) continue;
+    const TickRecord& t = ticks_[i];
+    double offset_s = 0.0;
+    if (s.phase == Phase::kNeuron) offset_s = t.synapse_s;
+    if (s.phase == Phase::kNetwork) offset_s = t.synapse_s + t.neuron_s;
+    write_event(os, first, phase_name(s.phase), s.rank + 1,
+                (tick_start[i] + offset_s) * kMicro,
+                (s.compute_s + s.comm_s) * kMicro);
+  }
+
+  os << "\n]}\n";
+}
+
+}  // namespace compass::obs

@@ -1,0 +1,126 @@
+// Per-tick trace substrate: structured records the runtime emits while it
+// simulates, and the writers that persist them.
+//
+// Two record shapes flow through a TraceSink (schema in DESIGN.md
+// "Observability"):
+//   * SpanRecord  — one per (tick, rank, phase): the rank's measured compute
+//     seconds, its modelled communication seconds, and the functional counts
+//     (spikes / messages / bytes) the phase handled. Functional counts and
+//     modelled times are deterministic for a fixed model + seed; measured
+//     compute is host timing and is never stable across runs.
+//   * TickRecord  — one per tick: the composed machine makespan slices
+//     (synapse / neuron / network, exactly what perf::compose_tick produced
+//     for the tick, so their per-run sums equal RunReport::virtual_time) and
+//     the tick's machine-wide functional counters.
+//
+// Writers:
+//   * JsonlTraceWriter  — one JSON object per line; the stable interchange
+//     format benches and tests consume.
+//   * ChromeTraceWriter — buffers records and writes a Chrome-trace
+//     ("catapult") JSON of the virtual-time makespan, loadable in
+//     chrome://tracing and Perfetto. Track 0 is the composed machine; one
+//     track per rank shows that rank's phase spans inside each tick window.
+//   * TraceBuffer       — in-memory capture for tests.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+namespace compass::obs {
+
+enum class Phase : std::uint8_t { kSynapse = 0, kNeuron = 1, kNetwork = 2 };
+
+const char* phase_name(Phase p);
+
+/// One (tick, rank, phase) span. See the header comment for field stability.
+struct SpanRecord {
+  std::uint64_t tick = 0;
+  int rank = 0;
+  Phase phase = Phase::kSynapse;
+  double compute_s = 0.0;  // measured host compute (scaled); not reproducible
+  double comm_s = 0.0;     // modelled communication cost; deterministic
+  std::uint64_t spikes = 0;    // phase-specific spike-like count (see DESIGN.md)
+  std::uint64_t messages = 0;  // messages sent (neuron) / received (network)
+  std::uint64_t bytes = 0;     // wire bytes sent (neuron) / received (network)
+
+  friend bool operator==(const SpanRecord&, const SpanRecord&) = default;
+};
+
+/// One composed per-tick machine summary.
+struct TickRecord {
+  std::uint64_t tick = 0;
+  double synapse_s = 0.0;  // composed makespan slices for this tick
+  double neuron_s = 0.0;
+  double network_s = 0.0;
+  std::uint64_t fired = 0;
+  std::uint64_t routed = 0;
+  std::uint64_t local = 0;
+  std::uint64_t remote = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+
+  friend bool operator==(const TickRecord&, const TickRecord&) = default;
+};
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void on_span(const SpanRecord& span) = 0;
+  virtual void on_tick(const TickRecord& tick) = 0;
+};
+
+struct JsonlOptions {
+  /// Emit the host-measured `compute_s` field. Golden traces and determinism
+  /// comparisons turn this off so every emitted byte is reproducible.
+  bool include_measured = true;
+};
+
+/// One JSON object per line: {"type":"span",...} / {"type":"tick",...}.
+class JsonlTraceWriter final : public TraceSink {
+ public:
+  explicit JsonlTraceWriter(std::ostream& os, JsonlOptions options = {})
+      : os_(os), options_(options) {}
+  void on_span(const SpanRecord& span) override;
+  void on_tick(const TickRecord& tick) override;
+
+ private:
+  std::ostream& os_;
+  JsonlOptions options_;
+};
+
+/// In-memory capture, used by tests and the bench harness.
+class TraceBuffer final : public TraceSink {
+ public:
+  void on_span(const SpanRecord& span) override { spans_.push_back(span); }
+  void on_tick(const TickRecord& tick) override { ticks_.push_back(tick); }
+
+  const std::vector<SpanRecord>& spans() const { return spans_; }
+  const std::vector<TickRecord>& ticks() const { return ticks_; }
+  void clear() {
+    spans_.clear();
+    ticks_.clear();
+  }
+
+ private:
+  std::vector<SpanRecord> spans_;
+  std::vector<TickRecord> ticks_;
+};
+
+/// Buffers the run and renders the virtual-time makespan as a Chrome-trace
+/// JSON object (call write() once after the run).
+class ChromeTraceWriter final : public TraceSink {
+ public:
+  void on_span(const SpanRecord& span) override { spans_.push_back(span); }
+  void on_tick(const TickRecord& tick) override { ticks_.push_back(tick); }
+
+  /// {"displayTimeUnit":"ms","traceEvents":[...]}; timestamps are virtual
+  /// microseconds since tick 0 of the capture.
+  void write(std::ostream& os) const;
+
+ private:
+  std::vector<SpanRecord> spans_;
+  std::vector<TickRecord> ticks_;
+};
+
+}  // namespace compass::obs

@@ -11,10 +11,10 @@ PhaseBreakdown compose_tick(const std::vector<RankTickTimes>& ranks,
          max_recv = 0.0;
   for (const RankTickTimes& r : ranks) {
     max_synapse = std::max(max_synapse, r.synapse);
-    max_neuron = std::max(max_neuron, r.neuron + r.send);
+    max_neuron = std::max(max_neuron, r.neuron + r.aggregate + r.send);
     max_local = std::max(max_local, r.local_deliver);
     max_sync = std::max(max_sync, r.sync);
-    max_recv = std::max(max_recv, r.recv);
+    max_recv = std::max(max_recv, r.recv + r.remote_deliver);
   }
   out.synapse = max_synapse;
   out.neuron = max_neuron;
@@ -28,10 +28,12 @@ PhaseBreakdown compose_tick(const std::vector<RankTickTimes>& ranks,
   return out;
 }
 
-void RunLedger::commit_tick() {
-  totals_ += compose_tick(scratch_, overlap_);
+PhaseBreakdown RunLedger::commit_tick() {
+  const PhaseBreakdown tick = compose_tick(scratch_, overlap_);
+  totals_ += tick;
   ++ticks_;
   for (RankTickTimes& r : scratch_) r = RankTickTimes{};
+  return tick;
 }
 
 double RunLedger::slowdown_vs_realtime() const {

@@ -8,12 +8,12 @@
 // would achieve:
 //
 //   tick = max_r(synapse_r)                                 (Synapse phase)
-//        + max_r(neuron_r + send_r)                         (Neuron phase,
+//        + max_r(neuron_r + aggregate_r + send_r)           (Neuron phase,
 //          incl. per-destination aggregation + message injection)
 //        + max(max_r(sync_r), max_r(local_deliver_r))       (Network phase:
 //          Reduce-Scatter / barrier OVERLAPPED with local delivery — the
 //          paper's key Network-phase optimisation)
-//        + max_r(recv_r)                                    (message receive
+//        + max_r(recv_r + remote_deliver_r)                 (message receive
 //          critical section + remote spike delivery)
 //
 // All phase boundaries are global synchronisation points, matching the
@@ -26,14 +26,20 @@
 
 namespace compass::perf {
 
-/// One rank's contributions to one tick, in seconds.
+/// One rank's contributions to one tick, in seconds. Measured fields come
+/// from host timers (never reproducible run-to-run); modelled fields come
+/// from the communication cost model (deterministic for a fixed model).
+/// The observability layer (src/obs/) relies on this separation to emit
+/// trace records whose modelled half is stable.
 struct RankTickTimes {
-  double synapse = 0.0;        // measured crossbar propagation
-  double neuron = 0.0;         // measured integrate-leak-fire
-  double send = 0.0;           // measured aggregation + modelled injection
-  double local_deliver = 0.0;  // measured local spike delivery / threads
-  double sync = 0.0;           // modelled Reduce-Scatter or barrier
-  double recv = 0.0;           // modelled probe/recv + measured delivery
+  double synapse = 0.0;         // measured crossbar propagation
+  double neuron = 0.0;          // measured integrate-leak-fire
+  double aggregate = 0.0;       // measured per-destination send aggregation
+  double send = 0.0;            // modelled message injection
+  double local_deliver = 0.0;   // measured local spike delivery / threads
+  double sync = 0.0;            // modelled Reduce-Scatter or barrier
+  double recv = 0.0;            // modelled probe/recv critical section
+  double remote_deliver = 0.0;  // measured remote spike delivery / threads
 };
 
 /// Composed per-tick (or per-run) phase breakdown for the whole machine.
@@ -66,9 +72,11 @@ class RunLedger {
         overlap_(overlap_collective) {}
 
   /// Per-tick scratch area the runtime fills in; commit_tick() composes and
-  /// resets it.
+  /// resets it, returning the tick's composed breakdown (what the trace
+  /// layer records per tick — summing the returned values reproduces
+  /// totals() exactly).
   std::vector<RankTickTimes>& tick_scratch() { return scratch_; }
-  void commit_tick();
+  PhaseBreakdown commit_tick();
 
   const PhaseBreakdown& totals() const { return totals_; }
   std::uint64_t ticks() const { return ticks_; }

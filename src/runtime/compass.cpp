@@ -68,12 +68,16 @@ std::uint64_t Compass::step() {
     network_phase(rank, scratch[static_cast<std::size_t>(rank)]);
   }
 
+  std::uint64_t tick_routed = 0, tick_local = 0, tick_synaptic = 0;
   for (const RankCounters& c : counters_) {
     tick_fired_ += c.fired;
-    report_.routed_spikes += c.routed;
-    report_.synaptic_events += c.synaptic_events;
-    report_.local_spikes += c.local_delivered;
+    tick_routed += c.routed;
+    tick_synaptic += c.synaptic_events;
+    tick_local += c.local_delivered;
   }
+  report_.routed_spikes += tick_routed;
+  report_.synaptic_events += tick_synaptic;
+  report_.local_spikes += tick_local;
 
   const comm::TickCommStats& ts = transport_.tick_stats();
   report_.messages += ts.messages;
@@ -86,10 +90,102 @@ std::uint64_t Compass::step() {
     series_.wire_bytes.push_back(ts.wire_bytes);
   }
 
-  ledger_.commit_tick();
+  // Trace spans read the per-rank scratch times, so they must be emitted
+  // before commit_tick() resets the scratch.
+  if (!sinks_.empty()) emit_trace_spans(scratch);
+  const perf::PhaseBreakdown composed = ledger_.commit_tick();
+  if (!sinks_.empty()) emit_tick_trace(composed, tick_routed, tick_local, ts);
+
+  if (metrics_ != nullptr) {
+    metrics_->add(ids_.ticks);
+    metrics_->add(ids_.fired, tick_fired_);
+    metrics_->add(ids_.routed, tick_routed);
+    metrics_->add(ids_.local, tick_local);
+    metrics_->add(ids_.remote, ts.remote_spikes);
+    metrics_->add(ids_.synaptic_events, tick_synaptic);
+    metrics_->observe(ids_.h_fired, tick_fired_);
+    metrics_->observe(ids_.h_messages, ts.messages);
+    metrics_->observe(ids_.h_bytes, ts.wire_bytes);
+    metrics_->set(ids_.g_virtual_s, ledger_.totals().total());
+  }
+
   ++tick_;
   ++report_.ticks;
   return tick_fired_;
+}
+
+void Compass::add_trace_sink(obs::TraceSink* sink) {
+  if (sink != nullptr) sinks_.push_back(sink);
+}
+
+void Compass::set_metrics(obs::MetricsRegistry* metrics) {
+  metrics_ = metrics;
+  if (metrics_ == nullptr) return;
+  ids_.ticks = metrics_->counter("run.ticks", "ticks");
+  ids_.fired = metrics_->counter("run.fired_spikes", "spikes");
+  ids_.routed = metrics_->counter("run.routed_spikes", "spikes");
+  ids_.local = metrics_->counter("run.local_spikes", "spikes");
+  ids_.remote = metrics_->counter("run.remote_spikes", "spikes");
+  ids_.synaptic_events = metrics_->counter("run.synaptic_events", "events");
+  ids_.h_fired = metrics_->histogram("tick.fired_spikes", "spikes");
+  ids_.h_messages = metrics_->histogram("tick.messages", "messages");
+  ids_.h_bytes = metrics_->histogram("tick.wire_bytes", "bytes");
+  ids_.g_virtual_s = metrics_->gauge("run.virtual_time_s", "s");
+}
+
+void Compass::emit_trace_spans(const std::vector<perf::RankTickTimes>& scratch) {
+  const int num_ranks = partition_.ranks();
+  for (int rank = 0; rank < num_ranks; ++rank) {
+    const std::size_t r = static_cast<std::size_t>(rank);
+    const perf::RankTickTimes& rt = scratch[r];
+    const RankCounters& c = counters_[r];
+    const comm::RankCommStats& rs = transport_.rank_stats(rank);
+
+    obs::SpanRecord span;
+    span.tick = tick_;
+    span.rank = rank;
+
+    span.phase = obs::Phase::kSynapse;
+    span.compute_s = rt.synapse;
+    span.comm_s = 0.0;
+    span.spikes = c.synaptic_events;
+    span.messages = 0;
+    span.bytes = 0;
+    for (obs::TraceSink* sink : sinks_) sink->on_span(span);
+
+    span.phase = obs::Phase::kNeuron;
+    span.compute_s = rt.neuron + rt.aggregate;
+    span.comm_s = rt.send;
+    span.spikes = c.fired;
+    span.messages = rs.msgs_sent;
+    span.bytes = rs.bytes_sent;
+    for (obs::TraceSink* sink : sinks_) sink->on_span(span);
+
+    span.phase = obs::Phase::kNetwork;
+    span.compute_s = rt.local_deliver + rt.remote_deliver;
+    span.comm_s = rt.sync + rt.recv;
+    span.spikes = c.local_delivered + rs.spikes_recv;
+    span.messages = rs.msgs_recv;
+    span.bytes = rs.bytes_recv;
+    for (obs::TraceSink* sink : sinks_) sink->on_span(span);
+  }
+}
+
+void Compass::emit_tick_trace(const perf::PhaseBreakdown& composed,
+                              std::uint64_t routed, std::uint64_t local,
+                              const comm::TickCommStats& ts) {
+  obs::TickRecord rec;
+  rec.tick = tick_;
+  rec.synapse_s = composed.synapse;
+  rec.neuron_s = composed.neuron;
+  rec.network_s = composed.network;
+  rec.fired = tick_fired_;
+  rec.routed = routed;
+  rec.local = local;
+  rec.remote = ts.remote_spikes;
+  rec.messages = ts.messages;
+  rec.bytes = ts.wire_bytes;
+  for (obs::TraceSink* sink : sinks_) sink->on_tick(rec);
 }
 
 RunReport Compass::run(arch::Tick ticks) {
@@ -97,6 +193,8 @@ RunReport Compass::run(arch::Tick ticks) {
   for (arch::Tick i = 0; i < ticks; ++i) step();
   report_.host_wall_s += wall.elapsed_s();
   report_.virtual_time = ledger_.totals();
+  transport_.flush_metrics();  // publish the final tick's comm counters
+  if (metrics_ != nullptr) report_.metrics = metrics_->snapshot();
   return report_;
 }
 
@@ -189,7 +287,9 @@ void Compass::send_phase(int rank, perf::RankTickTimes& rt) {
         }
       }
     }
-    if (config_.measure) aggregate_s = sw.elapsed_s() * config_.compute_time_scale;
+    if (config_.measure) {
+      aggregate_s = sw.elapsed_s() * config_.compute_time_scale;
+    }
     for (int dst = 0; dst < ranks; ++dst) {
       auto& a = agg_[static_cast<std::size_t>(dst)];
       if (!a.empty()) {
@@ -212,7 +312,8 @@ void Compass::send_phase(int rank, perf::RankTickTimes& rt) {
     }
   }
 
-  rt.send = aggregate_s + transport_.send_time(rank);
+  rt.aggregate = aggregate_s;
+  rt.send = transport_.send_time(rank);
 }
 
 void Compass::network_phase(int rank, perf::RankTickTimes& rt) {
@@ -251,12 +352,11 @@ void Compass::network_phase(int rank, perf::RankTickTimes& rt) {
       model_.core(w.core).deliver(w.axon, w.slot);
     }
   }
-  double remote_deliver_s = 0.0;
   if (config_.measure) {
-    remote_deliver_s = sw.elapsed_s() * config_.compute_time_scale;
+    rt.remote_deliver = sw.elapsed_s() * config_.compute_time_scale /
+                        static_cast<double>(threads);
   }
-  rt.recv = transport_.recv_time(rank) +
-            remote_deliver_s / static_cast<double>(threads);
+  rt.recv = transport_.recv_time(rank);
 }
 
 }  // namespace compass::runtime

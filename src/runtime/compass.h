@@ -26,6 +26,8 @@
 #include "arch/model.h"
 #include "arch/spike.h"
 #include "comm/transport.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "perf/ledger.h"
 #include "runtime/partition.h"
 #include "util/stopwatch.h"
@@ -69,6 +71,9 @@ struct RunReport {
   std::uint64_t wire_bytes = 0;      // at the transport's bytes-per-spike
   double host_wall_s = 0.0;          // real time the emulation took
   perf::PhaseBreakdown virtual_time; // composed parallel makespan
+  /// End-of-run state of the attached metrics registry (empty when no
+  /// registry was attached via Compass::set_metrics()).
+  obs::MetricsSnapshot metrics;
   double virtual_total_s() const { return virtual_time.total(); }
   /// Virtual slowdown versus biological real time (1 tick == 1 ms).
   double slowdown() const {
@@ -107,6 +112,18 @@ class Compass {
   void enable_tick_series(bool on) { record_series_ = on; }
   const TickSeries& tick_series() const { return series_; }
 
+  /// Attach a trace sink: every tick then emits one obs::SpanRecord per
+  /// (rank, phase) plus one composed obs::TickRecord. Sinks must outlive the
+  /// simulator; several may be attached (e.g. JSONL + Chrome trace). With no
+  /// sinks attached, step() pays a single branch.
+  void add_trace_sink(obs::TraceSink* sink);
+
+  /// Publish runtime counters and per-tick histograms into `metrics`, and
+  /// snapshot the registry into RunReport::metrics at the end of run().
+  /// The transport publishes its own counters — attach it separately via
+  /// Transport::set_metrics(). Pass nullptr to detach.
+  void set_metrics(obs::MetricsRegistry* metrics);
+
   /// Resume from an absolute tick (checkpoint/restart): axon-buffer ring
   /// slots are addressed by tick mod 16, so a restored model must continue
   /// at the tick its checkpoint was taken. Call before the first step().
@@ -126,6 +143,10 @@ class Compass {
   void compute_phases(int rank, perf::RankTickTimes& rt);
   void send_phase(int rank, perf::RankTickTimes& rt);
   void network_phase(int rank, perf::RankTickTimes& rt);
+  void emit_trace_spans(const std::vector<perf::RankTickTimes>& scratch);
+  void emit_tick_trace(const perf::PhaseBreakdown& composed,
+                       std::uint64_t routed, std::uint64_t local,
+                       const comm::TickCommStats& ts);
 
   arch::Model& model_;
   Partition partition_;
@@ -157,6 +178,14 @@ class Compass {
   std::vector<RankCounters> counters_;
 
   std::uint64_t tick_fired_ = 0;  // spikes fired in the current step()
+
+  // Observability (all optional; disabled costs one branch per tick).
+  std::vector<obs::TraceSink*> sinks_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  struct MetricIds {
+    obs::MetricsRegistry::Id ticks, fired, routed, local, remote,
+        synaptic_events, h_fired, h_messages, h_bytes, g_virtual_s;
+  } ids_{};
 };
 
 }  // namespace compass::runtime

@@ -1,0 +1,160 @@
+// Minimal recursive-descent JSON syntax checker for the observability tests.
+// Validates structure only (objects, arrays, strings with escapes, numbers,
+// literals); it does not build a DOM. Strict enough to catch the failure
+// modes a hand-rolled writer can produce: trailing commas, unquoted keys,
+// unescaped control characters, truncated documents.
+#pragma once
+
+#include <cctype>
+#include <string_view>
+
+namespace compass::testing {
+
+namespace json_detail {
+
+inline void skip_ws(std::string_view s, std::size_t& i) {
+  while (i < s.size() && (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' ||
+                          s[i] == '\r')) {
+    ++i;
+  }
+}
+
+inline bool parse_value(std::string_view s, std::size_t& i);
+
+inline bool parse_string(std::string_view s, std::size_t& i) {
+  if (i >= s.size() || s[i] != '"') return false;
+  ++i;
+  while (i < s.size()) {
+    const unsigned char c = static_cast<unsigned char>(s[i]);
+    if (c == '"') {
+      ++i;
+      return true;
+    }
+    if (c < 0x20) return false;  // unescaped control character
+    if (c == '\\') {
+      ++i;
+      if (i >= s.size()) return false;
+      const char e = s[i];
+      if (e == 'u') {
+        for (int k = 0; k < 4; ++k) {
+          ++i;
+          if (i >= s.size() || !std::isxdigit(static_cast<unsigned char>(s[i])))
+            return false;
+        }
+      } else if (e != '"' && e != '\\' && e != '/' && e != 'b' && e != 'f' &&
+                 e != 'n' && e != 'r' && e != 't') {
+        return false;
+      }
+    }
+    ++i;
+  }
+  return false;  // unterminated
+}
+
+inline bool parse_number(std::string_view s, std::size_t& i) {
+  const std::size_t start = i;
+  if (i < s.size() && s[i] == '-') ++i;
+  if (i >= s.size() || !std::isdigit(static_cast<unsigned char>(s[i])))
+    return false;
+  while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]))) ++i;
+  if (i < s.size() && s[i] == '.') {
+    ++i;
+    if (i >= s.size() || !std::isdigit(static_cast<unsigned char>(s[i])))
+      return false;
+    while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]))) ++i;
+  }
+  if (i < s.size() && (s[i] == 'e' || s[i] == 'E')) {
+    ++i;
+    if (i < s.size() && (s[i] == '+' || s[i] == '-')) ++i;
+    if (i >= s.size() || !std::isdigit(static_cast<unsigned char>(s[i])))
+      return false;
+    while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]))) ++i;
+  }
+  return i > start;
+}
+
+inline bool parse_object(std::string_view s, std::size_t& i) {
+  ++i;  // past '{'
+  skip_ws(s, i);
+  if (i < s.size() && s[i] == '}') {
+    ++i;
+    return true;
+  }
+  while (true) {
+    skip_ws(s, i);
+    if (!parse_string(s, i)) return false;
+    skip_ws(s, i);
+    if (i >= s.size() || s[i] != ':') return false;
+    ++i;
+    if (!parse_value(s, i)) return false;
+    skip_ws(s, i);
+    if (i >= s.size()) return false;
+    if (s[i] == ',') {
+      ++i;
+      continue;
+    }
+    if (s[i] == '}') {
+      ++i;
+      return true;
+    }
+    return false;
+  }
+}
+
+inline bool parse_array(std::string_view s, std::size_t& i) {
+  ++i;  // past '['
+  skip_ws(s, i);
+  if (i < s.size() && s[i] == ']') {
+    ++i;
+    return true;
+  }
+  while (true) {
+    if (!parse_value(s, i)) return false;
+    skip_ws(s, i);
+    if (i >= s.size()) return false;
+    if (s[i] == ',') {
+      ++i;
+      continue;
+    }
+    if (s[i] == ']') {
+      ++i;
+      return true;
+    }
+    return false;
+  }
+}
+
+inline bool parse_value(std::string_view s, std::size_t& i) {
+  skip_ws(s, i);
+  if (i >= s.size()) return false;
+  switch (s[i]) {
+    case '{': return parse_object(s, i);
+    case '[': return parse_array(s, i);
+    case '"': return parse_string(s, i);
+    case 't':
+      if (s.substr(i, 4) != "true") return false;
+      i += 4;
+      return true;
+    case 'f':
+      if (s.substr(i, 5) != "false") return false;
+      i += 5;
+      return true;
+    case 'n':
+      if (s.substr(i, 4) != "null") return false;
+      i += 4;
+      return true;
+    default: return parse_number(s, i);
+  }
+}
+
+}  // namespace json_detail
+
+/// True iff `s` is exactly one syntactically valid JSON document.
+inline bool json_valid(std::string_view s) {
+  std::size_t i = 0;
+  if (!json_detail::parse_value(s, i)) return false;
+  json_detail::skip_ws(s, i);
+  return i == s.size();
+}
+
+}  // namespace compass::testing

@@ -41,6 +41,15 @@ TEST(Energy, ZeroTicksYieldsZeroPower) {
   EXPECT_DOUBLE_EQ(e.avg_watts, 0.0);
 }
 
+TEST(Energy, ZeroCoresYieldsZeroPerCorePower) {
+  // Degenerate but reachable from a caller that sizes a system to zero;
+  // neither average nor per-core power may divide by zero.
+  const EnergyEstimate e = estimate_energy(0, 1000, 500, 5000);
+  EXPECT_DOUBLE_EQ(e.watts_per_core, 0.0);
+  EXPECT_GT(e.avg_watts, 0.0);  // spike energy still counts
+  EXPECT_DOUBLE_EQ(e.static_j, 0.0);
+}
+
 TEST(Energy, ScalesLinearlyInEverything) {
   const EnergyEstimate a = estimate_energy(10, 100, 1000, 10000);
   const EnergyEstimate b = estimate_energy(20, 200, 2000, 20000);

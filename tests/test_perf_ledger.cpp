@@ -1,8 +1,12 @@
 // Unit tests for the virtual-time ledger: makespan composition, the
-// Reduce-Scatter/local-delivery overlap, and slowdown accounting.
+// Reduce-Scatter/local-delivery overlap, and slowdown accounting — plus the
+// divide-by-zero guards on the derived-rate helpers (RunReport::slowdown(),
+// RunReport::mean_rate_hz(), RunLedger::slowdown_vs_realtime()).
 #include "perf/ledger.h"
 
 #include <gtest/gtest.h>
+
+#include "runtime/compass.h"
 
 namespace compass::perf {
 namespace {
@@ -59,12 +63,48 @@ TEST(ComposeTick, OverlapIsFreeWhenLocalDominates) {
   EXPECT_DOUBLE_EQ(with.network, 4.0);  // the collective fully hides
 }
 
+TEST(ComposeTick, AggregationRidesTheNeuronPhase) {
+  RankTickTimes r;
+  r.neuron = 1.0;
+  r.aggregate = 0.25;
+  r.send = 0.5;
+  const PhaseBreakdown b = compose_tick({r});
+  EXPECT_DOUBLE_EQ(b.neuron, 1.75);  // neuron + aggregate + send
+}
+
+TEST(ComposeTick, RemoteDeliveryRidesTheReceiveLeg) {
+  RankTickTimes r;
+  r.recv = 0.5;
+  r.remote_deliver = 0.75;
+  r.sync = 0.1;
+  const PhaseBreakdown b = compose_tick({r});
+  EXPECT_DOUBLE_EQ(b.network, 0.1 + 0.5 + 0.75);
+}
+
 TEST(PhaseBreakdown, PlusEqualsAccumulates) {
   PhaseBreakdown a{1, 2, 3}, b{10, 20, 30};
   a += b;
   EXPECT_DOUBLE_EQ(a.synapse, 11);
   EXPECT_DOUBLE_EQ(a.neuron, 22);
   EXPECT_DOUBLE_EQ(a.network, 33);
+}
+
+TEST(RunLedger, CommitTickReturnsTheTicksBreakdown) {
+  RunLedger ledger(2);
+  ledger.tick_scratch()[0].synapse = 0.5;
+  ledger.tick_scratch()[1].synapse = 1.0;
+  ledger.tick_scratch()[0].neuron = 2.0;
+  const PhaseBreakdown tick = ledger.commit_tick();
+  EXPECT_DOUBLE_EQ(tick.synapse, 1.0);
+  EXPECT_DOUBLE_EQ(tick.neuron, 2.0);
+  // The returned breakdowns sum to totals() exactly (the trace layer's
+  // per-tick records rely on this).
+  PhaseBreakdown sum = tick;
+  ledger.tick_scratch()[1].synapse = 3.0;
+  sum += ledger.commit_tick();
+  EXPECT_DOUBLE_EQ(sum.synapse, ledger.totals().synapse);
+  EXPECT_DOUBLE_EQ(sum.neuron, ledger.totals().neuron);
+  EXPECT_DOUBLE_EQ(sum.network, ledger.totals().network);
 }
 
 TEST(RunLedger, AccumulatesOverTicks) {
@@ -110,6 +150,31 @@ TEST(RunLedger, HonoursOverlapFlag) {
   }
   EXPECT_DOUBLE_EQ(with.totals().network, 1.0);
   EXPECT_DOUBLE_EQ(without.totals().network, 2.0);
+}
+
+// --- RunReport derived-rate guards ----------------------------------------
+
+TEST(RunReport, SlowdownOfEmptyReportIsZero) {
+  runtime::RunReport rep;
+  rep.virtual_time.neuron = 1.0;  // time but no ticks: still no division
+  EXPECT_DOUBLE_EQ(rep.slowdown(), 0.0);
+}
+
+TEST(RunReport, SlowdownVsBiologicalTime) {
+  runtime::RunReport rep;
+  rep.ticks = 1000;  // 1 biological second
+  rep.virtual_time.neuron = 2.0;
+  EXPECT_DOUBLE_EQ(rep.slowdown(), 2.0);
+}
+
+TEST(RunReport, MeanRateGuardsBothZeroDenominators) {
+  runtime::RunReport rep;
+  rep.fired_spikes = 42;
+  EXPECT_DOUBLE_EQ(rep.mean_rate_hz(100), 0.0);  // ticks == 0
+  rep.ticks = 1000;
+  EXPECT_DOUBLE_EQ(rep.mean_rate_hz(0), 0.0);  // neurons == 0
+  // 42 spikes over 1 biological second across 100 neurons -> 0.42 Hz.
+  EXPECT_DOUBLE_EQ(rep.mean_rate_hz(100), 0.42);
 }
 
 }  // namespace

@@ -12,6 +12,11 @@
 //       --series             print per-tick spike/message series
 //       --energy             print the TrueNorth power estimate
 //       --stats              print spike-train statistics + activity plot
+//       --trace-out t.jsonl  per-(tick,rank,phase) JSONL trace (DESIGN.md)
+//       --chrome-out t.json  Chrome-trace/Perfetto view of the virtual time
+//       --metrics-out m.json metrics-registry snapshot (runtime+comm+pcc)
+//       --no-measure         skip host compute timers: traces/reports then
+//                            contain only deterministic modelled times
 //   compass analyze <raster> --ticks N [--neurons M]
 //       Spike-train statistics over a recorded raster.
 //
@@ -31,6 +36,8 @@
 #include "compiler/pcc.h"
 #include "io/raster.h"
 #include "io/spike_stats.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "perf/energy.h"
 #include "runtime/compass.h"
 #include "util/table.h"
@@ -52,9 +59,13 @@ struct Args {
   std::string raster_file;
   std::string model_file;
   std::string output_file;
+  std::string trace_file;
+  std::string chrome_file;
+  std::string metrics_file;
   bool series = false;
   bool energy = false;
   bool stats = false;
+  bool no_measure = false;
   std::uint64_t neurons = 0;  // analyze: population size (0 = infer)
 };
 
@@ -65,7 +76,9 @@ void usage(std::ostream& os) {
         "  compass run (<net.co> | --macaque --cores N) [--ranks R]\n"
         "              [--threads T] [--ticks N] [--transport mpi|pgas]\n"
         "              [--seed S] [--raster out.rst] [--save-model m.bin]\n"
-        "              [--series] [--energy] [--stats]\n"
+        "              [--series] [--energy] [--stats] [--no-measure]\n"
+        "              [--trace-out t.jsonl] [--chrome-out t.json]\n"
+        "              [--metrics-out m.json]\n"
         "  compass analyze <raster> --ticks N [--neurons M]\n";
 }
 
@@ -90,6 +103,20 @@ std::optional<Args> parse_args(int argc, char** argv) {
       args.energy = true;
     } else if (a == "--stats") {
       args.stats = true;
+    } else if (a == "--no-measure") {
+      args.no_measure = true;
+    } else if (a == "--trace-out") {
+      const char* v = next("--trace-out");
+      if (!v) return std::nullopt;
+      args.trace_file = v;
+    } else if (a == "--chrome-out") {
+      const char* v = next("--chrome-out");
+      if (!v) return std::nullopt;
+      args.chrome_file = v;
+    } else if (a == "--metrics-out") {
+      const char* v = next("--metrics-out");
+      if (!v) return std::nullopt;
+      args.metrics_file = v;
     } else if (a == "--neurons") {
       const char* v = next("--neurons");
       if (!v) return std::nullopt;
@@ -190,12 +217,18 @@ int cmd_run(const Args& args) {
   compiler::Spec spec = load_spec(args);
   if (args.seed != 42) spec.seed = args.seed;
 
+  // The metrics registry outlives the run: PCC, the transport, and the
+  // runtime all publish into it, and --metrics-out snapshots it at the end.
+  obs::MetricsRegistry registry;
+  const bool want_metrics = !args.metrics_file.empty();
+  obs::MetricsRegistry* metrics = want_metrics ? &registry : nullptr;
+
   compiler::PccOptions popt;
   popt.ranks = args.ranks;
   popt.threads_per_rank = args.threads;
   std::cout << "compiling " << spec.total_cores << " cores for " << args.ranks
             << " rank(s) x " << args.threads << " thread(s)...\n";
-  compiler::PccResult pcc = compiler::compile(spec, popt);
+  compiler::PccResult pcc = compiler::compile(spec, popt, metrics);
   const arch::ModelInventory inv = pcc.model.inventory();
   std::cout << "  " << inv.cores << " cores / " << inv.neurons << " neurons / "
             << inv.synapses << " synapses in "
@@ -221,7 +254,9 @@ int cmd_run(const Args& args) {
     return 1;
   }
 
-  runtime::Compass sim(pcc.model, pcc.partition, *transport);
+  runtime::Config cfg;
+  cfg.measure = !args.no_measure;
+  runtime::Compass sim(pcc.model, pcc.partition, *transport, cfg);
   io::Raster raster;
   if (!args.raster_file.empty() || args.stats) {
     sim.set_spike_hook([&raster](arch::Tick t, arch::CoreId c, unsigned j) {
@@ -229,6 +264,22 @@ int cmd_run(const Args& args) {
     });
   }
   sim.enable_tick_series(args.series);
+
+  transport->set_metrics(metrics);
+  sim.set_metrics(metrics);
+  std::ofstream trace_os;
+  std::optional<obs::JsonlTraceWriter> jsonl;
+  if (!args.trace_file.empty()) {
+    trace_os.open(args.trace_file);
+    if (!trace_os) {
+      std::cerr << "compass: cannot write " << args.trace_file << "\n";
+      return 2;
+    }
+    jsonl.emplace(trace_os);
+    sim.add_trace_sink(&*jsonl);
+  }
+  obs::ChromeTraceWriter chrome;
+  if (!args.chrome_file.empty()) sim.add_trace_sink(&chrome);
 
   const runtime::RunReport rep = sim.run(args.ticks);
 
@@ -276,6 +327,33 @@ int cmd_run(const Args& args) {
     stt.print(std::cout, "\nspike-train statistics");
     std::cout << "\npopulation activity (spikes/tick over time):\n"
               << io::ascii_activity(io::per_tick_counts(raster, rep.ticks));
+  }
+
+  if (!args.trace_file.empty()) {
+    trace_os.flush();
+    std::cout << "\nper-tick trace (JSONL) written to " << args.trace_file
+              << "\n";
+  }
+  if (!args.chrome_file.empty()) {
+    std::ofstream os(args.chrome_file);
+    if (!os) {
+      std::cerr << "compass: cannot write " << args.chrome_file << "\n";
+      return 2;
+    }
+    chrome.write(os);
+    std::cout << "Chrome trace (open in Perfetto / chrome://tracing) written "
+                 "to "
+              << args.chrome_file << "\n";
+  }
+  if (want_metrics) {
+    std::ofstream os(args.metrics_file);
+    if (!os) {
+      std::cerr << "compass: cannot write " << args.metrics_file << "\n";
+      return 2;
+    }
+    registry.write_json(os);
+    std::cout << "metrics snapshot (" << registry.size() << " series) written "
+              << "to " << args.metrics_file << "\n";
   }
 
   if (!args.raster_file.empty()) {
