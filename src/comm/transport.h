@@ -61,6 +61,22 @@ struct InMessage {
   std::span<const arch::WireSpike> spikes;
 };
 
+/// Per-tick fault-injection counters. Plain transports never produce these;
+/// a fault-injecting decorator (src/resilience/fault.h) exposes them through
+/// Transport::tick_faults() so the runtime can fold them into reports,
+/// metrics, and trace records without depending on the resilience layer.
+struct TickFaultStats {
+  std::uint64_t injected = 0;       // faulted send attempts of any kind
+  std::uint64_t dropped_msgs = 0;   // messages lost on the wire
+  std::uint64_t dup_msgs = 0;       // messages delivered twice
+  std::uint64_t corrupt_msgs = 0;   // bit-corrupted (detected + discarded)
+  std::uint64_t stalled_msgs = 0;   // messages charged extra link latency
+  std::uint64_t retries = 0;        // resend attempts under the retry policy
+  std::uint64_t lost_spikes = 0;    // spike payloads that never arrived
+
+  void reset() { *this = TickFaultStats{}; }
+};
+
 class Transport {
  public:
   Transport(int ranks, CommCostModel model, unsigned spike_wire_bytes);
@@ -92,21 +108,29 @@ class Transport {
   virtual std::span<const InMessage> received(int rank) const = 0;
 
   // --- Accounting ----------------------------------------------------------
+  // The per-tick accessors are virtual so a decorator (the fault-injecting
+  // transport) can present its wrapped transport's accounting, augmented with
+  // its own modelled fault costs, through the same interface the runtime
+  // already consumes.
   int ranks() const { return ranks_; }
   const CommCostModel& cost_model() const { return cost_; }
-  const TickCommStats& tick_stats() const { return stats_; }
-  const RankCommStats& rank_stats(int rank) const {
+  virtual const TickCommStats& tick_stats() const { return stats_; }
+  virtual const RankCommStats& rank_stats(int rank) const {
     return rank_stats_[static_cast<std::size_t>(rank)];
   }
   unsigned spike_wire_bytes() const { return spike_wire_bytes_; }
+
+  /// Per-tick fault-injection counters, or nullptr for transports that never
+  /// inject faults (all the plain ones). Valid until the next begin_tick().
+  virtual const TickFaultStats* tick_faults() const { return nullptr; }
 
   /// Publish this transport's counters into `metrics` (messages, remote
   /// spikes, wire bytes). Each tick's stats are flushed into the registry at
   /// the next begin_tick(); call flush_metrics() after the final tick to
   /// publish the tail. Pass nullptr to detach; detached costs one branch per
   /// tick.
-  void set_metrics(obs::MetricsRegistry* metrics);
-  void flush_metrics();
+  virtual void set_metrics(obs::MetricsRegistry* metrics);
+  virtual void flush_metrics();
 
   /// Attach a torus topology: point-to-point sends are then charged
   /// hops(node(src), node(dst)) x hop_latency on top of the flat overheads
@@ -119,11 +143,11 @@ class Transport {
   }
 
   /// Modelled seconds rank spent sending this tick (overheads + byte time).
-  double send_time(int rank) const { return send_s_[rank]; }
+  virtual double send_time(int rank) const { return send_s_[rank]; }
   /// Modelled synchronisation cost (Reduce-Scatter / barrier) per rank.
-  double sync_time(int rank) const { return sync_s_[rank]; }
+  virtual double sync_time(int rank) const { return sync_s_[rank]; }
   /// Modelled receive cost (probe/recv critical section + byte time).
-  double recv_time(int rank) const { return recv_s_[rank]; }
+  virtual double recv_time(int rank) const { return recv_s_[rank]; }
 
  protected:
   std::size_t wire_size(std::size_t spikes) const {

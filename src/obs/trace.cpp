@@ -41,7 +41,12 @@ void JsonlTraceWriter::on_tick(const TickRecord& t) {
   write_json_double(os_, t.network_s);
   os_ << ",\"fired\":" << t.fired << ",\"routed\":" << t.routed
       << ",\"local\":" << t.local << ",\"remote\":" << t.remote
-      << ",\"messages\":" << t.messages << ",\"bytes\":" << t.bytes << "}\n";
+      << ",\"messages\":" << t.messages << ",\"bytes\":" << t.bytes;
+  if (t.faults != 0 || t.retries != 0 || t.lost != 0) {
+    os_ << ",\"faults\":" << t.faults << ",\"retries\":" << t.retries
+        << ",\"lost\":" << t.lost;
+  }
+  os_ << "}\n";
 }
 
 namespace {

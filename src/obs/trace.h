@@ -59,6 +59,12 @@ struct TickRecord {
   std::uint64_t remote = 0;
   std::uint64_t messages = 0;
   std::uint64_t bytes = 0;
+  // Fault-injection counters (src/resilience/). Always zero on fault-free
+  // runs; the JSONL writer omits them when all three are zero, so traces of
+  // fault-free runs are byte-identical to pre-resilience captures.
+  std::uint64_t faults = 0;   // faults injected this tick
+  std::uint64_t retries = 0;  // resend attempts this tick
+  std::uint64_t lost = 0;     // spikes lost to faults this tick
 
   friend bool operator==(const TickRecord&, const TickRecord&) = default;
 };

@@ -81,6 +81,14 @@ class RunLedger {
   const PhaseBreakdown& totals() const { return totals_; }
   std::uint64_t ticks() const { return ticks_; }
 
+  /// Checkpoint/restart: overwrite the accumulated totals and tick count
+  /// with values captured by a prior run, so a resumed simulation composes
+  /// its virtual time on top of the pre-checkpoint history.
+  void restore(const PhaseBreakdown& totals, std::uint64_t ticks) {
+    totals_ = totals;
+    ticks_ = ticks;
+  }
+
   /// Virtual seconds per simulated tick (1 tick == 1 ms of biological time);
   /// the paper's slowdown factor is virtual_total / (ticks * 1e-3).
   double slowdown_vs_realtime() const;

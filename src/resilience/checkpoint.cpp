@@ -1,0 +1,333 @@
+#include "resilience/checkpoint.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "util/crc32.h"
+
+namespace compass::resilience {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x54504B43;  // "CKPT" little-endian
+constexpr std::uint32_t kVersion = 1;
+
+// Section ids. Unknown ids are skipped on load (forward compatibility).
+constexpr std::uint32_t kSectionModel = 1;
+constexpr std::uint32_t kSectionRuntime = 2;
+constexpr std::uint32_t kSectionLedger = 3;
+
+constexpr std::size_t kHeaderBytes = 24;         // 20 payload + 4 CRC
+constexpr std::size_t kSectionHeaderBytes = 20;  // id + reserved + size + crc
+
+template <typename T>
+void append_pod(std::string& out, const T& v) {
+  out.append(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+void append_section(std::string& out, std::uint32_t id,
+                    const std::string& payload) {
+  append_pod(out, id);
+  append_pod(out, std::uint32_t{0});  // reserved
+  append_pod(out, static_cast<std::uint64_t>(payload.size()));
+  append_pod(out, util::crc32(payload.data(), payload.size()));
+  out.append(payload);
+}
+
+/// Bounds-checked little-endian reader over an in-memory buffer. Reading
+/// the whole file up front makes truncation checks trivial and keeps the
+/// parser free of stream-state subtleties.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view bytes) : bytes_(bytes) {}
+
+  std::size_t remaining() const { return bytes_.size() - pos_; }
+
+  template <typename T>
+  T read(const char* what) {
+    if (remaining() < sizeof(T)) {
+      throw CheckpointError(CheckpointErrc::kTruncated,
+                            std::string("checkpoint truncated reading ") +
+                                what);
+    }
+    T v;
+    std::memcpy(&v, bytes_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::string_view read_span(std::size_t n, const char* what) {
+    if (remaining() < n) {
+      throw CheckpointError(CheckpointErrc::kTruncated,
+                            std::string("checkpoint truncated reading ") +
+                                what);
+    }
+    std::string_view v = bytes_.substr(pos_, n);
+    pos_ += n;
+    return v;
+  }
+
+ private:
+  std::string_view bytes_;
+  std::size_t pos_ = 0;
+};
+
+std::string encode_runtime(const runtime::RunReport& r) {
+  std::string out;
+  append_pod(out, r.ticks);
+  append_pod(out, r.fired_spikes);
+  append_pod(out, r.routed_spikes);
+  append_pod(out, r.local_spikes);
+  append_pod(out, r.remote_spikes);
+  append_pod(out, r.synaptic_events);
+  append_pod(out, r.messages);
+  append_pod(out, r.wire_bytes);
+  append_pod(out, r.faults_injected);
+  append_pod(out, r.messages_retried);
+  append_pod(out, r.spikes_lost);
+  append_pod(out, r.host_wall_s);
+  return out;
+}
+
+void decode_runtime(std::string_view payload, runtime::RunReport& r) {
+  Cursor c(payload);
+  r.ticks = c.read<std::uint64_t>("runtime.ticks");
+  r.fired_spikes = c.read<std::uint64_t>("runtime.fired");
+  r.routed_spikes = c.read<std::uint64_t>("runtime.routed");
+  r.local_spikes = c.read<std::uint64_t>("runtime.local");
+  r.remote_spikes = c.read<std::uint64_t>("runtime.remote");
+  r.synaptic_events = c.read<std::uint64_t>("runtime.synaptic");
+  r.messages = c.read<std::uint64_t>("runtime.messages");
+  r.wire_bytes = c.read<std::uint64_t>("runtime.wire_bytes");
+  r.faults_injected = c.read<std::uint64_t>("runtime.faults");
+  r.messages_retried = c.read<std::uint64_t>("runtime.retries");
+  r.spikes_lost = c.read<std::uint64_t>("runtime.lost");
+  r.host_wall_s = c.read<double>("runtime.host_wall_s");
+}
+
+std::string encode_ledger(const Checkpoint& cp) {
+  std::string out;
+  append_pod(out, cp.virtual_time.synapse);
+  append_pod(out, cp.virtual_time.neuron);
+  append_pod(out, cp.virtual_time.network);
+  append_pod(out, cp.ledger_ticks);
+  return out;
+}
+
+void decode_ledger(std::string_view payload, Checkpoint& cp) {
+  Cursor c(payload);
+  cp.virtual_time.synapse = c.read<double>("ledger.synapse");
+  cp.virtual_time.neuron = c.read<double>("ledger.neuron");
+  cp.virtual_time.network = c.read<double>("ledger.network");
+  cp.ledger_ticks = c.read<std::uint64_t>("ledger.ticks");
+}
+
+[[noreturn]] void throw_io(const std::string& op, const std::string& path) {
+  throw CheckpointError(CheckpointErrc::kIo, "checkpoint " + op + " failed: " +
+                                                 path + ": " +
+                                                 std::strerror(errno));
+}
+
+}  // namespace
+
+const char* to_string(CheckpointErrc code) {
+  switch (code) {
+    case CheckpointErrc::kIo: return "io-error";
+    case CheckpointErrc::kBadMagic: return "bad-magic";
+    case CheckpointErrc::kBadVersion: return "bad-version";
+    case CheckpointErrc::kHeaderCorrupt: return "header-corrupt";
+    case CheckpointErrc::kTruncated: return "truncated";
+    case CheckpointErrc::kSectionCorrupt: return "section-corrupt";
+    case CheckpointErrc::kMissingSection: return "missing-section";
+    case CheckpointErrc::kShapeMismatch: return "shape-mismatch";
+  }
+  return "?";
+}
+
+std::string serialize_checkpoint(const Checkpoint& cp) {
+  std::string out;
+  append_pod(out, kMagic);
+  append_pod(out, kVersion);
+  append_pod(out, static_cast<std::uint64_t>(cp.tick));
+  append_pod(out, std::uint32_t{3});  // section count
+  append_pod(out, util::crc32(out.data(), out.size()));
+
+  std::ostringstream model_os(std::ios::binary);
+  cp.model.save(model_os);
+  append_section(out, kSectionModel, model_os.str());
+  append_section(out, kSectionRuntime, encode_runtime(cp.report));
+  append_section(out, kSectionLedger, encode_ledger(cp));
+  return out;
+}
+
+Checkpoint parse_checkpoint(std::string_view bytes) {
+  Cursor c(bytes);
+  if (bytes.size() < kHeaderBytes) {
+    throw CheckpointError(CheckpointErrc::kTruncated,
+                          "checkpoint smaller than its header");
+  }
+  const std::uint32_t magic = c.read<std::uint32_t>("magic");
+  if (magic != kMagic) {
+    throw CheckpointError(CheckpointErrc::kBadMagic,
+                          "not a Compass checkpoint (bad magic)");
+  }
+  const std::uint32_t version = c.read<std::uint32_t>("version");
+  if (version != kVersion) {
+    throw CheckpointError(
+        CheckpointErrc::kBadVersion,
+        "unsupported checkpoint version " + std::to_string(version) +
+            " (this build reads version " + std::to_string(kVersion) + ")");
+  }
+  Checkpoint cp;
+  cp.tick = c.read<std::uint64_t>("tick");
+  const std::uint32_t section_count = c.read<std::uint32_t>("section count");
+  const std::uint32_t header_crc = c.read<std::uint32_t>("header crc");
+  if (header_crc != util::crc32(bytes.data(), kHeaderBytes - 4)) {
+    throw CheckpointError(CheckpointErrc::kHeaderCorrupt,
+                          "checkpoint header CRC mismatch");
+  }
+
+  bool have_model = false, have_runtime = false, have_ledger = false;
+  for (std::uint32_t s = 0; s < section_count; ++s) {
+    const std::uint32_t id = c.read<std::uint32_t>("section id");
+    (void)c.read<std::uint32_t>("section reserved");
+    const std::uint64_t size = c.read<std::uint64_t>("section size");
+    const std::uint32_t crc = c.read<std::uint32_t>("section crc");
+    // A corrupt size field cannot over-allocate: read_span bounds-checks
+    // against the actual file size before any copy happens.
+    const std::string_view payload =
+        c.read_span(static_cast<std::size_t>(size), "section payload");
+    if (crc != util::crc32(payload.data(), payload.size())) {
+      throw CheckpointError(CheckpointErrc::kSectionCorrupt,
+                            "checkpoint section " + std::to_string(id) +
+                                " CRC mismatch");
+    }
+    switch (id) {
+      case kSectionModel: {
+        std::istringstream is{std::string(payload), std::ios::binary};
+        try {
+          cp.model = arch::Model::load(is);
+        } catch (const std::exception& e) {
+          // CRC-valid but undecodable: produced by a buggy writer, still a
+          // typed rejection rather than a crash.
+          throw CheckpointError(CheckpointErrc::kSectionCorrupt,
+                                std::string("checkpoint model section "
+                                            "undecodable: ") +
+                                    e.what());
+        }
+        have_model = true;
+        break;
+      }
+      case kSectionRuntime:
+        decode_runtime(payload, cp.report);
+        have_runtime = true;
+        break;
+      case kSectionLedger:
+        decode_ledger(payload, cp);
+        have_ledger = true;
+        break;
+      default:
+        break;  // unknown section from a newer writer: skip
+    }
+  }
+  if (!have_model || !have_runtime || !have_ledger) {
+    throw CheckpointError(CheckpointErrc::kMissingSection,
+                          "checkpoint is missing a required section");
+  }
+  cp.report.virtual_time = cp.virtual_time;
+  return cp;
+}
+
+void save_checkpoint_file(const Checkpoint& cp, const std::string& path) {
+  const std::string bytes = serialize_checkpoint(cp);
+  const std::string tmp = path + ".tmp";
+
+  // POSIX write path: std::ofstream cannot fsync, and without the fsync +
+  // atomic-rename pair a crash mid-write could leave a torn file that a
+  // later restore would have to reject, losing the job's progress.
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) throw_io("open", tmp);
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int saved = errno;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      errno = saved;
+      throw_io("write", tmp);
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    errno = saved;
+    throw_io("fsync", tmp);
+  }
+  if (::close(fd) != 0) throw_io("close", tmp);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    throw_io("rename", path);
+  }
+  // Persist the rename itself (best-effort: some filesystems refuse
+  // directory fsync, and by this point the data is safe either way).
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    (void)::fsync(dfd);
+    ::close(dfd);
+  }
+}
+
+Checkpoint load_checkpoint_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    throw CheckpointError(CheckpointErrc::kIo,
+                          "cannot open checkpoint " + path);
+  }
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  if (is.bad()) {
+    throw CheckpointError(CheckpointErrc::kIo,
+                          "cannot read checkpoint " + path);
+  }
+  return parse_checkpoint(buf.str());
+}
+
+Checkpoint capture(const runtime::Compass& sim, const arch::Model& model) {
+  Checkpoint cp;
+  cp.tick = sim.now();
+  cp.model = model;
+  cp.report = sim.report();
+  cp.report.metrics.clear();  // not serialized; re-snapshotted after resume
+  cp.virtual_time = sim.ledger().totals();
+  cp.ledger_ticks = sim.ledger().ticks();
+  cp.report.virtual_time = cp.virtual_time;
+  return cp;
+}
+
+void restore(const Checkpoint& cp, runtime::Compass& sim, arch::Model& model) {
+  if (cp.model.num_cores() != sim.partition().num_cores()) {
+    throw CheckpointError(
+        CheckpointErrc::kShapeMismatch,
+        "checkpoint has " + std::to_string(cp.model.num_cores()) +
+            " cores but the live partition covers " +
+            std::to_string(sim.partition().num_cores()));
+  }
+  model = cp.model;
+  sim.set_start_tick(cp.tick);
+  sim.restore_report(cp.report);
+  sim.restore_virtual_time(cp.virtual_time, cp.ledger_ticks);
+}
+
+}  // namespace compass::resilience

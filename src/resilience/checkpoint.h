@@ -1,0 +1,106 @@
+// Crash-consistent checkpoint/restart for the Compass runtime.
+//
+// The paper's production regime — CoCoMac-scale jobs on up to 262,144 Blue
+// Gene/Q ranks for hours — is exactly where rank failures are routine and
+// checkpoint/restart is the standard defence. The runtime has always
+// promised resume-from-tick (Compass::set_start_tick); this layer supplies
+// the serialization, integrity checking, and atomicity behind that promise.
+//
+// A checkpoint captures the complete simulation state at a tick boundary:
+//   * every core's membrane potentials, synaptic accumulators, all 16
+//     axon-buffer ring slots, and PRNG state (via Model's binary format —
+//     in-flight delayed spikes live in the ring slots, so a tick boundary
+//     is a consistent cut with no transport state to save);
+//   * the absolute tick counter (ring slots are addressed tick mod 16, so
+//     the resumed run must continue at exactly this tick);
+//   * the RunReport accumulators (fired/routed/local/remote/synaptic
+//     counters, transport message/byte totals, fault totals);
+//   * the RunLedger virtual-time accumulators.
+//
+// File format (little-endian, same-architecture — a checkpoint format, not
+// an interchange format):
+//   header:  u32 magic 'CKPT' | u32 version | u64 tick | u32 section_count
+//            | u32 header_crc (CRC-32 of the preceding 20 bytes)
+//   section: u32 id | u32 reserved | u64 payload_bytes | u32 payload_crc
+//            | payload
+// Every section is guarded by CRC-32, so any flipped byte or truncation is
+// rejected with a typed CheckpointError — never undefined behaviour.
+// Unknown section ids with valid CRCs are skipped (forward compatibility);
+// the three required sections (model, runtime, ledger) must all be present.
+//
+// Files are written crash-consistently: serialize to memory, write to a
+// temporary file in the destination directory, fsync, atomically rename
+// over the final path, then fsync the directory. A crash mid-write leaves
+// either the old checkpoint or the new one, never a torn file.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "arch/model.h"
+#include "perf/ledger.h"
+#include "runtime/compass.h"
+
+namespace compass::resilience {
+
+/// Why a checkpoint failed to load (or save). Typed so callers — including
+/// the corruption fuzz suite — can distinguish rejection modes.
+enum class CheckpointErrc {
+  kIo,              // open/write/rename/read failure (includes errno text)
+  kBadMagic,        // not a checkpoint file
+  kBadVersion,      // produced by an incompatible format version
+  kHeaderCorrupt,   // header CRC mismatch
+  kTruncated,       // file ends before a declared section does
+  kSectionCorrupt,  // section payload CRC mismatch or undecodable payload
+  kMissingSection,  // a required section is absent
+  kShapeMismatch,   // checkpoint model does not fit the live partition
+};
+
+const char* to_string(CheckpointErrc code);
+
+class CheckpointError : public std::runtime_error {
+ public:
+  CheckpointError(CheckpointErrc code, const std::string& what)
+      : std::runtime_error(what), code_(code) {}
+  CheckpointErrc code() const noexcept { return code_; }
+
+ private:
+  CheckpointErrc code_;
+};
+
+/// One full simulation snapshot, decoded. RunReport::metrics is not
+/// serialized (the registry is re-snapshotted when the resumed run ends).
+struct Checkpoint {
+  arch::Tick tick = 0;
+  arch::Model model;
+  runtime::RunReport report;
+  perf::PhaseBreakdown virtual_time;
+  std::uint64_t ledger_ticks = 0;
+};
+
+/// Encode to the binary checkpoint format.
+std::string serialize_checkpoint(const Checkpoint& cp);
+
+/// Decode and verify; throws CheckpointError on any defect.
+Checkpoint parse_checkpoint(std::string_view bytes);
+
+/// Atomic, fsync'd write (temp file + rename). Throws CheckpointError(kIo).
+void save_checkpoint_file(const Checkpoint& cp, const std::string& path);
+
+/// Read + parse_checkpoint. Throws CheckpointError.
+Checkpoint load_checkpoint_file(const std::string& path);
+
+/// Snapshot a simulator at its current tick boundary. Call between steps
+/// (or from a Compass tick callback); `model` must be the model `sim` runs.
+Checkpoint capture(const runtime::Compass& sim, const arch::Model& model);
+
+/// Restore a snapshot into a simulator: overwrites `model` (which must be
+/// the model `sim` was constructed on), repositions the tick counter, and
+/// reinstates the report/ledger accumulators. Throws
+/// CheckpointError(kShapeMismatch) when the checkpoint's core count differs
+/// from the live partition's.
+void restore(const Checkpoint& cp, runtime::Compass& sim, arch::Model& model);
+
+}  // namespace compass::resilience

@@ -1,0 +1,131 @@
+#include "resilience/checkpoint_manager.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+
+#include "util/stopwatch.h"
+
+namespace compass::resilience {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kPrefix = "checkpoint-";
+constexpr const char* kSuffix = ".ckpt";
+
+/// Parse the tick out of "checkpoint-<tick>.ckpt"; -1 when not a checkpoint
+/// file name.
+long long tick_of(const std::string& name) {
+  const std::string prefix = kPrefix;
+  const std::string suffix = kSuffix;
+  if (name.size() <= prefix.size() + suffix.size()) return -1;
+  if (name.compare(0, prefix.size(), prefix) != 0) return -1;
+  if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) {
+    return -1;
+  }
+  const std::string digits =
+      name.substr(prefix.size(), name.size() - prefix.size() - suffix.size());
+  if (digits.empty()) return -1;
+  long long tick = 0;
+  for (char ch : digits) {
+    if (ch < '0' || ch > '9') return -1;
+    tick = tick * 10 + (ch - '0');
+    if (tick < 0) return -1;  // overflow
+  }
+  return tick;
+}
+
+}  // namespace
+
+CheckpointManager::CheckpointManager(CheckpointOptions options,
+                                     obs::MetricsRegistry* metrics)
+    : options_(std::move(options)), metrics_(metrics) {
+  if (options_.keep < 1) options_.keep = 1;
+  if (metrics_ != nullptr) {
+    m_snapshots_ = metrics_->counter("ckpt.snapshots", "snapshots");
+    m_bytes_ = metrics_->counter("ckpt.bytes", "bytes");
+    m_write_s_ = metrics_->gauge("ckpt.write_s", "s");
+  }
+}
+
+std::string CheckpointManager::file_name(arch::Tick tick) {
+  return kPrefix + std::to_string(tick) + kSuffix;
+}
+
+void CheckpointManager::attach(runtime::Compass& sim, arch::Model& model) {
+  if (options_.every == 0) return;
+  const std::uint64_t every = options_.every;
+  runtime::Compass* sim_p = &sim;
+  arch::Model* model_p = &model;
+  sim.add_tick_callback([this, sim_p, model_p, every](arch::Tick tick) {
+    if (tick % every == 0) write_now(*sim_p, *model_p);
+  });
+}
+
+std::string CheckpointManager::write_now(const runtime::Compass& sim,
+                                         const arch::Model& model) {
+  std::error_code ec;
+  fs::create_directories(options_.dir, ec);
+  if (ec) {
+    throw CheckpointError(CheckpointErrc::kIo,
+                          "cannot create checkpoint directory " +
+                              options_.dir + ": " + ec.message());
+  }
+  const std::string path =
+      (fs::path(options_.dir) / file_name(sim.now())).string();
+
+  util::Stopwatch sw;
+  const Checkpoint cp = capture(sim, model);
+  save_checkpoint_file(cp, path);
+  const double elapsed = sw.elapsed_s();
+
+  // Size of what we just wrote, for the bytes metric (stat over re-serialize).
+  const auto size = fs::file_size(path, ec);
+  const std::uint64_t bytes = ec ? 0 : static_cast<std::uint64_t>(size);
+
+  ++stats_.snapshots;
+  stats_.bytes += bytes;
+  stats_.write_s += elapsed;
+  if (metrics_ != nullptr) {
+    metrics_->add(m_snapshots_);
+    metrics_->add(m_bytes_, bytes);
+    metrics_->set(m_write_s_, stats_.write_s);
+  }
+
+  // Re-writing the same tick (e.g. write_now right after a periodic write)
+  // must not register twice, or pruning would delete the live file.
+  bool known = false;
+  for (const std::string& p : written_) known = known || p == path;
+  if (!known) written_.push_back(path);
+  prune();
+  return path;
+}
+
+void CheckpointManager::prune() {
+  while (written_.size() > static_cast<std::size_t>(options_.keep)) {
+    std::error_code ec;
+    fs::remove(written_.front(), ec);  // best-effort: missing file is fine
+    written_.pop_front();
+  }
+}
+
+std::string CheckpointManager::latest_in(const std::string& dir) {
+  std::error_code ec;
+  fs::directory_iterator it(dir, ec);
+  if (ec) return {};
+  long long best_tick = -1;
+  std::string best;
+  for (const fs::directory_entry& entry : it) {
+    if (!entry.is_regular_file(ec) || ec) continue;
+    const long long tick = tick_of(entry.path().filename().string());
+    if (tick > best_tick) {
+      best_tick = tick;
+      best = entry.path().string();
+    }
+  }
+  return best;
+}
+
+}  // namespace compass::resilience

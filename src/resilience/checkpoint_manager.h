@@ -1,0 +1,69 @@
+// Periodic checkpoint writer with bounded retention.
+//
+// Attached to a running Compass via its tick-callback hook, the manager
+// writes `checkpoint-<tick>.ckpt` into a directory every N ticks (each file
+// crash-consistent via checkpoint.h's temp+fsync+rename protocol), keeps
+// only the newest K snapshots, and publishes write volume/latency into the
+// metrics registry (`ckpt.snapshots`, `ckpt.bytes`, `ckpt.write_s`).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "obs/metrics.h"
+#include "resilience/checkpoint.h"
+
+namespace compass::resilience {
+
+struct CheckpointOptions {
+  std::string dir = "checkpoints";
+  /// Snapshot every `every` ticks (0 disables periodic writes; write_now()
+  /// still works for explicit snapshots).
+  std::uint64_t every = 0;
+  /// Newest snapshots retained on disk; older ones are deleted after each
+  /// successful write. Values < 1 are treated as 1.
+  int keep = 3;
+};
+
+class CheckpointManager {
+ public:
+  /// Cumulative write accounting (also published via metrics when attached).
+  struct Stats {
+    std::uint64_t snapshots = 0;
+    std::uint64_t bytes = 0;
+    double write_s = 0.0;
+  };
+
+  explicit CheckpointManager(CheckpointOptions options,
+                             obs::MetricsRegistry* metrics = nullptr);
+
+  /// Register the periodic tick callback on `sim`. `sim` and `model` must
+  /// outlive the manager; no-op scheduling when options.every == 0.
+  void attach(runtime::Compass& sim, arch::Model& model);
+
+  /// Snapshot now, prune to `keep`, and return the written path.
+  /// Throws CheckpointError(kIo) when the directory or file is unwritable.
+  std::string write_now(const runtime::Compass& sim, const arch::Model& model);
+
+  const Stats& stats() const { return stats_; }
+  const CheckpointOptions& options() const { return options_; }
+
+  /// Path of the checkpoint with the highest tick in `dir` ("" when none).
+  static std::string latest_in(const std::string& dir);
+
+  /// The canonical file name for a snapshot taken at `tick`.
+  static std::string file_name(arch::Tick tick);
+
+ private:
+  void prune();
+
+  CheckpointOptions options_;
+  std::deque<std::string> written_;  // oldest-first, bounded by options_.keep
+  Stats stats_;
+
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::MetricsRegistry::Id m_snapshots_ = 0, m_bytes_ = 0, m_write_s_ = 0;
+};
+
+}  // namespace compass::resilience

@@ -1,0 +1,346 @@
+#include "resilience/fault.h"
+
+#include <cstdlib>
+#include <iostream>
+
+#include "util/crc32.h"
+
+namespace compass::resilience {
+
+namespace {
+
+double parse_probability(const std::string& key, const std::string& value) {
+  char* end = nullptr;
+  const double p = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || *end != '\0' || !(p >= 0.0) || p >= 1.0) {
+    throw FaultPlanError("fault plan: " + key + "=" + value +
+                         " is not a probability in [0,1)");
+  }
+  return p;
+}
+
+double parse_seconds(const std::string& key, const std::string& value) {
+  char* end = nullptr;
+  const double s = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || *end != '\0' || !(s > 0.0)) {
+    throw FaultPlanError("fault plan: " + key + "=" + value +
+                         " is not a positive duration in seconds");
+  }
+  return s;
+}
+
+std::uint64_t parse_u64(const std::string& key, const std::string& value) {
+  if (value.empty()) {
+    throw FaultPlanError("fault plan: " + key + " needs a value");
+  }
+  std::uint64_t v = 0;
+  for (char ch : value) {
+    if (ch < '0' || ch > '9') {
+      throw FaultPlanError("fault plan: " + key + "=" + value +
+                           " is not a non-negative integer");
+    }
+    const std::uint64_t next = v * 10 + static_cast<std::uint64_t>(ch - '0');
+    if (next < v) {
+      throw FaultPlanError("fault plan: " + key + "=" + value + " overflows");
+    }
+    v = next;
+  }
+  return v;
+}
+
+}  // namespace
+
+const char* to_string(FaultPolicy policy) {
+  switch (policy) {
+    case FaultPolicy::kFailFast: return "fail-fast";
+    case FaultPolicy::kWarnAndCount: return "warn";
+    case FaultPolicy::kRetry: return "retry";
+  }
+  return "?";
+}
+
+FaultPlan FaultPlan::parse(std::string_view spec) {
+  FaultPlan plan;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string_view::npos) comma = spec.size();
+    const std::string_view item = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) continue;
+
+    const std::size_t eq = item.find('=');
+    if (eq == std::string_view::npos) {
+      throw FaultPlanError("fault plan: expected key=value, got '" +
+                           std::string(item) + "'");
+    }
+    const std::string key(item.substr(0, eq));
+    const std::string value(item.substr(eq + 1));
+
+    if (key == "drop") {
+      plan.drop = parse_probability(key, value);
+    } else if (key == "corrupt") {
+      plan.corrupt = parse_probability(key, value);
+    } else if (key == "dup") {
+      plan.duplicate = parse_probability(key, value);
+    } else if (key == "stall") {
+      plan.stall = parse_probability(key, value);
+    } else if (key == "stall-s") {
+      plan.stall_s = parse_seconds(key, value);
+    } else if (key == "backoff-s") {
+      plan.backoff_s = parse_seconds(key, value);
+    } else if (key == "seed") {
+      plan.seed = parse_u64(key, value);
+    } else if (key == "max-retries") {
+      const std::uint64_t n = parse_u64(key, value);
+      if (n < 1 || n > 64) {
+        throw FaultPlanError("fault plan: max-retries=" + value +
+                             " must be in [1,64]");
+      }
+      plan.max_retries = static_cast<int>(n);
+    } else if (key == "kill-rank") {
+      plan.kill_rank = static_cast<int>(parse_u64(key, value));
+    } else if (key == "kill-tick") {
+      plan.kill_tick = parse_u64(key, value);
+    } else if (key == "policy") {
+      if (value == "fail-fast") {
+        plan.policy = FaultPolicy::kFailFast;
+      } else if (value == "warn") {
+        plan.policy = FaultPolicy::kWarnAndCount;
+      } else if (value == "retry") {
+        plan.policy = FaultPolicy::kRetry;
+      } else {
+        throw FaultPlanError("fault plan: policy=" + value +
+                             " (want fail-fast | warn | retry)");
+      }
+    } else {
+      throw FaultPlanError("fault plan: unknown key '" + key + "'");
+    }
+  }
+  return plan;
+}
+
+std::optional<FaultPlan> FaultPlan::from_env() {
+  const char* spec = std::getenv("COMPASS_FAULT_PLAN");
+  if (spec == nullptr || *spec == '\0') return std::nullopt;
+  return parse(spec);
+}
+
+std::string FaultPlan::to_string() const {
+  std::string out;
+  auto add = [&out](const std::string& item) {
+    if (!out.empty()) out += ',';
+    out += item;
+  };
+  auto num = [](double v) {
+    std::string s = std::to_string(v);
+    return s;
+  };
+  if (drop > 0.0) add("drop=" + num(drop));
+  if (corrupt > 0.0) add("corrupt=" + num(corrupt));
+  if (duplicate > 0.0) add("dup=" + num(duplicate));
+  if (stall > 0.0) add("stall=" + num(stall) + ",stall-s=" + num(stall_s));
+  add(std::string("policy=") + resilience::to_string(policy));
+  if (policy == FaultPolicy::kRetry) {
+    add("max-retries=" + std::to_string(max_retries) +
+        ",backoff-s=" + num(backoff_s));
+  }
+  add("seed=" + std::to_string(seed));
+  if (kill_rank >= 0) {
+    add("kill-rank=" + std::to_string(kill_rank) +
+        ",kill-tick=" + std::to_string(kill_tick));
+  }
+  return out;
+}
+
+FaultInjectingTransport::FaultInjectingTransport(comm::Transport& inner,
+                                                 FaultPlan plan)
+    : comm::Transport(inner.ranks(), inner.cost_model(),
+                      inner.spike_wire_bytes()),
+      inner_(inner),
+      plan_(plan),
+      name_(std::string("fault+") + inner.name()),
+      prng_(util::derive_seed(plan.seed, 0xFA01)),
+      extra_send_s_(static_cast<std::size_t>(inner.ranks()), 0.0) {
+  if (plan_.kill_rank >= inner.ranks()) {
+    throw FaultPlanError("fault plan: kill-rank=" +
+                         std::to_string(plan_.kill_rank) + " but only " +
+                         std::to_string(inner.ranks()) + " ranks exist");
+  }
+}
+
+void FaultInjectingTransport::begin_tick() {
+  flush_metrics();
+  fmetrics_flushed_ = (fmetrics_ == nullptr);
+  tick_.reset();
+  std::fill(extra_send_s_.begin(), extra_send_s_.end(), 0.0);
+  if (started_) {
+    ++tick_no_;
+  } else {
+    started_ = true;  // first tick runs at the seeded start tick
+  }
+  inner_.begin_tick();
+}
+
+void FaultInjectingTransport::forward(int src, int dst,
+                                      std::span<const arch::WireSpike> spikes) {
+  inner_.send(src, dst, spikes);
+}
+
+void FaultInjectingTransport::lose(int src, int dst, std::size_t spikes,
+                                   const char* kind,
+                                   std::uint64_t comm::TickFaultStats::*counter) {
+  if (plan_.policy == FaultPolicy::kFailFast) {
+    throw FaultError(std::string("fault injected: message ") + kind + " on " +
+                     std::to_string(src) + " -> " + std::to_string(dst) +
+                     " at tick " + std::to_string(tick_no_) + " (" +
+                     std::to_string(spikes) + " spikes); policy is fail-fast");
+  }
+  tick_.*counter += 1;
+  totals_.*counter += 1;
+  tick_.lost_spikes += spikes;
+  totals_.lost_spikes += spikes;
+}
+
+void FaultInjectingTransport::send(int src, int dst,
+                                   std::span<const arch::WireSpike> spikes) {
+  // A dead rank neither sends nor receives; everything on those links is
+  // lost, whatever the policy — there is no one left to retry.
+  if (rank_dead(src) || rank_dead(dst)) {
+    if (plan_.policy == FaultPolicy::kFailFast) {
+      throw FaultError("fault injected: rank " +
+                       std::to_string(plan_.kill_rank) + " died at tick " +
+                       std::to_string(plan_.kill_tick) +
+                       "; policy is fail-fast");
+    }
+    if (!warned_[2]) {
+      warned_[2] = true;
+      std::cerr << "compass: fault: rank " << plan_.kill_rank
+                << " is dead from tick " << plan_.kill_tick
+                << "; dropping its traffic\n";
+    }
+    ++tick_.injected;
+    ++totals_.injected;
+    lose(src, dst, spikes.size(), "on dead rank",
+         &comm::TickFaultStats::dropped_msgs);
+    return;
+  }
+
+  // One transmission attempt: per-kind draws in a fixed order, so the whole
+  // fault sequence is a deterministic function of the plan seed alone.
+  enum class Attempt { kOk, kDropped, kCorrupted };
+  auto attempt = [this](std::span<const arch::WireSpike> payload) {
+    if (plan_.drop > 0.0 && prng_.uniform_double() < plan_.drop) {
+      return Attempt::kDropped;
+    }
+    if (plan_.corrupt > 0.0 && prng_.uniform_double() < plan_.corrupt) {
+      // Flip one real bit in a copy of the payload and let CRC-32 catch it,
+      // as a receiver-side integrity check would: honest detection, and a
+      // guard against this model ever "corrupting" into a valid message.
+      const std::size_t bytes = payload.size_bytes();
+      const std::uint32_t sent_crc = util::crc32(payload.data(), bytes);
+      corrupt_scratch_.assign(payload.begin(), payload.end());
+      const std::uint64_t bit = prng_.next_u64() % (bytes * 8);
+      reinterpret_cast<unsigned char*>(corrupt_scratch_.data())[bit / 8] ^=
+          static_cast<unsigned char>(1u << (bit % 8));
+      if (util::crc32(corrupt_scratch_.data(), bytes) != sent_crc) {
+        return Attempt::kCorrupted;  // always taken: exactly 1 bit differs
+      }
+    }
+    return Attempt::kOk;
+  };
+
+  bool faulted = false;
+  Attempt outcome = Attempt::kOk;
+  if (plan_.drop > 0.0 || plan_.corrupt > 0.0) {
+    outcome = attempt(spikes);
+    if (outcome != Attempt::kOk) {
+      faulted = true;
+      if (plan_.policy == FaultPolicy::kRetry) {
+        // Bounded resend: each attempt re-draws the fault and charges
+        // exponentially backed-off modelled latency to the sender, folded
+        // into the virtual-time ledger via send_time().
+        double backoff = plan_.backoff_s;
+        for (int r = 0; r < plan_.max_retries && outcome != Attempt::kOk;
+             ++r) {
+          ++tick_.retries;
+          ++totals_.retries;
+          extra_send_s_[static_cast<std::size_t>(src)] += backoff;
+          backoff *= 2.0;
+          outcome = attempt(spikes);
+        }
+      }
+    }
+  }
+
+  if (faulted) {
+    ++tick_.injected;
+    ++totals_.injected;
+    if (outcome != Attempt::kOk) {
+      const bool corrupted = outcome == Attempt::kCorrupted;
+      if (plan_.policy == FaultPolicy::kWarnAndCount &&
+          !warned_[corrupted ? 1 : 0]) {
+        warned_[corrupted ? 1 : 0] = true;
+        std::cerr << "compass: fault: "
+                  << (corrupted ? "corrupting" : "dropping")
+                  << " messages (first at tick " << tick_no_ << ", " << src
+                  << " -> " << dst << "); counting further losses silently\n";
+      }
+      lose(src, dst, spikes.size(), corrupted ? "corrupted" : "dropped",
+           corrupted ? &comm::TickFaultStats::corrupt_msgs
+                     : &comm::TickFaultStats::dropped_msgs);
+      return;
+    }
+  }
+
+  // Delivered (possibly after retries): optional stall and duplication.
+  if (plan_.stall > 0.0 && prng_.uniform_double() < plan_.stall) {
+    if (!faulted) {
+      ++tick_.injected;
+      ++totals_.injected;
+      faulted = true;
+    }
+    ++tick_.stalled_msgs;
+    ++totals_.stalled_msgs;
+    extra_send_s_[static_cast<std::size_t>(src)] += plan_.stall_s;
+  }
+  forward(src, dst, spikes);
+  if (plan_.duplicate > 0.0 && prng_.uniform_double() < plan_.duplicate) {
+    if (!faulted) {
+      ++tick_.injected;
+      ++totals_.injected;
+    }
+    ++tick_.dup_msgs;
+    ++totals_.dup_msgs;
+    forward(src, dst, spikes);  // axon delivery is idempotent; accounting is not
+  }
+}
+
+void FaultInjectingTransport::set_metrics(obs::MetricsRegistry* metrics) {
+  inner_.set_metrics(metrics);
+  fmetrics_ = metrics;
+  fmetrics_flushed_ = true;
+  if (fmetrics_ == nullptr) return;
+  m_injected_ = fmetrics_->counter("fault.injected", "faults");
+  m_dropped_ = fmetrics_->counter("fault.dropped_msgs", "messages");
+  m_corrupt_ = fmetrics_->counter("fault.corrupt_msgs", "messages");
+  m_dup_ = fmetrics_->counter("fault.dup_msgs", "messages");
+  m_stalled_ = fmetrics_->counter("fault.stalled_msgs", "messages");
+  m_retries_ = fmetrics_->counter("fault.retries", "messages");
+  m_lost_ = fmetrics_->counter("fault.lost_spikes", "spikes");
+}
+
+void FaultInjectingTransport::flush_metrics() {
+  inner_.flush_metrics();
+  if (fmetrics_ == nullptr || fmetrics_flushed_) return;
+  fmetrics_->add(m_injected_, tick_.injected);
+  fmetrics_->add(m_dropped_, tick_.dropped_msgs);
+  fmetrics_->add(m_corrupt_, tick_.corrupt_msgs);
+  fmetrics_->add(m_dup_, tick_.dup_msgs);
+  fmetrics_->add(m_stalled_, tick_.stalled_msgs);
+  fmetrics_->add(m_retries_, tick_.retries);
+  fmetrics_->add(m_lost_, tick_.lost_spikes);
+  fmetrics_flushed_ = true;
+}
+
+}  // namespace compass::resilience

@@ -1,0 +1,201 @@
+// Transport fault injection with configurable degradation policies.
+//
+// The paper's target regime — hours-long CoCoMac jobs across 262,144 Blue
+// Gene/Q ranks — is one where dropped messages, link stalls, and outright
+// rank failures are routine events, not exceptions. This decorator wraps any
+// comm::Transport and, driven by a seeded deterministic PRNG and a
+// FaultPlan, injects those events into the Network phase:
+//
+//   drop      — the aggregated message never arrives (spikes lost);
+//   corrupt   — a random bit of the payload is flipped in transit; the
+//               receiver detects the CRC-32 mismatch and discards the
+//               message (detection is real: the bit is flipped in a copy
+//               and the checksum recomputed);
+//   duplicate — the message is delivered twice (axon delivery is an
+//               idempotent bit-set, so dynamics are unchanged but message
+//               and byte accounting degrade — exactly like a hardware
+//               retransmit);
+//   stall     — the message arrives but the link is charged extra modelled
+//               latency, folded into the sender's virtual send time;
+//   kill-rank — from a configured tick on, one rank is dead: everything it
+//               sends, and everything sent to it, is lost.
+//
+// What happens on a drop/corrupt event is the degradation policy:
+//   fail-fast      — throw FaultError (the job aborts; pair with
+//                    checkpoint/restart to resume);
+//   warn-and-count — log once per fault kind, count, and carry on with the
+//                    spikes lost;
+//   retry          — bounded resend with exponential backoff: each attempt
+//                    re-draws the fault and charges backoff * 2^attempt of
+//                    modelled latency to the sender's virtual time; only
+//                    when all attempts fail are the spikes lost.
+//
+// All draws come from one deterministic stream and sends are injected
+// serially by the runtime, so a faulty run is exactly reproducible from
+// (plan, seed) — which is what makes fault scenarios testable at all.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "comm/transport.h"
+#include "util/prng.h"
+
+namespace compass::resilience {
+
+/// What a drop/corrupt event does to the run.
+enum class FaultPolicy : std::uint8_t {
+  kFailFast,      // throw FaultError on the first injected loss
+  kWarnAndCount,  // log once per kind, count, continue degraded
+  kRetry,         // bounded resend with exponential-backoff cost
+};
+
+const char* to_string(FaultPolicy policy);
+
+/// A malformed fault-plan specification (unknown key, out-of-range value).
+class FaultPlanError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown under FaultPolicy::kFailFast when an injected fault loses data.
+class FaultError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Declarative description of the faults to inject. Parsed from a spec
+/// string (CLI `--fault-plan` or environment `COMPASS_FAULT_PLAN`):
+///
+///   key=value[,key=value...]
+///
+///   drop=P        P(message dropped)           [0,1)
+///   corrupt=P     P(payload bit flipped)       [0,1)
+///   dup=P         P(message duplicated)        [0,1)
+///   stall=P       P(message stalled)           [0,1)
+///   stall-s=S     modelled stall latency, s    > 0    (default 5e-6)
+///   seed=N        fault PRNG seed                     (default 0x5EED)
+///   policy=X      fail-fast | warn | retry            (default warn)
+///   max-retries=N resend attempts under retry, >= 1   (default 3)
+///   backoff-s=S   first-retry latency, s       > 0    (default 2e-6)
+///   kill-rank=R   rank that dies, >= 0                (default none)
+///   kill-tick=T   tick at which it dies               (default 0)
+///
+/// e.g. "drop=0.01,policy=retry,max-retries=4,seed=7"
+struct FaultPlan {
+  double drop = 0.0;
+  double corrupt = 0.0;
+  double duplicate = 0.0;
+  double stall = 0.0;
+  double stall_s = 5e-6;
+  std::uint64_t seed = 0x5EED;
+  FaultPolicy policy = FaultPolicy::kWarnAndCount;
+  int max_retries = 3;
+  double backoff_s = 2e-6;
+  int kill_rank = -1;  // -1: no rank is killed
+  std::uint64_t kill_tick = 0;
+
+  /// True when any fault can actually fire.
+  bool any() const {
+    return drop > 0.0 || corrupt > 0.0 || duplicate > 0.0 || stall > 0.0 ||
+           kill_rank >= 0;
+  }
+
+  /// Parse a spec string; throws FaultPlanError naming the offending token.
+  static FaultPlan parse(std::string_view spec);
+
+  /// Plan from $COMPASS_FAULT_PLAN, nullopt when unset or empty. A malformed
+  /// value still throws FaultPlanError — a typo'd plan must not silently
+  /// become a fault-free run.
+  static std::optional<FaultPlan> from_env();
+
+  /// Canonical spec string (round-trips through parse()).
+  std::string to_string() const;
+};
+
+/// Decorator over any concrete transport. The runtime drives it exactly like
+/// the wrapped transport; injected faults surface through tick_faults(),
+/// the metrics registry (`fault.*` counters), and added virtual send time.
+class FaultInjectingTransport final : public comm::Transport {
+ public:
+  /// `inner` must outlive this object and must not be driven directly while
+  /// wrapped (the decorator owns its tick cycle).
+  FaultInjectingTransport(comm::Transport& inner, FaultPlan plan);
+
+  const char* name() const override { return name_.c_str(); }
+  bool one_sided() const override { return inner_.one_sided(); }
+
+  void begin_tick() override;
+  void send(int src, int dst,
+            std::span<const arch::WireSpike> spikes) override;
+  void exchange() override { inner_.exchange(); }
+  std::span<const comm::InMessage> received(int rank) const override {
+    return inner_.received(rank);
+  }
+
+  // Accounting: delegate functional counters to the wrapped transport (it
+  // only ever sees the messages that survived), augment virtual send time
+  // with modelled stall/backoff latency, and expose the fault counters.
+  const comm::TickCommStats& tick_stats() const override {
+    return inner_.tick_stats();
+  }
+  const comm::RankCommStats& rank_stats(int rank) const override {
+    return inner_.rank_stats(rank);
+  }
+  const comm::TickFaultStats* tick_faults() const override { return &tick_; }
+
+  double send_time(int rank) const override {
+    return inner_.send_time(rank) +
+           extra_send_s_[static_cast<std::size_t>(rank)];
+  }
+  double sync_time(int rank) const override { return inner_.sync_time(rank); }
+  double recv_time(int rank) const override { return inner_.recv_time(rank); }
+
+  void set_metrics(obs::MetricsRegistry* metrics) override;
+  void flush_metrics() override;
+
+  /// Align the kill-tick clock after a checkpoint restore (mirrors
+  /// Compass::set_start_tick; call before the first post-restore tick).
+  void set_start_tick(arch::Tick tick) {
+    tick_no_ = tick;
+    started_ = false;
+  }
+
+  /// Cumulative fault counters across the whole run (per-tick counters are
+  /// reset by begin_tick()).
+  const comm::TickFaultStats& totals() const { return totals_; }
+  const FaultPlan& plan() const { return plan_; }
+
+ private:
+  void forward(int src, int dst, std::span<const arch::WireSpike> spikes);
+  void lose(int src, int dst, std::size_t spikes, const char* kind,
+            std::uint64_t comm::TickFaultStats::*counter);
+  bool rank_dead(int rank) const {
+    return plan_.kill_rank == rank && tick_no_ >= plan_.kill_tick;
+  }
+
+  comm::Transport& inner_;
+  FaultPlan plan_;
+  std::string name_;
+  util::CorePrng prng_;
+
+  arch::Tick tick_no_ = 0;  // current tick (absolute after set_start_tick)
+  bool started_ = false;    // first begin_tick() keeps tick_no_ as seeded
+  comm::TickFaultStats tick_;    // reset each begin_tick()
+  comm::TickFaultStats totals_;  // cumulative, for reports/tests
+  std::vector<double> extra_send_s_;  // modelled stall/backoff s per rank
+  std::vector<arch::WireSpike> corrupt_scratch_;
+  bool warned_[3] = {false, false, false};  // drop / corrupt / kill
+
+  obs::MetricsRegistry* fmetrics_ = nullptr;
+  bool fmetrics_flushed_ = true;
+  obs::MetricsRegistry::Id m_injected_ = 0, m_dropped_ = 0, m_corrupt_ = 0,
+                           m_dup_ = 0, m_stalled_ = 0, m_retries_ = 0,
+                           m_lost_ = 0;
+};
+
+}  // namespace compass::resilience

@@ -84,6 +84,12 @@ std::uint64_t Compass::step() {
   report_.remote_spikes += ts.remote_spikes;
   report_.wire_bytes += ts.wire_bytes;
   report_.fired_spikes += tick_fired_;
+  const comm::TickFaultStats* faults = transport_.tick_faults();
+  if (faults != nullptr) {
+    report_.faults_injected += faults->injected;
+    report_.messages_retried += faults->retries;
+    report_.spikes_lost += faults->lost_spikes;
+  }
   if (record_series_) {
     series_.spikes.push_back(tick_fired_);
     series_.messages.push_back(ts.messages);
@@ -111,6 +117,9 @@ std::uint64_t Compass::step() {
 
   ++tick_;
   ++report_.ticks;
+  // Tick boundary: all of this tick's spikes are delivered or scheduled in
+  // axon delay rings — the instant the checkpoint writer snapshots.
+  for (const TickCallback& cb : tick_callbacks_) cb(tick_);
   return tick_fired_;
 }
 
@@ -185,6 +194,11 @@ void Compass::emit_tick_trace(const perf::PhaseBreakdown& composed,
   rec.remote = ts.remote_spikes;
   rec.messages = ts.messages;
   rec.bytes = ts.wire_bytes;
+  if (const comm::TickFaultStats* faults = transport_.tick_faults()) {
+    rec.faults = faults->injected;
+    rec.retries = faults->retries;
+    rec.lost = faults->lost_spikes;
+  }
   for (obs::TraceSink* sink : sinks_) sink->on_tick(rec);
 }
 

@@ -69,6 +69,11 @@ struct RunReport {
   std::uint64_t synaptic_events = 0; // crossbar bits traversed (energy model)
   std::uint64_t messages = 0;        // point-to-point messages / puts
   std::uint64_t wire_bytes = 0;      // at the transport's bytes-per-spike
+  // Fault-injection totals (zero unless a fault-injecting transport is in
+  // use; see src/resilience/fault.h).
+  std::uint64_t faults_injected = 0;  // faulted send attempts of any kind
+  std::uint64_t messages_retried = 0; // resends under the retry policy
+  std::uint64_t spikes_lost = 0;      // spikes that never reached their core
   double host_wall_s = 0.0;          // real time the emulation took
   perf::PhaseBreakdown virtual_time; // composed parallel makespan
   /// End-of-run state of the attached metrics registry (empty when no
@@ -129,6 +134,34 @@ class Compass {
   /// at the tick its checkpoint was taken. Call before the first step().
   void set_start_tick(arch::Tick tick) { tick_ = tick; }
 
+  // --- Checkpoint/restart primitives (driven by src/resilience/) ----------
+  // The resilience layer composes these with Model state to capture and
+  // restore a full simulation snapshot; Compass itself stays ignorant of the
+  // on-disk format.
+
+  /// Overwrite the accumulated run counters with checkpointed values, so a
+  /// resumed run reports totals as if it had executed from tick 0.
+  void restore_report(const RunReport& report) { report_ = report; }
+
+  /// Overwrite the virtual-time ledger with checkpointed accumulators.
+  void restore_virtual_time(const perf::PhaseBreakdown& totals,
+                            std::uint64_t ticks) {
+    ledger_.restore(totals, ticks);
+  }
+
+  /// Read access to the live virtual-time ledger (mid-run totals — the
+  /// RunReport only carries them after run() returns).
+  const perf::RunLedger& ledger() const { return ledger_; }
+
+  /// Invoke `cb(now())` after every completed tick (tick boundary: all
+  /// spikes for the tick are either delivered or sitting in axon delay
+  /// buffers — the crash-consistent instant checkpoints capture). Used by
+  /// the periodic checkpoint writer; costs one branch per tick when empty.
+  using TickCallback = std::function<void(arch::Tick)>;
+  void add_tick_callback(TickCallback cb) {
+    if (cb) tick_callbacks_.push_back(std::move(cb));
+  }
+
   /// Simulate one tick. Returns spikes fired this tick.
   std::uint64_t step();
 
@@ -157,6 +190,7 @@ class Compass {
   RunReport report_;
   perf::RunLedger ledger_;
   SpikeHook hook_;
+  std::vector<TickCallback> tick_callbacks_;
   bool record_series_ = false;
   TickSeries series_;
 

@@ -1,0 +1,20 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+//
+// Used by the resilience layer to guard every checkpoint section: any
+// single-bit (or single-byte) error in a stored payload is guaranteed to be
+// detected, which is what lets the loader reject corrupt or truncated files
+// with a typed error instead of deserialising garbage.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace compass::util {
+
+/// CRC of `len` bytes at `data`, continuing from `crc` (pass 0 to start).
+/// Chaining calls over consecutive chunks equals one call over the whole
+/// buffer.
+std::uint32_t crc32(const void* data, std::size_t len,
+                    std::uint32_t crc = 0) noexcept;
+
+}  // namespace compass::util

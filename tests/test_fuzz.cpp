@@ -5,13 +5,16 @@
 // subtle semantic regressions in the core/runtime/transport stack.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
+#include <string>
 #include <tuple>
 #include <vector>
 
 #include "arch/model.h"
 #include "comm/mpi_transport.h"
 #include "comm/pgas_transport.h"
+#include "resilience/checkpoint.h"
 #include "runtime/compass.h"
 #include "util/prng.h"
 
@@ -154,6 +157,63 @@ TEST_P(FuzzSweep, CheckpointMidRunResumesExactly) {
   sim2.run(17);
 
   EXPECT_EQ(trace, full.trace);
+}
+
+TEST_P(FuzzSweep, MangledCheckpointBytesAreAlwaysRejectedTyped) {
+  // Serialize a real checkpoint, then attack it with PRNG-driven byte
+  // flips, truncations, and appended garbage. Every mangled buffer must be
+  // rejected with a typed CheckpointError — never accepted, never undefined
+  // behaviour (this test is part of the asan-ubsan gate).
+  arch::Model model = random_model(GetParam(), /*cores=*/4);
+  const runtime::Partition part =
+      runtime::Partition::uniform(model.num_cores(), 2, 1);
+  comm::MpiTransport transport(2, comm::CommCostModel{});
+  runtime::Compass sim(model, part, transport);
+  sim.run(7);
+  const std::string good =
+      resilience::serialize_checkpoint(resilience::capture(sim, model));
+  ASSERT_NO_THROW(resilience::parse_checkpoint(good));
+
+  util::CorePrng prng(util::derive_seed(GetParam(), 0xC0FF));
+  for (int round = 0; round < 64; ++round) {
+    std::string bad = good;
+    switch (prng.uniform_below(4)) {
+      case 0: {  // flip 1..4 random bytes
+        const int flips = 1 + static_cast<int>(prng.uniform_below(4));
+        for (int f = 0; f < flips; ++f) {
+          const std::size_t pos = static_cast<std::size_t>(
+              prng.uniform_below(static_cast<std::uint32_t>(bad.size())));
+          bad[pos] = static_cast<char>(
+              bad[pos] ^ static_cast<char>(1 + prng.uniform_below(255)));
+        }
+        break;
+      }
+      case 1:  // truncate to a random prefix
+        bad.resize(prng.uniform_below(
+            static_cast<std::uint32_t>(bad.size())));
+        break;
+      case 2: {  // splice random garbage over a random span
+        const std::size_t pos = static_cast<std::size_t>(
+            prng.uniform_below(static_cast<std::uint32_t>(bad.size())));
+        const std::size_t len = std::min<std::size_t>(
+            1 + prng.uniform_below(64), bad.size() - pos);
+        for (std::size_t i = 0; i < len; ++i) {
+          bad[pos + i] = static_cast<char>(prng.uniform_below(256));
+        }
+        break;
+      }
+      default:  // swap the declared tick/section-count region wholesale
+        for (std::size_t i = 8; i < 20 && i < bad.size(); ++i) {
+          bad[i] = static_cast<char>(~bad[i]);
+        }
+        break;
+    }
+    if (bad == good) continue;
+    EXPECT_THROW(resilience::parse_checkpoint(bad),
+                 resilience::CheckpointError)
+        << "seed=" << GetParam() << " round=" << round
+        << " size=" << bad.size();
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSweep,

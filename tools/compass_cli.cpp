@@ -17,11 +17,20 @@
 //       --metrics-out m.json metrics-registry snapshot (runtime+comm+pcc)
 //       --no-measure         skip host compute timers: traces/reports then
 //                            contain only deterministic modelled times
+//       --checkpoint-every N write a crash-consistent snapshot every N ticks
+//       --checkpoint-dir D   where snapshots go (default: checkpoints)
+//       --checkpoint-keep K  newest snapshots retained (default: 3)
+//       --restore PATH       resume from a checkpoint file (or the newest
+//                            one in a directory); --ticks then counts the
+//                            additional ticks to simulate
+//       --fault-plan SPEC    inject transport faults (DESIGN.md grammar;
+//                            $COMPASS_FAULT_PLAN is used when absent)
 //   compass analyze <raster> --ticks N [--neurons M]
 //       Spike-train statistics over a recorded raster.
 //
 // Exit codes: 0 success, 1 usage error, 2 runtime failure.
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -39,6 +48,9 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "perf/energy.h"
+#include "resilience/checkpoint.h"
+#include "resilience/checkpoint_manager.h"
+#include "resilience/fault.h"
 #include "runtime/compass.h"
 #include "util/table.h"
 
@@ -67,7 +79,47 @@ struct Args {
   bool stats = false;
   bool no_measure = false;
   std::uint64_t neurons = 0;  // analyze: population size (0 = infer)
+  std::uint64_t checkpoint_every = 0;  // 0: periodic checkpoints off
+  std::string checkpoint_dir = "checkpoints";
+  int checkpoint_keep = 3;
+  std::string restore_path;  // checkpoint file or directory to resume from
+  std::string fault_plan;    // resilience::FaultPlan spec ("" = none/env)
 };
+
+/// Checked numeric flag parsing: the whole token must be digits and the
+/// value in [min, max], or the flag is rejected with a clear error. This is
+/// what keeps `--ranks x` or `--threads 0` from silently simulating a
+/// zero-rank machine (std::atoi would return 0 for both).
+std::optional<std::uint64_t> parse_u64_flag(const char* flag, const char* text,
+                                            std::uint64_t min_value,
+                                            std::uint64_t max_value) {
+  const char* p = text;
+  if (*p == '\0') {
+    std::cerr << "compass: " << flag << " requires a number, got ''\n";
+    return std::nullopt;
+  }
+  std::uint64_t v = 0;
+  for (; *p != '\0'; ++p) {
+    if (*p < '0' || *p > '9') {
+      std::cerr << "compass: " << flag << " requires a non-negative integer, "
+                << "got '" << text << "'\n";
+      return std::nullopt;
+    }
+    const std::uint64_t next = v * 10 + static_cast<std::uint64_t>(*p - '0');
+    if (next < v) {
+      std::cerr << "compass: " << flag << " value '" << text
+                << "' is out of range\n";
+      return std::nullopt;
+    }
+    v = next;
+  }
+  if (v < min_value || v > max_value) {
+    std::cerr << "compass: " << flag << " must be in [" << min_value << ", "
+              << max_value << "], got " << v << "\n";
+    return std::nullopt;
+  }
+  return v;
+}
 
 void usage(std::ostream& os) {
   os << "usage:\n"
@@ -79,6 +131,9 @@ void usage(std::ostream& os) {
         "              [--series] [--energy] [--stats] [--no-measure]\n"
         "              [--trace-out t.jsonl] [--chrome-out t.json]\n"
         "              [--metrics-out m.json]\n"
+        "              [--checkpoint-every N] [--checkpoint-dir D]\n"
+        "              [--checkpoint-keep K] [--restore PATH]\n"
+        "              [--fault-plan SPEC]\n"
         "  compass analyze <raster> --ticks N [--neurons M]\n";
 }
 
@@ -120,27 +175,64 @@ std::optional<Args> parse_args(int argc, char** argv) {
     } else if (a == "--neurons") {
       const char* v = next("--neurons");
       if (!v) return std::nullopt;
-      args.neurons = std::strtoull(v, nullptr, 10);
+      const auto n = parse_u64_flag("--neurons", v, 0, UINT64_MAX);
+      if (!n) return std::nullopt;
+      args.neurons = *n;
     } else if (a == "--cores") {
       const char* v = next("--cores");
       if (!v) return std::nullopt;
-      args.cores = std::strtoull(v, nullptr, 10);
+      const auto n = parse_u64_flag("--cores", v, 1, UINT64_MAX);
+      if (!n) return std::nullopt;
+      args.cores = *n;
     } else if (a == "--seed") {
       const char* v = next("--seed");
       if (!v) return std::nullopt;
-      args.seed = std::strtoull(v, nullptr, 10);
+      const auto n = parse_u64_flag("--seed", v, 0, UINT64_MAX);
+      if (!n) return std::nullopt;
+      args.seed = *n;
     } else if (a == "--ranks") {
       const char* v = next("--ranks");
       if (!v) return std::nullopt;
-      args.ranks = std::atoi(v);
+      const auto n = parse_u64_flag("--ranks", v, 1, 1u << 20);
+      if (!n) return std::nullopt;
+      args.ranks = static_cast<int>(*n);
     } else if (a == "--threads") {
       const char* v = next("--threads");
       if (!v) return std::nullopt;
-      args.threads = std::atoi(v);
+      const auto n = parse_u64_flag("--threads", v, 1, 4096);
+      if (!n) return std::nullopt;
+      args.threads = static_cast<int>(*n);
     } else if (a == "--ticks") {
       const char* v = next("--ticks");
       if (!v) return std::nullopt;
-      args.ticks = std::strtoull(v, nullptr, 10);
+      // 0 is legal: a restore-then-zero-tick run just reprints the report.
+      const auto n = parse_u64_flag("--ticks", v, 0, UINT64_MAX);
+      if (!n) return std::nullopt;
+      args.ticks = *n;
+    } else if (a == "--checkpoint-every") {
+      const char* v = next("--checkpoint-every");
+      if (!v) return std::nullopt;
+      const auto n = parse_u64_flag("--checkpoint-every", v, 1, UINT64_MAX);
+      if (!n) return std::nullopt;
+      args.checkpoint_every = *n;
+    } else if (a == "--checkpoint-keep") {
+      const char* v = next("--checkpoint-keep");
+      if (!v) return std::nullopt;
+      const auto n = parse_u64_flag("--checkpoint-keep", v, 1, 1u << 20);
+      if (!n) return std::nullopt;
+      args.checkpoint_keep = static_cast<int>(*n);
+    } else if (a == "--checkpoint-dir") {
+      const char* v = next("--checkpoint-dir");
+      if (!v) return std::nullopt;
+      args.checkpoint_dir = v;
+    } else if (a == "--restore") {
+      const char* v = next("--restore");
+      if (!v) return std::nullopt;
+      args.restore_path = v;
+    } else if (a == "--fault-plan") {
+      const char* v = next("--fault-plan");
+      if (!v) return std::nullopt;
+      args.fault_plan = v;
     } else if (a == "--transport") {
       const char* v = next("--transport");
       if (!v) return std::nullopt;
@@ -242,21 +334,60 @@ int cmd_run(const Args& args) {
     std::cout << "  model written to " << args.model_file << "\n";
   }
 
-  std::unique_ptr<comm::Transport> transport;
+  std::unique_ptr<comm::Transport> inner_transport;
   if (args.transport == "mpi") {
-    transport = std::make_unique<comm::MpiTransport>(args.ranks,
-                                                     comm::CommCostModel{});
+    inner_transport = std::make_unique<comm::MpiTransport>(
+        args.ranks, comm::CommCostModel{});
   } else if (args.transport == "pgas") {
-    transport = std::make_unique<comm::PgasTransport>(args.ranks,
-                                                      comm::CommCostModel{});
+    inner_transport = std::make_unique<comm::PgasTransport>(
+        args.ranks, comm::CommCostModel{});
   } else {
     std::cerr << "compass: unknown transport '" << args.transport << "'\n";
     return 1;
   }
 
+  // Fault injection: explicit --fault-plan wins; otherwise the environment
+  // ($COMPASS_FAULT_PLAN) can arm a plan for any run. A no-op plan is not
+  // wrapped at all, so fault-free runs pay nothing.
+  std::optional<resilience::FaultPlan> plan;
+  if (!args.fault_plan.empty()) {
+    plan = resilience::FaultPlan::parse(args.fault_plan);
+  } else {
+    plan = resilience::FaultPlan::from_env();
+  }
+  std::unique_ptr<resilience::FaultInjectingTransport> faulty;
+  comm::Transport* transport = inner_transport.get();
+  if (plan && plan->any()) {
+    faulty = std::make_unique<resilience::FaultInjectingTransport>(
+        *inner_transport, *plan);
+    transport = faulty.get();
+    std::cout << "fault plan: " << plan->to_string() << "\n";
+  }
+
   runtime::Config cfg;
   cfg.measure = !args.no_measure;
   runtime::Compass sim(pcc.model, pcc.partition, *transport, cfg);
+
+  // Restore before anything observes the simulator: overwrites the model
+  // state, repositions the tick counter (axon rings are tick mod 16), and
+  // reinstates the report/ledger accumulators.
+  if (!args.restore_path.empty()) {
+    std::string ckpt_path = args.restore_path;
+    std::error_code dir_ec;
+    if (std::filesystem::is_directory(ckpt_path, dir_ec)) {
+      ckpt_path = resilience::CheckpointManager::latest_in(ckpt_path);
+      if (ckpt_path.empty()) {
+        std::cerr << "compass: no checkpoint files in " << args.restore_path
+                  << "\n";
+        return 2;
+      }
+    }
+    const resilience::Checkpoint cp =
+        resilience::load_checkpoint_file(ckpt_path);
+    resilience::restore(cp, sim, pcc.model);
+    if (faulty) faulty->set_start_tick(cp.tick);
+    std::cout << "restored " << ckpt_path << " at tick " << cp.tick << "\n";
+  }
   io::Raster raster;
   if (!args.raster_file.empty() || args.stats) {
     sim.set_spike_hook([&raster](arch::Tick t, arch::CoreId c, unsigned j) {
@@ -264,6 +395,16 @@ int cmd_run(const Args& args) {
     });
   }
   sim.enable_tick_series(args.series);
+
+  std::optional<resilience::CheckpointManager> ckpt_mgr;
+  if (args.checkpoint_every > 0) {
+    resilience::CheckpointOptions copt;
+    copt.dir = args.checkpoint_dir;
+    copt.every = args.checkpoint_every;
+    copt.keep = args.checkpoint_keep;
+    ckpt_mgr.emplace(copt, metrics);
+    ckpt_mgr->attach(sim, pcc.model);
+  }
 
   transport->set_metrics(metrics);
   sim.set_metrics(metrics);
@@ -294,6 +435,16 @@ int cmd_run(const Args& args) {
   table.row().add("virtual time (s)").add(rep.virtual_total_s(), 4);
   table.row().add("slowdown vs real time").add(rep.slowdown(), 2);
   table.row().add("host wall (s)").add(rep.host_wall_s, 2);
+  if (faulty) {
+    table.row().add("faults injected").add(rep.faults_injected);
+    table.row().add("messages retried").add(rep.messages_retried);
+    table.row().add("spikes lost").add(rep.spikes_lost);
+  }
+  if (ckpt_mgr) {
+    table.row().add("checkpoints written").add(ckpt_mgr->stats().snapshots);
+    table.row().add("checkpoint bytes").add(ckpt_mgr->stats().bytes);
+    table.row().add("checkpoint write (s)").add(ckpt_mgr->stats().write_s, 4);
+  }
   table.print(std::cout, "\nrun summary (" + args.transport + ")");
 
   if (args.series) {
