@@ -24,7 +24,8 @@ int main() {
                "6.9x speed-up at 8x resources, 8.8x at 16x (fixed model)");
 
   util::Table table({"racks", "ranks", "total_s", "synapse_s", "neuron_s",
-                     "network_s", "speedup_x", "ideal_x"});
+                     "network_s", "speedup_x", "ideal_x", "imbal_neu",
+                     "imbal_net", "overlap_eff", "crit_rank"});
 
   double baseline = 0.0;
   for (int racks : {1, 2, 4, 8, 16}) {
@@ -32,7 +33,23 @@ int main() {
     // matter) is identical across rows, gray matter is rank-chunked.
     compiler::PccResult pcc = compile_macaque(cores, racks, threads);
     const runtime::RunReport rep =
-        run_model(pcc.model, pcc.partition, TransportKind::kMpi, ticks);
+        run_model(pcc.model, pcc.partition, TransportKind::kMpi, ticks,
+                  /*config=*/{}, /*profile=*/true);
+
+    // Per-phase imbalance and critical-rank attribution from the profiler:
+    // the rank whose network leg most often set the tick makespan is the
+    // straggler the paper's Fig. 5 discussion blames for sub-linear scaling.
+    const obs::ProfileSummary& prof = *rep.profile;
+    int crit_rank = 0;
+    std::uint64_t crit_ticks = 0;
+    for (int r = 0; r < prof.ranks(); ++r) {
+      const std::uint64_t n =
+          prof.critical[static_cast<std::size_t>(r)].network;
+      if (n > crit_ticks) {
+        crit_ticks = n;
+        crit_rank = r;
+      }
+    }
 
     const double total = rep.virtual_total_s();
     if (racks == 1) baseline = total;
@@ -44,7 +61,11 @@ int main() {
         .add(rep.virtual_time.neuron, 4)
         .add(rep.virtual_time.network, 4)
         .add(baseline / total, 2)
-        .add(racks);
+        .add(racks)
+        .add(prof.imbalance[1], 3)
+        .add(prof.imbalance[2], 3)
+        .add(prof.overlap_efficiency(), 3)
+        .add("r" + std::to_string(crit_rank));
     std::cout << "  racks=" << racks << " done (host "
               << util::format_double(rep.host_wall_s, 2) << "s)\n";
   }
@@ -56,6 +77,10 @@ int main() {
                "  - speedup_x grows but falls short of ideal_x;\n"
                "  - the gap comes from network_s, which shrinks slower than\n"
                "    compute (communication-intense phases inhibit scaling\n"
-               "    from 8 to 16 racks).\n";
+               "    from 8 to 16 racks);\n"
+               "  - imbal_neu/imbal_net (max/mean per-rank load) grow with\n"
+               "    rank count while overlap_eff shows how much of the\n"
+               "    Reduce-Scatter local delivery still hides; crit_rank is\n"
+               "    the rank that most often set the network makespan.\n";
   return 0;
 }

@@ -29,7 +29,8 @@ const char* env_or_empty(const char* name) {
 struct BenchObs {
   ObsOptions options{env_or_empty("COMPASS_TRACE_OUT"),
                      env_or_empty("COMPASS_CHROME_OUT"),
-                     env_or_empty("COMPASS_METRICS_OUT")};
+                     env_or_empty("COMPASS_METRICS_OUT"),
+                     env_or_empty("COMPASS_PROFILE_OUT")};
   obs::MetricsRegistry registry;
   std::ofstream trace_os;
   std::optional<obs::JsonlTraceWriter> jsonl;
@@ -80,6 +81,7 @@ void init_obs(int argc, char** argv) {
     if (std::strcmp(argv[i], "--trace-out") == 0) o.trace_out = argv[i + 1];
     if (std::strcmp(argv[i], "--chrome-out") == 0) o.chrome_out = argv[i + 1];
     if (std::strcmp(argv[i], "--metrics-out") == 0) o.metrics_out = argv[i + 1];
+    if (std::strcmp(argv[i], "--profile-out") == 0) o.profile_out = argv[i + 1];
   }
 }
 
@@ -142,12 +144,23 @@ std::unique_ptr<comm::Transport> make_transport(TransportKind kind, int ranks) {
 runtime::RunReport run_model(const arch::Model& model,
                              const runtime::Partition& partition,
                              TransportKind kind, arch::Tick ticks,
-                             runtime::Config config) {
+                             runtime::Config config, bool profile) {
   arch::Model copy = model;
   auto transport = make_transport(kind, partition.ranks());
   runtime::Compass sim(copy, partition, *transport, config);
   attach_observability(sim, *transport);
-  return sim.run(ticks);
+  const std::string& profile_out = bench_obs().options.profile_out;
+  std::optional<obs::ProfileCollector> collector;
+  if (profile || !profile_out.empty()) {
+    collector.emplace(partition.ranks());
+    sim.set_profile(&*collector);
+  }
+  runtime::RunReport rep = sim.run(ticks);
+  if (collector && !profile_out.empty()) {
+    std::ofstream os(profile_out);
+    if (os) obs::write_profile_json(os, *rep.profile, collector->comm_matrix());
+  }
+  return rep;
 }
 
 arch::Model build_realtime_workload(std::uint64_t cores, int ranks,

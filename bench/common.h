@@ -34,10 +34,14 @@ struct ObsOptions {
   std::string trace_out;    // per-(tick,rank,phase) JSONL
   std::string chrome_out;   // Chrome-trace/Perfetto JSON
   std::string metrics_out;  // metrics-registry snapshot JSON
+  std::string profile_out;  // comm-matrix + imbalance profile JSON
+                            // ($COMPASS_PROFILE_OUT; rewritten per run, so
+                            // the file holds the process's last run)
 };
 
-/// Parse --trace-out/--chrome-out/--metrics-out from a bench's argv
-/// (unknown arguments are ignored). Call once, before the first run_model().
+/// Parse --trace-out/--chrome-out/--metrics-out/--profile-out from a bench's
+/// argv (unknown arguments are ignored). Call once, before the first
+/// run_model().
 void init_obs(int argc, char** argv);
 const ObsOptions& obs_options();
 
@@ -61,11 +65,15 @@ enum class TransportKind { kMpi, kPgas };
 std::unique_ptr<comm::Transport> make_transport(TransportKind kind, int ranks);
 
 /// Run `ticks` ticks of `model` (copied) under the given machine shape and
-/// transport; returns the report.
+/// transport; returns the report. With `profile` true (or whenever a
+/// --profile-out destination is configured) a ProfileCollector is attached,
+/// so the returned report carries RunReport::profile — the imbalance /
+/// critical-rank / overlap summary the scaling benches tabulate.
 runtime::RunReport run_model(const arch::Model& model,
                              const runtime::Partition& partition,
                              TransportKind kind, arch::Tick ticks,
-                             runtime::Config config = {});
+                             runtime::Config config = {},
+                             bool profile = false);
 
 /// Synthetic real-time workload of section VII-B: every core's neurons are
 /// Poisson sources at `rate_hz`; 75% of neurons target a core on the same

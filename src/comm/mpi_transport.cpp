@@ -33,7 +33,7 @@ void MpiTransport::send(int src, int dst,
 
   const std::size_t bytes = wire_size(spikes.size());
   send_s_[src] += cost_.mpi_send_cost(bytes) + hop_latency(src, dst);
-  note_send(src, spikes.size(), bytes);
+  note_send(src, dst, spikes.size(), bytes);
   ++recv_counts_[dst];
 }
 

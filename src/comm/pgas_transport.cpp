@@ -30,7 +30,7 @@ void PgasTransport::send(int src, int dst,
 
   const std::size_t bytes = wire_size(spikes.size());
   send_s_[src] += cost_.pgas_put_cost(bytes) + hop_latency(src, dst);
-  note_send(src, spikes.size(), bytes);  // one put == one NIC transaction
+  note_send(src, dst, spikes.size(), bytes);  // one put == one NIC transaction
 }
 
 void PgasTransport::exchange() {

@@ -28,6 +28,7 @@
 #include "comm/cost_model.h"
 #include "comm/torus.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 
 namespace compass::comm {
 
@@ -132,6 +133,15 @@ class Transport {
   virtual void set_metrics(obs::MetricsRegistry* metrics);
   virtual void flush_metrics();
 
+  /// Attach a per-(src, dst) communication matrix (src/obs/profile.h): every
+  /// message/put is then recorded against its source and destination rank.
+  /// The runtime attaches it when profiling; detached costs one pointer test
+  /// per send. Virtual so a decorator can forward to its wrapped transport
+  /// (the decorated transport is the one whose sends actually happen).
+  virtual void set_comm_matrix(obs::CommMatrix* matrix) {
+    comm_matrix_ = matrix;
+  }
+
   /// Attach a torus topology: point-to-point sends are then charged
   /// hops(node(src), node(dst)) x hop_latency on top of the flat overheads
   /// (section I use case (c): benchmarking communication topologies). The
@@ -155,7 +165,7 @@ class Transport {
   }
 
   /// Shared sender-side accounting for one message/put of `spikes` spikes.
-  void note_send(int src, std::size_t spikes, std::size_t bytes) {
+  void note_send(int src, int dst, std::size_t spikes, std::size_t bytes) {
     ++stats_.messages;
     stats_.remote_spikes += spikes;
     stats_.wire_bytes += bytes;
@@ -163,6 +173,7 @@ class Transport {
     ++rs.msgs_sent;
     rs.spikes_sent += spikes;
     rs.bytes_sent += bytes;
+    if (comm_matrix_ != nullptr) comm_matrix_->record(src, dst, spikes, bytes);
   }
 
   /// Shared receiver-side accounting for one delivered message.
@@ -195,6 +206,7 @@ class Transport {
  private:
   const TorusTopology* topology_ = nullptr;
   int ranks_per_node_ = 1;
+  obs::CommMatrix* comm_matrix_ = nullptr;
 
   obs::MetricsRegistry* metrics_ = nullptr;
   bool metrics_flushed_ = true;  // nothing to flush before the first tick

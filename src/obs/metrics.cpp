@@ -138,4 +138,68 @@ void MetricsRegistry::write_json(std::ostream& os) const {
   write_snapshot_json(os, slots_);
 }
 
+namespace {
+
+std::string prometheus_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out.insert(0, 1, '_');
+  return out;
+}
+
+void write_help_type(std::ostream& os, const std::string& name,
+                     const MetricValue& m, const char* type) {
+  os << "# HELP " << name << ' ' << m.name;
+  if (!m.unit.empty()) os << " (" << m.unit << ')';
+  os << "\n# TYPE " << name << ' ' << type << '\n';
+}
+
+/// Largest value that lands in power-of-two bucket b (bit_width(v) == b).
+std::uint64_t bucket_upper_bound(std::size_t b) {
+  if (b >= 64) return UINT64_MAX;
+  return (std::uint64_t{1} << b) - 1;
+}
+
+}  // namespace
+
+void write_snapshot_prometheus(std::ostream& os,
+                               const MetricsSnapshot& snapshot) {
+  for (const MetricValue& m : snapshot) {
+    const std::string base = prometheus_name(m.name);
+    switch (m.kind) {
+      case MetricKind::kCounter: {
+        const std::string name = base + "_total";
+        write_help_type(os, name, m, "counter");
+        os << name << ' ' << m.count << '\n';
+        break;
+      }
+      case MetricKind::kGauge: {
+        write_help_type(os, base, m, "gauge");
+        os << base << ' ';
+        write_json_double(os, m.value);
+        os << '\n';
+        break;
+      }
+      case MetricKind::kHistogram: {
+        write_help_type(os, base, m, "histogram");
+        std::uint64_t cumulative = 0;
+        for (std::size_t b = 0; b < m.buckets.size(); ++b) {
+          cumulative += m.buckets[b];
+          os << base << "_bucket{le=\"" << bucket_upper_bound(b) << "\"} "
+             << cumulative << '\n';
+        }
+        os << base << "_bucket{le=\"+Inf\"} " << m.observations << '\n';
+        os << base << "_sum " << m.sum << '\n';
+        os << base << "_count " << m.observations << '\n';
+        break;
+      }
+    }
+  }
+}
+
 }  // namespace compass::obs

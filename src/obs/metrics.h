@@ -83,6 +83,16 @@ class MetricsRegistry {
 /// Serialize a snapshot as the same JSON document write_json() emits.
 void write_snapshot_json(std::ostream& os, const MetricsSnapshot& snapshot);
 
+/// Prometheus text exposition (format 0.0.4) of a snapshot: counters as
+/// `<name>_total`, gauges plain, histograms as cumulative
+/// `<name>_bucket{le="..."}` series — bucket b holds observations with
+/// bit_width(v) == b, so its upper bound is le = 2^b - 1 — followed by the
+/// `+Inf` bucket and `_sum`/`_count`. Names are sanitized to [a-zA-Z0-9_:]
+/// (every other byte becomes '_'); the original name and unit appear in the
+/// `# HELP` line.
+void write_snapshot_prometheus(std::ostream& os,
+                               const MetricsSnapshot& snapshot);
+
 /// JSON string literal (quotes + escapes), shared with the trace writers.
 void write_json_string(std::ostream& os, std::string_view s);
 

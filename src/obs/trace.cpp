@@ -49,6 +49,13 @@ void JsonlTraceWriter::on_tick(const TickRecord& t) {
   os_ << "}\n";
 }
 
+void JsonlTraceWriter::on_profile(const ProfileRecord& p) {
+  if (p.summary == nullptr || p.matrix == nullptr) return;
+  os_ << "{\"type\":\"profile\",";
+  write_profile_fields(os_, *p.summary, *p.matrix);
+  os_ << "}\n";
+}
+
 namespace {
 
 constexpr double kMicro = 1e6;  // trace timestamps are virtual microseconds
@@ -123,6 +130,16 @@ void ChromeTraceWriter::write(std::ostream& os) const {
     write_event(os, first, phase_name(s.phase), s.rank + 1,
                 (tick_start[i] + offset_s) * kMicro,
                 (s.compute_s + s.comm_s) * kMicro);
+  }
+
+  if (dropped_ != 0) {
+    if (!first) os << ",\n";
+    first = false;
+    os << "{\"name\":\"trace truncated: " << dropped_
+       << " records dropped (buffer cap " << max_records_
+       << ")\",\"ph\":\"i\",\"pid\":0,\"tid\":0,\"s\":\"g\",\"ts\":";
+    write_json_double(os, tick_start[ticks_.size()] * kMicro);
+    os << '}';
   }
 
   os << "\n]}\n";

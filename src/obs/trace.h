@@ -25,7 +25,10 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <optional>
 #include <vector>
+
+#include "obs/profile.h"
 
 namespace compass::obs {
 
@@ -69,11 +72,22 @@ struct TickRecord {
   friend bool operator==(const TickRecord&, const TickRecord&) = default;
 };
 
+/// End-of-run profile, emitted once after run() when a ProfileCollector is
+/// attached (src/obs/profile.h). Pointers stay valid only for the duration
+/// of the on_profile() call.
+struct ProfileRecord {
+  const ProfileSummary* summary = nullptr;
+  const CommMatrix* matrix = nullptr;
+};
+
 class TraceSink {
  public:
   virtual ~TraceSink() = default;
   virtual void on_span(const SpanRecord& span) = 0;
   virtual void on_tick(const TickRecord& tick) = 0;
+  /// Default no-op so pre-profile sinks (and the golden trace) are
+  /// unaffected; traces only gain a profile record when profiling is on.
+  virtual void on_profile(const ProfileRecord& profile) { (void)profile; }
 };
 
 struct JsonlOptions {
@@ -89,6 +103,7 @@ class JsonlTraceWriter final : public TraceSink {
       : os_(os), options_(options) {}
   void on_span(const SpanRecord& span) override;
   void on_tick(const TickRecord& tick) override;
+  void on_profile(const ProfileRecord& profile) override;
 
  private:
   std::ostream& os_;
@@ -100,31 +115,73 @@ class TraceBuffer final : public TraceSink {
  public:
   void on_span(const SpanRecord& span) override { spans_.push_back(span); }
   void on_tick(const TickRecord& tick) override { ticks_.push_back(tick); }
+  void on_profile(const ProfileRecord& profile) override {
+    if (profile.summary != nullptr) summary_ = *profile.summary;
+    if (profile.matrix != nullptr) matrix_ = *profile.matrix;
+  }
 
   const std::vector<SpanRecord>& spans() const { return spans_; }
   const std::vector<TickRecord>& ticks() const { return ticks_; }
+  const std::optional<ProfileSummary>& profile_summary() const {
+    return summary_;
+  }
+  const std::optional<CommMatrix>& comm_matrix() const { return matrix_; }
   void clear() {
     spans_.clear();
     ticks_.clear();
+    summary_.reset();
+    matrix_.reset();
   }
 
  private:
   std::vector<SpanRecord> spans_;
   std::vector<TickRecord> ticks_;
+  std::optional<ProfileSummary> summary_;
+  std::optional<CommMatrix> matrix_;
 };
 
 /// Buffers the run and renders the virtual-time makespan as a Chrome-trace
 /// JSON object (call write() once after the run).
+///
+/// Memory safety for long runs: the buffer is capped at `max_records` total
+/// records (spans + ticks, default ~1M ≈ 100 MB worst case). Once the cap
+/// is hit, *all* further records are dropped — both kinds, so the rendered
+/// trace is a coherent prefix of the run rather than ticks without their
+/// spans — and counted in dropped(); write() appends an instant event
+/// flagging the truncation so a viewer can't mistake the prefix for the
+/// whole run.
 class ChromeTraceWriter final : public TraceSink {
  public:
-  void on_span(const SpanRecord& span) override { spans_.push_back(span); }
-  void on_tick(const TickRecord& tick) override { ticks_.push_back(tick); }
+  static constexpr std::size_t kDefaultMaxRecords = 1'000'000;
+
+  explicit ChromeTraceWriter(std::size_t max_records = kDefaultMaxRecords)
+      : max_records_(max_records) {}
+
+  void on_span(const SpanRecord& span) override {
+    if (spans_.size() + ticks_.size() < max_records_) {
+      spans_.push_back(span);
+    } else {
+      ++dropped_;
+    }
+  }
+  void on_tick(const TickRecord& tick) override {
+    if (spans_.size() + ticks_.size() < max_records_) {
+      ticks_.push_back(tick);
+    } else {
+      ++dropped_;
+    }
+  }
+
+  /// Records dropped after the buffer cap was reached.
+  std::uint64_t dropped() const { return dropped_; }
 
   /// {"displayTimeUnit":"ms","traceEvents":[...]}; timestamps are virtual
   /// microseconds since tick 0 of the capture.
   void write(std::ostream& os) const;
 
  private:
+  std::size_t max_records_;
+  std::uint64_t dropped_ = 0;
   std::vector<SpanRecord> spans_;
   std::vector<TickRecord> ticks_;
 };

@@ -57,11 +57,37 @@ struct PhaseBreakdown {
   }
 };
 
+/// Which rank set each slice of one tick's makespan, plus the network-phase
+/// legs the overlap diagnostics need. Filled by compose_tick() when a
+/// profiler asks for attribution (src/obs/profile.h).
+///
+/// Attribution rules (ties go to the lowest rank):
+///   * synapse_rank / neuron_rank — the argmax rank of the slice, exactly
+///     the rank whose barrier-to-barrier time the machine waited for.
+///   * network_rank — the network slice is a sum of two terms,
+///     max(max_sync, max_local) and max(recv + remote_deliver); the critical
+///     rank is the one attaining the larger term (the biggest single
+///     contribution to the slice). Without overlap the three leg maxima
+///     compete directly.
+///   * hidden_s — how much of the collective was hidden by local delivery
+///     this tick: min(max_sync, max_local) under overlap, 0 without it.
+struct TickAttribution {
+  int synapse_rank = 0;
+  int neuron_rank = 0;
+  int network_rank = 0;
+  double sync_s = 0.0;    // max_r(sync_r)
+  double local_s = 0.0;   // max_r(local_deliver_r)
+  double recv_s = 0.0;    // max_r(recv_r + remote_deliver_r)
+  double hidden_s = 0.0;  // collective time hidden by local delivery
+};
+
 /// Compose one tick's rank times into the machine makespan. With
 /// `overlap_collective` false (ablation A2), the Reduce-Scatter no longer
-/// hides local delivery: network = sync + local + recv.
+/// hides local delivery: network = sync + local + recv. When `attribution`
+/// is non-null it is filled with the critical-rank/overlap breakdown.
 PhaseBreakdown compose_tick(const std::vector<RankTickTimes>& ranks,
-                            bool overlap_collective = true);
+                            bool overlap_collective = true,
+                            TickAttribution* attribution = nullptr);
 
 /// Accumulates composed breakdowns over a run and tracks how much real
 /// (host) wall-clock the emulation itself consumed.
@@ -74,9 +100,10 @@ class RunLedger {
   /// Per-tick scratch area the runtime fills in; commit_tick() composes and
   /// resets it, returning the tick's composed breakdown (what the trace
   /// layer records per tick — summing the returned values reproduces
-  /// totals() exactly).
+  /// totals() exactly). A non-null `attribution` receives the tick's
+  /// critical-rank/overlap breakdown (profiling).
   std::vector<RankTickTimes>& tick_scratch() { return scratch_; }
-  PhaseBreakdown commit_tick();
+  PhaseBreakdown commit_tick(TickAttribution* attribution = nullptr);
 
   const PhaseBreakdown& totals() const { return totals_; }
   std::uint64_t ticks() const { return ticks_; }

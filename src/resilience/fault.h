@@ -158,6 +158,13 @@ class FaultInjectingTransport final : public comm::Transport {
   void set_metrics(obs::MetricsRegistry* metrics) override;
   void flush_metrics() override;
 
+  /// The wrapped transport's sends are the ones that reach the wire, so the
+  /// comm matrix records surviving traffic only (dropped messages never
+  /// appear; duplicated ones appear twice — consistent with tick_stats()).
+  void set_comm_matrix(obs::CommMatrix* matrix) override {
+    inner_.set_comm_matrix(matrix);
+  }
+
   /// Align the kill-tick clock after a checkpoint restore (mirrors
   /// Compass::set_start_tick; call before the first post-restore tick).
   void set_start_tick(arch::Tick tick) {

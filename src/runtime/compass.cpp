@@ -96,10 +96,24 @@ std::uint64_t Compass::step() {
     series_.wire_bytes.push_back(ts.wire_bytes);
   }
 
-  // Trace spans read the per-rank scratch times, so they must be emitted
-  // before commit_tick() resets the scratch.
+  // Trace spans and the profiler read the per-rank scratch times, so both
+  // must run before commit_tick() resets the scratch.
   if (!sinks_.empty()) emit_trace_spans(scratch);
-  const perf::PhaseBreakdown composed = ledger_.commit_tick();
+  if (profile_ != nullptr) profile_->record_rank_times(scratch);
+  perf::TickAttribution attribution;
+  const perf::PhaseBreakdown composed =
+      ledger_.commit_tick(profile_ != nullptr ? &attribution : nullptr);
+  if (profile_ != nullptr) {
+    profile_->record_composed(composed, attribution);
+    // Diagonal of the comm matrix: spikes routed within each rank this tick
+    // (they never touch the transport, so the send hook cannot see them).
+    obs::CommMatrix& matrix = profile_->comm_matrix();
+    for (int rank = 0; rank < num_ranks; ++rank) {
+      const std::uint64_t n =
+          counters_[static_cast<std::size_t>(rank)].local_delivered;
+      if (n != 0) matrix.record_local(rank, n);
+    }
+  }
   if (!sinks_.empty()) emit_tick_trace(composed, tick_routed, tick_local, ts);
 
   if (metrics_ != nullptr) {
@@ -140,6 +154,16 @@ void Compass::set_metrics(obs::MetricsRegistry* metrics) {
   ids_.h_messages = metrics_->histogram("tick.messages", "messages");
   ids_.h_bytes = metrics_->histogram("tick.wire_bytes", "bytes");
   ids_.g_virtual_s = metrics_->gauge("run.virtual_time_s", "s");
+}
+
+void Compass::set_profile(obs::ProfileCollector* profiler) {
+  if (profiler != nullptr && profiler->ranks() != partition_.ranks()) {
+    throw std::invalid_argument(
+        "Compass: profiler rank count does not match partition");
+  }
+  profile_ = profiler;
+  transport_.set_comm_matrix(profiler != nullptr ? &profiler->comm_matrix()
+                                                 : nullptr);
 }
 
 void Compass::emit_trace_spans(const std::vector<perf::RankTickTimes>& scratch) {
@@ -209,6 +233,12 @@ RunReport Compass::run(arch::Tick ticks) {
   report_.virtual_time = ledger_.totals();
   transport_.flush_metrics();  // publish the final tick's comm counters
   if (metrics_ != nullptr) report_.metrics = metrics_->snapshot();
+  if (profile_ != nullptr) {
+    report_.profile = profile_->summary();
+    const obs::ProfileRecord rec{&*report_.profile,
+                                 &profile_->comm_matrix()};
+    for (obs::TraceSink* sink : sinks_) sink->on_profile(rec);
+  }
   return report_;
 }
 

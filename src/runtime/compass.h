@@ -21,12 +21,14 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <vector>
 
 #include "arch/model.h"
 #include "arch/spike.h"
 #include "comm/transport.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 #include "perf/ledger.h"
 #include "runtime/partition.h"
@@ -79,6 +81,11 @@ struct RunReport {
   /// End-of-run state of the attached metrics registry (empty when no
   /// registry was attached via Compass::set_metrics()).
   obs::MetricsSnapshot metrics;
+  /// Imbalance / critical-rank / overlap summary, filled when a profiler was
+  /// attached via Compass::set_profile() (the comm matrix stays with the
+  /// collector — it is O(ranks^2) and not copied here). Not checkpointed:
+  /// a restored run profiles from its restore point onward.
+  std::optional<obs::ProfileSummary> profile;
   double virtual_total_s() const { return virtual_time.total(); }
   /// Virtual slowdown versus biological real time (1 tick == 1 ms).
   double slowdown() const {
@@ -128,6 +135,16 @@ class Compass {
   /// The transport publishes its own counters — attach it separately via
   /// Transport::set_metrics(). Pass nullptr to detach.
   void set_metrics(obs::MetricsRegistry* metrics);
+
+  /// Attach a profiler (src/obs/profile.h): every tick then accumulates
+  /// per-rank phase times, critical-rank attribution, overlap legs, and the
+  /// per-(src, dst) comm matrix (the transport's send path is pointed at the
+  /// collector's matrix; rank-local spikes land on its diagonal). run()
+  /// additionally fills RunReport::profile and emits one profile record to
+  /// every trace sink. The collector must outlive the simulator and match
+  /// its rank count. Pass nullptr to detach; detached costs one pointer
+  /// test per tick.
+  void set_profile(obs::ProfileCollector* profiler);
 
   /// Resume from an absolute tick (checkpoint/restart): axon-buffer ring
   /// slots are addressed by tick mod 16, so a restored model must continue
@@ -216,6 +233,7 @@ class Compass {
   // Observability (all optional; disabled costs one branch per tick).
   std::vector<obs::TraceSink*> sinks_;
   obs::MetricsRegistry* metrics_ = nullptr;
+  obs::ProfileCollector* profile_ = nullptr;
   struct MetricIds {
     obs::MetricsRegistry::Id ticks, fired, routed, local, remote,
         synaptic_events, h_fired, h_messages, h_bytes, g_virtual_s;

@@ -22,6 +22,7 @@
 #include "comm/mpi_transport.h"
 #include "comm/pgas_transport.h"
 #include "compiler/pcc.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 #include "runtime/compass.h"
 
@@ -58,6 +59,12 @@ DeterministicRun run_once(const compiler::PccResult& pcc, bool parallel,
   cfg.parallel_execution = parallel;
   cfg.measure = false;  // modelled times only: the whole trace is reproducible
   runtime::Compass sim(model, pcc.partition, *transport, cfg);
+
+  // Profiling on: the end-of-run "profile" record (imbalance, critical-rank
+  // counts, comm matrix) joins the compared bytes, so the profiler itself is
+  // locked down as deterministic too.
+  obs::ProfileCollector profiler(pcc.partition.ranks());
+  sim.set_profile(&profiler);
 
   std::ostringstream os;
   obs::JsonlTraceWriter writer(os, obs::JsonlOptions{.include_measured = false});

@@ -75,6 +75,35 @@ TEST(MetricsRegistry, HistogramBucketsArePowersOfTwo) {
   EXPECT_EQ(m.max, 12u);
 }
 
+TEST(MetricsRegistry, HistogramBucketBoundaries) {
+  // Bucket b holds [2^(b-1), 2^b) for b >= 1; bucket 0 holds only v = 0.
+  obs::MetricsRegistry reg;
+  const auto id = reg.histogram("edges");
+  reg.observe(id, 0);                     // bucket 0
+  reg.observe(id, 1);                     // bucket 1: [1, 2)
+  reg.observe(id, 2);                     // bucket 2: [2, 4)
+  reg.observe(id, 4);                     // bucket 3: exact power of two
+  reg.observe(id, 7);                     // bucket 3: last value of [4, 8)
+  reg.observe(id, 8);                     // bucket 4
+  reg.observe(id, (1ULL << 32));          // bucket 33
+  reg.observe(id, (1ULL << 32) - 1);      // bucket 32
+  reg.observe(id, UINT64_MAX);            // bucket 64 (top bucket)
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  const obs::MetricValue& m = snap[0];
+  ASSERT_EQ(m.buckets.size(), 65u);
+  EXPECT_EQ(m.buckets[0], 1u);
+  EXPECT_EQ(m.buckets[1], 1u);
+  EXPECT_EQ(m.buckets[2], 1u);
+  EXPECT_EQ(m.buckets[3], 2u);
+  EXPECT_EQ(m.buckets[4], 1u);
+  EXPECT_EQ(m.buckets[32], 1u);
+  EXPECT_EQ(m.buckets[33], 1u);
+  EXPECT_EQ(m.buckets[64], 1u);
+  EXPECT_EQ(m.observations, 9u);
+  EXPECT_EQ(m.min, 0u);
+  EXPECT_EQ(m.max, UINT64_MAX);
+}
+
 TEST(MetricsRegistry, JsonSnapshotIsValidJson) {
   obs::MetricsRegistry reg;
   reg.add(reg.counter("a \"quoted\" name\n", "bytes"), 7);
@@ -84,6 +113,55 @@ TEST(MetricsRegistry, JsonSnapshotIsValidJson) {
   reg.write_json(os);
   EXPECT_TRUE(json_valid(os.str())) << os.str();
   EXPECT_NE(os.str().find("\"metrics\""), std::string::npos);
+}
+
+TEST(Prometheus, CounterGaugeAndHistogramExposition) {
+  obs::MetricsRegistry reg;
+  reg.add(reg.counter("comm.messages", "msgs"), 68);
+  reg.set(reg.gauge("run.virtual_time_s", "s"), 0.25);
+  const auto h = reg.histogram("tick.fired", "spikes");
+  reg.observe(h, 0);  // bucket 0
+  reg.observe(h, 1);  // bucket 1
+  reg.observe(h, 3);  // bucket 2
+
+  std::ostringstream os;
+  obs::write_snapshot_prometheus(os, reg.snapshot());
+  const std::string prom = os.str();
+
+  // Names sanitized to [a-zA-Z0-9_:]; counters gain the _total suffix.
+  EXPECT_NE(prom.find("# TYPE comm_messages_total counter"), std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("comm_messages_total 68"), std::string::npos);
+  EXPECT_NE(prom.find("# HELP comm_messages_total comm.messages (msgs)"),
+            std::string::npos);
+  EXPECT_NE(prom.find("run_virtual_time_s 0.25"), std::string::npos);
+
+  // Histogram buckets are cumulative, le = 2^b - 1, closed with +Inf.
+  EXPECT_NE(prom.find("tick_fired_bucket{le=\"0\"} 1"), std::string::npos);
+  EXPECT_NE(prom.find("tick_fired_bucket{le=\"1\"} 2"), std::string::npos);
+  EXPECT_NE(prom.find("tick_fired_bucket{le=\"3\"} 3"), std::string::npos);
+  EXPECT_NE(prom.find("tick_fired_bucket{le=\"+Inf\"} 3"), std::string::npos);
+  EXPECT_NE(prom.find("tick_fired_sum 4"), std::string::npos);
+  EXPECT_NE(prom.find("tick_fired_count 3"), std::string::npos);
+}
+
+TEST(Prometheus, TopBucketUpperBoundIsU64Max) {
+  obs::MetricsRegistry reg;
+  reg.observe(reg.histogram("wide"), UINT64_MAX);
+  std::ostringstream os;
+  obs::write_snapshot_prometheus(os, reg.snapshot());
+  // bit_width(UINT64_MAX) = 64; 2^64 - 1 does not fit, so the bound clamps.
+  EXPECT_NE(os.str().find("wide_bucket{le=\"18446744073709551615\"} 1"),
+            std::string::npos)
+      << os.str();
+}
+
+TEST(Prometheus, NamesStartingWithDigitsGetPrefixed) {
+  obs::MetricsRegistry reg;
+  reg.add(reg.counter("9lives"), 1);
+  std::ostringstream os;
+  obs::write_snapshot_prometheus(os, reg.snapshot());
+  EXPECT_NE(os.str().find("_9lives_total 1"), std::string::npos) << os.str();
 }
 
 // --- Trace writers --------------------------------------------------------
@@ -150,6 +228,39 @@ TEST(ChromeTraceWriter, ProducesLoadableTraceJson) {
   EXPECT_NE(os.str().find("\"traceEvents\""), std::string::npos);
   EXPECT_NE(os.str().find("\"ph\":\"X\""), std::string::npos);
   EXPECT_NE(os.str().find("rank 1"), std::string::npos);
+}
+
+TEST(ChromeTraceWriter, BoundedBufferDropsAndCountsExcessRecords) {
+  // A multi-hour run must not grow the in-memory Chrome buffer without
+  // bound: past the cap, records are dropped (spans and ticks alike, so the
+  // retained prefix is coherent) and counted.
+  obs::ChromeTraceWriter w(/*max_records=*/3);
+  for (int i = 0; i < 5; ++i) {
+    obs::SpanRecord s = sample_span();
+    s.tick = static_cast<arch::Tick>(i);
+    w.on_span(s);
+  }
+  obs::TickRecord t;
+  t.tick = 5;
+  w.on_tick(t);
+  EXPECT_EQ(w.dropped(), 3u);
+
+  std::ostringstream os;
+  w.write(os);
+  EXPECT_TRUE(json_valid(os.str())) << os.str();
+  // The emitted trace announces the truncation so a viewer-side reader
+  // can't mistake the prefix for the whole run.
+  EXPECT_NE(os.str().find("trace truncated"), std::string::npos);
+  EXPECT_NE(os.str().find("3 records dropped"), std::string::npos);
+}
+
+TEST(ChromeTraceWriter, DefaultCapKeepsEverythingForShortRuns) {
+  obs::ChromeTraceWriter w;
+  w.on_span(sample_span());
+  EXPECT_EQ(w.dropped(), 0u);
+  std::ostringstream os;
+  w.write(os);
+  EXPECT_EQ(os.str().find("trace truncated"), std::string::npos);
 }
 
 // --- End-to-end wiring through Compass ------------------------------------

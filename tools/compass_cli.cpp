@@ -15,6 +15,10 @@
 //       --trace-out t.jsonl  per-(tick,rank,phase) JSONL trace (DESIGN.md)
 //       --chrome-out t.json  Chrome-trace/Perfetto view of the virtual time
 //       --metrics-out m.json metrics-registry snapshot (runtime+comm+pcc)
+//       --metrics-prom m.prom  the same snapshot, Prometheus text format
+//       --profile-out p.json comm-matrix + imbalance/critical-rank profile
+//                            (also adds profile rows to the run summary and
+//                            a profile record to --trace-out)
 //       --no-measure         skip host compute timers: traces/reports then
 //                            contain only deterministic modelled times
 //       --checkpoint-every N write a crash-consistent snapshot every N ticks
@@ -74,6 +78,8 @@ struct Args {
   std::string trace_file;
   std::string chrome_file;
   std::string metrics_file;
+  std::string metrics_prom_file;
+  std::string profile_file;
   bool series = false;
   bool energy = false;
   bool stats = false;
@@ -130,7 +136,8 @@ void usage(std::ostream& os) {
         "              [--seed S] [--raster out.rst] [--save-model m.bin]\n"
         "              [--series] [--energy] [--stats] [--no-measure]\n"
         "              [--trace-out t.jsonl] [--chrome-out t.json]\n"
-        "              [--metrics-out m.json]\n"
+        "              [--metrics-out m.json] [--metrics-prom m.prom]\n"
+        "              [--profile-out p.json]\n"
         "              [--checkpoint-every N] [--checkpoint-dir D]\n"
         "              [--checkpoint-keep K] [--restore PATH]\n"
         "              [--fault-plan SPEC]\n"
@@ -172,6 +179,14 @@ std::optional<Args> parse_args(int argc, char** argv) {
       const char* v = next("--metrics-out");
       if (!v) return std::nullopt;
       args.metrics_file = v;
+    } else if (a == "--metrics-prom") {
+      const char* v = next("--metrics-prom");
+      if (!v) return std::nullopt;
+      args.metrics_prom_file = v;
+    } else if (a == "--profile-out") {
+      const char* v = next("--profile-out");
+      if (!v) return std::nullopt;
+      args.profile_file = v;
     } else if (a == "--neurons") {
       const char* v = next("--neurons");
       if (!v) return std::nullopt;
@@ -312,7 +327,8 @@ int cmd_run(const Args& args) {
   // The metrics registry outlives the run: PCC, the transport, and the
   // runtime all publish into it, and --metrics-out snapshots it at the end.
   obs::MetricsRegistry registry;
-  const bool want_metrics = !args.metrics_file.empty();
+  const bool want_metrics =
+      !args.metrics_file.empty() || !args.metrics_prom_file.empty();
   obs::MetricsRegistry* metrics = want_metrics ? &registry : nullptr;
 
   compiler::PccOptions popt;
@@ -408,6 +424,11 @@ int cmd_run(const Args& args) {
 
   transport->set_metrics(metrics);
   sim.set_metrics(metrics);
+  std::optional<obs::ProfileCollector> profiler;
+  if (!args.profile_file.empty()) {
+    profiler.emplace(args.ranks);
+    sim.set_profile(&*profiler);
+  }
   std::ofstream trace_os;
   std::optional<obs::JsonlTraceWriter> jsonl;
   if (!args.trace_file.empty()) {
@@ -435,6 +456,32 @@ int cmd_run(const Args& args) {
   table.row().add("virtual time (s)").add(rep.virtual_total_s(), 4);
   table.row().add("slowdown vs real time").add(rep.slowdown(), 2);
   table.row().add("host wall (s)").add(rep.host_wall_s, 2);
+  if (rep.profile) {
+    const obs::ProfileSummary& prof = *rep.profile;
+    table.row()
+        .add("imbalance syn/neu/net")
+        .add(util::format_double(prof.imbalance[0], 2) + "/" +
+             util::format_double(prof.imbalance[1], 2) + "/" +
+             util::format_double(prof.imbalance[2], 2));
+    table.row().add("overlap efficiency").add(prof.overlap_efficiency(), 3);
+    // The rank that most often set the whole-tick makespan's network slice
+    // (the paper's straggler diagnostics).
+    int critical_rank = 0;
+    std::uint64_t critical_ticks = 0;
+    for (int r = 0; r < prof.ranks(); ++r) {
+      const obs::RankCriticalCounts& c =
+          prof.critical[static_cast<std::size_t>(r)];
+      const std::uint64_t total = c.synapse + c.neuron + c.network;
+      if (total > critical_ticks) {
+        critical_ticks = total;
+        critical_rank = r;
+      }
+    }
+    table.row()
+        .add("most critical rank")
+        .add("r" + std::to_string(critical_rank) + " (" +
+             std::to_string(critical_ticks) + " slices)");
+  }
   if (faulty) {
     table.row().add("faults injected").add(rep.faults_injected);
     table.row().add("messages retried").add(rep.messages_retried);
@@ -496,7 +543,7 @@ int cmd_run(const Args& args) {
                  "to "
               << args.chrome_file << "\n";
   }
-  if (want_metrics) {
+  if (!args.metrics_file.empty()) {
     std::ofstream os(args.metrics_file);
     if (!os) {
       std::cerr << "compass: cannot write " << args.metrics_file << "\n";
@@ -505,6 +552,26 @@ int cmd_run(const Args& args) {
     registry.write_json(os);
     std::cout << "metrics snapshot (" << registry.size() << " series) written "
               << "to " << args.metrics_file << "\n";
+  }
+  if (!args.metrics_prom_file.empty()) {
+    std::ofstream os(args.metrics_prom_file);
+    if (!os) {
+      std::cerr << "compass: cannot write " << args.metrics_prom_file << "\n";
+      return 2;
+    }
+    obs::write_snapshot_prometheus(os, registry.snapshot());
+    std::cout << "metrics exposition (Prometheus text) written to "
+              << args.metrics_prom_file << "\n";
+  }
+  if (profiler) {
+    std::ofstream os(args.profile_file);
+    if (!os) {
+      std::cerr << "compass: cannot write " << args.profile_file << "\n";
+      return 2;
+    }
+    obs::write_profile_json(os, *rep.profile, profiler->comm_matrix());
+    std::cout << "profile (comm matrix + imbalance) written to "
+              << args.profile_file << "\n";
   }
 
   if (!args.raster_file.empty()) {

@@ -1,0 +1,86 @@
+// compass_prof — offline profile analyzer for Compass JSONL traces.
+//
+//   compass_prof <trace.jsonl> [--json] [--top K]
+//
+// Reads a --trace-out capture (span + tick records, plus the end-of-run
+// profile record when the run had profiling enabled) and prints where the
+// virtual parallel time went: per-phase totals, load-imbalance factors,
+// the top-K heaviest / most-critical ranks, and a text comm-matrix heatmap.
+// --json emits the same analysis as one machine-readable JSON object.
+//
+// Exit codes: 0 success, 1 usage error, 2 unreadable/malformed trace.
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "obs/profile.h"
+
+namespace {
+
+void usage(std::ostream& os) {
+  os << "usage: compass_prof <trace.jsonl> [--json] [--top K]\n"
+        "  analyze a Compass --trace-out JSONL capture\n"
+        "  --json   machine-readable report (one JSON object)\n"
+        "  --top K  rows in the heaviest-ranks table (default 5)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  bool json = false;
+  int top_k = 5;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--json") {
+      json = true;
+    } else if (a == "--top") {
+      if (i + 1 >= argc) {
+        std::cerr << "compass_prof: --top requires a value\n";
+        return 1;
+      }
+      try {
+        top_k = std::stoi(argv[++i]);
+      } catch (const std::exception&) {
+        top_k = 0;
+      }
+      if (top_k < 1) {
+        std::cerr << "compass_prof: --top requires a positive integer\n";
+        return 1;
+      }
+    } else if (a == "--help" || a == "-h") {
+      usage(std::cout);
+      return 0;
+    } else if (!a.empty() && a[0] != '-') {
+      path = a;
+    } else {
+      std::cerr << "compass_prof: unknown option " << a << "\n";
+      usage(std::cerr);
+      return 1;
+    }
+  }
+  if (path.empty()) {
+    usage(std::cerr);
+    return 1;
+  }
+
+  std::ifstream is(path);
+  if (!is) {
+    std::cerr << "compass_prof: cannot read " << path << "\n";
+    return 2;
+  }
+  try {
+    const compass::obs::TraceProfile profile =
+        compass::obs::analyze_trace(is);
+    if (json) {
+      compass::obs::write_trace_report_json(std::cout, profile);
+    } else {
+      compass::obs::write_trace_report(std::cout, profile, top_k);
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "compass_prof: " << e.what() << "\n";
+    return 2;
+  }
+  return 0;
+}
