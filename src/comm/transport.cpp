@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
 
 namespace compass::comm {
 
@@ -14,6 +15,25 @@ Transport::Transport(int ranks, CommCostModel model, unsigned spike_wire_bytes)
       sync_s_(static_cast<std::size_t>(ranks), 0.0),
       recv_s_(static_cast<std::size_t>(ranks), 0.0) {
   assert(ranks > 0);
+}
+
+void Transport::set_hop_model(const TorusTopology* topology,
+                              std::vector<int> node_of_rank) {
+  if (topology != nullptr && !node_of_rank.empty()) {
+    if (static_cast<int>(node_of_rank.size()) != ranks_) {
+      throw std::invalid_argument(
+          "Transport: node map must have one entry per rank");
+    }
+    for (int n : node_of_rank) {
+      if (n < 0 || n >= topology->nodes()) {
+        throw std::invalid_argument("Transport: node id outside topology");
+      }
+    }
+  }
+  topology_ = topology;
+  ranks_per_node_ = 1;
+  node_of_rank_ =
+      topology != nullptr ? std::move(node_of_rank) : std::vector<int>{};
 }
 
 void Transport::begin_tick() {

@@ -150,7 +150,16 @@ class Transport {
   void set_hop_model(const TorusTopology* topology, int ranks_per_node = 1) {
     topology_ = topology;
     ranks_per_node_ = ranks_per_node > 0 ? ranks_per_node : 1;
+    node_of_rank_.clear();
   }
+
+  /// Same, with an explicit rank -> torus-node map (a placement's
+  /// node_of_rank): send src -> dst is charged hops(map[src], map[dst]) x
+  /// hop_latency. The map must have one entry per rank, each a valid node of
+  /// `topology` (std::invalid_argument otherwise). An empty map falls back
+  /// to the block convention above.
+  void set_hop_model(const TorusTopology* topology,
+                     std::vector<int> node_of_rank);
 
   /// Modelled seconds rank spent sending this tick (overheads + byte time).
   virtual double send_time(int rank) const { return send_s_[rank]; }
@@ -188,6 +197,13 @@ class Transport {
   /// or for node-local traffic).
   double hop_latency(int src, int dst) const {
     if (topology_ == nullptr) return 0.0;
+    if (!node_of_rank_.empty()) {
+      const int a = node_of_rank_[static_cast<std::size_t>(src)];
+      const int b = node_of_rank_[static_cast<std::size_t>(dst)];
+      if (a == b) return 0.0;
+      return static_cast<double>(topology_->hops(a, b)) *
+             cost_.params().hop_latency_s;
+    }
     const int a = src / ranks_per_node_;
     const int b = dst / ranks_per_node_;
     if (a == b) return 0.0;
@@ -206,6 +222,7 @@ class Transport {
  private:
   const TorusTopology* topology_ = nullptr;
   int ranks_per_node_ = 1;
+  std::vector<int> node_of_rank_;  // explicit rank -> node map (may be empty)
   obs::CommMatrix* comm_matrix_ = nullptr;
 
   obs::MetricsRegistry* metrics_ = nullptr;

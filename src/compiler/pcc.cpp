@@ -431,6 +431,44 @@ PccResult compile(const Spec& spec, const PccOptions& options,
   // Construction randomness must not leak into simulation randomness.
   model.reseed_cores();
 
+  // ---- Optional communication-aware placement (src/place/) ----------------
+  // Runs after wiring on purpose: the wiring above chunked gray matter by
+  // the block partition's ranks, and re-running it under another partition
+  // would change the model. Optimising only the final core->rank map keeps
+  // the model (and therefore every spike) byte-identical across policies.
+  if (!options.placement.empty()) {
+    place::ExtractOptions extract;
+    extract.region_rate_hz.resize(num_regions);
+    for (std::size_t r = 0; r < num_regions; ++r) {
+      extract.region_rate_hz[r] = result.regions[r].rate_hz;
+    }
+    const place::CoreGraph graph = place::extract_comm_graph(model, extract);
+    place::PlacerOptions popt;
+    popt.ranks = options.ranks;
+    popt.threads_per_rank = options.threads_per_rank;
+    popt.balance_tolerance = options.placement_balance_tolerance;
+    popt.seed = options.placement_seed;
+    popt.topology = options.placement_topology;
+    popt.ranks_per_node = options.placement_ranks_per_node;
+    result.placement =
+        place::make_placer(options.placement)->place(graph, popt);
+    result.partition = result.placement->partition;
+    // Hosting ranks are no longer contiguous blocks: report min/max over the
+    // region's cores.
+    for (RegionInfo& info : result.regions) {
+      int lo = options.ranks - 1;
+      int hi = 0;
+      const CoreId end = info.first_core + static_cast<CoreId>(info.cores);
+      for (CoreId c = info.first_core; c < end; ++c) {
+        const int r = result.partition.rank_of(c);
+        lo = std::min(lo, r);
+        hi = std::max(hi, r);
+      }
+      info.first_rank = lo;
+      info.last_rank = hi;
+    }
+  }
+
   result.stats.compile_s = compile_timer.elapsed_s();
 
   if (metrics != nullptr) {
@@ -443,6 +481,10 @@ PccResult compile(const Spec& spec, const PccOptions& options,
     metrics->set(metrics->gauge("pcc.compile_s", "s"), result.stats.compile_s);
     metrics->set(metrics->gauge("pcc.ipfp_iterations", "iterations"),
                  static_cast<double>(result.stats.ipfp.iterations));
+    if (result.placement) {
+      metrics->set(metrics->gauge("pcc.placement_objective", "weight"),
+                   result.placement->predicted_objective);
+    }
   }
   return result;
 }

@@ -35,6 +35,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -42,6 +43,7 @@
 #include "compiler/coreobject.h"
 #include "compiler/ipfp.h"
 #include "obs/metrics.h"
+#include "place/placer.h"
 #include "runtime/partition.h"
 #include "util/matrix.h"
 
@@ -80,6 +82,19 @@ struct PccOptions {
   /// falls back to a plain balanced block partition.
   bool region_aligned_placement = true;
 
+  /// Communication-aware placement policy (src/place/): "uniform", "random",
+  /// "greedy-refine", "recursive-bisect", or "sfc-torus". Runs *after*
+  /// wiring, so the compiled model is byte-identical for every policy — only
+  /// the core->rank partition (and rank->node map) changes. Empty (the
+  /// default) keeps the classic step-4 block placement untouched.
+  std::string placement;
+  std::uint64_t placement_seed = 0;
+  double placement_balance_tolerance = 0.05;
+  /// Torus the optimiser embeds ranks onto (null: hop term is zero). Must
+  /// outlive compile(); pass the same topology to the transport.
+  const comm::TorusTopology* placement_topology = nullptr;
+  int placement_ranks_per_node = 1;
+
   IpfpOptions ipfp;
 };
 
@@ -111,6 +126,9 @@ struct PccResult {
   std::vector<RegionInfo> regions;
   util::Matrix<std::int64_t> connections;  // balanced integer region matrix
   WiringStats stats;
+  /// Present when PccOptions::placement named a policy: the optimiser's full
+  /// answer (partition is already copied into `partition` above).
+  std::optional<place::Placement> placement;
 };
 
 /// Compile a CoreObject spec into a ready-to-simulate model + partition.

@@ -35,6 +35,16 @@ CommCell CommMatrix::total() const {
   return out;
 }
 
+CommCell CommMatrix::off_diagonal_total() const {
+  CommCell out;
+  for (int s = 0; s < ranks_; ++s) {
+    for (int d = 0; d < ranks_; ++d) {
+      if (s != d) out += at(s, d);
+    }
+  }
+  return out;
+}
+
 double imbalance_factor(const std::vector<RankPhaseSeconds>& ranks,
                         double RankPhaseSeconds::*phase) {
   if (ranks.empty()) return 1.0;

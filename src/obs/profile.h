@@ -91,6 +91,9 @@ class CommMatrix {
   CommCell row_total(int src) const;  // everything `src` sent
   CommCell col_total(int dst) const;  // everything `dst` received
   CommCell total() const;
+  /// Wire traffic only (src != dst): the quantity placement optimises. Its
+  /// message/byte counts equal total()'s — the diagonal never carries any.
+  CommCell off_diagonal_total() const;
 
   friend bool operator==(const CommMatrix&, const CommMatrix&) = default;
 

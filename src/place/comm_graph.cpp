@@ -1,0 +1,120 @@
+#include "place/comm_graph.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace compass::place {
+
+CoreGraph CoreGraph::from_directed_edges(std::size_t num_cores,
+                                         std::span<const DirectedEdge> edges) {
+  CoreGraph g;
+  double self = 0.0;
+
+  // Canonicalise: (u, v) with u <= v; fold self-edges into self_weight.
+  std::vector<DirectedEdge> undirected;
+  undirected.reserve(edges.size());
+  for (const DirectedEdge& e : edges) {
+    if (e.src >= num_cores || e.dst >= num_cores) {
+      throw std::invalid_argument("CoreGraph: edge endpoint out of range");
+    }
+    if (e.weight < 0.0) {
+      throw std::invalid_argument("CoreGraph: negative edge weight");
+    }
+    if (e.src == e.dst) {
+      self += e.weight;
+      continue;
+    }
+    undirected.push_back(e.src < e.dst ? e
+                                       : DirectedEdge{e.dst, e.src, e.weight});
+  }
+  std::sort(undirected.begin(), undirected.end(),
+            [](const DirectedEdge& a, const DirectedEdge& b) {
+              return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+            });
+  // Merge duplicates in place.
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < undirected.size(); ++i) {
+    if (out > 0 && undirected[out - 1].src == undirected[i].src &&
+        undirected[out - 1].dst == undirected[i].dst) {
+      undirected[out - 1].weight += undirected[i].weight;
+    } else {
+      undirected[out++] = undirected[i];
+    }
+  }
+  undirected.resize(out);
+
+  // CSR with every undirected edge appearing in both endpoint lists.
+  std::vector<std::size_t> degree(num_cores, 0);
+  double total = 0.0;
+  for (const DirectedEdge& e : undirected) {
+    ++degree[e.src];
+    ++degree[e.dst];
+    total += e.weight;
+  }
+  std::vector<std::size_t> offsets(num_cores + 1, 0);
+  for (std::size_t c = 0; c < num_cores; ++c) {
+    offsets[c + 1] = offsets[c] + degree[c];
+  }
+  std::vector<GraphEdge> out_edges(undirected.size() * 2);
+  std::vector<std::size_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (const DirectedEdge& e : undirected) {
+    out_edges[cursor[e.src]++] = GraphEdge{e.dst, e.weight};
+    out_edges[cursor[e.dst]++] = GraphEdge{e.src, e.weight};
+  }
+  // The lower endpoint's entries land ascending but the upper endpoint's
+  // interleave; sort each range so neighbour order is deterministic.
+  for (std::size_t c = 0; c < num_cores; ++c) {
+    std::sort(out_edges.begin() + static_cast<std::ptrdiff_t>(offsets[c]),
+              out_edges.begin() + static_cast<std::ptrdiff_t>(offsets[c + 1]),
+              [](const GraphEdge& a, const GraphEdge& b) { return a.to < b.to; });
+  }
+
+  g.offsets_ = std::move(offsets);
+  g.edges_ = std::move(out_edges);
+  g.total_weight_ = total;
+  g.self_weight_ = self;
+  return g;
+}
+
+CoreGraph extract_comm_graph(const arch::Model& model,
+                             const ExtractOptions& options) {
+  const std::size_t num_cores = model.num_cores();
+  std::vector<DirectedEdge> directed;
+  directed.reserve(num_cores * 8);
+
+  for (std::size_t c = 0; c < num_cores; ++c) {
+    const arch::CoreId src = static_cast<arch::CoreId>(c);
+    double rate = 1.0;
+    if (!options.region_rate_hz.empty()) {
+      const std::uint16_t region = model.region(src);
+      if (region >= options.region_rate_hz.size()) {
+        throw std::invalid_argument(
+            "extract_comm_graph: model region id outside rate table");
+      }
+      rate = options.region_rate_hz[region] / 1000.0;  // spikes per tick
+    }
+    const arch::NeurosynapticCore& core = model.core(src);
+    // Accumulate this core's per-target counts before emitting edges: each
+    // core has at most 256 distinct targets, so a small local pass keeps the
+    // global edge list near its merged size.
+    std::vector<DirectedEdge> local;
+    local.reserve(16);
+    for (unsigned j = 0; j < arch::kNeuronsPerCore; ++j) {
+      const arch::AxonTarget t = core.target(j);
+      if (!t.connected()) continue;
+      bool found = false;
+      for (DirectedEdge& e : local) {
+        if (e.dst == t.core) {
+          e.weight += rate;
+          found = true;
+          break;
+        }
+      }
+      if (!found) local.push_back(DirectedEdge{src, t.core, rate});
+    }
+    directed.insert(directed.end(), local.begin(), local.end());
+  }
+  return CoreGraph::from_directed_edges(num_cores, directed);
+}
+
+}  // namespace compass::place

@@ -1,0 +1,88 @@
+// Weighted core-connectivity graph: the input of the placement subsystem.
+//
+// The paper's locality lever (section IV) is keeping heavily communicating
+// TrueNorth cores on the same Compass process; to optimise for that we first
+// need to know *which* cores communicate. Every neuron has exactly one
+// (core, axon, delay) spike target, so the expected steady-state traffic
+// between two cores is the number of neuron->axon connections between them
+// times the source region's firing rate. extract_comm_graph() folds a wired
+// Model into that graph; from_directed_edges() builds the same structure
+// from explicit measurements (e.g. per-core-pair spike counts recorded by a
+// run), which is what makes the evaluator's predictions exactly comparable
+// to the profiler's measured CommMatrix.
+//
+// The graph is undirected (edge weight = sum of both directions): the cut
+// objective and the torus hop metric are symmetric, so direction carries no
+// information the placement policies could use.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "arch/model.h"
+#include "arch/types.h"
+
+namespace compass::place {
+
+/// One undirected neighbour: the far core and the symmetrised weight
+/// (expected spikes/tick for rate-based extraction, raw counts for measured
+/// graphs — the objective is scale-invariant, so units only matter for
+/// reporting).
+struct GraphEdge {
+  arch::CoreId to = 0;
+  double weight = 0.0;
+};
+
+/// A directed (source core, target core, weight) triple for explicit
+/// construction; self-edges are kept (they represent core-local traffic and
+/// never enter the cut).
+struct DirectedEdge {
+  arch::CoreId src = 0;
+  arch::CoreId dst = 0;
+  double weight = 0.0;
+};
+
+class CoreGraph {
+ public:
+  CoreGraph() = default;
+
+  /// Build from explicit directed traffic. Duplicate (src, dst) pairs
+  /// accumulate; (u, v) and (v, u) merge into one undirected edge.
+  static CoreGraph from_directed_edges(std::size_t num_cores,
+                                       std::span<const DirectedEdge> edges);
+
+  std::size_t num_cores() const { return offsets_.empty() ? 0 : offsets_.size() - 1; }
+  std::size_t num_edges() const { return edges_.size() / 2; }  // undirected
+
+  /// Neighbours of `core` (ascending core id), self excluded.
+  std::span<const GraphEdge> neighbors(arch::CoreId core) const {
+    return {edges_.data() + offsets_[core],
+            offsets_[core + 1] - offsets_[core]};
+  }
+
+  /// Sum of undirected edge weights (each pair counted once).
+  double total_weight() const { return total_weight_; }
+  /// Traffic whose source and target core coincide (never cuttable).
+  double self_weight() const { return self_weight_; }
+
+ private:
+  std::vector<std::size_t> offsets_;  // num_cores + 1
+  std::vector<GraphEdge> edges_;      // each undirected edge stored twice
+  double total_weight_ = 0.0;
+  double self_weight_ = 0.0;
+};
+
+struct ExtractOptions {
+  /// Mean firing rate per model region id (Hz). A neuron's connection then
+  /// weighs rate/1000 expected spikes/tick. Empty: every connection weighs
+  /// 1.0 (pure connection-count graph).
+  std::vector<double> region_rate_hz;
+};
+
+/// Fold a wired model's neuron targets into the core graph.
+CoreGraph extract_comm_graph(const arch::Model& model,
+                             const ExtractOptions& options = {});
+
+}  // namespace compass::place

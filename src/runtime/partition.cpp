@@ -65,7 +65,18 @@ Partition Partition::block_aligned(std::span<const std::int64_t> block_sizes,
 
 Partition Partition::from_rank_assignment(std::vector<int> rank_of_core,
                                           int ranks, int threads_per_rank) {
-  assert(ranks > 0 && threads_per_rank > 0);
+  if (ranks <= 0) throw PartitionError("Partition: ranks must be > 0");
+  if (threads_per_rank <= 0) {
+    throw PartitionError("Partition: threads_per_rank must be > 0");
+  }
+  if (rank_of_core.empty()) {
+    throw PartitionError("Partition: empty rank assignment");
+  }
+  for (int r : rank_of_core) {
+    if (r < 0 || r >= ranks) {
+      throw PartitionError("Partition: rank id outside [0, ranks)");
+    }
+  }
   Partition p;
   p.ranks_ = ranks;
   p.threads_per_rank_ = threads_per_rank;

@@ -10,11 +10,21 @@
 
 #include <cstdint>
 #include <span>
+#include <stdexcept>
 #include <vector>
 
 #include "arch/types.h"
 
 namespace compass::runtime {
+
+/// Thrown for structurally invalid explicit placements (empty assignment,
+/// rank id outside [0, ranks), non-positive rank/thread counts). Placement
+/// files and other untrusted assignments funnel through
+/// Partition::from_rank_assignment, so this is the fuzz boundary.
+class PartitionError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
 
 class Partition {
  public:
@@ -25,8 +35,11 @@ class Partition {
   static Partition uniform(std::size_t num_cores, int ranks,
                            int threads_per_rank);
 
-  /// Explicit placement (used by PCC): `rank_of_core[i]` gives core i's
-  /// rank; cores of a rank are split contiguously across threads.
+  /// Explicit placement (used by PCC and the placement subsystem):
+  /// `rank_of_core[i]` gives core i's rank; cores of a rank are split
+  /// contiguously across threads. Throws PartitionError when the vector is
+  /// empty, a rank id falls outside [0, ranks), or ranks/threads_per_rank
+  /// are not positive.
   static Partition from_rank_assignment(std::vector<int> rank_of_core,
                                         int ranks, int threads_per_rank);
 

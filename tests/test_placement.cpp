@@ -1,0 +1,603 @@
+// Placement-subsystem lockdown suite (ctest label: place).
+//
+// Covers the core graph extractor, the objective/evaluator, every policy's
+// structural invariants (coverage, load bounds, node-map validity,
+// determinism), greedy-refine's never-worse guarantee, the snake-curve
+// embedding, placement-file round-trip + fuzzing, the PCC integration's
+// model-identity guarantee, and — the acceptance-critical one — exact
+// agreement between the evaluator's predicted off-diagonal wire bytes and
+// the profiler's measured CommMatrix on a deterministic run.
+#include "place/placer.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "cocomac/macaque.h"
+#include "comm/mpi_transport.h"
+#include "comm/torus.h"
+#include "compiler/pcc.h"
+#include "obs/profile.h"
+#include "place/comm_graph.h"
+#include "place/placement.h"
+#include "runtime/compass.h"
+
+namespace compass::place {
+namespace {
+
+using DE = DirectedEdge;
+
+CoreGraph line_graph(std::size_t cores, double weight = 1.0) {
+  std::vector<DE> edges;
+  for (std::size_t c = 0; c + 1 < cores; ++c) {
+    edges.push_back(DE{static_cast<arch::CoreId>(c),
+                       static_cast<arch::CoreId>(c + 1), weight});
+  }
+  return CoreGraph::from_directed_edges(cores, edges);
+}
+
+// --- CoreGraph --------------------------------------------------------------
+
+TEST(CoreGraph, MergesDirectionsAndDuplicates) {
+  const std::vector<DE> edges = {{0, 1, 2.0}, {1, 0, 3.0}, {0, 1, 1.0},
+                                 {2, 0, 4.0}};
+  const CoreGraph g = CoreGraph::from_directed_edges(3, edges);
+  EXPECT_EQ(g.num_edges(), 2u);
+  ASSERT_EQ(g.neighbors(0).size(), 2u);
+  EXPECT_EQ(g.neighbors(0)[0].to, 1u);
+  EXPECT_DOUBLE_EQ(g.neighbors(0)[0].weight, 6.0);
+  EXPECT_EQ(g.neighbors(0)[1].to, 2u);
+  EXPECT_DOUBLE_EQ(g.neighbors(0)[1].weight, 4.0);
+  EXPECT_DOUBLE_EQ(g.total_weight(), 10.0);
+}
+
+TEST(CoreGraph, SelfEdgesFoldIntoSelfWeight) {
+  const std::vector<DE> edges = {{0, 0, 5.0}, {1, 1, 2.0}, {0, 1, 1.0}};
+  const CoreGraph g = CoreGraph::from_directed_edges(2, edges);
+  EXPECT_DOUBLE_EQ(g.self_weight(), 7.0);
+  EXPECT_DOUBLE_EQ(g.total_weight(), 1.0);
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(CoreGraph, RejectsBadEdges) {
+  const std::vector<DE> out_of_range = {{0, 9, 1.0}};
+  EXPECT_THROW(CoreGraph::from_directed_edges(2, out_of_range),
+               std::invalid_argument);
+  const std::vector<DE> negative = {{0, 1, -1.0}};
+  EXPECT_THROW(CoreGraph::from_directed_edges(2, negative),
+               std::invalid_argument);
+}
+
+TEST(CoreGraph, ExtractionMatchesModelTargets) {
+  arch::Model model(3, /*seed=*/1);
+  arch::NeuronParams params;
+  // Core 0's neurons all target core 1; core 1's all target core 2; core 2
+  // splits between itself and core 0.
+  for (unsigned j = 0; j < arch::kNeuronsPerCore; ++j) {
+    model.core(0).configure_neuron(
+        j, params, arch::AxonTarget{1, static_cast<std::uint8_t>(j), 1});
+    model.core(1).configure_neuron(
+        j, params, arch::AxonTarget{2, static_cast<std::uint8_t>(j), 1});
+    model.core(2).configure_neuron(
+        j, params,
+        arch::AxonTarget{j % 2 == 0 ? arch::CoreId{2} : arch::CoreId{0},
+                         static_cast<std::uint8_t>(j), 1});
+  }
+  const CoreGraph g = extract_comm_graph(model);
+  // 0-1: 256, 1-2: 256, 2-0: 128; self 2-2: 128 (never cuttable).
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_DOUBLE_EQ(g.total_weight(), 256.0 + 256.0 + 128.0);
+  EXPECT_DOUBLE_EQ(g.self_weight(), 128.0);
+}
+
+TEST(CoreGraph, ExtractionWeighsByRegionRate) {
+  arch::Model model(2, 1);
+  model.set_region(0, 0);
+  model.set_region(1, 1);
+  arch::NeuronParams params;
+  for (unsigned j = 0; j < arch::kNeuronsPerCore; ++j) {
+    model.core(0).configure_neuron(j, params,
+                                   arch::AxonTarget{1, std::uint8_t(j), 1});
+    model.core(1).configure_neuron(j, params,
+                                   arch::AxonTarget{0, std::uint8_t(j), 1});
+  }
+  ExtractOptions opt;
+  opt.region_rate_hz = {10.0, 30.0};  // spikes/tick: 0.01 and 0.03
+  const CoreGraph g = extract_comm_graph(model, opt);
+  EXPECT_NEAR(g.total_weight(), 256 * 0.01 + 256 * 0.03, 1e-9);
+
+  ExtractOptions bad;
+  bad.region_rate_hz = {10.0};  // region 1 outside the table
+  EXPECT_THROW(extract_comm_graph(model, bad), std::invalid_argument);
+}
+
+// --- Objective / evaluator --------------------------------------------------
+
+TEST(Evaluate, CountsOnlyCutEdgesAndHops) {
+  // 4 cores in a line, unit weights; ranks {0,0,1,1} cut only edge 1-2.
+  const CoreGraph g = line_graph(4);
+  const runtime::Partition p =
+      runtime::Partition::from_rank_assignment({0, 0, 1, 1}, 2, 1);
+  const PlacementScore flat = evaluate(g, p, {}, nullptr);
+  EXPECT_DOUBLE_EQ(flat.off_diag_weight, 1.0);
+  EXPECT_DOUBLE_EQ(flat.objective, 1.0);
+
+  const comm::TorusTopology topo({4, 1, 1, 1, 1});
+  const std::vector<int> far = {0, 2};  // 2 hops apart on the ring of 4
+  const PlacementScore hopped = evaluate(g, p, far, &topo);
+  EXPECT_DOUBLE_EQ(hopped.off_diag_weight, 1.0);
+  EXPECT_DOUBLE_EQ(hopped.hop_weight, 2.0);
+  EXPECT_DOUBLE_EQ(hopped.objective, 3.0);
+}
+
+TEST(Evaluate, LoadStatistics) {
+  const CoreGraph g = line_graph(6);
+  const runtime::Partition p =
+      runtime::Partition::from_rank_assignment({0, 0, 0, 0, 1, 1}, 2, 1);
+  const PlacementScore s = evaluate(g, p, {}, nullptr);
+  EXPECT_DOUBLE_EQ(s.max_load, 4.0);
+  EXPECT_DOUBLE_EQ(s.mean_load, 3.0);
+  EXPECT_NEAR(s.imbalance(), 4.0 / 3.0, 1e-12);
+}
+
+TEST(Evaluate, RejectsMismatchedShapes) {
+  const CoreGraph g = line_graph(4);
+  const runtime::Partition p = runtime::Partition::uniform(5, 2, 1);
+  EXPECT_THROW(evaluate(g, p, {}, nullptr), PlacementError);
+  const runtime::Partition ok = runtime::Partition::uniform(4, 2, 1);
+  const comm::TorusTopology topo({2, 1, 1, 1, 1});
+  const std::vector<int> short_map = {0};
+  EXPECT_THROW(evaluate(g, ok, short_map, &topo), PlacementError);
+  const std::vector<int> bad_node = {0, 7};
+  EXPECT_THROW(evaluate(g, ok, bad_node, &topo), PlacementError);
+}
+
+TEST(EvaluateCommMatrix, OffDiagonalBytesOnly) {
+  obs::CommMatrix m(3);
+  m.record(0, 1, /*spikes=*/5, /*bytes=*/100);
+  m.record(1, 2, 3, 60);
+  m.record_local(0, 999);  // diagonal: never on the wire
+  const PlacementScore s = evaluate_comm_matrix(m, {}, nullptr);
+  EXPECT_DOUBLE_EQ(s.off_diag_weight, 160.0);
+  EXPECT_DOUBLE_EQ(s.objective, 160.0);
+  EXPECT_EQ(m.off_diagonal_total().bytes, 160u);
+  EXPECT_EQ(m.off_diagonal_total().spikes, 8u);
+
+  const comm::TorusTopology topo({3, 1, 1, 1, 1});
+  const std::vector<int> map = {0, 1, 2};
+  const PlacementScore h = evaluate_comm_matrix(m, map, &topo);
+  EXPECT_DOUBLE_EQ(h.hop_weight, 100.0 * 1 + 60.0 * 1);
+  EXPECT_DOUBLE_EQ(h.objective, 160.0 + 160.0);
+}
+
+// --- load_bounds ------------------------------------------------------------
+
+TEST(LoadBounds, FeasibleAndOrdered) {
+  for (std::size_t cores : {1u, 7u, 100u, 1024u}) {
+    for (int ranks : {1, 3, 8, 64}) {
+      for (double tol : {0.0, 0.05, 0.5}) {
+        const LoadBounds b = load_bounds(cores, ranks, tol);
+        EXPECT_LE(b.min_load, b.max_load);
+        // A feasible assignment always exists within the bounds.
+        EXPECT_GE(b.max_load * static_cast<std::size_t>(ranks), cores);
+        EXPECT_LE(b.min_load * static_cast<std::size_t>(ranks), cores);
+      }
+    }
+  }
+  EXPECT_THROW(load_bounds(10, 0, 0.1), PlacementError);
+}
+
+// --- snake curve ------------------------------------------------------------
+
+TEST(SnakeOrder, VisitsEveryNodeOnceOneHopApart) {
+  for (const std::array<int, 5> dims :
+       {std::array<int, 5>{4, 3, 2, 1, 1}, std::array<int, 5>{2, 2, 2, 2, 2},
+        std::array<int, 5>{5, 1, 1, 1, 1}, std::array<int, 5>{1, 1, 1, 1, 1},
+        std::array<int, 5>{3, 3, 3, 1, 1}}) {
+    const comm::TorusTopology topo(dims);
+    const std::vector<int> order = snake_order(topo);
+    ASSERT_EQ(order.size(), static_cast<std::size_t>(topo.nodes()));
+    std::vector<char> seen(order.size(), 0);
+    for (int n : order) {
+      ASSERT_GE(n, 0);
+      ASSERT_LT(n, topo.nodes());
+      EXPECT_EQ(seen[static_cast<std::size_t>(n)], 0);
+      seen[static_cast<std::size_t>(n)] = 1;
+    }
+    for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+      EXPECT_EQ(topo.hops(order[i], order[i + 1]), 1)
+          << "dims " << dims[0] << dims[1] << dims[2] << " step " << i;
+    }
+  }
+}
+
+// --- Policy invariants ------------------------------------------------------
+
+class PolicySweep : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(PolicySweep, CoverageBalanceNodeMapDeterminism) {
+  const std::string policy = GetParam();
+  // A ring of 96 cores: enough structure that optimisers actually move.
+  std::vector<DE> edges;
+  for (std::size_t c = 0; c < 96; ++c) {
+    edges.push_back(DE{static_cast<arch::CoreId>(c),
+                       static_cast<arch::CoreId>((c + 1) % 96), 1.0});
+  }
+  const CoreGraph g = CoreGraph::from_directed_edges(96, edges);
+
+  const comm::TorusTopology topo = comm::TorusTopology::blue_gene_q(8);
+  PlacerOptions opt;
+  opt.ranks = 8;
+  opt.threads_per_rank = 2;
+  opt.seed = 7;
+  opt.topology = &topo;
+  const Placement a = make_placer(policy)->place(g, opt);
+  const Placement b = make_placer(policy)->place(g, opt);
+
+  EXPECT_EQ(a.policy, policy);
+  EXPECT_EQ(a.partition.num_cores(), 96u);
+  EXPECT_EQ(a.partition.ranks(), 8);
+  EXPECT_EQ(a.partition.threads_per_rank(), 2);
+
+  // Permutation-complete: every core exactly once across rank/thread spans.
+  std::vector<int> seen(96, 0);
+  for (int r = 0; r < 8; ++r) {
+    for (arch::CoreId c : a.partition.cores_of(r)) ++seen[c];
+  }
+  for (int s : seen) EXPECT_EQ(s, 1);
+
+  // Load-balance bounded.
+  const LoadBounds bounds = load_bounds(96, 8, opt.balance_tolerance);
+  for (int r = 0; r < 8; ++r) {
+    EXPECT_GE(a.partition.cores_of(r).size(), bounds.min_load) << r;
+    EXPECT_LE(a.partition.cores_of(r).size(), bounds.max_load) << r;
+  }
+
+  // Node map: one valid torus node per rank.
+  ASSERT_EQ(a.node_of_rank.size(), 8u);
+  for (int n : a.node_of_rank) {
+    EXPECT_GE(n, 0);
+    EXPECT_LT(n, topo.nodes());
+  }
+  EXPECT_EQ(a.torus_dims, topo.dims());
+
+  // Deterministic: identical options give the identical placement.
+  EXPECT_EQ(a.node_of_rank, b.node_of_rank);
+  EXPECT_DOUBLE_EQ(a.predicted_objective, b.predicted_objective);
+  for (std::size_t c = 0; c < 96; ++c) {
+    EXPECT_EQ(a.partition.rank_of(static_cast<arch::CoreId>(c)),
+              b.partition.rank_of(static_cast<arch::CoreId>(c)));
+  }
+
+  // The stored objective is the evaluator's score of the stored placement.
+  EXPECT_DOUBLE_EQ(
+      a.predicted_objective,
+      objective(g, a.partition, a.node_of_rank, &topo));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, PolicySweep,
+                         ::testing::Values("uniform", "random",
+                                           "greedy-refine", "recursive-bisect",
+                                           "sfc-torus"));
+
+TEST(Placer, UnknownPolicyThrows) {
+  EXPECT_THROW(make_placer("simulated-annealing"), PlacementError);
+  EXPECT_EQ(placer_names().size(), 5u);
+  for (const std::string& name : placer_names()) {
+    EXPECT_EQ(make_placer(name)->name(), name);
+  }
+}
+
+TEST(Placer, RejectsImpossibleOptions) {
+  const CoreGraph g = line_graph(4);
+  PlacerOptions opt;
+  opt.ranks = 0;
+  EXPECT_THROW(make_placer("uniform")->place(g, opt), PlacementError);
+  opt.ranks = 2;
+  opt.threads_per_rank = 0;
+  EXPECT_THROW(make_placer("uniform")->place(g, opt), PlacementError);
+  EXPECT_THROW(make_placer("uniform")->place(CoreGraph{}, PlacerOptions{}),
+               PlacementError);
+}
+
+TEST(Placer, RandomSeedChangesAssignment) {
+  const CoreGraph g = line_graph(64);
+  PlacerOptions opt;
+  opt.ranks = 4;
+  opt.seed = 1;
+  const Placement a = make_placer("random")->place(g, opt);
+  opt.seed = 2;
+  const Placement b = make_placer("random")->place(g, opt);
+  bool any_differ = false;
+  for (std::size_t c = 0; c < 64; ++c) {
+    any_differ |= a.partition.rank_of(static_cast<arch::CoreId>(c)) !=
+                  b.partition.rank_of(static_cast<arch::CoreId>(c));
+  }
+  EXPECT_TRUE(any_differ);
+}
+
+TEST(Placer, GreedyRefineNeverWorseThanUniform) {
+  // Several graph shapes; greedy-refine's objective must never exceed
+  // uniform's (it starts there and only takes strictly improving moves).
+  const std::vector<std::vector<DE>> shapes = {
+      // Ring.
+      [] {
+        std::vector<DE> e;
+        for (std::size_t c = 0; c < 60; ++c) {
+          e.push_back(DE{static_cast<arch::CoreId>(c),
+                         static_cast<arch::CoreId>((c + 1) % 60), 1.0});
+        }
+        return e;
+      }(),
+      // Interleaved heavy pairs (uniform cuts all of them).
+      [] {
+        std::vector<DE> e;
+        for (std::size_t c = 0; c < 30; ++c) {
+          e.push_back(DE{static_cast<arch::CoreId>(c),
+                         static_cast<arch::CoreId>(c + 30), 10.0});
+        }
+        return e;
+      }(),
+      // Two cliques-ish blobs joined by one edge.
+      [] {
+        std::vector<DE> e;
+        for (std::size_t c = 0; c < 20; ++c) {
+          for (std::size_t d = c + 1; d < 20; ++d) {
+            e.push_back(DE{static_cast<arch::CoreId>(c),
+                           static_cast<arch::CoreId>(d), 1.0});
+            e.push_back(DE{static_cast<arch::CoreId>(40 + c),
+                           static_cast<arch::CoreId>(40 + d), 1.0});
+          }
+        }
+        e.push_back(DE{19, 40, 0.5});
+        return e;
+      }(),
+  };
+  for (const auto& edges : shapes) {
+    std::size_t cores = 0;
+    for (const DE& e : edges) {
+      cores = std::max({cores, static_cast<std::size_t>(e.src) + 1,
+                        static_cast<std::size_t>(e.dst) + 1});
+    }
+    const CoreGraph g = CoreGraph::from_directed_edges(cores, edges);
+    for (int ranks : {2, 4, 6}) {
+      const comm::TorusTopology topo = comm::TorusTopology::blue_gene_q(ranks);
+      PlacerOptions opt;
+      opt.ranks = ranks;
+      opt.topology = &topo;
+      const double uniform =
+          make_placer("uniform")->place(g, opt).predicted_objective;
+      const double refined =
+          make_placer("greedy-refine")->place(g, opt).predicted_objective;
+      EXPECT_LE(refined, uniform + 1e-9) << "ranks " << ranks;
+    }
+  }
+}
+
+TEST(Placer, SfcTorusNeverWorseThanIdentityEmbedding) {
+  std::vector<DE> edges;
+  for (std::size_t c = 0; c < 128; ++c) {
+    // Long-range pairs: rank i talks mostly to rank (i + 3) mod 8 under a
+    // uniform split, so the identity embedding is far from optimal.
+    edges.push_back(DE{static_cast<arch::CoreId>(c),
+                       static_cast<arch::CoreId>((c + 48) % 128), 4.0});
+  }
+  const CoreGraph g = CoreGraph::from_directed_edges(128, edges);
+  const comm::TorusTopology topo = comm::TorusTopology::blue_gene_q(8);
+  PlacerOptions opt;
+  opt.ranks = 8;
+  opt.topology = &topo;
+  const Placement uniform = make_placer("uniform")->place(g, opt);
+  const Placement sfc = make_placer("sfc-torus")->place(g, opt);
+  // Same partition (sfc-torus only re-embeds ranks)...
+  for (std::size_t c = 0; c < 128; ++c) {
+    EXPECT_EQ(sfc.partition.rank_of(static_cast<arch::CoreId>(c)),
+              uniform.partition.rank_of(static_cast<arch::CoreId>(c)));
+  }
+  // ...with a no-worse (here strictly better) hop-weighted objective.
+  EXPECT_LE(sfc.predicted_objective, uniform.predicted_objective);
+  EXPECT_LT(sfc.predicted_objective, uniform.predicted_objective);
+}
+
+// --- Placement file ---------------------------------------------------------
+
+Placement sample_placement() {
+  const CoreGraph g = line_graph(12);
+  const comm::TorusTopology topo = comm::TorusTopology::blue_gene_q(4);
+  PlacerOptions opt;
+  opt.ranks = 4;
+  opt.threads_per_rank = 3;
+  opt.topology = &topo;
+  return make_placer("greedy-refine")->place(g, opt);
+}
+
+TEST(PlacementFile, RoundTripsExactly) {
+  const Placement original = sample_placement();
+  std::stringstream ss;
+  save_placement(ss, original);
+  const Placement loaded = load_placement(ss);
+  EXPECT_EQ(loaded.policy, original.policy);
+  EXPECT_EQ(loaded.partition.num_cores(), original.partition.num_cores());
+  EXPECT_EQ(loaded.partition.ranks(), original.partition.ranks());
+  EXPECT_EQ(loaded.partition.threads_per_rank(),
+            original.partition.threads_per_rank());
+  for (std::size_t c = 0; c < original.partition.num_cores(); ++c) {
+    EXPECT_EQ(loaded.partition.rank_of(static_cast<arch::CoreId>(c)),
+              original.partition.rank_of(static_cast<arch::CoreId>(c)));
+  }
+  EXPECT_EQ(loaded.node_of_rank, original.node_of_rank);
+  EXPECT_EQ(loaded.torus_dims, original.torus_dims);
+  EXPECT_EQ(loaded.ranks_per_node, original.ranks_per_node);
+  EXPECT_DOUBLE_EQ(loaded.predicted_objective, original.predicted_objective);
+}
+
+TEST(PlacementFile, MalformedInputsThrowTyped) {
+  const auto load_str = [](const std::string& text) {
+    std::istringstream is(text);
+    return load_placement(is);
+  };
+  // Wrong magic / version / missing sections.
+  EXPECT_THROW(load_str(""), PlacementError);
+  EXPECT_THROW(load_str("bogus v1\n"), PlacementError);
+  EXPECT_THROW(load_str("compass-placement v2\n"), PlacementError);
+  EXPECT_THROW(load_str("compass-placement v1\npolicy x\ncores -3\n"),
+               PlacementError);
+  EXPECT_THROW(
+      load_str("compass-placement v1\npolicy x\ncores 2\nranks 2\n"
+               "threads 1\nranks_per_node 1\ntorus 0 1 1 1 1\n"),
+      PlacementError);
+  // Node id outside the declared torus.
+  EXPECT_THROW(
+      load_str("compass-placement v1\npolicy x\ncores 2\nranks 2\nthreads 1\n"
+               "ranks_per_node 1\ntorus 2 1 1 1 1\nobjective 0\n"
+               "nodes 0 5\nassign 0 1\n"),
+      PlacementError);
+  // Rank id outside [0, ranks): PartitionError, from the shared funnel.
+  EXPECT_THROW(
+      load_str("compass-placement v1\npolicy x\ncores 2\nranks 2\nthreads 1\n"
+               "ranks_per_node 1\ntorus 2 1 1 1 1\nobjective 0\n"
+               "nodes 0 1\nassign 0 7\n"),
+      runtime::PartitionError);
+  EXPECT_THROW(
+      load_str("compass-placement v1\npolicy x\ncores 2\nranks 2\nthreads 1\n"
+               "ranks_per_node 1\ntorus 2 1 1 1 1\nobjective 0\n"
+               "nodes 0 1\nassign 0 -1\n"),
+      runtime::PartitionError);
+  // Truncated assign list.
+  EXPECT_THROW(
+      load_str("compass-placement v1\npolicy x\ncores 4\nranks 2\nthreads 1\n"
+               "ranks_per_node 1\ntorus 2 1 1 1 1\nobjective 0\n"
+               "nodes 0 1\nassign 0 1\n"),
+      PlacementError);
+  EXPECT_THROW(load_placement_file("/nonexistent/path.place"), PlacementError);
+}
+
+// --- Partition validation (satellite) ---------------------------------------
+
+TEST(PartitionValidation, FromRankAssignmentThrowsTyped) {
+  EXPECT_THROW(runtime::Partition::from_rank_assignment({}, 2, 1),
+               runtime::PartitionError);
+  EXPECT_THROW(runtime::Partition::from_rank_assignment({0, 2}, 2, 1),
+               runtime::PartitionError);
+  EXPECT_THROW(runtime::Partition::from_rank_assignment({0, -1}, 2, 1),
+               runtime::PartitionError);
+  EXPECT_THROW(runtime::Partition::from_rank_assignment({0}, 0, 1),
+               runtime::PartitionError);
+  EXPECT_THROW(runtime::Partition::from_rank_assignment({0}, 1, 0),
+               runtime::PartitionError);
+  EXPECT_NO_THROW(runtime::Partition::from_rank_assignment({1, 0}, 2, 1));
+}
+
+// --- PCC integration --------------------------------------------------------
+
+TEST(PccPlacement, ModelIsByteIdenticalAcrossPolicies) {
+  cocomac::MacaqueSpecOptions mopt;
+  mopt.total_cores = 96;
+  const compiler::Spec spec = cocomac::build_macaque_spec(mopt);
+
+  compiler::PccOptions base;
+  base.ranks = 6;
+  const compiler::PccResult plain = compiler::compile(spec, base);
+  EXPECT_FALSE(plain.placement.has_value());
+
+  const comm::TorusTopology topo = comm::TorusTopology::blue_gene_q(6);
+  for (const char* policy : {"greedy-refine", "recursive-bisect", "random"}) {
+    compiler::PccOptions opt = base;
+    opt.placement = policy;
+    opt.placement_topology = &topo;
+    const compiler::PccResult optimised = compiler::compile(spec, opt);
+    ASSERT_TRUE(optimised.placement.has_value()) << policy;
+    EXPECT_EQ(optimised.placement->policy, policy);
+    // The placement swap happens after wiring: same model, bit for bit.
+    EXPECT_TRUE(plain.model == optimised.model) << policy;
+    // PccResult::partition is the optimised one.
+    for (std::size_t c = 0; c < 96; ++c) {
+      EXPECT_EQ(optimised.partition.rank_of(static_cast<arch::CoreId>(c)),
+                optimised.placement->partition.rank_of(
+                    static_cast<arch::CoreId>(c)));
+    }
+    // Region hosting ranks were recomputed to cover the scattered cores.
+    for (const compiler::RegionInfo& info : optimised.regions) {
+      const arch::CoreId end =
+          info.first_core + static_cast<arch::CoreId>(info.cores);
+      for (arch::CoreId c = info.first_core; c < end; ++c) {
+        const int r = optimised.partition.rank_of(c);
+        EXPECT_GE(r, info.first_rank);
+        EXPECT_LE(r, info.last_rank);
+      }
+    }
+  }
+}
+
+TEST(PccPlacement, UnknownPolicyThrows) {
+  cocomac::MacaqueSpecOptions mopt;
+  mopt.total_cores = 77;
+  const compiler::Spec spec = cocomac::build_macaque_spec(mopt);
+  compiler::PccOptions opt;
+  opt.ranks = 2;
+  opt.placement = "bogus";
+  EXPECT_THROW(compiler::compile(spec, opt), PlacementError);
+}
+
+// --- Evaluator vs profiler: the exactness acceptance criterion --------------
+
+TEST(MeasuredExactness, PredictedBytesEqualCommMatrixBytes) {
+  cocomac::MacaqueSpecOptions mopt;
+  mopt.total_cores = 128;
+  const compiler::Spec spec = cocomac::build_macaque_spec(mopt);
+  const comm::TorusTopology topo = comm::TorusTopology::blue_gene_q(8);
+  compiler::PccOptions popt;
+  popt.ranks = 8;
+  popt.placement = "greedy-refine";
+  popt.placement_topology = &topo;
+  compiler::PccResult pcc = compiler::compile(spec, popt);
+
+  comm::MpiTransport transport(popt.ranks, comm::CommCostModel{});
+  transport.set_hop_model(&topo, pcc.placement->node_of_rank);
+  runtime::Compass sim(pcc.model, pcc.partition, transport);
+  obs::ProfileCollector collector(popt.ranks);
+  sim.set_profile(&collector);
+
+  // Record the run's actual core->core spike traffic: fired neuron (c, j)
+  // delivers exactly one spike to its wired target core.
+  std::map<std::pair<arch::CoreId, arch::CoreId>, double> traffic;
+  const arch::Model& model = pcc.model;
+  sim.set_spike_hook([&](arch::Tick, arch::CoreId c, unsigned j) {
+    const arch::AxonTarget t = model.core(c).target(j);
+    if (t.connected()) traffic[{c, t.core}] += 1.0;
+  });
+  const runtime::RunReport rep = sim.run(25);
+  ASSERT_GT(rep.fired_spikes, 0u);
+
+  std::vector<DE> edges;
+  edges.reserve(traffic.size());
+  for (const auto& [pair, count] : traffic) {
+    edges.push_back(DE{pair.first, pair.second, count});
+  }
+  const CoreGraph measured =
+      CoreGraph::from_directed_edges(model.num_cores(), edges);
+
+  // Cut spikes == remote spikes, x wire bytes == wire bytes == the matrix's
+  // off-diagonal byte total. Exactly — integer counts in doubles.
+  const PlacementScore predicted =
+      evaluate(measured, pcc.partition, pcc.placement->node_of_rank, &topo);
+  const obs::CommMatrix& matrix = collector.comm_matrix();
+  const double bytes_per_spike =
+      static_cast<double>(transport.spike_wire_bytes());
+  EXPECT_EQ(predicted.off_diag_weight,
+            static_cast<double>(rep.remote_spikes));
+  EXPECT_EQ(predicted.off_diag_weight * bytes_per_spike,
+            static_cast<double>(rep.wire_bytes));
+  EXPECT_EQ(predicted.off_diag_weight * bytes_per_spike,
+            static_cast<double>(matrix.off_diagonal_total().bytes));
+
+  // The hop-weighted objective agrees with rescoring the measured matrix.
+  const PlacementScore rescored = evaluate_comm_matrix(
+      matrix, pcc.placement->node_of_rank, &topo);
+  EXPECT_EQ(predicted.objective * bytes_per_spike, rescored.objective);
+}
+
+}  // namespace
+}  // namespace compass::place

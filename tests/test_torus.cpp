@@ -38,6 +38,56 @@ TEST(Torus, FactorisationIsBalanced) {
   for (int d : t.dims()) EXPECT_EQ(d, 4);
 }
 
+TEST(Torus, FactorisationHandlesAwkwardNodeCounts) {
+  // Primes, prime powers, highly composite, and non-smooth counts: the
+  // factorisation must always multiply back to the node count, with dims
+  // sorted descending (the canonical orientation placement relies on).
+  for (int nodes : {1, 13, 97, 1009, 64, 128, 1024, 4096, 60, 360, 2310,
+                    30030, 2 * 3 * 5 * 7 * 11, 999}) {
+    const TorusTopology t = TorusTopology::blue_gene_q(nodes);
+    std::int64_t product = 1;
+    for (int d : t.dims()) {
+      EXPECT_GE(d, 1) << nodes;
+      product *= d;
+    }
+    EXPECT_EQ(product, nodes) << nodes;
+    for (std::size_t d = 0; d + 1 < 5; ++d) {
+      EXPECT_GE(t.dims()[d], t.dims()[d + 1]) << "nodes " << nodes;
+    }
+  }
+}
+
+TEST(TorusTransport, ExplicitNodeMapOverridesBlockEmbedding) {
+  // 4 ranks on a ring of 4 nodes. The explicit map pins ranks 0 and 1 to
+  // antipodal nodes (2 hops); the default block embedding puts them 1 hop
+  // apart; a map sharing one node makes the same send hop-free.
+  const TorusTopology topo({4, 1, 1, 1, 1});
+  CommCostModel cost;
+  MpiTransport mapped(4, cost), blocked(4, cost), shared(4, cost),
+      flat(4, cost);
+  mapped.set_hop_model(&topo, std::vector<int>{0, 2, 1, 3});
+  blocked.set_hop_model(&topo, /*ranks_per_node=*/1);
+  shared.set_hop_model(&topo, std::vector<int>{0, 0, 2, 2});
+
+  const std::vector<arch::WireSpike> payload = {{1, 0, 0}};
+  for (MpiTransport* t : {&mapped, &blocked, &shared, &flat}) {
+    t->begin_tick();
+    t->send(0, 1, payload);
+    t->exchange();
+  }
+  const double hop = cost.params().hop_latency_s;
+  EXPECT_NEAR(mapped.send_time(0) - flat.send_time(0), 2 * hop, 1e-15);
+  EXPECT_NEAR(blocked.send_time(0) - flat.send_time(0), 1 * hop, 1e-15);
+  EXPECT_NEAR(shared.send_time(0) - flat.send_time(0), 0.0, 1e-15);
+
+  // Validation: the map must cover every rank with an in-range node id.
+  MpiTransport bad(4, cost);
+  EXPECT_THROW(bad.set_hop_model(&topo, std::vector<int>{0, 1}),
+               std::invalid_argument);
+  EXPECT_THROW(bad.set_hop_model(&topo, std::vector<int>{0, 1, 2, 9}),
+               std::invalid_argument);
+}
+
 TEST(Torus, CoordinatesRoundTrip) {
   const TorusTopology t({3, 2, 2, 1, 1});
   for (int n = 0; n < t.nodes(); ++n) {

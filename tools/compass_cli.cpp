@@ -29,6 +29,15 @@
 //                            additional ticks to simulate
 //       --fault-plan SPEC    inject transport faults (DESIGN.md grammar;
 //                            $COMPASS_FAULT_PLAN is used when absent)
+//       --placement P        communication-aware core->rank placement
+//                            (uniform|random|greedy-refine|recursive-bisect|
+//                            sfc-torus); attaches a BG/Q-style torus hop
+//                            model sized to the run. Absent: the classic
+//                            block placement, byte-identical to older runs.
+//       --placement-seed S   seed for the random policy (default 0)
+//       --placement-out F    save the active placement to a file
+//       --placement-in F     load a placement file instead of optimising
+//       --ranks-per-node K   ranks sharing one torus node (default 1)
 //   compass analyze <raster> --ticks N [--neurons M]
 //       Spike-train statistics over a recorded raster.
 //
@@ -52,6 +61,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "perf/energy.h"
+#include "place/placement.h"
 #include "resilience/checkpoint.h"
 #include "resilience/checkpoint_manager.h"
 #include "resilience/fault.h"
@@ -90,6 +100,11 @@ struct Args {
   int checkpoint_keep = 3;
   std::string restore_path;  // checkpoint file or directory to resume from
   std::string fault_plan;    // resilience::FaultPlan spec ("" = none/env)
+  std::string placement;       // placement policy ("" = classic block)
+  std::uint64_t placement_seed = 0;
+  std::string placement_out;   // save the active placement here
+  std::string placement_in;    // load a placement file instead of optimising
+  int ranks_per_node = 1;      // torus-node grouping for the hop model
 };
 
 /// Checked numeric flag parsing: the whole token must be digits and the
@@ -141,6 +156,10 @@ void usage(std::ostream& os) {
         "              [--checkpoint-every N] [--checkpoint-dir D]\n"
         "              [--checkpoint-keep K] [--restore PATH]\n"
         "              [--fault-plan SPEC]\n"
+        "              [--placement uniform|random|greedy-refine|\n"
+        "                           recursive-bisect|sfc-torus]\n"
+        "              [--placement-seed S] [--placement-out F]\n"
+        "              [--placement-in F] [--ranks-per-node K]\n"
         "  compass analyze <raster> --ticks N [--neurons M]\n";
 }
 
@@ -248,6 +267,30 @@ std::optional<Args> parse_args(int argc, char** argv) {
       const char* v = next("--fault-plan");
       if (!v) return std::nullopt;
       args.fault_plan = v;
+    } else if (a == "--placement") {
+      const char* v = next("--placement");
+      if (!v) return std::nullopt;
+      args.placement = v;
+    } else if (a == "--placement-seed") {
+      const char* v = next("--placement-seed");
+      if (!v) return std::nullopt;
+      const auto n = parse_u64_flag("--placement-seed", v, 0, UINT64_MAX);
+      if (!n) return std::nullopt;
+      args.placement_seed = *n;
+    } else if (a == "--placement-out") {
+      const char* v = next("--placement-out");
+      if (!v) return std::nullopt;
+      args.placement_out = v;
+    } else if (a == "--placement-in") {
+      const char* v = next("--placement-in");
+      if (!v) return std::nullopt;
+      args.placement_in = v;
+    } else if (a == "--ranks-per-node") {
+      const char* v = next("--ranks-per-node");
+      if (!v) return std::nullopt;
+      const auto n = parse_u64_flag("--ranks-per-node", v, 1, 1u << 20);
+      if (!n) return std::nullopt;
+      args.ranks_per_node = static_cast<int>(*n);
     } else if (a == "--transport") {
       const char* v = next("--transport");
       if (!v) return std::nullopt;
@@ -323,6 +366,10 @@ int cmd_info(const Args& args) {
 int cmd_run(const Args& args) {
   compiler::Spec spec = load_spec(args);
   if (args.seed != 42) spec.seed = args.seed;
+  if (!args.placement.empty() && !args.placement_in.empty()) {
+    std::cerr << "compass: --placement and --placement-in are exclusive\n";
+    return 1;
+  }
 
   // The metrics registry outlives the run: PCC, the transport, and the
   // runtime all publish into it, and --metrics-out snapshots it at the end.
@@ -331,12 +378,66 @@ int cmd_run(const Args& args) {
       !args.metrics_file.empty() || !args.metrics_prom_file.empty();
   obs::MetricsRegistry* metrics = want_metrics ? &registry : nullptr;
 
+  // Placement runs against a BG/Q-style torus sized to the run, so the
+  // optimiser, the transport's hop charges, and the post-run rescoring all
+  // see one topology. The topology must outlive the transport.
+  std::optional<comm::TorusTopology> topo;
+  const bool want_placement =
+      !args.placement.empty() || !args.placement_in.empty();
+  if (want_placement) {
+    const int nodes =
+        (args.ranks + args.ranks_per_node - 1) / args.ranks_per_node;
+    topo.emplace(comm::TorusTopology::blue_gene_q(std::max(1, nodes)));
+  }
+
   compiler::PccOptions popt;
   popt.ranks = args.ranks;
   popt.threads_per_rank = args.threads;
+  if (!args.placement.empty()) {
+    popt.placement = args.placement;
+    popt.placement_seed = args.placement_seed;
+    popt.placement_topology = &*topo;
+    popt.placement_ranks_per_node = args.ranks_per_node;
+  }
   std::cout << "compiling " << spec.total_cores << " cores for " << args.ranks
             << " rank(s) x " << args.threads << " thread(s)...\n";
   compiler::PccResult pcc = compiler::compile(spec, popt, metrics);
+
+  // A loaded placement replaces the compiled partition wholesale (the model
+  // itself never depends on placement, so any same-shape file is legal).
+  std::optional<place::Placement> active_placement;
+  if (!args.placement_in.empty()) {
+    place::Placement loaded = place::load_placement_file(args.placement_in);
+    if (loaded.partition.num_cores() != pcc.model.num_cores()) {
+      std::cerr << "compass: placement file covers "
+                << loaded.partition.num_cores() << " cores, model has "
+                << pcc.model.num_cores() << "\n";
+      return 1;
+    }
+    if (loaded.partition.ranks() != args.ranks) {
+      std::cerr << "compass: placement file has " << loaded.partition.ranks()
+                << " ranks, run asked for " << args.ranks << "\n";
+      return 1;
+    }
+    if (loaded.partition.threads_per_rank() != args.threads) {
+      loaded.partition.rethread(args.threads);
+    }
+    topo.emplace(comm::TorusTopology(loaded.torus_dims));
+    pcc.partition = loaded.partition;
+    active_placement = std::move(loaded);
+    std::cout << "placement loaded from " << args.placement_in << " ("
+              << active_placement->policy << ")\n";
+  } else if (pcc.placement) {
+    active_placement = pcc.placement;
+  }
+  if (!args.placement_out.empty()) {
+    if (!active_placement) {
+      std::cerr << "compass: --placement-out needs --placement/--placement-in\n";
+      return 1;
+    }
+    place::save_placement_file(args.placement_out, *active_placement);
+    std::cout << "placement written to " << args.placement_out << "\n";
+  }
   const arch::ModelInventory inv = pcc.model.inventory();
   std::cout << "  " << inv.cores << " cores / " << inv.neurons << " neurons / "
             << inv.synapses << " synapses in "
@@ -360,6 +461,11 @@ int cmd_run(const Args& args) {
   } else {
     std::cerr << "compass: unknown transport '" << args.transport << "'\n";
     return 1;
+  }
+  if (active_placement) {
+    // Hop charges follow the placement's rank->node embedding (attached to
+    // the inner transport: the fault decorator forwards its sends there).
+    inner_transport->set_hop_model(&*topo, active_placement->node_of_rank);
   }
 
   // Fault injection: explicit --fault-plan wins; otherwise the environment
@@ -481,6 +587,22 @@ int cmd_run(const Args& args) {
         .add("most critical rank")
         .add("r" + std::to_string(critical_rank) + " (" +
              std::to_string(critical_ticks) + " slices)");
+  }
+  if (active_placement) {
+    table.row().add("placement").add(active_placement->policy);
+    table.row()
+        .add("predicted objective")
+        .add(active_placement->predicted_objective, 0);
+    if (profiler) {
+      const place::PlacementScore measured = place::evaluate_comm_matrix(
+          profiler->comm_matrix(), active_placement->node_of_rank, &*topo);
+      table.row()
+          .add("measured off-diag bytes")
+          .add(measured.off_diag_weight, 0);
+      table.row()
+          .add("measured hop-weighted bytes")
+          .add(measured.objective, 0);
+    }
   }
   if (faulty) {
     table.row().add("faults injected").add(rep.faults_injected);

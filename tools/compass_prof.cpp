@@ -1,6 +1,6 @@
 // compass_prof — offline profile analyzer for Compass JSONL traces.
 //
-//   compass_prof <trace.jsonl> [--json] [--top K]
+//   compass_prof <trace.jsonl> [--json] [--top K] [--what-if placement]
 //
 // Reads a --trace-out capture (span + tick records, plus the end-of-run
 // profile record when the run had profiling enabled) and prints where the
@@ -8,27 +8,40 @@
 // the top-K heaviest / most-critical ranks, and a text comm-matrix heatmap.
 // --json emits the same analysis as one machine-readable JSON object.
 //
-// Exit codes: 0 success, 1 usage error, 2 unreadable/malformed trace.
+// --what-if rescores the trace's *measured* comm matrix under a placement
+// file's rank->node embedding (tools/compass --placement-out), comparing
+// hop-weighted off-diagonal wire bytes against the default block embedding —
+// placement studies without re-running the simulation. The matrix is
+// rank-level, so only the rank->node map can be hypothesised; the core->rank
+// partition is whatever the recorded run used.
+//
+// Exit codes: 0 success, 1 usage error, 2 unreadable/malformed input.
 #include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
 
+#include "comm/torus.h"
 #include "obs/profile.h"
+#include "place/placement.h"
 
 namespace {
 
 void usage(std::ostream& os) {
-  os << "usage: compass_prof <trace.jsonl> [--json] [--top K]\n"
+  os << "usage: compass_prof <trace.jsonl> [--json] [--top K] "
+        "[--what-if placement]\n"
         "  analyze a Compass --trace-out JSONL capture\n"
-        "  --json   machine-readable report (one JSON object)\n"
-        "  --top K  rows in the heaviest-ranks table (default 5)\n";
+        "  --json        machine-readable report (one JSON object)\n"
+        "  --top K       rows in the heaviest-ranks table (default 5)\n"
+        "  --what-if F   rescore the measured comm matrix under the\n"
+        "                rank->node embedding of placement file F\n";
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string path;
+  std::string what_if;
   bool json = false;
   int top_k = 5;
   for (int i = 1; i < argc; ++i) {
@@ -49,10 +62,22 @@ int main(int argc, char** argv) {
         std::cerr << "compass_prof: --top requires a positive integer\n";
         return 1;
       }
+    } else if (a == "--what-if") {
+      if (i + 1 >= argc) {
+        std::cerr << "compass_prof: --what-if requires a placement file\n";
+        return 1;
+      }
+      what_if = argv[++i];
     } else if (a == "--help" || a == "-h") {
       usage(std::cout);
       return 0;
     } else if (!a.empty() && a[0] != '-') {
+      if (!path.empty()) {
+        std::cerr << "compass_prof: unexpected extra argument '" << a
+                  << "' (already analyzing " << path << ")\n";
+        usage(std::cerr);
+        return 1;
+      }
       path = a;
     } else {
       std::cerr << "compass_prof: unknown option " << a << "\n";
@@ -77,6 +102,52 @@ int main(int argc, char** argv) {
       compass::obs::write_trace_report_json(std::cout, profile);
     } else {
       compass::obs::write_trace_report(std::cout, profile, top_k);
+    }
+
+    if (!what_if.empty()) {
+      if (!profile.has_profile) {
+        std::cerr << "compass_prof: trace has no profile record; re-run with "
+                     "--profile-out to capture the comm matrix\n";
+        return 2;
+      }
+      const compass::place::Placement placement =
+          compass::place::load_placement_file(what_if);
+      if (placement.partition.ranks() != profile.matrix.ranks()) {
+        std::cerr << "compass_prof: placement has "
+                  << placement.partition.ranks() << " ranks, trace has "
+                  << profile.matrix.ranks() << "\n";
+        return 2;
+      }
+      const compass::comm::TorusTopology topo(placement.torus_dims);
+      const std::vector<int> baseline = compass::place::identity_node_map(
+          profile.matrix.ranks(), placement.ranks_per_node, topo.nodes());
+      const compass::place::PlacementScore base =
+          compass::place::evaluate_comm_matrix(profile.matrix, baseline,
+                                               &topo);
+      const compass::place::PlacementScore hypo =
+          compass::place::evaluate_comm_matrix(
+              profile.matrix, placement.node_of_rank, &topo);
+      const double gain =
+          base.objective > 0.0
+              ? 100.0 * (base.objective - hypo.objective) / base.objective
+              : 0.0;
+      if (json) {
+        std::cout << "\n{\"what_if\":{\"placement\":\"" << placement.policy
+                  << "\",\"off_diag_bytes\":" << hypo.off_diag_weight
+                  << ",\"baseline_hop_weighted\":" << base.objective
+                  << ",\"hop_weighted\":" << hypo.objective
+                  << ",\"gain_pct\":" << gain << "}}\n";
+      } else {
+        std::cout << "\nwhat-if (" << placement.policy << " embedding, torus "
+                  << topo.dims()[0] << "x" << topo.dims()[1] << "x"
+                  << topo.dims()[2] << "x" << topo.dims()[3] << "x"
+                  << topo.dims()[4] << "):\n"
+                  << "  off-diagonal wire bytes     " << hypo.off_diag_weight
+                  << "\n"
+                  << "  hop-weighted bytes baseline " << base.objective << "\n"
+                  << "  hop-weighted bytes what-if  " << hypo.objective << "\n"
+                  << "  improvement                 " << gain << "%\n";
+      }
     }
   } catch (const std::exception& e) {
     std::cerr << "compass_prof: " << e.what() << "\n";
