@@ -9,9 +9,10 @@
 
 #include "common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace compass;
   using namespace compass::bench;
+  init_obs(argc, argv);
 
   // Configuration where the overlap matters: a sizeable communicator (the
   // Reduce-Scatter is worth hiding), few threads (local delivery is slow

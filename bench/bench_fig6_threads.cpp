@@ -13,9 +13,10 @@
 
 #include "common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace compass;
   using namespace compass::bench;
+  init_obs(argc, argv);
 
   const std::uint64_t cores = scaled(1024, 77);
   const arch::Tick ticks = static_cast<arch::Tick>(scaled(100, 10));

@@ -10,9 +10,10 @@
 #include "common.h"
 #include "perf/energy.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace compass;
   using namespace compass::bench;
+  init_obs(argc, argv);
 
   const arch::Tick ticks = static_cast<arch::Tick>(scaled(200, 20));
 

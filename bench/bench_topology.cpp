@@ -16,9 +16,10 @@
 #include "comm/torus.h"
 #include "util/prng.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace compass;
   using namespace compass::bench;
+  init_obs(argc, argv);
 
   print_header("topology", "Section I use case (c)",
                "torus shape statistics + placement locality on the macaque "

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/spiketrace.h"
 #include "obs/trace.h"
 #include "primitives/primitives.h"
 #include "util/prng.h"
@@ -27,13 +28,25 @@ const char* env_or_empty(const char* name) {
 /// Process-wide observability state: one registry and one set of writers
 /// shared by every run_model() call, flushed when the process exits.
 struct BenchObs {
-  ObsOptions options{env_or_empty("COMPASS_TRACE_OUT"),
-                     env_or_empty("COMPASS_CHROME_OUT"),
-                     env_or_empty("COMPASS_METRICS_OUT"),
-                     env_or_empty("COMPASS_PROFILE_OUT")};
+  ObsOptions options = [] {
+    ObsOptions o;
+    o.trace_out = env_or_empty("COMPASS_TRACE_OUT");
+    o.chrome_out = env_or_empty("COMPASS_CHROME_OUT");
+    o.metrics_out = env_or_empty("COMPASS_METRICS_OUT");
+    o.profile_out = env_or_empty("COMPASS_PROFILE_OUT");
+    o.spike_trace_out = env_or_empty("COMPASS_SPIKE_TRACE_OUT");
+    const char* sample = std::getenv("COMPASS_SPIKE_SAMPLE");
+    if (sample != nullptr && *sample != '\0') {
+      const unsigned long long v = std::strtoull(sample, nullptr, 10);
+      if (v >= 1) o.spike_sample = v;
+    }
+    return o;
+  }();
   obs::MetricsRegistry registry;
   std::ofstream trace_os;
   std::optional<obs::JsonlTraceWriter> jsonl;
+  std::ofstream span_os;
+  std::optional<obs::JsonlSpikeSpanWriter> span_writer;
   obs::ChromeTraceWriter chrome;
   bool chrome_active = false;
 
@@ -75,13 +88,65 @@ void attach_observability(runtime::Compass& sim, comm::Transport& transport) {
 
 }  // namespace
 
+namespace {
+
+void obs_usage(std::ostream& os, const char* prog) {
+  os << "usage: " << prog
+     << " [--trace-out F] [--chrome-out F] [--metrics-out F]\n"
+        "       [--profile-out F] [--spike-trace-out F] [--spike-sample N]\n"
+        "  (environment fallbacks: COMPASS_TRACE_OUT, COMPASS_CHROME_OUT,\n"
+        "   COMPASS_METRICS_OUT, COMPASS_PROFILE_OUT,\n"
+        "   COMPASS_SPIKE_TRACE_OUT, COMPASS_SPIKE_SAMPLE;\n"
+        "   COMPASS_BENCH_SCALE scales the model sizes)\n";
+}
+
+}  // namespace
+
 void init_obs(int argc, char** argv) {
   ObsOptions& o = bench_obs().options;
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], "--trace-out") == 0) o.trace_out = argv[i + 1];
-    if (std::strcmp(argv[i], "--chrome-out") == 0) o.chrome_out = argv[i + 1];
-    if (std::strcmp(argv[i], "--metrics-out") == 0) o.metrics_out = argv[i + 1];
-    if (std::strcmp(argv[i], "--profile-out") == 0) o.profile_out = argv[i + 1];
+  const char* prog = argc > 0 ? argv[0] : "bench";
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    std::string* dest = nullptr;
+    if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
+      obs_usage(std::cout, prog);
+      std::exit(0);
+    } else if (std::strcmp(a, "--trace-out") == 0) {
+      dest = &o.trace_out;
+    } else if (std::strcmp(a, "--chrome-out") == 0) {
+      dest = &o.chrome_out;
+    } else if (std::strcmp(a, "--metrics-out") == 0) {
+      dest = &o.metrics_out;
+    } else if (std::strcmp(a, "--profile-out") == 0) {
+      dest = &o.profile_out;
+    } else if (std::strcmp(a, "--spike-trace-out") == 0) {
+      dest = &o.spike_trace_out;
+    } else if (std::strcmp(a, "--spike-sample") == 0) {
+      if (i + 1 >= argc) {
+        std::cerr << prog << ": --spike-sample requires a value\n";
+        std::exit(1);
+      }
+      char* end = nullptr;
+      const unsigned long long v = std::strtoull(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || v < 1) {
+        std::cerr << prog << ": --spike-sample requires a positive integer, "
+                  << "got '" << argv[i] << "'\n";
+        std::exit(1);
+      }
+      o.spike_sample = v;
+      continue;
+    } else {
+      // A typo'd flag or stray positional must not silently run the bench
+      // without its outputs.
+      std::cerr << prog << ": unexpected argument '" << a << "'\n";
+      obs_usage(std::cerr, prog);
+      std::exit(1);
+    }
+    if (i + 1 >= argc) {
+      std::cerr << prog << ": " << a << " requires a value\n";
+      std::exit(1);
+    }
+    *dest = argv[++i];
   }
 }
 
@@ -149,6 +214,26 @@ runtime::RunReport run_model(const arch::Model& model,
   auto transport = make_transport(kind, partition.ranks());
   runtime::Compass sim(copy, partition, *transport, config);
   attach_observability(sim, *transport);
+  BenchObs& b = bench_obs();
+  // The span writer is process-wide (spans append across runs); the tracer
+  // itself is per-run because each run may use a different rank count.
+  std::optional<obs::SpikeTracer> tracer;
+  if (!b.options.spike_trace_out.empty()) {
+    if (!b.span_writer) {
+      b.span_os.open(b.options.spike_trace_out);
+      if (b.span_os) b.span_writer.emplace(b.span_os);
+    }
+    if (b.span_writer) {
+      obs::SpikeTraceOptions topt;
+      topt.sample_every = b.options.spike_sample;
+      tracer.emplace(partition.ranks(), topt);
+      tracer->set_hop_model(transport->hop_matrix(),
+                            transport->cost_model().params().hop_latency_s);
+      if (!b.options.metrics_out.empty()) tracer->set_metrics(&b.registry);
+      tracer->add_sink(&*b.span_writer);
+      sim.set_spike_tracer(&*tracer);
+    }
+  }
   const std::string& profile_out = bench_obs().options.profile_out;
   std::optional<obs::ProfileCollector> collector;
   if (profile || !profile_out.empty()) {

@@ -37,11 +37,18 @@ struct ObsOptions {
   std::string profile_out;  // comm-matrix + imbalance profile JSON
                             // ($COMPASS_PROFILE_OUT; rewritten per run, so
                             // the file holds the process's last run)
+  std::string spike_trace_out;      // causal spike-span JSONL
+                                    // ($COMPASS_SPIKE_TRACE_OUT; appends
+                                    // across the process's runs)
+  std::uint64_t spike_sample = 64;  // 1-in-N spike sampling
+                                    // ($COMPASS_SPIKE_SAMPLE)
 };
 
-/// Parse --trace-out/--chrome-out/--metrics-out/--profile-out from a bench's
-/// argv (unknown arguments are ignored). Call once, before the first
-/// run_model().
+/// Parse the observability flags (--trace-out / --chrome-out /
+/// --metrics-out / --profile-out / --spike-trace-out / --spike-sample) from
+/// a bench's argv. Strict: an unknown flag or a stray positional argument
+/// prints usage and exits 1 — a typo'd flag must not silently run the bench
+/// without its outputs. Call once, before the first run_model().
 void init_obs(int argc, char** argv);
 const ObsOptions& obs_options();
 

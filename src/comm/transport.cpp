@@ -36,6 +36,19 @@ void Transport::set_hop_model(const TorusTopology* topology,
       topology != nullptr ? std::move(node_of_rank) : std::vector<int>{};
 }
 
+std::vector<int> Transport::hop_matrix() const {
+  if (topology_ == nullptr) return {};
+  std::vector<int> out(static_cast<std::size_t>(ranks_) *
+                       static_cast<std::size_t>(ranks_));
+  for (int s = 0; s < ranks_; ++s) {
+    for (int d = 0; d < ranks_; ++d) {
+      out[static_cast<std::size_t>(s) * static_cast<std::size_t>(ranks_) +
+          static_cast<std::size_t>(d)] = hops_between(s, d);
+    }
+  }
+  return out;
+}
+
 void Transport::begin_tick() {
   flush_metrics();
   metrics_flushed_ = (metrics_ == nullptr);

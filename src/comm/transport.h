@@ -27,6 +27,7 @@
 #include "arch/spike.h"
 #include "comm/cost_model.h"
 #include "comm/torus.h"
+#include "obs/flightrec.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
 
@@ -142,6 +143,14 @@ class Transport {
     comm_matrix_ = matrix;
   }
 
+  /// Attach a flight recorder (src/obs/flightrec.h): every message/put is
+  /// then recorded as a send event in the source rank's ring and a recv
+  /// event in the destination's. Detached costs one pointer test per send.
+  /// Virtual for the same decorator-forwarding reason as set_comm_matrix.
+  virtual void set_flight_recorder(obs::FlightRecorder* flight) {
+    flight_ = flight;
+  }
+
   /// Attach a torus topology: point-to-point sends are then charged
   /// hops(node(src), node(dst)) x hop_latency on top of the flat overheads
   /// (section I use case (c): benchmarking communication topologies). The
@@ -160,6 +169,27 @@ class Transport {
   /// to the block convention above.
   void set_hop_model(const TorusTopology* topology,
                      std::vector<int> node_of_rank);
+
+  /// Torus hops charged for one message src -> dst under the attached hop
+  /// model (0 without a topology or for node-local traffic). The integer
+  /// half of hop_latency(); what the spike tracer's wire spans report.
+  int hops_between(int src, int dst) const {
+    if (topology_ == nullptr) return 0;
+    if (!node_of_rank_.empty()) {
+      const int a = node_of_rank_[static_cast<std::size_t>(src)];
+      const int b = node_of_rank_[static_cast<std::size_t>(dst)];
+      return a == b ? 0 : topology_->hops(a, b);
+    }
+    const int a = src / ranks_per_node_;
+    const int b = dst / ranks_per_node_;
+    return a == b ? 0
+                  : topology_->hops(a % topology_->nodes(),
+                                    b % topology_->nodes());
+  }
+
+  /// Dense ranks x ranks hops_between matrix, row-major — the form
+  /// obs::SpikeTracer::set_hop_model consumes. Empty without a topology.
+  std::vector<int> hop_matrix() const;
 
   /// Modelled seconds rank spent sending this tick (overheads + byte time).
   virtual double send_time(int rank) const { return send_s_[rank]; }
@@ -183,6 +213,10 @@ class Transport {
     rs.spikes_sent += spikes;
     rs.bytes_sent += bytes;
     if (comm_matrix_ != nullptr) comm_matrix_->record(src, dst, spikes, bytes);
+    if (flight_ != nullptr) {
+      flight_->record(src, obs::FlightEventKind::kSend, name(), dst, spikes,
+                      bytes);
+    }
   }
 
   /// Shared receiver-side accounting for one delivered message.
@@ -191,24 +225,16 @@ class Transport {
     ++rs.msgs_recv;
     rs.spikes_recv += spikes;
     rs.bytes_recv += bytes;
+    if (flight_ != nullptr) {
+      flight_->record(dst, obs::FlightEventKind::kRecv, name(), -1, spikes,
+                      bytes);
+    }
   }
 
   /// Hop-dependent latency for one message src -> dst (0 without topology
   /// or for node-local traffic).
   double hop_latency(int src, int dst) const {
-    if (topology_ == nullptr) return 0.0;
-    if (!node_of_rank_.empty()) {
-      const int a = node_of_rank_[static_cast<std::size_t>(src)];
-      const int b = node_of_rank_[static_cast<std::size_t>(dst)];
-      if (a == b) return 0.0;
-      return static_cast<double>(topology_->hops(a, b)) *
-             cost_.params().hop_latency_s;
-    }
-    const int a = src / ranks_per_node_;
-    const int b = dst / ranks_per_node_;
-    if (a == b) return 0.0;
-    return static_cast<double>(
-               topology_->hops(a % topology_->nodes(), b % topology_->nodes())) *
+    return static_cast<double>(hops_between(src, dst)) *
            cost_.params().hop_latency_s;
   }
 
@@ -218,6 +244,7 @@ class Transport {
   TickCommStats stats_;
   std::vector<RankCommStats> rank_stats_;
   std::vector<double> send_s_, sync_s_, recv_s_;
+  obs::FlightRecorder* flight_ = nullptr;
 
  private:
   const TorusTopology* topology_ = nullptr;

@@ -58,8 +58,13 @@ bool is_inhibitory_neuron(unsigned j, double excitatory_fraction) {
 }
 
 PccResult compile(const Spec& spec, const PccOptions& options,
-                  obs::MetricsRegistry* metrics) {
+                  obs::MetricsRegistry* metrics, obs::FlightRecorder* flight) {
   util::Stopwatch compile_timer;
+  if (flight != nullptr) {
+    flight->record(-1, obs::FlightEventKind::kNote, "pcc_begin", -1,
+                   static_cast<std::uint64_t>(spec.regions.size()),
+                   static_cast<std::uint64_t>(options.ranks));
+  }
 
   if (const std::string err = spec.validate(); !err.empty()) {
     throw std::invalid_argument("PCC: invalid spec: " + err);
@@ -470,6 +475,12 @@ PccResult compile(const Spec& spec, const PccOptions& options,
   }
 
   result.stats.compile_s = compile_timer.elapsed_s();
+
+  if (flight != nullptr) {
+    flight->record(-1, obs::FlightEventKind::kNote, "pcc_end", -1,
+                   static_cast<std::uint64_t>(result.model.num_cores()),
+                   result.stats.white_connections);
+  }
 
   if (metrics != nullptr) {
     metrics->add(metrics->counter("pcc.white_connections", "connections"),

@@ -42,6 +42,7 @@
 #include "arch/model.h"
 #include "compiler/coreobject.h"
 #include "compiler/ipfp.h"
+#include "obs/flightrec.h"
 #include "obs/metrics.h"
 #include "place/placer.h"
 #include "runtime/partition.h"
@@ -135,8 +136,12 @@ struct PccResult {
 /// Throws std::invalid_argument / std::runtime_error on invalid specs.
 /// When `metrics` is non-null the compiler publishes its wiring statistics
 /// (pcc.* counters/gauges, see DESIGN.md "Observability") into the registry.
+/// When `flight` is non-null, compile begin/end land as "pcc" notes on the
+/// flight recorder's machine track, so a dump from a run that died during or
+/// right after compilation shows how far the compiler got.
 PccResult compile(const Spec& spec, const PccOptions& options = {},
-                  obs::MetricsRegistry* metrics = nullptr);
+                  obs::MetricsRegistry* metrics = nullptr,
+                  obs::FlightRecorder* flight = nullptr);
 
 /// Helper shared with tests: true if neuron j is inhibitory under
 /// `excitatory_fraction` (evenly interleaved).

@@ -2,17 +2,15 @@
 
 #include <algorithm>
 #include <array>
-#include <cerrno>
 #include <cstdio>
-#include <cstdlib>
 #include <istream>
 #include <numeric>
 #include <ostream>
-#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <utility>
 
+#include "obs/jsonv.h"
 #include "obs/metrics.h"
 
 namespace compass::obs {
@@ -179,276 +177,15 @@ void write_profile_json(std::ostream& os, const ProfileSummary& summary,
 
 namespace {
 
-// Minimal recursive-descent JSON parser for the analyzer. tests/json_lite.h
-// only *validates*; here we need values. Integers that fit uint64 keep their
-// exact value; everything numeric also carries the strtod double, which
-// round-trips the writers' %.17g output bit-for-bit.
-struct JsonValue {
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-  Kind kind = Kind::kNull;
-  bool boolean = false;
-  double number = 0.0;
-  std::uint64_t integer = 0;
-  bool is_integer = false;
-  std::string string;
-  std::vector<JsonValue> array;
-  std::vector<std::pair<std::string, JsonValue>> object;
-
-  const JsonValue* find(std::string_view key) const {
-    for (const auto& [k, v] : object) {
-      if (k == key) return &v;
-    }
-    return nullptr;
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(std::string_view text) : text_(text) {}
-
-  JsonValue parse() {
-    JsonValue v = parse_value();
-    skip_ws();
-    if (pos_ != text_.size()) fail("trailing characters after value");
-    return v;
-  }
-
- private:
-  [[noreturn]] void fail(const std::string& what) const {
-    throw std::runtime_error(what + " at offset " + std::to_string(pos_));
-  }
-
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
-            text_[pos_] == '\r')) {
-      ++pos_;
-    }
-  }
-
-  char peek() {
-    if (pos_ >= text_.size()) fail("unexpected end of input");
-    return text_[pos_];
-  }
-
-  void expect(char c) {
-    if (peek() != c) fail(std::string("expected '") + c + "'");
-    ++pos_;
-  }
-
-  bool consume_literal(std::string_view lit) {
-    if (text_.substr(pos_, lit.size()) != lit) return false;
-    pos_ += lit.size();
-    return true;
-  }
-
-  JsonValue parse_value() {
-    skip_ws();
-    switch (peek()) {
-      case '{': return parse_object();
-      case '[': return parse_array();
-      case '"': {
-        JsonValue v;
-        v.kind = JsonValue::Kind::kString;
-        v.string = parse_string();
-        return v;
-      }
-      case 't':
-      case 'f': {
-        JsonValue v;
-        v.kind = JsonValue::Kind::kBool;
-        if (consume_literal("true")) {
-          v.boolean = true;
-        } else if (consume_literal("false")) {
-          v.boolean = false;
-        } else {
-          fail("invalid literal");
-        }
-        return v;
-      }
-      case 'n': {
-        if (!consume_literal("null")) fail("invalid literal");
-        return JsonValue{};
-      }
-      default: return parse_number();
-    }
-  }
-
-  JsonValue parse_object() {
-    expect('{');
-    JsonValue v;
-    v.kind = JsonValue::Kind::kObject;
-    skip_ws();
-    if (peek() == '}') {
-      ++pos_;
-      return v;
-    }
-    while (true) {
-      skip_ws();
-      std::string key = parse_string();
-      skip_ws();
-      expect(':');
-      v.object.emplace_back(std::move(key), parse_value());
-      skip_ws();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect('}');
-      return v;
-    }
-  }
-
-  JsonValue parse_array() {
-    expect('[');
-    JsonValue v;
-    v.kind = JsonValue::Kind::kArray;
-    skip_ws();
-    if (peek() == ']') {
-      ++pos_;
-      return v;
-    }
-    while (true) {
-      v.array.push_back(parse_value());
-      skip_ws();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect(']');
-      return v;
-    }
-  }
-
-  std::string parse_string() {
-    expect('"');
-    std::string out;
-    while (true) {
-      if (pos_ >= text_.size()) fail("unterminated string");
-      char c = text_[pos_++];
-      if (c == '"') return out;
-      if (c != '\\') {
-        out += c;
-        continue;
-      }
-      if (pos_ >= text_.size()) fail("unterminated escape");
-      c = text_[pos_++];
-      switch (c) {
-        case '"': out += '"'; break;
-        case '\\': out += '\\'; break;
-        case '/': out += '/'; break;
-        case 'b': out += '\b'; break;
-        case 'f': out += '\f'; break;
-        case 'n': out += '\n'; break;
-        case 'r': out += '\r'; break;
-        case 't': out += '\t'; break;
-        case 'u': {
-          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
-          unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            const char h = text_[pos_++];
-            code <<= 4;
-            if (h >= '0' && h <= '9') {
-              code |= static_cast<unsigned>(h - '0');
-            } else if (h >= 'a' && h <= 'f') {
-              code |= static_cast<unsigned>(h - 'a' + 10);
-            } else if (h >= 'A' && h <= 'F') {
-              code |= static_cast<unsigned>(h - 'A' + 10);
-            } else {
-              fail("invalid \\u escape");
-            }
-          }
-          // The writers only escape control characters; decode those and
-          // pass anything else through as '?' (never produced by our side).
-          out += code < 0x80 ? static_cast<char>(code) : '?';
-          break;
-        }
-        default: fail("invalid escape");
-      }
-    }
-  }
-
-  JsonValue parse_number() {
-    const std::size_t start = pos_;
-    bool fractional = false;
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_];
-      if ((c >= '0' && c <= '9') || c == '-' || c == '+') {
-        ++pos_;
-      } else if (c == '.' || c == 'e' || c == 'E') {
-        fractional = true;
-        ++pos_;
-      } else {
-        break;
-      }
-    }
-    if (pos_ == start) fail("invalid value");
-    const std::string token(text_.substr(start, pos_ - start));
-    JsonValue v;
-    v.kind = JsonValue::Kind::kNumber;
-    char* end = nullptr;
-    v.number = std::strtod(token.c_str(), &end);
-    if (end != token.c_str() + token.size()) fail("malformed number");
-    if (!fractional && token[0] != '-') {
-      errno = 0;
-      const std::uint64_t u = std::strtoull(token.c_str(), &end, 10);
-      if (errno == 0 && end == token.c_str() + token.size()) {
-        v.integer = u;
-        v.is_integer = true;
-      }
-    }
-    return v;
-  }
-
-  std::string_view text_;
-  std::size_t pos_ = 0;
-};
-
-[[noreturn]] void line_fail(std::uint64_t lineno, const std::string& what) {
-  throw std::runtime_error("trace line " + std::to_string(lineno) + ": " +
-                           what);
-}
-
-double get_num(const JsonValue& obj, std::string_view key,
-               std::uint64_t lineno) {
-  const JsonValue* v = obj.find(key);
-  if (v == nullptr || v->kind != JsonValue::Kind::kNumber) {
-    line_fail(lineno, "missing numeric field \"" + std::string(key) + "\"");
-  }
-  return v->number;
-}
-
-std::uint64_t get_u64(const JsonValue& obj, std::string_view key,
-                      std::uint64_t lineno) {
-  const JsonValue* v = obj.find(key);
-  if (v == nullptr || !v->is_integer) {
-    line_fail(lineno, "missing integer field \"" + std::string(key) + "\"");
-  }
-  return v->integer;
-}
-
-// Tolerant accessors for tick records: an absent field counts as zero
-// (older or trimmed traces), but a present field of the wrong kind is still
-// a structural error.
-double get_num_or0(const JsonValue& obj, std::string_view key,
-                   std::uint64_t lineno) {
-  const JsonValue* v = obj.find(key);
-  if (v == nullptr) return 0.0;
-  if (v->kind != JsonValue::Kind::kNumber) {
-    line_fail(lineno, "non-numeric field \"" + std::string(key) + "\"");
-  }
-  return v->number;
-}
-
-std::uint64_t get_u64_or0(const JsonValue& obj, std::string_view key,
-                          std::uint64_t lineno) {
-  const JsonValue* v = obj.find(key);
-  if (v == nullptr) return 0;
-  if (!v->is_integer) {
-    line_fail(lineno, "non-integer field \"" + std::string(key) + "\"");
-  }
-  return v->integer;
-}
+// The JSON reader lives in obs/jsonv.h (shared with spiketrace.cpp's span
+// analyzer); these aliases keep the analyzer body reading naturally.
+using jsonv::JsonParser;
+using jsonv::JsonValue;
+using jsonv::get_num;
+using jsonv::get_num_or0;
+using jsonv::get_u64;
+using jsonv::get_u64_or0;
+using jsonv::line_fail;
 
 int phase_index(std::string_view name) {
   if (name == "synapse") return 0;
@@ -638,6 +375,8 @@ TraceProfile analyze_trace(std::istream& is) {
       out.ranks = std::max(out.ranks, out.matrix.ranks());
       out.rank_phase_s.resize(static_cast<std::size_t>(out.ranks));
       out.critical.resize(static_cast<std::size_t>(out.ranks));
+    } else if (type->string == "truncated") {
+      out.dropped += get_u64_or0(v, "dropped", lineno);
     }
     // Unknown record types: skipped (schema evolution).
   }
@@ -716,7 +455,13 @@ void write_trace_report(std::ostream& os, const TraceProfile& p, int top_k) {
      << (p.has_profile ? " (trace carries an end-of-run profile record)"
                        : " (no profile record: comm matrix / overlap "
                          "unavailable)")
-     << "\n\n";
+     << "\n";
+  if (p.dropped > 0) {
+    os << "WARNING: trace truncated at the writer's record cap — "
+       << p.dropped
+       << " record(s) dropped; every figure below understates the run\n";
+  }
+  os << "\n";
 
   os << "per-phase virtual time (composed makespan, from tick records)\n";
   os << "  phase     total_s       per-tick_s    imbalance(max/mean)\n";
@@ -810,6 +555,7 @@ void write_trace_report_json(std::ostream& os, const TraceProfile& p) {
   os << "],\"fired\":" << p.fired << ",\"routed\":" << p.routed
      << ",\"local\":" << p.local << ",\"remote\":" << p.remote
      << ",\"messages\":" << p.messages << ",\"bytes\":" << p.bytes;
+  if (p.dropped > 0) os << ",\"dropped\":" << p.dropped;
   if (p.has_profile) {
     os << ",\"profile\":{";
     write_profile_fields(os, p.profile, p.matrix);

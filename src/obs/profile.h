@@ -217,6 +217,9 @@ struct TraceProfile {
   bool has_profile = false;
   ProfileSummary profile;
   CommMatrix matrix;
+  /// Records the capped writer dropped ({"type":"truncated"} markers): when
+  /// nonzero the trace is a prefix of the run and every total understates.
+  std::uint64_t dropped = 0;
 };
 
 /// Parse a JSONL trace and derive its profile. Unknown record types and

@@ -1,0 +1,679 @@
+#include "obs/spiketrace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+#include "obs/jsonv.h"
+#include "util/prng.h"
+
+namespace compass::obs {
+
+namespace {
+
+/// Canonical virtual timeline: one simulation tick is one millisecond of
+/// biological time (the paper's real-time target). Every span timestamp is
+/// derived from tick counts and the cost model's hop latency with the same
+/// arithmetic everywhere, which is what makes span sets bit-comparable.
+constexpr double kTickSeconds = 1e-3;
+
+double tick_time_s(std::uint64_t tick) {
+  return static_cast<double>(tick) * kTickSeconds;
+}
+
+}  // namespace
+
+const char* spike_stage_name(SpikeStage stage) {
+  switch (stage) {
+    case SpikeStage::kFire: return "fire";
+    case SpikeStage::kSend: return "send";
+    case SpikeStage::kWire: return "wire";
+    case SpikeStage::kRecv: return "recv";
+    case SpikeStage::kRing: return "ring";
+    case SpikeStage::kIntegrate: return "integrate";
+    case SpikeStage::kLost: return "lost";
+  }
+  return "unknown";
+}
+
+void write_spike_span_jsonl(std::ostream& os, const SpikeSpan& span) {
+  os << "{\"type\":\"sspan\",\"id\":" << span.id << ",\"tick\":" << span.fire_tick
+     << ",\"stage\":\"" << spike_stage_name(span.stage) << "\",\"src\":"
+     << span.src_core << ",\"n\":" << span.neuron << ",\"rank\":" << span.rank
+     << ",\"peer\":" << span.peer << ",\"hops\":" << span.hops << ",\"dst\":"
+     << span.dst_core << ",\"axon\":" << span.axon << ",\"delay\":"
+     << span.delay << ",\"t0\":";
+  write_json_double(os, span.t0_s);
+  os << ",\"t1\":";
+  write_json_double(os, span.t1_s);
+  os << "}\n";
+}
+
+void JsonlSpikeSpanWriter::on_spike_span(const SpikeSpan& span) {
+  if (options_.max_records != 0 && written_ >= options_.max_records) {
+    ++dropped_;
+    return;
+  }
+  write_spike_span_jsonl(os_, span);
+  ++written_;
+}
+
+void JsonlSpikeSpanWriter::finish() {
+  if (finished_) return;
+  finished_ = true;
+  if (dropped_ > 0) {
+    os_ << "{\"type\":\"truncated\",\"dropped\":" << dropped_ << "}\n";
+  }
+  os_.flush();
+}
+
+// --- SpikeTracer -------------------------------------------------------------
+
+SpikeTracer::SpikeTracer(int ranks, SpikeTraceOptions options)
+    : ranks_(ranks > 0 ? ranks : 0),
+      options_(options),
+      staging_(static_cast<std::size_t>(ranks_)) {
+  if (options_.sample_every == 0) options_.sample_every = 1;
+}
+
+void SpikeTracer::add_sink(SpikeSpanSink* sink) {
+  if (sink != nullptr) sinks_.push_back(sink);
+}
+
+void SpikeTracer::set_metrics(MetricsRegistry* metrics) {
+  metrics_ = metrics;
+  if (metrics_ == nullptr) return;
+  m_latency_ = metrics_->histogram("compass.spike_path_latency_ticks", "ticks");
+  m_sampled_ = metrics_->counter("compass.spiketrace.sampled", "spikes");
+  m_completed_ = metrics_->counter("compass.spiketrace.completed", "spikes");
+  m_lost_ = metrics_->counter("compass.spiketrace.lost", "spikes");
+}
+
+void SpikeTracer::set_hop_model(std::vector<int> hops_by_pair,
+                                double hop_latency_s) {
+  const std::size_t want =
+      static_cast<std::size_t>(ranks_) * static_cast<std::size_t>(ranks_);
+  if (!hops_by_pair.empty() && hops_by_pair.size() != want) {
+    throw std::invalid_argument(
+        "SpikeTracer::set_hop_model: matrix must be ranks x ranks");
+  }
+  hops_by_pair_ = std::move(hops_by_pair);
+  hop_latency_s_ = hop_latency_s;
+}
+
+std::uint64_t SpikeTracer::trace_id(std::uint64_t seed, arch::Tick fire_tick,
+                                    arch::CoreId core, unsigned neuron) {
+  // One SplitMix64 step over a mixed (seed, tick, core, neuron) state: the
+  // golden-ratio add decorrelates adjacent ticks, the shift keeps core and
+  // neuron in disjoint bit ranges. Pure function of model coordinates —
+  // never of rank, transport, or thread.
+  std::uint64_t x = seed;
+  x ^= (fire_tick + 0x9E3779B97F4A7C15ULL) * 0xBF58476D1CE4E5B9ULL;
+  x ^= (static_cast<std::uint64_t>(core) << 20) ^ neuron;
+  return util::SplitMix64(x).next();
+}
+
+void SpikeTracer::begin_tick(arch::Tick tick) { tick_ = tick; }
+
+void SpikeTracer::on_fire(int src_rank, int dst_rank, arch::CoreId src_core,
+                          unsigned neuron, const arch::AxonTarget& target,
+                          const arch::WireSpike& wire) {
+  if (src_rank < 0 || src_rank >= ranks_) return;
+  const std::uint64_t id = trace_id(options_.seed, tick_, src_core, neuron);
+  if (options_.sample_every > 1 && id % options_.sample_every != 0) return;
+  Entry e;
+  e.id = id;
+  e.fire_tick = tick_;
+  e.src_core = src_core;
+  e.dst_core = wire.core;
+  e.neuron = static_cast<std::uint16_t>(neuron);
+  e.axon = wire.axon;
+  e.delay = target.delay;
+  e.src_rank = src_rank;
+  e.dst_rank = dst_rank;
+  e.remote = src_rank != dst_rank;
+  staging_[static_cast<std::size_t>(src_rank)].push_back(e);
+}
+
+void SpikeTracer::seal_sends() {
+  // Canonical order: src rank ascending, then per-rank firing order. The
+  // per-rank Neuron loops fire cores in a fixed sequence whatever the thread
+  // count, so this merge is thread-count- and transport-independent.
+  for (std::vector<Entry>& stage : staging_) {
+    for (Entry& e : stage) {
+      pending_[key_of(arch::WireSpike{e.dst_core, e.axon,
+                                      static_cast<std::uint16_t>(
+                                          (e.fire_tick + e.delay) &
+                                          (arch::kDelaySlots - 1))})]
+          .push_back(static_cast<std::uint32_t>(entries_.size()));
+      entries_.push_back(e);
+    }
+    stage.clear();
+  }
+  sampled_ += entries_.size();
+  if (metrics_ != nullptr && !entries_.empty()) {
+    metrics_->add(m_sampled_, entries_.size());
+  }
+}
+
+void SpikeTracer::on_deliver(const arch::WireSpike& wire) {
+  const auto it = pending_.find(key_of(wire));
+  if (it == pending_.end()) return;
+  // A key names one destination core and hence one rank, so exactly one
+  // Network-phase thread walks this list; scanning in canonical index order
+  // makes the delivered set depend only on the delivery *count* per key,
+  // never on arrival order (which transports are free to permute).
+  for (const std::uint32_t idx : it->second) {
+    Entry& e = entries_[idx];
+    if (!e.delivered) {
+      e.delivered = true;
+      return;
+    }
+  }
+}
+
+void SpikeTracer::emit(const SpikeSpan& span) {
+  ++spans_;
+  for (SpikeSpanSink* sink : sinks_) sink->on_spike_span(span);
+}
+
+int SpikeTracer::pair_hops(int src, int dst) const {
+  if (hops_by_pair_.empty() || src == dst) return 0;
+  return hops_by_pair_[static_cast<std::size_t>(src) *
+                           static_cast<std::size_t>(ranks_) +
+                       static_cast<std::size_t>(dst)];
+}
+
+void SpikeTracer::emit_fire_chain(const Entry& e) {
+  const double fire_s = tick_time_s(e.fire_tick);
+  SpikeSpan span;
+  span.id = e.id;
+  span.fire_tick = e.fire_tick;
+  span.src_core = e.src_core;
+  span.neuron = e.neuron;
+  span.dst_core = e.dst_core;
+  span.axon = e.axon;
+  span.delay = e.delay;
+
+  span.stage = SpikeStage::kFire;
+  span.rank = e.src_rank;
+  span.peer = -1;
+  span.hops = 0;
+  span.t0_s = fire_s;
+  span.t1_s = fire_s;
+  emit(span);
+
+  if (e.remote) {
+    const int hops = pair_hops(e.src_rank, e.dst_rank);
+    const double wire_s = static_cast<double>(hops) * hop_latency_s_;
+
+    span.stage = SpikeStage::kSend;
+    span.rank = e.src_rank;
+    span.peer = e.dst_rank;
+    emit(span);
+
+    span.stage = SpikeStage::kWire;
+    span.hops = hops;
+    span.t1_s = fire_s + wire_s;
+    emit(span);
+
+    span.stage = e.delivered ? SpikeStage::kRecv : SpikeStage::kLost;
+    span.rank = e.dst_rank;
+    span.peer = e.src_rank;
+    span.hops = 0;
+    span.t0_s = fire_s + wire_s;
+    emit(span);
+  } else if (!e.delivered) {
+    span.stage = SpikeStage::kLost;
+    span.rank = e.dst_rank;
+    emit(span);
+  }
+
+  if (!e.delivered) {
+    ++lost_;
+    if (metrics_ != nullptr) metrics_->add(m_lost_);
+  }
+}
+
+void SpikeTracer::emit_completion(const Entry& e) {
+  const double fire_s = tick_time_s(e.fire_tick);
+  const double arrive_s =
+      e.remote ? fire_s + static_cast<double>(pair_hops(e.src_rank,
+                                                        e.dst_rank)) *
+                              hop_latency_s_
+               : fire_s;
+  const std::uint64_t integrate_tick = e.fire_tick + e.delay;
+  const double integrate_s = tick_time_s(integrate_tick);
+
+  SpikeSpan span;
+  span.id = e.id;
+  span.fire_tick = e.fire_tick;
+  span.src_core = e.src_core;
+  span.neuron = e.neuron;
+  span.dst_core = e.dst_core;
+  span.axon = e.axon;
+  span.delay = e.delay;
+  span.rank = e.dst_rank;
+  span.peer = -1;
+  span.hops = 0;
+
+  span.stage = SpikeStage::kRing;
+  span.t0_s = arrive_s;
+  span.t1_s = integrate_s;
+  emit(span);
+
+  span.stage = SpikeStage::kIntegrate;
+  span.t0_s = integrate_s;
+  emit(span);
+
+  ++completed_;
+  if (metrics_ != nullptr) {
+    metrics_->add(m_completed_);
+    metrics_->observe(m_latency_, integrate_tick - e.fire_tick);
+  }
+}
+
+void SpikeTracer::end_tick() {
+  // Chains whose axonal delay expired this tick were integrated by this
+  // tick's Synapse phase; close them first (chronological within the tick).
+  std::vector<Entry>& due = wheel_[tick_ & (arch::kDelaySlots - 1)];
+  for (const Entry& e : due) emit_completion(e);
+  due.clear();
+
+  // Then this tick's fires, in the canonical sealed order.
+  for (const Entry& e : entries_) {
+    emit_fire_chain(e);
+    if (e.delivered) {
+      wheel_[(e.fire_tick + e.delay) & (arch::kDelaySlots - 1)].push_back(e);
+    }
+  }
+  entries_.clear();
+  pending_.clear();
+}
+
+// --- Offline analysis --------------------------------------------------------
+
+namespace {
+
+SpikeStage stage_from_name(const std::string& name, std::uint64_t lineno) {
+  for (int s = 0; s <= static_cast<int>(SpikeStage::kLost); ++s) {
+    const auto stage = static_cast<SpikeStage>(s);
+    if (name == spike_stage_name(stage)) return stage;
+  }
+  jsonv::line_fail(lineno, "unknown span stage \"" + name + "\"");
+}
+
+std::int32_t get_i32_or(const jsonv::JsonValue& obj, std::string_view key,
+                        std::int32_t fallback, std::uint64_t lineno) {
+  const jsonv::JsonValue* v = obj.find(key);
+  if (v == nullptr) return fallback;
+  if (v->kind != jsonv::JsonValue::Kind::kNumber) {
+    jsonv::line_fail(lineno, "non-numeric field \"" + std::string(key) + "\"");
+  }
+  return static_cast<std::int32_t>(v->number);
+}
+
+/// Percentile over a sorted sample (nearest-rank; 0 for an empty sample).
+std::uint64_t pct(const std::vector<std::uint64_t>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const auto idx = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
+  return sorted[idx > 0 ? idx - 1 : 0];
+}
+
+}  // namespace
+
+SpikeTraceAnalysis analyze_spike_trace(std::istream& is) {
+  SpikeTraceAnalysis out;
+  std::unordered_map<std::uint64_t, std::size_t> index;  // id -> chains idx
+  std::string line;
+  std::uint64_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    jsonv::JsonValue v;
+    try {
+      v = jsonv::JsonParser(line).parse();
+    } catch (const std::exception& e) {
+      jsonv::line_fail(lineno, e.what());
+    }
+    if (v.kind != jsonv::JsonValue::Kind::kObject) {
+      jsonv::line_fail(lineno, "expected a JSON object");
+    }
+    const jsonv::JsonValue* type = v.find("type");
+    if (type == nullptr || type->kind != jsonv::JsonValue::Kind::kString) {
+      jsonv::line_fail(lineno, "missing \"type\"");
+    }
+    if (type->string == "truncated") {
+      out.dropped += jsonv::get_u64_or0(v, "dropped", lineno);
+      continue;
+    }
+    if (type->string != "sspan") continue;  // foreign records analyze fine
+
+    ++out.spans;
+    const std::uint64_t id = jsonv::get_u64(v, "id", lineno);
+    const jsonv::JsonValue* stage_v = v.find("stage");
+    if (stage_v == nullptr ||
+        stage_v->kind != jsonv::JsonValue::Kind::kString) {
+      jsonv::line_fail(lineno, "missing span \"stage\"");
+    }
+    const SpikeStage stage = stage_from_name(stage_v->string, lineno);
+
+    auto [it, inserted] = index.try_emplace(id, out.chains.size());
+    if (inserted) {
+      SpikeChain chain;
+      chain.id = id;
+      chain.fire_tick = jsonv::get_u64(v, "tick", lineno);
+      chain.src_core =
+          static_cast<arch::CoreId>(jsonv::get_u64_or0(v, "src", lineno));
+      chain.dst_core =
+          static_cast<arch::CoreId>(jsonv::get_u64_or0(v, "dst", lineno));
+      chain.neuron =
+          static_cast<std::uint16_t>(jsonv::get_u64_or0(v, "n", lineno));
+      chain.delay =
+          static_cast<std::uint16_t>(jsonv::get_u64_or0(v, "delay", lineno));
+      out.chains.push_back(chain);
+    }
+    SpikeChain& chain = out.chains[it->second];
+
+    const std::int32_t rank = get_i32_or(v, "rank", -1, lineno);
+    const std::int32_t peer = get_i32_or(v, "peer", -1, lineno);
+    switch (stage) {
+      case SpikeStage::kFire:
+        chain.src_rank = rank;
+        break;
+      case SpikeStage::kSend:
+        chain.remote = true;
+        chain.dst_rank = peer;
+        break;
+      case SpikeStage::kWire: {
+        chain.remote = true;
+        chain.dst_rank = peer;
+        chain.hops = get_i32_or(v, "hops", 0, lineno);
+        chain.wire_s = jsonv::get_num_or0(v, "t1", lineno) -
+                       jsonv::get_num_or0(v, "t0", lineno);
+        break;
+      }
+      case SpikeStage::kRecv:
+        chain.remote = true;
+        chain.dst_rank = rank;
+        break;
+      case SpikeStage::kRing:
+        chain.dst_rank = rank;
+        break;
+      case SpikeStage::kIntegrate:
+        chain.dst_rank = rank;
+        chain.integrated = true;
+        chain.integrate_tick = chain.fire_tick + chain.delay;
+        break;
+      case SpikeStage::kLost:
+        chain.lost = true;
+        if (rank >= 0) chain.dst_rank = rank;
+        break;
+    }
+  }
+  for (SpikeChain& chain : out.chains) {
+    if (!chain.remote && chain.dst_rank < 0) chain.dst_rank = chain.src_rank;
+  }
+  return out;
+}
+
+namespace {
+
+struct PairStats {
+  std::int32_t src = 0, dst = 0, hops = 0;
+  std::vector<std::uint64_t> latencies;  // fire->integrate, ticks
+};
+
+std::vector<PairStats> pair_stats(const SpikeTraceAnalysis& analysis) {
+  std::unordered_map<std::uint64_t, std::size_t> index;
+  std::vector<PairStats> pairs;
+  for (const SpikeChain& c : analysis.chains) {
+    if (!c.remote || !c.integrated || c.src_rank < 0 || c.dst_rank < 0) {
+      continue;
+    }
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(c.src_rank))
+         << 32) |
+        static_cast<std::uint32_t>(c.dst_rank);
+    auto [it, inserted] = index.try_emplace(key, pairs.size());
+    if (inserted) {
+      pairs.push_back(PairStats{c.src_rank, c.dst_rank, c.hops, {}});
+    }
+    pairs[it->second].latencies.push_back(c.latency_ticks());
+  }
+  for (PairStats& p : pairs) std::sort(p.latencies.begin(), p.latencies.end());
+  std::sort(pairs.begin(), pairs.end(),
+            [](const PairStats& a, const PairStats& b) {
+              if (a.src != b.src) return a.src < b.src;
+              return a.dst < b.dst;
+            });
+  return pairs;
+}
+
+struct TickCritical {
+  std::uint64_t tick = 0;
+  const SpikeChain* chain = nullptr;  // worst chain fired this tick
+  std::uint64_t fired = 0;
+};
+
+std::vector<TickCritical> critical_ticks(const SpikeTraceAnalysis& analysis) {
+  std::unordered_map<std::uint64_t, std::size_t> index;
+  std::vector<TickCritical> ticks;
+  for (const SpikeChain& c : analysis.chains) {
+    auto [it, inserted] = index.try_emplace(c.fire_tick, ticks.size());
+    if (inserted) ticks.push_back(TickCritical{c.fire_tick, nullptr, 0});
+    TickCritical& t = ticks[it->second];
+    ++t.fired;
+    if (!c.integrated) continue;
+    // The tick's critical path: longest fire->integrate latency, wire time
+    // breaking ties (a further-away target is "more critical").
+    if (t.chain == nullptr ||
+        c.latency_ticks() > t.chain->latency_ticks() ||
+        (c.latency_ticks() == t.chain->latency_ticks() &&
+         c.wire_s > t.chain->wire_s)) {
+      t.chain = &c;
+    }
+  }
+  std::sort(ticks.begin(), ticks.end(),
+            [](const TickCritical& a, const TickCritical& b) {
+              const std::uint64_t la =
+                  a.chain != nullptr ? a.chain->latency_ticks() : 0;
+              const std::uint64_t lb =
+                  b.chain != nullptr ? b.chain->latency_ticks() : 0;
+              if (la != lb) return la > lb;
+              const double wa = a.chain != nullptr ? a.chain->wire_s : 0.0;
+              const double wb = b.chain != nullptr ? b.chain->wire_s : 0.0;
+              if (wa != wb) return wa > wb;
+              return a.tick < b.tick;
+            });
+  return ticks;
+}
+
+}  // namespace
+
+void write_span_report(std::ostream& os, const SpikeTraceAnalysis& analysis,
+                       int top_k) {
+  std::uint64_t remote = 0, integrated = 0, lost = 0;
+  for (const SpikeChain& c : analysis.chains) {
+    remote += c.remote ? 1 : 0;
+    integrated += c.integrated ? 1 : 0;
+    lost += c.lost ? 1 : 0;
+  }
+  os << "== spike span chains ==\n";
+  if (analysis.dropped > 0) {
+    os << "WARNING: capture truncated, " << analysis.dropped
+       << " span record(s) dropped at the writer cap; totals below"
+          " understate the run\n";
+  }
+  os << "spans parsed:      " << analysis.spans << "\n"
+     << "chains stitched:   " << analysis.chains.size() << "\n"
+     << "remote chains:     " << remote << "\n"
+     << "integrated chains: " << integrated << "\n"
+     << "lost chains:       " << lost << "\n";
+
+  std::vector<std::uint64_t> all;
+  all.reserve(analysis.chains.size());
+  for (const SpikeChain& c : analysis.chains) {
+    if (c.integrated) all.push_back(c.latency_ticks());
+  }
+  std::sort(all.begin(), all.end());
+  os << "fire->integrate latency (ticks): p50 " << pct(all, 50.0) << "  p99 "
+     << pct(all, 99.0) << "  max " << (all.empty() ? 0 : all.back()) << "\n";
+
+  const std::vector<PairStats> pairs = pair_stats(analysis);
+  if (!pairs.empty()) {
+    os << "\n== per-hop latency (src rank -> dst rank) ==\n"
+       << "  src -> dst  hops   chains    p50    p99    max (ticks)\n";
+    for (const PairStats& p : pairs) {
+      os << "  " << p.src << " -> " << p.dst << "  " << p.hops << "  "
+         << p.latencies.size() << "  " << pct(p.latencies, 50.0) << "  "
+         << pct(p.latencies, 99.0) << "  " << p.latencies.back() << "\n";
+    }
+  }
+
+  const std::vector<TickCritical> ticks = critical_ticks(analysis);
+  if (!ticks.empty() && top_k > 0) {
+    os << "\n== critical path per tick (top " << top_k << ") ==\n";
+    int shown = 0;
+    for (const TickCritical& t : ticks) {
+      if (shown++ >= top_k) break;
+      os << "  tick " << t.tick << ": " << t.fired << " sampled fire(s)";
+      if (t.chain != nullptr) {
+        const SpikeChain& c = *t.chain;
+        os << "; critical id " << c.id << " core " << c.src_core << " -> "
+           << c.dst_core << " (rank " << c.src_rank << " -> " << c.dst_rank
+           << ", " << c.hops << " hop(s), wire ";
+        write_json_double(os, c.wire_s * 1e9);
+        os << " ns) + ring " << c.delay << " tick(s) = "
+           << c.latency_ticks() << " tick(s)";
+      }
+      os << "\n";
+    }
+  }
+}
+
+void write_span_report_json(std::ostream& os,
+                            const SpikeTraceAnalysis& analysis) {
+  std::uint64_t remote = 0, integrated = 0, lost = 0;
+  std::vector<std::uint64_t> all;
+  for (const SpikeChain& c : analysis.chains) {
+    remote += c.remote ? 1 : 0;
+    integrated += c.integrated ? 1 : 0;
+    lost += c.lost ? 1 : 0;
+    if (c.integrated) all.push_back(c.latency_ticks());
+  }
+  std::sort(all.begin(), all.end());
+  os << "{\"spans\":" << analysis.spans << ",\"chains\":"
+     << analysis.chains.size() << ",\"remote\":" << remote
+     << ",\"integrated\":" << integrated << ",\"lost\":" << lost
+     << ",\"dropped\":" << analysis.dropped << ",\"latency_ticks\":{\"p50\":"
+     << pct(all, 50.0) << ",\"p99\":" << pct(all, 99.0) << ",\"max\":"
+     << (all.empty() ? 0 : all.back()) << "},\"pairs\":[";
+  bool first = true;
+  for (const PairStats& p : pair_stats(analysis)) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"src\":" << p.src << ",\"dst\":" << p.dst << ",\"hops\":"
+       << p.hops << ",\"chains\":" << p.latencies.size() << ",\"p50\":"
+       << pct(p.latencies, 50.0) << ",\"p99\":" << pct(p.latencies, 99.0)
+       << ",\"max\":" << p.latencies.back() << "}";
+  }
+  os << "]}\n";
+}
+
+namespace {
+
+void write_flow_id(std::ostream& os, std::uint64_t id) {
+  // Chrome wants flow ids as strings; hex keeps them compact and exact.
+  static const char* hex = "0123456789abcdef";
+  os << "\"0x";
+  bool significant = false;
+  for (int shift = 60; shift >= 0; shift -= 4) {
+    const unsigned nibble = static_cast<unsigned>((id >> shift) & 0xF);
+    if (nibble != 0) significant = true;
+    if (significant || shift == 0) os << hex[nibble];
+  }
+  os << "\"";
+}
+
+}  // namespace
+
+std::uint64_t write_span_flow_trace(std::ostream& os,
+                                    const SpikeTraceAnalysis& analysis,
+                                    std::size_t max_records) {
+  os << "{\"traceEvents\":[";
+  std::size_t written = 0;
+  std::uint64_t dropped = 0;
+  bool first = true;
+  const auto sep = [&]() {
+    if (!first) os << ",";
+    first = false;
+    os << "\n";
+  };
+  for (const SpikeChain& c : analysis.chains) {
+    // Records per chain: wire slice + ring slice + s/f flow arrows.
+    const bool flows = c.remote && c.src_rank >= 0 && c.dst_rank >= 0;
+    const std::size_t need = (c.integrated ? 1u : 0u) + (flows ? 3u : 0u);
+    if (need == 0) continue;
+    if (max_records != 0 && written + need > max_records) {
+      ++dropped;
+      continue;
+    }
+    const double fire_us = static_cast<double>(c.fire_tick) * 1e3;
+    const double wire_us = c.wire_s * 1e6;
+    if (flows) {
+      sep();
+      os << "{\"name\":\"wire\",\"cat\":\"spike\",\"ph\":\"X\",\"pid\":0,"
+            "\"tid\":"
+         << c.src_rank << ",\"ts\":";
+      write_json_double(os, fire_us);
+      os << ",\"dur\":";
+      write_json_double(os, wire_us);
+      os << ",\"args\":{\"id\":" << c.id << ",\"hops\":" << c.hops << "}}";
+      sep();
+      os << "{\"name\":\"spike\",\"cat\":\"spike\",\"ph\":\"s\",\"pid\":0,"
+            "\"tid\":"
+         << c.src_rank << ",\"ts\":";
+      write_json_double(os, fire_us);
+      os << ",\"id\":";
+      write_flow_id(os, c.id);
+      os << "}";
+      sep();
+      os << "{\"name\":\"spike\",\"cat\":\"spike\",\"ph\":\"f\",\"bp\":\"e\","
+            "\"pid\":0,\"tid\":"
+         << c.dst_rank << ",\"ts\":";
+      write_json_double(os, fire_us + wire_us);
+      os << ",\"id\":";
+      write_flow_id(os, c.id);
+      os << "}";
+    }
+    if (c.integrated) {
+      sep();
+      os << "{\"name\":\"ring d" << c.delay
+         << "\",\"cat\":\"spike\",\"ph\":\"X\",\"pid\":0,\"tid\":"
+         << (c.dst_rank >= 0 ? c.dst_rank : 0) << ",\"ts\":";
+      write_json_double(os, fire_us + wire_us);
+      os << ",\"dur\":";
+      write_json_double(os,
+                        static_cast<double>(c.integrate_tick) * 1e3 -
+                            (fire_us + wire_us));
+      os << ",\"args\":{\"id\":" << c.id << ",\"core\":" << c.dst_core
+         << "}}";
+    }
+    written += need;
+  }
+  if (dropped > 0) {
+    sep();
+    os << "{\"name\":\"truncated\",\"cat\":\"spike\",\"ph\":\"i\",\"pid\":0,"
+          "\"tid\":0,\"ts\":0,\"s\":\"g\",\"args\":{\"dropped\":"
+       << dropped << "}}";
+  }
+  os << "\n]}\n";
+  return dropped;
+}
+
+}  // namespace compass::obs

@@ -1,0 +1,326 @@
+// Causal spike tracing: deterministic sampled distributed spans.
+//
+// The aggregate profile (profile.h) answers "which phase / which rank"; this
+// module answers "which spikes, along which rank->rank paths, paid the
+// latency". A sampled spike's life is recorded as a chain of spans sharing
+// one trace id:
+//
+//   fire -> send -> wire -> recv -> ring -> integrate      (remote spikes)
+//   fire ----------------------------> ring -> integrate   (rank-local)
+//   fire -> send -> wire -> lost                           (faulted away)
+//
+// Span times live on the *canonical virtual timeline*: 1 tick == 1 ms of
+// biological time, and the wire span's duration is hops x hop-latency from
+// the cost model's topology embedding. Nothing in a span depends on the
+// transport implementation or the host's thread count, which is what makes
+// the acceptance criterion possible: the sampled span set is bit-identical
+// across MPI/PGAS and any OpenMP width.
+//
+// Sampling is a pure function of deterministic quantities:
+//
+//   H = SplitMix64(seed XOR mix(fire_tick) XOR pack(core, neuron)).next()
+//   sampled(spike)  <=>  H mod sample_every == 0
+//   trace id        =    H
+//
+// so both transports and every thread count sample the same spikes — and the
+// id doubles as the (collision-improbable) stitching key for the offline
+// analyzer. Propagation piggybacks on the arch::WireSpike routing metadata
+// the runtime already moves — sampled in-flight spikes are matched on the
+// (dst core, axon, slot) triple at delivery — so the unsampled fast path's
+// wire layout is untouched (static_assert'd 8 bytes stays 8 bytes).
+//
+// Threading contract: on_fire() is called from the (possibly OpenMP-
+// parallel) per-rank Neuron loops and stages into per-rank buffers;
+// seal_sends() / end_tick() run serially at the phase boundaries and emit in
+// a canonical order (ranks ascending, per-rank firing order), so emission
+// order is thread-count-independent. on_deliver() runs in the parallel
+// Network loops but only flips per-entry flags owned by the delivering
+// rank's thread (a WireSpike key names one destination core, hence one
+// rank).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <unordered_map>
+#include <vector>
+
+#include "arch/spike.h"
+#include "arch/types.h"
+#include "obs/metrics.h"
+
+namespace compass::obs {
+
+enum class SpikeStage : std::uint8_t {
+  kFire = 0,       // neuron crossed threshold (src rank)
+  kSend = 1,       // handed to the transport (src rank)
+  kWire = 2,       // modelled flight time: hops x hop-latency
+  kRecv = 3,       // arrived at the destination rank
+  kRing = 4,       // axon-delay ring residency (delay ticks)
+  kIntegrate = 5,  // drained into synaptic integration
+  kLost = 6,       // never delivered (fault injection)
+};
+
+const char* spike_stage_name(SpikeStage stage);
+
+/// One span of a sampled spike's chain. Every field is deterministic for a
+/// fixed (model, seed, fault plan); operator== is the determinism tests'
+/// bit-identity check.
+struct SpikeSpan {
+  std::uint64_t id = 0;          // trace id (shared by the whole chain)
+  std::uint64_t fire_tick = 0;   // tick the spike fired (chain anchor)
+  arch::CoreId src_core = 0;
+  std::uint16_t neuron = 0;
+  SpikeStage stage = SpikeStage::kFire;
+  std::int32_t rank = 0;         // rank the stage executed on
+  std::int32_t peer = -1;        // other rank for send/wire/recv/lost
+  std::int32_t hops = 0;         // torus hops (wire stage; 0 off-topology)
+  arch::CoreId dst_core = 0;     // routing metadata (ring stage)
+  std::uint16_t axon = 0;
+  std::uint16_t delay = 0;       // axonal delay in ticks (ring/integrate)
+  double t0_s = 0.0;             // canonical virtual begin/end (1 tick = 1 ms)
+  double t1_s = 0.0;
+
+  friend bool operator==(const SpikeSpan&, const SpikeSpan&) = default;
+};
+
+class SpikeSpanSink {
+ public:
+  virtual ~SpikeSpanSink() = default;
+  virtual void on_spike_span(const SpikeSpan& span) = 0;
+};
+
+/// In-memory capture for tests and the determinism suites.
+class SpikeSpanBuffer final : public SpikeSpanSink {
+ public:
+  void on_spike_span(const SpikeSpan& span) override {
+    spans_.push_back(span);
+  }
+  const std::vector<SpikeSpan>& spans() const { return spans_; }
+  void clear() { spans_.clear(); }
+
+ private:
+  std::vector<SpikeSpan> spans_;
+};
+
+/// One {"type":"sspan",...} JSON object per line. Serialization helper for
+/// the writer and anything else that persists spans.
+void write_spike_span_jsonl(std::ostream& os, const SpikeSpan& span);
+
+struct SpikeJsonlOptions {
+  /// Span records kept before the writer starts dropping (0 = unlimited).
+  /// When anything was dropped, finish() appends a
+  /// {"type":"truncated","dropped":N} marker so the offline analyzer can
+  /// surface the clipping instead of silently reporting a prefix.
+  std::size_t max_records = 1'000'000;
+};
+
+class JsonlSpikeSpanWriter final : public SpikeSpanSink {
+ public:
+  explicit JsonlSpikeSpanWriter(std::ostream& os, SpikeJsonlOptions options = {})
+      : os_(os), options_(options) {}
+  ~JsonlSpikeSpanWriter() { finish(); }
+
+  void on_spike_span(const SpikeSpan& span) override;
+
+  /// Records dropped after the cap was reached.
+  std::uint64_t dropped() const { return dropped_; }
+
+  /// Append the truncation marker when records were dropped. Idempotent;
+  /// also run by the destructor so a forgotten finish() cannot silently
+  /// clip a capture.
+  void finish();
+
+ private:
+  std::ostream& os_;
+  SpikeJsonlOptions options_;
+  std::size_t written_ = 0;
+  std::uint64_t dropped_ = 0;
+  bool finished_ = false;
+};
+
+struct SpikeTraceOptions {
+  /// Deterministic 1-in-N sampling (1 = trace every routed spike).
+  std::uint64_t sample_every = 64;
+  /// Sampler seed; runs with equal (seed, model) sample identical spikes.
+  std::uint64_t seed = 0x5A1DE5;
+};
+
+/// The online tracer the runtime drives. Attach sinks, then
+/// runtime::Compass::set_spike_tracer(); detached costs the runtime one
+/// pointer test per site. The tracer must outlive the simulator.
+class SpikeTracer {
+ public:
+  explicit SpikeTracer(int ranks, SpikeTraceOptions options = {});
+
+  int ranks() const { return ranks_; }
+  const SpikeTraceOptions& options() const { return options_; }
+
+  void add_sink(SpikeSpanSink* sink);
+
+  /// Publish the sampled-path histogram (`compass.spike_path_latency_ticks`,
+  /// observed at integration with the chain's fire->integrate latency) plus
+  /// sampled/completed/lost counters. Pass nullptr to detach.
+  void set_metrics(MetricsRegistry* metrics);
+
+  /// Hop counts for the wire span: `hops_by_pair` is a ranks x ranks
+  /// row-major matrix of torus hops between the ranks' nodes (what the
+  /// transport's hop model charges). Empty = no topology, wire spans take 0
+  /// hops / 0 seconds. `hop_latency_s` is the cost model's per-hop latency.
+  void set_hop_model(std::vector<int> hops_by_pair, double hop_latency_s);
+
+  /// The sampling/id hash (see header comment). Exposed for tests and the
+  /// offline analyzer's documentation of the formula.
+  static std::uint64_t trace_id(std::uint64_t seed, arch::Tick fire_tick,
+                                arch::CoreId core, unsigned neuron);
+
+  bool sampled(arch::Tick fire_tick, arch::CoreId core,
+               unsigned neuron) const {
+    return options_.sample_every <= 1 ||
+           trace_id(options_.seed, fire_tick, core, neuron) %
+                   options_.sample_every ==
+               0;
+  }
+
+  // --- Runtime hooks (called by runtime::Compass) --------------------------
+
+  /// Serial, at the top of each step.
+  void begin_tick(arch::Tick tick);
+
+  /// Per routed spike, from the per-rank Neuron loops (parallel-safe:
+  /// stages into src_rank's buffer). Samples internally — unsampled spikes
+  /// cost one hash.
+  void on_fire(int src_rank, int dst_rank, arch::CoreId src_core,
+               unsigned neuron, const arch::AxonTarget& target,
+               const arch::WireSpike& wire);
+
+  /// Serial, after the compute loops and before any delivery: merges the
+  /// per-rank staging buffers into the tick's pending set in canonical
+  /// order.
+  void seal_sends();
+
+  /// Per delivered spike, from the per-rank Network loops (parallel-safe:
+  /// a key names one destination rank, so only that rank's thread touches
+  /// its entries).
+  void on_deliver(const arch::WireSpike& wire);
+
+  /// Serial, at the end of the step: emits ring/integrate spans for chains
+  /// whose delay expired this tick, then this tick's fire/send/wire/recv
+  /// (or lost) spans, in canonical order.
+  void end_tick();
+
+  // --- Introspection (tests, CLI summaries) --------------------------------
+  std::uint64_t sampled_spikes() const { return sampled_; }
+  std::uint64_t completed_spikes() const { return completed_; }
+  std::uint64_t lost_spikes() const { return lost_; }
+  std::uint64_t spans_emitted() const { return spans_; }
+
+ private:
+  struct Entry {
+    std::uint64_t id = 0;
+    arch::Tick fire_tick = 0;
+    arch::CoreId src_core = 0;
+    arch::CoreId dst_core = 0;
+    std::uint16_t neuron = 0;
+    std::uint16_t axon = 0;
+    std::uint16_t delay = 0;
+    std::int32_t src_rank = 0;
+    std::int32_t dst_rank = 0;
+    bool remote = false;
+    bool delivered = false;
+  };
+
+  static std::uint64_t key_of(const arch::WireSpike& w) {
+    return (static_cast<std::uint64_t>(w.core) << 32) |
+           (static_cast<std::uint64_t>(w.axon) << 16) |
+           static_cast<std::uint64_t>(w.slot);
+  }
+
+  void emit(const SpikeSpan& span);
+  void emit_fire_chain(const Entry& e);
+  void emit_completion(const Entry& e);
+  int pair_hops(int src, int dst) const;
+
+  int ranks_;
+  SpikeTraceOptions options_;
+  std::vector<SpikeSpanSink*> sinks_;
+
+  arch::Tick tick_ = 0;
+  // Per-src-rank staging, written by the parallel Neuron loops.
+  std::vector<std::vector<Entry>> staging_;
+  // The tick's sealed entries (canonical order) and their delivery index.
+  std::vector<Entry> entries_;
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> pending_;
+  // Delivered chains awaiting integration, keyed by (fire_tick + delay)
+  // mod 16 — the same 16-slot wheel arithmetic as the axon rings.
+  std::vector<Entry> wheel_[arch::kDelaySlots];
+
+  std::vector<int> hops_by_pair_;  // ranks x ranks (empty: no topology)
+  double hop_latency_s_ = 0.0;
+
+  std::uint64_t sampled_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t lost_ = 0;
+  std::uint64_t spans_ = 0;
+
+  MetricsRegistry* metrics_ = nullptr;
+  MetricsRegistry::Id m_latency_ = 0, m_sampled_ = 0, m_completed_ = 0,
+                      m_lost_ = 0;
+};
+
+// --- Offline analysis (tools/compass_prof --spans) --------------------------
+
+/// One stitched causal chain, re-derived from a span JSONL stream.
+struct SpikeChain {
+  std::uint64_t id = 0;
+  std::uint64_t fire_tick = 0;
+  arch::CoreId src_core = 0;
+  arch::CoreId dst_core = 0;
+  std::uint16_t neuron = 0;
+  std::uint16_t delay = 0;
+  std::int32_t src_rank = -1;
+  std::int32_t dst_rank = -1;
+  std::int32_t hops = 0;
+  double wire_s = 0.0;           // modelled flight time
+  std::uint64_t integrate_tick = 0;
+  bool remote = false;
+  bool integrated = false;       // chain completed inside the capture
+  bool lost = false;             // fault injection ate it
+
+  /// End-to-end fire->integrate latency in ticks (the axonal delay).
+  std::uint64_t latency_ticks() const {
+    return integrated ? integrate_tick - fire_tick : 0;
+  }
+};
+
+struct SpikeTraceAnalysis {
+  std::vector<SpikeChain> chains;  // in fire order (capture order)
+  std::uint64_t spans = 0;         // span records parsed
+  std::uint64_t dropped = 0;       // from {"type":"truncated"} markers
+};
+
+/// Parse a --spike-trace-out JSONL stream and stitch chains by trace id.
+/// Unknown record types are skipped (schema evolution; a mixed stream that
+/// also carries tick/span records analyzes fine); malformed JSON throws
+/// std::runtime_error naming the line.
+SpikeTraceAnalysis analyze_spike_trace(std::istream& is);
+
+/// Human report: chain totals, per-(src rank -> dst rank) hop latency
+/// histograms (p50/p99/max), and the critical path per tick (top_k worst
+/// ticks, decomposed into wire + ring legs).
+void write_span_report(std::ostream& os, const SpikeTraceAnalysis& analysis,
+                       int top_k = 5);
+
+/// Machine-readable form of the same report (one JSON object).
+void write_span_report_json(std::ostream& os,
+                            const SpikeTraceAnalysis& analysis);
+
+/// Chrome-trace JSON with *flow events*: per-rank tracks carry each chain's
+/// wire and ring slices on the canonical virtual timeline, linked by
+/// s/f flow arrows from fire to integration. At most `max_records` trace
+/// events are written (a truncation instant event is appended past the
+/// cap); returns the number of chains dropped.
+std::uint64_t write_span_flow_trace(std::ostream& os,
+                                    const SpikeTraceAnalysis& analysis,
+                                    std::size_t max_records = 1'000'000);
+
+}  // namespace compass::obs

@@ -19,7 +19,25 @@ const char* phase_name(Phase p) {
   return "?";
 }
 
+bool JsonlTraceWriter::admit() {
+  if (options_.max_records != 0 && written_ >= options_.max_records) {
+    ++dropped_;
+    return false;
+  }
+  ++written_;
+  return true;
+}
+
+void JsonlTraceWriter::finish() {
+  if (finished_) return;
+  finished_ = true;
+  if (dropped_ > 0) {
+    os_ << "{\"type\":\"truncated\",\"dropped\":" << dropped_ << "}\n";
+  }
+}
+
 void JsonlTraceWriter::on_span(const SpanRecord& s) {
+  if (!admit()) return;
   os_ << "{\"type\":\"span\",\"tick\":" << s.tick << ",\"rank\":" << s.rank
       << ",\"phase\":\"" << phase_name(s.phase) << '"';
   if (options_.include_measured) {
@@ -33,6 +51,7 @@ void JsonlTraceWriter::on_span(const SpanRecord& s) {
 }
 
 void JsonlTraceWriter::on_tick(const TickRecord& t) {
+  if (!admit()) return;
   os_ << "{\"type\":\"tick\",\"tick\":" << t.tick << ",\"synapse_s\":";
   write_json_double(os_, t.synapse_s);
   os_ << ",\"neuron_s\":";

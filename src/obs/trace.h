@@ -94,6 +94,14 @@ struct JsonlOptions {
   /// Emit the host-measured `compute_s` field. Golden traces and determinism
   /// comparisons turn this off so every emitted byte is reproducible.
   bool include_measured = true;
+  /// Span + tick records written before further ones are dropped
+  /// (0 = unlimited, the default — existing captures are unaffected). When
+  /// anything was dropped, finish() appends a
+  /// {"type":"truncated","dropped":N} marker so the offline analyzer
+  /// (compass_prof) reports the clipping instead of a silent prefix. The
+  /// end-of-run profile record is exempt from the cap: it is one summary
+  /// line, and dropping it would also hide the comm matrix.
+  std::size_t max_records = 0;
 };
 
 /// One JSON object per line: {"type":"span",...} / {"type":"tick",...}.
@@ -101,13 +109,26 @@ class JsonlTraceWriter final : public TraceSink {
  public:
   explicit JsonlTraceWriter(std::ostream& os, JsonlOptions options = {})
       : os_(os), options_(options) {}
+  ~JsonlTraceWriter() override { finish(); }
   void on_span(const SpanRecord& span) override;
   void on_tick(const TickRecord& tick) override;
   void on_profile(const ProfileRecord& profile) override;
 
+  /// Records dropped after the cap was reached.
+  std::uint64_t dropped() const { return dropped_; }
+
+  /// Append the truncation marker when records were dropped. Idempotent;
+  /// also run by the destructor.
+  void finish();
+
  private:
+  bool admit();
+
   std::ostream& os_;
   JsonlOptions options_;
+  std::size_t written_ = 0;
+  std::uint64_t dropped_ = 0;
+  bool finished_ = false;
 };
 
 /// In-memory capture, used by tests and the bench harness.

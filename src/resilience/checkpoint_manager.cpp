@@ -66,6 +66,22 @@ void CheckpointManager::attach(runtime::Compass& sim, arch::Model& model) {
 
 std::string CheckpointManager::write_now(const runtime::Compass& sim,
                                          const arch::Model& model) {
+  try {
+    return write_unguarded(sim, model);
+  } catch (const CheckpointError&) {
+    if (flight_ != nullptr) {
+      // Failed persistence is exactly what the black box is for: record the
+      // failure, dump the window, then let the error propagate.
+      flight_->record(-1, obs::FlightEventKind::kCheckpoint, "error", -1,
+                      sim.now());
+      flight_->dump_now("checkpoint-error");
+    }
+    throw;
+  }
+}
+
+std::string CheckpointManager::write_unguarded(const runtime::Compass& sim,
+                                               const arch::Model& model) {
   std::error_code ec;
   fs::create_directories(options_.dir, ec);
   if (ec) {
@@ -92,6 +108,10 @@ std::string CheckpointManager::write_now(const runtime::Compass& sim,
     metrics_->add(m_snapshots_);
     metrics_->add(m_bytes_, bytes);
     metrics_->set(m_write_s_, stats_.write_s);
+  }
+  if (flight_ != nullptr) {
+    flight_->record(-1, obs::FlightEventKind::kCheckpoint, "write", -1,
+                    sim.now(), bytes);
   }
 
   // Re-writing the same tick (e.g. write_now right after a periodic write)

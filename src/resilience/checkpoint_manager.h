@@ -11,6 +11,7 @@
 #include <deque>
 #include <string>
 
+#include "obs/flightrec.h"
 #include "obs/metrics.h"
 #include "resilience/checkpoint.h"
 
@@ -38,6 +39,11 @@ class CheckpointManager {
   explicit CheckpointManager(CheckpointOptions options,
                              obs::MetricsRegistry* metrics = nullptr);
 
+  /// Attach a flight recorder: successful writes become ckpt events in the
+  /// machine track, and a CheckpointError triggers a post-mortem dump
+  /// ("checkpoint-error") before the exception propagates.
+  void set_flight_recorder(obs::FlightRecorder* flight) { flight_ = flight; }
+
   /// Register the periodic tick callback on `sim`. `sim` and `model` must
   /// outlive the manager; no-op scheduling when options.every == 0.
   void attach(runtime::Compass& sim, arch::Model& model);
@@ -56,6 +62,8 @@ class CheckpointManager {
   static std::string file_name(arch::Tick tick);
 
  private:
+  std::string write_unguarded(const runtime::Compass& sim,
+                              const arch::Model& model);
   void prune();
 
   CheckpointOptions options_;
@@ -64,6 +72,7 @@ class CheckpointManager {
 
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::MetricsRegistry::Id m_snapshots_ = 0, m_bytes_ = 0, m_write_s_ = 0;
+  obs::FlightRecorder* flight_ = nullptr;
 };
 
 }  // namespace compass::resilience

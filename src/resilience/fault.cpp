@@ -190,6 +190,11 @@ void FaultInjectingTransport::forward(int src, int dst,
 void FaultInjectingTransport::lose(int src, int dst, std::size_t spikes,
                                    const char* kind,
                                    std::uint64_t comm::TickFaultStats::*counter) {
+  if (flight_ != nullptr) {
+    // Before the policy check, so a fail-fast post-mortem shows the fault
+    // that killed the run as its last event.
+    flight_->record(src, obs::FlightEventKind::kFault, kind, dst, spikes);
+  }
   if (plan_.policy == FaultPolicy::kFailFast) {
     throw FaultError(std::string("fault injected: message ") + kind + " on " +
                      std::to_string(src) + " -> " + std::to_string(dst) +
@@ -207,6 +212,14 @@ void FaultInjectingTransport::send(int src, int dst,
   // A dead rank neither sends nor receives; everything on those links is
   // lost, whatever the policy — there is no one left to retry.
   if (rank_dead(src) || rank_dead(dst)) {
+    if (flight_ != nullptr) {
+      flight_->record(src, obs::FlightEventKind::kFault, "kill", dst,
+                      spikes.size(), static_cast<std::uint64_t>(plan_.kill_rank));
+      if (!kill_dumped_) {
+        kill_dumped_ = true;
+        flight_->dump_now("fault-kill-rank");
+      }
+    }
     if (plan_.policy == FaultPolicy::kFailFast) {
       throw FaultError("fault injected: rank " +
                        std::to_string(plan_.kill_rank) + " died at tick " +
@@ -265,6 +278,10 @@ void FaultInjectingTransport::send(int src, int dst,
              ++r) {
           ++tick_.retries;
           ++totals_.retries;
+          if (flight_ != nullptr) {
+            flight_->record(src, obs::FlightEventKind::kFault, "retry", dst,
+                            static_cast<std::uint64_t>(r + 1));
+          }
           extra_send_s_[static_cast<std::size_t>(src)] += backoff;
           backoff *= 2.0;
           outcome = attempt(spikes);
@@ -302,6 +319,10 @@ void FaultInjectingTransport::send(int src, int dst,
     }
     ++tick_.stalled_msgs;
     ++totals_.stalled_msgs;
+    if (flight_ != nullptr) {
+      flight_->record(src, obs::FlightEventKind::kFault, "stall", dst,
+                      spikes.size());
+    }
     extra_send_s_[static_cast<std::size_t>(src)] += plan_.stall_s;
   }
   forward(src, dst, spikes);
@@ -312,6 +333,10 @@ void FaultInjectingTransport::send(int src, int dst,
     }
     ++tick_.dup_msgs;
     ++totals_.dup_msgs;
+    if (flight_ != nullptr) {
+      flight_->record(src, obs::FlightEventKind::kFault, "dup", dst,
+                      spikes.size());
+    }
     forward(src, dst, spikes);  // axon delivery is idempotent; accounting is not
   }
 }

@@ -165,6 +165,15 @@ class FaultInjectingTransport final : public comm::Transport {
     inner_.set_comm_matrix(matrix);
   }
 
+  /// Both layers record: the wrapped transport logs the sends/puts that
+  /// survived, this decorator logs the injected faults — and triggers a
+  /// post-mortem dump the first time the kill-rank policy fires (including
+  /// immediately before a fail-fast FaultError is thrown).
+  void set_flight_recorder(obs::FlightRecorder* flight) override {
+    flight_ = flight;
+    inner_.set_flight_recorder(flight);
+  }
+
   /// Align the kill-tick clock after a checkpoint restore (mirrors
   /// Compass::set_start_tick; call before the first post-restore tick).
   void set_start_tick(arch::Tick tick) {
@@ -197,6 +206,7 @@ class FaultInjectingTransport final : public comm::Transport {
   std::vector<double> extra_send_s_;  // modelled stall/backoff s per rank
   std::vector<arch::WireSpike> corrupt_scratch_;
   bool warned_[3] = {false, false, false};  // drop / corrupt / kill
+  bool kill_dumped_ = false;  // one flight dump per run, at the first kill
 
   obs::MetricsRegistry* fmetrics_ = nullptr;
   bool fmetrics_flushed_ = true;

@@ -33,6 +33,11 @@ Compass::Compass(arch::Model& model, const Partition& partition,
 }
 
 std::uint64_t Compass::step() {
+  if (flight_ != nullptr) {
+    flight_->set_tick(tick_);
+    flight_->record(-1, obs::FlightEventKind::kPhase, "tick_begin", -1, tick_);
+  }
+  if (tracer_ != nullptr) tracer_->begin_tick(tick_);
   transport_.begin_tick();
   auto& scratch = ledger_.tick_scratch();
   tick_fired_ = 0;
@@ -51,6 +56,10 @@ std::uint64_t Compass::step() {
   for (int rank = 0; rank < num_ranks; ++rank) {
     compute_phases(rank, scratch[static_cast<std::size_t>(rank)]);
   }
+  // The tracer's per-source-rank staging buffers are complete once the
+  // compute loop joins; merge them in canonical (rank-ascending) order
+  // before any delivery can race ahead.
+  if (tracer_ != nullptr) tracer_->seal_sends();
   // Message injection is serial: the transport is driven from one thread.
   for (int rank = 0; rank < num_ranks; ++rank) {
     send_phase(rank, scratch[static_cast<std::size_t>(rank)]);
@@ -58,6 +67,9 @@ std::uint64_t Compass::step() {
 
   // Global synchronisation point: Reduce-Scatter (MPI) or barrier (PGAS).
   transport_.exchange();
+  if (flight_ != nullptr) {
+    flight_->record(-1, obs::FlightEventKind::kPhase, "exchange", -1, tick_);
+  }
 
   // Network phase: local + remote spike delivery per rank. Every rank only
   // writes its own cores' delay buffers, so this also parallelises.
@@ -129,6 +141,14 @@ std::uint64_t Compass::step() {
     metrics_->set(ids_.g_virtual_s, ledger_.totals().total());
   }
 
+  // All deliveries for this tick have happened; the tracer resolves which
+  // sampled spikes arrived, emits due chains, and rotates its delay wheel.
+  if (tracer_ != nullptr) tracer_->end_tick();
+  if (flight_ != nullptr) {
+    flight_->record(-1, obs::FlightEventKind::kPhase, "tick_end", -1, tick_,
+                    tick_fired_);
+  }
+
   ++tick_;
   ++report_.ticks;
   // Tick boundary: all of this tick's spikes are delivered or scheduled in
@@ -154,6 +174,19 @@ void Compass::set_metrics(obs::MetricsRegistry* metrics) {
   ids_.h_messages = metrics_->histogram("tick.messages", "messages");
   ids_.h_bytes = metrics_->histogram("tick.wire_bytes", "bytes");
   ids_.g_virtual_s = metrics_->gauge("run.virtual_time_s", "s");
+}
+
+void Compass::set_spike_tracer(obs::SpikeTracer* tracer) {
+  if (tracer != nullptr && tracer->ranks() != partition_.ranks()) {
+    throw std::invalid_argument(
+        "Compass: spike tracer rank count does not match partition");
+  }
+  tracer_ = tracer;
+}
+
+void Compass::set_flight_recorder(obs::FlightRecorder* flight) {
+  flight_ = flight;
+  if (flight != nullptr) transport_.set_flight_recorder(flight);
 }
 
 void Compass::set_profile(obs::ProfileCollector* profiler) {
@@ -282,6 +315,9 @@ void Compass::compute_phases(int rank, perf::RankTickTimes& rt) {
             ++counters.routed;
             const arch::WireSpike wire = arch::make_wire_spike(target, tick_);
             const int dst = partition_.rank_of(target.core);
+            if (tracer_ != nullptr) {
+              tracer_->on_fire(rank, dst, id, j, target, wire);
+            }
             if (dst == rank) {
               local_buf.push_back(wire);
             } else {
@@ -376,6 +412,7 @@ void Compass::network_phase(int rank, perf::RankTickTimes& rt) {
     auto& buf = local_[r][static_cast<std::size_t>(t)];
     for (const arch::WireSpike& w : buf) {
       model_.core(w.core).deliver(w.axon, w.slot);
+      if (tracer_ != nullptr) tracer_->on_deliver(w);
     }
     local_count += buf.size();
     buf.clear();
@@ -394,6 +431,7 @@ void Compass::network_phase(int rank, perf::RankTickTimes& rt) {
   for (const comm::InMessage& msg : transport_.received(rank)) {
     for (const arch::WireSpike& w : msg.spikes) {
       model_.core(w.core).deliver(w.axon, w.slot);
+      if (tracer_ != nullptr) tracer_->on_deliver(w);
     }
   }
   if (config_.measure) {

@@ -27,8 +27,10 @@
 #include "arch/model.h"
 #include "arch/spike.h"
 #include "comm/transport.h"
+#include "obs/flightrec.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
+#include "obs/spiketrace.h"
 #include "obs/trace.h"
 #include "perf/ledger.h"
 #include "runtime/partition.h"
@@ -136,6 +138,23 @@ class Compass {
   /// Transport::set_metrics(). Pass nullptr to detach.
   void set_metrics(obs::MetricsRegistry* metrics);
 
+  /// Attach a causal spike tracer (src/obs/spiketrace.h): every routed spike
+  /// is then offered to the tracer's deterministic sampler, and sampled
+  /// spikes emit span chains (fire → send → wire → recv → ring → integrate)
+  /// through the tracer's sinks. The tracer must match the partition's rank
+  /// count (throws std::invalid_argument otherwise) and outlive the
+  /// simulator. Unlike a spike hook, a tracer does NOT force serial
+  /// execution: its on_fire stages into per-source-rank buffers and is safe
+  /// under the parallel compute loop. Pass nullptr to detach.
+  void set_spike_tracer(obs::SpikeTracer* tracer);
+
+  /// Attach a flight recorder (src/obs/flightrec.h): the machine track then
+  /// records tick_begin / exchange / tick_end phase events and the current
+  /// tick, so a post-mortem dump shows where in the loop the run died. The
+  /// recorder is also handed to the transport for send/recv events. Pass
+  /// nullptr to detach (the transport keeps its own attachment).
+  void set_flight_recorder(obs::FlightRecorder* flight);
+
   /// Attach a profiler (src/obs/profile.h): every tick then accumulates
   /// per-rank phase times, critical-rank attribution, overlap legs, and the
   /// per-(src, dst) comm matrix (the transport's send path is pointed at the
@@ -234,6 +253,8 @@ class Compass {
   std::vector<obs::TraceSink*> sinks_;
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::ProfileCollector* profile_ = nullptr;
+  obs::SpikeTracer* tracer_ = nullptr;
+  obs::FlightRecorder* flight_ = nullptr;
   struct MetricIds {
     obs::MetricsRegistry::Id ticks, fired, routed, local, remote,
         synaptic_events, h_fired, h_messages, h_bytes, g_virtual_s;

@@ -1,0 +1,427 @@
+// Causal spike-trace lockdown suite (`ctest -L obs`).
+//
+// The tentpole guarantees under test:
+//   - the sampled span set is *bit-identical* across MPI and PGAS transports
+//     and across OpenMP thread counts (1/2/8) — every span field, in the
+//     same emission order;
+//   - a checkpoint/restore resume re-samples and re-emits exactly the spans
+//     the uninterrupted run emitted for ticks past the restore point;
+//   - the span JSONL schema is frozen by a golden file
+//     (tests/data/golden_spike_trace.jsonl; COMPASS_REGOLDEN=1 regenerates);
+//   - writer record caps surface as {"type":"truncated"} markers that the
+//     offline analyzers turn into WARNINGs instead of silently reporting a
+//     prefix of the run;
+//   - the sampled-path latency histogram reaches the Prometheus exposition
+//     as compass_spike_path_latency_ticks;
+//   - a kill-rank fault leaves a parseable flight-recorder JSONL dump and
+//     the eaten spikes show up as lost chains.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#ifdef COMPASS_HAVE_OPENMP
+#include <omp.h>
+#endif
+
+#include "cocomac/macaque.h"
+#include "comm/mpi_transport.h"
+#include "comm/pgas_transport.h"
+#include "compiler/pcc.h"
+#include "json_lite.h"
+#include "obs/flightrec.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/spiketrace.h"
+#include "obs/trace.h"
+#include "resilience/checkpoint.h"
+#include "resilience/fault.h"
+#include "runtime/compass.h"
+
+#ifndef COMPASS_TEST_DATA_DIR
+#error "COMPASS_TEST_DATA_DIR must be defined by the build"
+#endif
+
+namespace compass {
+namespace {
+
+compiler::PccResult build(std::uint64_t cores = 77, int ranks = 3,
+                          int threads = 2) {
+  cocomac::MacaqueSpecOptions mopt;
+  mopt.total_cores = cores;
+  mopt.seed = 2012;
+  compiler::PccOptions popt;
+  popt.ranks = ranks;
+  popt.threads_per_rank = threads;
+  return compiler::compile(cocomac::build_macaque_spec(mopt), popt);
+}
+
+struct SpanRunOptions {
+  bool pgas = false;
+  bool parallel = false;
+  std::uint64_t sample_every = 4;
+  arch::Tick ticks = 16;
+};
+
+std::vector<obs::SpikeSpan> run_spans(const compiler::PccResult& pcc,
+                                      const SpanRunOptions& opt) {
+  arch::Model model = pcc.model;
+  std::unique_ptr<comm::Transport> transport;
+  if (opt.pgas) {
+    transport = std::make_unique<comm::PgasTransport>(pcc.partition.ranks(),
+                                                      comm::CommCostModel{});
+  } else {
+    transport = std::make_unique<comm::MpiTransport>(pcc.partition.ranks(),
+                                                     comm::CommCostModel{});
+  }
+  runtime::Config cfg;
+  cfg.measure = false;
+  cfg.parallel_execution = opt.parallel;
+  runtime::Compass sim(model, pcc.partition, *transport, cfg);
+
+  obs::SpikeTracer tracer(pcc.partition.ranks(),
+                          obs::SpikeTraceOptions{.sample_every =
+                                                     opt.sample_every});
+  obs::SpikeSpanBuffer buffer;
+  tracer.add_sink(&buffer);
+  sim.set_spike_tracer(&tracer);
+  sim.run(opt.ticks);
+  return buffer.spans();
+}
+
+TEST(SpikeTrace, TraceIdIsPureAndSamplingFollowsIt) {
+  const std::uint64_t id = obs::SpikeTracer::trace_id(0x5A1DE5, 7, 19, 130);
+  EXPECT_EQ(id, obs::SpikeTracer::trace_id(0x5A1DE5, 7, 19, 130));
+  EXPECT_NE(id, obs::SpikeTracer::trace_id(0x5A1DE5, 8, 19, 130));
+  EXPECT_NE(id, obs::SpikeTracer::trace_id(0x5A1DE5, 7, 20, 130));
+  EXPECT_NE(id, obs::SpikeTracer::trace_id(0x5A1DE6, 7, 19, 130));
+
+  obs::SpikeTracer every(2, obs::SpikeTraceOptions{.sample_every = 1});
+  EXPECT_TRUE(every.sampled(7, 19, 130));
+  obs::SpikeTracer some(2, obs::SpikeTraceOptions{.sample_every = 5});
+  EXPECT_EQ(some.sampled(7, 19, 130), id % 5 == 0);
+}
+
+TEST(SpikeTrace, RankMismatchThrows) {
+  const compiler::PccResult pcc = build();
+  arch::Model model = pcc.model;
+  comm::MpiTransport transport(3, comm::CommCostModel{});
+  runtime::Compass sim(model, pcc.partition, transport, {});
+  obs::SpikeTracer wrong(4);
+  EXPECT_THROW(sim.set_spike_tracer(&wrong), std::invalid_argument);
+}
+
+TEST(SpikeTrace, SampledSpansBitIdenticalAcrossTransports) {
+  const compiler::PccResult pcc = build();
+  const std::vector<obs::SpikeSpan> mpi =
+      run_spans(pcc, {.pgas = false});
+  const std::vector<obs::SpikeSpan> pgas =
+      run_spans(pcc, {.pgas = true});
+  ASSERT_FALSE(mpi.empty());
+  EXPECT_EQ(mpi, pgas);
+}
+
+TEST(SpikeTrace, SampledSpansBitIdenticalAcrossThreadCounts) {
+  const compiler::PccResult pcc = build();
+  const std::vector<obs::SpikeSpan> serial =
+      run_spans(pcc, {.parallel = false});
+  ASSERT_FALSE(serial.empty());
+#ifdef COMPASS_HAVE_OPENMP
+  for (int threads : {1, 2, 8}) {
+    omp_set_num_threads(threads);
+    EXPECT_EQ(serial, run_spans(pcc, {.parallel = true}))
+        << "span set diverged at " << threads << " OpenMP thread(s)";
+  }
+  omp_set_num_threads(omp_get_num_procs());
+#else
+  EXPECT_EQ(serial, run_spans(pcc, {.parallel = true}));
+#endif
+}
+
+TEST(SpikeTrace, RestoredRunReemitsTheFullRunsTailSpans) {
+  const compiler::PccResult pcc = build();
+  constexpr arch::Tick kHalf = 12, kFull = 24;
+  const std::vector<obs::SpikeSpan> full =
+      run_spans(pcc, {.sample_every = 4, .ticks = kFull});
+
+  // First half (untraced), snapshot, restore into a fresh model + simulator,
+  // then trace the second half.
+  arch::Model model1 = pcc.model;
+  comm::MpiTransport t1(3, comm::CommCostModel{});
+  runtime::Config cfg;
+  cfg.measure = false;
+  runtime::Compass sim1(model1, pcc.partition, t1, cfg);
+  sim1.run(kHalf);
+  const resilience::Checkpoint cp = resilience::capture(sim1, model1);
+
+  arch::Model model2 = pcc.model;
+  comm::MpiTransport t2(3, comm::CommCostModel{});
+  runtime::Compass sim2(model2, pcc.partition, t2, cfg);
+  resilience::restore(cp, sim2, model2);
+  obs::SpikeTracer tracer(3, obs::SpikeTraceOptions{.sample_every = 4});
+  obs::SpikeSpanBuffer buffer;
+  tracer.add_sink(&buffer);
+  sim2.set_spike_tracer(&tracer);
+  sim2.run(kFull - kHalf);
+
+  // Chains that fired before the restore live in the restored axon rings —
+  // the resumed tracer never saw them fire, so compare only the full run's
+  // spans anchored at ticks past the checkpoint.
+  std::vector<obs::SpikeSpan> tail;
+  for (const obs::SpikeSpan& s : full) {
+    if (s.fire_tick >= kHalf) tail.push_back(s);
+  }
+  ASSERT_FALSE(tail.empty());
+  EXPECT_EQ(tail, buffer.spans());
+}
+
+TEST(SpikeTrace, GoldenSpanFileMatches) {
+  const compiler::PccResult pcc = build();
+  std::ostringstream os;
+  {
+    arch::Model model = pcc.model;
+    comm::MpiTransport transport(3, comm::CommCostModel{});
+    runtime::Config cfg;
+    cfg.measure = false;
+    runtime::Compass sim(model, pcc.partition, transport, cfg);
+    obs::SpikeTracer tracer(3, obs::SpikeTraceOptions{.sample_every = 4});
+    obs::JsonlSpikeSpanWriter writer(os);
+    tracer.add_sink(&writer);
+    sim.set_spike_tracer(&tracer);
+    sim.run(12);
+    writer.finish();
+  }
+  const std::string actual = os.str();
+  const std::string path =
+      std::string(COMPASS_TEST_DATA_DIR) + "/golden_spike_trace.jsonl";
+
+  if (std::getenv("COMPASS_REGOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << actual;
+    GTEST_SKIP() << "regenerated " << path;
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good())
+      << "missing " << path << " (run once with COMPASS_REGOLDEN=1)";
+  std::ostringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(expected.str(), actual)
+      << "span schema or sampling drifted; if intentional, regenerate with "
+         "COMPASS_REGOLDEN=1 and commit the new golden file";
+}
+
+TEST(SpikeTrace, AnalyzerRoundTripsWriterOutput) {
+  const compiler::PccResult pcc = build();
+  arch::Model model = pcc.model;
+  comm::MpiTransport transport(3, comm::CommCostModel{});
+  runtime::Config cfg;
+  cfg.measure = false;
+  runtime::Compass sim(model, pcc.partition, transport, cfg);
+  obs::SpikeTracer tracer(3, obs::SpikeTraceOptions{.sample_every = 4});
+  std::ostringstream os;
+  obs::JsonlSpikeSpanWriter writer(os);
+  tracer.add_sink(&writer);
+  sim.set_spike_tracer(&tracer);
+  sim.run(16);
+  writer.finish();
+
+  std::istringstream is(os.str());
+  const obs::SpikeTraceAnalysis analysis = obs::analyze_spike_trace(is);
+  EXPECT_EQ(analysis.spans, tracer.spans_emitted());
+  EXPECT_EQ(analysis.chains.size(), tracer.sampled_spikes());
+  EXPECT_EQ(analysis.dropped, 0u);
+  std::uint64_t integrated = 0, lost = 0;
+  for (const obs::SpikeChain& c : analysis.chains) {
+    integrated += c.integrated ? 1 : 0;
+    lost += c.lost ? 1 : 0;
+    if (c.integrated) {
+      EXPECT_EQ(c.latency_ticks(), c.delay);
+      EXPECT_GE(c.integrate_tick, c.fire_tick);
+    }
+  }
+  EXPECT_EQ(integrated, tracer.completed_spikes());
+  EXPECT_EQ(lost, tracer.lost_spikes());
+
+  std::ostringstream report;
+  obs::write_span_report(report, analysis);
+  EXPECT_NE(report.str().find("spike span chains"), std::string::npos);
+  EXPECT_EQ(report.str().find("WARNING"), std::string::npos);
+
+  std::ostringstream json;
+  obs::write_span_report_json(json, analysis);
+  EXPECT_TRUE(testing::json_valid(json.str())) << json.str();
+
+  std::ostringstream flow;
+  const std::uint64_t clipped = obs::write_span_flow_trace(flow, analysis);
+  EXPECT_EQ(clipped, 0u);
+  EXPECT_TRUE(testing::json_valid(flow.str()));
+  EXPECT_NE(flow.str().find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(flow.str().find("\"ph\":\"f\""), std::string::npos);
+}
+
+TEST(SpikeTrace, WriterCapSurfacesAsTruncationMarkerAndWarning) {
+  const compiler::PccResult pcc = build();
+  arch::Model model = pcc.model;
+  comm::MpiTransport transport(3, comm::CommCostModel{});
+  runtime::Config cfg;
+  cfg.measure = false;
+  runtime::Compass sim(model, pcc.partition, transport, cfg);
+  obs::SpikeTracer tracer(3, obs::SpikeTraceOptions{.sample_every = 4});
+  std::ostringstream os;
+  obs::JsonlSpikeSpanWriter writer(os,
+                                   obs::SpikeJsonlOptions{.max_records = 5});
+  tracer.add_sink(&writer);
+  sim.set_spike_tracer(&tracer);
+  sim.run(16);
+  writer.finish();
+  ASSERT_GT(writer.dropped(), 0u);
+  EXPECT_NE(os.str().find("\"type\":\"truncated\""), std::string::npos);
+
+  std::istringstream is(os.str());
+  const obs::SpikeTraceAnalysis analysis = obs::analyze_spike_trace(is);
+  EXPECT_EQ(analysis.dropped, writer.dropped());
+  std::ostringstream report;
+  obs::write_span_report(report, analysis);
+  EXPECT_NE(report.str().find("WARNING"), std::string::npos);
+}
+
+// Satellite lockdown: the per-tick trace writer's cap surfaces in
+// compass_prof's human report the same way.
+TEST(SpikeTrace, TickTraceCapSurfacesInProfileReport) {
+  const compiler::PccResult pcc = build();
+  arch::Model model = pcc.model;
+  comm::MpiTransport transport(3, comm::CommCostModel{});
+  runtime::Config cfg;
+  cfg.measure = false;
+  runtime::Compass sim(model, pcc.partition, transport, cfg);
+  std::ostringstream os;
+  obs::JsonlTraceWriter writer(
+      os, obs::JsonlOptions{.include_measured = false, .max_records = 7});
+  sim.add_trace_sink(&writer);
+  sim.run(12);
+  writer.finish();
+  ASSERT_GT(writer.dropped(), 0u);
+  EXPECT_NE(os.str().find("\"type\":\"truncated\""), std::string::npos);
+
+  std::istringstream is(os.str());
+  const obs::TraceProfile profile = obs::analyze_trace(is);
+  EXPECT_EQ(profile.dropped, writer.dropped());
+  std::ostringstream report;
+  obs::write_trace_report(report, profile);
+  EXPECT_NE(report.str().find("WARNING"), std::string::npos);
+  std::ostringstream json;
+  obs::write_trace_report_json(json, profile);
+  EXPECT_NE(json.str().find("\"dropped\":"), std::string::npos);
+  EXPECT_TRUE(testing::json_valid(json.str()));
+}
+
+TEST(SpikeTrace, LatencyHistogramReachesPrometheusExposition) {
+  const compiler::PccResult pcc = build();
+  arch::Model model = pcc.model;
+  comm::MpiTransport transport(3, comm::CommCostModel{});
+  runtime::Config cfg;
+  cfg.measure = false;
+  runtime::Compass sim(model, pcc.partition, transport, cfg);
+  obs::MetricsRegistry registry;
+  obs::SpikeTracer tracer(3, obs::SpikeTraceOptions{.sample_every = 4});
+  tracer.set_metrics(&registry);
+  sim.set_spike_tracer(&tracer);
+  sim.run(16);
+  ASSERT_GT(tracer.completed_spikes(), 0u);
+
+  std::ostringstream prom;
+  obs::write_snapshot_prometheus(prom, registry.snapshot());
+  const std::string text = prom.str();
+  EXPECT_NE(text.find("compass_spike_path_latency_ticks_bucket"),
+            std::string::npos);
+  EXPECT_NE(text.find("compass_spike_path_latency_ticks_count"),
+            std::string::npos);
+  EXPECT_NE(text.find("compass_spiketrace_sampled"), std::string::npos);
+}
+
+TEST(SpikeTrace, KillRankLeavesParseableFlightDumpAndLostChains) {
+  const compiler::PccResult pcc = build();
+  arch::Model model = pcc.model;
+  comm::MpiTransport inner(3, comm::CommCostModel{});
+  resilience::FaultPlan plan;
+  plan.kill_rank = 1;
+  plan.kill_tick = 4;
+  plan.policy = resilience::FaultPolicy::kWarnAndCount;
+  resilience::FaultInjectingTransport transport(inner, plan);
+
+  const std::string dump_path =
+      (std::filesystem::temp_directory_path() /
+       "compass_flight_dump_test.jsonl")
+          .string();
+  std::filesystem::remove(dump_path);
+  obs::FlightRecorder flight(3);
+  flight.set_dump_path(dump_path);
+
+  runtime::Config cfg;
+  cfg.measure = false;
+  runtime::Compass sim(model, pcc.partition, transport, cfg);
+  sim.set_flight_recorder(&flight);
+  obs::SpikeTracer tracer(3, obs::SpikeTraceOptions{.sample_every = 2});
+  obs::SpikeSpanBuffer buffer;
+  tracer.add_sink(&buffer);
+  sim.set_spike_tracer(&tracer);
+  sim.run(16);
+
+  // The first kill triggered a post-mortem dump; every line is valid JSON
+  // and the header names the reason.
+  std::ifstream in(dump_path);
+  ASSERT_TRUE(in.good()) << "no flight dump at " << dump_path;
+  std::string line;
+  std::size_t lines = 0;
+  bool saw_fault = false;
+  while (std::getline(in, line)) {
+    EXPECT_TRUE(testing::json_valid(line)) << "line " << lines << ": " << line;
+    if (lines == 0) {
+      EXPECT_NE(line.find("\"type\":\"flight_dump\""), std::string::npos);
+      EXPECT_NE(line.find("fault-kill-rank"), std::string::npos);
+    }
+    if (line.find("\"kind\":\"fault\"") != std::string::npos) saw_fault = true;
+    ++lines;
+  }
+  EXPECT_GT(lines, 1u);
+  EXPECT_TRUE(saw_fault);
+  std::filesystem::remove(dump_path);
+
+  // Spikes the dead rank ate surface as lost chains, not silent holes.
+  EXPECT_GT(tracer.lost_spikes(), 0u);
+  bool saw_lost_span = false;
+  for (const obs::SpikeSpan& s : buffer.spans()) {
+    if (s.stage == obs::SpikeStage::kLost) saw_lost_span = true;
+  }
+  EXPECT_TRUE(saw_lost_span);
+}
+
+TEST(SpikeTrace, FlightRecorderRingKeepsOnlyNewestEvents) {
+  obs::FlightRecorder flight(1, /*capacity=*/4);
+  for (int i = 0; i < 10; ++i) {
+    flight.record(0, obs::FlightEventKind::kNote, "e", -1,
+                  static_cast<std::uint64_t>(i));
+  }
+  std::ostringstream os;
+  flight.dump(os, "test");
+  const std::string text = os.str();
+  // Events 0..5 were overwritten; 6..9 survive.
+  EXPECT_EQ(text.find("\"a\":5,"), std::string::npos);
+  EXPECT_NE(text.find("\"a\":6"), std::string::npos);
+  EXPECT_NE(text.find("\"a\":9"), std::string::npos);
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    EXPECT_TRUE(testing::json_valid(line)) << line;
+  }
+}
+
+}  // namespace
+}  // namespace compass

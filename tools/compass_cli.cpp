@@ -29,6 +29,15 @@
 //                            additional ticks to simulate
 //       --fault-plan SPEC    inject transport faults (DESIGN.md grammar;
 //                            $COMPASS_FAULT_PLAN is used when absent)
+//       --spike-trace-out F  causal spike-span JSONL (fire/send/wire/recv/
+//                            ring/integrate chains for sampled spikes;
+//                            analyze with compass_prof --spans)
+//       --spike-sample N     trace every spike whose id % N == 0 (default
+//                            64; 1 = every routed spike)
+//       --flight-recorder F  arm the per-rank flight recorder; the last-N
+//                            event window is dumped to F as JSONL on a
+//                            checkpoint error, the first kill-rank fault,
+//                            or a fatal signal
 //       --placement P        communication-aware core->rank placement
 //                            (uniform|random|greedy-refine|recursive-bisect|
 //                            sfc-torus); attaches a BG/Q-style torus hop
@@ -58,7 +67,9 @@
 #include "compiler/pcc.h"
 #include "io/raster.h"
 #include "io/spike_stats.h"
+#include "obs/flightrec.h"
 #include "obs/metrics.h"
+#include "obs/spiketrace.h"
 #include "obs/trace.h"
 #include "perf/energy.h"
 #include "place/placement.h"
@@ -100,6 +111,9 @@ struct Args {
   int checkpoint_keep = 3;
   std::string restore_path;  // checkpoint file or directory to resume from
   std::string fault_plan;    // resilience::FaultPlan spec ("" = none/env)
+  std::string spike_trace_file;   // causal spike-span JSONL ("" = off)
+  std::uint64_t spike_sample = 64;  // sample 1-in-N routed spikes
+  std::string flight_file;        // flight-recorder dump path ("" = off)
   std::string placement;       // placement policy ("" = classic block)
   std::uint64_t placement_seed = 0;
   std::string placement_out;   // save the active placement here
@@ -156,6 +170,8 @@ void usage(std::ostream& os) {
         "              [--checkpoint-every N] [--checkpoint-dir D]\n"
         "              [--checkpoint-keep K] [--restore PATH]\n"
         "              [--fault-plan SPEC]\n"
+        "              [--spike-trace-out spans.jsonl] [--spike-sample N]\n"
+        "              [--flight-recorder dump.jsonl]\n"
         "              [--placement uniform|random|greedy-refine|\n"
         "                           recursive-bisect|sfc-torus]\n"
         "              [--placement-seed S] [--placement-out F]\n"
@@ -267,6 +283,20 @@ std::optional<Args> parse_args(int argc, char** argv) {
       const char* v = next("--fault-plan");
       if (!v) return std::nullopt;
       args.fault_plan = v;
+    } else if (a == "--spike-trace-out") {
+      const char* v = next("--spike-trace-out");
+      if (!v) return std::nullopt;
+      args.spike_trace_file = v;
+    } else if (a == "--spike-sample") {
+      const char* v = next("--spike-sample");
+      if (!v) return std::nullopt;
+      const auto n = parse_u64_flag("--spike-sample", v, 1, UINT64_MAX);
+      if (!n) return std::nullopt;
+      args.spike_sample = *n;
+    } else if (a == "--flight-recorder") {
+      const char* v = next("--flight-recorder");
+      if (!v) return std::nullopt;
+      args.flight_file = v;
     } else if (a == "--placement") {
       const char* v = next("--placement");
       if (!v) return std::nullopt;
@@ -308,6 +338,11 @@ std::optional<Args> parse_args(int argc, char** argv) {
       if (!v) return std::nullopt;
       args.output_file = v;
     } else if (!a.empty() && a[0] != '-') {
+      if (!args.spec_file.empty()) {
+        std::cerr << "compass: unexpected extra argument '" << a
+                  << "' (already given '" << args.spec_file << "')\n";
+        return std::nullopt;
+      }
       args.spec_file = a;
     } else {
       std::cerr << "compass: unknown option " << a << "\n";
@@ -378,6 +413,15 @@ int cmd_run(const Args& args) {
       !args.metrics_file.empty() || !args.metrics_prom_file.empty();
   obs::MetricsRegistry* metrics = want_metrics ? &registry : nullptr;
 
+  // The flight recorder is armed before compilation so the pcc begin/end
+  // notes land in the window, and the signal handler covers the whole run.
+  std::optional<obs::FlightRecorder> flight;
+  if (!args.flight_file.empty()) {
+    flight.emplace(args.ranks);
+    flight->set_dump_path(args.flight_file);
+    obs::FlightRecorder::install_signal_handler(&*flight);
+  }
+
   // Placement runs against a BG/Q-style torus sized to the run, so the
   // optimiser, the transport's hop charges, and the post-run rescoring all
   // see one topology. The topology must outlive the transport.
@@ -401,7 +445,8 @@ int cmd_run(const Args& args) {
   }
   std::cout << "compiling " << spec.total_cores << " cores for " << args.ranks
             << " rank(s) x " << args.threads << " thread(s)...\n";
-  compiler::PccResult pcc = compiler::compile(spec, popt, metrics);
+  compiler::PccResult pcc =
+      compiler::compile(spec, popt, metrics, flight ? &*flight : nullptr);
 
   // A loaded placement replaces the compiled partition wholesale (the model
   // itself never depends on placement, so any same-shape file is legal).
@@ -489,6 +534,9 @@ int cmd_run(const Args& args) {
   runtime::Config cfg;
   cfg.measure = !args.no_measure;
   runtime::Compass sim(pcc.model, pcc.partition, *transport, cfg);
+  // Attaches the transport too (the fault decorator forwards to its inner
+  // transport, so both layers' events land in the same window).
+  if (flight) sim.set_flight_recorder(&*flight);
 
   // Restore before anything observes the simulator: overwrites the model
   // state, repositions the tick counter (axon rings are tick mod 16), and
@@ -525,6 +573,7 @@ int cmd_run(const Args& args) {
     copt.every = args.checkpoint_every;
     copt.keep = args.checkpoint_keep;
     ckpt_mgr.emplace(copt, metrics);
+    if (flight) ckpt_mgr->set_flight_recorder(&*flight);
     ckpt_mgr->attach(sim, pcc.model);
   }
 
@@ -548,6 +597,29 @@ int cmd_run(const Args& args) {
   }
   obs::ChromeTraceWriter chrome;
   if (!args.chrome_file.empty()) sim.add_trace_sink(&chrome);
+
+  // Causal spike tracing: hop distances come from the *inner* transport (the
+  // fault decorator has no topology of its own), matching the hop charges in
+  // its virtual send times.
+  std::ofstream span_os;
+  std::optional<obs::JsonlSpikeSpanWriter> span_writer;
+  std::optional<obs::SpikeTracer> tracer;
+  if (!args.spike_trace_file.empty()) {
+    span_os.open(args.spike_trace_file);
+    if (!span_os) {
+      std::cerr << "compass: cannot write " << args.spike_trace_file << "\n";
+      return 2;
+    }
+    obs::SpikeTraceOptions topt;
+    topt.sample_every = args.spike_sample;
+    tracer.emplace(args.ranks, topt);
+    tracer->set_hop_model(inner_transport->hop_matrix(),
+                          inner_transport->cost_model().params().hop_latency_s);
+    tracer->set_metrics(metrics);
+    span_writer.emplace(span_os);
+    tracer->add_sink(&*span_writer);
+    sim.set_spike_tracer(&*tracer);
+  }
 
   const runtime::RunReport rep = sim.run(args.ticks);
 
@@ -649,10 +721,28 @@ int cmd_run(const Args& args) {
               << io::ascii_activity(io::per_tick_counts(raster, rep.ticks));
   }
 
+  if (tracer) {
+    span_writer->finish();
+    span_os.flush();
+    std::cout << "\nspike spans (1-in-" << args.spike_sample << " sampling: "
+              << tracer->sampled_spikes() << " sampled, "
+              << tracer->completed_spikes() << " integrated, "
+              << tracer->lost_spikes() << " lost) written to "
+              << args.spike_trace_file << "\n";
+    if (span_writer->dropped() > 0) {
+      std::cerr << "compass: WARNING: spike-span writer hit its record cap; "
+                << span_writer->dropped()
+                << " span(s) dropped (raise --spike-sample)\n";
+    }
+  }
   if (!args.trace_file.empty()) {
     trace_os.flush();
     std::cout << "\nper-tick trace (JSONL) written to " << args.trace_file
               << "\n";
+    if (jsonl->dropped() > 0) {
+      std::cerr << "compass: WARNING: JSONL trace writer hit its record cap; "
+                << jsonl->dropped() << " record(s) dropped\n";
+    }
   }
   if (!args.chrome_file.empty()) {
     std::ofstream os(args.chrome_file);
@@ -664,6 +754,11 @@ int cmd_run(const Args& args) {
     std::cout << "Chrome trace (open in Perfetto / chrome://tracing) written "
                  "to "
               << args.chrome_file << "\n";
+    if (chrome.dropped() > 0) {
+      std::cerr << "compass: WARNING: Chrome trace buffer hit its record cap; "
+                << chrome.dropped()
+                << " record(s) dropped (the view is a prefix of the run)\n";
+    }
   }
   if (!args.metrics_file.empty()) {
     std::ofstream os(args.metrics_file);
@@ -708,6 +803,9 @@ int cmd_run(const Args& args) {
               << (text ? "text" : "binary") << ") written to "
               << args.raster_file << "\n";
   }
+  // The flight recorder is about to go out of scope; the handler must not
+  // keep pointing at it for the (brief) remainder of the process.
+  if (flight) obs::FlightRecorder::install_signal_handler(nullptr);
   return 0;
 }
 

@@ -1,12 +1,24 @@
 // compass_prof — offline profile analyzer for Compass JSONL traces.
 //
 //   compass_prof <trace.jsonl> [--json] [--top K] [--what-if placement]
+//   compass_prof --spans <spans.jsonl> [--json] [--top K] [--flow out.json]
 //
 // Reads a --trace-out capture (span + tick records, plus the end-of-run
 // profile record when the run had profiling enabled) and prints where the
 // virtual parallel time went: per-phase totals, load-imbalance factors,
 // the top-K heaviest / most-critical ranks, and a text comm-matrix heatmap.
 // --json emits the same analysis as one machine-readable JSON object.
+// A writer-truncation marker in the capture is surfaced as a WARNING (and a
+// "dropped" count under --json) — the analysis then covers a prefix of the
+// run, not the whole run.
+//
+// --spans switches to the causal spike-trace analyzer: the input is a
+// --spike-trace-out capture, whose per-spike span records are stitched back
+// into fire -> send -> wire -> recv -> ring -> integrate chains. The report
+// shows per-(src,dst) rank-pair latency histograms (p50/p99/max ticks), the
+// top-K critical chains per fire tick with their wire/ring decomposition,
+// and loss counts. --flow additionally writes a Chrome trace with flow
+// arrows (open in Perfetto) connecting each sampled spike's rank hops.
 //
 // --what-if rescores the trace's *measured* comm matrix under a placement
 // file's rank->node embedding (tools/compass --placement-out), comparing
@@ -23,6 +35,7 @@
 
 #include "comm/torus.h"
 #include "obs/profile.h"
+#include "obs/spiketrace.h"
 #include "place/placement.h"
 
 namespace {
@@ -30,11 +43,58 @@ namespace {
 void usage(std::ostream& os) {
   os << "usage: compass_prof <trace.jsonl> [--json] [--top K] "
         "[--what-if placement]\n"
+        "       compass_prof --spans <spans.jsonl> [--json] [--top K] "
+        "[--flow out.json]\n"
         "  analyze a Compass --trace-out JSONL capture\n"
         "  --json        machine-readable report (one JSON object)\n"
         "  --top K       rows in the heaviest-ranks table (default 5)\n"
         "  --what-if F   rescore the measured comm matrix under the\n"
-        "                rank->node embedding of placement file F\n";
+        "                rank->node embedding of placement file F\n"
+        "  --spans       input is a --spike-trace-out capture: stitch the\n"
+        "                causal spike chains and report per-hop latencies\n"
+        "  --flow F      with --spans: write a Chrome trace with flow\n"
+        "                arrows per sampled spike (open in Perfetto)\n";
+}
+
+int run_spans(const std::string& path, bool json, int top_k,
+              const std::string& flow_file) {
+  std::ifstream is(path);
+  if (!is) {
+    std::cerr << "compass_prof: cannot read " << path << "\n";
+    return 2;
+  }
+  try {
+    const compass::obs::SpikeTraceAnalysis analysis =
+        compass::obs::analyze_spike_trace(is);
+    if (json) {
+      compass::obs::write_span_report_json(std::cout, analysis);
+    } else {
+      compass::obs::write_span_report(std::cout, analysis, top_k);
+    }
+    if (!flow_file.empty()) {
+      std::ofstream os(flow_file);
+      if (!os) {
+        std::cerr << "compass_prof: cannot write " << flow_file << "\n";
+        return 2;
+      }
+      const std::uint64_t clipped =
+          compass::obs::write_span_flow_trace(os, analysis);
+      if (!json) {
+        std::cout << "\nflow trace (open in Perfetto / chrome://tracing) "
+                     "written to "
+                  << flow_file << "\n";
+      }
+      if (clipped > 0) {
+        std::cerr << "compass_prof: WARNING: flow trace clipped at its record "
+                     "cap; "
+                  << clipped << " chain(s) omitted\n";
+      }
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "compass_prof: " << e.what() << "\n";
+    return 2;
+  }
+  return 0;
 }
 
 }  // namespace
@@ -42,12 +102,22 @@ void usage(std::ostream& os) {
 int main(int argc, char** argv) {
   std::string path;
   std::string what_if;
+  std::string flow_file;
   bool json = false;
+  bool spans = false;
   int top_k = 5;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--json") {
       json = true;
+    } else if (a == "--spans") {
+      spans = true;
+    } else if (a == "--flow") {
+      if (i + 1 >= argc) {
+        std::cerr << "compass_prof: --flow requires an output file\n";
+        return 1;
+      }
+      flow_file = argv[++i];
     } else if (a == "--top") {
       if (i + 1 >= argc) {
         std::cerr << "compass_prof: --top requires a value\n";
@@ -88,6 +158,17 @@ int main(int argc, char** argv) {
   if (path.empty()) {
     usage(std::cerr);
     return 1;
+  }
+  if (!flow_file.empty() && !spans) {
+    std::cerr << "compass_prof: --flow only applies to --spans input\n";
+    return 1;
+  }
+  if (spans) {
+    if (!what_if.empty()) {
+      std::cerr << "compass_prof: --what-if only applies to trace input\n";
+      return 1;
+    }
+    return run_spans(path, json, top_k, flow_file);
   }
 
   std::ifstream is(path);
