@@ -9,14 +9,48 @@
 // and reports the same line: cores / neurons / synapses / mean rate /
 // slowdown vs real time (virtual, i.e. what the modelled parallel machine
 // achieves) plus the host emulation cost.
+// Extra flags (parsed here, before the shared obs flags):
+//   --engine kernels|reference — hot-loop engine selection (arch/kernels.h);
+//     `reference` forces the original scalar walks, for before/after runs.
+//   --json <path> — append a one-line JSON summary (engine, cores, ticks,
+//     host wall seconds, virtual seconds, fired spikes) for bench_record.
+#include <fstream>
 #include <iostream>
+#include <string>
+#include <vector>
 
+#include "arch/kernels.h"
 #include "common.h"
 
 int main(int argc, char** argv) {
   using namespace compass;
   using namespace compass::bench;
-  init_obs(argc, argv);  // honour --trace-out / --chrome-out / --metrics-out
+
+  std::string engine = "kernels";
+  std::string json_out;
+  std::vector<char*> rest;
+  rest.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--engine" && i + 1 < argc) {
+      engine = argv[++i];
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_out = argv[++i];
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+  if (engine != "kernels" && engine != "reference") {
+    std::cerr << "bench_headline: --engine must be 'kernels' or 'reference' "
+                 "(got '" << engine << "')\n";
+    return 1;
+  }
+  arch::kernels::set_engine(engine == "reference"
+                                ? arch::kernels::Engine::kReference
+                                : arch::kernels::Engine::kBitParallel);
+
+  init_obs(static_cast<int>(rest.size()),
+           rest.data());  // honour --trace-out / --chrome-out / --metrics-out
 
   const std::uint64_t cores = scaled(8192, 77);
   const arch::Tick ticks = static_cast<arch::Tick>(scaled(100, 10));
@@ -84,5 +118,19 @@ int main(int argc, char** argv) {
                "  - the small scaled model runs faster than real time here;\n"
                "    at the paper's per-node load the projected slowdown is\n"
                "    O(100x), the same order the paper reports.\n";
+
+  if (!json_out.empty()) {
+    std::ofstream js(json_out, std::ios::app);
+    if (!js) {
+      std::cerr << "bench_headline: cannot open --json path '" << json_out
+                << "'\n";
+      return 1;
+    }
+    js << "{\"name\":\"headline\",\"engine\":\"" << engine
+       << "\",\"cores\":" << cores << ",\"ticks\":" << rep.ticks
+       << ",\"host_wall_s\":" << rep.host_wall_s
+       << ",\"virtual_s\":" << rep.virtual_total_s()
+       << ",\"fired_spikes\":" << rep.fired_spikes << "}\n";
+  }
   return 0;
 }

@@ -2,11 +2,22 @@
 // the neuron-phase integrate-leak-fire sweep, delay-buffer operations, and
 // transport exchange — the kernels whose per-core cost sets the paper's
 // "388x slower than real time" figure.
+//
+// Every hot-loop benchmark has a `...Reference` twin that forces the
+// original scalar walk (arch/kernels.h engine toggle), so one run of this
+// binary yields the before/after comparison that tools/bench_record distills
+// into BENCH_kernels.json. Run with `--json <path>` to get google-benchmark
+// JSON output (shorthand for --benchmark_out=<path>
+// --benchmark_out_format=json); all native --benchmark_* flags still work.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <iostream>
+#include <string>
 #include <vector>
 
 #include "arch/core.h"
+#include "arch/kernels.h"
 #include "comm/mpi_transport.h"
 #include "comm/pgas_transport.h"
 #include "util/prng.h"
@@ -15,7 +26,23 @@ namespace {
 
 using namespace compass;
 
-arch::NeurosynapticCore make_busy_core(double density, bool stochastic) {
+/// Force an engine for one benchmark's scope; restores on destruction so
+/// benchmark registration order never leaks an engine override.
+struct EngineScope {
+  explicit EngineScope(arch::kernels::Engine e) {
+    arch::kernels::set_engine(e);
+  }
+  ~EngineScope() { arch::kernels::set_engine(saved); }
+  arch::kernels::Engine saved = arch::kernels::Engine::kBitParallel;
+};
+
+enum class Stoch {
+  kNone,    // flags = 0: both vectorized fast paths eligible
+  kNeuron,  // stochastic leak + threshold: the PRNG-exact SoA sweep
+  kFull,    // + stochastic synapse: scalar synapse walk forced
+};
+
+arch::NeurosynapticCore make_busy_core(double density, Stoch stoch) {
   arch::NeurosynapticCore core;
   core.reseed(9);
   util::CorePrng prng(4);
@@ -31,18 +58,24 @@ arch::NeurosynapticCore make_busy_core(double density, bool stochastic) {
   p.leak = -131;
   p.threshold = 64;
   p.floor = -256;
-  p.flags = static_cast<std::uint8_t>(
-      arch::kStochasticLeak |
-      (stochastic ? arch::kStochasticSynapse | arch::kStochasticThreshold : 0));
+  p.flags = 0;
+  if (stoch != Stoch::kNone) {
+    p.flags = arch::kStochasticLeak | arch::kStochasticThreshold;
+    p.leak = -2;  // stochastic leak magnitude is a probability (|l|/256)
+  }
+  if (stoch == Stoch::kFull) {
+    p.flags |= arch::kStochasticSynapse;
+  }
   p.threshold_mask_bits = 4;
   for (unsigned j = 0; j < 256; ++j) {
-    core.configure_neuron(j, p, arch::AxonTarget{0, static_cast<std::uint8_t>(j), 1});
+    core.configure_neuron(j, p,
+                          arch::AxonTarget{0, static_cast<std::uint8_t>(j), 1});
   }
   return core;
 }
 
-void BM_SynapsePhase(benchmark::State& state) {
-  arch::NeurosynapticCore core = make_busy_core(0.25, false);
+void run_synapse_phase(benchmark::State& state,
+                       arch::NeurosynapticCore& core) {
   const auto active_axons = static_cast<unsigned>(state.range(0));
   arch::Tick t = 0;
   for (auto _ : state) {
@@ -54,10 +87,57 @@ void BM_SynapsePhase(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * active_axons);
 }
+
+// 25% density, flags = 0 — sparse-to-moderate activity; the estimated-events
+// dispatcher decides scalar vs bit-parallel per tick.
+void BM_SynapsePhase(benchmark::State& state) {
+  arch::NeurosynapticCore core = make_busy_core(0.25, Stoch::kNone);
+  run_synapse_phase(state, core);
+}
 BENCHMARK(BM_SynapsePhase)->Arg(1)->Arg(2)->Arg(8)->Arg(32)->Arg(128);
 
-void BM_NeuronPhase(benchmark::State& state) {
-  arch::NeurosynapticCore core = make_busy_core(0.25, state.range(0) != 0);
+void BM_SynapsePhaseReference(benchmark::State& state) {
+  EngineScope scope(arch::kernels::Engine::kReference);
+  arch::NeurosynapticCore core = make_busy_core(0.25, Stoch::kNone);
+  run_synapse_phase(state, core);
+}
+BENCHMARK(BM_SynapsePhaseReference)->Arg(1)->Arg(2)->Arg(8)->Arg(32)->Arg(128);
+
+// The dense-crossbar case (50% density, 64..256 active axons): the regime
+// the bit-parallel kernel exists for, and the one the acceptance criterion
+// measures (≥2x vs the scalar walk; see BENCH_kernels.json).
+void BM_SynapsePhaseDense(benchmark::State& state) {
+  arch::NeurosynapticCore core = make_busy_core(0.5, Stoch::kNone);
+  run_synapse_phase(state, core);
+}
+BENCHMARK(BM_SynapsePhaseDense)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_SynapsePhaseDenseReference(benchmark::State& state) {
+  EngineScope scope(arch::kernels::Engine::kReference);
+  arch::NeurosynapticCore core = make_busy_core(0.5, Stoch::kNone);
+  run_synapse_phase(state, core);
+}
+BENCHMARK(BM_SynapsePhaseDenseReference)->Arg(64)->Arg(128)->Arg(256);
+
+// Stochastic-synapse cores always take the scalar walk (PRNG draw order is
+// part of the bit-exactness contract): both engines should measure the same.
+void BM_SynapsePhaseStochastic(benchmark::State& state) {
+  arch::NeurosynapticCore core = make_busy_core(0.25, Stoch::kFull);
+  run_synapse_phase(state, core);
+}
+BENCHMARK(BM_SynapsePhaseStochastic)->Arg(32)->Arg(128);
+
+const char* stoch_label(Stoch s) {
+  switch (s) {
+    case Stoch::kNone: return "deterministic";
+    case Stoch::kNeuron: return "stochastic-neuron";
+    case Stoch::kFull: return "stochastic-full";
+  }
+  return "?";
+}
+
+void run_neuron_phase(benchmark::State& state, Stoch stoch) {
+  arch::NeurosynapticCore core = make_busy_core(0.25, stoch);
   arch::Tick t = 0;
   std::uint64_t spikes = 0;
   for (auto _ : state) {
@@ -67,14 +147,26 @@ void BM_NeuronPhase(benchmark::State& state) {
   }
   benchmark::DoNotOptimize(spikes);
   state.SetItemsProcessed(state.iterations() * 256);
-  state.SetLabel(state.range(0) ? "stochastic" : "deterministic");
+  state.SetLabel(stoch_label(stoch));
+}
+
+// Arg 0 = flags 0 (vectorized sweep), 1 = stochastic leak+threshold (the
+// PRNG-exact SoA sweep — the path the CoCoMac population mostly takes).
+void BM_NeuronPhase(benchmark::State& state) {
+  run_neuron_phase(state, state.range(0) ? Stoch::kNeuron : Stoch::kNone);
 }
 BENCHMARK(BM_NeuronPhase)->Arg(0)->Arg(1);
 
-void BM_FullCoreTick(benchmark::State& state) {
+void BM_NeuronPhaseReference(benchmark::State& state) {
+  EngineScope scope(arch::kernels::Engine::kReference);
+  run_neuron_phase(state, state.range(0) ? Stoch::kNeuron : Stoch::kNone);
+}
+BENCHMARK(BM_NeuronPhaseReference)->Arg(0)->Arg(1);
+
+void run_full_core_tick(benchmark::State& state) {
   // One core at ~10 Hz equivalent input (2-3 active axons per tick): the
   // per-core-tick cost that the weak-scaling budget is built from.
-  arch::NeurosynapticCore core = make_busy_core(0.25, false);
+  arch::NeurosynapticCore core = make_busy_core(0.25, Stoch::kNeuron);
   arch::Tick t = 0;
   for (auto _ : state) {
     core.deliver(static_cast<unsigned>((t * 37) & 255),
@@ -88,7 +180,15 @@ void BM_FullCoreTick(benchmark::State& state) {
     ++t;
   }
 }
+
+void BM_FullCoreTick(benchmark::State& state) { run_full_core_tick(state); }
 BENCHMARK(BM_FullCoreTick);
+
+void BM_FullCoreTickReference(benchmark::State& state) {
+  EngineScope scope(arch::kernels::Engine::kReference);
+  run_full_core_tick(state);
+}
+BENCHMARK(BM_FullCoreTickReference);
 
 void BM_AxonBufferScheduleDrain(benchmark::State& state) {
   arch::AxonBuffer buf;
@@ -138,3 +238,32 @@ void BM_CorePrngDraw(benchmark::State& state) {
 BENCHMARK(BM_CorePrngDraw);
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  // Translate `--json <path>` into the native google-benchmark output flags
+  // before Initialize() sees the argv. Everything else passes through.
+  std::vector<std::string> args;
+  args.emplace_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      if (i + 1 >= argc) {
+        std::cerr << "usage: bench_micro_kernels [--json <path>] "
+                     "[--benchmark_* flags]\n";
+        return 1;
+      }
+      args.push_back(std::string("--benchmark_out=") + argv[++i]);
+      args.emplace_back("--benchmark_out_format=json");
+    } else {
+      args.emplace_back(argv[i]);
+    }
+  }
+  std::vector<char*> argv2;
+  argv2.reserve(args.size());
+  for (std::string& a : args) argv2.push_back(a.data());
+  int argc2 = static_cast<int>(argv2.size());
+  benchmark::Initialize(&argc2, argv2.data());
+  if (benchmark::ReportUnrecognizedArguments(argc2, argv2.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

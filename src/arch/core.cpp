@@ -9,6 +9,8 @@ namespace compass::arch {
 NeurosynapticCore::NeurosynapticCore() {
   threshold_.fill(1);
   floor_.fill(-(1 << 20));
+  // All axons start as type 0, so type 0's mask starts full.
+  type_mask_[0].w = {~0ULL, ~0ULL, ~0ULL, ~0ULL};
 }
 
 void NeurosynapticCore::configure_neuron(unsigned j, const NeuronParams& params,
@@ -25,6 +27,16 @@ void NeurosynapticCore::configure_neuron(unsigned j, const NeuronParams& params,
   flags_[j] = params.flags;
   tmask_bits_[j] = params.threshold_mask_bits;
   target_[j] = target;
+  if (params.flags & kStochasticSynapse) {
+    stoch_syn_mask_.set(j);
+  } else {
+    stoch_syn_mask_.clear(j);
+  }
+  if (params.flags & (kStochasticLeak | kStochasticThreshold)) {
+    stoch_nrn_mask_.set(j);
+  } else {
+    stoch_nrn_mask_.clear(j);
+  }
 }
 
 NeuronParams NeurosynapticCore::params_of(unsigned j) const {
@@ -40,10 +52,9 @@ NeuronParams NeurosynapticCore::params_of(unsigned j) const {
   return p;
 }
 
-NeurosynapticCore::SynapseActivity NeurosynapticCore::synapse_phase(Tick t) {
-  const util::Bits256 active = buffer_.drain(t);
+NeurosynapticCore::SynapseActivity NeurosynapticCore::synapse_scalar(
+    const util::Bits256& active) {
   SynapseActivity activity;
-  if (!active.any()) return activity;
   // Axons are processed in ascending order, and within a row neurons in
   // ascending order; stochastic-synapse PRNG draws therefore happen in a
   // fixed order for a given spike pattern ("when a TrueNorth core receives a
@@ -63,6 +74,19 @@ NeurosynapticCore::SynapseActivity NeurosynapticCore::synapse_phase(Tick t) {
     });
   });
   return activity;
+}
+
+void NeurosynapticCore::rebuild_derived() {
+  for (auto& m : type_mask_) m.reset();
+  for (unsigned a = 0; a < kAxonsPerCore; ++a) type_mask_[axon_type_[a]].set(a);
+  stoch_syn_mask_.reset();
+  stoch_nrn_mask_.reset();
+  for (unsigned j = 0; j < kNeuronsPerCore; ++j) {
+    if (flags_[j] & kStochasticSynapse) stoch_syn_mask_.set(j);
+    if (flags_[j] & (kStochasticLeak | kStochasticThreshold)) {
+      stoch_nrn_mask_.set(j);
+    }
+  }
 }
 
 }  // namespace compass::arch

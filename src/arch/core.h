@@ -9,20 +9,28 @@
 //
 // The per-tick protocol mirrors Listing 1 of the paper:
 //   synapse_phase(t)  — drain the delay slot for t; for each spiking axon,
-//                       walk its crossbar row and accumulate weights into
-//                       the per-neuron synaptic input accumulators.
+//                       accumulate crossbar-selected weights into the
+//                       per-neuron synaptic input accumulators.
 //   neuron_phase(t)   — integrate-leak-fire every neuron; emit one spike per
 //                       firing neuron to a caller-supplied sink.
 //   deliver(...)      — (network phase) schedule an incoming spike into the
 //                       delay buffer.
+//
+// Both phases have two implementations: the scalar reference walk (the
+// original per-bit loops, kept as *_reference test hooks and as the exact
+// PRNG-draw-order path for cores with stochastic neurons) and the
+// bit-parallel / SoA kernels of arch/kernels.h, which are bit-identical on
+// eligible cores and are the production default (DESIGN.md §12).
 #pragma once
 
 #include <array>
 #include <cstdint>
 #include <iosfwd>
+#include <utility>
 
 #include "arch/axon_buffer.h"
 #include "arch/crossbar.h"
+#include "arch/kernels.h"
 #include "arch/neuron.h"
 #include "arch/types.h"
 #include "util/prng.h"
@@ -45,7 +53,9 @@ class NeurosynapticCore {
                         AxonTarget target);
 
   void set_axon_type(unsigned axon, std::uint8_t type) {
+    type_mask_[axon_type_[axon]].clear(axon);
     axon_type_[axon] = type;
+    type_mask_[type].set(axon);
   }
   void set_synapse(unsigned axon, unsigned neuron, bool connected = true) {
     crossbar_.set(axon, neuron, connected);
@@ -65,15 +75,88 @@ class NeurosynapticCore {
     int synaptic_events = 0;
   };
 
-  /// Synapse phase for tick `t`.
-  SynapseActivity synapse_phase(Tick t);
+  /// Synapse phase for tick `t`. Dispatch: cores with any stochastic-synapse
+  /// neuron take the scalar walk (exact PRNG draw order); eligible cores
+  /// take the bit-parallel kernel once this tick's estimated synaptic events
+  /// (active axons x O(1) mean row population) make it the cheaper path —
+  /// below that, the scalar walk computes the same sums faster.
+  SynapseActivity synapse_phase(Tick t) {
+    const util::Bits256 active = buffer_.drain(t);
+    SynapseActivity activity;
+    if (!active.any()) return activity;
+    if (stoch_syn_mask_.any() ||
+        kernels::engine() == kernels::Engine::kReference) {
+      return synapse_scalar(active);
+    }
+    const std::uint64_t estimated_events =
+        static_cast<std::uint64_t>(active.popcount()) *
+        crossbar_.synapse_count() / kAxonsPerCore;
+    // firing_types >= 1 whenever any axon is active, so this cheap bound
+    // rejects sparse ticks before paying for the per-type census.
+    if (estimated_events < kernels::kBitParallelMinEventsPerFiringType) {
+      return synapse_scalar(active);
+    }
+    std::uint64_t firing_types = 0;
+    for (unsigned g = 0; g < kAxonTypes; ++g) {
+      util::Bits256 m = active;
+      m &= type_mask_[g];
+      firing_types += m.any() ? 1 : 0;
+    }
+    if (estimated_events <
+        firing_types * kernels::kBitParallelMinEventsPerFiringType) {
+      return synapse_scalar(active);
+    }
+    const kernels::SynapseStats stats = kernels::synapse_phase_bitparallel(
+        active, type_mask_, crossbar_.cols(), weight_, accum_);
+    activity.active_axons = stats.active_axons;
+    activity.synaptic_events = stats.synaptic_events;
+    return activity;
+  }
+
+  /// Test hook: the original scalar synapse phase, unconditionally. The
+  /// differential suite (tests/test_kernels.cpp) drives this and
+  /// synapse_phase() on clones and asserts identical accumulators and
+  /// counters.
+  SynapseActivity synapse_phase_reference(Tick t) {
+    const util::Bits256 active = buffer_.drain(t);
+    if (!active.any()) return {};
+    return synapse_scalar(active);
+  }
 
   /// Neuron phase for tick `t`. Calls `emit(neuron_index, target)` once per
   /// firing neuron (in ascending neuron order — part of the deterministic
   /// contract), including neurons with no configured target (the caller
   /// checks target.connected() before routing). Returns the number fired.
+  ///
+  /// Cores whose neurons make no PRNG draws in this phase (no stochastic
+  /// leak/threshold anywhere) take the branch-light vectorizable kernel;
+  /// cores with stochastic neurons take a PRNG-exact SoA sweep that makes
+  /// the same draws in the same ascending-neuron order as the reference
+  /// loop but reads the flat lanes directly instead of gathering a
+  /// NeuronParams per neuron.
   template <typename Sink>
   int neuron_phase(Tick t, Sink&& emit) {
+    if (kernels::engine() == kernels::Engine::kReference) {
+      return neuron_phase_reference(t, std::forward<Sink>(emit));
+    }
+    if (stoch_nrn_mask_.any()) {
+      (void)t;
+      return neuron_phase_stoch_soa(std::forward<Sink>(emit));
+    }
+    const util::Bits256 fired = kernels::neuron_phase_fast(
+        potential_, accum_, leak_, threshold_, reset_, floor_, reset_mode_);
+    int count = 0;
+    util::for_each_set_bit(fired, [&](unsigned j) {
+      ++count;
+      emit(j, target_[j]);
+    });
+    (void)t;
+    return count;
+  }
+
+  /// Test hook: the original scalar neuron phase, unconditionally.
+  template <typename Sink>
+  int neuron_phase_reference(Tick t, Sink&& emit) {
     int fired = 0;
     for (unsigned j = 0; j < kNeuronsPerCore; ++j) {
       std::int32_t v = potential_[j];
@@ -99,6 +182,9 @@ class NeurosynapticCore {
   const AxonBuffer& buffer() const { return buffer_; }
   AxonBuffer& buffer() { return buffer_; }
   std::uint8_t axon_type(unsigned axon) const { return axon_type_[axon]; }
+  /// Axons of type `g`, as a mask (maintained by set_axon_type; every axon
+  /// is in exactly one mask).
+  const util::Bits256& axons_of_type(unsigned g) const { return type_mask_[g]; }
   AxonTarget target(unsigned j) const { return target_[j]; }
   NeuronParams params_of(unsigned j) const;
   std::uint64_t synapse_count() const { return crossbar_.synapse_count(); }
@@ -107,6 +193,9 @@ class NeurosynapticCore {
 
   /// Binary checkpoint of the complete core state (configuration, membrane
   /// potentials, delay buffer, PRNG state). Same-architecture round trip.
+  /// Only authoritative state is serialized; derived state (crossbar column
+  /// mirror, type masks, stochastic census) is rebuilt on load, so the byte
+  /// format is unchanged from the scalar-engine era.
   void save(std::ostream& os) const;
   void load(std::istream& is);
 
@@ -114,6 +203,63 @@ class NeurosynapticCore {
                          const NeurosynapticCore&) = default;
 
  private:
+  /// PRNG-exact SoA sweep for cores with stochastic leak/threshold neurons:
+  /// semantically identical to neuron_phase_reference (same arithmetic, same
+  /// draws, same draw order, same emit order — the differential suite in
+  /// tests/test_kernels.cpp asserts this across random mixed-flag cores),
+  /// but indexes the SoA lanes directly instead of assembling a NeuronParams
+  /// struct per neuron.
+  template <typename Sink>
+  int neuron_phase_stoch_soa(Sink&& emit) {
+    int fired = 0;
+    for (unsigned j = 0; j < kNeuronsPerCore; ++j) {
+      const std::uint8_t fl = flags_[j];
+      std::int32_t v = potential_[j] + accum_[j];
+      accum_[j] = 0;
+      const std::int16_t leak = leak_[j];
+      if (fl & kStochasticLeak) {
+        if (leak != 0) {
+          const std::uint8_t mag = static_cast<std::uint8_t>(
+              leak > 0 ? (leak > 255 ? 255 : leak)
+                       : (leak < -255 ? 255 : -leak));
+          if (prng_.bernoulli_8(mag)) v -= (leak > 0 ? 1 : -1);
+        }
+      } else {
+        v -= leak;
+      }
+      std::int32_t th = threshold_[j];
+      if (fl & kStochasticThreshold) {
+        const std::uint32_t mask = (1u << tmask_bits_[j]) - 1u;
+        th += static_cast<std::int32_t>(prng_.uniform_masked(mask));
+      }
+      bool f = false;
+      if (v >= th) {
+        f = true;
+        switch (static_cast<ResetMode>(reset_mode_[j])) {
+          case ResetMode::kAbsolute: v = reset_[j]; break;
+          case ResetMode::kLinear: v -= threshold_[j]; break;
+          case ResetMode::kNone: break;
+        }
+      }
+      if (v < floor_[j]) v = floor_[j];
+      if (v > kPotentialMax) v = kPotentialMax;
+      if (f) {
+        ++fired;
+        emit(j, target_[j]);
+      }
+      potential_[j] = v;
+    }
+    return fired;
+  }
+
+  /// The original per-bit walk over the active axons' rows; the PRNG-exact
+  /// path for stochastic-synapse cores and the sparse-activity path.
+  SynapseActivity synapse_scalar(const util::Bits256& active);
+
+  /// Recompute type_mask_ and the stochastic-neuron masks from axon_type_
+  /// and flags_ (after load()).
+  void rebuild_derived();
+
   Crossbar crossbar_;
   AxonBuffer buffer_;
   std::array<std::uint8_t, kAxonsPerCore> axon_type_{};
@@ -130,6 +276,14 @@ class NeurosynapticCore {
   std::array<AxonTarget, kNeuronsPerCore> target_{};
   std::array<std::int32_t, kNeuronsPerCore> potential_{};
   std::array<std::int32_t, kNeuronsPerCore> accum_{};
+
+  // Derived (never serialized, rebuilt on load): per-type axon masks for
+  // the bit-parallel kernel, and which neurons draw from the PRNG in each
+  // phase — stoch_syn_mask_ (kStochasticSynapse: synapse phase) and
+  // stoch_nrn_mask_ (kStochasticLeak/kStochasticThreshold: neuron phase).
+  std::array<util::Bits256, kAxonTypes> type_mask_{};
+  util::Bits256 stoch_syn_mask_{};
+  util::Bits256 stoch_nrn_mask_{};
 
   util::CorePrng prng_;
 };

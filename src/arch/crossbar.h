@@ -6,10 +6,19 @@
 // simulator ("the synapse is simplified to a bit, resulting in 32x less
 // storage"); it also makes spike propagation a sparse iteration over set
 // bits of the active axon's row.
+//
+// The crossbar additionally keeps a column-major (transposed) mirror:
+// col(j) is the 256-bit set of axons wired to neuron j. The mirror is what
+// turns the synapse phase into AND+popcount kernels (arch/kernels.h), and
+// it is maintained *inside* this class — every mutation path (set/clear,
+// whole-row overwrite, clear) updates both layouts, so the two can never
+// disagree (the transpose-consistency fuzz in tests/test_fuzz.cpp locks
+// this invariant down). Rows remain the authoritative serialized layout.
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <span>
 
 #include "arch/types.h"
 #include "util/bitops.h"
@@ -21,11 +30,25 @@ class Crossbar {
   /// Set/clear the synapse between axon row `axon` and neuron column
   /// `neuron`.
   void set(unsigned axon, unsigned neuron, bool connected = true) noexcept {
+    const bool was = rows_[axon].test(neuron);
+    count_ += static_cast<std::int64_t>(connected) -
+              static_cast<std::int64_t>(was);
     if (connected) {
       rows_[axon].set(neuron);
+      cols_[neuron].set(axon);
     } else {
       rows_[axon].clear(neuron);
+      cols_[neuron].clear(axon);
     }
+  }
+
+  /// Overwrite a whole axon row (bulk fill: PCC crossbar generation, model
+  /// deserialization). The column mirror is patched for the changed bits.
+  void set_row(unsigned axon, const util::Bits256& bits) noexcept {
+    count_ += bits.popcount() - rows_[axon].popcount();
+    util::columns_apply_row_diff(std::span<util::Bits256>(cols_), axon,
+                                 rows_[axon], bits);
+    rows_[axon] = bits;
   }
 
   bool test(unsigned axon, unsigned neuron) const noexcept {
@@ -33,24 +56,35 @@ class Crossbar {
   }
 
   const util::Bits256& row(unsigned axon) const noexcept { return rows_[axon]; }
-  util::Bits256& mutable_row(unsigned axon) noexcept { return rows_[axon]; }
+
+  /// Transposed view: the axons wired to neuron `neuron`.
+  const util::Bits256& col(unsigned neuron) const noexcept {
+    return cols_[neuron];
+  }
+  const std::array<util::Bits256, kNeuronsPerCore>& cols() const noexcept {
+    return cols_;
+  }
 
   void clear() noexcept {
     for (auto& r : rows_) r.reset();
+    for (auto& c : cols_) c.reset();
+    count_ = 0;
   }
 
-  /// Number of set synapses (used for model inventory reporting: the paper
-  /// counts 16T synapses at full scale).
+  /// Number of set synapses, maintained incrementally — O(1), cheap enough
+  /// for the per-tick engine dispatch (estimated synaptic events =
+  /// active_axons x synapse_count/256) as well as inventory reporting (the
+  /// paper counts 16T synapses at full scale).
   std::uint64_t synapse_count() const noexcept {
-    std::uint64_t n = 0;
-    for (const auto& r : rows_) n += static_cast<std::uint64_t>(r.popcount());
-    return n;
+    return static_cast<std::uint64_t>(count_);
   }
 
   friend bool operator==(const Crossbar&, const Crossbar&) = default;
 
  private:
   std::array<util::Bits256, kAxonsPerCore> rows_{};
+  std::array<util::Bits256, kNeuronsPerCore> cols_{};
+  std::int64_t count_ = 0;
 };
 
 }  // namespace compass::arch

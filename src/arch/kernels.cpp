@@ -1,0 +1,106 @@
+#include "arch/kernels.h"
+
+namespace compass::arch::kernels {
+
+SynapseStats synapse_phase_bitparallel(
+    const util::Bits256& active,
+    const std::array<util::Bits256, kAxonTypes>& type_mask,
+    const std::array<util::Bits256, kNeuronsPerCore>& cols,
+    const std::array<std::array<std::int16_t, kNeuronsPerCore>, kAxonTypes>&
+        weight,
+    std::array<std::int32_t, kNeuronsPerCore>& accum) {
+  SynapseStats stats;
+  stats.active_axons = active.popcount();
+
+  // Partition the active set by axon type and drop empty types, so the
+  // per-neuron work is proportional to the number of types actually firing.
+  std::array<util::Bits256, kAxonTypes> active_g;
+  std::array<const std::int16_t*, kAxonTypes> lane;
+  unsigned ng = 0;
+  for (unsigned g = 0; g < kAxonTypes; ++g) {
+    util::Bits256 m = active;
+    m &= type_mask[g];
+    if (!m.any()) continue;
+    active_g[ng] = m;
+    lane[ng] = weight[g].data();
+    ++ng;
+  }
+
+  int events = 0;
+  if (ng == 1) {
+    const util::Bits256 m = active_g[0];
+    const std::int16_t* w = lane[0];
+    for (unsigned j = 0; j < kNeuronsPerCore; ++j) {
+      const int cnt = util::and_popcount(cols[j], m);
+      accum[j] += cnt * w[j];
+      events += cnt;
+    }
+  } else if (ng == 4) {
+    // All four types firing (the dense case): load each dendrite column
+    // once and intersect it with all four masks while it is in registers.
+    const util::Bits256 m0 = active_g[0], m1 = active_g[1], m2 = active_g[2],
+                        m3 = active_g[3];
+    for (unsigned j = 0; j < kNeuronsPerCore; ++j) {
+      const util::Bits256 c = cols[j];
+      const int c0 = util::and_popcount(c, m0);
+      const int c1 = util::and_popcount(c, m1);
+      const int c2 = util::and_popcount(c, m2);
+      const int c3 = util::and_popcount(c, m3);
+      accum[j] += c0 * lane[0][j] + c1 * lane[1][j] + c2 * lane[2][j] +
+                  c3 * lane[3][j];
+      events += c0 + c1 + c2 + c3;
+    }
+  } else {
+    for (unsigned j = 0; j < kNeuronsPerCore; ++j) {
+      const util::Bits256 c = cols[j];
+      std::int32_t acc = 0;
+      for (unsigned k = 0; k < ng; ++k) {
+        const int cnt = util::and_popcount(c, active_g[k]);
+        acc += cnt * lane[k][j];
+        events += cnt;
+      }
+      accum[j] += acc;
+    }
+  }
+  stats.synaptic_events = events;
+  return stats;
+}
+
+util::Bits256 neuron_phase_fast(
+    std::array<std::int32_t, kNeuronsPerCore>& potential,
+    std::array<std::int32_t, kNeuronsPerCore>& accum,
+    const std::array<std::int16_t, kNeuronsPerCore>& leak,
+    const std::array<std::int32_t, kNeuronsPerCore>& threshold,
+    const std::array<std::int32_t, kNeuronsPerCore>& reset,
+    const std::array<std::int32_t, kNeuronsPerCore>& floor,
+    const std::array<std::uint8_t, kNeuronsPerCore>& reset_mode) {
+  // Exactly neuron_step() with the stochastic terms compiled out: integrate,
+  // deterministic leak, compare against the unjittered threshold, apply the
+  // reset mode as a pair of selects, clamp. Everything is a conditional move
+  // on flat lanes, so the loop auto-vectorizes.
+  constexpr auto kAbs = static_cast<std::uint8_t>(ResetMode::kAbsolute);
+  constexpr auto kLin = static_cast<std::uint8_t>(ResetMode::kLinear);
+  util::Bits256 fired;
+  for (unsigned word = 0; word < 4; ++word) {
+    std::uint64_t bits = 0;
+    for (unsigned b = 0; b < 64; ++b) {
+      const unsigned j = word * 64 + b;
+      const std::int32_t th = threshold[j];
+      std::int32_t v = potential[j] + accum[j] - leak[j];
+      accum[j] = 0;
+      const bool f = v >= th;
+      const std::uint8_t mode = reset_mode[j];
+      const std::int32_t on_fire =
+          mode == kAbs ? reset[j] : (mode == kLin ? v - th : v);
+      v = f ? on_fire : v;
+      v = v < floor[j] ? floor[j] : v;
+      v = v > kPotentialMax ? kPotentialMax : v;
+      potential[j] = v;
+      bits |= static_cast<std::uint64_t>(f) << b;
+    }
+    fired.w[word] = bits;
+  }
+  return fired;
+}
+
+}  // namespace compass::arch::kernels

@@ -1,0 +1,107 @@
+// Bit-parallel, structure-of-arrays hot-loop kernels for the per-tick
+// synapse and neuron phases.
+//
+// The crossbar is binary, so the synapse phase does not have to walk set
+// bits one at a time: with a column-major (transposed) mirror of the
+// crossbar, the contribution of all active axons of one type to one neuron
+// is popcount(dendrite_column AND active_axons_of_type) — four 64-bit ANDs
+// plus four popcounts per (neuron, type) — multiplied by that (type,
+// neuron) weight lane. The integrate-leak-fire sweep is likewise a
+// branch-light pass over flat SoA lanes that the compiler can vectorize
+// (the CoreNEURON playbook: AoS→SoA plus vector-friendly kernels).
+//
+// Determinism contract: both kernels are *bit-identical* to the scalar
+// reference walk whenever no neuron on the core draws from the PRNG in the
+// corresponding phase — synaptic accumulation is a commutative integer sum
+// and the fast neuron step reproduces neuron_step()'s arithmetic exactly.
+// Cores with stochastic neurons keep the exact PRNG-draw-order scalar path
+// (NeurosynapticCore dispatches; see DESIGN.md §12).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+#include "arch/neuron.h"
+#include "arch/types.h"
+#include "util/bitops.h"
+
+namespace compass::arch::kernels {
+
+// --- Engine selection (test/bench hook) ------------------------------------
+
+/// Which implementation the core's tick phases use. kBitParallel is the
+/// production default; kReference forces the original scalar walk
+/// everywhere. The toggle exists for differential tests and for recording
+/// before/after numbers from one binary (tools/bench_record) — it changes
+/// nothing observable: on eligible cores both engines are bit-identical,
+/// and stochastic cores always take the reference path.
+enum class Engine : std::uint8_t { kBitParallel = 0, kReference = 1 };
+
+namespace detail {
+inline std::atomic<Engine> g_engine{Engine::kBitParallel};
+}  // namespace detail
+
+inline Engine engine() noexcept {
+  return detail::g_engine.load(std::memory_order_relaxed);
+}
+inline void set_engine(Engine e) noexcept {
+  detail::g_engine.store(e, std::memory_order_relaxed);
+}
+
+/// The scalar row walk costs O(traversed bits) while the bit-parallel
+/// kernel costs O(firing_types x 256) column AND+popcounts, so the
+/// dispatcher estimates this tick's synaptic events as
+/// active_axons x synapse_count/256 (both factors are O(1)), counts the
+/// axon types with any active axon, and takes the kernel when
+/// estimated_events >= firing_types x this constant — i.e. when the mean
+/// per-word-op yield of the scalar walk exceeds the kernel's. Purely a cost
+/// choice: both paths are bit-identical. Tuned on the synapse-phase
+/// microbenchmark (scalar ~2.3 ns/event vs kernel ~2.3 ns/column-word with
+/// hardware popcount, crossover ~256 events per firing type); see
+/// BENCH_kernels.json.
+inline constexpr std::uint64_t kBitParallelMinEventsPerFiringType = 256;
+
+// --- Synapse phase ----------------------------------------------------------
+
+/// Counters mirroring NeurosynapticCore::SynapseActivity (defined here so
+/// the kernel does not depend on core.h).
+struct SynapseStats {
+  int active_axons = 0;
+  int synaptic_events = 0;
+};
+
+/// Bit-parallel synapse phase: for each axon type g with any active axon,
+/// add popcount(cols[j] AND (active AND type_mask[g])) * weight[g][j] into
+/// accum[j]. Identical to the scalar walk for cores with no
+/// stochastic-synapse neurons (integer sums commute).
+///
+/// `cols` is the transposed crossbar (cols[j] = axons wired to neuron j),
+/// `type_mask[g]` the axons of type g (every axon in exactly one mask).
+SynapseStats synapse_phase_bitparallel(
+    const util::Bits256& active,
+    const std::array<util::Bits256, kAxonTypes>& type_mask,
+    const std::array<util::Bits256, kNeuronsPerCore>& cols,
+    const std::array<std::array<std::int16_t, kNeuronsPerCore>, kAxonTypes>&
+        weight,
+    std::array<std::int32_t, kNeuronsPerCore>& accum);
+
+// --- Neuron phase -----------------------------------------------------------
+
+/// Branch-light integrate-leak-fire sweep over the SoA lanes. Valid only
+/// when no neuron on the core has kStochasticLeak or kStochasticThreshold
+/// set (no PRNG draws in this phase; kStochasticSynapse is resolved during
+/// the synapse phase and does not affect this sweep). Consumes and zeroes
+/// `accum`, updates `potential` in place, and returns the fired set as a
+/// bitmask (callers emit in ascending neuron order, preserving the
+/// deterministic contract).
+util::Bits256 neuron_phase_fast(
+    std::array<std::int32_t, kNeuronsPerCore>& potential,
+    std::array<std::int32_t, kNeuronsPerCore>& accum,
+    const std::array<std::int16_t, kNeuronsPerCore>& leak,
+    const std::array<std::int32_t, kNeuronsPerCore>& threshold,
+    const std::array<std::int32_t, kNeuronsPerCore>& reset,
+    const std::array<std::int32_t, kNeuronsPerCore>& floor,
+    const std::array<std::uint8_t, kNeuronsPerCore>& reset_mode);
+
+}  // namespace compass::arch::kernels

@@ -68,7 +68,9 @@ void NeurosynapticCore::save(std::ostream& os) const {
 
 void NeurosynapticCore::load(std::istream& is) {
   for (unsigned axon = 0; axon < kAxonsPerCore; ++axon) {
-    read_array(is, crossbar_.mutable_row(axon).w);
+    util::Bits256 row;
+    read_array(is, row.w);
+    crossbar_.set_row(axon, row);  // keeps the column mirror in sync
   }
   for (unsigned s = 0; s < kDelaySlots; ++s) read_array(is, buffer_.slot(s).w);
   read_array(is, axon_type_);
@@ -90,6 +92,7 @@ void NeurosynapticCore::load(std::istream& is) {
   std::uint64_t prng_state = 0;
   read_pod(is, prng_state);
   prng_.set_state(prng_state);
+  rebuild_derived();  // type masks + stochastic census are not serialized
 }
 
 Model::Model(std::size_t num_cores, std::uint64_t seed)

@@ -2,15 +2,6 @@
 
 namespace compass::arch {
 
-namespace {
-
-// Hardware field widths: 9-bit signed weights/leak, 18-bit potentials and
-// thresholds (wide enough for the dynamics the paper's applications use).
-constexpr int kWeightMin = -256, kWeightMax = 255;
-constexpr std::int32_t kPotentialMin = -(1 << 20), kPotentialMax = (1 << 20) - 1;
-
-}  // namespace
-
 bool NeuronParams::valid() const noexcept {
   for (std::int16_t w : weights) {
     if (w < kWeightMin || w > kWeightMax) return false;

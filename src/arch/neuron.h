@@ -19,6 +19,14 @@
 
 namespace compass::arch {
 
+/// Hardware field widths: 9-bit signed weights/leak, and potentials/
+/// thresholds wide enough for the dynamics the paper's applications use.
+/// Shared between parameter validation and the kernel clamp code.
+inline constexpr int kWeightMin = -256;
+inline constexpr int kWeightMax = 255;
+inline constexpr std::int32_t kPotentialMin = -(1 << 20);
+inline constexpr std::int32_t kPotentialMax = (1 << 20) - 1;
+
 /// What happens to the membrane potential when the neuron fires.
 enum class ResetMode : std::uint8_t {
   kAbsolute = 0,  // V <- reset_value

@@ -342,7 +342,7 @@ PccResult compile(const Spec& spec, const PccOptions& options,
       util::CorePrng xbar_prng(util::derive_seed(spec.seed ^ kCrossbarSalt, c));
       arch::NeurosynapticCore& core = model.core(static_cast<CoreId>(c));
       for (unsigned axon = 0; axon < kAxonsPerCore; ++axon) {
-        util::Bits256& row = core.mutable_crossbar().mutable_row(axon);
+        util::Bits256 row;
         if (and_words >= 0) {
           for (unsigned w = 0; w < 4; ++w) {
             std::uint64_t v = ~0ULL;
@@ -355,6 +355,7 @@ PccResult compile(const Spec& spec, const PccOptions& options,
             if (xbar_prng.bernoulli_8(density_p8)) row.set(j);
           }
         }
+        core.mutable_crossbar().set_row(axon, row);
       }
     }
   }

@@ -66,4 +66,41 @@ inline void for_each_set_bit_and(const Bits256& a, const Bits256& b, Fn&& fn) {
   }
 }
 
+/// popcount(a AND b) without materializing the intersection — the synapse
+/// kernel's inner operation: one dendrite column against one active-axon
+/// mask is 4 ANDs + 4 popcounts.
+inline int and_popcount(const Bits256& a, const Bits256& b) noexcept {
+  return std::popcount(a.w[0] & b.w[0]) + std::popcount(a.w[1] & b.w[1]) +
+         std::popcount(a.w[2] & b.w[2]) + std::popcount(a.w[3] & b.w[3]);
+}
+
+/// Column-mirror maintenance: record that bit `col` of row `row_index`
+/// changed to `value` in a transposed mirror `cols`, where `cols[col]` holds
+/// bit `row_index`.
+inline void column_assign(std::span<Bits256> cols, unsigned row_index,
+                          unsigned col, bool value) noexcept {
+  if (value) {
+    cols[col].set(row_index);
+  } else {
+    cols[col].clear(row_index);
+  }
+}
+
+/// Apply a whole-row overwrite `old_row -> new_row` to a transposed mirror:
+/// for every differing bit, set/clear the corresponding column's bit
+/// `row_index`. Cost is proportional to the number of changed bits.
+inline void columns_apply_row_diff(std::span<Bits256> cols, unsigned row_index,
+                                   const Bits256& old_row,
+                                   const Bits256& new_row) noexcept {
+  for (unsigned word = 0; word < 4; ++word) {
+    std::uint64_t diff = old_row.w[word] ^ new_row.w[word];
+    while (diff != 0) {
+      const unsigned bit = static_cast<unsigned>(std::countr_zero(diff));
+      const unsigned col = word * 64 + bit;
+      column_assign(cols, row_index, col, new_row.test(col));
+      diff &= diff - 1;
+    }
+  }
+}
+
 }  // namespace compass::util

@@ -18,6 +18,7 @@
 #include <sstream>
 #include <string>
 
+#include "arch/kernels.h"
 #include "cocomac/macaque.h"
 #include "comm/mpi_transport.h"
 #include "comm/pgas_transport.h"
@@ -126,6 +127,22 @@ TEST(Determinism, IndependentOfOmpThreadCount) {
 #else
   GTEST_SKIP() << "built without OpenMP; thread-count sweep not applicable";
 #endif
+}
+
+TEST(Determinism, BitParallelEngineMatchesReferenceEngine) {
+  // The hot-loop engine toggle (arch/kernels.h) must be unobservable: a full
+  // model run with the bit-parallel kernels produces byte-identical traces —
+  // spikes, modelled times, profiler records — to the same run with the
+  // original scalar walks forced everywhere.
+  const compiler::PccResult pcc = build_fixed_model();
+  const arch::kernels::Engine saved = arch::kernels::engine();
+  arch::kernels::set_engine(arch::kernels::Engine::kBitParallel);
+  const DeterministicRun kernels_run = run_once(pcc, /*parallel=*/false);
+  arch::kernels::set_engine(arch::kernels::Engine::kReference);
+  const DeterministicRun reference_run = run_once(pcc, /*parallel=*/false);
+  arch::kernels::set_engine(saved);
+  ASSERT_FALSE(kernels_run.trace_jsonl.empty());
+  expect_equivalent(kernels_run, reference_run);
 }
 
 TEST(Determinism, MeasuredRunsKeepFunctionalCountersStable) {

@@ -11,6 +11,7 @@
 #include <tuple>
 #include <vector>
 
+#include "arch/crossbar.h"
 #include "arch/model.h"
 #include "comm/mpi_transport.h"
 #include "comm/pgas_transport.h"
@@ -214,6 +215,54 @@ TEST_P(FuzzSweep, MangledCheckpointBytesAreAlwaysRejectedTyped) {
         << "seed=" << GetParam() << " round=" << round
         << " size=" << bad.size();
   }
+}
+
+TEST_P(FuzzSweep, CrossbarColumnMirrorStaysTransposed) {
+  // The bit-parallel synapse kernel reads the crossbar's column-major
+  // mirror; a single stale bit there silently corrupts accumulators. Attack
+  // the invariant with a long random interleaving of every mutation path —
+  // single-bit set, single-bit clear, whole-row overwrite, full clear — and
+  // then require (a) the mirror equals the transpose recomputed from the
+  // authoritative rows, bit for bit, and (b) the O(1) synapse_count()
+  // matches both the row population sum and the column population sum.
+  util::CorePrng prng(util::derive_seed(GetParam(), 0x7A35));
+  arch::Crossbar xb;
+  for (int op = 0; op < 6000; ++op) {
+    const unsigned axon = prng.uniform_below(arch::kAxonsPerCore);
+    const unsigned neuron = prng.uniform_below(arch::kNeuronsPerCore);
+    switch (prng.uniform_below(8)) {
+      case 0:
+        xb.set(axon, neuron, false);
+        break;
+      case 1: {  // whole-row overwrite with a random (often sparse) row
+        util::Bits256 row;
+        for (auto& w : row.w) w = prng.next_u64() & prng.next_u64();
+        xb.set_row(axon, row);
+        break;
+      }
+      case 2:
+        if (prng.uniform_below(128) == 0) xb.clear();
+        break;
+      default:
+        xb.set(axon, neuron, true);
+        break;
+    }
+  }
+
+  std::uint64_t row_bits = 0, col_bits = 0;
+  std::array<util::Bits256, arch::kNeuronsPerCore> transpose{};
+  for (unsigned a = 0; a < arch::kAxonsPerCore; ++a) {
+    row_bits += static_cast<std::uint64_t>(xb.row(a).popcount());
+    util::for_each_set_bit(xb.row(a),
+                           [&](unsigned j) { transpose[j].set(a); });
+  }
+  for (unsigned j = 0; j < arch::kNeuronsPerCore; ++j) {
+    col_bits += static_cast<std::uint64_t>(xb.col(j).popcount());
+    ASSERT_TRUE(xb.col(j) == transpose[j])
+        << "stale column mirror: seed=" << GetParam() << " neuron=" << j;
+  }
+  EXPECT_EQ(xb.synapse_count(), row_bits) << "seed=" << GetParam();
+  EXPECT_EQ(xb.synapse_count(), col_bits) << "seed=" << GetParam();
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSweep,

@@ -1,0 +1,386 @@
+// Differential lockdown suite for the bit-parallel / SoA hot-loop kernels
+// (arch/kernels.h) against the scalar reference walks they replaced.
+//
+// The contract under test (DESIGN.md §12): on every core, for every tick,
+// the production engine must produce *bit-identical* state to the original
+// per-bit loops — identical synaptic accumulators, identical SynapseActivity
+// counters, identical fired sets and emit order, identical membrane
+// potentials, and an identical PRNG stream position. The suite drives
+// randomly generated cores through paired phases — the dispatching
+// production entry points on one clone, the *_reference hooks on the other —
+// and asserts whole-core equality after every tick, across well over 1000
+// seeded trials covering non-stochastic, mixed-flag, all-stochastic,
+// saturating-floor, empty-crossbar, and dense-crossbar cores.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <tuple>
+#include <vector>
+
+#include "arch/core.h"
+#include "arch/kernels.h"
+#include "arch/neuron.h"
+#include "util/bitops.h"
+#include "util/prng.h"
+
+namespace compass::arch {
+namespace {
+
+/// Restore the global engine selection on scope exit so tests cannot leak a
+/// kReference override into later suites in the same process.
+struct EngineGuard {
+  kernels::Engine saved = kernels::engine();
+  ~EngineGuard() { kernels::set_engine(saved); }
+};
+
+enum class FlagMode {
+  kNone,           // flags = 0 everywhere: the vectorized fast paths
+  kMixed,          // uniform over all 8 flag combinations per neuron
+  kAllStochastic,  // every neuron: synapse | leak | threshold
+};
+
+/// One spike recorded from a neuron-phase sink; compared across engines.
+using Spike = std::tuple<unsigned, CoreId, std::uint8_t, std::uint8_t>;
+
+struct CoreGenOptions {
+  FlagMode flags = FlagMode::kMixed;
+  std::uint8_t density_p8 = 64;   // synapse probability per 256
+  bool saturating_floor = false;  // strong inhibition against a deep floor
+};
+
+NeurosynapticCore random_core(std::uint64_t seed, const CoreGenOptions& opt) {
+  util::CorePrng gen(util::derive_seed(seed, 0x4B45));
+  NeurosynapticCore core;
+  core.reseed(util::derive_seed(seed, 0xC0DE));
+  for (unsigned a = 0; a < kAxonsPerCore; ++a) {
+    core.set_axon_type(a, static_cast<std::uint8_t>(gen.uniform_below(4)));
+    for (unsigned j = 0; j < kNeuronsPerCore; ++j) {
+      if (gen.bernoulli_8(opt.density_p8)) core.set_synapse(a, j);
+    }
+  }
+  for (unsigned j = 0; j < kNeuronsPerCore; ++j) {
+    NeuronParams p;
+    for (auto& w : p.weights) {
+      w = opt.saturating_floor
+              ? static_cast<std::int16_t>(
+                    -64 - static_cast<int>(gen.uniform_below(192)))
+              : static_cast<std::int16_t>(
+                    static_cast<int>(gen.uniform_below(41)) - 20);
+    }
+    p.leak = static_cast<std::int16_t>(
+        static_cast<int>(gen.uniform_below(41)) - 30);
+    p.threshold = 1 + static_cast<std::int32_t>(gen.uniform_below(128));
+    p.reset_value = -static_cast<std::int32_t>(gen.uniform_below(32));
+    p.floor = opt.saturating_floor
+                  ? kPotentialMin
+                  : -64 - static_cast<std::int32_t>(gen.uniform_below(256));
+    p.reset_mode = static_cast<ResetMode>(gen.uniform_below(3));
+    switch (opt.flags) {
+      case FlagMode::kNone: p.flags = 0; break;
+      case FlagMode::kMixed:
+        p.flags = static_cast<std::uint8_t>(gen.uniform_below(8));
+        break;
+      case FlagMode::kAllStochastic:
+        p.flags = kStochasticSynapse | kStochasticLeak | kStochasticThreshold;
+        break;
+    }
+    p.threshold_mask_bits = static_cast<std::uint8_t>(gen.uniform_below(7));
+    const AxonTarget target{
+        static_cast<CoreId>(gen.uniform_below(8)),
+        static_cast<std::uint8_t>(gen.uniform_below(256)),
+        static_cast<std::uint8_t>(1 + gen.uniform_below(15))};
+    core.configure_neuron(j, p, target);
+    core.set_potential(j, static_cast<std::int32_t>(gen.uniform_below(
+                              static_cast<std::uint32_t>(p.threshold))));
+  }
+  return core;
+}
+
+/// Drive `ticks` paired synapse+neuron phases: the dispatching production
+/// engine on clone `a`, the scalar reference hooks on clone `b`. Asserts
+/// counter/accumulator/spike equality per tick and whole-core equality
+/// (potentials, accumulators, delay buffer, PRNG state) after each tick.
+void run_differential_trial(std::uint64_t seed, const CoreGenOptions& opt,
+                            std::uint8_t activity_p8, Tick ticks = 6) {
+  const NeurosynapticCore original = random_core(seed, opt);
+  NeurosynapticCore a = original;
+  NeurosynapticCore b = original;
+  ASSERT_TRUE(a == b);
+
+  util::CorePrng stim(util::derive_seed(seed, 0xAC7));
+  for (Tick t = 0; t < ticks; ++t) {
+    for (unsigned axon = 0; axon < kAxonsPerCore; ++axon) {
+      if (stim.bernoulli_8(activity_p8)) {
+        const unsigned slot = static_cast<unsigned>(t % kDelaySlots);
+        a.deliver(axon, slot);
+        b.deliver(axon, slot);
+      }
+    }
+
+    const auto act_a = a.synapse_phase(t);
+    const auto act_b = b.synapse_phase_reference(t);
+    ASSERT_EQ(act_a.active_axons, act_b.active_axons) << "seed=" << seed
+                                                      << " tick=" << t;
+    ASSERT_EQ(act_a.synaptic_events, act_b.synaptic_events)
+        << "seed=" << seed << " tick=" << t;
+    for (unsigned j = 0; j < kNeuronsPerCore; ++j) {
+      ASSERT_EQ(a.pending_input(j), b.pending_input(j))
+          << "seed=" << seed << " tick=" << t << " neuron=" << j;
+    }
+
+    std::vector<Spike> spikes_a, spikes_b;
+    const int fired_a = a.neuron_phase(t, [&](unsigned j, AxonTarget tg) {
+      spikes_a.emplace_back(j, tg.core, tg.axon, tg.delay);
+    });
+    const int fired_b =
+        b.neuron_phase_reference(t, [&](unsigned j, AxonTarget tg) {
+          spikes_b.emplace_back(j, tg.core, tg.axon, tg.delay);
+        });
+    ASSERT_EQ(fired_a, fired_b) << "seed=" << seed << " tick=" << t;
+    ASSERT_EQ(spikes_a, spikes_b) << "seed=" << seed << " tick=" << t;
+
+    // The strongest form: every byte of core state agrees, including the
+    // PRNG position (stochastic cores must make the same draws in the same
+    // order) and the membrane potentials.
+    ASSERT_TRUE(a == b) << "core state diverged: seed=" << seed
+                        << " tick=" << t;
+  }
+}
+
+// --- Differential sweeps (>1000 seeded trials in total) ---------------------
+
+TEST(KernelDifferential, MixedFlagSweep) {
+  EngineGuard guard;
+  kernels::set_engine(kernels::Engine::kBitParallel);
+  for (std::uint64_t seed = 0; seed < 400; ++seed) {
+    CoreGenOptions opt;
+    opt.flags = FlagMode::kMixed;
+    opt.density_p8 = static_cast<std::uint8_t>(16 + (seed * 7) % 120);
+    run_differential_trial(seed, opt, /*activity_p8=*/96);
+  }
+}
+
+TEST(KernelDifferential, NonStochasticSweep) {
+  // flags == 0 everywhere: both vectorized fast paths (bit-parallel synapse
+  // kernel + branch-light neuron sweep) are eligible and must stay exact.
+  EngineGuard guard;
+  kernels::set_engine(kernels::Engine::kBitParallel);
+  for (std::uint64_t seed = 0; seed < 250; ++seed) {
+    CoreGenOptions opt;
+    opt.flags = FlagMode::kNone;
+    opt.density_p8 = static_cast<std::uint8_t>(16 + (seed * 11) % 160);
+    run_differential_trial(seed + 1000, opt, /*activity_p8=*/128);
+  }
+}
+
+TEST(KernelDifferential, AllStochasticSweep) {
+  // Every neuron draws in both phases — the dispatcher must keep the exact
+  // PRNG-order scalar path and the PRNG positions must match tick by tick.
+  EngineGuard guard;
+  kernels::set_engine(kernels::Engine::kBitParallel);
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    CoreGenOptions opt;
+    opt.flags = FlagMode::kAllStochastic;
+    run_differential_trial(seed + 2000, opt, /*activity_p8=*/96);
+  }
+}
+
+TEST(KernelDifferential, SaturatingFloorSweep) {
+  // Strong inhibition against the deepest representable floor: the clamp
+  // select in neuron_phase_fast must saturate exactly like neuron_step.
+  EngineGuard guard;
+  kernels::set_engine(kernels::Engine::kBitParallel);
+  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    CoreGenOptions opt;
+    opt.flags = (seed % 2 == 0) ? FlagMode::kNone : FlagMode::kMixed;
+    opt.density_p8 = 128;
+    opt.saturating_floor = true;
+    run_differential_trial(seed + 3000, opt, /*activity_p8=*/160);
+  }
+}
+
+TEST(KernelDifferential, EmptyCrossbarSweep) {
+  // No synapses at all: the synapse phase must still drain the delay slot,
+  // report the active-axon count, and add nothing.
+  EngineGuard guard;
+  kernels::set_engine(kernels::Engine::kBitParallel);
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    CoreGenOptions opt;
+    opt.flags = FlagMode::kMixed;
+    opt.density_p8 = 0;
+    run_differential_trial(seed + 4000, opt, /*activity_p8=*/128);
+  }
+}
+
+TEST(KernelDifferential, DenseCrossbarSweep) {
+  // High density + high activity: estimated synaptic events are far above
+  // the dispatch threshold, so the bit-parallel kernel is the path actually
+  // exercised on the non-stochastic cores here.
+  EngineGuard guard;
+  kernels::set_engine(kernels::Engine::kBitParallel);
+  for (std::uint64_t seed = 0; seed < 60; ++seed) {
+    CoreGenOptions opt;
+    opt.flags = (seed % 3 == 0) ? FlagMode::kMixed : FlagMode::kNone;
+    opt.density_p8 = 200;
+    run_differential_trial(seed + 5000, opt, /*activity_p8=*/192);
+  }
+}
+
+TEST(KernelDifferential, ReferenceEngineShortCircuits) {
+  // With the engine forced to kReference, the production entry points are
+  // the scalar walk — the differential must hold trivially and exactly.
+  EngineGuard guard;
+  kernels::set_engine(kernels::Engine::kReference);
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    CoreGenOptions opt;
+    opt.flags = FlagMode::kMixed;
+    run_differential_trial(seed + 6000, opt, /*activity_p8=*/96);
+  }
+}
+
+// --- Direct kernel units (bypass the dispatch heuristic) --------------------
+
+TEST(KernelUnit, SynapseKernelMatchesBruteForce) {
+  // Drive kernels::synapse_phase_bitparallel directly — independent of the
+  // dispatcher's estimated-events threshold — against a from-scratch
+  // row-walk reference, across densities and active-mask populations
+  // (including the type-partition special cases ng = 0, 1, and 4).
+  for (std::uint64_t seed = 0; seed < 80; ++seed) {
+    util::CorePrng gen(util::derive_seed(seed, 0xB17));
+    Crossbar xb;
+    std::array<util::Bits256, kAxonTypes> type_mask{};
+    std::array<std::uint8_t, kAxonsPerCore> type{};
+    // seed % 4 == 0 confines every axon to type 0 (the ng==1 fast case).
+    const unsigned types = (seed % 4 == 0) ? 1 : 4;
+    for (unsigned a = 0; a < kAxonsPerCore; ++a) {
+      type[a] = static_cast<std::uint8_t>(gen.uniform_below(types));
+      type_mask[type[a]].set(a);
+    }
+    const std::uint8_t density =
+        static_cast<std::uint8_t>((seed * 29) % 256);  // 0 .. dense
+    for (unsigned a = 0; a < kAxonsPerCore; ++a) {
+      for (unsigned j = 0; j < kNeuronsPerCore; ++j) {
+        if (gen.bernoulli_8(density)) xb.set(a, j);
+      }
+    }
+    std::array<std::array<std::int16_t, kNeuronsPerCore>, kAxonTypes> weight{};
+    for (auto& lane : weight) {
+      for (auto& w : lane) {
+        w = static_cast<std::int16_t>(
+            static_cast<int>(gen.uniform_below(101)) - 50);
+      }
+    }
+    util::Bits256 active;
+    const std::uint8_t activity = static_cast<std::uint8_t>((seed * 37) % 256);
+    for (unsigned a = 0; a < kAxonsPerCore; ++a) {
+      if (gen.bernoulli_8(activity)) active.set(a);
+    }
+
+    // Pre-existing partial accumulation must be added to, not overwritten.
+    std::array<std::int32_t, kNeuronsPerCore> accum{};
+    for (auto& v : accum) {
+      v = static_cast<std::int32_t>(gen.uniform_below(17)) - 8;
+    }
+    std::array<std::int32_t, kNeuronsPerCore> expected = accum;
+
+    int expected_events = 0;
+    util::for_each_set_bit(active, [&](unsigned a) {
+      util::for_each_set_bit(xb.row(a), [&](unsigned j) {
+        expected[j] += weight[type[a]][j];
+        ++expected_events;
+      });
+    });
+
+    const kernels::SynapseStats stats = kernels::synapse_phase_bitparallel(
+        active, type_mask, xb.cols(), weight, accum);
+    EXPECT_EQ(stats.active_axons, active.popcount()) << "seed=" << seed;
+    EXPECT_EQ(stats.synaptic_events, expected_events) << "seed=" << seed;
+    ASSERT_EQ(accum, expected) << "seed=" << seed;
+  }
+}
+
+TEST(KernelUnit, SynapseKernelEmptyCrossbarAndEmptyActive) {
+  Crossbar xb;
+  std::array<util::Bits256, kAxonTypes> type_mask{};
+  for (unsigned a = 0; a < kAxonsPerCore; ++a) type_mask[a % 4].set(a);
+  std::array<std::array<std::int16_t, kNeuronsPerCore>, kAxonTypes> weight{};
+  for (auto& lane : weight) lane.fill(7);
+  std::array<std::int32_t, kNeuronsPerCore> accum{};
+
+  util::Bits256 all;
+  for (unsigned a = 0; a < kAxonsPerCore; ++a) all.set(a);
+  kernels::SynapseStats stats = kernels::synapse_phase_bitparallel(
+      all, type_mask, xb.cols(), weight, accum);
+  EXPECT_EQ(stats.active_axons, 256);
+  EXPECT_EQ(stats.synaptic_events, 0);
+  for (unsigned j = 0; j < kNeuronsPerCore; ++j) EXPECT_EQ(accum[j], 0);
+
+  xb.set(3, 9);
+  stats = kernels::synapse_phase_bitparallel(util::Bits256{}, type_mask,
+                                             xb.cols(), weight, accum);
+  EXPECT_EQ(stats.active_axons, 0);
+  EXPECT_EQ(stats.synaptic_events, 0);
+  EXPECT_EQ(accum[9], 0);
+}
+
+TEST(KernelUnit, NeuronKernelMatchesNeuronStep) {
+  // neuron_phase_fast against neuron_step on the same random lanes, flags
+  // all zero (the only configuration the fast kernel accepts). Exercises
+  // every reset mode, firing and non-firing neurons, and both clamps.
+  for (std::uint64_t seed = 0; seed < 60; ++seed) {
+    util::CorePrng gen(util::derive_seed(seed, 0xFA57));
+    std::array<std::int32_t, kNeuronsPerCore> potential{}, accum{}, threshold{},
+        reset{}, floor{};
+    std::array<std::int16_t, kNeuronsPerCore> leak{};
+    std::array<std::uint8_t, kNeuronsPerCore> reset_mode{};
+    for (unsigned j = 0; j < kNeuronsPerCore; ++j) {
+      threshold[j] = 1 + static_cast<std::int32_t>(gen.uniform_below(64));
+      potential[j] = static_cast<std::int32_t>(gen.uniform_below(128)) - 32;
+      accum[j] = static_cast<std::int32_t>(gen.uniform_below(256)) - 96;
+      leak[j] = static_cast<std::int16_t>(
+          static_cast<int>(gen.uniform_below(41)) - 20);
+      reset[j] = -static_cast<std::int32_t>(gen.uniform_below(16));
+      // Mix shallow floors (clamp often) with the representable minimum.
+      floor[j] = (j % 5 == 0)
+                     ? kPotentialMin
+                     : -8 - static_cast<std::int32_t>(gen.uniform_below(32));
+      reset_mode[j] = static_cast<std::uint8_t>(gen.uniform_below(3));
+    }
+
+    std::array<std::int32_t, kNeuronsPerCore> ref_potential = potential;
+    util::Bits256 expected_fired;
+    util::CorePrng unused_prng(1);
+    for (unsigned j = 0; j < kNeuronsPerCore; ++j) {
+      NeuronParams p;
+      p.leak = leak[j];
+      p.threshold = threshold[j];
+      p.reset_value = reset[j];
+      p.floor = floor[j];
+      p.reset_mode = static_cast<ResetMode>(reset_mode[j]);
+      if (neuron_step(p, ref_potential[j], accum[j], unused_prng)) {
+        expected_fired.set(j);
+      }
+    }
+
+    std::array<std::int32_t, kNeuronsPerCore> accum_in = accum;
+    const util::Bits256 fired = kernels::neuron_phase_fast(
+        potential, accum_in, leak, threshold, reset, floor, reset_mode);
+    ASSERT_TRUE(fired == expected_fired) << "seed=" << seed;
+    ASSERT_EQ(potential, ref_potential) << "seed=" << seed;
+    for (unsigned j = 0; j < kNeuronsPerCore; ++j) {
+      ASSERT_EQ(accum_in[j], 0) << "accumulator not consumed: j=" << j;
+    }
+  }
+}
+
+TEST(KernelUnit, EngineToggleRoundTrips) {
+  EngineGuard guard;
+  kernels::set_engine(kernels::Engine::kReference);
+  EXPECT_EQ(kernels::engine(), kernels::Engine::kReference);
+  kernels::set_engine(kernels::Engine::kBitParallel);
+  EXPECT_EQ(kernels::engine(), kernels::Engine::kBitParallel);
+}
+
+}  // namespace
+}  // namespace compass::arch

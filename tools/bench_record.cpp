@@ -1,0 +1,260 @@
+// bench_record — snapshot the hot-loop engine's before/after numbers into
+// BENCH_kernels.json (schema documented in EXPERIMENTS.md).
+//
+// Runs bench_micro_kernels once (its `...Reference` twins measure the scalar
+// engine in the same process) and bench_headline twice (--engine kernels,
+// --engine reference), then pairs each benchmark with its Reference twin and
+// writes one JSON file with per-benchmark times and speedups. The recorded
+// numbers are a provenance snapshot of the machine the file was generated
+// on, not a CI gate — regenerate with:
+//
+//   ./build/tools/bench_record --bench-dir build/bench --out BENCH_kernels.json
+//
+// Flags:
+//   --bench-dir <dir>   directory holding the bench binaries (default
+//                       build/bench)
+//   --out <path>        output path (default BENCH_kernels.json)
+//   --min-time <t>      forwarded as --benchmark_min_time (e.g. 0.5s)
+//   --skip-headline     record the microbenchmarks only
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct MicroResult {
+  std::string name;
+  double real_time = 0.0;
+  std::string time_unit;
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+/// Extract the raw JSON value text after `"key":` inside `obj` (flat search;
+/// good enough for google-benchmark output and our own headline lines).
+std::optional<std::string> raw_field(const std::string& obj,
+                                     const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = obj.find(needle);
+  if (at == std::string::npos) return std::nullopt;
+  std::size_t i = at + needle.size();
+  while (i < obj.size() && std::isspace(static_cast<unsigned char>(obj[i]))) {
+    ++i;
+  }
+  if (i >= obj.size()) return std::nullopt;
+  if (obj[i] == '"') {
+    const std::size_t end = obj.find('"', i + 1);
+    if (end == std::string::npos) return std::nullopt;
+    return obj.substr(i + 1, end - i - 1);
+  }
+  std::size_t end = i;
+  while (end < obj.size() && obj[end] != ',' && obj[end] != '}' &&
+         obj[end] != '\n') {
+    ++end;
+  }
+  return obj.substr(i, end - i);
+}
+
+std::optional<double> number_field(const std::string& obj,
+                                   const std::string& key) {
+  const auto raw = raw_field(obj, key);
+  if (!raw) return std::nullopt;
+  try {
+    return std::stod(*raw);
+  } catch (...) {
+    return std::nullopt;
+  }
+}
+
+/// Split the top-level objects of the `"benchmarks": [...]` array.
+std::vector<std::string> benchmark_objects(const std::string& json) {
+  std::vector<std::string> out;
+  const std::size_t arr = json.find("\"benchmarks\":");
+  if (arr == std::string::npos) return out;
+  std::size_t i = json.find('[', arr);
+  if (i == std::string::npos) return out;
+  int depth = 0;
+  bool in_string = false;
+  std::size_t start = 0;
+  for (++i; i < json.size(); ++i) {
+    const char c = json[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == '{') {
+      if (depth++ == 0) start = i;
+    } else if (c == '}') {
+      if (--depth == 0) out.push_back(json.substr(start, i - start + 1));
+    } else if (c == ']' && depth == 0) {
+      break;
+    }
+  }
+  return out;
+}
+
+int run_command(const std::string& cmd) {
+  std::cout << "[bench_record] $ " << cmd << std::endl;
+  const int rc = std::system(cmd.c_str());
+  if (rc != 0) {
+    std::cerr << "bench_record: command failed (exit " << rc << "): " << cmd
+              << "\n";
+  }
+  return rc;
+}
+
+std::string json_number(double v) {
+  std::ostringstream os;
+  os.precision(15);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string bench_dir = "build/bench";
+  std::string out = "BENCH_kernels.json";
+  std::string min_time;
+  bool headline = true;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--bench-dir" && i + 1 < argc) {
+      bench_dir = argv[++i];
+    } else if (arg == "--out" && i + 1 < argc) {
+      out = argv[++i];
+    } else if (arg == "--min-time" && i + 1 < argc) {
+      min_time = argv[++i];
+    } else if (arg == "--skip-headline") {
+      headline = false;
+    } else {
+      std::cerr << "usage: bench_record [--bench-dir <dir>] [--out <path>] "
+                   "[--min-time <t>] [--skip-headline]\n";
+      return 1;
+    }
+  }
+
+  // --- Microbenchmarks: one process measures both engines -------------------
+  const std::string micro_tmp = out + ".micro.tmp";
+  {
+    std::string cmd = bench_dir + "/bench_micro_kernels --json " + micro_tmp +
+                      " --benchmark_filter='BM_(SynapsePhase|NeuronPhase|"
+                      "FullCoreTick)'";
+    if (!min_time.empty()) cmd += " --benchmark_min_time=" + min_time;
+    if (run_command(cmd) != 0) return 1;
+  }
+  std::map<std::string, MicroResult> by_name;
+  for (const std::string& obj : benchmark_objects(read_file(micro_tmp))) {
+    MicroResult r;
+    const auto name = raw_field(obj, "name");
+    const auto rt = number_field(obj, "real_time");
+    const auto unit = raw_field(obj, "time_unit");
+    if (!name || !rt) continue;
+    r.name = *name;
+    r.real_time = *rt;
+    r.time_unit = unit.value_or("ns");
+    by_name[r.name] = r;
+  }
+  std::remove(micro_tmp.c_str());
+
+  // Pair BM_Foo/arg with BM_FooReference/arg.
+  struct Pair {
+    std::string name;
+    double bitparallel = 0.0;
+    double reference = 0.0;
+    std::string unit;
+  };
+  std::vector<Pair> pairs;
+  for (const auto& [name, ref] : by_name) {
+    const std::size_t tag = name.find("Reference");
+    if (tag == std::string::npos) continue;
+    const std::string base = name.substr(0, tag) + name.substr(tag + 9);
+    const auto it = by_name.find(base);
+    if (it == by_name.end()) continue;
+    pairs.push_back(
+        Pair{base, it->second.real_time, ref.real_time, ref.time_unit});
+  }
+  if (pairs.empty()) {
+    std::cerr << "bench_record: no benchmark/Reference pairs found — did "
+                 "bench_micro_kernels run?\n";
+    return 1;
+  }
+
+  // --- Headline: one full-model run per engine ------------------------------
+  double headline_kernels = 0.0, headline_reference = 0.0;
+  std::uint64_t headline_cores = 0;
+  if (headline) {
+    const std::string headline_tmp = out + ".headline.tmp";
+    std::remove(headline_tmp.c_str());
+    for (const char* engine : {"kernels", "reference"}) {
+      const std::string cmd = bench_dir + "/bench_headline --engine " +
+                              engine + " --json " + headline_tmp +
+                              " > /dev/null";
+      if (run_command(cmd) != 0) return 1;
+    }
+    std::istringstream lines(read_file(headline_tmp));
+    std::string line;
+    while (std::getline(lines, line)) {
+      const auto engine = raw_field(line, "engine");
+      const auto wall = number_field(line, "host_wall_s");
+      const auto cores = number_field(line, "cores");
+      if (!engine || !wall) continue;
+      if (*engine == "kernels") headline_kernels = *wall;
+      if (*engine == "reference") headline_reference = *wall;
+      if (cores) headline_cores = static_cast<std::uint64_t>(*cores);
+    }
+    std::remove(headline_tmp.c_str());
+    if (headline_kernels <= 0.0 || headline_reference <= 0.0) {
+      std::cerr << "bench_record: missing headline measurements\n";
+      return 1;
+    }
+  }
+
+  // --- Emit -----------------------------------------------------------------
+  std::ofstream js(out);
+  if (!js) {
+    std::cerr << "bench_record: cannot write " << out << "\n";
+    return 1;
+  }
+  js << "{\n  \"schema\": \"compass.bench_kernels.v1\",\n"
+     << "  \"generator\": \"tools/bench_record\",\n"
+     << "  \"micro\": [\n";
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    const Pair& p = pairs[i];
+    js << "    {\"name\": \"" << p.name << "\", \"bitparallel_" << p.unit
+       << "\": " << json_number(p.bitparallel) << ", \"reference_" << p.unit
+       << "\": " << json_number(p.reference)
+       << ", \"speedup\": " << json_number(p.reference / p.bitparallel) << "}"
+       << (i + 1 < pairs.size() ? ",\n" : "\n");
+  }
+  js << "  ]";
+  if (headline) {
+    js << ",\n  \"headline\": {\"cores\": " << headline_cores
+       << ", \"bitparallel_host_wall_s\": " << json_number(headline_kernels)
+       << ", \"reference_host_wall_s\": " << json_number(headline_reference)
+       << ", \"speedup\": "
+       << json_number(headline_reference / headline_kernels) << "}";
+  }
+  js << "\n}\n";
+  std::cout << "[bench_record] wrote " << out << " (" << pairs.size()
+            << " micro pairs" << (headline ? " + headline" : "") << ")\n";
+  return 0;
+}
