@@ -128,6 +128,7 @@ const char* flight_event_kind_name(FlightEventKind kind) {
     case FlightEventKind::kFault: return "fault";
     case FlightEventKind::kCheckpoint: return "ckpt";
     case FlightEventKind::kNote: return "note";
+    case FlightEventKind::kRecovery: return "recovery";
   }
   return "unknown";
 }

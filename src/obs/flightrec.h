@@ -35,6 +35,8 @@ enum class FlightEventKind : std::uint8_t {
   kFault = 3,      // injected fault (what = drop/corrupt/dup/stall/kill/...)
   kCheckpoint = 4, // checkpoint write (a = tick, b = bytes)
   kNote = 5,       // free-form marker (e.g. the compiler's pcc events)
+  kRecovery = 6,   // rank-failure recovery (peer = dead rank, a = tick,
+                   // b = checkpoint tick; what = policy)
 };
 
 const char* flight_event_kind_name(FlightEventKind kind);

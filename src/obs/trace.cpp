@@ -75,6 +75,19 @@ void JsonlTraceWriter::on_profile(const ProfileRecord& p) {
   os_ << "}\n";
 }
 
+void JsonlTraceWriter::on_recovery(const RecoveryRecord& r) {
+  // Like the profile record, a recovery is one rare summary line: exempt
+  // from the record cap, because dropping it would hide that the trailing
+  // ticks ran in degraded mode.
+  os_ << "{\"type\":\"recovery\",\"tick\":" << r.tick
+      << ",\"dead_rank\":" << r.dead_rank << ",\"policy\":\""
+      << (r.policy != nullptr ? r.policy : "")
+      << "\",\"checkpoint_tick\":" << r.checkpoint_tick
+      << ",\"ticks_lost\":" << r.ticks_lost
+      << ",\"cores_recovered\":" << r.cores_recovered
+      << ",\"cores_migrated\":" << r.cores_migrated << "}\n";
+}
+
 namespace {
 
 constexpr double kMicro = 1e6;  // trace timestamps are virtual microseconds

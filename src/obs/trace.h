@@ -80,6 +80,19 @@ struct ProfileRecord {
   const CommMatrix* matrix = nullptr;
 };
 
+/// One completed rank-failure recovery (src/resilience/recovery.h), emitted
+/// at the tick boundary where the supervisor repaired the run. Fault-free
+/// runs never emit one, so existing golden traces are unaffected.
+struct RecoveryRecord {
+  std::uint64_t tick = 0;             // boundary the recovery ran at
+  int dead_rank = -1;                 // rank that was lost
+  const char* policy = "";            // "restart-rank" | "migrate"
+  std::uint64_t checkpoint_tick = 0;  // snapshot the state came from
+  std::uint64_t ticks_lost = 0;       // tick - checkpoint_tick
+  std::uint64_t cores_recovered = 0;  // cores rebuilt from the snapshot
+  std::uint64_t cores_migrated = 0;   // cores re-homed (0 for restart-rank)
+};
+
 class TraceSink {
  public:
   virtual ~TraceSink() = default;
@@ -88,6 +101,9 @@ class TraceSink {
   /// Default no-op so pre-profile sinks (and the golden trace) are
   /// unaffected; traces only gain a profile record when profiling is on.
   virtual void on_profile(const ProfileRecord& profile) { (void)profile; }
+  /// Default no-op for the same reason: only runs that actually recover
+  /// from a rank failure gain recovery records.
+  virtual void on_recovery(const RecoveryRecord& recovery) { (void)recovery; }
 };
 
 struct JsonlOptions {
@@ -113,6 +129,7 @@ class JsonlTraceWriter final : public TraceSink {
   void on_span(const SpanRecord& span) override;
   void on_tick(const TickRecord& tick) override;
   void on_profile(const ProfileRecord& profile) override;
+  void on_recovery(const RecoveryRecord& recovery) override;
 
   /// Records dropped after the cap was reached.
   std::uint64_t dropped() const { return dropped_; }
@@ -140,9 +157,15 @@ class TraceBuffer final : public TraceSink {
     if (profile.summary != nullptr) summary_ = *profile.summary;
     if (profile.matrix != nullptr) matrix_ = *profile.matrix;
   }
+  // The policy pointer is retained as-is; emitters pass static strings
+  // (resilience::to_string(RecoveryPolicy)), so buffering stays safe.
+  void on_recovery(const RecoveryRecord& recovery) override {
+    recoveries_.push_back(recovery);
+  }
 
   const std::vector<SpanRecord>& spans() const { return spans_; }
   const std::vector<TickRecord>& ticks() const { return ticks_; }
+  const std::vector<RecoveryRecord>& recoveries() const { return recoveries_; }
   const std::optional<ProfileSummary>& profile_summary() const {
     return summary_;
   }
@@ -150,6 +173,7 @@ class TraceBuffer final : public TraceSink {
   void clear() {
     spans_.clear();
     ticks_.clear();
+    recoveries_.clear();
     summary_.reset();
     matrix_.reset();
   }
@@ -157,6 +181,7 @@ class TraceBuffer final : public TraceSink {
  private:
   std::vector<SpanRecord> spans_;
   std::vector<TickRecord> ticks_;
+  std::vector<RecoveryRecord> recoveries_;
   std::optional<ProfileSummary> summary_;
   std::optional<CommMatrix> matrix_;
 };

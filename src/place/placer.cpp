@@ -508,4 +508,72 @@ std::vector<std::string> placer_names() {
           "sfc-torus"};
 }
 
+std::vector<int> replace_dead_rank(const runtime::Partition& partition,
+                                   int dead_rank,
+                                   const obs::CommMatrix* measured) {
+  const int ranks = partition.ranks();
+  if (dead_rank < 0 || dead_rank >= ranks) {
+    throw PlacementError("replace_dead_rank: rank " +
+                         std::to_string(dead_rank) + " outside [0, " +
+                         std::to_string(ranks) + ")");
+  }
+  if (ranks < 2) {
+    throw PlacementError(
+        "replace_dead_rank: the dead rank is the only rank — nothing can "
+        "inherit its cores");
+  }
+
+  const std::size_t cores = partition.num_cores();
+  std::vector<int> rank_of(cores);
+  for (std::size_t c = 0; c < cores; ++c) {
+    rank_of[c] = partition.rank_of(static_cast<arch::CoreId>(c));
+  }
+  const std::span<const arch::CoreId> orphans = partition.cores_of(dead_rank);
+  if (orphans.empty()) return rank_of;
+
+  // Survivors, most-affine first. Affinity is the measured spike exchange
+  // with the dead rank in both directions; without a usable matrix every
+  // affinity is zero and the lowest-rank tiebreak alone orders them.
+  struct Survivor {
+    int rank;
+    std::uint64_t affinity;
+    std::size_t load;
+  };
+  std::vector<Survivor> survivors;
+  survivors.reserve(static_cast<std::size_t>(ranks - 1));
+  const bool usable =
+      measured != nullptr && measured->ranks() == ranks;
+  for (int r = 0; r < ranks; ++r) {
+    if (r == dead_rank) continue;
+    const std::uint64_t affinity =
+        usable ? measured->at(dead_rank, r).spikes +
+                     measured->at(r, dead_rank).spikes
+               : 0;
+    survivors.push_back({r, affinity, partition.cores_of(r).size()});
+  }
+  std::stable_sort(survivors.begin(), survivors.end(),
+                   [](const Survivor& a, const Survivor& b) {
+                     if (a.affinity != b.affinity) {
+                       return a.affinity > b.affinity;
+                     }
+                     return a.rank < b.rank;
+                   });
+
+  // Load cap = ceil(cores / survivors): while orphans remain unplaced the
+  // survivors' total load is below the core count, so at least one survivor
+  // sits under the cap — every orphan always finds a home.
+  const std::size_t cap =
+      (cores + survivors.size() - 1) / survivors.size();
+  for (const arch::CoreId orphan : orphans) {
+    for (Survivor& s : survivors) {
+      if (s.load < cap) {
+        rank_of[orphan] = s.rank;
+        ++s.load;
+        break;
+      }
+    }
+  }
+  return rank_of;
+}
+
 }  // namespace compass::place

@@ -78,4 +78,28 @@ std::vector<std::string> placer_names();
 /// entries are exactly one hop apart (exposed for tests and bench).
 std::vector<int> snake_order(const comm::TorusTopology& topology);
 
+/// Constrained re-placement after a rank failure (the recovery supervisor's
+/// planner, src/resilience/recovery.h). Every surviving core stays exactly
+/// where it is — live cores must not move mid-run — and only the dead rank's
+/// orphaned cores are redistributed across the surviving ranks:
+///
+///   * traffic-aware: survivors are preferred in descending order of their
+///     *measured* exchange with the dead rank (CommMatrix spikes, both
+///     directions summed) — the rank that talked to the dead cores most
+///     inherits them first, turning that former wire traffic into
+///     shared-memory delivery;
+///   * load-capped: no survivor is filled past ceil(cores / survivors), so
+///     the repaired run stays balanced (the cap always admits every orphan);
+///   * deterministic: ties break on the lowest rank id and orphans are
+///     placed in ascending core order, so the same matrix always yields the
+///     same assignment — which the migrate determinism suite relies on.
+///
+/// `measured` may be null (or sized for a different rank count): the order
+/// then degrades to lowest-rank-first, still deterministic. Returns the new
+/// rank_of_core vector (the dead rank owns nothing afterwards). Throws
+/// PlacementError when dead_rank is out of range or is the only rank.
+std::vector<int> replace_dead_rank(const runtime::Partition& partition,
+                                   int dead_rank,
+                                   const obs::CommMatrix* measured);
+
 }  // namespace compass::place

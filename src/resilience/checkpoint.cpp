@@ -92,6 +92,8 @@ std::string encode_runtime(const runtime::RunReport& r) {
   append_pod(out, r.messages_retried);
   append_pod(out, r.spikes_lost);
   append_pod(out, r.host_wall_s);
+  append_pod(out, r.recoveries);
+  append_pod(out, r.recovery_ticks_lost);
   return out;
 }
 
@@ -109,6 +111,13 @@ void decode_runtime(std::string_view payload, runtime::RunReport& r) {
   r.messages_retried = c.read<std::uint64_t>("runtime.retries");
   r.spikes_lost = c.read<std::uint64_t>("runtime.lost");
   r.host_wall_s = c.read<double>("runtime.host_wall_s");
+  // Recovery totals were appended after the format shipped; files written
+  // before them simply end here (same version — a strict tail extension, so
+  // old files load with zero recoveries and new files load everywhere).
+  if (c.remaining() >= 2 * sizeof(std::uint64_t)) {
+    r.recoveries = c.read<std::uint64_t>("runtime.recoveries");
+    r.recovery_ticks_lost = c.read<std::uint64_t>("runtime.recovery_lost");
+  }
 }
 
 std::string encode_ledger(const Checkpoint& cp) {

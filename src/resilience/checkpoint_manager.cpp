@@ -1,7 +1,13 @@
 #include "resilience/checkpoint_manager.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
+#include <limits>
 #include <system_error>
 
 #include "util/stopwatch.h"
@@ -124,14 +130,47 @@ std::string CheckpointManager::write_unguarded(const runtime::Compass& sim,
 }
 
 void CheckpointManager::prune() {
+  bool removed = false;
   while (written_.size() > static_cast<std::size_t>(options_.keep)) {
     std::error_code ec;
     fs::remove(written_.front(), ec);  // best-effort: missing file is fine
+    removed = true;
     written_.pop_front();
   }
+  if (!removed) return;
+  // Persist the unlinks: without a directory fsync, a crash right after the
+  // retention pass can replay deleted entries (or lose the ordering a
+  // restore scan depends on) on journal recovery. Unlike the best-effort
+  // rename fsync in save_checkpoint_file — where the data is already safe —
+  // failing to sync a deletion is a real durability defect, so genuine I/O
+  // errors are typed and thrown; only filesystems that cannot fsync a
+  // directory at all (EINVAL/ENOTSUP) are excused.
+  const int dfd = ::open(options_.dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd < 0) {
+    throw CheckpointError(CheckpointErrc::kIo,
+                          "cannot open checkpoint directory " + options_.dir +
+                              " for retention fsync: " + std::strerror(errno));
+  }
+  if (::fsync(dfd) != 0) {
+    const int saved = errno;
+    ::close(dfd);
+    if (saved != EINVAL && saved != ENOTSUP) {
+      throw CheckpointError(CheckpointErrc::kIo,
+                            "retention fsync of checkpoint directory " +
+                                options_.dir + " failed: " +
+                                std::strerror(saved));
+    }
+    return;
+  }
+  ::close(dfd);
 }
 
 std::string CheckpointManager::latest_in(const std::string& dir) {
+  return latest_at_or_before(dir, std::numeric_limits<arch::Tick>::max());
+}
+
+std::string CheckpointManager::latest_at_or_before(const std::string& dir,
+                                                   arch::Tick max_tick) {
   std::error_code ec;
   fs::directory_iterator it(dir, ec);
   if (ec) return {};
@@ -140,6 +179,8 @@ std::string CheckpointManager::latest_in(const std::string& dir) {
   for (const fs::directory_entry& entry : it) {
     if (!entry.is_regular_file(ec) || ec) continue;
     const long long tick = tick_of(entry.path().filename().string());
+    if (tick < 0) continue;
+    if (static_cast<std::uint64_t>(tick) > max_tick) continue;
     if (tick > best_tick) {
       best_tick = tick;
       best = entry.path().string();

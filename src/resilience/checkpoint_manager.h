@@ -58,12 +58,24 @@ class CheckpointManager {
   /// Path of the checkpoint with the highest tick in `dir` ("" when none).
   static std::string latest_in(const std::string& dir);
 
+  /// Path of the newest checkpoint in `dir` taken at or before `max_tick`
+  /// ("" when none). The recovery supervisor restores a dead rank from this:
+  /// a snapshot written *after* the failure tick cannot contain that rank's
+  /// real state, so the newest-before-death snapshot is the usable one.
+  static std::string latest_at_or_before(const std::string& dir,
+                                         arch::Tick max_tick);
+
   /// The canonical file name for a snapshot taken at `tick`.
   static std::string file_name(arch::Tick tick);
 
  private:
   std::string write_unguarded(const runtime::Compass& sim,
                               const arch::Model& model);
+  /// Delete snapshots beyond `keep`, then fsync the checkpoint directory so
+  /// the retention pass is durable (a crash after unlink must not resurrect
+  /// a half-deleted ordering on replay). Throws CheckpointError(kIo) when
+  /// the directory cannot be synced; filesystems that refuse directory
+  /// fsync (EINVAL/ENOTSUP) are tolerated, matching save_checkpoint_file.
   void prune();
 
   CheckpointOptions options_;

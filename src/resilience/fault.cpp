@@ -61,6 +61,7 @@ const char* to_string(FaultPolicy policy) {
 
 FaultPlan FaultPlan::parse(std::string_view spec) {
   FaultPlan plan;
+  bool saw_kill_rank = false, saw_kill_tick = false;
   std::size_t pos = 0;
   while (pos < spec.size()) {
     std::size_t comma = spec.find(',', pos);
@@ -100,8 +101,10 @@ FaultPlan FaultPlan::parse(std::string_view spec) {
       plan.max_retries = static_cast<int>(n);
     } else if (key == "kill-rank") {
       plan.kill_rank = static_cast<int>(parse_u64(key, value));
+      saw_kill_rank = true;
     } else if (key == "kill-tick") {
       plan.kill_tick = parse_u64(key, value);
+      saw_kill_tick = true;
     } else if (key == "policy") {
       if (value == "fail-fast") {
         plan.policy = FaultPolicy::kFailFast;
@@ -116,6 +119,16 @@ FaultPlan FaultPlan::parse(std::string_view spec) {
     } else {
       throw FaultPlanError("fault plan: unknown key '" + key + "'");
     }
+  }
+  // A kill needs both halves: a victim without a time (or vice versa) would
+  // silently default, and the resolved plan echoed into the run report must
+  // say exactly when the rank died.
+  if (saw_kill_rank != saw_kill_tick) {
+    throw FaultPlanError(saw_kill_rank
+                             ? "fault plan: kill-rank needs an explicit "
+                               "kill-tick (give both or neither)"
+                             : "fault plan: kill-tick needs a kill-rank "
+                               "(give both or neither)");
   }
   return plan;
 }

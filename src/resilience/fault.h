@@ -83,7 +83,12 @@ class FaultError : public std::runtime_error {
 ///   max-retries=N resend attempts under retry, >= 1   (default 3)
 ///   backoff-s=S   first-retry latency, s       > 0    (default 2e-6)
 ///   kill-rank=R   rank that dies, >= 0                (default none)
-///   kill-tick=T   tick at which it dies               (default 0)
+///   kill-tick=T   tick at which it dies
+///
+/// kill-rank and kill-tick must be given together: a kill without an
+/// explicit tick (or a tick without a victim) is rejected with
+/// FaultPlanError rather than silently defaulting, so a post-mortem's plan
+/// echo always shows exactly when the rank died.
 ///
 /// e.g. "drop=0.01,policy=retry,max-retries=4,seed=7"
 struct FaultPlan {
@@ -181,6 +186,22 @@ class FaultInjectingTransport final : public comm::Transport {
     started_ = false;
   }
 
+  /// The rank currently dead under the kill-rank policy, or -1 when every
+  /// rank is alive (no kill configured, the kill tick has not been reached,
+  /// or the rank was revive()d). This is the recovery supervisor's failure
+  /// detector: it is polled at tick boundaries, exactly when a real
+  /// heartbeat/timeout detector would resolve.
+  int dead_rank() const {
+    return !revived_ && plan_.kill_rank >= 0 && tick_no_ >= plan_.kill_tick
+               ? plan_.kill_rank
+               : -1;
+  }
+
+  /// Bring the killed rank back (recovery policy "restart-rank": the rank's
+  /// process is respawned in place, state restored from a checkpoint by the
+  /// caller). From the next send on, its traffic flows again. Idempotent.
+  void revive() { revived_ = true; }
+
   /// Cumulative fault counters across the whole run (per-tick counters are
   /// reset by begin_tick()).
   const comm::TickFaultStats& totals() const { return totals_; }
@@ -191,7 +212,7 @@ class FaultInjectingTransport final : public comm::Transport {
   void lose(int src, int dst, std::size_t spikes, const char* kind,
             std::uint64_t comm::TickFaultStats::*counter);
   bool rank_dead(int rank) const {
-    return plan_.kill_rank == rank && tick_no_ >= plan_.kill_tick;
+    return !revived_ && plan_.kill_rank == rank && tick_no_ >= plan_.kill_tick;
   }
 
   comm::Transport& inner_;
@@ -201,6 +222,7 @@ class FaultInjectingTransport final : public comm::Transport {
 
   arch::Tick tick_no_ = 0;  // current tick (absolute after set_start_tick)
   bool started_ = false;    // first begin_tick() keeps tick_no_ as seeded
+  bool revived_ = false;    // killed rank brought back by recovery
   comm::TickFaultStats tick_;    // reset each begin_tick()
   comm::TickFaultStats totals_;  // cumulative, for reports/tests
   std::vector<double> extra_send_s_;  // modelled stall/backoff s per rank

@@ -1,0 +1,157 @@
+// In-run rank-failure recovery: survive a kill-rank fault instead of
+// aborting the job.
+//
+// The paper's production regime — 262,144 Blue Gene/Q ranks for hours —
+// makes a rank loss mid-run an expected event. The pieces to survive one
+// have existed separately for several PRs: per-core checkpoint
+// serialization (checkpoint.h), a deterministic failure injector with a
+// tick-boundary failure detector (fault.h), placement policies over the
+// measured comm matrix (src/place/), and a hop-charging transport. This
+// supervisor is the integration layer: it watches the fault decorator's
+// dead_rank() at every tick boundary and, when a rank dies, runs the
+// quarantine → reconstruct → re-place → resume protocol (DESIGN.md §13):
+//
+//   quarantine    the decorator already drops all traffic to/from the dead
+//                 rank; in-flight spikes on those links are lost and
+//                 counted, exactly as before this subsystem existed.
+//   reconstruct   the dead rank's cores are overwritten from the newest
+//                 periodic checkpoint taken at-or-before the kill tick
+//                 (a snapshot written *after* the death cannot contain the
+//                 rank's real state). Per-core copy of the existing Model
+//                 serialization state — no new wire format.
+//   re-place      policy "migrate": the orphaned cores move to surviving
+//                 ranks via place::replace_dead_rank, fed by the measured
+//                 CommMatrix so the redistribution is traffic-aware, and
+//                 the transport's rank→node hop model is re-applied.
+//                 policy "restart-rank": the rank is revive()d in place and
+//                 keeps its cores (models a hot-spare respawn).
+//   resume        the tick loop continues in declared degraded mode; the
+//                 recovery is recorded in the RunReport, the metrics
+//                 registry (compass_recoveries_total,
+//                 compass_recovery_ticks_lost), every JSONL trace sink, and
+//                 the flight recorder. Spike-trace chains resume with
+//                 correct ids automatically: trace ids are pure functions
+//                 of (seed, tick, core, neuron), never of rank ownership.
+//
+// Determinism: checkpoint state is transport- and thread-invariant (the
+// existing resilience suites prove it), the planner is deterministic, and
+// the recovered cores' post-kill "ghost" state is overwritten wholesale —
+// so a migrate recovery is byte-identical across MPI/PGAS and any OpenMP
+// width for a fixed (seed, fault plan). Degraded-mode approximation: axon
+// rings restore with the checkpoint's in-flight spikes, which replay at
+// tick mod 16 aliases of their original due ticks — deterministic, and
+// bounded by one ring rotation.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "arch/model.h"
+#include "arch/types.h"
+#include "comm/torus.h"
+#include "comm/transport.h"
+#include "obs/flightrec.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
+#include "resilience/checkpoint_manager.h"
+#include "resilience/fault.h"
+#include "runtime/compass.h"
+
+namespace compass::resilience {
+
+/// What the supervisor does when the failure detector reports a dead rank.
+enum class RecoveryPolicy : std::uint8_t {
+  kAbort,        // today's semantics, bit for bit: no supervisor action
+  kRestartRank,  // restore the rank's cores from checkpoint, revive in place
+  kMigrate,      // restore the cores onto surviving ranks (traffic-aware)
+};
+
+const char* to_string(RecoveryPolicy policy);
+
+/// Parse "abort" | "restart-rank" | "migrate"; throws RecoveryError.
+RecoveryPolicy parse_recovery_policy(std::string_view name);
+
+/// A recovery that cannot proceed (no usable checkpoint, malformed policy,
+/// shape mismatch between snapshot and live model).
+class RecoveryError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One completed recovery action, as recorded by the supervisor.
+struct RecoveryEvent {
+  int dead_rank = -1;
+  arch::Tick detected_tick = 0;    // boundary the death was detected at
+  arch::Tick checkpoint_tick = 0;  // snapshot the cores were rebuilt from
+  std::uint64_t ticks_lost = 0;    // detected_tick - checkpoint_tick
+  std::size_t cores_recovered = 0; // cores overwritten from the snapshot
+  std::size_t cores_migrated = 0;  // cores re-homed (0 under restart-rank)
+  RecoveryPolicy policy = RecoveryPolicy::kAbort;
+  std::string checkpoint_path;
+  double wall_s = 0.0;             // host time the recovery action took
+};
+
+struct RecoveryOptions {
+  RecoveryPolicy policy = RecoveryPolicy::kAbort;
+  /// Re-applied to `hop_transport` after a migration so hop charges stay
+  /// aligned with the (unchanged) rank→node embedding. All three optional;
+  /// `hop_transport` is the transport the hop model lives on — the *inner*
+  /// transport when a fault decorator wraps it.
+  comm::Transport* hop_transport = nullptr;
+  const comm::TorusTopology* topology = nullptr;
+  std::vector<int> node_of_rank;
+};
+
+/// Watches a FaultInjectingTransport for rank death at tick boundaries and
+/// repairs the run per the configured policy. All referenced objects must
+/// outlive the supervisor; `model` must be the model `sim` runs and
+/// `checkpoints` the manager snapshotting that simulator.
+class RecoverySupervisor {
+ public:
+  RecoverySupervisor(RecoveryOptions options, runtime::Compass& sim,
+                     arch::Model& model, FaultInjectingTransport& transport,
+                     CheckpointManager& checkpoints);
+
+  /// Register the per-tick failure probe on the simulator, and write a
+  /// baseline snapshot when the checkpoint directory holds none yet (a
+  /// failure before the first periodic snapshot must still be survivable).
+  /// No-op under kAbort — that policy must stay bit-for-bit identical to a
+  /// run without a supervisor. Call once, before run().
+  void arm();
+
+  /// Measured comm matrix source for the migrate planner (optional; without
+  /// one the orphan redistribution degrades to lowest-rank-first).
+  void set_profile(const obs::ProfileCollector* profiler) {
+    profiler_ = profiler;
+  }
+  /// Recovery counters: compass.recoveries (counter) and
+  /// compass.recovery.ticks_lost (gauge). Series are registered lazily at
+  /// the first recovery so fault-free snapshots are unchanged.
+  void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+  void set_flight_recorder(obs::FlightRecorder* flight) { flight_ = flight; }
+
+  /// Completed recoveries, oldest first (at most one per killed rank today).
+  const std::vector<RecoveryEvent>& events() const { return events_; }
+  const RecoveryOptions& options() const { return options_; }
+
+ private:
+  void on_tick(arch::Tick tick);
+  void recover(int dead, arch::Tick tick);
+
+  RecoveryOptions options_;
+  runtime::Compass& sim_;
+  arch::Model& model_;
+  FaultInjectingTransport& transport_;
+  CheckpointManager& checkpoints_;
+  const obs::ProfileCollector* profiler_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::FlightRecorder* flight_ = nullptr;
+  bool armed_ = false;
+  bool recovered_ = false;  // one recovery per run: a rank dies once
+  std::vector<RecoveryEvent> events_;
+};
+
+}  // namespace compass::resilience

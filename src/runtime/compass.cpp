@@ -161,6 +161,26 @@ void Compass::add_trace_sink(obs::TraceSink* sink) {
   if (sink != nullptr) sinks_.push_back(sink);
 }
 
+void Compass::migrate_partition(const Partition& partition) {
+  if (partition.num_cores() != partition_.num_cores()) {
+    throw std::invalid_argument(
+        "Compass::migrate_partition: core count changed");
+  }
+  if (partition.ranks() != partition_.ranks() ||
+      partition.threads_per_rank() != partition_.threads_per_rank()) {
+    throw std::invalid_argument(
+        "Compass::migrate_partition: rank/thread shape changed (only core "
+        "ownership may move)");
+  }
+  partition_ = partition;
+}
+
+void Compass::note_recovery(const obs::RecoveryRecord& recovery) {
+  ++report_.recoveries;
+  report_.recovery_ticks_lost += recovery.ticks_lost;
+  for (obs::TraceSink* sink : sinks_) sink->on_recovery(recovery);
+}
+
 void Compass::set_metrics(obs::MetricsRegistry* metrics) {
   metrics_ = metrics;
   if (metrics_ == nullptr) return;

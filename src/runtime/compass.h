@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "arch/model.h"
@@ -78,6 +79,16 @@ struct RunReport {
   std::uint64_t faults_injected = 0;  // faulted send attempts of any kind
   std::uint64_t messages_retried = 0; // resends under the retry policy
   std::uint64_t spikes_lost = 0;      // spikes that never reached their core
+  // Rank-failure recovery totals (zero unless a recovery supervisor is
+  // armed; see src/resilience/recovery.h). A run with recoveries > 0
+  // finished in degraded mode: the recovered cores replayed from their
+  // checkpoint and the ticks in between are gone for them.
+  std::uint64_t recoveries = 0;          // completed recovery actions
+  std::uint64_t recovery_ticks_lost = 0; // sum of detection - checkpoint gaps
+  /// Fully-resolved fault plan the run executed under ("" = fault-free).
+  /// Echoed by drivers (CLI/benches) so post-mortems show what actually ran;
+  /// not checkpointed (a resumed run re-echoes its own plan).
+  std::string fault_plan;
   double host_wall_s = 0.0;          // real time the emulation took
   perf::PhaseBreakdown virtual_time; // composed parallel makespan
   /// End-of-run state of the attached metrics registry (empty when no
@@ -197,6 +208,22 @@ class Compass {
   void add_tick_callback(TickCallback cb) {
     if (cb) tick_callbacks_.push_back(std::move(cb));
   }
+
+  // --- Rank-failure recovery primitives (driven by src/resilience/) --------
+
+  /// Replace the core→rank assignment in place at a tick boundary (live
+  /// migration after a rank failure). The new partition must have the same
+  /// shape — core count, rank count, threads per rank — because transports,
+  /// the ledger, and the per-rank buffers are all sized at construction;
+  /// only *which* rank owns each core may change. Throws
+  /// std::invalid_argument on a shape mismatch. Call between steps (or from
+  /// a tick callback): mid-tick buffers index by the old owners.
+  void migrate_partition(const Partition& partition);
+
+  /// Record one completed recovery: bumps the RunReport recovery totals and
+  /// forwards the record to every attached trace sink. Metrics and flight
+  /// events stay with the supervisor, which owns the recovery's context.
+  void note_recovery(const obs::RecoveryRecord& recovery);
 
   /// Simulate one tick. Returns spikes fired this tick.
   std::uint64_t step();

@@ -1,5 +1,6 @@
-// bench_record — snapshot the hot-loop engine's before/after numbers into
-// BENCH_kernels.json (schema documented in EXPERIMENTS.md).
+// bench_record — snapshot bench numbers into provenance JSON files
+// (BENCH_kernels.json, BENCH_recovery.json; schemas documented in
+// EXPERIMENTS.md).
 //
 // Runs bench_micro_kernels once (its `...Reference` twins measure the scalar
 // engine in the same process) and bench_headline twice (--engine kernels,
@@ -16,6 +17,10 @@
 //   --out <path>        output path (default BENCH_kernels.json)
 //   --min-time <t>      forwarded as --benchmark_min_time (e.g. 0.5s)
 //   --skip-headline     record the microbenchmarks only
+//   --recovery          record the rank-failure recovery drill instead:
+//                       runs bench_recovery and writes BENCH_recovery.json
+//                       (migrate / restart-rank / restart-from-checkpoint
+//                       lost work + recovery latency)
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
@@ -128,13 +133,84 @@ std::string json_number(double v) {
   return os.str();
 }
 
+/// --recovery mode: drive bench_recovery once and wrap its per-strategy
+/// JSON lines into BENCH_recovery.json, with the headline comparison
+/// (in-run migration vs whole-job restart) called out explicitly.
+int record_recovery(const std::string& bench_dir, const std::string& out) {
+  const std::string tmp = out + ".recovery.tmp";
+  std::remove(tmp.c_str());
+  if (run_command(bench_dir + "/bench_recovery --json " + tmp +
+                  " > /dev/null") != 0) {
+    return 1;
+  }
+  struct Strategy {
+    std::string line;
+    double core_ticks_lost = 0.0;
+    double ticks_lost = 0.0;
+    double wall_s = 0.0;
+  };
+  std::map<std::string, Strategy> by_name;
+  std::istringstream lines(read_file(tmp));
+  std::string line;
+  while (std::getline(lines, line)) {
+    const auto name = raw_field(line, "strategy");
+    if (!name) continue;
+    Strategy s;
+    s.line = line;
+    s.core_ticks_lost = number_field(line, "core_ticks_lost").value_or(0.0);
+    s.ticks_lost = number_field(line, "ticks_lost").value_or(0.0);
+    s.wall_s = number_field(line, "recovery_wall_s").value_or(0.0);
+    by_name[*name] = s;
+  }
+  std::remove(tmp.c_str());
+  const auto migrate = by_name.find("migrate");
+  const auto restart = by_name.find("restart-from-checkpoint");
+  if (migrate == by_name.end() || restart == by_name.end()) {
+    std::cerr << "bench_record: bench_recovery did not report both migrate "
+                 "and restart-from-checkpoint\n";
+    return 1;
+  }
+  std::ofstream js(out);
+  if (!js) {
+    std::cerr << "bench_record: cannot write " << out << "\n";
+    return 1;
+  }
+  js << "{\n  \"schema\": \"compass.bench_recovery.v1\",\n"
+     << "  \"generator\": \"tools/bench_record\",\n"
+     << "  \"strategies\": [\n";
+  std::size_t i = 0;
+  for (const auto& [name, s] : by_name) {
+    js << "    " << s.line << (++i < by_name.size() ? ",\n" : "\n");
+  }
+  const double lost_ratio =
+      migrate->second.core_ticks_lost > 0.0
+          ? restart->second.core_ticks_lost / migrate->second.core_ticks_lost
+          : 0.0;
+  js << "  ],\n"
+     << "  \"headline\": {\"migrate_core_ticks_lost\": "
+     << json_number(migrate->second.core_ticks_lost)
+     << ", \"restart_core_ticks_lost\": "
+     << json_number(restart->second.core_ticks_lost)
+     << ", \"lost_work_ratio_restart_over_migrate\": "
+     << json_number(lost_ratio)
+     << ", \"migrate_recovery_wall_s\": "
+     << json_number(migrate->second.wall_s)
+     << ", \"restart_recovery_wall_s\": "
+     << json_number(restart->second.wall_s) << "}\n}\n";
+  std::cout << "[bench_record] wrote " << out << " (" << by_name.size()
+            << " strategies; restart loses " << json_number(lost_ratio)
+            << "x the work migrate does)\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string bench_dir = "build/bench";
-  std::string out = "BENCH_kernels.json";
+  std::string out;
   std::string min_time;
   bool headline = true;
+  bool recovery = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--bench-dir" && i + 1 < argc) {
@@ -145,12 +221,16 @@ int main(int argc, char** argv) {
       min_time = argv[++i];
     } else if (arg == "--skip-headline") {
       headline = false;
+    } else if (arg == "--recovery") {
+      recovery = true;
     } else {
       std::cerr << "usage: bench_record [--bench-dir <dir>] [--out <path>] "
-                   "[--min-time <t>] [--skip-headline]\n";
+                   "[--min-time <t>] [--skip-headline] [--recovery]\n";
       return 1;
     }
   }
+  if (out.empty()) out = recovery ? "BENCH_recovery.json" : "BENCH_kernels.json";
+  if (recovery) return record_recovery(bench_dir, out);
 
   // --- Microbenchmarks: one process measures both engines -------------------
   const std::string micro_tmp = out + ".micro.tmp";

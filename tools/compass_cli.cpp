@@ -29,6 +29,15 @@
 //                            additional ticks to simulate
 //       --fault-plan SPEC    inject transport faults (DESIGN.md grammar;
 //                            $COMPASS_FAULT_PLAN is used when absent)
+//       --recovery P         what a kill-rank fault does to the run:
+//                            abort (default, today's semantics), or survive
+//                            it by rebuilding the dead rank's cores from
+//                            the newest pre-failure checkpoint and either
+//                            reviving the rank in place (restart-rank) or
+//                            re-homing its cores onto surviving ranks,
+//                            traffic-aware when --profile-out is measuring
+//                            (migrate). Needs a checkpoint setup; a
+//                            baseline snapshot is written automatically.
 //       --spike-trace-out F  causal spike-span JSONL (fire/send/wire/recv/
 //                            ring/integrate chains for sampled spikes;
 //                            analyze with compass_prof --spans)
@@ -76,6 +85,7 @@
 #include "resilience/checkpoint.h"
 #include "resilience/checkpoint_manager.h"
 #include "resilience/fault.h"
+#include "resilience/recovery.h"
 #include "runtime/compass.h"
 #include "util/table.h"
 
@@ -111,6 +121,7 @@ struct Args {
   int checkpoint_keep = 3;
   std::string restore_path;  // checkpoint file or directory to resume from
   std::string fault_plan;    // resilience::FaultPlan spec ("" = none/env)
+  std::string recovery = "abort";  // rank-failure policy (recovery.h)
   std::string spike_trace_file;   // causal spike-span JSONL ("" = off)
   std::uint64_t spike_sample = 64;  // sample 1-in-N routed spikes
   std::string flight_file;        // flight-recorder dump path ("" = off)
@@ -170,6 +181,7 @@ void usage(std::ostream& os) {
         "              [--checkpoint-every N] [--checkpoint-dir D]\n"
         "              [--checkpoint-keep K] [--restore PATH]\n"
         "              [--fault-plan SPEC]\n"
+        "              [--recovery abort|restart-rank|migrate]\n"
         "              [--spike-trace-out spans.jsonl] [--spike-sample N]\n"
         "              [--flight-recorder dump.jsonl]\n"
         "              [--placement uniform|random|greedy-refine|\n"
@@ -283,6 +295,22 @@ std::optional<Args> parse_args(int argc, char** argv) {
       const char* v = next("--fault-plan");
       if (!v) return std::nullopt;
       args.fault_plan = v;
+    } else if (a == "--recovery" || a.rfind("--recovery=", 0) == 0) {
+      // Both spellings: `--recovery migrate` and `--recovery=migrate`.
+      if (a == "--recovery") {
+        const char* v = next("--recovery");
+        if (!v) return std::nullopt;
+        args.recovery = v;
+      } else {
+        args.recovery = a.substr(std::string("--recovery=").size());
+      }
+      if (args.recovery != "abort" && args.recovery != "restart-rank" &&
+          args.recovery != "migrate") {
+        std::cerr << "compass: --recovery must be abort, restart-rank, or "
+                     "migrate, got '"
+                  << args.recovery << "'\n";
+        return std::nullopt;
+      }
     } else if (a == "--spike-trace-out") {
       const char* v = next("--spike-trace-out");
       if (!v) return std::nullopt;
@@ -530,6 +558,15 @@ int cmd_run(const Args& args) {
     transport = faulty.get();
     std::cout << "fault plan: " << plan->to_string() << "\n";
   }
+  const resilience::RecoveryPolicy rpolicy =
+      resilience::parse_recovery_policy(args.recovery);
+  const bool want_recovery = rpolicy != resilience::RecoveryPolicy::kAbort &&
+                             faulty && plan->kill_rank >= 0;
+  if (rpolicy != resilience::RecoveryPolicy::kAbort && !want_recovery) {
+    std::cout << "recovery " << args.recovery
+              << " requested but the fault plan kills no rank; nothing to "
+                 "supervise\n";
+  }
 
   runtime::Config cfg;
   cfg.measure = !args.no_measure;
@@ -580,7 +617,10 @@ int cmd_run(const Args& args) {
   transport->set_metrics(metrics);
   sim.set_metrics(metrics);
   std::optional<obs::ProfileCollector> profiler;
-  if (!args.profile_file.empty()) {
+  // The migrate planner wants the measured comm matrix even when the user
+  // did not ask for a profile dump; collect silently in that case.
+  if (!args.profile_file.empty() ||
+      (want_recovery && rpolicy == resilience::RecoveryPolicy::kMigrate)) {
     profiler.emplace(args.ranks);
     sim.set_profile(&*profiler);
   }
@@ -621,7 +661,35 @@ int cmd_run(const Args& args) {
     sim.set_spike_tracer(&*tracer);
   }
 
-  const runtime::RunReport rep = sim.run(args.ticks);
+  std::optional<resilience::RecoverySupervisor> supervisor;
+  if (want_recovery) {
+    if (!ckpt_mgr) {
+      // Recovery restores from the checkpoint directory; without periodic
+      // snapshots the supervisor's baseline snapshot is the restore point.
+      resilience::CheckpointOptions copt;
+      copt.dir = args.checkpoint_dir;
+      copt.every = 0;
+      copt.keep = args.checkpoint_keep;
+      ckpt_mgr.emplace(copt, metrics);
+      if (flight) ckpt_mgr->set_flight_recorder(&*flight);
+    }
+    resilience::RecoveryOptions ropt;
+    ropt.policy = rpolicy;
+    if (active_placement) {
+      ropt.hop_transport = inner_transport.get();
+      ropt.topology = &*topo;
+      ropt.node_of_rank = active_placement->node_of_rank;
+    }
+    supervisor.emplace(ropt, sim, pcc.model, *faulty, *ckpt_mgr);
+    if (profiler) supervisor->set_profile(&*profiler);
+    supervisor->set_metrics(metrics);
+    if (flight) supervisor->set_flight_recorder(&*flight);
+    supervisor->arm();
+    std::cout << "recovery armed: " << args.recovery << "\n";
+  }
+
+  runtime::RunReport rep = sim.run(args.ticks);
+  if (faulty) rep.fault_plan = plan->to_string();
 
   util::Table table({"metric", "value"});
   table.row().add("ticks").add(rep.ticks);
@@ -677,9 +745,23 @@ int cmd_run(const Args& args) {
     }
   }
   if (faulty) {
+    table.row().add("fault plan").add(rep.fault_plan);
     table.row().add("faults injected").add(rep.faults_injected);
     table.row().add("messages retried").add(rep.messages_retried);
     table.row().add("spikes lost").add(rep.spikes_lost);
+  }
+  if (supervisor && !supervisor->events().empty()) {
+    const resilience::RecoveryEvent& ev = supervisor->events().back();
+    table.row()
+        .add("recovery")
+        .add(std::string(resilience::to_string(ev.policy)) + " rank " +
+             std::to_string(ev.dead_rank) + " @ tick " +
+             std::to_string(ev.detected_tick));
+    table.row().add("recoveries").add(rep.recoveries);
+    table.row().add("recovery ticks lost").add(rep.recovery_ticks_lost);
+    table.row().add("cores recovered").add(ev.cores_recovered);
+    table.row().add("cores migrated").add(ev.cores_migrated);
+    table.row().add("recovery wall (s)").add(ev.wall_s, 4);
   }
   if (ckpt_mgr) {
     table.row().add("checkpoints written").add(ckpt_mgr->stats().snapshots);
@@ -780,7 +862,7 @@ int cmd_run(const Args& args) {
     std::cout << "metrics exposition (Prometheus text) written to "
               << args.metrics_prom_file << "\n";
   }
-  if (profiler) {
+  if (profiler && !args.profile_file.empty()) {
     std::ofstream os(args.profile_file);
     if (!os) {
       std::cerr << "compass: cannot write " << args.profile_file << "\n";
