@@ -13,6 +13,7 @@
 #include "obs/metrics.h"
 #include "obs/spiketrace.h"
 #include "obs/trace.h"
+#include "obs/wallprof.h"
 #include "primitives/primitives.h"
 #include "util/prng.h"
 
@@ -35,6 +36,7 @@ struct BenchObs {
     o.metrics_out = env_or_empty("COMPASS_METRICS_OUT");
     o.profile_out = env_or_empty("COMPASS_PROFILE_OUT");
     o.spike_trace_out = env_or_empty("COMPASS_SPIKE_TRACE_OUT");
+    o.wallprof_out = env_or_empty("COMPASS_WALLPROF_OUT");
     const char* sample = std::getenv("COMPASS_SPIKE_SAMPLE");
     if (sample != nullptr && *sample != '\0') {
       const unsigned long long v = std::strtoull(sample, nullptr, 10);
@@ -47,6 +49,7 @@ struct BenchObs {
   std::optional<obs::JsonlTraceWriter> jsonl;
   std::ofstream span_os;
   std::optional<obs::JsonlSpikeSpanWriter> span_writer;
+  std::ofstream wall_os;  // wallprof summaries append across runs
   obs::ChromeTraceWriter chrome;
   bool chrome_active = false;
 
@@ -94,9 +97,11 @@ void obs_usage(std::ostream& os, const char* prog) {
   os << "usage: " << prog
      << " [--trace-out F] [--chrome-out F] [--metrics-out F]\n"
         "       [--profile-out F] [--spike-trace-out F] [--spike-sample N]\n"
+        "       [--wallprof-out F]\n"
         "  (environment fallbacks: COMPASS_TRACE_OUT, COMPASS_CHROME_OUT,\n"
         "   COMPASS_METRICS_OUT, COMPASS_PROFILE_OUT,\n"
-        "   COMPASS_SPIKE_TRACE_OUT, COMPASS_SPIKE_SAMPLE;\n"
+        "   COMPASS_SPIKE_TRACE_OUT, COMPASS_SPIKE_SAMPLE,\n"
+        "   COMPASS_WALLPROF_OUT;\n"
         "   COMPASS_BENCH_SCALE scales the model sizes)\n";
 }
 
@@ -121,6 +126,8 @@ void init_obs(int argc, char** argv) {
       dest = &o.profile_out;
     } else if (std::strcmp(a, "--spike-trace-out") == 0) {
       dest = &o.spike_trace_out;
+    } else if (std::strcmp(a, "--wallprof-out") == 0) {
+      dest = &o.wallprof_out;
     } else if (std::strcmp(a, "--spike-sample") == 0) {
       if (i + 1 >= argc) {
         std::cerr << prog << ": --spike-sample requires a value\n";
@@ -240,7 +247,23 @@ runtime::RunReport run_model(const arch::Model& model,
     collector.emplace(partition.ranks());
     sim.set_profile(&*collector);
   }
+  // Like the span writer, the wallprof sink is process-wide (summaries
+  // append across runs) while the profiler is per-run: each run may use a
+  // different rank count, and the profiler's epoch must start at this run.
+  std::optional<obs::WallProfiler> wallprof;
+  if (!b.options.wallprof_out.empty()) {
+    if (!b.wall_os.is_open()) b.wall_os.open(b.options.wallprof_out);
+    if (b.wall_os) {
+      wallprof.emplace(partition.ranks());
+      wallprof->set_sink(&b.wall_os);
+      sim.set_wall_profiler(&*wallprof);
+    }
+  }
   runtime::RunReport rep = sim.run(ticks);
+  if (wallprof) {
+    wallprof->write_summary();
+    b.wall_os.flush();
+  }
   if (collector && !profile_out.empty()) {
     std::ofstream os(profile_out);
     if (os) obs::write_profile_json(os, *rep.profile, collector->comm_matrix());

@@ -42,11 +42,16 @@ struct ObsOptions {
                                     // across the process's runs)
   std::uint64_t spike_sample = 64;  // 1-in-N spike sampling
                                     // ($COMPASS_SPIKE_SAMPLE)
+  std::string wallprof_out;         // host wall-clock profile JSONL
+                                    // ($COMPASS_WALLPROF_OUT; one wallprof
+                                    // summary record appended per run, so a
+                                    // multi-run bench yields one line per
+                                    // measured configuration)
 };
 
 /// Parse the observability flags (--trace-out / --chrome-out /
-/// --metrics-out / --profile-out / --spike-trace-out / --spike-sample) from
-/// a bench's argv. Strict: an unknown flag or a stray positional argument
+/// --metrics-out / --profile-out / --spike-trace-out / --spike-sample /
+/// --wallprof-out) from a bench's argv. Strict: an unknown flag or a stray positional argument
 /// prints usage and exits 1 — a typo'd flag must not silently run the bench
 /// without its outputs. Call once, before the first run_model().
 void init_obs(int argc, char** argv);

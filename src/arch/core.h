@@ -86,6 +86,7 @@ class NeurosynapticCore {
     if (!active.any()) return activity;
     if (stoch_syn_mask_.any() ||
         kernels::engine() == kernels::Engine::kReference) {
+      kernels::note_dispatch(kernels::DispatchPath::kSynapseScalar);
       return synapse_scalar(active);
     }
     const std::uint64_t estimated_events =
@@ -94,6 +95,7 @@ class NeurosynapticCore {
     // firing_types >= 1 whenever any axon is active, so this cheap bound
     // rejects sparse ticks before paying for the per-type census.
     if (estimated_events < kernels::kBitParallelMinEventsPerFiringType) {
+      kernels::note_dispatch(kernels::DispatchPath::kSynapseScalar);
       return synapse_scalar(active);
     }
     std::uint64_t firing_types = 0;
@@ -104,8 +106,10 @@ class NeurosynapticCore {
     }
     if (estimated_events <
         firing_types * kernels::kBitParallelMinEventsPerFiringType) {
+      kernels::note_dispatch(kernels::DispatchPath::kSynapseScalar);
       return synapse_scalar(active);
     }
+    kernels::note_dispatch(kernels::DispatchPath::kSynapseBitParallel);
     const kernels::SynapseStats stats = kernels::synapse_phase_bitparallel(
         active, type_mask_, crossbar_.cols(), weight_, accum_);
     activity.active_axons = stats.active_axons;
@@ -137,12 +141,15 @@ class NeurosynapticCore {
   template <typename Sink>
   int neuron_phase(Tick t, Sink&& emit) {
     if (kernels::engine() == kernels::Engine::kReference) {
+      kernels::note_dispatch(kernels::DispatchPath::kNeuronScalar);
       return neuron_phase_reference(t, std::forward<Sink>(emit));
     }
     if (stoch_nrn_mask_.any()) {
       (void)t;
+      kernels::note_dispatch(kernels::DispatchPath::kNeuronStochSoa);
       return neuron_phase_stoch_soa(std::forward<Sink>(emit));
     }
+    kernels::note_dispatch(kernels::DispatchPath::kNeuronFast);
     const util::Bits256 fired = kernels::neuron_phase_fast(
         potential_, accum_, leak_, threshold_, reset_, floor_, reset_mode_);
     int count = 0;

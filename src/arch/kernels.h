@@ -20,6 +20,7 @@
 
 #include <array>
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 
 #include "arch/neuron.h"
@@ -47,6 +48,65 @@ inline Engine engine() noexcept {
 }
 inline void set_engine(Engine e) noexcept {
   detail::g_engine.store(e, std::memory_order_relaxed);
+}
+
+// --- Dispatch counters (observability hook) ---------------------------------
+
+/// Which hot-loop path a phase execution took. The wall-clock profiler
+/// (src/obs/wallprof) attributes host time per phase; these counters say
+/// which implementation earned it, so "synapse wall went up" separates into
+/// "the kernel got slower" vs "the dispatcher started taking the scalar
+/// walk".
+enum class DispatchPath : std::uint8_t {
+  kSynapseBitParallel = 0,
+  kSynapseScalar,
+  kNeuronFast,
+  kNeuronStochSoa,
+  kNeuronScalar,
+};
+
+/// Snapshot of per-path execution counts since process start (monotone;
+/// consumers diff snapshots).
+struct DispatchCounters {
+  std::uint64_t synapse_bitparallel = 0;
+  std::uint64_t synapse_scalar = 0;
+  std::uint64_t neuron_fast = 0;
+  std::uint64_t neuron_stoch_soa = 0;
+  std::uint64_t neuron_scalar = 0;
+};
+
+namespace detail {
+// Gate first: with counting off (the default) a dispatch site costs one
+// relaxed load and a predictable branch. All relaxed — these are statistics,
+// not synchronization.
+inline std::atomic<bool> g_count_dispatch{false};
+inline std::atomic<std::uint64_t> g_dispatch[5]{};
+}  // namespace detail
+
+inline void set_dispatch_counting(bool on) noexcept {
+  detail::g_count_dispatch.store(on, std::memory_order_relaxed);
+}
+inline bool dispatch_counting() noexcept {
+  return detail::g_count_dispatch.load(std::memory_order_relaxed);
+}
+
+/// Dispatch sites call this on the path they chose. Safe from the parallel
+/// rank loop (relaxed atomic increment).
+inline void note_dispatch(DispatchPath path) noexcept {
+  if (!detail::g_count_dispatch.load(std::memory_order_relaxed)) return;
+  detail::g_dispatch[static_cast<std::size_t>(path)].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+inline DispatchCounters dispatch_counters() noexcept {
+  DispatchCounters c;
+  c.synapse_bitparallel =
+      detail::g_dispatch[0].load(std::memory_order_relaxed);
+  c.synapse_scalar = detail::g_dispatch[1].load(std::memory_order_relaxed);
+  c.neuron_fast = detail::g_dispatch[2].load(std::memory_order_relaxed);
+  c.neuron_stoch_soa = detail::g_dispatch[3].load(std::memory_order_relaxed);
+  c.neuron_scalar = detail::g_dispatch[4].load(std::memory_order_relaxed);
+  return c;
 }
 
 /// The scalar row walk costs O(traversed bits) while the bit-parallel

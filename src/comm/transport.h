@@ -30,6 +30,7 @@
 #include "obs/flightrec.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
+#include "obs/wallprof.h"
 
 namespace compass::comm {
 
@@ -151,6 +152,16 @@ class Transport {
     flight_ = flight;
   }
 
+  /// Attach the host wall-clock profiler (src/obs/wallprof.h): exchange()
+  /// then brackets its completion step with monotonic-clock reads and
+  /// records the host time as the global kExchange phase. The transport
+  /// owns this recording (not the runtime) so decorated transports are
+  /// timed where the work happens. Detached costs one pointer test per
+  /// exchange. Virtual for decorator forwarding.
+  virtual void set_wall_profiler(obs::WallProfiler* wall) {
+    wall_prof_ = wall;
+  }
+
   /// Attach a torus topology: point-to-point sends are then charged
   /// hops(node(src), node(dst)) x hop_latency on top of the flat overheads
   /// (section I use case (c): benchmarking communication topologies). The
@@ -245,6 +256,7 @@ class Transport {
   std::vector<RankCommStats> rank_stats_;
   std::vector<double> send_s_, sync_s_, recv_s_;
   obs::FlightRecorder* flight_ = nullptr;
+  obs::WallProfiler* wall_prof_ = nullptr;
 
  private:
   const TorusTopology* topology_ = nullptr;

@@ -126,6 +126,11 @@ std::string CheckpointManager::write_unguarded(const runtime::Compass& sim,
   for (const std::string& p : written_) known = known || p == path;
   if (!known) written_.push_back(path);
   prune();
+  if (wall_ != nullptr) {
+    // The whole snapshot (capture + write + prune) charged as one
+    // kCheckpoint observation; sw covers capture+write, re-read for prune.
+    wall_->record_global(obs::WallPhase::kCheckpoint, sw.elapsed_s());
+  }
   return path;
 }
 

@@ -13,6 +13,7 @@
 
 #include "obs/flightrec.h"
 #include "obs/metrics.h"
+#include "obs/wallprof.h"
 #include "resilience/checkpoint.h"
 
 namespace compass::resilience {
@@ -43,6 +44,10 @@ class CheckpointManager {
   /// machine track, and a CheckpointError triggers a post-mortem dump
   /// ("checkpoint-error") before the exception propagates.
   void set_flight_recorder(obs::FlightRecorder* flight) { flight_ = flight; }
+
+  /// Attach the host wall-clock profiler: each snapshot's capture+write+prune
+  /// wall time is then recorded as the global kCheckpoint phase.
+  void set_wall_profiler(obs::WallProfiler* wall) { wall_ = wall; }
 
   /// Register the periodic tick callback on `sim`. `sim` and `model` must
   /// outlive the manager; no-op scheduling when options.every == 0.
@@ -85,6 +90,7 @@ class CheckpointManager {
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::MetricsRegistry::Id m_snapshots_ = 0, m_bytes_ = 0, m_write_s_ = 0;
   obs::FlightRecorder* flight_ = nullptr;
+  obs::WallProfiler* wall_ = nullptr;
 };
 
 }  // namespace compass::resilience

@@ -179,6 +179,12 @@ class FaultInjectingTransport final : public comm::Transport {
     inner_.set_flight_recorder(flight);
   }
 
+  /// Forward only: the wrapped transport's exchange() does the real
+  /// completion work, so it owns the kExchange wall bracket.
+  void set_wall_profiler(obs::WallProfiler* wall) override {
+    inner_.set_wall_profiler(wall);
+  }
+
   /// Align the kill-tick clock after a checkpoint restore (mirrors
   /// Compass::set_start_tick; call before the first post-restore tick).
   void set_start_tick(arch::Tick tick) {

@@ -122,6 +122,9 @@ void RecoverySupervisor::recover(int dead, arch::Tick tick) {
   event.policy = options_.policy;
   event.checkpoint_path = path;
   event.wall_s = sw.elapsed_s();
+  if (wall_ != nullptr) {
+    wall_->record_global(obs::WallPhase::kRecovery, event.wall_s);
+  }
 
   obs::RecoveryRecord rec;
   rec.tick = tick;

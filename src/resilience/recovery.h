@@ -132,6 +132,10 @@ class RecoverySupervisor {
   /// the first recovery so fault-free snapshots are unchanged.
   void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
   void set_flight_recorder(obs::FlightRecorder* flight) { flight_ = flight; }
+  /// Attach the host wall-clock profiler: each completed recovery's wall
+  /// time (detection → migrated + replayed) is recorded as the global
+  /// kRecovery phase.
+  void set_wall_profiler(obs::WallProfiler* wall) { wall_ = wall; }
 
   /// Completed recoveries, oldest first (at most one per killed rank today).
   const std::vector<RecoveryEvent>& events() const { return events_; }
@@ -149,6 +153,7 @@ class RecoverySupervisor {
   const obs::ProfileCollector* profiler_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::FlightRecorder* flight_ = nullptr;
+  obs::WallProfiler* wall_ = nullptr;
   bool armed_ = false;
   bool recovered_ = false;  // one recovery per run: a rank dies once
   std::vector<RecoveryEvent> events_;

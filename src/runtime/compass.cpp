@@ -38,6 +38,7 @@ std::uint64_t Compass::step() {
     flight_->record(-1, obs::FlightEventKind::kPhase, "tick_begin", -1, tick_);
   }
   if (tracer_ != nullptr) tracer_->begin_tick(tick_);
+  if (wall_ != nullptr) wall_->begin_tick();
   transport_.begin_tick();
   auto& scratch = ledger_.tick_scratch();
   tick_fired_ = 0;
@@ -112,6 +113,20 @@ std::uint64_t Compass::step() {
   // must run before commit_tick() resets the scratch.
   if (!sinks_.empty()) emit_trace_spans(scratch);
   if (profile_ != nullptr) profile_->record_rank_times(scratch);
+  if (wall_ != nullptr) {
+    // Feed the modelled (virtual) per-rank phase seconds next to the wall
+    // brackets recorded above — the two axes compass_prof --wall divides.
+    for (int rank = 0; rank < num_ranks; ++rank) {
+      const perf::RankTickTimes& rt = scratch[static_cast<std::size_t>(rank)];
+      wall_->add_virtual(rank, obs::WallPhase::kSynapse, rt.synapse);
+      wall_->add_virtual(rank, obs::WallPhase::kNeuron,
+                         rt.neuron + rt.aggregate);
+      wall_->add_virtual(rank, obs::WallPhase::kSend, rt.send);
+      wall_->add_virtual(rank, obs::WallPhase::kExchange, rt.sync);
+      wall_->add_virtual(rank, obs::WallPhase::kNetwork,
+                         rt.local_deliver + rt.remote_deliver + rt.recv);
+    }
+  }
   perf::TickAttribution attribution;
   const perf::PhaseBreakdown composed =
       ledger_.commit_tick(profile_ != nullptr ? &attribution : nullptr);
@@ -148,6 +163,10 @@ std::uint64_t Compass::step() {
     flight_->record(-1, obs::FlightEventKind::kPhase, "tick_end", -1, tick_,
                     tick_fired_);
   }
+  // Before the callbacks: checkpoint/progress callbacks then see the tick as
+  // retired, and a checkpoint's wall cost lands in the *next* tick's window
+  // delta (the rate estimate stays causal).
+  if (wall_ != nullptr) wall_->end_tick(tick_);
 
   ++tick_;
   ++report_.ticks;
@@ -207,6 +226,19 @@ void Compass::set_spike_tracer(obs::SpikeTracer* tracer) {
 void Compass::set_flight_recorder(obs::FlightRecorder* flight) {
   flight_ = flight;
   if (flight != nullptr) transport_.set_flight_recorder(flight);
+}
+
+void Compass::set_wall_profiler(obs::WallProfiler* wall) {
+  if (wall != nullptr && wall->ranks() != partition_.ranks()) {
+    throw std::invalid_argument(
+        "Compass: wall profiler rank count does not match partition");
+  }
+  wall_ = wall;
+  transport_.set_wall_profiler(wall);
+  if (wall != nullptr && wall->options().count_kernel_dispatch) {
+    arch::kernels::set_dispatch_counting(true);
+    wall_kernel_base_ = arch::kernels::dispatch_counters();
+  }
 }
 
 void Compass::set_profile(obs::ProfileCollector* profiler) {
@@ -284,6 +316,21 @@ RunReport Compass::run(arch::Tick ticks) {
   for (arch::Tick i = 0; i < ticks; ++i) step();
   report_.host_wall_s += wall.elapsed_s();
   report_.virtual_time = ledger_.totals();
+  if (wall_ != nullptr && wall_->options().count_kernel_dispatch) {
+    // Delta since the profiler attached (overwrite, not accumulate — the
+    // baseline is fixed, so repeated run() calls stay correct).
+    const arch::kernels::DispatchCounters now =
+        arch::kernels::dispatch_counters();
+    obs::KernelDispatchCounts delta;
+    delta.synapse_bitparallel =
+        now.synapse_bitparallel - wall_kernel_base_.synapse_bitparallel;
+    delta.synapse_scalar = now.synapse_scalar - wall_kernel_base_.synapse_scalar;
+    delta.neuron_fast = now.neuron_fast - wall_kernel_base_.neuron_fast;
+    delta.neuron_stoch_soa =
+        now.neuron_stoch_soa - wall_kernel_base_.neuron_stoch_soa;
+    delta.neuron_scalar = now.neuron_scalar - wall_kernel_base_.neuron_scalar;
+    wall_->note_kernel_counts(delta);
+  }
   transport_.flush_metrics();  // publish the final tick's comm counters
   if (metrics_ != nullptr) report_.metrics = metrics_->snapshot();
   if (profile_ != nullptr) {
@@ -308,6 +355,13 @@ void Compass::compute_phases(int rank, perf::RankTickTimes& rt) {
 
   RankCounters& counters = counters_[static_cast<std::size_t>(rank)];
 
+  // Host wall brackets around the same regions the CPU stopwatch measures.
+  // Safe under the parallel rank loop: record() touches only this rank's
+  // slots. One shared read reused across the synapse/neuron boundary keeps
+  // it at one clock call per phase.
+  const bool wall_on = wall_ != nullptr;
+  double wall_t0 = wall_on ? util::monotonic_seconds() : 0.0;
+
   // Synapse phase for every thread's cores.
   if (config_.measure) sw.restart();
   for (int t = 0; t < threads; ++t) {
@@ -317,6 +371,11 @@ void Compass::compute_phases(int rank, perf::RankTickTimes& rt) {
     }
   }
   if (config_.measure) rt.synapse = sw.elapsed_s() * inv_threads;
+  if (wall_on) {
+    const double wall_t1 = util::monotonic_seconds();
+    wall_->record(rank, obs::WallPhase::kSynapse, wall_t1 - wall_t0);
+    wall_t0 = wall_t1;
+  }
 
   // Neuron phase: integrate-leak-fire, routing spikes to the thread-local
   // buffers exactly as Listing 1 does (localBuf[threadID] /
@@ -349,6 +408,10 @@ void Compass::compute_phases(int rank, perf::RankTickTimes& rt) {
     counters.fired += fired_in_thread;
   }
   if (config_.measure) rt.neuron = sw.elapsed_s() * inv_threads;
+  if (wall_on) {
+    wall_->record(rank, obs::WallPhase::kNeuron,
+                  util::monotonic_seconds() - wall_t0);
+  }
 }
 
 void Compass::send_phase(int rank, perf::RankTickTimes& rt) {
@@ -357,6 +420,7 @@ void Compass::send_phase(int rank, perf::RankTickTimes& rt) {
   const int ranks = partition_.ranks();
   util::CpuStopwatch sw;
   double aggregate_s = 0.0;
+  const double wall_t0 = wall_ != nullptr ? util::monotonic_seconds() : 0.0;
 
   if (transport_.one_sided()) {
     // One-sided path: no master-thread aggregation; each thread's buffer is
@@ -414,12 +478,17 @@ void Compass::send_phase(int rank, perf::RankTickTimes& rt) {
 
   rt.aggregate = aggregate_s;
   rt.send = transport_.send_time(rank);
+  if (wall_ != nullptr) {
+    wall_->record(rank, obs::WallPhase::kSend,
+                  util::monotonic_seconds() - wall_t0);
+  }
 }
 
 void Compass::network_phase(int rank, perf::RankTickTimes& rt) {
   const std::size_t r = static_cast<std::size_t>(rank);
   const int threads = partition_.threads_per_rank();
   util::CpuStopwatch sw;
+  const double wall_t0 = wall_ != nullptr ? util::monotonic_seconds() : 0.0;
 
   rt.sync = transport_.sync_time(rank);
 
@@ -459,6 +528,10 @@ void Compass::network_phase(int rank, perf::RankTickTimes& rt) {
                         static_cast<double>(threads);
   }
   rt.recv = transport_.recv_time(rank);
+  if (wall_ != nullptr) {
+    wall_->record(rank, obs::WallPhase::kNetwork,
+                  util::monotonic_seconds() - wall_t0);
+  }
 }
 
 }  // namespace compass::runtime

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "arch/kernels.h"
 #include "arch/model.h"
 #include "arch/spike.h"
 #include "comm/transport.h"
@@ -33,6 +34,7 @@
 #include "obs/profile.h"
 #include "obs/spiketrace.h"
 #include "obs/trace.h"
+#include "obs/wallprof.h"
 #include "perf/ledger.h"
 #include "runtime/partition.h"
 #include "util/stopwatch.h"
@@ -166,6 +168,18 @@ class Compass {
   /// nullptr to detach (the transport keeps its own attachment).
   void set_flight_recorder(obs::FlightRecorder* flight);
 
+  /// Attach the host wall-clock profiler (src/obs/wallprof.h): every tick
+  /// then brackets the per-rank synapse/neuron/send/network phases with
+  /// monotonic-clock reads, feeds the modelled virtual phase times alongside
+  /// them (the divergence compass_prof --wall reports), and advances the
+  /// tick-rate/RSS/heartbeat machinery. The profiler is also handed to the
+  /// transport, which owns the exchange bracket. Must match the partition's
+  /// rank count (throws std::invalid_argument). Wall records ride the
+  /// profiler's own sink, so traces, metrics-as-trace, and checkpoints are
+  /// untouched. Pass nullptr to detach; detached costs one pointer test per
+  /// instrumented site.
+  void set_wall_profiler(obs::WallProfiler* wall);
+
   /// Attach a profiler (src/obs/profile.h): every tick then accumulates
   /// per-rank phase times, critical-rank attribution, overlap legs, and the
   /// per-(src, dst) comm matrix (the transport's send path is pointed at the
@@ -282,6 +296,11 @@ class Compass {
   obs::ProfileCollector* profile_ = nullptr;
   obs::SpikeTracer* tracer_ = nullptr;
   obs::FlightRecorder* flight_ = nullptr;
+  obs::WallProfiler* wall_ = nullptr;
+  // Dispatch-counter snapshot taken when the wall profiler attaches; run()
+  // reports the delta so a profiled run's kernel mix excludes earlier runs
+  // in the same process.
+  arch::kernels::DispatchCounters wall_kernel_base_{};
   struct MetricIds {
     obs::MetricsRegistry::Id ticks, fired, routed, local, remote,
         synaptic_events, h_fired, h_messages, h_bytes, g_virtual_s;

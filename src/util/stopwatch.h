@@ -31,6 +31,16 @@ class CpuStopwatch {
   double start_;
 };
 
+/// Monotonic wall-clock reading in seconds (steady_clock epoch). The host
+/// wall-clock profiler brackets phases with two of these; keeping it a free
+/// function lets instrumented sites guard the read behind one pointer test
+/// instead of constructing a Stopwatch unconditionally.
+inline double monotonic_seconds() noexcept {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 /// Simple monotonic stopwatch; resolution of steady_clock (~20 ns here).
 class Stopwatch {
  public:

@@ -1,6 +1,6 @@
 // bench_record — snapshot bench numbers into provenance JSON files
-// (BENCH_kernels.json, BENCH_recovery.json; schemas documented in
-// EXPERIMENTS.md).
+// (BENCH_kernels.json, BENCH_recovery.json, BENCH_wall.json; schemas
+// documented in EXPERIMENTS.md).
 //
 // Runs bench_micro_kernels once (its `...Reference` twins measure the scalar
 // engine in the same process) and bench_headline twice (--engine kernels,
@@ -11,16 +11,29 @@
 //
 //   ./build/tools/bench_record --bench-dir build/bench --out BENCH_kernels.json
 //
+// Every output carries a "provenance" object (git SHA, hostname, CPU count,
+// OMP_NUM_THREADS, engine) so bench_trend can line snapshots up across PRs
+// and machines. Key ordering is stable (std::map / fixed emit order), so
+// regenerating on the same machine diffs cleanly.
+//
 // Flags:
 //   --bench-dir <dir>   directory holding the bench binaries (default
 //                       build/bench)
-//   --out <path>        output path (default BENCH_kernels.json)
+//   --out <path>        output path (default depends on the mode)
 //   --min-time <t>      forwarded as --benchmark_min_time (e.g. 0.5s)
 //   --skip-headline     record the microbenchmarks only
 //   --recovery          record the rank-failure recovery drill instead:
 //                       runs bench_recovery and writes BENCH_recovery.json
 //                       (migrate / restart-rank / restart-from-checkpoint
 //                       lost work + recovery latency)
+//   --wall              record the host wall-clock profile instead: runs
+//                       bench_headline once with --wallprof-out attached and
+//                       writes BENCH_wall.json (ticks/s, per-phase host
+//                       seconds, RSS, measured instrumentation overhead)
+//   --engine <e>        with --wall: engine for the profiled run
+//                       (kernels | reference; default kernels)
+#include <unistd.h>
+
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
@@ -30,6 +43,7 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace {
@@ -133,6 +147,128 @@ std::string json_number(double v) {
   return os.str();
 }
 
+/// First line of `cmd`'s stdout, trailing newline stripped; "" on failure.
+std::string shell_capture(const char* cmd) {
+  std::string out;
+  FILE* p = ::popen(cmd, "r");
+  if (p == nullptr) return out;
+  char buf[256];
+  while (std::fgets(buf, sizeof buf, p) != nullptr) out += buf;
+  ::pclose(p);
+  const std::size_t nl = out.find('\n');
+  if (nl != std::string::npos) out.resize(nl);
+  return out;
+}
+
+/// Machine/source provenance stamped into every snapshot so bench_trend can
+/// tell "regression" from "different machine" when lining files up.
+std::string provenance_json(const std::string& engine) {
+  std::string sha = shell_capture("git rev-parse HEAD 2>/dev/null");
+  if (sha.empty()) sha = "unknown";
+  char host[256] = {};
+  if (::gethostname(host, sizeof host - 1) != 0) {
+    std::snprintf(host, sizeof host, "unknown");
+  }
+  const char* omp_env = std::getenv("OMP_NUM_THREADS");
+  std::ostringstream os;
+  os << "{\"git_sha\": \"" << sha << "\", \"host\": \"" << host
+     << "\", \"cpus\": " << std::thread::hardware_concurrency()
+     << ", \"omp_num_threads\": \"" << (omp_env != nullptr ? omp_env : "")
+     << "\"";
+  if (!engine.empty()) os << ", \"engine\": \"" << engine << "\"";
+  os << "}";
+  return os.str();
+}
+
+/// --wall mode: one profiled bench_headline run — the wallprof summary the
+/// run appends to --wallprof-out is the measurement; BENCH_wall.json keeps
+/// the host-facing subset (throughput, per-phase wall seconds, RSS, and the
+/// instrumentation's own measured cost).
+int record_wall(const std::string& bench_dir, const std::string& out,
+                const std::string& engine) {
+  const std::string head_tmp = out + ".headline.tmp";
+  const std::string wall_tmp = out + ".wallprof.tmp";
+  std::remove(head_tmp.c_str());
+  std::remove(wall_tmp.c_str());
+  if (run_command(bench_dir + "/bench_headline --engine " + engine +
+                  " --json " + head_tmp + " --wallprof-out " + wall_tmp +
+                  " > /dev/null") != 0) {
+    return 1;
+  }
+  const std::string head = read_file(head_tmp);
+  std::remove(head_tmp.c_str());
+
+  // Last wallprof summary line wins (a multi-run bench appends one per run).
+  std::string wline;
+  {
+    std::istringstream lines(read_file(wall_tmp));
+    std::string line;
+    while (std::getline(lines, line)) {
+      if (line.find("\"type\":\"wallprof\"") != std::string::npos) {
+        wline = line;
+      }
+    }
+  }
+  std::remove(wall_tmp.c_str());
+  if (wline.empty()) {
+    std::cerr << "bench_record: bench_headline produced no wallprof summary "
+                 "(is --wallprof-out wired through bench/common?)\n";
+    return 1;
+  }
+
+  const double wall_s = number_field(wline, "wall_s").value_or(0.0);
+  const double overhead_s = number_field(wline, "overhead_s").value_or(0.0);
+  if (wall_s <= 0.0) {
+    std::cerr << "bench_record: wallprof summary has no wall_s\n";
+    return 1;
+  }
+  std::ofstream js(out);
+  if (!js) {
+    std::cerr << "bench_record: cannot write " << out << "\n";
+    return 1;
+  }
+  js << "{\n  \"schema\": \"compass.bench_wall.v1\",\n"
+     << "  \"generator\": \"tools/bench_record\",\n"
+     << "  \"provenance\": " << provenance_json(engine) << ",\n"
+     << "  \"headline\": {\"cores\": "
+     << json_number(number_field(head, "cores").value_or(0.0))
+     << ", \"ticks\": " << json_number(number_field(head, "ticks").value_or(0.0))
+     << ", \"host_wall_s\": "
+     << json_number(number_field(head, "host_wall_s").value_or(0.0))
+     << ", \"virtual_s\": "
+     << json_number(number_field(head, "virtual_s").value_or(0.0)) << "},\n"
+     << "  \"wall\": {\"ranks\": "
+     << json_number(number_field(wline, "ranks").value_or(0.0))
+     << ", \"wall_s\": " << json_number(wall_s)
+     << ", \"ticks_per_second\": "
+     << json_number(number_field(wline, "ticks_per_second").value_or(0.0))
+     << ", \"overhead_s\": " << json_number(overhead_s)
+     << ", \"overhead_pct\": " << json_number(100.0 * overhead_s / wall_s)
+     << ", \"timer_ops\": "
+     << json_number(number_field(wline, "timer_ops").value_or(0.0))
+     << ", \"rss_bytes\": "
+     << json_number(number_field(wline, "rss_bytes").value_or(0.0))
+     << ", \"peak_rss_bytes\": "
+     << json_number(number_field(wline, "peak_rss_bytes").value_or(0.0))
+     << "},\n"
+     << "  \"phase_wall_s\": {";
+  const char* phases[] = {"synapse",  "neuron",   "send",       "exchange",
+                          "network",  "checkpoint", "recovery", "pcc_compile"};
+  bool first = true;
+  for (const char* phase : phases) {
+    const auto v = number_field(wline, std::string(phase) + "_wall_s");
+    if (!v) continue;
+    js << (first ? "" : ", ") << "\"" << phase << "\": " << json_number(*v);
+    first = false;
+  }
+  js << "}\n}\n";
+  std::cout << "[bench_record] wrote " << out << " ("
+            << json_number(number_field(wline, "ticks_per_second").value_or(0.0))
+            << " ticks/s, overhead "
+            << json_number(100.0 * overhead_s / wall_s) << "%)\n";
+  return 0;
+}
+
 /// --recovery mode: drive bench_recovery once and wrap its per-strategy
 /// JSON lines into BENCH_recovery.json, with the headline comparison
 /// (in-run migration vs whole-job restart) called out explicitly.
@@ -175,8 +311,9 @@ int record_recovery(const std::string& bench_dir, const std::string& out) {
     std::cerr << "bench_record: cannot write " << out << "\n";
     return 1;
   }
-  js << "{\n  \"schema\": \"compass.bench_recovery.v1\",\n"
+  js << "{\n  \"schema\": \"compass.bench_recovery.v2\",\n"
      << "  \"generator\": \"tools/bench_record\",\n"
+     << "  \"provenance\": " << provenance_json("") << ",\n"
      << "  \"strategies\": [\n";
   std::size_t i = 0;
   for (const auto& [name, s] : by_name) {
@@ -209,8 +346,10 @@ int main(int argc, char** argv) {
   std::string bench_dir = "build/bench";
   std::string out;
   std::string min_time;
+  std::string engine = "kernels";
   bool headline = true;
   bool recovery = false;
+  bool wall = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--bench-dir" && i + 1 < argc) {
@@ -219,18 +358,35 @@ int main(int argc, char** argv) {
       out = argv[++i];
     } else if (arg == "--min-time" && i + 1 < argc) {
       min_time = argv[++i];
+    } else if (arg == "--engine" && i + 1 < argc) {
+      engine = argv[++i];
     } else if (arg == "--skip-headline") {
       headline = false;
     } else if (arg == "--recovery") {
       recovery = true;
+    } else if (arg == "--wall") {
+      wall = true;
     } else {
       std::cerr << "usage: bench_record [--bench-dir <dir>] [--out <path>] "
-                   "[--min-time <t>] [--skip-headline] [--recovery]\n";
+                   "[--min-time <t>] [--skip-headline] [--recovery] [--wall] "
+                   "[--engine kernels|reference]\n";
       return 1;
     }
   }
-  if (out.empty()) out = recovery ? "BENCH_recovery.json" : "BENCH_kernels.json";
+  if (recovery && wall) {
+    std::cerr << "bench_record: --recovery and --wall are exclusive\n";
+    return 1;
+  }
+  if (engine != "kernels" && engine != "reference") {
+    std::cerr << "bench_record: --engine must be 'kernels' or 'reference'\n";
+    return 1;
+  }
+  if (out.empty()) {
+    out = recovery ? "BENCH_recovery.json"
+                   : (wall ? "BENCH_wall.json" : "BENCH_kernels.json");
+  }
   if (recovery) return record_recovery(bench_dir, out);
+  if (wall) return record_wall(bench_dir, out, engine);
 
   // --- Microbenchmarks: one process measures both engines -------------------
   const std::string micro_tmp = out + ".micro.tmp";
@@ -314,8 +470,9 @@ int main(int argc, char** argv) {
     std::cerr << "bench_record: cannot write " << out << "\n";
     return 1;
   }
-  js << "{\n  \"schema\": \"compass.bench_kernels.v1\",\n"
+  js << "{\n  \"schema\": \"compass.bench_kernels.v2\",\n"
      << "  \"generator\": \"tools/bench_record\",\n"
+     << "  \"provenance\": " << provenance_json("") << ",\n"
      << "  \"micro\": [\n";
   for (std::size_t i = 0; i < pairs.size(); ++i) {
     const Pair& p = pairs[i];

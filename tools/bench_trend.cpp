@@ -1,0 +1,391 @@
+// bench_trend — cross-PR benchmark trajectory and perf-regression gate.
+//
+//   bench_trend [BENCH_*.json ...] [--history BENCH_history.jsonl]
+//               [--append] [--check] [--tolerance PCT]
+//
+// Reads the BENCH snapshot files bench_record writes (BENCH_kernels.json,
+// BENCH_recovery.json, BENCH_wall.json — the defaults, skipping any that
+// do not exist), reduces each to a small set of named metrics, and prints
+// them next to the append-only history in BENCH_history.jsonl: one line per
+// recorded snapshot-set, oldest first, so the table reads as the repo's
+// performance trajectory across PRs.
+//
+//   --append          append the current metrics as a new history line
+//                     (stamped with the provenance of the first file that
+//                     carries one) — run after regenerating the BENCH files
+//   --check           compare current metrics against the most recent
+//                     history entry; a *directional* metric that moved the
+//                     wrong way by more than --tolerance fails the gate
+//                     (exit 3). Info-only metrics (host-dependent absolute
+//                     times, RSS) never gate.
+//   --tolerance PCT   allowed relative slip for --check (default 10)
+//   --history F       history file (default BENCH_history.jsonl)
+//
+// Directional metrics: kernels.headline_speedup and
+// kernels.micro_geomean_speedup (higher is better — engine-relative, so
+// machine speed cancels out), wall.ticks_per_second (higher is better),
+// wall.overhead_pct (lower is better — instrumentation cost relative to the
+// run it measures). Absolute wall seconds and RSS are recorded but never
+// gated: they move with the recording machine, not with the code.
+//
+// Accepts both v1 snapshots (no provenance object) and v2+; unknown
+// schemas in the file list are an error, unreadable files exit 2.
+//
+// Exit codes: 0 ok, 1 usage error, 2 unreadable/malformed input,
+// 3 regression detected by --check.
+#include <cmath>
+#include <cstdint>
+#include <ctime>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <sys/stat.h>
+#include <vector>
+
+#include "obs/jsonv.h"
+
+namespace {
+
+using compass::obs::jsonv::JsonParser;
+using compass::obs::jsonv::JsonValue;
+
+/// -1: lower is better, +1: higher is better, 0: recorded but never gated.
+int metric_direction(const std::string& name) {
+  if (name == "kernels.headline_speedup") return 1;
+  if (name == "kernels.micro_geomean_speedup") return 1;
+  if (name == "wall.ticks_per_second") return 1;
+  if (name == "wall.overhead_pct") return -1;
+  return 0;
+}
+
+struct Snapshot {
+  std::map<std::string, double> metrics;  // stable iteration order
+  std::string git_sha;
+  std::string host;
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+bool file_exists(const std::string& path) {
+  struct stat st {};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+double num_or(const JsonValue& obj, const char* key, double fallback) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr || v->kind != JsonValue::Kind::kNumber) return fallback;
+  return v->number;
+}
+
+void take_provenance(const JsonValue& root, Snapshot& snap) {
+  const JsonValue* prov = root.find("provenance");
+  if (prov == nullptr || prov->kind != JsonValue::Kind::kObject) return;
+  const JsonValue* sha = prov->find("git_sha");
+  if (snap.git_sha.empty() && sha != nullptr &&
+      sha->kind == JsonValue::Kind::kString) {
+    snap.git_sha = sha->string;
+  }
+  const JsonValue* host = prov->find("host");
+  if (snap.host.empty() && host != nullptr &&
+      host->kind == JsonValue::Kind::kString) {
+    snap.host = host->string;
+  }
+}
+
+/// Reduce one BENCH snapshot file into flat metrics; throws on an unknown
+/// schema or a structurally broken file.
+void ingest_file(const std::string& path, Snapshot& snap) {
+  const std::string text = read_file(path);
+  if (text.empty()) throw std::runtime_error(path + ": empty or unreadable");
+  const JsonValue root = JsonParser(text).parse();
+  const JsonValue* schema = root.find("schema");
+  if (schema == nullptr || schema->kind != JsonValue::Kind::kString) {
+    throw std::runtime_error(path + ": no \"schema\" field");
+  }
+  take_provenance(root, snap);
+  const std::string& s = schema->string;
+  if (s.rfind("compass.bench_kernels.", 0) == 0) {
+    const JsonValue* headline = root.find("headline");
+    if (headline != nullptr && headline->kind == JsonValue::Kind::kObject) {
+      snap.metrics["kernels.headline_speedup"] =
+          num_or(*headline, "speedup", 0.0);
+      snap.metrics["kernels.bitparallel_host_wall_s"] =
+          num_or(*headline, "bitparallel_host_wall_s", 0.0);
+    }
+    const JsonValue* micro = root.find("micro");
+    if (micro != nullptr && micro->kind == JsonValue::Kind::kArray &&
+        !micro->array.empty()) {
+      double log_sum = 0.0;
+      std::size_t n = 0;
+      for (const JsonValue& row : micro->array) {
+        const double sp = num_or(row, "speedup", 0.0);
+        if (sp > 0.0) {
+          log_sum += std::log(sp);
+          ++n;
+        }
+      }
+      if (n > 0) {
+        snap.metrics["kernels.micro_geomean_speedup"] =
+            std::exp(log_sum / static_cast<double>(n));
+      }
+    }
+  } else if (s.rfind("compass.bench_recovery.", 0) == 0) {
+    const JsonValue* headline = root.find("headline");
+    if (headline != nullptr && headline->kind == JsonValue::Kind::kObject) {
+      snap.metrics["recovery.lost_work_ratio"] =
+          num_or(*headline, "lost_work_ratio_restart_over_migrate", 0.0);
+      snap.metrics["recovery.migrate_wall_s"] =
+          num_or(*headline, "migrate_recovery_wall_s", 0.0);
+    }
+  } else if (s.rfind("compass.bench_wall.", 0) == 0) {
+    const JsonValue* wall = root.find("wall");
+    if (wall != nullptr && wall->kind == JsonValue::Kind::kObject) {
+      snap.metrics["wall.ticks_per_second"] =
+          num_or(*wall, "ticks_per_second", 0.0);
+      snap.metrics["wall.overhead_pct"] = num_or(*wall, "overhead_pct", 0.0);
+      snap.metrics["wall.peak_rss_bytes"] =
+          num_or(*wall, "peak_rss_bytes", 0.0);
+    }
+    const JsonValue* headline = root.find("headline");
+    if (headline != nullptr && headline->kind == JsonValue::Kind::kObject) {
+      snap.metrics["wall.host_wall_s"] = num_or(*headline, "host_wall_s", 0.0);
+    }
+  } else {
+    throw std::runtime_error(path + ": unknown schema \"" + s + "\"");
+  }
+}
+
+/// One history line per recorded snapshot-set, oldest first. A malformed
+/// line is an error: history is append-only provenance, silent skips would
+/// hide corruption.
+std::vector<Snapshot> load_history(const std::string& path) {
+  std::vector<Snapshot> out;
+  std::ifstream is(path);
+  if (!is) return out;  // no history yet is fine
+  std::string line;
+  std::uint64_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    const JsonValue root = JsonParser(line).parse();
+    Snapshot snap;
+    const JsonValue* sha = root.find("git_sha");
+    if (sha != nullptr && sha->kind == JsonValue::Kind::kString) {
+      snap.git_sha = sha->string;
+    }
+    const JsonValue* host = root.find("host");
+    if (host != nullptr && host->kind == JsonValue::Kind::kString) {
+      snap.host = host->string;
+    }
+    const JsonValue* metrics = root.find("metrics");
+    if (metrics == nullptr || metrics->kind != JsonValue::Kind::kObject) {
+      throw std::runtime_error(path + " line " + std::to_string(lineno) +
+                               ": no \"metrics\" object");
+    }
+    for (const auto& [k, v] : metrics->object) {
+      if (v.kind == JsonValue::Kind::kNumber) snap.metrics[k] = v.number;
+    }
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+std::string fmt(double v) {
+  std::ostringstream os;
+  if (v != 0.0 && (std::fabs(v) >= 1e6 || std::fabs(v) < 1e-3)) {
+    os << std::scientific << std::setprecision(3) << v;
+  } else {
+    os << std::fixed << std::setprecision(3) << v;
+  }
+  return os.str();
+}
+
+std::string short_sha(const std::string& sha) {
+  if (sha.empty()) return "-";
+  return sha.size() > 8 ? sha.substr(0, 8) : sha;
+}
+
+void append_history(const std::string& path, const Snapshot& snap) {
+  std::ofstream os(path, std::ios::app);
+  if (!os) throw std::runtime_error("cannot append to " + path);
+  os << "{\"schema\":\"compass.bench_history.v1\",\"recorded_unix\":"
+     << static_cast<long long>(std::time(nullptr)) << ",\"git_sha\":\""
+     << snap.git_sha << "\",\"host\":\"" << snap.host << "\",\"metrics\":{";
+  bool first = true;
+  for (const auto& [name, value] : snap.metrics) {
+    os << (first ? "" : ",") << "\"" << name << "\":";
+    std::ostringstream num;
+    num.precision(15);
+    num << value;
+    os << num.str();
+    first = false;
+  }
+  os << "}}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string history_path = "BENCH_history.jsonl";
+  std::vector<std::string> files;
+  bool append = false;
+  bool check = false;
+  double tolerance_pct = 10.0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--history" && i + 1 < argc) {
+      history_path = argv[++i];
+    } else if (arg == "--append") {
+      append = true;
+    } else if (arg == "--check") {
+      check = true;
+    } else if (arg == "--tolerance" && i + 1 < argc) {
+      try {
+        tolerance_pct = std::stod(argv[++i]);
+      } catch (const std::exception&) {
+        tolerance_pct = -1.0;
+      }
+      if (tolerance_pct < 0.0) {
+        std::cerr << "bench_trend: --tolerance requires a non-negative "
+                     "percentage\n";
+        return 1;
+      }
+    } else if (!arg.empty() && arg[0] != '-') {
+      files.push_back(arg);
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: bench_trend [BENCH_*.json ...] [--history F] "
+                   "[--append] [--check] [--tolerance PCT]\n";
+      return 0;
+    } else {
+      std::cerr << "bench_trend: unknown option " << arg << "\n";
+      return 1;
+    }
+  }
+  if (files.empty()) {
+    for (const char* name :
+         {"BENCH_kernels.json", "BENCH_recovery.json", "BENCH_wall.json"}) {
+      if (file_exists(name)) files.push_back(name);
+    }
+    if (files.empty()) {
+      std::cerr << "bench_trend: no BENCH_*.json files found (pass paths "
+                   "explicitly or run from the repo root)\n";
+      return 1;
+    }
+  }
+
+  Snapshot current;
+  std::vector<Snapshot> history;
+  try {
+    for (const std::string& f : files) ingest_file(f, current);
+    history = load_history(history_path);
+  } catch (const std::exception& e) {
+    std::cerr << "bench_trend: " << e.what() << "\n";
+    return 2;
+  }
+
+  // --- Trajectory table: one column per history entry plus "current" -------
+  std::map<std::string, int> all_metrics;  // name -> direction
+  for (const Snapshot& s : history) {
+    for (const auto& [name, _] : s.metrics) {
+      all_metrics[name] = metric_direction(name);
+    }
+  }
+  for (const auto& [name, _] : current.metrics) {
+    all_metrics[name] = metric_direction(name);
+  }
+
+  std::cout << "bench trajectory (" << history.size()
+            << " recorded run(s) in " << history_path << " + current from";
+  for (const std::string& f : files) std::cout << " " << f;
+  std::cout << ")\n\n";
+  std::cout << std::left << std::setw(34) << "metric" << std::setw(5) << "dir";
+  for (const Snapshot& s : history) {
+    std::cout << std::setw(14) << short_sha(s.git_sha);
+  }
+  std::cout << std::setw(14) << "current" << "delta\n";
+  for (const auto& [name, dir] : all_metrics) {
+    std::cout << std::left << std::setw(34) << name << std::setw(5)
+              << (dir > 0 ? "up" : dir < 0 ? "down" : "info");
+    double last_seen = 0.0;
+    bool seen = false;
+    for (const Snapshot& s : history) {
+      const auto it = s.metrics.find(name);
+      if (it == s.metrics.end()) {
+        std::cout << std::setw(14) << "-";
+      } else {
+        std::cout << std::setw(14) << fmt(it->second);
+        last_seen = it->second;
+        seen = true;
+      }
+    }
+    const auto cur = current.metrics.find(name);
+    if (cur == current.metrics.end()) {
+      std::cout << std::setw(14) << "-" << "-\n";
+      continue;
+    }
+    std::cout << std::setw(14) << fmt(cur->second);
+    if (seen && last_seen != 0.0) {
+      const double pct = 100.0 * (cur->second - last_seen) / last_seen;
+      std::cout << (pct >= 0.0 ? "+" : "") << fmt(pct) << "%";
+    } else {
+      std::cout << "new";
+    }
+    std::cout << "\n";
+  }
+
+  // --- Regression gate ------------------------------------------------------
+  int exit_code = 0;
+  if (check) {
+    if (history.empty()) {
+      std::cout << "\n--check: no history to compare against (gate passes "
+                   "vacuously; --append a baseline first)\n";
+    } else {
+      const Snapshot& base = history.back();
+      std::size_t gated = 0, failed = 0;
+      for (const auto& [name, cur_v] : current.metrics) {
+        const int dir = metric_direction(name);
+        if (dir == 0) continue;
+        const auto it = base.metrics.find(name);
+        if (it == base.metrics.end() || it->second == 0.0) continue;
+        ++gated;
+        const double base_v = it->second;
+        // Worse = moved against `dir` by more than the tolerance.
+        const double change_pct = 100.0 * (cur_v - base_v) / base_v;
+        const double against = static_cast<double>(-dir) * change_pct;
+        if (against > tolerance_pct) {
+          ++failed;
+          std::cout << "\nREGRESSION: " << name << " " << fmt(base_v) << " -> "
+                    << fmt(cur_v) << " (" << (change_pct >= 0.0 ? "+" : "")
+                    << fmt(change_pct) << "%, tolerance " << fmt(tolerance_pct)
+                    << "%, " << (dir > 0 ? "higher" : "lower")
+                    << " is better)";
+        }
+      }
+      std::cout << "\n--check: " << gated << " directional metric(s) gated, "
+                << failed << " regression(s), tolerance " << fmt(tolerance_pct)
+                << "%\n";
+      if (failed > 0) exit_code = 3;
+    }
+  }
+
+  if (append) {
+    try {
+      append_history(history_path, current);
+      std::cout << "appended current metrics to " << history_path << " ("
+                << current.metrics.size() << " metric(s), sha "
+                << short_sha(current.git_sha) << ")\n";
+    } catch (const std::exception& e) {
+      std::cerr << "bench_trend: " << e.what() << "\n";
+      return 2;
+    }
+  }
+  return exit_code;
+}

@@ -125,6 +125,11 @@ struct Args {
   std::string spike_trace_file;   // causal spike-span JSONL ("" = off)
   std::uint64_t spike_sample = 64;  // sample 1-in-N routed spikes
   std::string flight_file;        // flight-recorder dump path ("" = off)
+  std::string wallprof_file;   // host wall-clock profile JSONL ("" = off)
+  std::uint64_t wallprof_heartbeat = 0;  // heartbeat cadence in ticks (0 = off)
+  bool progress = false;          // live single-line status on stderr
+  bool progress_force = false;    // show it even when stderr is not a TTY
+  std::uint64_t progress_every_ms = 500;  // progress redraw interval
   std::string placement;       // placement policy ("" = classic block)
   std::uint64_t placement_seed = 0;
   std::string placement_out;   // save the active placement here
@@ -178,6 +183,9 @@ void usage(std::ostream& os) {
         "              [--trace-out t.jsonl] [--chrome-out t.json]\n"
         "              [--metrics-out m.json] [--metrics-prom m.prom]\n"
         "              [--profile-out p.json]\n"
+        "              [--wallprof-out w.jsonl] [--wallprof-heartbeat N]\n"
+        "              [--progress] [--progress-force]\n"
+        "              [--progress-every-ms MS]\n"
         "              [--checkpoint-every N] [--checkpoint-dir D]\n"
         "              [--checkpoint-keep K] [--restore PATH]\n"
         "              [--fault-plan SPEC]\n"
@@ -234,6 +242,27 @@ std::optional<Args> parse_args(int argc, char** argv) {
       const char* v = next("--profile-out");
       if (!v) return std::nullopt;
       args.profile_file = v;
+    } else if (a == "--wallprof-out") {
+      const char* v = next("--wallprof-out");
+      if (!v) return std::nullopt;
+      args.wallprof_file = v;
+    } else if (a == "--wallprof-heartbeat") {
+      const char* v = next("--wallprof-heartbeat");
+      if (!v) return std::nullopt;
+      const auto n = parse_u64_flag("--wallprof-heartbeat", v, 0, UINT64_MAX);
+      if (!n) return std::nullopt;
+      args.wallprof_heartbeat = *n;
+    } else if (a == "--progress") {
+      args.progress = true;
+    } else if (a == "--progress-force") {
+      args.progress = true;
+      args.progress_force = true;
+    } else if (a == "--progress-every-ms") {
+      const char* v = next("--progress-every-ms");
+      if (!v) return std::nullopt;
+      const auto n = parse_u64_flag("--progress-every-ms", v, 1, 3600000);
+      if (!n) return std::nullopt;
+      args.progress_every_ms = *n;
     } else if (a == "--neurons") {
       const char* v = next("--neurons");
       if (!v) return std::nullopt;
@@ -688,7 +717,49 @@ int cmd_run(const Args& args) {
     std::cout << "recovery armed: " << args.recovery << "\n";
   }
 
+  // Host wall-clock profiler: rides its own JSONL sink (never a trace
+  // stream), so functional output stays byte-identical with it attached.
+  // Armed last so every subsystem that records into it already exists.
+  std::ofstream wall_os;
+  std::optional<obs::WallProfiler> wallprof;
+  if (!args.wallprof_file.empty()) {
+    wall_os.open(args.wallprof_file);
+    if (!wall_os) {
+      std::cerr << "compass: cannot write " << args.wallprof_file << "\n";
+      return 2;
+    }
+    obs::WallprofOptions wopt;
+    wopt.heartbeat_every_ticks = args.wallprof_heartbeat;
+    wallprof.emplace(args.ranks, wopt);
+    wallprof->set_sink(&wall_os);
+    wallprof->set_metrics(metrics);
+    sim.set_wall_profiler(&*wallprof);
+    if (ckpt_mgr) ckpt_mgr->set_wall_profiler(&*wallprof);
+    if (supervisor) supervisor->set_wall_profiler(&*wallprof);
+    // Compilation already happened (measured by the PCC itself); charge it
+    // so the summary's pcc_compile bucket reflects this invocation.
+    wallprof->record_global(obs::WallPhase::kPccCompile, pcc.stats.compile_s);
+  }
+
+  // Live progress heartbeat on stderr: suppressed off-TTY unless forced, so
+  // redirected/piped runs never get control characters in their logs.
+  std::optional<obs::ProgressMeter> progress;
+  if (args.progress &&
+      (args.progress_force || obs::ProgressMeter::stderr_is_tty())) {
+    progress.emplace(std::cerr,
+                     static_cast<double>(args.progress_every_ms) / 1e3);
+    const arch::Tick progress_target = sim.now() + args.ticks;
+    sim.add_tick_callback([&progress, progress_target](arch::Tick now) {
+      progress->update(now, progress_target);
+    });
+  }
+
   runtime::RunReport rep = sim.run(args.ticks);
+  if (progress) progress->finish();
+  if (wallprof) {
+    wallprof->write_summary();
+    wall_os.flush();
+  }
   if (faulty) rep.fault_plan = plan->to_string();
 
   util::Table table({"metric", "value"});
@@ -861,6 +932,17 @@ int cmd_run(const Args& args) {
     obs::write_snapshot_prometheus(os, registry.snapshot());
     std::cout << "metrics exposition (Prometheus text) written to "
               << args.metrics_prom_file << "\n";
+  }
+  if (wallprof) {
+    std::cout << "wall profile (wallprof JSONL, "
+              << util::format_double(wallprof->wall_total_s(), 3) << " s at "
+              << util::format_double(
+                     wallprof->wall_total_s() > 0.0
+                         ? static_cast<double>(wallprof->ticks()) /
+                               wallprof->wall_total_s()
+                         : 0.0,
+                     1)
+              << " ticks/s) written to " << args.wallprof_file << "\n";
   }
   if (profiler && !args.profile_file.empty()) {
     std::ofstream os(args.profile_file);

@@ -2,6 +2,7 @@
 //
 //   compass_prof <trace.jsonl> [--json] [--top K] [--what-if placement]
 //   compass_prof --spans <spans.jsonl> [--json] [--top K] [--flow out.json]
+//   compass_prof --wall <wallprof.jsonl> [--json]
 //
 // Reads a --trace-out capture (span + tick records, plus the end-of-run
 // profile record when the run had profiling enabled) and prints where the
@@ -20,6 +21,14 @@
 // and loss counts. --flow additionally writes a Chrome trace with flow
 // arrows (open in Perfetto) connecting each sampled spike's rank hops.
 //
+// --wall switches to the host wall-clock analyzer: the input is a
+// --wallprof-out capture ({"type":"wallprof"} summary plus heartbeat
+// records). The report shows where the *host's* wall time went per phase,
+// the per-rank wall-vs-virtual divergence (how much slower this host
+// emulates each rank than the modelled machine would run it), the
+// kernel-dispatch mix, RSS, and the instrumentation's own measured cost —
+// the complement of the default analyzer's virtual-time view.
+//
 // --what-if rescores the trace's *measured* comm matrix under a placement
 // file's rank->node embedding (tools/compass --placement-out), comparing
 // hop-weighted off-diagonal wire bytes against the default block embedding —
@@ -36,6 +45,7 @@
 #include "comm/torus.h"
 #include "obs/profile.h"
 #include "obs/spiketrace.h"
+#include "obs/wallprof.h"
 #include "place/placement.h"
 
 namespace {
@@ -45,6 +55,7 @@ void usage(std::ostream& os) {
         "[--what-if placement]\n"
         "       compass_prof --spans <spans.jsonl> [--json] [--top K] "
         "[--flow out.json]\n"
+        "       compass_prof --wall <wallprof.jsonl> [--json]\n"
         "  analyze a Compass --trace-out JSONL capture\n"
         "  --json        machine-readable report (one JSON object)\n"
         "  --top K       rows in the heaviest-ranks table (default 5)\n"
@@ -53,7 +64,31 @@ void usage(std::ostream& os) {
         "  --spans       input is a --spike-trace-out capture: stitch the\n"
         "                causal spike chains and report per-hop latencies\n"
         "  --flow F      with --spans: write a Chrome trace with flow\n"
-        "                arrows per sampled spike (open in Perfetto)\n";
+        "                arrows per sampled spike (open in Perfetto)\n"
+        "  --wall        input is a --wallprof-out capture: report host\n"
+        "                wall time per phase, wall-vs-virtual divergence\n"
+        "                per rank, kernel mix, RSS, and overhead\n";
+}
+
+int run_wall(const std::string& path, bool json) {
+  std::ifstream is(path);
+  if (!is) {
+    std::cerr << "compass_prof: cannot read " << path << "\n";
+    return 2;
+  }
+  try {
+    const compass::obs::WallReport report =
+        compass::obs::analyze_wallprof(is);
+    if (json) {
+      compass::obs::write_wall_report_json(std::cout, report);
+    } else {
+      compass::obs::write_wall_report(std::cout, report);
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "compass_prof: " << e.what() << "\n";
+    return 2;
+  }
+  return 0;
 }
 
 int run_spans(const std::string& path, bool json, int top_k,
@@ -105,6 +140,7 @@ int main(int argc, char** argv) {
   std::string flow_file;
   bool json = false;
   bool spans = false;
+  bool wall = false;
   int top_k = 5;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -112,6 +148,8 @@ int main(int argc, char** argv) {
       json = true;
     } else if (a == "--spans") {
       spans = true;
+    } else if (a == "--wall") {
+      wall = true;
     } else if (a == "--flow") {
       if (i + 1 >= argc) {
         std::cerr << "compass_prof: --flow requires an output file\n";
@@ -162,6 +200,14 @@ int main(int argc, char** argv) {
   if (!flow_file.empty() && !spans) {
     std::cerr << "compass_prof: --flow only applies to --spans input\n";
     return 1;
+  }
+  if (wall) {
+    if (spans || !what_if.empty()) {
+      std::cerr << "compass_prof: --wall is exclusive with --spans and "
+                   "--what-if\n";
+      return 1;
+    }
+    return run_wall(path, json);
   }
   if (spans) {
     if (!what_if.empty()) {
