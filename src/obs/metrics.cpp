@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <ostream>
+#include <sstream>
 #include <stdexcept>
 
 namespace compass::obs {
@@ -200,6 +201,12 @@ void write_snapshot_prometheus(std::ostream& os,
       }
     }
   }
+}
+
+std::string prometheus_exposition(const MetricsSnapshot& snapshot) {
+  std::ostringstream os;
+  write_snapshot_prometheus(os, snapshot);
+  return os.str();
 }
 
 }  // namespace compass::obs

@@ -93,6 +93,12 @@ void write_snapshot_json(std::ostream& os, const MetricsSnapshot& snapshot);
 void write_snapshot_prometheus(std::ostream& os,
                                const MetricsSnapshot& snapshot);
 
+/// The same exposition as one string — the single rendering path shared by
+/// every consumer of the Prometheus format: the CLI's `--metrics-prom` file
+/// writer and the serve daemon's `GET /metrics` scrape endpoint both emit
+/// exactly this, so the two never drift.
+std::string prometheus_exposition(const MetricsSnapshot& snapshot);
+
 /// JSON string literal (quotes + escapes), shared with the trace writers.
 void write_json_string(std::ostream& os, std::string_view s);
 

@@ -88,6 +88,20 @@ void JsonlTraceWriter::on_recovery(const RecoveryRecord& r) {
       << ",\"cores_migrated\":" << r.cores_migrated << "}\n";
 }
 
+void JsonlTraceWriter::on_session(const SessionRecord& s) {
+  // Session lifecycle events are rare one-line summaries like recoveries:
+  // cap-exempt, because a daemon trace missing its create/close bracket
+  // cannot be attributed to a session at all.
+  os_ << "{\"type\":\"session\",\"event\":";
+  write_json_string(os_, s.event != nullptr ? s.event : "");
+  os_ << ",\"session_id\":" << s.session_id << ",\"tick\":" << s.tick;
+  if (s.scenario != nullptr && s.scenario[0] != '\0') {
+    os_ << ",\"scenario\":";
+    write_json_string(os_, s.scenario);
+  }
+  os_ << "}\n";
+}
+
 namespace {
 
 constexpr double kMicro = 1e6;  // trace timestamps are virtual microseconds

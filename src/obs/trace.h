@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "obs/profile.h"
@@ -93,6 +94,18 @@ struct RecoveryRecord {
   std::uint64_t cores_migrated = 0;   // cores re-homed (0 for restart-rank)
 };
 
+/// One served-session lifecycle event (src/serve/): create, close,
+/// snapshot/restore, or a slow-subscriber disconnect. One-shot CLI runs
+/// never emit one, so existing golden traces are unaffected. The string
+/// pointers stay valid only for the duration of the on_session() call.
+struct SessionRecord {
+  const char* event = "";      // "create" | "close" | "snapshot" |
+                               // "restore" | "disconnect-slow"
+  std::uint64_t session_id = 0;
+  std::uint64_t tick = 0;      // session tick when the event happened
+  const char* scenario = "";   // canonical scenario text ("" when n/a)
+};
+
 class TraceSink {
  public:
   virtual ~TraceSink() = default;
@@ -104,6 +117,8 @@ class TraceSink {
   /// Default no-op for the same reason: only runs that actually recover
   /// from a rank failure gain recovery records.
   virtual void on_recovery(const RecoveryRecord& recovery) { (void)recovery; }
+  /// Default no-op: only the serve daemon emits session lifecycle records.
+  virtual void on_session(const SessionRecord& session) { (void)session; }
 };
 
 struct JsonlOptions {
@@ -130,6 +145,7 @@ class JsonlTraceWriter final : public TraceSink {
   void on_tick(const TickRecord& tick) override;
   void on_profile(const ProfileRecord& profile) override;
   void on_recovery(const RecoveryRecord& recovery) override;
+  void on_session(const SessionRecord& session) override;
 
   /// Records dropped after the cap was reached.
   std::uint64_t dropped() const { return dropped_; }
@@ -162,10 +178,22 @@ class TraceBuffer final : public TraceSink {
   void on_recovery(const RecoveryRecord& recovery) override {
     recoveries_.push_back(recovery);
   }
+  // Session strings are only valid for the call, so the buffer owns copies.
+  struct OwnedSessionRecord {
+    std::string event;
+    std::uint64_t session_id = 0;
+    std::uint64_t tick = 0;
+    std::string scenario;
+  };
+  void on_session(const SessionRecord& session) override {
+    sessions_.push_back({session.event, session.session_id, session.tick,
+                         session.scenario});
+  }
 
   const std::vector<SpanRecord>& spans() const { return spans_; }
   const std::vector<TickRecord>& ticks() const { return ticks_; }
   const std::vector<RecoveryRecord>& recoveries() const { return recoveries_; }
+  const std::vector<OwnedSessionRecord>& sessions() const { return sessions_; }
   const std::optional<ProfileSummary>& profile_summary() const {
     return summary_;
   }
@@ -174,6 +202,7 @@ class TraceBuffer final : public TraceSink {
     spans_.clear();
     ticks_.clear();
     recoveries_.clear();
+    sessions_.clear();
     summary_.reset();
     matrix_.reset();
   }
@@ -182,6 +211,7 @@ class TraceBuffer final : public TraceSink {
   std::vector<SpanRecord> spans_;
   std::vector<TickRecord> ticks_;
   std::vector<RecoveryRecord> recoveries_;
+  std::vector<OwnedSessionRecord> sessions_;
   std::optional<ProfileSummary> summary_;
   std::optional<CommMatrix> matrix_;
 };

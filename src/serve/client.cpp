@@ -1,0 +1,303 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace compass::serve {
+
+void Client::connect(const std::string& host, std::uint16_t port,
+                     int rcvbuf_bytes) {
+  close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    throw std::runtime_error(std::string("client: socket(): ") +
+                             std::strerror(errno));
+  }
+  if (rcvbuf_bytes > 0) {
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &rcvbuf_bytes,
+                 sizeof rcvbuf_bytes);
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    close();
+    throw std::runtime_error("client: bad host '" + host + "'");
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const std::string why = std::strerror(errno);
+    close();
+    throw std::runtime_error("client: connect " + host + ":" +
+                             std::to_string(port) + ": " + why);
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Client::send_raw(const void* data, std::size_t size) {
+  const char* p = static_cast<const char*>(data);
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::write(fd_, p + sent, size - sent);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("client: write(): ") +
+                               std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+void Client::send(const std::vector<std::uint8_t>& payload_bytes) {
+  const std::vector<std::uint8_t> framed = frame(payload_bytes);
+  send_raw(framed.data(), framed.size());
+}
+
+bool Client::pump(double timeout_s) {
+  std::vector<std::uint8_t> p;
+  while (!reader_.next(p)) {
+    pollfd pfd{fd_, POLLIN, 0};
+    const int ready =
+        ::poll(&pfd, 1, static_cast<int>(timeout_s * 1000.0));
+    if (ready == 0) throw std::runtime_error("client: read timeout");
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("client: poll(): ") +
+                               std::strerror(errno));
+    }
+    std::uint8_t buf[64 * 1024];
+    const ssize_t n = ::read(fd_, buf, sizeof buf);
+    if (n == 0) return false;  // orderly EOF
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("client: read(): ") +
+                               std::strerror(errno));
+    }
+    reader_.feed(buf, static_cast<std::size_t>(n));
+  }
+  file_frame(p);
+  return true;
+}
+
+void Client::file_frame(const std::vector<std::uint8_t>& payload_bytes) {
+  Cursor cur(payload_bytes);
+  const auto op = static_cast<Op>(cur.u8());
+  switch (op) {
+    case Op::kSessionCreated: {
+      Reply r{op, cur.u32(), 0};
+      cur.expect_done();
+      replies_.push_back(r);
+      break;
+    }
+    case Op::kAck: {
+      Reply r{op, cur.u32(), 0};
+      cur.u8();  // acked opcode
+      r.value = cur.u64();
+      cur.expect_done();
+      replies_.push_back(r);
+      break;
+    }
+    case Op::kSnapshotDone: {
+      Reply r{op, cur.u32(), 0};
+      cur.u8();  // what
+      r.value = cur.u64();
+      cur.expect_done();
+      replies_.push_back(r);
+      break;
+    }
+    case Op::kSpikes: {
+      SpikeFrame f;
+      f.session = cur.u32();
+      f.tick = cur.u64();
+      const std::uint32_t n = cur.u32();
+      f.spikes.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        const std::uint32_t core = cur.u32();
+        const std::uint16_t neuron = cur.u16();
+        f.spikes.emplace_back(core, neuron);
+      }
+      cur.expect_done();
+      spikes_.push_back(std::move(f));
+      break;
+    }
+    case Op::kRates: {
+      RateFrame f;
+      f.session = cur.u32();
+      f.first_tick = cur.u64();
+      f.ticks = cur.u32();
+      f.spikes = cur.u64();
+      cur.expect_done();
+      rates_.push_back(f);
+      break;
+    }
+    case Op::kHeartbeat: {
+      HeartbeatFrame f;
+      f.total_ticks = cur.u64();
+      f.sessions_open = cur.u32();
+      f.rss_bytes = cur.u64();
+      f.ticks_per_second_milli = cur.u64();
+      cur.expect_done();
+      heartbeats_.push_back(f);
+      break;
+    }
+    case Op::kError: {
+      ErrorFrame f;
+      f.code = static_cast<Errc>(cur.u16());
+      const std::uint16_t len = cur.u16();
+      f.message = std::string(cur.bytes(len));
+      cur.expect_done();
+      errors_.push_back(std::move(f));
+      break;
+    }
+    case Op::kStepped: {
+      SteppedFrame f;
+      f.session = cur.u32();
+      f.now = cur.u64();
+      cur.expect_done();
+      stepped_.push_back(f);
+      break;
+    }
+    default:
+      throw ProtocolError(Errc::kBadOpcode,
+                          "client: unknown server opcode " +
+                              std::to_string(static_cast<unsigned>(
+                                  payload_bytes.empty() ? 0
+                                                        : payload_bytes[0])));
+  }
+}
+
+Client::Reply Client::wait_reply(double timeout_s) {
+  for (;;) {
+    if (!errors_.empty()) {
+      const ErrorFrame e = errors_.front();
+      errors_.pop_front();
+      throw std::runtime_error(std::string("server error [") +
+                               errc_name(e.code) + "]: " + e.message);
+    }
+    if (!replies_.empty()) {
+      const Reply r = replies_.front();
+      replies_.pop_front();
+      return r;
+    }
+    if (!pump(timeout_s)) {
+      throw std::runtime_error("client: connection closed awaiting reply");
+    }
+  }
+}
+
+std::uint32_t Client::create_session(const std::string& scenario,
+                                     std::uint64_t seed) {
+  std::vector<std::uint8_t> p = payload(Op::kCreateSession);
+  put_u64(p, seed);
+  put_u16(p, static_cast<std::uint16_t>(scenario.size()));
+  p.insert(p.end(), scenario.begin(), scenario.end());
+  send(p);
+  return wait_reply().session;
+}
+
+std::uint64_t Client::inject(std::uint32_t session, std::uint64_t tick,
+                             std::uint32_t core, std::uint16_t axon) {
+  std::vector<std::uint8_t> p = payload(Op::kInjectStimulus);
+  put_u32(p, session);
+  put_u64(p, tick);
+  put_u32(p, core);
+  put_u16(p, axon);
+  send(p);
+  return wait_reply().value;
+}
+
+void Client::subscribe(std::uint32_t session, Stream stream) {
+  std::vector<std::uint8_t> p = payload(Op::kSubscribe);
+  put_u32(p, session);
+  put_u8(p, static_cast<std::uint8_t>(stream));
+  send(p);
+  wait_reply();
+}
+
+void Client::step(std::uint32_t session, std::uint64_t ticks) {
+  std::vector<std::uint8_t> p = payload(Op::kStep);
+  put_u32(p, session);
+  put_u64(p, ticks);
+  send(p);
+  wait_reply();
+}
+
+std::uint64_t Client::snapshot(std::uint32_t session, std::uint8_t what) {
+  std::vector<std::uint8_t> p = payload(Op::kSnapshot);
+  put_u32(p, session);
+  put_u8(p, what);
+  send(p);
+  return wait_reply().value;
+}
+
+void Client::close_session(std::uint32_t session) {
+  std::vector<std::uint8_t> p = payload(Op::kCloseSession);
+  put_u32(p, session);
+  send(p);
+  wait_reply();
+}
+
+std::optional<SpikeFrame> Client::take_spikes() {
+  if (spikes_.empty()) return std::nullopt;
+  SpikeFrame f = std::move(spikes_.front());
+  spikes_.pop_front();
+  return f;
+}
+
+std::optional<RateFrame> Client::take_rates() {
+  if (rates_.empty()) return std::nullopt;
+  RateFrame f = rates_.front();
+  rates_.pop_front();
+  return f;
+}
+
+std::optional<HeartbeatFrame> Client::take_heartbeat() {
+  if (heartbeats_.empty()) return std::nullopt;
+  HeartbeatFrame f = heartbeats_.front();
+  heartbeats_.pop_front();
+  return f;
+}
+
+std::optional<ErrorFrame> Client::take_error() {
+  if (errors_.empty()) return std::nullopt;
+  ErrorFrame f = std::move(errors_.front());
+  errors_.pop_front();
+  return f;
+}
+
+std::optional<SteppedFrame> Client::take_stepped() {
+  if (stepped_.empty()) return std::nullopt;
+  SteppedFrame f = stepped_.front();
+  stepped_.pop_front();
+  return f;
+}
+
+bool Client::wait_stepped(std::uint32_t session, std::uint64_t target,
+                          double timeout_s) {
+  for (;;) {
+    for (auto it = stepped_.begin(); it != stepped_.end(); ++it) {
+      if (it->session == session && it->now >= target) {
+        stepped_.erase(it);
+        return true;
+      }
+    }
+    if (!pump(timeout_s)) return false;
+  }
+}
+
+}  // namespace compass::serve

@@ -1,0 +1,128 @@
+// Blocking client for the serve protocol — the counterpart the loopback
+// tests and compass_swarm drive. One instance per connection; not
+// thread-safe (a swarm runs one Client per worker thread).
+//
+// The protocol is asynchronous: stream frames (spikes, rates, heartbeats,
+// stepped notifications) can arrive interleaved with RPC replies. pump()
+// reads one frame and files it into the right stash; the RPC wrappers pump
+// until their reply arrives, so stream frames received while waiting are
+// never lost — they are consumed later via take_*().
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.h"
+
+namespace compass::serve {
+
+struct SpikeFrame {
+  std::uint32_t session = 0;
+  std::uint64_t tick = 0;
+  std::vector<std::pair<std::uint32_t, std::uint16_t>> spikes;  // (core, nrn)
+};
+
+struct RateFrame {
+  std::uint32_t session = 0;
+  std::uint64_t first_tick = 0;
+  std::uint32_t ticks = 0;
+  std::uint64_t spikes = 0;
+};
+
+struct HeartbeatFrame {
+  std::uint64_t total_ticks = 0;
+  std::uint32_t sessions_open = 0;
+  std::uint64_t rss_bytes = 0;
+  std::uint64_t ticks_per_second_milli = 0;
+};
+
+struct ErrorFrame {
+  Errc code = Errc::kBadFrame;
+  std::string message;
+};
+
+struct SteppedFrame {
+  std::uint32_t session = 0;
+  std::uint64_t now = 0;
+};
+
+class Client {
+ public:
+  Client() = default;
+  ~Client() { close(); }
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connect to host:port; throws std::runtime_error on failure.
+  /// `rcvbuf_bytes` > 0 sets SO_RCVBUF before connecting (the backpressure
+  /// tests use a tiny receive buffer so an unread subscriber saturates the
+  /// daemon's send queue deterministically).
+  void connect(const std::string& host, std::uint16_t port,
+               int rcvbuf_bytes = 0);
+  void close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// Send raw bytes as-is (already framed, or deliberately malformed — the
+  /// fuzz suite uses this to poke the daemon).
+  void send_raw(const void* data, std::size_t size);
+  /// Frame and send one payload.
+  void send(const std::vector<std::uint8_t>& payload_bytes);
+
+  /// Read and file exactly one frame. Returns false on orderly EOF; throws
+  /// std::runtime_error on timeout or socket error, ProtocolError if the
+  /// server's stream itself is malformed.
+  bool pump(double timeout_s = 10.0);
+
+  // --- RPC wrappers: send, then pump until the reply. Throw
+  // --- std::runtime_error carrying the errc name when the daemon answers
+  // --- with a kError frame instead.
+  std::uint32_t create_session(const std::string& scenario,
+                               std::uint64_t seed);
+  /// Returns the resolved tick (kImmediateTick resolves to the session's
+  /// current tick server-side).
+  std::uint64_t inject(std::uint32_t session, std::uint64_t tick,
+                       std::uint32_t core, std::uint16_t axon);
+  void subscribe(std::uint32_t session, Stream stream);
+  void step(std::uint32_t session, std::uint64_t ticks);
+  /// what: 0 = save, 1 = restore. Returns the snapshot byte size (save).
+  std::uint64_t snapshot(std::uint32_t session, std::uint8_t what);
+  void close_session(std::uint32_t session);
+
+  // --- stream stashes ------------------------------------------------------
+  std::optional<SpikeFrame> take_spikes();
+  std::optional<RateFrame> take_rates();
+  std::optional<HeartbeatFrame> take_heartbeat();
+  std::optional<ErrorFrame> take_error();
+  std::optional<SteppedFrame> take_stepped();
+  bool has_spikes() const { return !spikes_.empty(); }
+
+  /// Pump until a stepped notification for `session` with now >= target
+  /// (stream frames keep accumulating). Returns false on EOF first.
+  bool wait_stepped(std::uint32_t session, std::uint64_t target,
+                    double timeout_s = 30.0);
+
+ private:
+  struct Reply {
+    Op op;
+    std::uint32_t session = 0;
+    std::uint64_t value = 0;  // resolved tick / snapshot bytes / now
+  };
+  /// Pump until an RPC reply (kSessionCreated/kAck/kSnapshotDone) or error
+  /// frame arrives; throws on error frames.
+  Reply wait_reply(double timeout_s = 30.0);
+  void file_frame(const std::vector<std::uint8_t>& payload_bytes);
+
+  int fd_ = -1;
+  FrameReader reader_;
+  std::deque<SpikeFrame> spikes_;
+  std::deque<RateFrame> rates_;
+  std::deque<HeartbeatFrame> heartbeats_;
+  std::deque<ErrorFrame> errors_;
+  std::deque<SteppedFrame> stepped_;
+  std::deque<Reply> replies_;
+};
+
+}  // namespace compass::serve

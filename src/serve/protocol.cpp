@@ -1,0 +1,146 @@
+#include "serve/protocol.h"
+
+namespace compass::serve {
+
+const char* errc_name(Errc code) {
+  switch (code) {
+    case Errc::kBadFrame: return "bad-frame";
+    case Errc::kFrameTooLarge: return "frame-too-large";
+    case Errc::kBadOpcode: return "bad-opcode";
+    case Errc::kBadSession: return "bad-session";
+    case Errc::kBadScenario: return "bad-scenario";
+    case Errc::kBadTick: return "bad-tick";
+    case Errc::kBadStream: return "bad-stream";
+    case Errc::kSlowConsumer: return "slow-consumer";
+    case Errc::kSessionLimit: return "session-limit";
+    case Errc::kSnapshotMissing: return "snapshot-missing";
+  }
+  return "?";
+}
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) {
+  out.push_back(v);
+}
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+std::vector<std::uint8_t> frame(const std::vector<std::uint8_t>& payload) {
+  if (payload.size() > kMaxFramePayload) {
+    throw ProtocolError(Errc::kFrameTooLarge,
+                        "frame payload exceeds " +
+                            std::to_string(kMaxFramePayload) + " bytes");
+  }
+  std::vector<std::uint8_t> out;
+  out.reserve(4 + payload.size());
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+std::vector<std::uint8_t> payload(Op op) {
+  std::vector<std::uint8_t> out;
+  out.push_back(static_cast<std::uint8_t>(op));
+  return out;
+}
+
+void Cursor::need(std::size_t n) const {
+  if (size_ - pos_ < n) {
+    throw ProtocolError(Errc::kBadFrame, "frame body truncated");
+  }
+}
+
+std::uint8_t Cursor::u8() {
+  need(1);
+  return data_[pos_++];
+}
+
+std::uint16_t Cursor::u16() {
+  need(2);
+  std::uint16_t v = static_cast<std::uint16_t>(
+      data_[pos_] | (static_cast<std::uint16_t>(data_[pos_ + 1]) << 8));
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t Cursor::u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t Cursor::u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+std::string_view Cursor::bytes(std::size_t n) {
+  need(n);
+  std::string_view v(reinterpret_cast<const char*>(data_ + pos_), n);
+  pos_ += n;
+  return v;
+}
+
+void Cursor::expect_done() const {
+  if (pos_ != size_) {
+    throw ProtocolError(Errc::kBadFrame, "frame body has trailing bytes");
+  }
+}
+
+void FrameReader::feed(const std::uint8_t* data, std::size_t size) {
+  // Compact before growing so a long-lived connection does not accumulate
+  // the consumed prefix forever.
+  if (start_ > 0 && start_ == buf_.size()) {
+    buf_.clear();
+    start_ = 0;
+  } else if (start_ > kMaxFramePayload) {
+    buf_.erase(buf_.begin(),
+               buf_.begin() + static_cast<std::ptrdiff_t>(start_));
+    start_ = 0;
+  }
+  buf_.insert(buf_.end(), data, data + size);
+}
+
+bool FrameReader::next(std::vector<std::uint8_t>& out_payload) {
+  if (buf_.size() - start_ < 4) return false;
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<std::uint32_t>(buf_[start_ + i]) << (8 * i);
+  }
+  if (len > kMaxFramePayload) {
+    throw ProtocolError(Errc::kFrameTooLarge,
+                        "frame length prefix " + std::to_string(len) +
+                            " exceeds " + std::to_string(kMaxFramePayload));
+  }
+  if (buf_.size() - start_ < 4 + static_cast<std::size_t>(len)) return false;
+  out_payload.assign(buf_.begin() + static_cast<std::ptrdiff_t>(start_ + 4),
+                     buf_.begin() +
+                         static_cast<std::ptrdiff_t>(start_ + 4 + len));
+  start_ += 4 + len;
+  return true;
+}
+
+}  // namespace compass::serve

@@ -1,0 +1,146 @@
+// Wire protocol for the Compass serve plane (DESIGN.md §15).
+//
+// Framing: every message is `u32 payload_len (LE) | payload`, where the
+// payload is `u8 opcode | body`. All integers are little-endian and packed
+// (no padding). Payloads are capped at kMaxFramePayload; a length prefix
+// above the cap is a framing attack or a desynchronized stream, and the
+// only safe response is a typed error followed by connection close — after
+// an oversized prefix there is no way to find the next frame boundary.
+//
+// The encode/decode helpers here are pure functions over byte vectors:
+// no sockets, no sessions. The daemon (server.h) and the client (client.h)
+// share them, and the fuzz suite drives the decoder directly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace compass::serve {
+
+/// Hard cap on one frame's payload (opcode + body). Large enough for a
+/// burst spike frame on any supported scenario, small enough that a hostile
+/// length prefix cannot make the daemon allocate unbounded memory.
+inline constexpr std::uint32_t kMaxFramePayload = 1u << 20;  // 1 MiB
+
+/// Sentinel tick for InjectStimulus: "the session's current tick" — the
+/// daemon resolves it to now() and echoes the resolved tick in the Ack.
+inline constexpr std::uint64_t kImmediateTick = ~std::uint64_t{0};
+
+enum class Op : std::uint8_t {
+  // client → server
+  kCreateSession = 0x01,   // u64 seed | u16 name_len | name bytes
+  kInjectStimulus = 0x02,  // u32 sid | u64 tick | u32 core | u16 axon
+  kSubscribe = 0x03,       // u32 sid | u8 stream (Stream)
+  kStep = 0x04,            // u32 sid | u64 ticks
+  kSnapshot = 0x05,        // u32 sid | u8 what (0 save, 1 restore)
+  kCloseSession = 0x06,    // u32 sid
+  // server → client
+  kSessionCreated = 0x81,  // u32 sid
+  kAck = 0x82,             // u32 sid | u8 op | u64 now (resolved tick)
+  kSpikes = 0x83,          // u32 sid | u64 tick | u32 n | n x (u32 core|u16 nrn)
+  kRates = 0x84,           // u32 sid | u64 first_tick | u32 ticks | u64 spikes
+  kHeartbeat = 0x85,       // u64 ticks | u32 sessions | u64 rss | u64 tps_milli
+  kError = 0x86,           // u16 code (Errc) | u16 len | message bytes
+  kSnapshotDone = 0x87,    // u32 sid | u8 what | u64 bytes
+  kStepped = 0x88,         // u32 sid | u64 now
+};
+
+enum class Stream : std::uint8_t {
+  kSpikes = 0,
+  kRates = 1,
+  kHeartbeat = 2,
+};
+
+/// Typed protocol error codes, carried in kError frames. Codes 1–2 destroy
+/// frame sync (the daemon closes the connection after sending them); the
+/// rest are well-framed rejections and leave the connection usable.
+enum class Errc : std::uint16_t {
+  kBadFrame = 1,        // body shorter/longer than the opcode demands
+  kFrameTooLarge = 2,   // length prefix above kMaxFramePayload
+  kBadOpcode = 3,       // unknown opcode byte
+  kBadSession = 4,      // session id not open on this daemon
+  kBadScenario = 5,     // unparseable scenario name
+  kBadTick = 6,         // stimulus tick in the past / core / axon range
+  kBadStream = 7,       // unknown Subscribe stream
+  kSlowConsumer = 8,    // send queue stayed saturated; you were dropped
+  kSessionLimit = 9,    // daemon at --max-sessions
+  kSnapshotMissing = 10,  // restore requested before any save
+};
+
+const char* errc_name(Errc code);
+
+class ProtocolError : public std::runtime_error {
+ public:
+  ProtocolError(Errc code, const std::string& what)
+      : std::runtime_error(what), code_(code) {}
+  Errc code() const { return code_; }
+
+ private:
+  Errc code_;
+};
+
+// --- encoding -------------------------------------------------------------
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v);
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v);
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v);
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v);
+
+/// Wrap a payload (opcode already first byte) in the u32 length prefix.
+/// Throws ProtocolError(kFrameTooLarge) when the payload exceeds the cap.
+std::vector<std::uint8_t> frame(const std::vector<std::uint8_t>& payload);
+
+/// Start a payload with its opcode byte.
+std::vector<std::uint8_t> payload(Op op);
+
+// --- decoding -------------------------------------------------------------
+
+/// Bounds-checked sequential reader over one frame payload. Every overrun
+/// throws ProtocolError(kBadFrame); expect_done() rejects trailing bytes,
+/// so a body must be consumed exactly.
+class Cursor {
+ public:
+  Cursor(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+  explicit Cursor(const std::vector<std::uint8_t>& bytes)
+      : Cursor(bytes.data(), bytes.size()) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::string_view bytes(std::size_t n);
+  std::size_t remaining() const { return size_ - pos_; }
+  /// Throws ProtocolError(kBadFrame) unless the payload was consumed exactly.
+  void expect_done() const;
+
+ private:
+  void need(std::size_t n) const;
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+/// Incremental frame extractor over a byte stream. feed() appends raw
+/// socket bytes; next() pops one complete payload (without the length
+/// prefix) or returns false when more bytes are needed. A length prefix
+/// above kMaxFramePayload throws ProtocolError(kFrameTooLarge) — the
+/// stream has no recoverable boundary after that.
+class FrameReader {
+ public:
+  void feed(const std::uint8_t* data, std::size_t size);
+  bool next(std::vector<std::uint8_t>& out_payload);
+  /// Bytes buffered but not yet framed. Non-zero at connection close means
+  /// the peer hung up mid-frame (a truncated length prefix or body).
+  std::size_t buffered() const { return buf_.size() - start_; }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::size_t start_ = 0;  // consumed prefix, compacted lazily
+};
+
+}  // namespace compass::serve

@@ -1,0 +1,679 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "util/stopwatch.h"
+
+namespace compass::serve {
+
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options) : options_(std::move(options)) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error(std::string("serve: socket(): ") +
+                             std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("serve: bad bind address '" + options_.bind +
+                             "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+          0 ||
+      ::listen(listen_fd_, 128) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("serve: cannot listen on " + options_.bind + ":" +
+                             std::to_string(options_.port) + ": " + why);
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+  port_ = ntohs(bound.sin_port);
+  set_nonblocking(listen_fd_);
+
+  if (options_.metrics != nullptr) {
+    obs::MetricsRegistry& m = *options_.metrics;
+    m_sessions_open_ = m.gauge("serve.sessions_open", "sessions");
+    m_sessions_created_ = m.counter("serve.sessions_created", "sessions");
+    m_frames_ = m.counter("serve.frames", "frames");
+    m_protocol_errors_ = m.counter("serve.protocol_errors", "errors");
+    m_slow_disconnects_ = m.counter("serve.slow_disconnects", "clients");
+    m_ticks_ = m.counter("serve.ticks_stepped", "ticks");
+    m_spikes_streamed_ = m.counter("serve.spikes_streamed", "spikes");
+  }
+}
+
+Server::~Server() {
+  for (auto& [fd, conn] : conns_) ::close(fd);
+  conns_.clear();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+void Server::note_session_event(const char* event, std::uint32_t sid,
+                                std::uint64_t tick, const char* scenario) {
+  if (options_.trace == nullptr) return;
+  obs::SessionRecord rec;
+  rec.event = event;
+  rec.session_id = sid;
+  rec.tick = tick;
+  rec.scenario = scenario;
+  options_.trace->on_session(rec);
+}
+
+bool Server::any_pending() const {
+  for (const auto& [sid, st] : sessions_) {
+    if (st.session->pending() > 0) return true;
+  }
+  return false;
+}
+
+void Server::run() {
+  start_wall_s_ = util::monotonic_seconds();
+  last_activity_s_ = start_wall_s_;
+  std::vector<pollfd> pfds;
+  while (!stop_.load(std::memory_order_relaxed)) {
+    const double now_s = util::monotonic_seconds();
+    if (options_.max_seconds > 0.0 &&
+        now_s - start_wall_s_ >= options_.max_seconds) {
+      break;
+    }
+    if (options_.exit_on_idle_s > 0.0 && ever_served_ && conns_.empty() &&
+        !any_pending() && now_s - last_activity_s_ >= options_.exit_on_idle_s) {
+      break;
+    }
+
+    pfds.clear();
+    pfds.push_back({listen_fd_, POLLIN, 0});
+    for (auto& [fd, conn] : conns_) {
+      short events = conn.closing ? 0 : POLLIN;
+      if (conn.out.size() > conn.out_off) events |= POLLOUT;
+      pfds.push_back({fd, events, 0});
+    }
+    const int timeout_ms = any_pending() ? 0 : 50;
+    const int ready = ::poll(pfds.data(), pfds.size(), timeout_ms);
+    if (ready < 0 && errno != EINTR) break;
+
+    if (ready > 0) {
+      if ((pfds[0].revents & POLLIN) != 0) accept_clients();
+      // Snapshot the fds up front: dispatch may open/close connections and
+      // invalidate iterators into conns_.
+      std::vector<int> fds;
+      fds.reserve(pfds.size());
+      for (std::size_t i = 1; i < pfds.size(); ++i) {
+        if (pfds[i].revents != 0) fds.push_back(pfds[i].fd);
+      }
+      for (const int fd : fds) {
+        auto it = conns_.find(fd);
+        if (it == conns_.end()) continue;
+        // Flush first so a full queue drains before reads refill it.
+        flush_client(it->second);
+        it = conns_.find(fd);
+        if (it == conns_.end()) continue;
+        if (!it->second.closing) read_client(it->second);
+        it = conns_.find(fd);
+        if (it != conns_.end() && it->second.closing &&
+            it->second.out.size() == it->second.out_off) {
+          close_conn(fd);
+        }
+        last_activity_s_ = util::monotonic_seconds();
+      }
+    }
+
+    step_sessions();
+    flush_coalesced();
+
+    // Opportunistic flush: stepping produced frames and the sockets may be
+    // writable right now — don't wait for the next poll round-trip.
+    std::vector<int> fds;
+    fds.reserve(conns_.size());
+    for (auto& [fd, conn] : conns_) fds.push_back(fd);
+    for (const int fd : fds) {
+      auto it = conns_.find(fd);
+      if (it == conns_.end()) continue;
+      flush_client(it->second);
+      it = conns_.find(fd);
+      if (it != conns_.end() && it->second.closing &&
+          it->second.out.size() == it->second.out_off) {
+        close_conn(fd);
+      }
+    }
+  }
+}
+
+void Server::accept_clients() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN or transient error: next poll retries
+    set_nonblocking(fd);
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    if (options_.so_sndbuf_bytes > 0) {
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &options_.so_sndbuf_bytes,
+                   sizeof options_.so_sndbuf_bytes);
+    }
+    conns_[fd].fd = fd;
+    ++stats_.accepted;
+    ever_served_ = true;
+  }
+}
+
+void Server::close_conn(int fd) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  // Drop this client from every session's step-waiter list.
+  for (auto& [sid, st] : sessions_) {
+    auto& w = st.waiters;
+    w.erase(std::remove_if(w.begin(), w.end(),
+                           [fd](const auto& p) { return p.first == fd; }),
+            w.end());
+  }
+  ::close(fd);
+  conns_.erase(it);
+}
+
+void Server::enqueue(Conn& conn,
+                     const std::vector<std::uint8_t>& payload_bytes) {
+  const std::vector<std::uint8_t> framed = frame(payload_bytes);
+  conn.out.insert(conn.out.end(), framed.begin(), framed.end());
+}
+
+void Server::enqueue_error(Conn& conn, Errc code, const std::string& message) {
+  std::vector<std::uint8_t> p = payload(Op::kError);
+  put_u16(p, static_cast<std::uint16_t>(code));
+  const std::size_t n = message.size() > 512 ? 512 : message.size();
+  put_u16(p, static_cast<std::uint16_t>(n));
+  p.insert(p.end(), message.begin(), message.begin() + n);
+  enqueue(conn, p);
+}
+
+void Server::send_error(Conn& conn, Errc code, const std::string& message) {
+  ++stats_.protocol_errors;
+  if (options_.metrics != nullptr) options_.metrics->add(m_protocol_errors_);
+  enqueue_error(conn, code, message);
+}
+
+void Server::read_client(Conn& conn) {
+  std::uint8_t buf[64 * 1024];
+  for (;;) {
+    const ssize_t n = ::read(conn.fd, buf, sizeof buf);
+    if (n > 0) {
+      if (!conn.http_probed) {
+        // The scrape endpoint shares the port: an HTTP request line can
+        // never be a valid frame (its "length prefix" would be ~1.2 GB,
+        // far over the cap), so the first bytes decide the mode.
+        conn.http_req.append(reinterpret_cast<const char*>(buf),
+                             static_cast<std::size_t>(n));
+        if (conn.http_req.size() >= 4) {
+          conn.http_probed = true;
+          conn.http = conn.http_req.compare(0, 4, "GET ") == 0;
+          if (!conn.http) {
+            conn.reader.feed(
+                reinterpret_cast<const std::uint8_t*>(conn.http_req.data()),
+                conn.http_req.size());
+            conn.http_req.clear();
+          }
+        }
+        if (!conn.http_probed) continue;
+        if (conn.http) {
+          handle_http(conn);
+          if (conn.closing) return;
+          continue;
+        }
+      } else if (conn.http) {
+        conn.http_req.append(reinterpret_cast<const char*>(buf),
+                             static_cast<std::size_t>(n));
+        handle_http(conn);
+        if (conn.closing) return;
+        continue;
+      } else {
+        conn.reader.feed(buf, static_cast<std::size_t>(n));
+      }
+      std::vector<std::uint8_t> p;
+      try {
+        while (conn.reader.next(p)) {
+          ++stats_.frames;
+          if (options_.metrics != nullptr) options_.metrics->add(m_frames_);
+          dispatch(conn, p);
+          if (conn.closing) return;
+        }
+      } catch (const ProtocolError& e) {
+        // Oversized length prefix: frame sync is unrecoverable. Send the
+        // typed error and close once it flushes.
+        send_error(conn, e.code(), e.what());
+        conn.closing = true;
+        return;
+      }
+    } else if (n == 0) {
+      // Peer closed. Bytes still buffered mean it hung up mid-frame — a
+      // truncated length prefix or body — which is a protocol error (the
+      // fuzz suite exercises exactly this), but only for frame-mode peers:
+      // an HTTP client that never sent 4 bytes is just a port probe.
+      if (conn.http_probed && !conn.http && conn.reader.buffered() > 0) {
+        ++stats_.protocol_errors;
+        if (options_.metrics != nullptr) {
+          options_.metrics->add(m_protocol_errors_);
+        }
+      }
+      close_conn(conn.fd);
+      return;
+    } else {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      close_conn(conn.fd);
+      return;
+    }
+  }
+}
+
+void Server::flush_client(Conn& conn) {
+  while (conn.out_off < conn.out.size()) {
+    const ssize_t n = ::write(conn.fd, conn.out.data() + conn.out_off,
+                              conn.out.size() - conn.out_off);
+    if (n > 0) {
+      conn.out_off += static_cast<std::size_t>(n);
+    } else if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      break;
+    } else if (n < 0 && errno == EINTR) {
+      continue;
+    } else {
+      close_conn(conn.fd);
+      return;
+    }
+  }
+  if (conn.out_off == conn.out.size()) {
+    conn.out.clear();
+    conn.out_off = 0;
+  } else if (conn.out_off > (1u << 16)) {
+    conn.out.erase(conn.out.begin(),
+                   conn.out.begin() + static_cast<std::ptrdiff_t>(conn.out_off));
+    conn.out_off = 0;
+  }
+}
+
+void Server::handle_http(Conn& conn) {
+  const std::size_t end = conn.http_req.find("\r\n\r\n");
+  if (end == std::string::npos) {
+    if (conn.http_req.size() > 8192) conn.closing = true;  // header bomb
+    return;
+  }
+  ++stats_.http_requests;
+  const std::size_t sp1 = conn.http_req.find(' ');
+  const std::size_t sp2 = conn.http_req.find(' ', sp1 + 1);
+  const std::string path =
+      sp2 == std::string::npos
+          ? std::string("/")
+          : conn.http_req.substr(sp1 + 1, sp2 - sp1 - 1);
+  std::string body;
+  std::string status;
+  if (path == "/metrics" && options_.metrics != nullptr) {
+    body = obs::prometheus_exposition(options_.metrics->snapshot());
+    status = "200 OK";
+  } else {
+    body = "not found\n";
+    status = "404 Not Found";
+  }
+  std::string resp = "HTTP/1.0 " + status +
+                     "\r\nContent-Type: text/plain; version=0.0.4" +
+                     "\r\nContent-Length: " + std::to_string(body.size()) +
+                     "\r\nConnection: close\r\n\r\n" + body;
+  conn.out.insert(conn.out.end(), resp.begin(), resp.end());
+  conn.closing = true;
+}
+
+Server::SessionState& Server::require_session(std::uint32_t sid) {
+  auto it = sessions_.find(sid);
+  if (it == sessions_.end()) {
+    throw ProtocolError(Errc::kBadSession,
+                        "session " + std::to_string(sid) + " is not open");
+  }
+  return it->second;
+}
+
+void Server::dispatch(Conn& conn,
+                      const std::vector<std::uint8_t>& payload_bytes) {
+  try {
+    Cursor cur(payload_bytes);
+    const auto op = static_cast<Op>(cur.u8());
+    switch (op) {
+      case Op::kCreateSession: {
+        const std::uint64_t seed = cur.u64();
+        const std::uint16_t name_len = cur.u16();
+        const std::string_view name = cur.bytes(name_len);
+        cur.expect_done();
+        if (sessions_.size() >= options_.max_sessions) {
+          throw ProtocolError(Errc::kSessionLimit,
+                              "daemon at --max-sessions (" +
+                                  std::to_string(options_.max_sessions) + ")");
+        }
+        const Scenario scenario = parse_scenario(name);
+        const std::uint32_t sid = next_sid_++;
+        SessionState st;
+        st.session = std::make_unique<Session>(scenario, seed);
+        note_session_event("create", sid, 0,
+                           st.session->scenario_text().c_str());
+        sessions_.emplace(sid, std::move(st));
+        ++stats_.sessions_created;
+        if (options_.metrics != nullptr) {
+          options_.metrics->add(m_sessions_created_);
+          options_.metrics->set(m_sessions_open_,
+                                static_cast<double>(sessions_.size()));
+        }
+        std::vector<std::uint8_t> p = payload(Op::kSessionCreated);
+        put_u32(p, sid);
+        enqueue(conn, p);
+        break;
+      }
+      case Op::kInjectStimulus: {
+        const std::uint32_t sid = cur.u32();
+        const std::uint64_t tick = cur.u64();
+        const std::uint32_t core = cur.u32();
+        const std::uint16_t axon = cur.u16();
+        cur.expect_done();
+        SessionState& st = require_session(sid);
+        const std::uint64_t resolved = st.session->inject(tick, core, axon);
+        std::vector<std::uint8_t> p = payload(Op::kAck);
+        put_u32(p, sid);
+        put_u8(p, static_cast<std::uint8_t>(op));
+        put_u64(p, resolved);
+        enqueue(conn, p);
+        break;
+      }
+      case Op::kSubscribe: {
+        const std::uint32_t sid = cur.u32();
+        const std::uint8_t stream = cur.u8();
+        cur.expect_done();
+        SessionState& st = require_session(sid);
+        Sub& sub = conn.subs[sid];
+        switch (static_cast<Stream>(stream)) {
+          case Stream::kSpikes: sub.spikes = true; break;
+          case Stream::kRates:
+            sub.rates = true;
+            sub.rate_first_tick = st.session->now();
+            break;
+          case Stream::kHeartbeat: sub.heartbeat = true; break;
+          default:
+            throw ProtocolError(Errc::kBadStream,
+                                "unknown stream " + std::to_string(stream));
+        }
+        std::vector<std::uint8_t> p = payload(Op::kAck);
+        put_u32(p, sid);
+        put_u8(p, static_cast<std::uint8_t>(op));
+        put_u64(p, st.session->now());
+        enqueue(conn, p);
+        break;
+      }
+      case Op::kStep: {
+        const std::uint32_t sid = cur.u32();
+        const std::uint64_t ticks = cur.u64();
+        cur.expect_done();
+        SessionState& st = require_session(sid);
+        st.session->request(ticks);
+        const std::uint64_t target = st.session->now() + st.session->pending();
+        st.waiters.emplace_back(conn.fd, target);
+        std::vector<std::uint8_t> p = payload(Op::kAck);
+        put_u32(p, sid);
+        put_u8(p, static_cast<std::uint8_t>(op));
+        put_u64(p, st.session->now());
+        enqueue(conn, p);
+        break;
+      }
+      case Op::kSnapshot: {
+        const std::uint32_t sid = cur.u32();
+        const std::uint8_t what = cur.u8();
+        cur.expect_done();
+        SessionState& st = require_session(sid);
+        std::uint64_t bytes = 0;
+        if (what == 0) {
+          bytes = st.session->snapshot_save();
+          ++stats_.snapshots_saved;
+          note_session_event("snapshot", sid, st.session->now(),
+                             st.session->scenario_text().c_str());
+        } else if (what == 1) {
+          st.session->snapshot_restore();
+          ++stats_.snapshots_restored;
+          note_session_event("restore", sid, st.session->now(),
+                             st.session->scenario_text().c_str());
+        } else {
+          throw ProtocolError(Errc::kBadFrame,
+                              "snapshot what=" + std::to_string(what));
+        }
+        std::vector<std::uint8_t> p = payload(Op::kSnapshotDone);
+        put_u32(p, sid);
+        put_u8(p, what);
+        put_u64(p, bytes);
+        enqueue(conn, p);
+        break;
+      }
+      case Op::kCloseSession: {
+        const std::uint32_t sid = cur.u32();
+        cur.expect_done();
+        SessionState& st = require_session(sid);
+        note_session_event("close", sid, st.session->now(),
+                           st.session->scenario_text().c_str());
+        sessions_.erase(sid);
+        ++stats_.sessions_closed;
+        if (options_.metrics != nullptr) {
+          options_.metrics->set(m_sessions_open_,
+                                static_cast<double>(sessions_.size()));
+        }
+        for (auto& [fd, c] : conns_) c.subs.erase(sid);
+        std::vector<std::uint8_t> p = payload(Op::kAck);
+        put_u32(p, sid);
+        put_u8(p, static_cast<std::uint8_t>(op));
+        put_u64(p, 0);
+        enqueue(conn, p);
+        break;
+      }
+      default:
+        throw ProtocolError(
+            Errc::kBadOpcode,
+            "unknown opcode " +
+                std::to_string(static_cast<unsigned>(payload_bytes[0])));
+    }
+  } catch (const ProtocolError& e) {
+    send_error(conn, e.code(), e.what());
+    // A malformed body or oversized frame leaves no trustable stream
+    // position; well-framed rejections keep the connection.
+    if (e.code() == Errc::kBadFrame || e.code() == Errc::kFrameTooLarge) {
+      conn.closing = true;
+    }
+  }
+}
+
+void Server::emit_tick(std::uint32_t sid, std::uint64_t tick,
+                       const std::vector<SpikeEvent>& spikes) {
+  std::vector<int> to_drop;
+  for (auto& [fd, conn] : conns_) {
+    auto sit = conn.subs.find(sid);
+    if (sit == conn.subs.end()) continue;
+    Sub& sub = sit->second;
+
+    if (sub.spikes) {
+      const std::size_t queued = conn.out.size() - conn.out_off;
+      if (!sub.coalesced && queued > options_.client_queue_soft_bytes) {
+        sub.coalesced = true;
+        sub.co_first_tick = tick;
+        sub.co_ticks = 0;
+        sub.co_spikes = 0;
+        sub.stalled_ticks = 0;
+      }
+      if (sub.coalesced) {
+        ++sub.co_ticks;
+        sub.co_spikes += spikes.size();
+        ++sub.stalled_ticks;
+        if (try_resume(conn, sid, sub)) {
+          // Drained: the gap summary is queued and the per-tick stream
+          // resumes with the next tick.
+        } else if (sub.stalled_ticks >= options_.stall_ticks) {
+          enqueue_error(conn, Errc::kSlowConsumer,
+                        "send queue saturated for " +
+                            std::to_string(sub.stalled_ticks) +
+                            " ticks; subscriber dropped");
+          ++stats_.slow_disconnects;
+          if (options_.metrics != nullptr) {
+            options_.metrics->add(m_slow_disconnects_);
+          }
+          note_session_event("disconnect-slow", sid, tick, "");
+          to_drop.push_back(fd);
+        }
+      } else {
+        std::vector<std::uint8_t> p = payload(Op::kSpikes);
+        put_u32(p, sid);
+        put_u64(p, tick);
+        put_u32(p, static_cast<std::uint32_t>(spikes.size()));
+        for (const SpikeEvent& s : spikes) {
+          put_u32(p, s.core);
+          put_u16(p, s.neuron);
+        }
+        enqueue(conn, p);
+        stats_.spikes_streamed += spikes.size();
+        if (options_.metrics != nullptr && !spikes.empty()) {
+          options_.metrics->add(m_spikes_streamed_, spikes.size());
+        }
+      }
+    }
+
+    if (sub.rates) {
+      if (sub.rate_ticks == 0) sub.rate_first_tick = tick;
+      ++sub.rate_ticks;
+      sub.rate_spikes += spikes.size();
+      if (sub.rate_ticks >= options_.rate_window_ticks) {
+        std::vector<std::uint8_t> p = payload(Op::kRates);
+        put_u32(p, sid);
+        put_u64(p, sub.rate_first_tick);
+        put_u32(p, static_cast<std::uint32_t>(sub.rate_ticks));
+        put_u64(p, sub.rate_spikes);
+        enqueue(conn, p);
+        sub.rate_ticks = 0;
+        sub.rate_spikes = 0;
+      }
+    }
+  }
+  // The slow consumer is disconnected immediately — not via `closing`,
+  // which would wait for the very flush that cannot happen. The error frame
+  // sits at the tail of the saturated queue, so delivery is best-effort:
+  // one final non-blocking flush, then the socket goes away.
+  for (const int fd : to_drop) {
+    auto it = conns_.find(fd);
+    if (it != conns_.end()) flush_client(it->second);
+    close_conn(fd);
+  }
+}
+
+bool Server::try_resume(Conn& conn, std::uint32_t sid, Sub& sub) {
+  if (!sub.coalesced) return false;
+  const std::size_t queued = conn.out.size() - conn.out_off;
+  if (queued >= options_.client_queue_soft_bytes / 2) return false;
+  std::vector<std::uint8_t> p = payload(Op::kRates);
+  put_u32(p, sid);
+  put_u64(p, sub.co_first_tick);
+  put_u32(p, static_cast<std::uint32_t>(sub.co_ticks));
+  put_u64(p, sub.co_spikes);
+  enqueue(conn, p);
+  sub.coalesced = false;
+  sub.stalled_ticks = 0;
+  return true;
+}
+
+void Server::flush_coalesced() {
+  for (auto& [fd, conn] : conns_) {
+    if (conn.closing) continue;
+    for (auto& [sid, sub] : conn.subs) try_resume(conn, sid, sub);
+  }
+}
+
+void Server::step_sessions() {
+  bool stepped_any = false;
+  for (auto& [sid, st] : sessions_) {
+    if (st.session->pending() == 0) continue;
+    const std::uint32_t id = sid;
+    const std::uint64_t n = st.session->step(
+        options_.tick_budget,
+        [this, id](std::uint64_t tick, const std::vector<SpikeEvent>& spikes) {
+          emit_tick(id, tick, spikes);
+        });
+    if (n == 0) continue;
+    stepped_any = true;
+    stats_.ticks_stepped += n;
+    if (options_.metrics != nullptr) options_.metrics->add(m_ticks_, n);
+    // Completed step requests → kStepped notifications.
+    const std::uint64_t now = st.session->now();
+    auto& w = st.waiters;
+    for (auto it = w.begin(); it != w.end();) {
+      if (now >= it->second) {
+        auto cit = conns_.find(it->first);
+        if (cit != conns_.end()) {
+          std::vector<std::uint8_t> p = payload(Op::kStepped);
+          put_u32(p, id);
+          put_u64(p, now);
+          enqueue(cit->second, p);
+        }
+        it = w.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  if (stepped_any) {
+    last_activity_s_ = util::monotonic_seconds();
+    tick_rate_.add(stats_.ticks_stepped, util::monotonic_seconds());
+    if (options_.heartbeat_every_ticks > 0 &&
+        stats_.ticks_stepped - last_heartbeat_ticks_ >=
+            options_.heartbeat_every_ticks) {
+      last_heartbeat_ticks_ = stats_.ticks_stepped;
+      emit_heartbeats();
+    }
+  }
+}
+
+void Server::emit_heartbeats() {
+  const obs::HostResources host = obs::sample_host_resources();
+  const double tps = tick_rate_.ticks_per_second();
+  std::vector<std::uint8_t> p = payload(Op::kHeartbeat);
+  put_u64(p, stats_.ticks_stepped);
+  put_u32(p, static_cast<std::uint32_t>(sessions_.size()));
+  put_u64(p, host.rss_bytes);
+  put_u64(p, static_cast<std::uint64_t>(tps * 1000.0));
+  bool sent = false;
+  for (auto& [fd, conn] : conns_) {
+    for (const auto& [sid, sub] : conn.subs) {
+      if (sub.heartbeat) {
+        enqueue(conn, p);
+        sent = true;
+        break;  // one heartbeat per connection, however many sessions
+      }
+    }
+  }
+  if (sent) ++stats_.heartbeats;
+}
+
+}  // namespace compass::serve

@@ -1,0 +1,201 @@
+// The serve daemon's dispatcher: one thread, one poll(2) loop, many
+// sessions, many clients (DESIGN.md §15).
+//
+// Concurrency model: there is none, on purpose. Every Session, every
+// connection buffer, and the stats block are owned by the single thread
+// inside run(); the simulator core gains no new thread-safety surface.
+// The only cross-thread members are the stop flag (request_stop() may be
+// called from a signal handler or a test harness thread) and port(), which
+// is fixed before run() starts. Tests read stats() only after run()
+// returns.
+//
+// Event loop shape per iteration:
+//   1. poll() over the listener + every client (POLLOUT only while a send
+//      queue is non-empty). Timeout 0 when any session has requested ticks
+//      pending — simulation work must not wait on quiet sockets.
+//   2. Drain readable sockets: frames → dispatch, HTTP → /metrics.
+//   3. Round-robin: each session with pending ticks steps at most
+//      --tick-budget ticks, streaming per-tick spike frames to subscribers.
+//   4. Flush writable queues; apply backpressure state transitions.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/wallprof.h"
+#include "serve/protocol.h"
+#include "serve/session.h"
+
+namespace compass::serve {
+
+struct ServerOptions {
+  std::string bind = "127.0.0.1";
+  std::uint16_t port = 0;  // 0 = ephemeral; read back via Server::port()
+  std::uint32_t max_sessions = 64;
+  /// Ticks one session may run per loop iteration before yielding.
+  std::uint64_t tick_budget = 32;
+  /// Send-queue level (bytes) where a spike subscriber is coalesced to
+  /// rate summaries; it un-coalesces below half this level.
+  std::size_t client_queue_soft_bytes = 1u << 20;
+  /// Coalesced ticks a subscriber may stay saturated before it is
+  /// disconnected with Errc::kSlowConsumer.
+  std::uint64_t stall_ticks = 1024;
+  /// Tick window for kRates summaries to rate-stream subscribers.
+  std::uint64_t rate_window_ticks = 16;
+  /// Emit a kHeartbeat frame to heartbeat subscribers every N total
+  /// stepped ticks (0 = never).
+  std::uint64_t heartbeat_every_ticks = 64;
+  /// Exit run() after this many wall seconds (0 = no limit).
+  double max_seconds = 0.0;
+  /// Exit run() once at least one client has connected, none remain, and
+  /// the daemon has been idle this long (0 = never). Lets drills and
+  /// benches shut the daemon down without a kill.
+  double exit_on_idle_s = 0.0;
+  /// SO_SNDBUF for accepted sockets (0 = kernel default). The backpressure
+  /// tests shrink this so the userspace send queue — the thing the
+  /// coalesce/disconnect policy watches — saturates after a bounded number
+  /// of ticks instead of hiding behind megabytes of kernel buffering.
+  int so_sndbuf_bytes = 0;
+
+  obs::MetricsRegistry* metrics = nullptr;  // optional; /metrics serves this
+  obs::TraceSink* trace = nullptr;          // optional session lifecycle sink
+};
+
+/// Aggregate daemon counters. Owned by the dispatcher thread; read after
+/// run() returns (or from inside it via the metrics endpoint).
+struct ServerStats {
+  std::uint64_t accepted = 0;
+  std::uint64_t frames = 0;
+  std::uint64_t protocol_errors = 0;
+  std::uint64_t slow_disconnects = 0;
+  std::uint64_t sessions_created = 0;
+  std::uint64_t sessions_closed = 0;
+  std::uint64_t ticks_stepped = 0;
+  std::uint64_t spikes_streamed = 0;
+  std::uint64_t snapshots_saved = 0;
+  std::uint64_t snapshots_restored = 0;
+  std::uint64_t http_requests = 0;
+  std::uint64_t heartbeats = 0;
+};
+
+class Server {
+ public:
+  /// Binds and listens immediately (throws std::runtime_error on failure),
+  /// so port() is valid before run() and a test can connect right after
+  /// construction.
+  explicit Server(ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  std::uint16_t port() const { return port_; }
+
+  /// Dispatch until request_stop(), --max-seconds, or idle exit.
+  void run();
+
+  /// Async-signal-safe; run() notices within one poll timeout.
+  void request_stop() { stop_.store(true, std::memory_order_relaxed); }
+
+  /// Valid after run() returns (single-threaded ownership inside run()).
+  const ServerStats& stats() const { return stats_; }
+  std::size_t sessions_open() const { return sessions_.size(); }
+
+ private:
+  struct Sub {
+    bool spikes = false;
+    bool rates = false;
+    bool heartbeat = false;
+    // Backpressure state for the spike stream.
+    bool coalesced = false;
+    std::uint64_t co_first_tick = 0;
+    std::uint64_t co_ticks = 0;
+    std::uint64_t co_spikes = 0;
+    std::uint64_t stalled_ticks = 0;
+    // Rate-stream accumulation window.
+    std::uint64_t rate_first_tick = 0;
+    std::uint64_t rate_ticks = 0;
+    std::uint64_t rate_spikes = 0;
+  };
+
+  struct Conn {
+    int fd = -1;
+    FrameReader reader;
+    std::vector<std::uint8_t> out;
+    std::size_t out_off = 0;
+    bool http_probed = false;  // first bytes decide frame vs HTTP mode
+    bool http = false;
+    std::string http_req;
+    bool closing = false;  // flush out, then close
+    std::map<std::uint32_t, Sub> subs;
+  };
+
+  struct SessionState {
+    std::unique_ptr<Session> session;
+    // (fd, target tick): kStepped is sent when now() reaches target.
+    std::vector<std::pair<int, std::uint64_t>> waiters;
+  };
+
+  void accept_clients();
+  void read_client(Conn& conn);
+  void flush_client(Conn& conn);
+  void close_conn(int fd);
+  void enqueue(Conn& conn, const std::vector<std::uint8_t>& payload_bytes);
+  /// Build and queue a kError frame (no counter side effects).
+  void enqueue_error(Conn& conn, Errc code, const std::string& message);
+  /// enqueue_error + count it as a client protocol violation. QoS drops
+  /// (kSlowConsumer) use enqueue_error directly: a slow reader broke no
+  /// protocol rule, and the swarm drill asserts protocol_errors == 0.
+  void send_error(Conn& conn, Errc code, const std::string& message);
+  void dispatch(Conn& conn, const std::vector<std::uint8_t>& payload_bytes);
+  void handle_http(Conn& conn);
+  SessionState& require_session(std::uint32_t sid);
+  void step_sessions();
+  void emit_tick(std::uint32_t sid, std::uint64_t tick,
+                 const std::vector<SpikeEvent>& spikes);
+  /// If `sub` is coalesced and `conn`'s queue has drained below half the
+  /// soft level, emit the gap summary (one kRates frame) and resume the
+  /// per-tick stream. Returns true when the stream resumed.
+  bool try_resume(Conn& conn, std::uint32_t sid, Sub& sub);
+  /// Resume any coalesced subscriber whose queue has drained — called every
+  /// loop iteration so the last ticks of a run are reported even when no
+  /// further stepping will trigger emit_tick's own resume path.
+  void flush_coalesced();
+  void emit_heartbeats();
+  void note_session_event(const char* event, std::uint32_t sid,
+                          std::uint64_t tick, const char* scenario);
+  bool any_pending() const;
+
+  ServerOptions options_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+
+  std::map<int, Conn> conns_;  // fd → connection
+  std::map<std::uint32_t, SessionState> sessions_;
+  std::uint32_t next_sid_ = 1;
+
+  ServerStats stats_;
+  obs::TickRateWindow tick_rate_{64};
+  std::uint64_t last_heartbeat_ticks_ = 0;
+  double start_wall_s_ = 0.0;
+  double last_activity_s_ = 0.0;
+  bool ever_served_ = false;
+
+  // Metric ids (registered in the constructor when a registry is attached).
+  obs::MetricsRegistry::Id m_sessions_open_{};
+  obs::MetricsRegistry::Id m_sessions_created_{};
+  obs::MetricsRegistry::Id m_frames_{};
+  obs::MetricsRegistry::Id m_protocol_errors_{};
+  obs::MetricsRegistry::Id m_slow_disconnects_{};
+  obs::MetricsRegistry::Id m_ticks_{};
+  obs::MetricsRegistry::Id m_spikes_streamed_{};
+};
+
+}  // namespace compass::serve

@@ -1,0 +1,178 @@
+#include "serve/session.h"
+
+#include <charconv>
+
+#include "arch/model.h"
+#include "cocomac/macaque.h"
+#include "resilience/checkpoint.h"
+
+namespace compass::serve {
+
+namespace {
+
+std::uint64_t parse_field(std::string_view text, std::string_view field) {
+  std::uint64_t v = 0;
+  const auto [ptr, ec] =
+      std::from_chars(field.data(), field.data() + field.size(), v);
+  if (ec != std::errc{} || ptr != field.data() + field.size()) {
+    throw ProtocolError(Errc::kBadScenario,
+                        "scenario '" + std::string(text) +
+                            "': bad numeric field '" + std::string(field) +
+                            "'");
+  }
+  return v;
+}
+
+}  // namespace
+
+Scenario parse_scenario(std::string_view text) {
+  Scenario s;
+  std::string_view rest = text;
+  if (text == "default") {
+    s.total_cores = 77, s.ranks = 2, s.threads_per_rank = 1;
+  } else if (text == "tiny") {
+    s.total_cores = 77, s.ranks = 1, s.threads_per_rank = 1;
+  } else if (text == "medium") {
+    s.total_cores = 256, s.ranks = 4, s.threads_per_rank = 1;
+  } else {
+    constexpr std::string_view kPrefix = "macaque:";
+    if (rest.substr(0, kPrefix.size()) != kPrefix) {
+      throw ProtocolError(Errc::kBadScenario,
+                          "unknown scenario '" + std::string(text) +
+                              "' (want default|tiny|medium|"
+                              "macaque:<cores>:<ranks>[:<threads>])");
+    }
+    rest.remove_prefix(kPrefix.size());
+    std::vector<std::string_view> fields;
+    while (!rest.empty()) {
+      const std::size_t colon = rest.find(':');
+      fields.push_back(rest.substr(0, colon));
+      if (colon == std::string_view::npos) break;
+      rest.remove_prefix(colon + 1);
+      if (rest.empty()) fields.push_back(rest);  // trailing ':' → empty field
+    }
+    if (fields.size() < 2 || fields.size() > 3) {
+      throw ProtocolError(Errc::kBadScenario,
+                          "scenario '" + std::string(text) +
+                              "': want macaque:<cores>:<ranks>[:<threads>]");
+    }
+    s.total_cores = parse_field(text, fields[0]);
+    s.ranks = static_cast<int>(parse_field(text, fields[1]));
+    s.threads_per_rank =
+        fields.size() == 3 ? static_cast<int>(parse_field(text, fields[2])) : 1;
+  }
+  if (s.total_cores < 77 || s.total_cores > 4096 || s.ranks < 1 ||
+      s.ranks > 64 || s.threads_per_rank < 1 || s.threads_per_rank > 16 ||
+      static_cast<std::uint64_t>(s.ranks) > s.total_cores) {
+    throw ProtocolError(
+        Errc::kBadScenario,
+        "scenario '" + std::string(text) +
+            "' out of bounds (cores 77..4096 — the macaque parcellation "
+            "needs one core per reporting region — ranks 1..64, "
+            "threads 1..16)");
+  }
+  s.canonical = "macaque:" + std::to_string(s.total_cores) + ':' +
+                std::to_string(s.ranks) + ':' +
+                std::to_string(s.threads_per_rank);
+  return s;
+}
+
+Session::Session(const Scenario& scenario, std::uint64_t seed)
+    : scenario_(scenario), seed_(seed) {
+  cocomac::MacaqueSpecOptions mopt;
+  mopt.total_cores = scenario.total_cores;
+  mopt.seed = seed;
+  compiler::PccOptions popt;
+  popt.ranks = scenario.ranks;
+  popt.threads_per_rank = scenario.threads_per_rank;
+  compiler::PccResult pcc =
+      compiler::compile(cocomac::build_macaque_spec(mopt), popt);
+  model_ = std::move(pcc.model);
+  partition_ = std::move(pcc.partition);
+  transport_ = std::make_unique<comm::MpiTransport>(partition_.ranks(),
+                                                    comm::CommCostModel{});
+  runtime::Config cfg;
+  cfg.measure = false;  // served streams must be reproducible byte-for-byte
+  cfg.parallel_execution = false;  // dispatcher thread owns every session
+  sim_ = std::make_unique<runtime::Compass>(model_, partition_, *transport_,
+                                            cfg);
+  sim_->set_spike_hook([this](arch::Tick, arch::CoreId core, unsigned neuron) {
+    scratch_.push_back({static_cast<std::uint32_t>(core),
+                        static_cast<std::uint16_t>(neuron)});
+  });
+}
+
+Session::~Session() = default;
+
+std::uint64_t Session::inject(std::uint64_t tick, std::uint32_t core,
+                              std::uint16_t axon) {
+  const std::uint64_t resolved = tick == kImmediateTick ? sim_->now() : tick;
+  if (resolved < sim_->now()) {
+    throw ProtocolError(Errc::kBadTick,
+                        "stimulus tick " + std::to_string(resolved) +
+                            " already simulated (now " +
+                            std::to_string(sim_->now()) + ")");
+  }
+  if (core >= model_.num_cores()) {
+    throw ProtocolError(Errc::kBadTick,
+                        "stimulus core " + std::to_string(core) +
+                            " out of range (scenario has " +
+                            std::to_string(model_.num_cores()) + " cores)");
+  }
+  if (axon >= arch::kAxonsPerCore) {
+    throw ProtocolError(Errc::kBadTick, "stimulus axon " +
+                                            std::to_string(axon) +
+                                            " out of range (256 per core)");
+  }
+  stimuli_.emplace(resolved, std::make_pair(core, axon));
+  return resolved;
+}
+
+void Session::apply_stimuli(std::uint64_t tick) {
+  // Deliver straight into the tick's own delay slot right before it is
+  // simulated: synapse_phase(t) drains slot t & 15, so the spike is visible
+  // this very tick — the same path a network-phase delivery would take.
+  auto [it, end] = stimuli_.equal_range(tick);
+  for (auto cur = it; cur != end; ++cur) {
+    model_.core(static_cast<arch::CoreId>(cur->second.first))
+        .deliver(cur->second.second,
+                 static_cast<unsigned>(tick & (arch::kDelaySlots - 1)));
+  }
+  stimuli_.erase(it, end);
+}
+
+std::uint64_t Session::step(std::uint64_t budget, const EmitFn& emit) {
+  std::uint64_t stepped = 0;
+  while (pending_ > 0 && stepped < budget) {
+    const std::uint64_t tick = sim_->now();
+    apply_stimuli(tick);
+    scratch_.clear();
+    sim_->step();
+    total_spikes_ += scratch_.size();
+    if (emit) emit(tick, scratch_);
+    --pending_;
+    ++stepped;
+  }
+  return stepped;
+}
+
+std::uint64_t Session::snapshot_save() {
+  const resilience::Checkpoint cp = resilience::capture(*sim_, model_);
+  snapshot_bytes_ = resilience::serialize_checkpoint(cp);
+  snapshot_stimuli_ = stimuli_;
+  return snapshot_bytes_.size();
+}
+
+void Session::snapshot_restore() {
+  if (snapshot_bytes_.empty()) {
+    throw ProtocolError(Errc::kSnapshotMissing,
+                        "restore requested before any snapshot save");
+  }
+  const resilience::Checkpoint cp =
+      resilience::parse_checkpoint(snapshot_bytes_);
+  resilience::restore(cp, *sim_, model_);
+  stimuli_ = snapshot_stimuli_;
+  pending_ = 0;
+}
+
+}  // namespace compass::serve

@@ -1,0 +1,122 @@
+// One served simulation session: a Compass instance built from a named
+// scenario, plus the stimulus script, spike capture, and snapshot state the
+// daemon multiplexes over (DESIGN.md §15).
+//
+// Sessions are single-threaded by construction — the daemon's dispatcher
+// owns every Session and steps them round-robin; nothing here is shared
+// across threads. A Session knows nothing about sockets: the daemon passes
+// an emit callback to step() and turns the per-tick spike batches into
+// kSpikes frames (or coalesced kRates summaries under backpressure).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "comm/mpi_transport.h"
+#include "compiler/pcc.h"
+#include "runtime/compass.h"
+#include "serve/protocol.h"
+
+namespace compass::serve {
+
+/// Parsed scenario text. Accepted forms:
+///   "default"                       → macaque:77:2
+///   "tiny"                          → macaque:77:1
+///   "medium"                        → macaque:256:4
+///   "macaque:<cores>:<ranks>[:<threads>]"
+/// Anything else throws ProtocolError(kBadScenario). Bounds are enforced so
+/// a hostile client cannot ask the daemon to compile a million-core model:
+/// cores in [77, 4096] (the macaque parcellation reports 77 regions and
+/// apportionment gives each at least one core), ranks in [1, 64], threads
+/// in [1, 16].
+struct Scenario {
+  std::uint64_t total_cores = 77;
+  int ranks = 2;
+  int threads_per_rank = 1;
+  std::string canonical;  // "macaque:<cores>:<ranks>:<threads>"
+};
+
+Scenario parse_scenario(std::string_view text);
+
+/// One fired spike as streamed to subscribers.
+struct SpikeEvent {
+  std::uint32_t core = 0;
+  std::uint16_t neuron = 0;
+};
+
+class Session {
+ public:
+  /// Compile the scenario and stand up the simulator. The model seed is the
+  /// client-supplied `seed`, so two sessions with the same (scenario, seed)
+  /// are bit-identical replicas.
+  Session(const Scenario& scenario, std::uint64_t seed);
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  const std::string& scenario_text() const { return scenario_.canonical; }
+  std::uint64_t seed() const { return seed_; }
+  arch::Tick now() const { return sim_->now(); }
+  std::uint64_t num_cores() const { return model_.num_cores(); }
+
+  /// Queue one stimulus; returns the resolved tick (kImmediateTick → now()).
+  /// Throws ProtocolError(kBadTick) when the tick is already simulated or
+  /// the core/axon is out of range for this scenario.
+  std::uint64_t inject(std::uint64_t tick, std::uint32_t core,
+                       std::uint16_t axon);
+
+  /// Request `ticks` more ticks of simulation (accumulates).
+  void request(std::uint64_t ticks) { pending_ += ticks; }
+  std::uint64_t pending() const { return pending_; }
+
+  /// Run up to `budget` of the requested ticks, invoking
+  /// `emit(tick, spikes)` once per completed tick (spikes may be empty —
+  /// subscribers rely on one frame per tick to measure latency). Returns
+  /// ticks actually stepped.
+  using EmitFn =
+      std::function<void(std::uint64_t tick, const std::vector<SpikeEvent>&)>;
+  std::uint64_t step(std::uint64_t budget, const EmitFn& emit);
+
+  /// Serialize the live state (resilience checkpoint + the not-yet-applied
+  /// stimulus script). Returns the snapshot size in bytes.
+  std::uint64_t snapshot_save();
+  /// Restore the last snapshot_save(). Pending step requests are cleared
+  /// and stimuli queued *after* the save are dropped: the restored session
+  /// replays deterministically from the snapshot tick. Throws
+  /// ProtocolError(kSnapshotMissing) when no save exists.
+  void snapshot_restore();
+  bool has_snapshot() const { return !snapshot_bytes_.empty(); }
+
+  /// Total spikes fired since creation (rate summaries, heartbeats).
+  std::uint64_t total_spikes() const { return total_spikes_; }
+
+ private:
+  void apply_stimuli(std::uint64_t tick);
+
+  Scenario scenario_;
+  std::uint64_t seed_ = 0;
+  arch::Model model_;
+  runtime::Partition partition_;
+  std::unique_ptr<comm::MpiTransport> transport_;
+  std::unique_ptr<runtime::Compass> sim_;
+
+  // Stimulus script: tick → (core, axon), multimap because several stimuli
+  // may target one tick. Entries are erased as they are applied.
+  std::multimap<std::uint64_t, std::pair<std::uint32_t, std::uint16_t>>
+      stimuli_;
+  std::uint64_t pending_ = 0;
+  std::uint64_t total_spikes_ = 0;
+  std::vector<SpikeEvent> scratch_;  // spike-hook capture for the current tick
+
+  std::string snapshot_bytes_;  // serialized checkpoint, "" = none
+  std::multimap<std::uint64_t, std::pair<std::uint32_t, std::uint16_t>>
+      snapshot_stimuli_;  // script as of the save
+};
+
+}  // namespace compass::serve

@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <memory>
 #include <string>
+#include <thread>
 #include <tuple>
 #include <vector>
 
@@ -17,6 +18,9 @@
 #include "comm/pgas_transport.h"
 #include "resilience/checkpoint.h"
 #include "runtime/compass.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
 #include "util/prng.h"
 
 namespace compass {
@@ -267,6 +271,134 @@ TEST_P(FuzzSweep, CrossbarColumnMirrorStaysTransposed) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSweep,
                          ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));
+
+// ---------------------------------------------------------------------------
+// Serve-protocol fuzz (`ctest -L serve`): malformed frames must yield typed
+// errors and the daemon must keep serving — never crash, never wedge. Each
+// test proves liveness afterwards by completing a fresh session RPC.
+
+struct ServeFuzzHarness {
+  ServeFuzzHarness() {
+    serve::ServerOptions opts;
+    opts.bind = "127.0.0.1";
+    opts.port = 0;
+    server = std::make_unique<serve::Server>(opts);
+    dispatcher = std::thread([this] { server->run(); });
+  }
+  ~ServeFuzzHarness() { stop(); }
+  void stop() {
+    if (dispatcher.joinable()) {
+      server->request_stop();
+      dispatcher.join();
+    }
+  }
+  /// A full create→close RPC round-trip on a fresh connection: the daemon is
+  /// alive and has drained earlier socket events (every ready fd is serviced
+  /// in the same poll cycle, and the attacker's EOF was ready first).
+  void assert_alive() {
+    serve::Client probe;
+    probe.connect("127.0.0.1", server->port());
+    const std::uint32_t sid = probe.create_session("tiny", 1);
+    probe.close_session(sid);
+  }
+
+  std::unique_ptr<serve::Server> server;
+  std::thread dispatcher;
+};
+
+TEST(ServeFuzz, TruncatedFrameCountsAsProtocolError) {
+  ServeFuzzHarness harness;
+  {
+    serve::Client attacker;
+    attacker.connect("127.0.0.1", harness.server->port());
+    // A length prefix declaring 100 bytes, then hang up after 4: the daemon
+    // sees EOF mid-frame.
+    std::vector<std::uint8_t> wire;
+    serve::put_u32(wire, 100);
+    serve::put_u32(wire, 0xDEAD);
+    attacker.send_raw(wire.data(), wire.size());
+    attacker.close();
+  }
+  harness.assert_alive();
+  harness.stop();
+  EXPECT_GE(harness.server->stats().protocol_errors, 1u);
+}
+
+TEST(ServeFuzz, OversizedFrameGetsTypedErrorAndClose) {
+  ServeFuzzHarness harness;
+  serve::Client attacker;
+  attacker.connect("127.0.0.1", harness.server->port());
+  std::vector<std::uint8_t> wire;
+  serve::put_u32(wire, 0xFFFFFFFFu);  // 4 GiB "payload"
+  serve::put_u32(wire, 0);            // past the probe threshold
+  attacker.send_raw(wire.data(), wire.size());
+  bool saw_error = false;
+  while (attacker.pump(10.0)) {  // pump throws if the daemon never closes
+    while (auto e = attacker.take_error()) {
+      saw_error = true;
+      EXPECT_EQ(e->code, serve::Errc::kFrameTooLarge);
+    }
+  }
+  EXPECT_TRUE(saw_error);
+  harness.assert_alive();
+  harness.stop();
+  EXPECT_GE(harness.server->stats().protocol_errors, 1u);
+}
+
+TEST(ServeFuzz, UnknownOpcodeLeavesConnectionUsable) {
+  ServeFuzzHarness harness;
+  serve::Client client;
+  client.connect("127.0.0.1", harness.server->port());
+  std::vector<std::uint8_t> p;
+  p.push_back(0x7F);  // no such opcode
+  serve::put_u32(p, 1);
+  client.send(p);
+  ASSERT_TRUE(client.pump(10.0));
+  auto e = client.take_error();
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->code, serve::Errc::kBadOpcode);
+  // Same connection, real RPC: still in frame sync.
+  const std::uint32_t sid = client.create_session("tiny", 2);
+  client.close_session(sid);
+  harness.stop();
+}
+
+TEST(ServeFuzz, OutOfRangeSessionIdIsTypedAndNonFatal) {
+  ServeFuzzHarness harness;
+  serve::Client client;
+  client.connect("127.0.0.1", harness.server->port());
+  std::vector<std::uint8_t> p = serve::payload(serve::Op::kStep);
+  serve::put_u32(p, 0xFEEDBEEFu);  // no such session
+  serve::put_u64(p, 5);
+  client.send(p);
+  ASSERT_TRUE(client.pump(10.0));
+  auto e = client.take_error();
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->code, serve::Errc::kBadSession);
+  const std::uint32_t sid = client.create_session("tiny", 3);
+  client.close_session(sid);
+  harness.stop();
+}
+
+TEST(ServeFuzz, RandomGarbageNeverKillsTheDaemon) {
+  ServeFuzzHarness harness;
+  util::CorePrng prng(util::derive_seed(2012, 0x5E57));
+  for (int round = 0; round < 24; ++round) {
+    serve::Client attacker;
+    attacker.connect("127.0.0.1", harness.server->port());
+    std::uint8_t junk[256];
+    const std::size_t len = 4 + prng.uniform_below(sizeof junk - 4);
+    for (std::size_t i = 0; i < len; ++i) {
+      junk[i] = static_cast<std::uint8_t>(prng.uniform_below(256));
+    }
+    attacker.send_raw(junk, len);
+    attacker.close();
+    // Liveness probe every few rounds keeps the test fast but interleaved.
+    if (round % 6 == 5) harness.assert_alive();
+  }
+  harness.assert_alive();
+  harness.stop();
+}
 
 }  // namespace
 }  // namespace compass

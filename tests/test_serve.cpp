@@ -1,0 +1,658 @@
+// Serve plane lockdown (`ctest -L serve`): the wire codec, session
+// semantics, and the loopback daemon end to end.
+//
+// The load-bearing contract is served-vs-local byte-identity: a served
+// session given a fixed (scenario, seed, stimulus script) must stream
+// exactly the spikes a local one-shot run of the same scenario produces —
+// compared as serialized kSpikes payload bytes, not just counts. The local
+// side below builds its model through the same compiler entry points the
+// CLI uses and injects stimuli by hand, so it exercises none of
+// src/serve/'s session code.
+//
+// Threading: each harness runs the daemon's single dispatcher thread;
+// the test thread only talks to it through sockets. Server stats and trace
+// buffers are read strictly after stop() joins the dispatcher.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "cocomac/macaque.h"
+#include "comm/mpi_transport.h"
+#include "compiler/pcc.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "runtime/compass.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "serve/session.h"
+
+namespace compass {
+namespace {
+
+using serve::Client;
+using serve::Cursor;
+using serve::Errc;
+using serve::FrameReader;
+using serve::Op;
+using serve::ProtocolError;
+using serve::Scenario;
+using serve::Session;
+using serve::SpikeEvent;
+using serve::Stream;
+
+// --- harness ----------------------------------------------------------------
+
+struct ServerHarness {
+  explicit ServerHarness(serve::ServerOptions opts = {}) {
+    opts.bind = "127.0.0.1";
+    opts.port = 0;
+    server = std::make_unique<serve::Server>(std::move(opts));
+    dispatcher = std::thread([this] { server->run(); });
+  }
+  ~ServerHarness() { stop(); }
+  void stop() {
+    if (dispatcher.joinable()) {
+      server->request_stop();
+      dispatcher.join();
+    }
+  }
+  std::uint16_t port() const { return server->port(); }
+
+  std::unique_ptr<serve::Server> server;
+  std::thread dispatcher;
+};
+
+// --- codec ------------------------------------------------------------------
+
+TEST(ServeProtocol, IntegerEncodingRoundTrips) {
+  std::vector<std::uint8_t> buf;
+  serve::put_u8(buf, 0xAB);
+  serve::put_u16(buf, 0xBEEF);
+  serve::put_u32(buf, 0xDEADBEEFu);
+  serve::put_u64(buf, 0x0123456789ABCDEFull);
+  Cursor cur(buf);
+  EXPECT_EQ(cur.u8(), 0xAB);
+  EXPECT_EQ(cur.u16(), 0xBEEF);
+  EXPECT_EQ(cur.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(cur.u64(), 0x0123456789ABCDEFull);
+  cur.expect_done();
+}
+
+TEST(ServeProtocol, CursorRejectsTruncationAndTrailingBytes) {
+  std::vector<std::uint8_t> buf;
+  serve::put_u32(buf, 7);
+  {
+    Cursor cur(buf);
+    cur.u16();
+    EXPECT_THROW(cur.u32(), ProtocolError);  // 2 bytes left, 4 wanted
+  }
+  {
+    Cursor cur(buf);
+    cur.u16();
+    EXPECT_THROW(cur.expect_done(), ProtocolError);  // trailing bytes
+  }
+  try {
+    Cursor cur(buf);
+    cur.u64();
+    FAIL() << "u64 over 4 bytes must throw";
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.code(), Errc::kBadFrame);
+  }
+}
+
+TEST(ServeProtocol, FrameReaderReassemblesByteAtATime) {
+  std::vector<std::uint8_t> p = serve::payload(Op::kCloseSession);
+  serve::put_u32(p, 42);
+  const std::vector<std::uint8_t> wire = serve::frame(p);
+  FrameReader reader;
+  std::vector<std::uint8_t> out;
+  for (std::size_t i = 0; i + 1 < wire.size(); ++i) {
+    reader.feed(&wire[i], 1);
+    EXPECT_FALSE(reader.next(out));
+  }
+  reader.feed(&wire.back(), 1);
+  ASSERT_TRUE(reader.next(out));
+  EXPECT_EQ(out, p);
+  EXPECT_EQ(reader.buffered(), 0u);
+}
+
+TEST(ServeProtocol, FrameReaderRejectsOversizedPrefix) {
+  std::vector<std::uint8_t> wire;
+  serve::put_u32(wire, serve::kMaxFramePayload + 1);
+  FrameReader reader;
+  reader.feed(wire.data(), wire.size());
+  std::vector<std::uint8_t> out;
+  try {
+    reader.next(out);
+    FAIL() << "oversized prefix must throw";
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.code(), Errc::kFrameTooLarge);
+  }
+  EXPECT_THROW(serve::frame(std::vector<std::uint8_t>(
+                   serve::kMaxFramePayload + 1)),
+               ProtocolError);
+}
+
+// --- scenarios --------------------------------------------------------------
+
+TEST(ServeScenario, AliasesAndExplicitFormsParse) {
+  EXPECT_EQ(serve::parse_scenario("default").canonical, "macaque:77:2:1");
+  EXPECT_EQ(serve::parse_scenario("tiny").canonical, "macaque:77:1:1");
+  EXPECT_EQ(serve::parse_scenario("medium").canonical, "macaque:256:4:1");
+  const Scenario s = serve::parse_scenario("macaque:128:4:2");
+  EXPECT_EQ(s.total_cores, 128u);
+  EXPECT_EQ(s.ranks, 4);
+  EXPECT_EQ(s.threads_per_rank, 2);
+  EXPECT_EQ(s.canonical, "macaque:128:4:2");
+}
+
+TEST(ServeScenario, BadFormsThrowTyped) {
+  for (const char* bad :
+       {"", "nope", "macaque", "macaque:", "macaque:77", "macaque:77:2:3:4",
+        "macaque:abc:2", "macaque:77:0", "macaque:76:1", "macaque:5000:2",
+        "macaque:77:65", "macaque:77:2:17"}) {
+    try {
+      serve::parse_scenario(bad);
+      FAIL() << "scenario '" << bad << "' must be rejected";
+    } catch (const ProtocolError& e) {
+      EXPECT_EQ(e.code(), Errc::kBadScenario) << bad;
+    }
+  }
+}
+
+// --- session semantics ------------------------------------------------------
+
+using Triple = std::tuple<std::uint64_t, std::uint32_t, std::uint16_t>;
+
+std::vector<Triple> run_session(Session& session, std::uint64_t ticks) {
+  std::vector<Triple> out;
+  session.request(ticks);
+  while (session.pending() > 0) {
+    session.step(8, [&](std::uint64_t tick,
+                        const std::vector<SpikeEvent>& spikes) {
+      for (const SpikeEvent& s : spikes) out.emplace_back(tick, s.core, s.neuron);
+    });
+  }
+  return out;
+}
+
+TEST(ServeSession, InjectValidationIsTyped) {
+  Session session(serve::parse_scenario("tiny"), 2012);
+  EXPECT_EQ(session.inject(serve::kImmediateTick, 0, 5), 0u);
+  session.request(2);
+  session.step(2, nullptr);
+  try {
+    session.inject(0, 0, 0);  // tick 0 already simulated
+    FAIL();
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.code(), Errc::kBadTick);
+  }
+  try {
+    session.inject(serve::kImmediateTick, 100000, 0);  // core out of range
+    FAIL();
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.code(), Errc::kBadTick);
+  }
+  EXPECT_EQ(session.inject(serve::kImmediateTick, 0, 0), session.now());
+}
+
+TEST(ServeSession, FixedScriptReplaysIdentically) {
+  const Scenario scenario = serve::parse_scenario("tiny");
+  const auto script = [](Session& s) {
+    for (std::uint64_t t = 0; t < 12; t += 3) {
+      s.inject(t, static_cast<std::uint32_t>(t % 7),
+               static_cast<std::uint16_t>(11 * t % 256));
+    }
+  };
+  Session a(scenario, 99);
+  script(a);
+  const std::vector<Triple> ta = run_session(a, 12);
+  Session b(scenario, 99);
+  script(b);
+  const std::vector<Triple> tb = run_session(b, 12);
+  EXPECT_FALSE(ta.empty()) << "script must provoke at least one spike";
+  EXPECT_EQ(ta, tb);
+}
+
+TEST(ServeSession, SnapshotRestoreReplaysTail) {
+  Session session(serve::parse_scenario("tiny"), 7);
+  session.inject(2, 1, 42);
+  session.inject(9, 3, 17);
+  (void)run_session(session, 5);  // advance to tick 5 (stimulus@9 pending)
+  EXPECT_GT(session.snapshot_save(), 0u);
+  const std::vector<Triple> tail1 = run_session(session, 10);
+  session.snapshot_restore();
+  EXPECT_EQ(session.now(), 5u);
+  const std::vector<Triple> tail2 = run_session(session, 10);
+  EXPECT_EQ(tail1, tail2);
+  EXPECT_FALSE(tail1.empty());
+}
+
+TEST(ServeSession, RestoreWithoutSaveIsTyped) {
+  Session session(serve::parse_scenario("tiny"), 7);
+  try {
+    session.snapshot_restore();
+    FAIL();
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.code(), Errc::kSnapshotMissing);
+  }
+}
+
+// --- served vs local byte-identity ------------------------------------------
+
+struct Stimulus {
+  std::uint64_t tick;
+  std::uint32_t core;
+  std::uint16_t axon;
+};
+
+std::vector<Stimulus> fixed_script() {
+  std::vector<Stimulus> out;
+  for (std::uint64_t t = 0; t < 20; t += 2) {
+    out.push_back({t, static_cast<std::uint32_t>((3 * t) % 7),
+                   static_cast<std::uint16_t>((31 * t + 5) % 256)});
+  }
+  return out;
+}
+
+/// The one-shot "CLI-style" reference run: same compiler entry points, no
+/// serve code. Returns the per-tick spike batches.
+std::vector<std::vector<SpikeEvent>> local_reference_run(
+    std::uint64_t seed, std::uint64_t ticks,
+    const std::vector<Stimulus>& script) {
+  cocomac::MacaqueSpecOptions mopt;
+  mopt.total_cores = 77;
+  mopt.seed = seed;
+  compiler::PccOptions popt;
+  popt.ranks = 1;
+  popt.threads_per_rank = 1;
+  compiler::PccResult pcc =
+      compiler::compile(cocomac::build_macaque_spec(mopt), popt);
+  comm::MpiTransport transport(pcc.partition.ranks(), comm::CommCostModel{});
+  runtime::Config cfg;
+  cfg.measure = false;
+  cfg.parallel_execution = false;
+  runtime::Compass sim(pcc.model, pcc.partition, transport, cfg);
+  std::vector<std::vector<SpikeEvent>> per_tick(ticks);
+  std::vector<SpikeEvent>* current = nullptr;
+  sim.set_spike_hook([&](arch::Tick, arch::CoreId core, unsigned neuron) {
+    current->push_back({static_cast<std::uint32_t>(core),
+                        static_cast<std::uint16_t>(neuron)});
+  });
+  for (std::uint64_t t = 0; t < ticks; ++t) {
+    for (const Stimulus& s : script) {
+      if (s.tick == t) {
+        pcc.model.core(s.core).deliver(
+            s.axon, static_cast<unsigned>(t & (arch::kDelaySlots - 1)));
+      }
+    }
+    current = &per_tick[t];
+    sim.step();
+  }
+  return per_tick;
+}
+
+/// Serialize per-tick batches exactly as the daemon frames them, so the
+/// comparison below is over wire payload bytes.
+std::vector<std::uint8_t> as_spike_payloads(
+    std::uint32_t sid, std::uint64_t first_tick,
+    const std::vector<std::vector<SpikeEvent>>& per_tick) {
+  std::vector<std::uint8_t> out;
+  for (std::size_t i = 0; i < per_tick.size(); ++i) {
+    std::vector<std::uint8_t> p = serve::payload(Op::kSpikes);
+    serve::put_u32(p, sid);
+    serve::put_u64(p, first_tick + i);
+    serve::put_u32(p, static_cast<std::uint32_t>(per_tick[i].size()));
+    for (const SpikeEvent& s : per_tick[i]) {
+      serve::put_u32(p, s.core);
+      serve::put_u16(p, s.neuron);
+    }
+    out.insert(out.end(), p.begin(), p.end());
+  }
+  return out;
+}
+
+TEST(ServeDaemon, ServedStreamIsByteIdenticalToLocalRun) {
+  constexpr std::uint64_t kSeed = 2012;
+  constexpr std::uint64_t kTicks = 24;
+  const std::vector<Stimulus> script = fixed_script();
+  const std::vector<std::vector<SpikeEvent>> expected =
+      local_reference_run(kSeed, kTicks, script);
+
+  ServerHarness harness;
+  Client client;
+  client.connect("127.0.0.1", harness.port());
+  const std::uint32_t sid = client.create_session("tiny", kSeed);
+  client.subscribe(sid, Stream::kSpikes);
+  for (const Stimulus& s : script) {
+    EXPECT_EQ(client.inject(sid, s.tick, s.core, s.axon), s.tick);
+  }
+  client.step(sid, kTicks);
+  ASSERT_TRUE(client.wait_stepped(sid, kTicks));
+
+  std::vector<std::vector<SpikeEvent>> served(kTicks);
+  std::size_t frames = 0;
+  while (auto f = client.take_spikes()) {
+    ASSERT_EQ(f->session, sid);
+    ASSERT_LT(f->tick, kTicks);
+    for (const auto& [core, neuron] : f->spikes) {
+      served[f->tick].push_back({core, neuron});
+    }
+    ++frames;
+  }
+  EXPECT_EQ(frames, kTicks) << "one spike frame per tick, empty included";
+
+  std::uint64_t total = 0;
+  for (const auto& batch : expected) total += batch.size();
+  EXPECT_GT(total, 0u) << "reference run must spike";
+  EXPECT_EQ(as_spike_payloads(sid, 0, served),
+            as_spike_payloads(sid, 0, expected));
+
+  client.close_session(sid);
+  harness.stop();
+  EXPECT_EQ(harness.server->stats().protocol_errors, 0u);
+}
+
+// --- daemon lifecycle over loopback -----------------------------------------
+
+TEST(ServeDaemon, SessionLimitAndBadScenarioAreTyped) {
+  serve::ServerOptions opts;
+  opts.max_sessions = 1;
+  ServerHarness harness(opts);
+  Client client;
+  client.connect("127.0.0.1", harness.port());
+  EXPECT_THROW(client.create_session("nope", 1), std::runtime_error);
+  const std::uint32_t sid = client.create_session("tiny", 1);
+  try {
+    client.create_session("tiny", 2);
+    FAIL();
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("session-limit"), std::string::npos);
+  }
+  // The connection survived both rejections.
+  client.close_session(sid);
+  EXPECT_EQ(client.create_session("tiny", 3), sid + 1);
+}
+
+TEST(ServeDaemon, SnapshotRestoreOverProtocolReplaysTail) {
+  ServerHarness harness;
+  Client client;
+  client.connect("127.0.0.1", harness.port());
+  const std::uint32_t sid = client.create_session("tiny", 41);
+  client.subscribe(sid, Stream::kSpikes);
+  client.inject(sid, 3, 2, 77);
+  client.inject(sid, 12, 5, 130);
+  client.step(sid, 8);
+  ASSERT_TRUE(client.wait_stepped(sid, 8));
+  while (client.take_spikes()) {
+  }
+  EXPECT_GT(client.snapshot(sid, 0), 0u);  // save at tick 8
+
+  client.step(sid, 8);
+  ASSERT_TRUE(client.wait_stepped(sid, 16));
+  std::vector<std::vector<SpikeEvent>> tail1(16);
+  while (auto f = client.take_spikes()) {
+    for (const auto& [core, neuron] : f->spikes) {
+      tail1[f->tick].push_back({core, neuron});
+    }
+  }
+
+  client.snapshot(sid, 1);  // restore to tick 8
+  client.step(sid, 8);
+  ASSERT_TRUE(client.wait_stepped(sid, 16));
+  std::vector<std::vector<SpikeEvent>> tail2(16);
+  while (auto f = client.take_spikes()) {
+    for (const auto& [core, neuron] : f->spikes) {
+      tail2[f->tick].push_back({core, neuron});
+    }
+  }
+  EXPECT_EQ(as_spike_payloads(sid, 8, tail1), as_spike_payloads(sid, 8, tail2));
+  client.close_session(sid);
+}
+
+TEST(ServeDaemon, HeartbeatsAndRatesStream) {
+  serve::ServerOptions opts;
+  opts.heartbeat_every_ticks = 8;
+  opts.rate_window_ticks = 4;
+  ServerHarness harness(opts);
+  Client client;
+  client.connect("127.0.0.1", harness.port());
+  const std::uint32_t sid = client.create_session("tiny", 5);
+  client.subscribe(sid, Stream::kRates);
+  client.subscribe(sid, Stream::kHeartbeat);
+  client.step(sid, 32);
+  ASSERT_TRUE(client.wait_stepped(sid, 32));
+  // Heartbeats are queued after the kStepped notification (they summarize
+  // the whole stepping pass) — keep pumping until the stream goes quiet.
+  try {
+    while (client.pump(0.5)) {
+    }
+  } catch (const std::runtime_error&) {
+  }
+  std::uint64_t rate_ticks = 0;
+  while (auto r = client.take_rates()) {
+    EXPECT_EQ(r->session, sid);
+    rate_ticks += r->ticks;
+  }
+  EXPECT_EQ(rate_ticks, 32u);  // 4-tick windows tile the whole run
+  bool heartbeat_seen = false;
+  while (auto h = client.take_heartbeat()) {
+    heartbeat_seen = true;
+    EXPECT_GE(h->total_ticks, 8u);
+    EXPECT_EQ(h->sessions_open, 1u);
+  }
+  EXPECT_TRUE(heartbeat_seen);
+  client.close_session(sid);
+}
+
+TEST(ServeDaemon, SessionLifecycleLandsInTraceSink) {
+  obs::TraceBuffer trace;
+  serve::ServerOptions opts;
+  opts.trace = &trace;
+  {
+    ServerHarness harness(opts);
+    Client client;
+    client.connect("127.0.0.1", harness.port());
+    const std::uint32_t sid = client.create_session("tiny", 1);
+    client.step(sid, 2);
+    ASSERT_TRUE(client.wait_stepped(sid, 2));
+    client.snapshot(sid, 0);
+    client.snapshot(sid, 1);
+    client.close_session(sid);
+    harness.stop();  // join before reading the buffer
+  }
+  std::vector<std::string> events;
+  for (const auto& s : trace.sessions()) events.push_back(s.event);
+  EXPECT_EQ(events, (std::vector<std::string>{"create", "snapshot", "restore",
+                                              "close"}));
+  EXPECT_EQ(trace.sessions().front().scenario, "macaque:77:1:1");
+}
+
+// Plain HTTP/1.0 GET over a raw blocking socket (Client would misparse the
+// HTTP response as frames). Returns everything read until the daemon closes.
+std::string http_get(std::uint16_t port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  EXPECT_EQ(inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+  const std::string req = "GET " + path + " HTTP/1.0\r\n\r\n";
+  EXPECT_EQ(::send(fd, req.data(), req.size(), 0),
+            static_cast<ssize_t>(req.size()));
+  std::string out;
+  char buf[4096];
+  for (;;) {
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 10000);
+    EXPECT_GT(ready, 0) << "HTTP response timed out";
+    if (ready <= 0) break;
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;  // daemon closes after the body
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+TEST(ServeDaemon, MetricsEndpointServesPrometheus) {
+  obs::MetricsRegistry metrics;
+  serve::ServerOptions opts;
+  opts.metrics = &metrics;
+  ServerHarness harness(opts);
+
+  {  // some traffic first, so counters are non-trivial
+    Client client;
+    client.connect("127.0.0.1", harness.port());
+    const std::uint32_t sid = client.create_session("tiny", 1);
+    client.step(sid, 4);
+    ASSERT_TRUE(client.wait_stepped(sid, 4));
+    client.close_session(sid);
+  }
+
+  const std::string response = http_get(harness.port(), "/metrics");
+  EXPECT_NE(response.find("200 OK"), std::string::npos) << response;
+  EXPECT_NE(response.find("serve_frames_total"), std::string::npos);
+  EXPECT_NE(response.find("serve_ticks_stepped_total"), std::string::npos);
+  EXPECT_NE(response.find("serve_sessions_open"), std::string::npos);
+
+  const std::string missing = http_get(harness.port(), "/nope");
+  EXPECT_NE(missing.find("404"), std::string::npos);
+
+  harness.stop();
+  EXPECT_EQ(harness.server->stats().http_requests, 2u);
+  EXPECT_EQ(harness.server->stats().protocol_errors, 0u);
+}
+
+// --- backpressure ------------------------------------------------------------
+//
+// Both drills shrink the kernel socket buffers (daemon SO_SNDBUF + subscriber
+// SO_RCVBUF) so the daemon's userspace send queue — the level the policy
+// watches — saturates after a few hundred unread ticks, deterministically.
+
+TEST(ServeBackpressure, SlowSubscriberCoalescesThenResumesWithFullCoverage) {
+  serve::ServerOptions opts;
+  opts.client_queue_soft_bytes = 4096;
+  opts.stall_ticks = std::uint64_t{1} << 40;  // never disconnect in this test
+  opts.so_sndbuf_bytes = 4096;
+  ServerHarness harness(opts);
+
+  Client driver;
+  driver.connect("127.0.0.1", harness.port());
+  const std::uint32_t sid = driver.create_session("tiny", 3);
+
+  Client subscriber;
+  subscriber.connect("127.0.0.1", harness.port(), /*rcvbuf_bytes=*/4096);
+  subscriber.subscribe(sid, Stream::kSpikes);
+
+  // Phase 1: step far past what the shrunken socket buffers can absorb while
+  // the subscriber reads nothing — the daemon must coalesce, not OOM or stall.
+  constexpr std::uint64_t kPhase1 = 4000;
+  driver.step(sid, kPhase1);
+  ASSERT_TRUE(driver.wait_stepped(sid, kPhase1));
+
+  // Phase 2: the subscriber drains everything queued so far, then blocks.
+  std::vector<int> covered(8192, 0);
+  std::uint64_t rate_frames = 0;
+  const auto absorb = [&](double timeout_s) {
+    try {
+      while (subscriber.pump(timeout_s)) {
+        while (auto f = subscriber.take_spikes()) {
+          ASSERT_LT(f->tick, covered.size());
+          ++covered[f->tick];
+        }
+        while (auto r = subscriber.take_rates()) {
+          ++rate_frames;
+          for (std::uint64_t t = r->first_tick;
+               t < r->first_tick + r->ticks; ++t) {
+            ASSERT_LT(t, covered.size());
+            ++covered[t];
+          }
+        }
+      }
+    } catch (const std::runtime_error&) {
+      // pump timeout: queue drained, no more traffic for now
+    }
+  };
+  absorb(2.0);
+
+  // Phase 3: more stepping. With the queue drained the daemon must emit the
+  // coalesced-gap kRates summary (resume) and go back to per-tick frames.
+  constexpr std::uint64_t kPhase2 = 512;
+  driver.step(sid, kPhase2);
+  ASSERT_TRUE(driver.wait_stepped(sid, kPhase1 + kPhase2));
+  absorb(2.0);
+
+  EXPECT_GE(rate_frames, 1u) << "coalescing never engaged";
+  for (std::uint64_t t = 0; t < kPhase1 + kPhase2; ++t) {
+    EXPECT_EQ(covered[t], 1) << "tick " << t
+                             << " must be reported exactly once";
+  }
+  EXPECT_TRUE(subscriber.connected());
+
+  driver.close_session(sid);
+  harness.stop();
+  EXPECT_EQ(harness.server->stats().slow_disconnects, 0u);
+  EXPECT_EQ(harness.server->stats().protocol_errors, 0u);
+}
+
+TEST(ServeBackpressure, StalledSubscriberIsDisconnectedTyped) {
+  serve::ServerOptions opts;
+  opts.client_queue_soft_bytes = 2048;
+  opts.stall_ticks = 64;
+  opts.so_sndbuf_bytes = 4096;
+  ServerHarness harness(opts);
+
+  Client driver;
+  driver.connect("127.0.0.1", harness.port());
+  const std::uint32_t sid = driver.create_session("tiny", 3);
+
+  Client subscriber;
+  subscriber.connect("127.0.0.1", harness.port(), /*rcvbuf_bytes=*/4096);
+  subscriber.subscribe(sid, Stream::kSpikes);
+
+  constexpr std::uint64_t kTicks = 4000;
+  driver.step(sid, kTicks);
+  ASSERT_TRUE(driver.wait_stepped(sid, kTicks));
+
+  // The subscriber was never pumped: the daemon must have cut it loose. Read
+  // until EOF (the kSlowConsumer error frame is best-effort — its queue was
+  // saturated by definition — so only the disconnect itself is asserted).
+  bool eof = false;
+  try {
+    for (int i = 0; i < 100000 && !eof; ++i) {
+      eof = !subscriber.pump(5.0);
+      while (subscriber.take_spikes()) {
+      }
+      while (subscriber.take_error()) {
+      }
+    }
+  } catch (const std::runtime_error&) {
+    FAIL() << "subscriber socket should reach EOF, not time out";
+  }
+  EXPECT_TRUE(eof);
+
+  // The driver's connection is unaffected.
+  EXPECT_EQ(driver.inject(sid, serve::kImmediateTick, 0, 1), kTicks);
+  driver.close_session(sid);
+  harness.stop();
+  EXPECT_GE(harness.server->stats().slow_disconnects, 1u);
+  EXPECT_EQ(harness.server->stats().protocol_errors, 0u);
+}
+
+}  // namespace
+}  // namespace compass

@@ -32,6 +32,13 @@
 //                       seconds, RSS, measured instrumentation overhead)
 //   --engine <e>        with --wall: engine for the profiled run
 //                       (kernels | reference; default kernels)
+//   --serve             record the served-simulation drill instead: starts
+//                       compass_served on an ephemeral port, drives it with
+//                       compass_swarm (32 clients, 8 sessions), and writes
+//                       BENCH_serve.json (sessions/sec, stimuli/sec,
+//                       p50/p99 injection→observed-spike latency)
+//   --tools-dir <dir>   with --serve: directory holding compass_served and
+//                       compass_swarm (default build/tools)
 #include <unistd.h>
 
 #include <cctype>
@@ -340,20 +347,86 @@ int record_recovery(const std::string& bench_dir, const std::string& out) {
   return 0;
 }
 
+/// --serve mode: one daemon + swarm drill. The daemon runs backgrounded on
+/// an ephemeral port with --exit-on-idle-ms, the swarm drives it, and
+/// `wait` reaps the daemon — one shell line, no pid files to leak. The
+/// swarm's own JSON (already schema compass.bench_serve.v1) is re-emitted
+/// with the provenance block bench_trend lines snapshots up by.
+int record_serve(const std::string& tools_dir, const std::string& out) {
+  const std::string swarm_tmp = out + ".swarm.tmp";
+  const std::string port_file = out + ".port.tmp";
+  std::remove(swarm_tmp.c_str());
+  std::remove(port_file.c_str());
+  const std::string cmd =
+      tools_dir + "/compass_served --port-file " + port_file +
+      " --exit-on-idle-ms 1000 --max-seconds 180 > /dev/null & SERVED=$!; " +
+      "for i in $(seq 1 100); do [ -s " + port_file +
+      " ] && break; sleep 0.1; done; [ -s " + port_file + " ] || exit 1; " +
+      tools_dir + "/compass_swarm --port $(cat " + port_file +
+      ") --clients 32 --sessions 8 --injects 16 --json " + swarm_tmp +
+      "; RC=$?; wait $SERVED; exit $RC";
+  const int rc = run_command(cmd);
+  std::remove(port_file.c_str());
+  if (rc != 0) return 1;
+  const std::string swarm = read_file(swarm_tmp);
+  std::remove(swarm_tmp.c_str());
+  if (swarm.empty()) {
+    std::cerr << "bench_record: compass_swarm wrote no JSON\n";
+    return 1;
+  }
+  std::ofstream js(out);
+  if (!js) {
+    std::cerr << "bench_record: cannot write " << out << "\n";
+    return 1;
+  }
+  const auto num = [&](const char* key) {
+    return json_number(number_field(swarm, key).value_or(0.0));
+  };
+  js << "{\n  \"schema\": \"compass.bench_serve.v1\",\n"
+     << "  \"generator\": \"tools/bench_record\",\n"
+     << "  \"provenance\": " << provenance_json("") << ",\n"
+     << "  \"serve\": {\n"
+     << "    \"clients\": " << num("clients") << ",\n"
+     << "    \"sessions\": " << num("sessions") << ",\n"
+     << "    \"scenario\": \"" << raw_field(swarm, "scenario").value_or("")
+     << "\",\n"
+     << "    \"stimuli\": " << num("stimuli") << ",\n"
+     << "    \"sessions_per_second\": " << num("sessions_per_second")
+     << ",\n"
+     << "    \"stimuli_per_second\": " << num("stimuli_per_second") << ",\n"
+     << "    \"p50_inject_latency_ms\": " << num("p50_inject_latency_ms")
+     << ",\n"
+     << "    \"p99_inject_latency_ms\": " << num("p99_inject_latency_ms")
+     << ",\n"
+     << "    \"max_inject_latency_ms\": " << num("max_inject_latency_ms")
+     << ",\n"
+     << "    \"protocol_errors\": " << num("protocol_errors") << "\n"
+     << "  }\n}\n";
+  std::cout << "[bench_record] wrote " << out << " ("
+            << num("stimuli_per_second") << " stimuli/s, p99 "
+            << num("p99_inject_latency_ms") << " ms, "
+            << num("protocol_errors") << " protocol errors)\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string bench_dir = "build/bench";
+  std::string tools_dir = "build/tools";
   std::string out;
   std::string min_time;
   std::string engine = "kernels";
   bool headline = true;
   bool recovery = false;
   bool wall = false;
+  bool serve = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--bench-dir" && i + 1 < argc) {
       bench_dir = argv[++i];
+    } else if (arg == "--tools-dir" && i + 1 < argc) {
+      tools_dir = argv[++i];
     } else if (arg == "--out" && i + 1 < argc) {
       out = argv[++i];
     } else if (arg == "--min-time" && i + 1 < argc) {
@@ -366,15 +439,21 @@ int main(int argc, char** argv) {
       recovery = true;
     } else if (arg == "--wall") {
       wall = true;
+    } else if (arg == "--serve") {
+      serve = true;
     } else {
-      std::cerr << "usage: bench_record [--bench-dir <dir>] [--out <path>] "
+      std::cerr << "usage: bench_record [--bench-dir <dir>] "
+                   "[--tools-dir <dir>] [--out <path>] "
                    "[--min-time <t>] [--skip-headline] [--recovery] [--wall] "
-                   "[--engine kernels|reference]\n";
+                   "[--serve] [--engine kernels|reference]\n";
       return 1;
     }
   }
-  if (recovery && wall) {
-    std::cerr << "bench_record: --recovery and --wall are exclusive\n";
+  if (static_cast<int>(recovery) + static_cast<int>(wall) +
+          static_cast<int>(serve) >
+      1) {
+    std::cerr << "bench_record: --recovery, --wall, and --serve are "
+                 "exclusive\n";
     return 1;
   }
   if (engine != "kernels" && engine != "reference") {
@@ -383,10 +462,13 @@ int main(int argc, char** argv) {
   }
   if (out.empty()) {
     out = recovery ? "BENCH_recovery.json"
-                   : (wall ? "BENCH_wall.json" : "BENCH_kernels.json");
+                   : (wall ? "BENCH_wall.json"
+                           : (serve ? "BENCH_serve.json"
+                                    : "BENCH_kernels.json"));
   }
   if (recovery) return record_recovery(bench_dir, out);
   if (wall) return record_wall(bench_dir, out, engine);
+  if (serve) return record_serve(tools_dir, out);
 
   // --- Microbenchmarks: one process measures both engines -------------------
   const std::string micro_tmp = out + ".micro.tmp";

@@ -4,8 +4,9 @@
 //               [--append] [--check] [--tolerance PCT]
 //
 // Reads the BENCH snapshot files bench_record writes (BENCH_kernels.json,
-// BENCH_recovery.json, BENCH_wall.json — the defaults, skipping any that
-// do not exist), reduces each to a small set of named metrics, and prints
+// BENCH_recovery.json, BENCH_wall.json, BENCH_serve.json — the defaults,
+// skipping any that do not exist), reduces each to a small set of named
+// metrics, and prints
 // them next to the append-only history in BENCH_history.jsonl: one line per
 // recorded snapshot-set, oldest first, so the table reads as the repo's
 // performance trajectory across PRs.
@@ -58,6 +59,8 @@ int metric_direction(const std::string& name) {
   if (name == "kernels.micro_geomean_speedup") return 1;
   if (name == "wall.ticks_per_second") return 1;
   if (name == "wall.overhead_pct") return -1;
+  if (name == "serve.stimuli_per_second") return 1;
+  if (name == "serve.p99_inject_latency_ms") return -1;
   return 0;
 }
 
@@ -157,6 +160,20 @@ void ingest_file(const std::string& path, Snapshot& snap) {
     const JsonValue* headline = root.find("headline");
     if (headline != nullptr && headline->kind == JsonValue::Kind::kObject) {
       snap.metrics["wall.host_wall_s"] = num_or(*headline, "host_wall_s", 0.0);
+    }
+  } else if (s.rfind("compass.bench_serve.", 0) == 0) {
+    const JsonValue* serve = root.find("serve");
+    if (serve != nullptr && serve->kind == JsonValue::Kind::kObject) {
+      snap.metrics["serve.sessions_per_second"] =
+          num_or(*serve, "sessions_per_second", 0.0);
+      snap.metrics["serve.stimuli_per_second"] =
+          num_or(*serve, "stimuli_per_second", 0.0);
+      snap.metrics["serve.p50_inject_latency_ms"] =
+          num_or(*serve, "p50_inject_latency_ms", 0.0);
+      snap.metrics["serve.p99_inject_latency_ms"] =
+          num_or(*serve, "p99_inject_latency_ms", 0.0);
+      snap.metrics["serve.protocol_errors"] =
+          num_or(*serve, "protocol_errors", 0.0);
     }
   } else {
     throw std::runtime_error(path + ": unknown schema \"" + s + "\"");
@@ -271,7 +288,8 @@ int main(int argc, char** argv) {
   }
   if (files.empty()) {
     for (const char* name :
-         {"BENCH_kernels.json", "BENCH_recovery.json", "BENCH_wall.json"}) {
+         {"BENCH_kernels.json", "BENCH_recovery.json", "BENCH_wall.json",
+          "BENCH_serve.json"}) {
       if (file_exists(name)) files.push_back(name);
     }
     if (files.empty()) {

@@ -929,7 +929,7 @@ int cmd_run(const Args& args) {
       std::cerr << "compass: cannot write " << args.metrics_prom_file << "\n";
       return 2;
     }
-    obs::write_snapshot_prometheus(os, registry.snapshot());
+    os << obs::prometheus_exposition(registry.snapshot());
     std::cout << "metrics exposition (Prometheus text) written to "
               << args.metrics_prom_file << "\n";
   }

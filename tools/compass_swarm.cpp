@@ -1,0 +1,313 @@
+// compass_swarm — synthetic-client load generator for compass_served
+// (EXPERIMENTS.md "Swarm load"; methodology after the DPSNN scaling runs).
+//
+// One setup connection creates --sessions sessions, then --clients worker
+// threads each open their own connection, subscribe to session
+// (worker % sessions), and run --injects inject→step→observe cycles:
+// inject a stimulus at the session's current tick, request one step, and
+// pump the spike stream until the frame for the resolved tick arrives. The
+// wall time of each full cycle is the injection→observed-spike latency the
+// report quantiles.
+//
+// Reports sessions/sec (setup), stimuli/sec (aggregate), p50/p99/max
+// latency, and protocol errors; exits 1 when any worker failed or any
+// error frame was received, so drills assert "zero protocol errors" by
+// exit code alone. --json writes schema compass.bench_serve.v1 (wrapped
+// with provenance by `bench_record --serve`).
+//
+// Flags:
+//   --host <addr>      daemon address (default 127.0.0.1)
+//   --port <n>         daemon port (required)
+//   --clients <n>      concurrent worker connections (default 32)
+//   --sessions <n>     sessions created up front (default 8)
+//   --injects <n>      inject→observe cycles per worker (default 16)
+//   --scenario <name>  session scenario (default tiny)
+//   --seed <n>         base model seed; session i uses seed + i (default 7)
+//   --json <path>      write the machine-readable report
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/client.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+void usage(std::ostream& os) {
+  os << "usage: compass_swarm --port N [--host ADDR] [--clients N]\n"
+        "                     [--sessions N] [--injects N] [--scenario S]\n"
+        "                     [--seed N] [--json PATH]\n";
+}
+
+std::optional<std::uint64_t> parse_u64_flag(const char* flag, const char* text,
+                                            std::uint64_t min_value,
+                                            std::uint64_t max_value) {
+  const char* p = text;
+  if (*p == '\0') {
+    std::cerr << "compass_swarm: " << flag << " requires a number, got ''\n";
+    return std::nullopt;
+  }
+  std::uint64_t v = 0;
+  for (; *p != '\0'; ++p) {
+    if (*p < '0' || *p > '9') {
+      std::cerr << "compass_swarm: " << flag
+                << " requires a non-negative integer, got '" << text << "'\n";
+      return std::nullopt;
+    }
+    const std::uint64_t next = v * 10 + static_cast<std::uint64_t>(*p - '0');
+    if (next < v) {
+      std::cerr << "compass_swarm: " << flag << " value overflows\n";
+      return std::nullopt;
+    }
+    v = next;
+  }
+  if (v < min_value || v > max_value) {
+    std::cerr << "compass_swarm: " << flag << " must be in [" << min_value
+              << ", " << max_value << "], got " << v << "\n";
+    return std::nullopt;
+  }
+  return v;
+}
+
+struct WorkerResult {
+  std::vector<double> latencies_s;
+  std::uint64_t injected = 0;
+  std::uint64_t error_frames = 0;
+  std::string failure;  // "" = clean
+};
+
+double quantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = lo + 1 < sorted.size() ? lo + 1 : lo;
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  bool have_port = false;
+  std::uint64_t clients = 32;
+  std::uint64_t sessions = 8;
+  std::uint64_t injects = 16;
+  std::string scenario = "tiny";
+  std::uint64_t seed = 7;
+  std::string json_out;
+
+  const auto next = [&](int& i, const char* flag) -> const char* {
+    if (i + 1 >= argc) {
+      std::cerr << "compass_swarm: " << flag << " requires a value\n";
+      usage(std::cerr);
+      return nullptr;
+    }
+    return argv[++i];
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--help" || a == "-h") {
+      usage(std::cout);
+      return 0;
+    } else if (a == "--host") {
+      const char* v = next(i, "--host");
+      if (!v) return 1;
+      host = v;
+    } else if (a == "--port") {
+      const char* v = next(i, "--port");
+      if (!v) return 1;
+      const auto n = parse_u64_flag("--port", v, 1, 65535);
+      if (!n) return 1;
+      port = static_cast<std::uint16_t>(*n);
+      have_port = true;
+    } else if (a == "--clients") {
+      const char* v = next(i, "--clients");
+      if (!v) return 1;
+      const auto n = parse_u64_flag("--clients", v, 1, 4096);
+      if (!n) return 1;
+      clients = *n;
+    } else if (a == "--sessions") {
+      const char* v = next(i, "--sessions");
+      if (!v) return 1;
+      const auto n = parse_u64_flag("--sessions", v, 1, 4096);
+      if (!n) return 1;
+      sessions = *n;
+    } else if (a == "--injects") {
+      const char* v = next(i, "--injects");
+      if (!v) return 1;
+      const auto n = parse_u64_flag("--injects", v, 1, 1u << 20);
+      if (!n) return 1;
+      injects = *n;
+    } else if (a == "--scenario") {
+      const char* v = next(i, "--scenario");
+      if (!v) return 1;
+      scenario = v;
+    } else if (a == "--seed") {
+      const char* v = next(i, "--seed");
+      if (!v) return 1;
+      const auto n = parse_u64_flag("--seed", v, 0, UINT64_MAX);
+      if (!n) return 1;
+      seed = *n;
+    } else if (a == "--json") {
+      const char* v = next(i, "--json");
+      if (!v) return 1;
+      json_out = v;
+    } else {
+      std::cerr << "compass_swarm: unknown argument '" << a << "'\n";
+      usage(std::cerr);
+      return 1;
+    }
+  }
+  if (!have_port) {
+    std::cerr << "compass_swarm: --port is required\n";
+    usage(std::cerr);
+    return 1;
+  }
+
+  using compass::serve::Client;
+  using compass::serve::Stream;
+
+  // Setup: one connection creates every session; its wall time is the
+  // sessions/sec figure (session creation compiles a model, so this is the
+  // daemon's admission cost, not a socket microbenchmark).
+  Client setup;
+  std::vector<std::uint32_t> sids;
+  double setup_s = 0.0;
+  try {
+    setup.connect(host, port);
+    const double t0 = compass::util::monotonic_seconds();
+    for (std::uint64_t s = 0; s < sessions; ++s) {
+      sids.push_back(setup.create_session(scenario, seed + s));
+    }
+    setup_s = compass::util::monotonic_seconds() - t0;
+  } catch (const std::exception& e) {
+    std::cerr << "compass_swarm: session setup failed: " << e.what() << "\n";
+    return 1;
+  }
+
+  std::vector<WorkerResult> results(clients);
+  std::vector<std::thread> workers;
+  workers.reserve(clients);
+  const double drive_t0 = compass::util::monotonic_seconds();
+  for (std::uint64_t w = 0; w < clients; ++w) {
+    workers.emplace_back([&, w] {
+      WorkerResult& r = results[w];
+      try {
+        Client c;
+        c.connect(host, port);
+        const std::uint32_t sid = sids[w % sids.size()];
+        c.subscribe(sid, Stream::kSpikes);
+        for (std::uint64_t k = 0; k < injects; ++k) {
+          const double t0 = compass::util::monotonic_seconds();
+          const std::uint16_t axon =
+              static_cast<std::uint16_t>((w * 31 + k * 7) % 256);
+          const std::uint64_t resolved =
+              c.inject(sid, compass::serve::kImmediateTick, 0, axon);
+          c.step(sid, 1);
+          ++r.injected;
+          // The daemon emits one spike frame per tick (empty included), so
+          // the resolved tick's frame always arrives once someone — us or a
+          // session co-tenant — advances the session past it.
+          bool observed = false;
+          while (!observed) {
+            while (auto f = c.take_spikes()) {
+              if (f->session == sid && f->tick >= resolved) observed = true;
+            }
+            while (c.take_rates()) {
+            }
+            if (observed) break;
+            if (!c.pump(30.0)) {
+              throw std::runtime_error("connection closed mid-drive");
+            }
+          }
+          r.latencies_s.push_back(compass::util::monotonic_seconds() - t0);
+        }
+        while (auto e = c.take_error()) {
+          ++r.error_frames;
+          std::cerr << "compass_swarm: worker " << w << " error frame ["
+                    << compass::serve::errc_name(e->code)
+                    << "]: " << e->message << "\n";
+        }
+      } catch (const std::exception& e) {
+        r.failure = e.what();
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  const double drive_s = compass::util::monotonic_seconds() - drive_t0;
+
+  std::uint64_t failures = 0;
+  std::uint64_t error_frames = 0;
+  std::uint64_t injected = 0;
+  std::vector<double> latencies;
+  for (std::uint64_t w = 0; w < clients; ++w) {
+    const WorkerResult& r = results[w];
+    if (!r.failure.empty()) {
+      ++failures;
+      std::cerr << "compass_swarm: worker " << w << " failed: " << r.failure
+                << "\n";
+    }
+    error_frames += r.error_frames;
+    injected += r.injected;
+    latencies.insert(latencies.end(), r.latencies_s.begin(),
+                     r.latencies_s.end());
+  }
+  std::sort(latencies.begin(), latencies.end());
+
+  try {
+    for (const std::uint32_t sid : sids) setup.close_session(sid);
+  } catch (const std::exception& e) {
+    std::cerr << "compass_swarm: session teardown failed: " << e.what()
+              << "\n";
+    ++failures;
+  }
+
+  const double sessions_per_second =
+      setup_s > 0.0 ? static_cast<double>(sessions) / setup_s : 0.0;
+  const double stimuli_per_second =
+      drive_s > 0.0 ? static_cast<double>(injected) / drive_s : 0.0;
+  const double p50_ms = quantile(latencies, 0.50) * 1000.0;
+  const double p99_ms = quantile(latencies, 0.99) * 1000.0;
+  const double max_ms = latencies.empty() ? 0.0 : latencies.back() * 1000.0;
+  const std::uint64_t protocol_errors = error_frames + failures;
+
+  std::cout << "compass_swarm: " << clients << " clients x " << injects
+            << " injects over " << sessions << " sessions (" << scenario
+            << ")\n"
+            << "  sessions/sec         " << sessions_per_second << "\n"
+            << "  stimuli/sec          " << stimuli_per_second << "\n"
+            << "  inject->spike p50    " << p50_ms << " ms\n"
+            << "  inject->spike p99    " << p99_ms << " ms\n"
+            << "  inject->spike max    " << max_ms << " ms\n"
+            << "  protocol errors      " << protocol_errors << "\n";
+
+  if (!json_out.empty()) {
+    std::ofstream os(json_out);
+    if (!os) {
+      std::cerr << "compass_swarm: cannot write " << json_out << "\n";
+      return 2;
+    }
+    os << "{\n  \"schema\": \"compass.bench_serve.v1\",\n  \"serve\": {\n"
+       << "    \"clients\": " << clients << ",\n"
+       << "    \"sessions\": " << sessions << ",\n"
+       << "    \"scenario\": \"" << scenario << "\",\n"
+       << "    \"stimuli\": " << injected << ",\n"
+       << "    \"sessions_per_second\": " << sessions_per_second << ",\n"
+       << "    \"stimuli_per_second\": " << stimuli_per_second << ",\n"
+       << "    \"p50_inject_latency_ms\": " << p50_ms << ",\n"
+       << "    \"p99_inject_latency_ms\": " << p99_ms << ",\n"
+       << "    \"max_inject_latency_ms\": " << max_ms << ",\n"
+       << "    \"protocol_errors\": " << protocol_errors << "\n  }\n}\n";
+  }
+
+  return protocol_errors == 0 ? 0 : 1;
+}
