@@ -10,6 +10,7 @@
 #include <optional>
 #include <vector>
 
+#include "obs/analytics.h"
 #include "obs/metrics.h"
 #include "obs/spiketrace.h"
 #include "obs/trace.h"
@@ -37,10 +38,16 @@ struct BenchObs {
     o.profile_out = env_or_empty("COMPASS_PROFILE_OUT");
     o.spike_trace_out = env_or_empty("COMPASS_SPIKE_TRACE_OUT");
     o.wallprof_out = env_or_empty("COMPASS_WALLPROF_OUT");
+    o.analytics_out = env_or_empty("COMPASS_ANALYTICS_OUT");
     const char* sample = std::getenv("COMPASS_SPIKE_SAMPLE");
     if (sample != nullptr && *sample != '\0') {
       const unsigned long long v = std::strtoull(sample, nullptr, 10);
       if (v >= 1) o.spike_sample = v;
+    }
+    const char* window = std::getenv("COMPASS_ANALYTICS_WINDOW");
+    if (window != nullptr && *window != '\0') {
+      const unsigned long long v = std::strtoull(window, nullptr, 10);
+      if (v >= 1) o.analytics_window = v;
     }
     return o;
   }();
@@ -50,6 +57,8 @@ struct BenchObs {
   std::ofstream span_os;
   std::optional<obs::JsonlSpikeSpanWriter> span_writer;
   std::ofstream wall_os;  // wallprof summaries append across runs
+  std::ofstream analytics_os;  // analytics windows append across runs
+  std::optional<obs::JsonlTraceWriter> analytics_writer;
   obs::ChromeTraceWriter chrome;
   bool chrome_active = false;
 
@@ -97,11 +106,12 @@ void obs_usage(std::ostream& os, const char* prog) {
   os << "usage: " << prog
      << " [--trace-out F] [--chrome-out F] [--metrics-out F]\n"
         "       [--profile-out F] [--spike-trace-out F] [--spike-sample N]\n"
-        "       [--wallprof-out F]\n"
+        "       [--wallprof-out F] [--analytics-out F] [--analytics-window N]\n"
         "  (environment fallbacks: COMPASS_TRACE_OUT, COMPASS_CHROME_OUT,\n"
         "   COMPASS_METRICS_OUT, COMPASS_PROFILE_OUT,\n"
         "   COMPASS_SPIKE_TRACE_OUT, COMPASS_SPIKE_SAMPLE,\n"
-        "   COMPASS_WALLPROF_OUT;\n"
+        "   COMPASS_WALLPROF_OUT, COMPASS_ANALYTICS_OUT,\n"
+        "   COMPASS_ANALYTICS_WINDOW;\n"
         "   COMPASS_BENCH_SCALE scales the model sizes)\n";
 }
 
@@ -128,6 +138,23 @@ void init_obs(int argc, char** argv) {
       dest = &o.spike_trace_out;
     } else if (std::strcmp(a, "--wallprof-out") == 0) {
       dest = &o.wallprof_out;
+    } else if (std::strcmp(a, "--analytics-out") == 0) {
+      dest = &o.analytics_out;
+    } else if (std::strcmp(a, "--analytics-window") == 0) {
+      if (i + 1 >= argc) {
+        std::cerr << prog << ": --analytics-window requires a value\n";
+        std::exit(1);
+      }
+      char* end = nullptr;
+      const unsigned long long v = std::strtoull(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || v < 1) {
+        std::cerr << prog
+                  << ": --analytics-window requires a positive integer, "
+                  << "got '" << argv[i] << "'\n";
+        std::exit(1);
+      }
+      o.analytics_window = v;
+      continue;
     } else if (std::strcmp(a, "--spike-sample") == 0) {
       if (i + 1 >= argc) {
         std::cerr << prog << ": --spike-sample requires a value\n";
@@ -241,6 +268,28 @@ runtime::RunReport run_model(const arch::Model& model,
       sim.set_spike_tracer(&*tracer);
     }
   }
+  // Analytics follows the same split: the JSONL sink is process-wide so
+  // window records append across runs, while the engine is per-run (each
+  // run may use a different rank count, and window numbering restarts at
+  // zero with a fresh config header per run). Benches model a single
+  // population, so the region map is empty (one region over all cores).
+  std::optional<obs::AnalyticsEngine> analytics;
+  if (!b.options.analytics_out.empty()) {
+    if (!b.analytics_writer) {
+      b.analytics_os.open(b.options.analytics_out);
+      if (b.analytics_os) b.analytics_writer.emplace(b.analytics_os);
+    }
+    if (b.analytics_writer) {
+      obs::AnalyticsOptions aopt;
+      aopt.window_ticks = b.options.analytics_window;
+      analytics.emplace(partition.ranks(),
+                        static_cast<std::uint32_t>(copy.num_cores()),
+                        std::vector<std::uint32_t>{}, aopt);
+      if (!b.options.metrics_out.empty()) analytics->set_metrics(&b.registry);
+      analytics->add_sink(&*b.analytics_writer);
+      sim.set_analytics(&*analytics);
+    }
+  }
   const std::string& profile_out = bench_obs().options.profile_out;
   std::optional<obs::ProfileCollector> collector;
   if (profile || !profile_out.empty()) {
@@ -264,6 +313,7 @@ runtime::RunReport run_model(const arch::Model& model,
     wallprof->write_summary();
     b.wall_os.flush();
   }
+  if (analytics) b.analytics_os.flush();
   if (collector && !profile_out.empty()) {
     std::ofstream os(profile_out);
     if (os) obs::write_profile_json(os, *rep.profile, collector->comm_matrix());

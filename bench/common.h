@@ -47,11 +47,18 @@ struct ObsOptions {
                                     // summary record appended per run, so a
                                     // multi-run bench yields one line per
                                     // measured configuration)
+  std::string analytics_out;        // streaming spike-analytics JSONL
+                                    // ($COMPASS_ANALYTICS_OUT; window records
+                                    // append across the process's runs; each
+                                    // run re-emits its config header)
+  std::uint64_t analytics_window = 64;  // analytics window length, ticks
+                                        // ($COMPASS_ANALYTICS_WINDOW)
 };
 
 /// Parse the observability flags (--trace-out / --chrome-out /
 /// --metrics-out / --profile-out / --spike-trace-out / --spike-sample /
-/// --wallprof-out) from a bench's argv. Strict: an unknown flag or a stray positional argument
+/// --wallprof-out / --analytics-out / --analytics-window) from a bench's
+/// argv. Strict: an unknown flag or a stray positional argument
 /// prints usage and exits 1 — a typo'd flag must not silently run the bench
 /// without its outputs. Call once, before the first run_model().
 void init_obs(int argc, char** argv);

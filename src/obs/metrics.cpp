@@ -20,6 +20,7 @@ const char* metric_kind_name(MetricKind kind) {
 
 MetricsRegistry::Id MetricsRegistry::intern(std::string_view name,
                                             std::string_view unit,
+                                            std::string_view help,
                                             MetricKind kind) {
   for (std::size_t i = 0; i < slots_.size(); ++i) {
     if (slots_[i].name == name) {
@@ -27,30 +28,37 @@ MetricsRegistry::Id MetricsRegistry::intern(std::string_view name,
         throw std::invalid_argument("MetricsRegistry: '" + std::string(name) +
                                     "' re-registered as a different kind");
       }
+      if (slots_[i].help.empty() && !help.empty()) {
+        slots_[i].help = std::string(help);
+      }
       return static_cast<Id>(i);
     }
   }
   MetricValue m;
   m.name = std::string(name);
   m.unit = std::string(unit);
+  m.help = std::string(help);
   m.kind = kind;
   slots_.push_back(std::move(m));
   return static_cast<Id>(slots_.size() - 1);
 }
 
 MetricsRegistry::Id MetricsRegistry::counter(std::string_view name,
-                                             std::string_view unit) {
-  return intern(name, unit, MetricKind::kCounter);
+                                             std::string_view unit,
+                                             std::string_view help) {
+  return intern(name, unit, help, MetricKind::kCounter);
 }
 
 MetricsRegistry::Id MetricsRegistry::gauge(std::string_view name,
-                                           std::string_view unit) {
-  return intern(name, unit, MetricKind::kGauge);
+                                           std::string_view unit,
+                                           std::string_view help) {
+  return intern(name, unit, help, MetricKind::kGauge);
 }
 
 MetricsRegistry::Id MetricsRegistry::histogram(std::string_view name,
-                                               std::string_view unit) {
-  return intern(name, unit, MetricKind::kHistogram);
+                                               std::string_view unit,
+                                               std::string_view help) {
+  return intern(name, unit, help, MetricKind::kHistogram);
 }
 
 void MetricsRegistry::observe(Id id, std::uint64_t value) {
@@ -153,10 +161,29 @@ std::string prometheus_name(const std::string& name) {
   return out;
 }
 
+/// HELP text escaping per the text exposition format 0.0.4: backslash and
+/// newline are the only characters that need escaping on a HELP line.
+void write_help_text(std::ostream& os, std::string_view text) {
+  for (const char c : text) {
+    switch (c) {
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      default: os << c;
+    }
+  }
+}
+
 void write_help_type(std::ostream& os, const std::string& name,
                      const MetricValue& m, const char* type) {
-  os << "# HELP " << name << ' ' << m.name;
-  if (!m.unit.empty()) os << " (" << m.unit << ')';
+  os << "# HELP " << name << ' ';
+  if (!m.help.empty()) {
+    write_help_text(os, m.help);
+  } else {
+    // Legacy fallback for metrics registered without a description: the
+    // original registry name plus its unit.
+    write_help_text(os, m.name);
+    if (!m.unit.empty()) os << " (" << m.unit << ')';
+  }
   os << "\n# TYPE " << name << ' ' << type << '\n';
 }
 

@@ -37,6 +37,8 @@ struct MetricValue {
   std::string name;
   MetricKind kind = MetricKind::kCounter;
   std::string unit;  // free-form, e.g. "spikes", "bytes", "s"
+  std::string help;  // one-line human description for `# HELP`; when empty
+                     // the exposition falls back to "<name> (<unit>)"
 
   std::uint64_t count = 0;  // counter total
   double value = 0.0;       // gauge level
@@ -57,9 +59,15 @@ class MetricsRegistry {
 
   /// Register (or look up) a metric. Name collisions with a different kind
   /// throw std::invalid_argument; same (name, kind) returns the existing id.
-  Id counter(std::string_view name, std::string_view unit = {});
-  Id gauge(std::string_view name, std::string_view unit = {});
-  Id histogram(std::string_view name, std::string_view unit = {});
+  /// A non-empty `help` becomes the Prometheus `# HELP` text (escaped per
+  /// the exposition format); re-registration with a non-empty help updates
+  /// an empty one, so whichever publisher supplies a description wins.
+  Id counter(std::string_view name, std::string_view unit = {},
+             std::string_view help = {});
+  Id gauge(std::string_view name, std::string_view unit = {},
+           std::string_view help = {});
+  Id histogram(std::string_view name, std::string_view unit = {},
+               std::string_view help = {});
 
   /// Counter increment.
   void add(Id id, std::uint64_t delta = 1) { slots_[id].count += delta; }
@@ -75,7 +83,8 @@ class MetricsRegistry {
   void write_json(std::ostream& os) const;
 
  private:
-  Id intern(std::string_view name, std::string_view unit, MetricKind kind);
+  Id intern(std::string_view name, std::string_view unit,
+            std::string_view help, MetricKind kind);
 
   std::vector<MetricValue> slots_;
 };

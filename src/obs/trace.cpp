@@ -102,6 +102,13 @@ void JsonlTraceWriter::on_session(const SessionRecord& s) {
   os_ << "}\n";
 }
 
+void JsonlTraceWriter::on_analytics(const AnalyticsRecord& a) {
+  // Windowed summaries are rare (one line per --analytics-window ticks) and
+  // already serialized canonically by the engine: cap-exempt and written
+  // verbatim, so the emitted bytes equal every other surface's bytes.
+  if (a.json != nullptr) os_ << a.json << '\n';
+}
+
 namespace {
 
 constexpr double kMicro = 1e6;  // trace timestamps are virtual microseconds

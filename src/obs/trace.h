@@ -106,6 +106,20 @@ struct SessionRecord {
   const char* scenario = "";   // canonical scenario text ("" when n/a)
 };
 
+/// One streaming-analytics record (src/obs/analytics.h): either a closed
+/// window ({"type":"analytics",...}) or the one-time config header
+/// ({"type":"analytics_config",...}, recognizable by ticks == 0). `json` is
+/// the *canonical* serialized line (no trailing newline) — every surface
+/// that persists or transmits analytics carries these exact bytes, which is
+/// what makes live/served/offline byte-identity trivially checkable. The
+/// pointer stays valid only for the duration of the on_analytics() call.
+struct AnalyticsRecord {
+  std::uint64_t window = 0;
+  std::uint64_t first_tick = 0;
+  std::uint64_t ticks = 0;  // ticks covered; 0 marks the config header
+  const char* json = "";
+};
+
 class TraceSink {
  public:
   virtual ~TraceSink() = default;
@@ -119,6 +133,12 @@ class TraceSink {
   virtual void on_recovery(const RecoveryRecord& recovery) { (void)recovery; }
   /// Default no-op: only the serve daemon emits session lifecycle records.
   virtual void on_session(const SessionRecord& session) { (void)session; }
+  /// Default no-op: only runs with a streaming-analytics engine attached
+  /// emit windowed analytics records, so pre-analytics sinks (and the
+  /// golden traces) are unaffected.
+  virtual void on_analytics(const AnalyticsRecord& analytics) {
+    (void)analytics;
+  }
 };
 
 struct JsonlOptions {
@@ -146,6 +166,7 @@ class JsonlTraceWriter final : public TraceSink {
   void on_profile(const ProfileRecord& profile) override;
   void on_recovery(const RecoveryRecord& recovery) override;
   void on_session(const SessionRecord& session) override;
+  void on_analytics(const AnalyticsRecord& analytics) override;
 
   /// Records dropped after the cap was reached.
   std::uint64_t dropped() const { return dropped_; }
@@ -189,11 +210,25 @@ class TraceBuffer final : public TraceSink {
     sessions_.push_back({session.event, session.session_id, session.tick,
                          session.scenario});
   }
+  // The json pointer is only valid for the call, so the buffer owns a copy.
+  struct OwnedAnalyticsRecord {
+    std::uint64_t window = 0;
+    std::uint64_t first_tick = 0;
+    std::uint64_t ticks = 0;
+    std::string json;
+  };
+  void on_analytics(const AnalyticsRecord& analytics) override {
+    analytics_.push_back({analytics.window, analytics.first_tick,
+                          analytics.ticks, analytics.json});
+  }
 
   const std::vector<SpanRecord>& spans() const { return spans_; }
   const std::vector<TickRecord>& ticks() const { return ticks_; }
   const std::vector<RecoveryRecord>& recoveries() const { return recoveries_; }
   const std::vector<OwnedSessionRecord>& sessions() const { return sessions_; }
+  const std::vector<OwnedAnalyticsRecord>& analytics() const {
+    return analytics_;
+  }
   const std::optional<ProfileSummary>& profile_summary() const {
     return summary_;
   }
@@ -203,6 +238,7 @@ class TraceBuffer final : public TraceSink {
     ticks_.clear();
     recoveries_.clear();
     sessions_.clear();
+    analytics_.clear();
     summary_.reset();
     matrix_.reset();
   }
@@ -212,6 +248,7 @@ class TraceBuffer final : public TraceSink {
   std::vector<TickRecord> ticks_;
   std::vector<RecoveryRecord> recoveries_;
   std::vector<OwnedSessionRecord> sessions_;
+  std::vector<OwnedAnalyticsRecord> analytics_;
   std::optional<ProfileSummary> summary_;
   std::optional<CommMatrix> matrix_;
 };

@@ -38,6 +38,7 @@ std::uint64_t Compass::step() {
     flight_->record(-1, obs::FlightEventKind::kPhase, "tick_begin", -1, tick_);
   }
   if (tracer_ != nullptr) tracer_->begin_tick(tick_);
+  if (analytics_ != nullptr) analytics_->begin_tick(tick_);
   if (wall_ != nullptr) wall_->begin_tick();
   transport_.begin_tick();
   auto& scratch = ledger_.tick_scratch();
@@ -159,6 +160,9 @@ std::uint64_t Compass::step() {
   // All deliveries for this tick have happened; the tracer resolves which
   // sampled spikes arrived, emits due chains, and rotates its delay wheel.
   if (tracer_ != nullptr) tracer_->end_tick();
+  // The analytics engine merges its per-rank staging in canonical order and
+  // closes a window when one fills — serial, after the parallel loops.
+  if (analytics_ != nullptr) analytics_->end_tick();
   if (flight_ != nullptr) {
     flight_->record(-1, obs::FlightEventKind::kPhase, "tick_end", -1, tick_,
                     tick_fired_);
@@ -203,16 +207,27 @@ void Compass::note_recovery(const obs::RecoveryRecord& recovery) {
 void Compass::set_metrics(obs::MetricsRegistry* metrics) {
   metrics_ = metrics;
   if (metrics_ == nullptr) return;
-  ids_.ticks = metrics_->counter("run.ticks", "ticks");
-  ids_.fired = metrics_->counter("run.fired_spikes", "spikes");
-  ids_.routed = metrics_->counter("run.routed_spikes", "spikes");
-  ids_.local = metrics_->counter("run.local_spikes", "spikes");
-  ids_.remote = metrics_->counter("run.remote_spikes", "spikes");
-  ids_.synaptic_events = metrics_->counter("run.synaptic_events", "events");
-  ids_.h_fired = metrics_->histogram("tick.fired_spikes", "spikes");
-  ids_.h_messages = metrics_->histogram("tick.messages", "messages");
-  ids_.h_bytes = metrics_->histogram("tick.wire_bytes", "bytes");
-  ids_.g_virtual_s = metrics_->gauge("run.virtual_time_s", "s");
+  ids_.ticks = metrics_->counter("run.ticks", "ticks", "Simulated ticks.");
+  ids_.fired = metrics_->counter("run.fired_spikes", "spikes",
+                                 "Neurons that crossed threshold.");
+  ids_.routed = metrics_->counter("run.routed_spikes", "spikes",
+                                  "Fired spikes with a configured target.");
+  ids_.local = metrics_->counter("run.local_spikes", "spikes",
+                                 "Spikes delivered within their own rank.");
+  ids_.remote = metrics_->counter("run.remote_spikes", "spikes",
+                                  "Spikes that crossed rank boundaries.");
+  ids_.synaptic_events = metrics_->counter(
+      "run.synaptic_events", "events",
+      "Crossbar bits traversed by the synapse phase (energy model).");
+  ids_.h_fired = metrics_->histogram("tick.fired_spikes", "spikes",
+                                     "Spikes fired per tick.");
+  ids_.h_messages = metrics_->histogram(
+      "tick.messages", "messages", "Point-to-point messages sent per tick.");
+  ids_.h_bytes = metrics_->histogram("tick.wire_bytes", "bytes",
+                                     "Wire bytes sent per tick.");
+  ids_.g_virtual_s = metrics_->gauge(
+      "run.virtual_time_s", "s",
+      "Composed virtual (modelled parallel) time of the run so far.");
 }
 
 void Compass::set_spike_tracer(obs::SpikeTracer* tracer) {
@@ -221,6 +236,14 @@ void Compass::set_spike_tracer(obs::SpikeTracer* tracer) {
         "Compass: spike tracer rank count does not match partition");
   }
   tracer_ = tracer;
+}
+
+void Compass::set_analytics(obs::AnalyticsEngine* analytics) {
+  if (analytics != nullptr && analytics->ranks() != partition_.ranks()) {
+    throw std::invalid_argument(
+        "Compass: analytics engine rank count does not match partition");
+  }
+  analytics_ = analytics;
 }
 
 void Compass::set_flight_recorder(obs::FlightRecorder* flight) {
@@ -332,6 +355,9 @@ RunReport Compass::run(arch::Tick ticks) {
     wall_->note_kernel_counts(delta);
   }
   transport_.flush_metrics();  // publish the final tick's comm counters
+  // Close a trailing partial analytics window before the metrics snapshot,
+  // so its gauges land in RunReport::metrics.
+  if (analytics_ != nullptr) analytics_->flush();
   if (metrics_ != nullptr) report_.metrics = metrics_->snapshot();
   if (profile_ != nullptr) {
     report_.profile = profile_->summary();
@@ -390,6 +416,11 @@ void Compass::compute_phases(int rank, perf::RankTickTimes& rt) {
       const int fired = core.neuron_phase(
           tick_, [&](unsigned j, const arch::AxonTarget& target) {
             if (hook_) hook_(tick_, id, j);
+            // Analytics counts every *fired* neuron — the same stream the
+            // raster hook sees — so an offline replay from a recorded
+            // raster re-derives identical windows. Stages per-rank; safe
+            // under the parallel loop.
+            if (analytics_ != nullptr) analytics_->on_fire(rank, id, j);
             if (!target.connected()) return;
             ++counters.routed;
             const arch::WireSpike wire = arch::make_wire_spike(target, tick_);

@@ -29,6 +29,7 @@
 #include "arch/model.h"
 #include "arch/spike.h"
 #include "comm/transport.h"
+#include "obs/analytics.h"
 #include "obs/flightrec.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
@@ -160,6 +161,16 @@ class Compass {
   /// execution: its on_fire stages into per-source-rank buffers and is safe
   /// under the parallel compute loop. Pass nullptr to detach.
   void set_spike_tracer(obs::SpikeTracer* tracer);
+
+  /// Attach a streaming-analytics engine (src/obs/analytics.h): every
+  /// *fired* neuron (the raster stream, before target routing) is then
+  /// staged into the engine's per-source-rank buffers, and each tick
+  /// boundary drives the engine's serial merge + window machinery; run()
+  /// flushes a trailing partial window. Like the spike tracer — and unlike
+  /// a SpikeHook — an attached engine does NOT force serial execution. Must
+  /// match the partition's rank count (throws std::invalid_argument) and
+  /// outlive the simulator. Pass nullptr to detach.
+  void set_analytics(obs::AnalyticsEngine* analytics);
 
   /// Attach a flight recorder (src/obs/flightrec.h): the machine track then
   /// records tick_begin / exchange / tick_end phase events and the current
@@ -295,6 +306,7 @@ class Compass {
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::ProfileCollector* profile_ = nullptr;
   obs::SpikeTracer* tracer_ = nullptr;
+  obs::AnalyticsEngine* analytics_ = nullptr;
   obs::FlightRecorder* flight_ = nullptr;
   obs::WallProfiler* wall_ = nullptr;
   // Dispatch-counter snapshot taken when the wall profiler attaches; run()

@@ -172,6 +172,15 @@ void Client::file_frame(const std::vector<std::uint8_t>& payload_bytes) {
       stepped_.push_back(f);
       break;
     }
+    case Op::kAnalytics: {
+      AnalyticsFrame f;
+      f.session = cur.u32();
+      const std::uint32_t len = cur.u32();
+      f.line = std::string(cur.bytes(len));
+      cur.expect_done();
+      analytics_.push_back(std::move(f));
+      break;
+    }
     default:
       throw ProtocolError(Errc::kBadOpcode,
                           "client: unknown server opcode " +
@@ -284,6 +293,13 @@ std::optional<SteppedFrame> Client::take_stepped() {
   if (stepped_.empty()) return std::nullopt;
   SteppedFrame f = stepped_.front();
   stepped_.pop_front();
+  return f;
+}
+
+std::optional<AnalyticsFrame> Client::take_analytics() {
+  if (analytics_.empty()) return std::nullopt;
+  AnalyticsFrame f = std::move(analytics_.front());
+  analytics_.pop_front();
   return f;
 }
 

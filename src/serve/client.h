@@ -49,6 +49,13 @@ struct SteppedFrame {
   std::uint64_t now = 0;
 };
 
+/// One analytics JSONL line (analytics_config header or closed window),
+/// byte-identical to the --analytics-out line a local run would write.
+struct AnalyticsFrame {
+  std::uint32_t session = 0;
+  std::string line;
+};
+
 class Client {
  public:
   Client() = default;
@@ -97,6 +104,7 @@ class Client {
   std::optional<HeartbeatFrame> take_heartbeat();
   std::optional<ErrorFrame> take_error();
   std::optional<SteppedFrame> take_stepped();
+  std::optional<AnalyticsFrame> take_analytics();
   bool has_spikes() const { return !spikes_.empty(); }
 
   /// Pump until a stepped notification for `session` with now >= target
@@ -122,6 +130,7 @@ class Client {
   std::deque<HeartbeatFrame> heartbeats_;
   std::deque<ErrorFrame> errors_;
   std::deque<SteppedFrame> stepped_;
+  std::deque<AnalyticsFrame> analytics_;
   std::deque<Reply> replies_;
 };
 

@@ -47,12 +47,16 @@ enum class Op : std::uint8_t {
   kError = 0x86,           // u16 code (Errc) | u16 len | message bytes
   kSnapshotDone = 0x87,    // u32 sid | u8 what | u64 bytes
   kStepped = 0x88,         // u32 sid | u64 now
+  kAnalytics = 0x89,       // u32 sid | u32 len | len x JSONL line bytes
+                           // (one analytics_config or analytics record,
+                           // byte-identical to the --analytics-out line)
 };
 
 enum class Stream : std::uint8_t {
   kSpikes = 0,
   kRates = 1,
   kHeartbeat = 2,
+  kAnalytics = 3,
 };
 
 /// Typed protocol error codes, carried in kError frames. Codes 1–2 destroy

@@ -69,6 +69,10 @@ Server::Server(ServerOptions options) : options_(std::move(options)) {
     m_slow_disconnects_ = m.counter("serve.slow_disconnects", "clients");
     m_ticks_ = m.counter("serve.ticks_stepped", "ticks");
     m_spikes_streamed_ = m.counter("serve.spikes_streamed", "spikes");
+    m_analytics_records_ =
+        m.counter("serve.analytics_records", "records",
+                  "Analytics window records streamed to subscribers as "
+                  "kAnalytics frames.");
   }
 }
 
@@ -377,7 +381,8 @@ void Server::dispatch(Conn& conn,
         const Scenario scenario = parse_scenario(name);
         const std::uint32_t sid = next_sid_++;
         SessionState st;
-        st.session = std::make_unique<Session>(scenario, seed);
+        st.session = std::make_unique<Session>(scenario, seed,
+                                               options_.analytics_window_ticks);
         note_session_event("create", sid, 0,
                            st.session->scenario_text().c_str());
         sessions_.emplace(sid, std::move(st));
@@ -420,6 +425,14 @@ void Server::dispatch(Conn& conn,
             sub.rate_first_tick = st.session->now();
             break;
           case Stream::kHeartbeat: sub.heartbeat = true; break;
+          case Stream::kAnalytics:
+            if (!st.session->analytics_enabled()) {
+              throw ProtocolError(Errc::kBadStream,
+                                  "analytics disabled on this daemon "
+                                  "(--analytics-window 0)");
+            }
+            sub.analytics = true;
+            break;
           default:
             throw ProtocolError(Errc::kBadStream,
                                 "unknown stream " + std::to_string(stream));
@@ -589,6 +602,27 @@ void Server::emit_tick(std::uint32_t sid, std::uint64_t tick,
   }
 }
 
+void Server::emit_analytics(std::uint32_t sid, Session& session) {
+  if (!session.analytics_enabled()) return;
+  const std::vector<std::string> lines = session.drain_analytics();
+  if (lines.empty()) return;
+  for (auto& [fd, conn] : conns_) {
+    auto sit = conn.subs.find(sid);
+    if (sit == conn.subs.end() || !sit->second.analytics) continue;
+    for (const std::string& line : lines) {
+      std::vector<std::uint8_t> p = payload(Op::kAnalytics);
+      put_u32(p, sid);
+      put_u32(p, static_cast<std::uint32_t>(line.size()));
+      p.insert(p.end(), line.begin(), line.end());
+      enqueue(conn, p);
+      ++stats_.analytics_records;
+      if (options_.metrics != nullptr) {
+        options_.metrics->add(m_analytics_records_);
+      }
+    }
+  }
+}
+
 bool Server::try_resume(Conn& conn, std::uint32_t sid, Sub& sub) {
   if (!sub.coalesced) return false;
   const std::size_t queued = conn.out.size() - conn.out_off;
@@ -625,6 +659,7 @@ void Server::step_sessions() {
     stepped_any = true;
     stats_.ticks_stepped += n;
     if (options_.metrics != nullptr) options_.metrics->add(m_ticks_, n);
+    emit_analytics(id, *st.session);
     // Completed step requests → kStepped notifications.
     const std::uint64_t now = st.session->now();
     auto& w = st.waiters;

@@ -48,6 +48,11 @@ struct ServerOptions {
   std::uint64_t stall_ticks = 1024;
   /// Tick window for kRates summaries to rate-stream subscribers.
   std::uint64_t rate_window_ticks = 16;
+  /// Window length (ticks) of every session's streaming analytics engine;
+  /// 0 disables analytics (Subscribe(analytics) then answers kBadStream).
+  /// Window records stream to analytics subscribers as kAnalytics frames,
+  /// each carrying the engine's canonical JSONL line verbatim.
+  std::uint64_t analytics_window_ticks = 64;
   /// Emit a kHeartbeat frame to heartbeat subscribers every N total
   /// stepped ticks (0 = never).
   std::uint64_t heartbeat_every_ticks = 64;
@@ -82,6 +87,7 @@ struct ServerStats {
   std::uint64_t snapshots_restored = 0;
   std::uint64_t http_requests = 0;
   std::uint64_t heartbeats = 0;
+  std::uint64_t analytics_records = 0;  // kAnalytics frames enqueued
 };
 
 class Server {
@@ -112,6 +118,7 @@ class Server {
     bool spikes = false;
     bool rates = false;
     bool heartbeat = false;
+    bool analytics = false;
     // Backpressure state for the spike stream.
     bool coalesced = false;
     std::uint64_t co_first_tick = 0;
@@ -159,6 +166,11 @@ class Server {
   void step_sessions();
   void emit_tick(std::uint32_t sid, std::uint64_t tick,
                  const std::vector<SpikeEvent>& spikes);
+  /// Drain the session's analytics lines (closed windows since the last
+  /// step burst) and enqueue each as one kAnalytics frame to every
+  /// analytics subscriber. Low-volume (one line per closed window), so the
+  /// frames ride the normal send queue with no coalescing of their own.
+  void emit_analytics(std::uint32_t sid, Session& session);
   /// If `sub` is coalesced and `conn`'s queue has drained below half the
   /// soft level, emit the gap summary (one kRates frame) and resume the
   /// per-tick stream. Returns true when the stream resumed.
@@ -196,6 +208,7 @@ class Server {
   obs::MetricsRegistry::Id m_slow_disconnects_{};
   obs::MetricsRegistry::Id m_ticks_{};
   obs::MetricsRegistry::Id m_spikes_streamed_{};
+  obs::MetricsRegistry::Id m_analytics_records_{};
 };
 
 }  // namespace compass::serve

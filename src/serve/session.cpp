@@ -77,7 +77,8 @@ Scenario parse_scenario(std::string_view text) {
   return s;
 }
 
-Session::Session(const Scenario& scenario, std::uint64_t seed)
+Session::Session(const Scenario& scenario, std::uint64_t seed,
+                 std::uint64_t analytics_window)
     : scenario_(scenario), seed_(seed) {
   cocomac::MacaqueSpecOptions mopt;
   mopt.total_cores = scenario.total_cores;
@@ -100,6 +101,33 @@ Session::Session(const Scenario& scenario, std::uint64_t seed)
     scratch_.push_back({static_cast<std::uint32_t>(core),
                         static_cast<std::uint16_t>(neuron)});
   });
+  if (analytics_window > 0) {
+    // Region map from the compiled parcellation, exactly as the CLI builds
+    // it, so a served analytics line matches a local --analytics-out line
+    // byte-for-byte over the same spike stream.
+    std::vector<std::uint32_t> core_region(model_.num_cores(), 0);
+    for (std::size_t g = 0; g < pcc.regions.size(); ++g) {
+      const compiler::RegionInfo& r = pcc.regions[g];
+      for (std::int64_t c = 0; c < r.cores; ++c) {
+        core_region[static_cast<std::size_t>(r.first_core) +
+                    static_cast<std::size_t>(c)] =
+            static_cast<std::uint32_t>(g);
+      }
+    }
+    obs::AnalyticsOptions aopt;
+    aopt.window_ticks = analytics_window;
+    analytics_ = std::make_unique<obs::AnalyticsEngine>(
+        partition_.ranks(), static_cast<std::uint32_t>(model_.num_cores()),
+        std::move(core_region), aopt);
+    analytics_->add_sink(&analytics_sink_);
+    sim_->set_analytics(analytics_.get());
+  }
+}
+
+std::vector<std::string> Session::drain_analytics() {
+  std::vector<std::string> out = std::move(analytics_sink_.lines);
+  analytics_sink_.lines.clear();
+  return out;
 }
 
 Session::~Session() = default;

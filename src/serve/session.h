@@ -19,6 +19,7 @@
 
 #include "comm/mpi_transport.h"
 #include "compiler/pcc.h"
+#include "obs/analytics.h"
 #include "runtime/compass.h"
 #include "serve/protocol.h"
 
@@ -53,8 +54,13 @@ class Session {
  public:
   /// Compile the scenario and stand up the simulator. The model seed is the
   /// client-supplied `seed`, so two sessions with the same (scenario, seed)
-  /// are bit-identical replicas.
-  Session(const Scenario& scenario, std::uint64_t seed);
+  /// are bit-identical replicas. `analytics_window` sizes the streaming
+  /// analytics windows (0 disables the engine and the kAnalytics stream for
+  /// this session); the engine sees the same fired-spike stream as the
+  /// spike subscribers, so a served analytics line is byte-identical to the
+  /// --analytics-out line of a local run over the same spikes.
+  Session(const Scenario& scenario, std::uint64_t seed,
+          std::uint64_t analytics_window = 64);
   ~Session();
 
   Session(const Session&) = delete;
@@ -96,7 +102,31 @@ class Session {
   /// Total spikes fired since creation (rate summaries, heartbeats).
   std::uint64_t total_spikes() const { return total_spikes_; }
 
+  /// Analytics JSONL lines (config header + closed windows) accumulated
+  /// since the last drain, in emission order. The daemon drains after every
+  /// step() burst and turns each line into one kAnalytics frame. Empty when
+  /// the session was created with analytics_window == 0.
+  ///
+  /// Snapshot caveat: the analytics accumulator is NOT part of a snapshot —
+  /// after a restore the stream keeps appending from the engine's live
+  /// state, so it describes the ticks this session *executed* (including
+  /// any replayed span), not the logical post-restore timeline.
+  std::vector<std::string> drain_analytics();
+  bool analytics_enabled() const { return analytics_ != nullptr; }
+
  private:
+  /// Sink capturing the engine's canonical JSONL lines verbatim. The
+  /// engine only calls on_analytics; the mandatory span/tick hooks are
+  /// inert stubs.
+  struct AnalyticsLineSink : obs::TraceSink {
+    void on_span(const obs::SpanRecord&) override {}
+    void on_tick(const obs::TickRecord&) override {}
+    void on_analytics(const obs::AnalyticsRecord& rec) override {
+      if (rec.json != nullptr) lines.emplace_back(rec.json);
+    }
+    std::vector<std::string> lines;
+  };
+
   void apply_stimuli(std::uint64_t tick);
 
   Scenario scenario_;
@@ -117,6 +147,11 @@ class Session {
   std::string snapshot_bytes_;  // serialized checkpoint, "" = none
   std::multimap<std::uint64_t, std::pair<std::uint32_t, std::uint16_t>>
       snapshot_stimuli_;  // script as of the save
+
+  // Streaming analytics (nullptr when disabled). The engine must outlive
+  // sim_'s pointer to it, so it sits after sim_ and is detached never.
+  std::unique_ptr<obs::AnalyticsEngine> analytics_;
+  AnalyticsLineSink analytics_sink_;
 };
 
 }  // namespace compass::serve

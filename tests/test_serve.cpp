@@ -31,6 +31,7 @@
 #include "cocomac/macaque.h"
 #include "comm/mpi_transport.h"
 #include "compiler/pcc.h"
+#include "obs/analytics.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "runtime/compass.h"
@@ -364,6 +365,89 @@ TEST(ServeDaemon, ServedStreamIsByteIdenticalToLocalRun) {
   client.close_session(sid);
   harness.stop();
   EXPECT_EQ(harness.server->stats().protocol_errors, 0u);
+}
+
+TEST(ServeAnalytics, ServedFramesAreByteIdenticalToLocalEngine) {
+  // The analytics half of the served-vs-local contract: a subscriber's
+  // kAnalytics lines must be the exact bytes a local engine emits over the
+  // same scenario — config header included. The local side mirrors the CLI
+  // wiring (compile, region map from pcc.regions, engine attached to a
+  // serial measure=false run) and touches none of src/serve/.
+  constexpr std::uint64_t kSeed = 2012;
+  constexpr std::uint64_t kWindow = 16;
+  constexpr std::uint64_t kTicks = 2 * kWindow;
+
+  std::vector<std::string> local;
+  {
+    cocomac::MacaqueSpecOptions mopt;
+    mopt.total_cores = 77;
+    mopt.seed = kSeed;
+    compiler::PccOptions popt;
+    popt.ranks = 1;
+    popt.threads_per_rank = 1;
+    compiler::PccResult pcc =
+        compiler::compile(cocomac::build_macaque_spec(mopt), popt);
+    std::vector<std::uint32_t> core_region(pcc.model.num_cores(), 0);
+    for (std::size_t g = 0; g < pcc.regions.size(); ++g) {
+      const compiler::RegionInfo& r = pcc.regions[g];
+      for (std::int64_t c = 0; c < r.cores; ++c) {
+        core_region[static_cast<std::size_t>(r.first_core) +
+                    static_cast<std::size_t>(c)] =
+            static_cast<std::uint32_t>(g);
+      }
+    }
+    comm::MpiTransport transport(pcc.partition.ranks(), comm::CommCostModel{});
+    runtime::Config cfg;
+    cfg.measure = false;
+    cfg.parallel_execution = false;
+    runtime::Compass sim(pcc.model, pcc.partition, transport, cfg);
+    obs::AnalyticsOptions aopt;
+    aopt.window_ticks = kWindow;
+    obs::AnalyticsEngine engine(
+        pcc.partition.ranks(),
+        static_cast<std::uint32_t>(pcc.model.num_cores()),
+        std::move(core_region), aopt);
+    obs::TraceBuffer buf;
+    engine.add_sink(&buf);
+    sim.set_analytics(&engine);
+    sim.run(kTicks);  // kTicks is a whole number of windows: nothing partial
+    for (const auto& rec : buf.analytics()) local.push_back(rec.json);
+  }
+  ASSERT_EQ(local.size(), 3u);  // header + two windows
+
+  serve::ServerOptions opts;
+  opts.analytics_window_ticks = kWindow;
+  ServerHarness harness(opts);
+  Client client;
+  client.connect("127.0.0.1", harness.port());
+  const std::uint32_t sid = client.create_session("tiny", kSeed);
+  client.subscribe(sid, Stream::kAnalytics);
+  client.step(sid, kTicks);
+  ASSERT_TRUE(client.wait_stepped(sid, kTicks));
+
+  std::vector<std::string> served;
+  while (auto f = client.take_analytics()) {
+    ASSERT_EQ(f->session, sid);
+    served.push_back(std::move(f->line));
+  }
+  EXPECT_EQ(served, local);
+
+  client.close_session(sid);
+  harness.stop();
+  EXPECT_EQ(harness.server->stats().analytics_records, served.size());
+  EXPECT_EQ(harness.server->stats().protocol_errors, 0u);
+}
+
+TEST(ServeAnalytics, SubscribeIsTypedErrorWhenDisabled) {
+  serve::ServerOptions opts;
+  opts.analytics_window_ticks = 0;  // daemon started with --analytics-window 0
+  ServerHarness harness(opts);
+  Client client;
+  client.connect("127.0.0.1", harness.port());
+  const std::uint32_t sid = client.create_session("tiny", 7);
+  EXPECT_THROW(client.subscribe(sid, Stream::kAnalytics), std::runtime_error);
+  client.close_session(sid);
+  harness.stop();
 }
 
 // --- daemon lifecycle over loopback -----------------------------------------

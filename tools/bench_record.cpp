@@ -32,6 +32,12 @@
 //                       seconds, RSS, measured instrumentation overhead)
 //   --engine <e>        with --wall: engine for the profiled run
 //                       (kernels | reference; default kernels)
+//   --analytics         record the streaming-analytics overhead instead:
+//                       runs bench_headline twice — once bare, once with
+//                       --analytics-out attached — and writes
+//                       BENCH_analytics.json (window count plus the
+//                       self-measured analytics overhead %, gated at 2%
+//                       by bench_trend)
 //   --serve             record the served-simulation drill instead: starts
 //                       compass_served on an ephemeral port, drives it with
 //                       compass_swarm (32 clients, 8 sessions), and writes
@@ -276,6 +282,83 @@ int record_wall(const std::string& bench_dir, const std::string& out,
   return 0;
 }
 
+/// --analytics mode: two bench_headline runs — bare, then with the
+/// streaming-analytics engine attached — so the recorded overhead is
+/// self-measured on the same binary and model, with analytics attachment
+/// the only variable. The acceptance bar (mirrored as a bench_trend hard
+/// ceiling) is < 2% on the headline workload.
+int record_analytics(const std::string& bench_dir, const std::string& out,
+                     const std::string& engine) {
+  const std::string off_tmp = out + ".off.tmp";
+  const std::string on_tmp = out + ".on.tmp";
+  const std::string an_tmp = out + ".analytics.tmp";
+  std::remove(off_tmp.c_str());
+  std::remove(on_tmp.c_str());
+  std::remove(an_tmp.c_str());
+  constexpr std::uint64_t kWindowTicks = 64;
+  if (run_command(bench_dir + "/bench_headline --engine " + engine +
+                  " --json " + off_tmp + " > /dev/null") != 0) {
+    return 1;
+  }
+  if (run_command(bench_dir + "/bench_headline --engine " + engine +
+                  " --json " + on_tmp + " --analytics-out " + an_tmp +
+                  " --analytics-window " + std::to_string(kWindowTicks) +
+                  " > /dev/null") != 0) {
+    return 1;
+  }
+  const std::string off = read_file(off_tmp);
+  const std::string on = read_file(on_tmp);
+  std::remove(off_tmp.c_str());
+  std::remove(on_tmp.c_str());
+  const double off_wall = number_field(off, "host_wall_s").value_or(0.0);
+  const double on_wall = number_field(on, "host_wall_s").value_or(0.0);
+  if (off_wall <= 0.0 || on_wall <= 0.0) {
+    std::cerr << "bench_record: missing headline wall times for the "
+                 "analytics overhead measurement\n";
+    return 1;
+  }
+  // Count windows and total spikes from the capture; line 1 is the config
+  // header, every further line one closed window.
+  std::uint64_t windows = 0;
+  double spikes = 0.0;
+  {
+    std::istringstream lines(read_file(an_tmp));
+    std::string line;
+    while (std::getline(lines, line)) {
+      if (line.find("\"type\":\"analytics\"") == std::string::npos) continue;
+      ++windows;
+      spikes += number_field(line, "spikes").value_or(0.0);
+    }
+  }
+  std::remove(an_tmp.c_str());
+  if (windows == 0) {
+    std::cerr << "bench_record: bench_headline produced no analytics windows "
+                 "(is --analytics-out wired through bench/common?)\n";
+    return 1;
+  }
+  // Clamp at 0: run-to-run noise can make the instrumented run *faster*,
+  // and a negative overhead would read as nonsense in the trend table.
+  const double overhead_pct =
+      on_wall > off_wall ? 100.0 * (on_wall - off_wall) / off_wall : 0.0;
+  std::ofstream js(out);
+  if (!js) {
+    std::cerr << "bench_record: cannot write " << out << "\n";
+    return 1;
+  }
+  js << "{\n  \"schema\": \"compass.bench_analytics.v1\",\n"
+     << "  \"generator\": \"tools/bench_record\",\n"
+     << "  \"provenance\": " << provenance_json(engine) << ",\n"
+     << "  \"analytics\": {\"window_ticks\": " << kWindowTicks
+     << ", \"windows\": " << windows
+     << ", \"spikes\": " << json_number(spikes)
+     << ", \"baseline_host_wall_s\": " << json_number(off_wall)
+     << ", \"analytics_host_wall_s\": " << json_number(on_wall)
+     << ", \"overhead_pct\": " << json_number(overhead_pct) << "}\n}\n";
+  std::cout << "[bench_record] wrote " << out << " (" << windows
+            << " windows, overhead " << json_number(overhead_pct) << "%)\n";
+  return 0;
+}
+
 /// --recovery mode: drive bench_recovery once and wrap its per-strategy
 /// JSON lines into BENCH_recovery.json, with the headline comparison
 /// (in-run migration vs whole-job restart) called out explicitly.
@@ -421,6 +504,7 @@ int main(int argc, char** argv) {
   bool recovery = false;
   bool wall = false;
   bool serve = false;
+  bool analytics = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--bench-dir" && i + 1 < argc) {
@@ -441,19 +525,21 @@ int main(int argc, char** argv) {
       wall = true;
     } else if (arg == "--serve") {
       serve = true;
+    } else if (arg == "--analytics") {
+      analytics = true;
     } else {
       std::cerr << "usage: bench_record [--bench-dir <dir>] "
                    "[--tools-dir <dir>] [--out <path>] "
                    "[--min-time <t>] [--skip-headline] [--recovery] [--wall] "
-                   "[--serve] [--engine kernels|reference]\n";
+                   "[--serve] [--analytics] [--engine kernels|reference]\n";
       return 1;
     }
   }
   if (static_cast<int>(recovery) + static_cast<int>(wall) +
-          static_cast<int>(serve) >
+          static_cast<int>(serve) + static_cast<int>(analytics) >
       1) {
-    std::cerr << "bench_record: --recovery, --wall, and --serve are "
-                 "exclusive\n";
+    std::cerr << "bench_record: --recovery, --wall, --serve, and --analytics "
+                 "are exclusive\n";
     return 1;
   }
   if (engine != "kernels" && engine != "reference") {
@@ -464,11 +550,13 @@ int main(int argc, char** argv) {
     out = recovery ? "BENCH_recovery.json"
                    : (wall ? "BENCH_wall.json"
                            : (serve ? "BENCH_serve.json"
-                                    : "BENCH_kernels.json"));
+                                    : (analytics ? "BENCH_analytics.json"
+                                                 : "BENCH_kernels.json")));
   }
   if (recovery) return record_recovery(bench_dir, out);
   if (wall) return record_wall(bench_dir, out, engine);
   if (serve) return record_serve(tools_dir, out);
+  if (analytics) return record_analytics(bench_dir, out, engine);
 
   // --- Microbenchmarks: one process measures both engines -------------------
   const std::string micro_tmp = out + ".micro.tmp";

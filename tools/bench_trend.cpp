@@ -4,9 +4,9 @@
 //               [--append] [--check] [--tolerance PCT]
 //
 // Reads the BENCH snapshot files bench_record writes (BENCH_kernels.json,
-// BENCH_recovery.json, BENCH_wall.json, BENCH_serve.json — the defaults,
-// skipping any that do not exist), reduces each to a small set of named
-// metrics, and prints
+// BENCH_recovery.json, BENCH_wall.json, BENCH_serve.json,
+// BENCH_analytics.json — the defaults, skipping any that do not exist),
+// reduces each to a small set of named metrics, and prints
 // them next to the append-only history in BENCH_history.jsonl: one line per
 // recorded snapshot-set, oldest first, so the table reads as the repo's
 // performance trajectory across PRs.
@@ -26,8 +26,14 @@
 // kernels.micro_geomean_speedup (higher is better — engine-relative, so
 // machine speed cancels out), wall.ticks_per_second (higher is better),
 // wall.overhead_pct (lower is better — instrumentation cost relative to the
-// run it measures). Absolute wall seconds and RSS are recorded but never
-// gated: they move with the recording machine, not with the code.
+// run it measures), analytics.overhead_pct (lower is better). Absolute wall
+// seconds and RSS are recorded but never gated: they move with the
+// recording machine, not with the code.
+//
+// analytics.overhead_pct additionally has a *hard ceiling*: --check fails
+// (exit 3) whenever the current snapshot reports more than 2% — even with
+// no history to compare against — because "< 2% on bench_headline" is the
+// analytics plane's standing acceptance bar, not a relative trend.
 //
 // Accepts both v1 snapshots (no provenance object) and v2+; unknown
 // schemas in the file list are an error, unreadable files exit 2.
@@ -61,8 +67,13 @@ int metric_direction(const std::string& name) {
   if (name == "wall.overhead_pct") return -1;
   if (name == "serve.stimuli_per_second") return 1;
   if (name == "serve.p99_inject_latency_ms") return -1;
+  if (name == "analytics.overhead_pct") return -1;
   return 0;
 }
+
+/// Absolute acceptance bar for the streaming-analytics overhead on
+/// bench_headline; --check enforces it even without history.
+constexpr double kAnalyticsOverheadCeilingPct = 2.0;
 
 struct Snapshot {
   std::map<std::string, double> metrics;  // stable iteration order
@@ -174,6 +185,15 @@ void ingest_file(const std::string& path, Snapshot& snap) {
           num_or(*serve, "p99_inject_latency_ms", 0.0);
       snap.metrics["serve.protocol_errors"] =
           num_or(*serve, "protocol_errors", 0.0);
+    }
+  } else if (s.rfind("compass.bench_analytics.", 0) == 0) {
+    const JsonValue* an = root.find("analytics");
+    if (an != nullptr && an->kind == JsonValue::Kind::kObject) {
+      snap.metrics["analytics.overhead_pct"] =
+          num_or(*an, "overhead_pct", 0.0);
+      snap.metrics["analytics.windows"] = num_or(*an, "windows", 0.0);
+      snap.metrics["analytics.baseline_host_wall_s"] =
+          num_or(*an, "baseline_host_wall_s", 0.0);
     }
   } else {
     throw std::runtime_error(path + ": unknown schema \"" + s + "\"");
@@ -289,7 +309,7 @@ int main(int argc, char** argv) {
   if (files.empty()) {
     for (const char* name :
          {"BENCH_kernels.json", "BENCH_recovery.json", "BENCH_wall.json",
-          "BENCH_serve.json"}) {
+          "BENCH_serve.json", "BENCH_analytics.json"}) {
       if (file_exists(name)) files.push_back(name);
     }
     if (files.empty()) {
@@ -362,6 +382,17 @@ int main(int argc, char** argv) {
   // --- Regression gate ------------------------------------------------------
   int exit_code = 0;
   if (check) {
+    // Absolute ceiling on the analytics overhead: "< 2% on bench_headline"
+    // is the plane's standing acceptance bar, so unlike the relative gate
+    // below this fires even with no history to compare against.
+    const auto an = current.metrics.find("analytics.overhead_pct");
+    if (an != current.metrics.end() &&
+        an->second > kAnalyticsOverheadCeilingPct) {
+      std::cout << "\nCEILING: analytics.overhead_pct " << fmt(an->second)
+                << "% exceeds the hard " << fmt(kAnalyticsOverheadCeilingPct)
+                << "% acceptance ceiling\n";
+      exit_code = 3;
+    }
     if (history.empty()) {
       std::cout << "\n--check: no history to compare against (gate passes "
                    "vacuously; --append a baseline first)\n";

@@ -124,6 +124,8 @@ struct Args {
   std::string recovery = "abort";  // rank-failure policy (recovery.h)
   std::string spike_trace_file;   // causal spike-span JSONL ("" = off)
   std::uint64_t spike_sample = 64;  // sample 1-in-N routed spikes
+  std::string analytics_file;     // streaming-analytics JSONL ("" = off)
+  std::uint64_t analytics_window = 64;  // analytics window in ticks
   std::string flight_file;        // flight-recorder dump path ("" = off)
   std::string wallprof_file;   // host wall-clock profile JSONL ("" = off)
   std::uint64_t wallprof_heartbeat = 0;  // heartbeat cadence in ticks (0 = off)
@@ -191,6 +193,7 @@ void usage(std::ostream& os) {
         "              [--fault-plan SPEC]\n"
         "              [--recovery abort|restart-rank|migrate]\n"
         "              [--spike-trace-out spans.jsonl] [--spike-sample N]\n"
+        "              [--analytics-out a.jsonl] [--analytics-window N]\n"
         "              [--flight-recorder dump.jsonl]\n"
         "              [--placement uniform|random|greedy-refine|\n"
         "                           recursive-bisect|sfc-torus]\n"
@@ -350,6 +353,16 @@ std::optional<Args> parse_args(int argc, char** argv) {
       const auto n = parse_u64_flag("--spike-sample", v, 1, UINT64_MAX);
       if (!n) return std::nullopt;
       args.spike_sample = *n;
+    } else if (a == "--analytics-out") {
+      const char* v = next("--analytics-out");
+      if (!v) return std::nullopt;
+      args.analytics_file = v;
+    } else if (a == "--analytics-window") {
+      const char* v = next("--analytics-window");
+      if (!v) return std::nullopt;
+      const auto n = parse_u64_flag("--analytics-window", v, 1, UINT64_MAX);
+      if (!n) return std::nullopt;
+      args.analytics_window = *n;
     } else if (a == "--flight-recorder") {
       const char* v = next("--flight-recorder");
       if (!v) return std::nullopt;
@@ -690,6 +703,37 @@ int cmd_run(const Args& args) {
     sim.set_spike_tracer(&*tracer);
   }
 
+  // Streaming spike analytics: windowed population/region statistics over
+  // the fired-spike stream, with the region map taken from the compiler's
+  // parcellation so records are attributable to named cortical regions.
+  std::ofstream analytics_os;
+  std::optional<obs::JsonlTraceWriter> analytics_writer;
+  std::optional<obs::AnalyticsEngine> analytics;
+  if (!args.analytics_file.empty()) {
+    analytics_os.open(args.analytics_file);
+    if (!analytics_os) {
+      std::cerr << "compass: cannot write " << args.analytics_file << "\n";
+      return 2;
+    }
+    std::vector<std::uint32_t> core_region(pcc.model.num_cores(), 0);
+    for (std::size_t g = 0; g < pcc.regions.size(); ++g) {
+      const compiler::RegionInfo& r = pcc.regions[g];
+      for (std::int64_t c = 0; c < r.cores; ++c) {
+        core_region[static_cast<std::size_t>(r.first_core) +
+                    static_cast<std::size_t>(c)] = static_cast<std::uint32_t>(g);
+      }
+    }
+    obs::AnalyticsOptions aopt;
+    aopt.window_ticks = args.analytics_window;
+    analytics.emplace(args.ranks,
+                      static_cast<std::uint32_t>(pcc.model.num_cores()),
+                      std::move(core_region), aopt);
+    analytics->set_metrics(metrics);
+    analytics_writer.emplace(analytics_os);
+    analytics->add_sink(&*analytics_writer);
+    sim.set_analytics(&*analytics);
+  }
+
   std::optional<resilience::RecoverySupervisor> supervisor;
   if (want_recovery) {
     if (!ckpt_mgr) {
@@ -887,6 +931,13 @@ int cmd_run(const Args& args) {
                 << span_writer->dropped()
                 << " span(s) dropped (raise --spike-sample)\n";
     }
+  }
+  if (analytics) {
+    analytics_os.flush();
+    std::cout << "\nanalytics (" << analytics->windows_emitted()
+              << " window(s) of " << args.analytics_window << " ticks, "
+              << analytics->num_regions() << " regions) written to "
+              << args.analytics_file << "\n";
   }
   if (!args.trace_file.empty()) {
     trace_os.flush();

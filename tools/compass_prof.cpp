@@ -3,6 +3,7 @@
 //   compass_prof <trace.jsonl> [--json] [--top K] [--what-if placement]
 //   compass_prof --spans <spans.jsonl> [--json] [--top K] [--flow out.json]
 //   compass_prof --wall <wallprof.jsonl> [--json]
+//   compass_prof --analytics <analytics.jsonl> --raster <raster> [--json]
 //
 // Reads a --trace-out capture (span + tick records, plus the end-of-run
 // profile record when the run had profiling enabled) and prints where the
@@ -29,6 +30,15 @@
 // kernel-dispatch mix, RSS, and the instrumentation's own measured cost —
 // the complement of the default analyzer's virtual-time view.
 //
+// --analytics switches to the offline analytics re-derivation: the input is
+// an --analytics-out capture and --raster names the spike raster recorded by
+// the same run. The config header line rebuilds an identical
+// AnalyticsEngine, the raster's fired-spike stream (the exact stream the
+// in-run engine saw) is replayed through it tick by tick, and every
+// re-derived line is compared byte-for-byte against the recording — the
+// determinism proof that the streamed statistics are a pure function of the
+// spike stream. Any byte difference exits 2.
+//
 // --what-if rescores the trace's *measured* comm matrix under a placement
 // file's rank->node embedding (tools/compass --placement-out), comparing
 // hop-weighted off-diagonal wire bytes against the default block embedding —
@@ -37,12 +47,17 @@
 // partition is whatever the recorded run used.
 //
 // Exit codes: 0 success, 1 usage error, 2 unreadable/malformed input.
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "comm/torus.h"
+#include "io/raster.h"
+#include "obs/analytics.h"
+#include "obs/jsonv.h"
 #include "obs/profile.h"
 #include "obs/spiketrace.h"
 #include "obs/wallprof.h"
@@ -56,6 +71,8 @@ void usage(std::ostream& os) {
         "       compass_prof --spans <spans.jsonl> [--json] [--top K] "
         "[--flow out.json]\n"
         "       compass_prof --wall <wallprof.jsonl> [--json]\n"
+        "       compass_prof --analytics <analytics.jsonl> --raster <raster> "
+        "[--json]\n"
         "  analyze a Compass --trace-out JSONL capture\n"
         "  --json        machine-readable report (one JSON object)\n"
         "  --top K       rows in the heaviest-ranks table (default 5)\n"
@@ -67,7 +84,13 @@ void usage(std::ostream& os) {
         "                arrows per sampled spike (open in Perfetto)\n"
         "  --wall        input is a --wallprof-out capture: report host\n"
         "                wall time per phase, wall-vs-virtual divergence\n"
-        "                per rank, kernel mix, RSS, and overhead\n";
+        "                per rank, kernel mix, RSS, and overhead\n"
+        "  --analytics   input is an --analytics-out capture: rebuild the\n"
+        "                engine from its config header, replay the raster\n"
+        "                named by --raster through it, and verify every\n"
+        "                re-derived line matches the recording byte-for-byte\n"
+        "  --raster F    with --analytics: the spike raster recorded by the\n"
+        "                same run (tools/compass run --raster F)\n";
 }
 
 int run_wall(const std::string& path, bool json) {
@@ -132,6 +155,140 @@ int run_spans(const std::string& path, bool json, int top_k,
   return 0;
 }
 
+/// Offline analytics re-derivation: rebuild the engine from the capture's
+/// config header, replay the recorded raster through it, and compare every
+/// re-derived line byte-for-byte against the capture.
+int run_analytics(const std::string& analytics_path,
+                  const std::string& raster_path, bool json) {
+  namespace jsonv = compass::obs::jsonv;
+  std::ifstream is(analytics_path);
+  if (!is) {
+    std::cerr << "compass_prof: cannot read " << analytics_path << "\n";
+    return 2;
+  }
+  std::vector<std::string> recorded;
+  for (std::string line; std::getline(is, line);) {
+    if (!line.empty()) recorded.push_back(line);
+  }
+  if (recorded.empty()) {
+    std::cerr << "compass_prof: " << analytics_path
+              << " holds no analytics records\n";
+    return 2;
+  }
+  try {
+    // Line 1 must be the config header; it carries everything needed to
+    // rebuild an identical engine (the replay is single-source, so the
+    // rank count is irrelevant to the output — see the staging contract).
+    const jsonv::JsonValue header = jsonv::JsonParser(recorded[0]).parse();
+    const jsonv::JsonValue* type = header.find("type");
+    if (type == nullptr || type->string != "analytics_config") {
+      std::cerr << "compass_prof: " << analytics_path
+                << " does not start with an analytics_config header\n";
+      return 2;
+    }
+    compass::obs::AnalyticsOptions opt;
+    opt.window_ticks = jsonv::get_u64(header, "window_ticks", 1);
+    opt.sample_every = jsonv::get_u64(header, "sample_every", 1);
+    opt.seed = jsonv::get_u64(header, "seed", 1);
+    opt.updown_frac = jsonv::get_num(header, "updown_frac", 1);
+    const std::uint64_t cores = jsonv::get_u64(header, "cores", 1);
+    std::vector<std::uint32_t> core_region;
+    if (const jsonv::JsonValue* cr = header.find("core_region");
+        cr != nullptr && cr->kind == jsonv::JsonValue::Kind::kArray) {
+      core_region.reserve(cr->array.size());
+      for (const jsonv::JsonValue& v : cr->array) {
+        core_region.push_back(static_cast<std::uint32_t>(v.integer));
+      }
+    }
+
+    // The recorded windows bound the tick range the engine actually saw:
+    // replay must drive silent ticks too (they extend windows), through the
+    // last recorded window's end.
+    std::uint64_t total_ticks = 0;
+    for (std::size_t i = 1; i < recorded.size(); ++i) {
+      const jsonv::JsonValue w = jsonv::JsonParser(recorded[i]).parse();
+      const std::uint64_t end = jsonv::get_u64(w, "first_tick", i + 1) +
+                                jsonv::get_u64(w, "ticks", i + 1);
+      total_ticks = std::max(total_ticks, end);
+    }
+
+    compass::io::Raster raster = compass::io::Raster::load(raster_path);
+    std::vector<compass::io::RasterEvent> events = raster.events();
+    std::stable_sort(events.begin(), events.end(),
+                     [](const compass::io::RasterEvent& a,
+                        const compass::io::RasterEvent& b) {
+                       return a.tick < b.tick;
+                     });
+
+    compass::obs::AnalyticsEngine engine(
+        /*ranks=*/1, static_cast<std::uint32_t>(cores), std::move(core_region),
+        opt);
+    compass::obs::TraceBuffer derived;
+    engine.add_sink(&derived);
+    std::size_t next = 0;
+    for (std::uint64_t tick = 0; tick < total_ticks; ++tick) {
+      engine.begin_tick(tick);
+      while (next < events.size() && events[next].tick == tick) {
+        engine.on_fire(0, events[next].core, events[next].neuron);
+        ++next;
+      }
+      engine.end_tick();
+    }
+    engine.flush();
+
+    // Byte-for-byte comparison, config header included.
+    std::uint64_t mismatches = 0;
+    std::size_t first_mismatch = 0;
+    const std::size_t derived_count = derived.analytics().size();
+    const std::size_t common = std::min(recorded.size(), derived_count);
+    for (std::size_t i = 0; i < common; ++i) {
+      if (derived.analytics()[i].json != recorded[i]) {
+        if (mismatches == 0) first_mismatch = i;
+        ++mismatches;
+      }
+    }
+    if (recorded.size() != derived_count) {
+      if (mismatches == 0) first_mismatch = common;
+      mismatches += (recorded.size() > derived_count ? recorded.size() : derived_count) - common;
+    }
+    const bool match = mismatches == 0;
+    if (json) {
+      std::cout << "{\"analytics_replay\":{\"recorded_lines\":"
+                << recorded.size() << ",\"derived_lines\":" << derived_count
+                << ",\"windows\":" << engine.windows_emitted()
+                << ",\"spikes\":" << engine.total_spikes()
+                << ",\"ticks\":" << total_ticks
+                << ",\"mismatched_lines\":" << mismatches
+                << ",\"match\":" << (match ? "true" : "false") << "}}\n";
+    } else {
+      std::cout << "analytics replay: " << raster_path << " ("
+                << events.size() << " spikes, " << total_ticks
+                << " ticks) through the engine of " << analytics_path << "\n"
+                << "  windows re-derived   " << engine.windows_emitted()
+                << "\n"
+                << "  recorded lines       " << recorded.size() << "\n"
+                << "  byte-identical       " << (match ? "yes" : "NO") << "\n";
+    }
+    if (!match) {
+      std::cerr << "compass_prof: re-derivation DIFFERS from the recording ("
+                << mismatches << " line(s), first at line "
+                << (first_mismatch + 1) << ")\n";
+      if (first_mismatch < recorded.size()) {
+        std::cerr << "  recorded: " << recorded[first_mismatch] << "\n";
+      }
+      if (first_mismatch < derived_count) {
+        std::cerr << "  derived:  " << derived.analytics()[first_mismatch].json
+                  << "\n";
+      }
+      return 2;
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "compass_prof: " << e.what() << "\n";
+    return 2;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -141,6 +298,8 @@ int main(int argc, char** argv) {
   bool json = false;
   bool spans = false;
   bool wall = false;
+  bool analytics = false;
+  std::string raster_file;
   int top_k = 5;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -150,6 +309,14 @@ int main(int argc, char** argv) {
       spans = true;
     } else if (a == "--wall") {
       wall = true;
+    } else if (a == "--analytics") {
+      analytics = true;
+    } else if (a == "--raster") {
+      if (i + 1 >= argc) {
+        std::cerr << "compass_prof: --raster requires a raster file\n";
+        return 1;
+      }
+      raster_file = argv[++i];
     } else if (a == "--flow") {
       if (i + 1 >= argc) {
         std::cerr << "compass_prof: --flow requires an output file\n";
@@ -199,6 +366,23 @@ int main(int argc, char** argv) {
   }
   if (!flow_file.empty() && !spans) {
     std::cerr << "compass_prof: --flow only applies to --spans input\n";
+    return 1;
+  }
+  if (analytics) {
+    if (spans || wall || !what_if.empty()) {
+      std::cerr << "compass_prof: --analytics is exclusive with --spans, "
+                   "--wall, and --what-if\n";
+      return 1;
+    }
+    if (raster_file.empty()) {
+      std::cerr << "compass_prof: --analytics requires --raster (the spike "
+                   "raster recorded by the same run)\n";
+      return 1;
+    }
+    return run_analytics(path, raster_file, json);
+  }
+  if (!raster_file.empty()) {
+    std::cerr << "compass_prof: --raster only applies to --analytics input\n";
     return 1;
   }
   if (wall) {

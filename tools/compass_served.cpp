@@ -21,6 +21,9 @@
 //                          disconnected with a slow-consumer error
 //                          (default 1024)
 //   --rate-window <n>      ticks per kRates summary frame (default 16)
+//   --analytics-window <n> ticks per streaming-analytics window; window
+//                          records stream to Subscribe(analytics) clients
+//                          as kAnalytics frames (default 64, 0 = off)
 //   --heartbeat-ticks <n>  heartbeat frame cadence in stepped ticks
 //                          (default 64, 0 = off)
 //   --trace-out <path>     JSONL trace of session lifecycle events
@@ -49,7 +52,8 @@ void usage(std::ostream& os) {
   os << "usage: compass_served [--port N] [--bind ADDR] [--port-file PATH]\n"
         "                      [--max-sessions N] [--tick-budget N]\n"
         "                      [--client-queue-bytes N] [--stall-ticks N]\n"
-        "                      [--rate-window N] [--heartbeat-ticks N]\n"
+        "                      [--rate-window N] [--analytics-window N]\n"
+        "                      [--heartbeat-ticks N]\n"
         "                      [--trace-out PATH] [--max-seconds S]\n"
         "                      [--exit-on-idle-ms N]\n";
 }
@@ -150,6 +154,12 @@ int main(int argc, char** argv) {
       const auto n = parse_u64_flag("--rate-window", v, 1, 1u << 20);
       if (!n) return 1;
       opts.rate_window_ticks = *n;
+    } else if (a == "--analytics-window") {
+      const char* v = next(i, "--analytics-window");
+      if (!v) return 1;
+      const auto n = parse_u64_flag("--analytics-window", v, 0, 1u << 20);
+      if (!n) return 1;
+      opts.analytics_window_ticks = *n;
     } else if (a == "--heartbeat-ticks") {
       const char* v = next(i, "--heartbeat-ticks");
       if (!v) return 1;
@@ -221,6 +231,7 @@ int main(int argc, char** argv) {
     std::cout << "compass_served: exiting — " << s.accepted << " clients, "
               << s.sessions_created << " sessions, " << s.ticks_stepped
               << " ticks, " << s.spikes_streamed << " spikes streamed, "
+              << s.analytics_records << " analytics records, "
               << s.protocol_errors << " protocol errors, "
               << s.slow_disconnects << " slow disconnects\n";
   } catch (const std::exception& e) {
